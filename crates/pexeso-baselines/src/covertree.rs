@@ -1,0 +1,306 @@
+//! CTREE: exact joinable-column search with a cover tree.
+//!
+//! The paper's CTREE baseline builds one cover tree over all repository
+//! vectors, issues a range query with radius τ per query vector, and counts
+//! results toward the joinability of the column each hit belongs to, with
+//! early termination once a column reaches T.
+//!
+//! The tree uses the simplified-cover-tree insertion of Izbicki & Shelton
+//! (ICML'15): covering invariant `d(child, parent) ≤ 2^parent.level`, with
+//! the *actual* subtree max-distance tracked per node for tight range-query
+//! pruning — this keeps queries exact even where the separation invariant
+//! is relaxed.
+
+use pexeso_core::column::{ColumnId, ColumnSet};
+use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::metric::Metric;
+use pexeso_core::search::SearchHit;
+use pexeso_core::stats::SearchStats;
+use pexeso_core::vector::VectorStore;
+use pexeso_core::{JoinThreshold, Tau};
+
+use crate::VectorJoinSearch;
+
+struct Node {
+    /// Representative vector id.
+    point: u32,
+    /// Ids of duplicate vectors (distance ~0 from `point`).
+    duplicates: Vec<u32>,
+    level: i32,
+    children: Vec<usize>,
+    /// Actual max distance from `point` to any vector in the subtree.
+    max_dist: f32,
+}
+
+/// Cover tree over one repository.
+pub struct CoverTreeIndex<'a, M: Metric> {
+    columns: &'a ColumnSet,
+    metric: M,
+    nodes: Vec<Node>,
+    root: usize,
+    vec_col: Vec<u32>,
+}
+
+const DUP_EPS: f32 = 1e-7;
+
+impl<'a, M: Metric> CoverTreeIndex<'a, M> {
+    /// Build by sequential insertion of every repository vector.
+    pub fn build(columns: &'a ColumnSet, metric: M) -> Result<Self> {
+        if columns.n_vectors() == 0 {
+            return Err(PexesoError::EmptyInput("cover tree over empty repository"));
+        }
+        let store = columns.store();
+        // Root level covers the maximum possible distance.
+        let span = metric.max_dist_unit(columns.dim()).max(1.0);
+        let root_level = span.log2().ceil() as i32 + 1;
+        let mut this = Self {
+            columns,
+            metric,
+            nodes: vec![Node {
+                point: 0,
+                duplicates: Vec::new(),
+                level: root_level,
+                children: Vec::new(),
+                max_dist: 0.0,
+            }],
+            root: 0,
+            vec_col: columns.vector_to_column(),
+        };
+        for i in 1..store.len() as u32 {
+            this.insert(i);
+        }
+        Ok(this)
+    }
+
+    #[inline]
+    fn covdist(level: i32) -> f32 {
+        (2.0f32).powi(level)
+    }
+
+    fn insert(&mut self, id: u32) {
+        let store = self.columns.store();
+        let x = store.get(pexeso_core::vector::VectorId(id));
+        let mut cur = self.root;
+        loop {
+            let node = &self.nodes[cur];
+            let d = self.metric.dist(x, store.get_raw(node.point as usize));
+            // Track actual subtree reach along the path.
+            if d > node.max_dist {
+                self.nodes[cur].max_dist = d;
+            }
+            let node = &self.nodes[cur];
+            if d <= DUP_EPS {
+                self.nodes[cur].duplicates.push(id);
+                return;
+            }
+            // Descend into the first child that covers x.
+            let mut next = None;
+            for &c in &node.children {
+                let child = &self.nodes[c];
+                let dc = self.metric.dist(x, store.get_raw(child.point as usize));
+                if dc <= Self::covdist(child.level) {
+                    next = Some(c);
+                    break;
+                }
+            }
+            match next {
+                Some(c) => cur = c,
+                None => {
+                    let level = self.nodes[cur].level - 1;
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        point: id,
+                        duplicates: Vec::new(),
+                        level,
+                        children: Vec::new(),
+                        max_dist: 0.0,
+                    });
+                    self.nodes[cur].children.push(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Exact range query: ids of all vectors within `radius` of `q`.
+    /// Distance computations are counted into `stats`.
+    pub fn range_query(&self, q: &[f32], radius: f32, stats: &mut SearchStats, out: &mut Vec<u32>) {
+        let store = self.columns.store();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            stats.distance_computations += 1;
+            let d = self.metric.dist(q, store.get_raw(node.point as usize));
+            if d <= radius {
+                out.push(node.point);
+                out.extend_from_slice(&node.duplicates);
+            }
+            if d <= radius + node.max_dist {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl<M: Metric> VectorJoinSearch for CoverTreeIndex<'_, M> {
+    fn name(&self) -> &'static str {
+        "CTREE"
+    }
+
+    fn search(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+    ) -> Result<(Vec<SearchHit>, SearchStats)> {
+        if query.is_empty() {
+            return Err(PexesoError::EmptyInput("query column with zero vectors"));
+        }
+        let tau = tau.resolve(&self.metric, self.columns.dim())?;
+        let t_abs = t.resolve(query.len())?;
+        let started = std::time::Instant::now();
+        let mut stats = SearchStats::new();
+        let n_cols = self.columns.n_columns();
+        let mut counts = vec![0u32; n_cols];
+        let mut joinable = vec![false; n_cols];
+        let mut stamp = vec![0u32; n_cols];
+        let mut results = Vec::new();
+        for (qi, q) in query.iter().enumerate() {
+            let gen = qi as u32 + 1;
+            results.clear();
+            self.range_query(q, tau, &mut stats, &mut results);
+            for &vid in &results {
+                let c = self.vec_col[vid as usize] as usize;
+                if joinable[c] || stamp[c] == gen {
+                    continue;
+                }
+                stamp[c] = gen;
+                counts[c] += 1;
+                if counts[c] as usize >= t_abs {
+                    joinable[c] = true;
+                    stats.early_joinable += 1;
+                }
+            }
+        }
+        let hits = (0..n_cols)
+            .filter(|&c| counts[c] as usize >= t_abs)
+            .map(|c| SearchHit { column: ColumnId(c as u32), match_count: counts[c] })
+            .collect();
+        stats.total_time = started.elapsed();
+        stats.verify_time = stats.total_time;
+        Ok((hits, stats))
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.node_count() * std::mem::size_of::<Node>()
+            + self.nodes.iter().map(|n| n.children.len() * 8 + n.duplicates.len() * 4).sum::<usize>()
+            + self.vec_col.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pexeso_core::metric::Euclidean;
+    use pexeso_core::search::naive_search;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n);
+        v
+    }
+
+    fn instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (ColumnSet, VectorStore) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 10;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..n_cols {
+            let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for _ in 0..nq {
+            let v = unit(&mut rng, dim);
+            query.push(&v).unwrap();
+        }
+        (columns, query)
+    }
+
+    #[test]
+    fn range_query_is_exact() {
+        let (columns, query) = instance(1, 8, 30, 10);
+        let tree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
+        let tau = 0.5f32;
+        for q in query.iter() {
+            let mut stats = SearchStats::new();
+            let mut got = Vec::new();
+            tree.range_query(q, tau, &mut stats, &mut got);
+            got.sort_unstable();
+            let expected: Vec<u32> = (0..columns.n_vectors() as u32)
+                .filter(|&v| Euclidean.dist(q, columns.store().get_raw(v as usize)) <= tau)
+                .collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn search_agrees_with_naive() {
+        for seed in [2u64, 3, 4] {
+            let (columns, query) = instance(seed, 12, 20, 8);
+            let tree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
+            for tau in [Tau::Ratio(0.05), Tau::Ratio(0.2)] {
+                for t in [JoinThreshold::Ratio(0.25), JoinThreshold::Ratio(0.75)] {
+                    let (expected, _) =
+                        naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
+                    let (got, _) = tree.search(&query, tau, t).unwrap();
+                    let gi: Vec<_> = got.iter().map(|h| h.column).collect();
+                    let ei: Vec<_> = expected.iter().map(|h| h.column).collect();
+                    assert_eq!(gi, ei, "seed={seed} tau={tau:?} t={t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_retrievable() {
+        let mut columns = ColumnSet::new(2);
+        let v = [0.6f32, 0.8];
+        columns.add_column("t", "dups", 0, vec![&v[..], &v[..], &v[..]]).unwrap();
+        columns.add_column("t", "other", 1, vec![&[1.0f32, 0.0][..]]).unwrap();
+        let tree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
+        let mut stats = SearchStats::new();
+        let mut out = Vec::new();
+        tree.range_query(&v, 1e-6, &mut stats, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn prunes_far_subtrees() {
+        let (columns, query) = instance(5, 10, 50, 5);
+        let tree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
+        let mut stats = SearchStats::new();
+        let mut out = Vec::new();
+        tree.range_query(query.get_raw(0), 0.05, &mut stats, &mut out);
+        assert!(
+            (stats.distance_computations as usize) < columns.n_vectors(),
+            "tiny radius should prune most of the tree: {} vs {}",
+            stats.distance_computations,
+            columns.n_vectors()
+        );
+    }
+
+    #[test]
+    fn empty_repository_rejected() {
+        let columns = ColumnSet::new(4);
+        assert!(CoverTreeIndex::build(&columns, Euclidean).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! EPT: exact joinable-column search with an extreme-pivot table
+//! (Ruiz et al., SISAP'13; the pivot-table baseline Chen et al. recommend).
+//!
+//! A set of well-separated pivots is chosen (farthest-first traversal, the
+//! "extreme" part) and the distance from every repository vector to every
+//! pivot is tabulated. A query computes its own pivot distances once, then
+//! scans the table: a vector survives only if no pivot certifies
+//! `|d(q,p) − d(x,p)| > τ` (the Lemma-1 bound); survivors pay an exact
+//! distance. Early termination mirrors the other methods.
+
+use pexeso_core::column::{ColumnId, ColumnSet};
+use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::metric::Metric;
+use pexeso_core::search::SearchHit;
+use pexeso_core::stats::SearchStats;
+use pexeso_core::vector::VectorStore;
+use pexeso_core::{JoinThreshold, PivotSelection, Tau};
+
+use crate::VectorJoinSearch;
+
+/// The pivot table index.
+pub struct EptIndex<'a, M: Metric> {
+    columns: &'a ColumnSet,
+    metric: M,
+    pivots: Vec<Vec<f32>>,
+    /// Row-major: `table[x * k + j] = d(x, p_j)`.
+    table: Vec<f32>,
+    k: usize,
+}
+
+impl<'a, M: Metric> EptIndex<'a, M> {
+    /// Build with `k` extreme pivots.
+    pub fn build(columns: &'a ColumnSet, metric: M, k: usize, seed: u64) -> Result<Self> {
+        if columns.n_vectors() == 0 {
+            return Err(PexesoError::EmptyInput("EPT over empty repository"));
+        }
+        let pivots = pexeso_core::pivot::select_pivots(
+            columns.store(),
+            &metric,
+            k,
+            PivotSelection::FarthestFirst,
+            seed,
+        )?;
+        let k = pivots.len();
+        let store = columns.store();
+        let mut table = Vec::with_capacity(store.len() * k);
+        for x in store.iter() {
+            for p in &pivots {
+                table.push(metric.dist(x, p));
+            }
+        }
+        Ok(Self { columns, metric, pivots, table, k })
+    }
+
+    #[inline]
+    fn pivot_row(&self, x: usize) -> &[f32] {
+        &self.table[x * self.k..(x + 1) * self.k]
+    }
+}
+
+impl<M: Metric> VectorJoinSearch for EptIndex<'_, M> {
+    fn name(&self) -> &'static str {
+        "EPT"
+    }
+
+    fn search(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+    ) -> Result<(Vec<SearchHit>, SearchStats)> {
+        if query.is_empty() {
+            return Err(PexesoError::EmptyInput("query column with zero vectors"));
+        }
+        let tau = tau.resolve(&self.metric, self.columns.dim())?;
+        let t_abs = t.resolve(query.len())?;
+        let started = std::time::Instant::now();
+        let mut stats = SearchStats::new();
+
+        // Query pivot distances, computed once.
+        let mut q_table = Vec::with_capacity(query.len() * self.k);
+        for q in query.iter() {
+            for p in &self.pivots {
+                stats.mapping_distances += 1;
+                q_table.push(self.metric.dist(q, p));
+            }
+        }
+
+        let n_q = query.len();
+        let mut hits = Vec::new();
+        for (ci, col) in self.columns.columns().iter().enumerate() {
+            let mut count = 0usize;
+            for qi in 0..n_q {
+                let q_piv = &q_table[qi * self.k..(qi + 1) * self.k];
+                let qv = query.get_raw(qi);
+                let mut matched = false;
+                for x in col.vector_range() {
+                    let x_piv = self.pivot_row(x as usize);
+                    let filtered = q_piv
+                        .iter()
+                        .zip(x_piv.iter())
+                        .any(|(a, b)| (a - b).abs() > tau);
+                    if filtered {
+                        stats.lemma1_filtered += 1;
+                        continue;
+                    }
+                    stats.distance_computations += 1;
+                    if self.metric.dist(qv, self.columns.store().get_raw(x as usize)) <= tau {
+                        matched = true;
+                        break;
+                    }
+                }
+                if matched {
+                    count += 1;
+                    if count >= t_abs {
+                        stats.early_joinable += 1;
+                        break;
+                    }
+                } else if count + (n_q - qi - 1) < t_abs {
+                    stats.lemma7_pruned += 1;
+                    break;
+                }
+            }
+            if count >= t_abs {
+                hits.push(SearchHit { column: ColumnId(ci as u32), match_count: count as u32 });
+            }
+        }
+        stats.total_time = started.elapsed();
+        stats.verify_time = stats.total_time;
+        Ok((hits, stats))
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.table.len() * 4 + self.pivots.iter().map(|p| p.len() * 4).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pexeso_core::metric::Euclidean;
+    use pexeso_core::search::naive_search;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n);
+        v
+    }
+
+    fn instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (ColumnSet, VectorStore) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 10;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..n_cols {
+            let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for _ in 0..nq {
+            let v = unit(&mut rng, dim);
+            query.push(&v).unwrap();
+        }
+        (columns, query)
+    }
+
+    #[test]
+    fn agrees_with_naive() {
+        for seed in [1u64, 2] {
+            let (columns, query) = instance(seed, 10, 25, 8);
+            let ept = EptIndex::build(&columns, Euclidean, 4, 7).unwrap();
+            for tau in [Tau::Ratio(0.05), Tau::Ratio(0.25)] {
+                for t in [JoinThreshold::Ratio(0.3), JoinThreshold::Ratio(0.8)] {
+                    let (expected, _) =
+                        naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
+                    let (got, _) = ept.search(&query, tau, t).unwrap();
+                    let gi: Vec<_> = got.iter().map(|h| h.column).collect();
+                    let ei: Vec<_> = expected.iter().map(|h| h.column).collect();
+                    assert_eq!(gi, ei, "seed={seed} tau={tau:?} t={t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_filter_reduces_exact_distances() {
+        let (columns, query) = instance(3, 10, 40, 8);
+        let ept = EptIndex::build(&columns, Euclidean, 5, 7).unwrap();
+        let (_, stats) = ept
+            .search(&query, Tau::Ratio(0.05), JoinThreshold::Ratio(0.9))
+            .unwrap();
+        let (_, naive_stats) = naive_search(
+            &columns,
+            &Euclidean,
+            &query,
+            Tau::Ratio(0.05),
+            JoinThreshold::Ratio(0.9),
+            false,
+        )
+        .unwrap();
+        assert!(
+            stats.distance_computations < naive_stats.distance_computations,
+            "EPT {} vs naive {}",
+            stats.distance_computations,
+            naive_stats.distance_computations
+        );
+        assert!(stats.lemma1_filtered > 0);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let columns = ColumnSet::new(4);
+        assert!(EptIndex::build(&columns, Euclidean, 3, 7).is_err());
+        let (columns, _) = instance(4, 2, 5, 1);
+        let ept = EptIndex::build(&columns, Euclidean, 2, 7).unwrap();
+        let empty = VectorStore::new(10);
+        assert!(ept.search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1)).is_err());
+    }
+
+    #[test]
+    fn index_bytes_scales_with_pivots() {
+        let (columns, _) = instance(5, 4, 10, 1);
+        let e2 = EptIndex::build(&columns, Euclidean, 2, 7).unwrap();
+        let e4 = EptIndex::build(&columns, Euclidean, 4, 7).unwrap();
+        assert!(e4.index_bytes() > e2.index_bytes());
+    }
+}

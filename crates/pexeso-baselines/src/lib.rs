@@ -1,0 +1,47 @@
+//! # pexeso-baselines — every comparator from the paper's evaluation
+//!
+//! Effectiveness baselines (Table IV/V, operating on raw strings):
+//! equi-join, Jaccard-join, edit-join, fuzzy-join (Wang et al. style),
+//! TF-IDF-join — all in [`stringjoin`].
+//!
+//! Efficiency baselines (Table VII, Figs. 6/8, operating on vectors):
+//! * [`covertree`] — CTREE: exact range search with a cover tree;
+//! * [`ept`] — EPT: exact linear scan filtered by a pivot table;
+//! * [`pq`] — PQ: approximate search with product quantization, with the
+//!   recall-calibration knob behind PQ-75 / PQ-85;
+//! * [`pexeso_h`] — PEXESO-H: PEXESO's grid blocking with naive per-cell
+//!   verification (no inverted index, no Lemma 1/2/7).
+//!
+//! All vector baselines share the [`VectorJoinSearch`] trait so the
+//! benchmark harness can drive them interchangeably; every *exact* method
+//! is property-tested to agree with `pexeso_core::naive_search`.
+
+pub mod covertree;
+pub mod ept;
+pub mod pexeso_h;
+pub mod pq;
+pub mod strsim;
+pub mod stringjoin;
+
+use pexeso_core::error::Result;
+use pexeso_core::search::SearchHit;
+use pexeso_core::stats::SearchStats;
+use pexeso_core::vector::VectorStore;
+use pexeso_core::{JoinThreshold, Tau};
+
+/// A joinable-column search method over an embedded repository.
+pub trait VectorJoinSearch {
+    /// Short display name used in experiment tables ("CTREE", "EPT", …).
+    fn name(&self) -> &'static str;
+
+    /// Find all columns joinable to `query` under (τ, T).
+    fn search(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+    ) -> Result<(Vec<SearchHit>, SearchStats)>;
+
+    /// Estimated resident index size in bytes (Fig. 6b).
+    fn index_bytes(&self) -> usize;
+}

@@ -1,0 +1,177 @@
+//! String similarity primitives used by the Table IV/V baselines.
+
+/// Lowercased alphanumeric tokens (the same convention the embedding
+//  substrate uses, re-implemented locally to keep this crate decoupled).
+pub fn tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Levenshtein distance with an early-exit bound: returns `None` when the
+/// distance provably exceeds `max`. Classic banded DP over chars.
+pub fn edit_distance_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > max {
+        return None;
+    }
+    if n == 0 {
+        return (m <= max).then_some(m);
+    }
+    if m == 0 {
+        return (n <= max).then_some(n);
+    }
+    // Band half-width `max` around the diagonal.
+    let inf = usize::MAX / 2;
+    let mut prev = vec![inf; m + 1];
+    let mut cur = vec![inf; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(max.min(m) + 1) {
+        *p = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(max).max(1);
+        let hi = (i + max).min(m);
+        cur[lo - 1] = if lo == 1 { i } else { inf };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let v = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            cur[j] = v;
+            row_min = row_min.min(v);
+        }
+        if hi < m {
+            cur[hi + 1..].iter_mut().for_each(|x| *x = inf);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[m] <= max).then_some(prev[m])
+}
+
+/// Normalised edit similarity in [0, 1]: `1 − dist / max(|a|, |b|)`.
+/// Returns `None` (sim below `min_sim`) without computing the full DP when
+/// the bound allows.
+pub fn edit_similarity(a: &str, b: &str, min_sim: f64) -> Option<f64> {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let longest = la.max(lb);
+    if longest == 0 {
+        return Some(1.0);
+    }
+    let max_errors = ((1.0 - min_sim) * longest as f64).floor() as usize;
+    edit_distance_bounded(a, b, max_errors).map(|d| 1.0 - d as f64 / longest as f64)
+}
+
+/// Jaccard similarity of the token sets of two strings.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<String> = tokens(a).into_iter().collect();
+    let sb: HashSet<String> = tokens(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance_bounded("kitten", "sitting", 5), Some(3));
+        assert_eq!(edit_distance_bounded("abc", "abc", 0), Some(0));
+        assert_eq!(edit_distance_bounded("", "abc", 5), Some(3));
+        assert_eq!(edit_distance_bounded("abc", "", 2), None);
+    }
+
+    #[test]
+    fn edit_distance_early_exit() {
+        assert_eq!(edit_distance_bounded("kitten", "sitting", 2), None);
+        assert_eq!(edit_distance_bounded("aaaa", "zzzz", 3), None);
+    }
+
+    #[test]
+    fn edit_distance_unicode() {
+        assert_eq!(edit_distance_bounded("café", "cafe", 1), Some(1));
+    }
+
+    #[test]
+    fn edit_similarity_thresholding() {
+        let s = edit_similarity("population", "popluation", 0.7).unwrap();
+        assert!(s >= 0.8, "transposition = 2 edits over 10 chars: {s}");
+        assert!(edit_similarity("population", "zebra", 0.7).is_none());
+        assert_eq!(edit_similarity("", "", 0.5), Some(1.0));
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard_tokens("white", "White"), 1.0);
+        assert_eq!(jaccard_tokens("a b", "b c"), 1.0 / 3.0);
+        assert_eq!(jaccard_tokens("x", "y"), 0.0);
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+    }
+
+    #[test]
+    fn banded_dp_agrees_with_full_dp() {
+        // Reference full DP.
+        fn full(a: &str, b: &str) -> usize {
+            let a: Vec<char> = a.chars().collect();
+            let b: Vec<char> = b.chars().collect();
+            let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+            for i in 0..=a.len() {
+                dp[i][0] = i;
+            }
+            for j in 0..=b.len() {
+                dp[0][j] = j;
+            }
+            for i in 1..=a.len() {
+                for j in 1..=b.len() {
+                    let c = usize::from(a[i - 1] != b[j - 1]);
+                    dp[i][j] = (dp[i - 1][j] + 1).min(dp[i][j - 1] + 1).min(dp[i - 1][j - 1] + c);
+                }
+            }
+            dp[a.len()][b.len()]
+        }
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let len_a = rng.gen_range(0..10);
+            let len_b = rng.gen_range(0..10);
+            let a: String = (0..len_a).map(|_| (b'a' + rng.gen_range(0..4)) as char).collect();
+            let b: String = (0..len_b).map(|_| (b'a' + rng.gen_range(0..4)) as char).collect();
+            let truth = full(&a, &b);
+            for max in 0..10 {
+                let got = edit_distance_bounded(&a, &b, max);
+                if truth <= max {
+                    assert_eq!(got, Some(truth), "a={a} b={b} max={max}");
+                } else {
+                    assert_eq!(got, None, "a={a} b={b} max={max} truth={truth}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the baselines: cover-tree range queries are exact,
+//! PQ ADC error is bounded by construction, string matchers behave like
+//! their mathematical definitions.
+
+use proptest::prelude::*;
+
+use pexeso_baselines::covertree::CoverTreeIndex;
+use pexeso_baselines::strsim::{edit_distance_bounded, jaccard_tokens};
+use pexeso_core::column::ColumnSet;
+use pexeso_core::metric::{Euclidean, Metric};
+use pexeso_core::stats::SearchStats;
+use pexeso_core::vector::VectorStore;
+
+fn unit_vec(dim: usize, seed: u64) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Cover-tree range queries return exactly the brute-force result for
+    /// arbitrary data and radii.
+    #[test]
+    fn cover_tree_range_query_exact(seed in 0u64..5000, radius in 0.01f32..1.8) {
+        let dim = 8;
+        let mut columns = ColumnSet::new(dim);
+        let vecs: Vec<Vec<f32>> = (0..60).map(|i| unit_vec(dim, seed * 101 + i)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns.add_column("t", "c", 0, refs).unwrap();
+        let tree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
+        let q = unit_vec(dim, seed ^ 0xabcdef);
+        let mut stats = SearchStats::new();
+        let mut got = Vec::new();
+        tree.range_query(&q, radius, &mut stats, &mut got);
+        got.sort_unstable();
+        let expected: Vec<u32> = (0..60u32)
+            .filter(|&i| Euclidean.dist(&q, &vecs[i as usize]) <= radius)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Edit distance is a metric: symmetric, zero iff equal (on our
+    /// bounded variant when within bounds), triangle inequality.
+    #[test]
+    fn edit_distance_metric_properties(
+        a in "[a-c]{0,8}",
+        b in "[a-c]{0,8}",
+        c in "[a-c]{0,8}",
+    ) {
+        let d = |x: &str, y: &str| edit_distance_bounded(x, y, 32).unwrap();
+        prop_assert_eq!(d(&a, &b), d(&b, &a));
+        prop_assert_eq!(d(&a, &a), 0);
+        if d(&a, &b) == 0 {
+            prop_assert_eq!(&a, &b);
+        }
+        prop_assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c), "triangle");
+    }
+
+    /// Bounded edit distance agrees with itself under tighter bounds.
+    #[test]
+    fn edit_distance_bound_consistency(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+        let full = edit_distance_bounded(&a, &b, 64).unwrap();
+        for max in 0..12usize {
+            match edit_distance_bounded(&a, &b, max) {
+                Some(d) => {
+                    prop_assert_eq!(d, full);
+                    prop_assert!(full <= max);
+                }
+                None => prop_assert!(full > max),
+            }
+        }
+    }
+
+    /// Jaccard similarity lives in [0, 1], is symmetric, and equals 1 for
+    /// identical token sets.
+    #[test]
+    fn jaccard_properties(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+        let j = jaccard_tokens(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaccard_tokens(&b, &a)).abs() < 1e-12);
+        prop_assert!((jaccard_tokens(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// A query identical to a stored vector is always found at any radius.
+    #[test]
+    fn cover_tree_self_query(seed in 0u64..2000) {
+        let dim = 6;
+        let mut columns = ColumnSet::new(dim);
+        let vecs: Vec<Vec<f32>> = (0..30).map(|i| unit_vec(dim, seed * 31 + i)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns.add_column("t", "c", 0, refs).unwrap();
+        let tree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
+        let mut stats = SearchStats::new();
+        let mut got = Vec::new();
+        tree.range_query(&vecs[7], 1e-6, &mut stats, &mut got);
+        prop_assert!(got.contains(&7));
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion companion to Fig. 10: search time as the repository fraction
+//! grows (scalability in the number of columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pexeso::prelude::*;
+use pexeso_bench::workloads::Workload;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn sample_columns(columns: &ColumnSet, pct: f64, seed: u64) -> ColumnSet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = columns.n_columns();
+    let keep = ((n as f64 * pct).round() as usize).clamp(1, n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(keep);
+    idx.sort_unstable();
+    let mut out = ColumnSet::new(columns.dim());
+    for &ci in &idx {
+        let meta = &columns.columns()[ci];
+        out.add_column(
+            &meta.table_name,
+            &meta.column_name,
+            meta.external_id,
+            meta.vector_range().map(|v| columns.store().get_raw(v as usize)),
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let w = Workload::swdc(0.15, 17);
+    let (_, query) = w.query(0);
+    let tau = Tau::Ratio(0.06);
+    let t = JoinThreshold::Ratio(0.6);
+
+    let mut group = c.benchmark_group("fig10_scalability");
+    for &pct in &[0.25f64, 0.5, 1.0] {
+        let sub = sample_columns(&w.embedded.columns, pct, 3);
+        let index = PexesoIndex::build(sub, Euclidean, w.index_options()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("pexeso_search", format!("{:.0}pct", pct * 100.0)),
+            &index,
+            |b, index| b.iter(|| index.search(query.store(), tau, t).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_fig10
+}
+criterion_main!(benches);

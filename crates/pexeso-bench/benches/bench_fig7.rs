@@ -1,0 +1,50 @@
+//! Criterion companion to Fig. 7: pivot-selection strategies (a) and
+//! partitioning strategies (b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pexeso::prelude::*;
+use pexeso_bench::workloads::Workload;
+use pexeso_core::partition::{partition_columns, PartitionConfig};
+use pexeso_core::pivot::select_pivots;
+
+fn bench_fig7(c: &mut Criterion) {
+    let w = Workload::swdc(0.1, 13);
+    let columns = &w.embedded.columns;
+
+    let mut group = c.benchmark_group("fig7a_pivot_selection");
+    for (name, strat) in [
+        ("pca", PivotSelection::Pca),
+        ("random", PivotSelection::Random),
+        ("farthest_first", PivotSelection::FarthestFirst),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| select_pivots(columns.store(), &Euclidean, 5, strat, 42).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig7b_partitioning");
+    for (name, method) in [
+        ("jsd", PartitionMethod::JsdKmeans),
+        ("avg_kmeans", PartitionMethod::AvgKmeans),
+        ("random", PartitionMethod::Random),
+    ] {
+        group.bench_with_input(BenchmarkId::new("cluster", name), &method, |b, &method| {
+            b.iter(|| {
+                partition_columns(
+                    columns,
+                    &PartitionConfig { k: 4, method, ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_fig7
+}
+criterion_main!(benches);

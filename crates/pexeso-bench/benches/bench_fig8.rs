@@ -1,0 +1,35 @@
+//! Criterion companion to Fig. 8: PEXESO vs calibrated PQ range search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pexeso::baselines::pq::{PqConfig, PqIndex};
+use pexeso::baselines::VectorJoinSearch;
+use pexeso::prelude::*;
+use pexeso_bench::workloads::Workload;
+
+fn bench_fig8(c: &mut Criterion) {
+    let w = Workload::swdc(0.1, 13);
+    let columns = &w.embedded.columns;
+    let (_, query) = w.query(0);
+    let tau = Tau::Ratio(0.06);
+    let t = JoinThreshold::Ratio(0.6);
+
+    let pex = PexesoIndex::build(columns.clone(), Euclidean, w.index_options()).unwrap();
+    let cfg = PqConfig { num_subspaces: (w.dim / 8).max(2), num_centroids: 32, ..Default::default() };
+    let mut pq75 = PqIndex::build(columns, cfg.clone()).unwrap();
+    pq75.calibrate_recall(0.12, 0.75, 8);
+    let mut pq85 = PqIndex::build(columns, cfg).unwrap();
+    pq85.calibrate_recall(0.12, 0.85, 8);
+
+    let mut group = c.benchmark_group("fig8_search");
+    group.bench_function("PQ-75", |b| b.iter(|| pq75.search(query.store(), tau, t).unwrap()));
+    group.bench_function("PQ-85", |b| b.iter(|| pq85.search(query.store(), tau, t).unwrap()));
+    group.bench_function("PEXESO", |b| b.iter(|| pex.search(query.store(), tau, t).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion companion to Fig. 9: lemma-group ablations on one profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pexeso::prelude::*;
+use pexeso_bench::workloads::Workload;
+
+fn bench_fig9(c: &mut Criterion) {
+    let w = Workload::swdc(0.1, 13);
+    let index = PexesoIndex::build(w.embedded.columns.clone(), Euclidean, w.index_options()).unwrap();
+    let (_, query) = w.query(0);
+    let tau = Tau::Ratio(0.06);
+    let t = JoinThreshold::Ratio(0.6);
+
+    let mut group = c.benchmark_group("fig9_ablation");
+    for (name, flags) in [
+        ("no_lem1", LemmaFlags::without_lemma1()),
+        ("no_lem2", LemmaFlags::without_lemma2()),
+        ("no_lem34", LemmaFlags::without_lemma34()),
+        ("no_lem56", LemmaFlags::without_lemma56()),
+        ("all", LemmaFlags::all()),
+    ] {
+        let opts = SearchOptions { flags, quick_browse: true, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter(|| index.search_with(query.store(), tau, t, opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the kernels every experiment rests on:
+//! embedding, pivot selection/mapping, grid construction, end-to-end search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pexeso::prelude::*;
+use pexeso_bench::workloads::Workload;
+use pexeso_core::grid::{GridParams, HierarchicalGrid};
+use pexeso_core::mapping::MappedVectors;
+use pexeso_core::pivot::select_pivots;
+
+fn bench_kernels(c: &mut Criterion) {
+    let w = Workload::swdc(0.1, 13);
+    let columns = &w.embedded.columns;
+    let metric = Euclidean;
+
+    c.bench_function("embed_one_value", |b| {
+        use pexeso_embed::Embedder;
+        b.iter(|| w.embedder.embed(black_box("Pacific Islander Corporation")))
+    });
+
+    let pivots = select_pivots(columns.store(), &metric, 3, PivotSelection::Pca, 42).unwrap();
+    c.bench_function("pivot_selection_pca", |b| {
+        b.iter(|| select_pivots(columns.store(), &metric, 3, PivotSelection::Pca, 42).unwrap())
+    });
+
+    c.bench_function("pivot_mapping_full_repo", |b| {
+        b.iter(|| MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap())
+    });
+
+    let mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+    let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+    c.bench_function("grid_construction", |b| {
+        b.iter(|| HierarchicalGrid::build_keys_only(params.clone(), &mapped).unwrap())
+    });
+
+    let index = PexesoIndex::build(columns.clone(), metric, w.index_options()).unwrap();
+    let (_, query) = w.query(0);
+    c.bench_function("search_end_to_end", |b| {
+        b.iter(|| {
+            index
+                .search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.6))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

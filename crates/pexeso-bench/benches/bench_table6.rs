@@ -1,0 +1,50 @@
+//! Criterion companion to Table VI: index construction and search across a
+//! reduced (|P|, m) grid on the SWDC-like profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pexeso::prelude::*;
+use pexeso_bench::workloads::Workload;
+
+fn bench_table6(c: &mut Criterion) {
+    let w = Workload::swdc(0.1, 13);
+    let (_, query) = w.query(0);
+    let tau = Tau::Ratio(0.06);
+    let t = JoinThreshold::Ratio(0.6);
+
+    let mut group = c.benchmark_group("table6");
+    for &pivots in &[1usize, 3, 5] {
+        for &m in &[2usize, 4, 6] {
+            let opts = IndexOptions {
+                num_pivots: pivots,
+                levels: Some(m),
+                pivot_selection: PivotSelection::Pca,
+                seed: 42,
+            };
+            group.bench_with_input(
+                BenchmarkId::new("index_build", format!("P{pivots}_m{m}")),
+                &opts,
+                |b, opts| {
+                    b.iter(|| {
+                        PexesoIndex::build(w.embedded.columns.clone(), Euclidean, opts.clone())
+                            .unwrap()
+                    })
+                },
+            );
+            let index =
+                PexesoIndex::build(w.embedded.columns.clone(), Euclidean, opts.clone()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("search", format!("P{pivots}_m{m}")),
+                &index,
+                |b, index| b.iter(|| index.search(query.store(), tau, t).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_table6
+}
+criterion_main!(benches);

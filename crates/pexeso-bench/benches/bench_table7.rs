@@ -1,0 +1,37 @@
+//! Criterion companion to Table VII: CTREE vs EPT vs PEXESO-H vs PEXESO at
+//! the default thresholds (τ=6 %, T=60 %) on the SWDC-like profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pexeso::baselines::covertree::CoverTreeIndex;
+use pexeso::baselines::ept::EptIndex;
+use pexeso::baselines::pexeso_h::PexesoHIndex;
+use pexeso::baselines::VectorJoinSearch;
+use pexeso::prelude::*;
+use pexeso_bench::workloads::Workload;
+
+fn bench_table7(c: &mut Criterion) {
+    let w = Workload::swdc(0.1, 13);
+    let columns = &w.embedded.columns;
+    let (_, query) = w.query(0);
+    let tau = Tau::Ratio(0.06);
+    let t = JoinThreshold::Ratio(0.6);
+
+    let ctree = CoverTreeIndex::build(columns, Euclidean).unwrap();
+    let ept = EptIndex::build(columns, Euclidean, 5, 42).unwrap();
+    let h = PexesoHIndex::build(columns, Euclidean, w.index_options()).unwrap();
+    let pex = PexesoIndex::build(columns.clone(), Euclidean, w.index_options()).unwrap();
+
+    let mut group = c.benchmark_group("table7_search");
+    group.bench_function("CTREE", |b| b.iter(|| ctree.search(query.store(), tau, t).unwrap()));
+    group.bench_function("EPT", |b| b.iter(|| ept.search(query.store(), tau, t).unwrap()));
+    group.bench_function("PEXESO-H", |b| b.iter(|| h.search(query.store(), tau, t).unwrap()));
+    group.bench_function("PEXESO", |b| b.iter(|| pex.search(query.store(), tau, t).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_table7
+}
+criterion_main!(benches);

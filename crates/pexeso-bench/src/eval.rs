@@ -1,0 +1,108 @@
+//! Precision/recall scoring against generator ground truth.
+//!
+//! The paper labels retrieved tables by hand and measures recall against a
+//! pooled retrieved set; our generator knows the exact entity overlap, so
+//! both metrics are exact here.
+
+use std::collections::HashSet;
+
+/// Precision and recall of a retrieved table-id set against the truth.
+pub fn precision_recall(retrieved: &HashSet<usize>, truth: &HashSet<usize>) -> (f64, f64) {
+    if retrieved.is_empty() {
+        let recall = if truth.is_empty() { 1.0 } else { 0.0 };
+        return (1.0, recall);
+    }
+    let inter = retrieved.intersection(truth).count() as f64;
+    let precision = inter / retrieved.len() as f64;
+    let recall = if truth.is_empty() { 1.0 } else { inter / truth.len() as f64 };
+    (precision, recall)
+}
+
+/// Harmonic mean.
+pub fn f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Accumulates per-query (precision, recall) pairs and reports means.
+#[derive(Debug, Default, Clone)]
+pub struct PrAccumulator {
+    precisions: Vec<f64>,
+    recalls: Vec<f64>,
+}
+
+impl PrAccumulator {
+    pub fn push(&mut self, retrieved: &HashSet<usize>, truth: &HashSet<usize>) {
+        let (p, r) = precision_recall(retrieved, truth);
+        self.precisions.push(p);
+        self.recalls.push(r);
+    }
+
+    pub fn mean_precision(&self) -> f64 {
+        mean(&self.precisions)
+    }
+
+    pub fn mean_recall(&self) -> f64 {
+        mean(&self.recalls)
+    }
+
+    pub fn mean_f1(&self) -> f64 {
+        f1(self.mean_precision(), self.mean_recall())
+    }
+
+    pub fn n(&self) -> usize {
+        self.precisions.len()
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[usize]) -> HashSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn pr_basics() {
+        let (p, r) = precision_recall(&set(&[1, 2, 3]), &set(&[2, 3, 4, 5]));
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_retrieved_is_vacuous_precision() {
+        let (p, r) = precision_recall(&set(&[]), &set(&[1]));
+        assert_eq!((p, r), (1.0, 0.0));
+        let (p, r) = precision_recall(&set(&[]), &set(&[]));
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn f1_harmonic() {
+        assert_eq!(f1(1.0, 1.0), 1.0);
+        assert_eq!(f1(0.0, 1.0), 0.0);
+        assert!((f1(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_means() {
+        let mut acc = PrAccumulator::default();
+        acc.push(&set(&[1]), &set(&[1]));
+        acc.push(&set(&[1, 2]), &set(&[1]));
+        assert_eq!(acc.n(), 2);
+        assert!((acc.mean_precision() - 0.75).abs() < 1e-12);
+        assert!((acc.mean_recall() - 1.0).abs() < 1e-12);
+    }
+}

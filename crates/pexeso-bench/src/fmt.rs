@@ -1,0 +1,107 @@
+//! Aligned plain-text table printing for the experiment binaries, matching
+//! the row/column structure of the paper's tables so outputs can be
+//! compared side by side.
+
+/// A simple column-aligned table printer.
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with every column padded to its widest cell.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.4}", s)
+    }
+}
+
+/// Format a ratio as `0.xxx`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TablePrinter::new(&["Method", "P", "R"]);
+        t.row(vec!["equi-join".into(), "1.000".into(), "0.611".into()]);
+        t.row(vec!["PEXESO".into(), "0.911".into(), "0.821".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("equi-join"));
+        // P column starts at the same offset in all data rows.
+        let p0 = lines[2].find("1.000").unwrap();
+        let p1 = lines[3].find("0.911").unwrap();
+        assert_eq!(p0, p1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = TablePrinter::new(&["a", "b"]);
+        t.row(vec!["only".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(secs(std::time::Duration::from_millis(123)), "0.1230");
+        assert_eq!(secs(std::time::Duration::from_secs(12)), "12.00");
+        assert_eq!(secs(std::time::Duration::from_secs(250)), "250");
+    }
+}

@@ -1,0 +1,36 @@
+//! # pexeso-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (`src/bin/exp_*.rs`) plus
+//! criterion micro/macro benchmarks (`benches/`). This library holds the
+//! shared pieces: dataset profiles shaped like the paper's OPEN / SWDC /
+//! LWDC corpora, embedding + indexing plumbing, precision/recall scoring,
+//! and aligned table printing.
+//!
+//! Scale control: every harness reads `PEXESO_SCALE` (default `1.0`) and
+//! multiplies workload sizes, so `PEXESO_SCALE=0.2 cargo run --release
+//! --bin exp_table7` gives a quick pass and larger values approach the
+//! paper's sizes as far as one machine allows.
+
+pub mod eval;
+pub mod fmt;
+pub mod workloads;
+
+/// Read the global scale multiplier from the environment.
+pub fn scale() -> f64 {
+    std::env::var("PEXESO_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Number of query tables used by the effectiveness experiments.
+pub fn n_queries_effectiveness() -> usize {
+    ((10.0 * scale()).round() as usize).max(3)
+}
+
+/// Number of queries averaged in the efficiency experiments (the paper
+/// averages 100–1000; scaled down by default).
+pub fn n_queries_efficiency() -> usize {
+    ((20.0 * scale()).round() as usize).max(5)
+}

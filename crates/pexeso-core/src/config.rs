@@ -1,0 +1,230 @@
+//! Threshold and parameter configuration.
+//!
+//! Section V of the paper recommends ratio-form thresholds so users can
+//! specify them independent of data type, embedding, and query size:
+//! τ as a fraction of the maximum distance between unit vectors, and T as a
+//! fraction of the query column size. Both absolute and ratio forms are
+//! supported here.
+
+use crate::error::{PexesoError, Result};
+use crate::metric::Metric;
+
+/// Distance threshold τ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tau {
+    /// Absolute distance.
+    Absolute(f32),
+    /// Fraction (in `[0, 1]`) of the metric's maximum unit-vector distance;
+    /// the paper's experiments use 2 % – 8 %.
+    Ratio(f32),
+}
+
+impl Tau {
+    /// Resolve to an absolute distance for the given metric/dimensionality.
+    pub fn resolve<M: Metric>(self, metric: &M, dim: usize) -> Result<f32> {
+        let v = match self {
+            Tau::Absolute(v) => v,
+            Tau::Ratio(r) => {
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(PexesoError::InvalidParameter(format!(
+                        "tau ratio {r} outside [0, 1]"
+                    )));
+                }
+                r * metric.max_dist_unit(dim)
+            }
+        };
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(PexesoError::InvalidParameter(format!("tau {v} must be finite and >= 0")));
+        }
+        Ok(v)
+    }
+}
+
+/// Joinability threshold T.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinThreshold {
+    /// Absolute number of matching query records.
+    Count(usize),
+    /// Fraction (in `(0, 1]`) of the query column size; the paper's
+    /// experiments use 20 % – 80 %.
+    Ratio(f64),
+}
+
+impl JoinThreshold {
+    /// Resolve to an absolute count for a query of `query_len` records.
+    /// Ratios round up (a strict fraction must be reached) and are clamped
+    /// to at least 1 so "joinable" always requires at least one match.
+    pub fn resolve(self, query_len: usize) -> Result<usize> {
+        match self {
+            JoinThreshold::Count(c) => Ok(c.max(1)),
+            JoinThreshold::Ratio(r) => {
+                if !(r > 0.0 && r <= 1.0) {
+                    return Err(PexesoError::InvalidParameter(format!(
+                        "joinability ratio {r} outside (0, 1]"
+                    )));
+                }
+                Ok(((r * query_len as f64).ceil() as usize).max(1))
+            }
+        }
+    }
+}
+
+/// Which lemma groups are active — the knobs behind the paper's Fig. 9
+/// ablation. Everything on by default; disabling any group must never
+/// change results, only speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LemmaFlags {
+    /// Lemma 1: vector-level pivot filtering during verification.
+    pub lemma1_vector_filter: bool,
+    /// Lemma 2: vector-level pivot matching during verification.
+    pub lemma2_vector_match: bool,
+    /// Lemmas 3 & 4: vector-cell and cell-cell filtering during blocking.
+    pub lemma34_cell_filter: bool,
+    /// Lemmas 5 & 6: vector-cell and cell-cell matching during blocking.
+    pub lemma56_cell_match: bool,
+}
+
+impl Default for LemmaFlags {
+    fn default() -> Self {
+        Self {
+            lemma1_vector_filter: true,
+            lemma2_vector_match: true,
+            lemma34_cell_filter: true,
+            lemma56_cell_match: true,
+        }
+    }
+}
+
+impl LemmaFlags {
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    pub fn without_lemma1() -> Self {
+        Self { lemma1_vector_filter: false, ..Self::default() }
+    }
+
+    pub fn without_lemma2() -> Self {
+        Self { lemma2_vector_match: false, ..Self::default() }
+    }
+
+    pub fn without_lemma34() -> Self {
+        Self { lemma34_cell_filter: false, ..Self::default() }
+    }
+
+    pub fn without_lemma56() -> Self {
+        Self { lemma56_cell_match: false, ..Self::default() }
+    }
+}
+
+/// How pivots are chosen (Section III-D; Fig. 7a compares PCA vs random).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotSelection {
+    /// PCA-based outlier selection (the paper's choice, Mao et al. style).
+    Pca,
+    /// Uniform random data points (the Fig. 7a baseline).
+    Random,
+    /// Farthest-first traversal (classic maximally-separated heuristic).
+    FarthestFirst,
+}
+
+/// Index construction options.
+#[derive(Debug, Clone)]
+pub struct IndexOptions {
+    /// |P|: number of pivots (paper tunes 1–9, defaults 3–5).
+    pub num_pivots: usize,
+    /// m: grid levels. `None` lets the cost model choose (Section III-E).
+    pub levels: Option<usize>,
+    pub pivot_selection: PivotSelection,
+    /// Seed for any randomised step (sampling, random pivots).
+    pub seed: u64,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        Self { num_pivots: 5, levels: Some(4), pivot_selection: PivotSelection::Pca, seed: 42 }
+    }
+}
+
+/// Hard cap on |P| imposed by the packed cell-key representation.
+pub const MAX_PIVOTS: usize = 16;
+/// Hard cap on m imposed by the packed cell-key representation.
+pub const MAX_LEVELS: usize = 8;
+
+impl IndexOptions {
+    /// Validate against the representation limits.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_pivots == 0 || self.num_pivots > MAX_PIVOTS {
+            return Err(PexesoError::InvalidParameter(format!(
+                "num_pivots {} outside 1..={MAX_PIVOTS}",
+                self.num_pivots
+            )));
+        }
+        if let Some(m) = self.levels {
+            if m == 0 || m > MAX_LEVELS {
+                return Err(PexesoError::InvalidParameter(format!(
+                    "levels {m} outside 1..={MAX_LEVELS}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Euclidean;
+
+    #[test]
+    fn tau_ratio_resolves_against_max_distance() {
+        let t = Tau::Ratio(0.06).resolve(&Euclidean, 300).unwrap();
+        assert!((t - 0.12).abs() < 1e-6);
+        assert_eq!(Tau::Absolute(0.5).resolve(&Euclidean, 300).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn tau_rejects_bad_values() {
+        assert!(Tau::Ratio(1.5).resolve(&Euclidean, 10).is_err());
+        assert!(Tau::Absolute(-1.0).resolve(&Euclidean, 10).is_err());
+        assert!(Tau::Absolute(f32::NAN).resolve(&Euclidean, 10).is_err());
+    }
+
+    #[test]
+    fn join_threshold_resolution() {
+        assert_eq!(JoinThreshold::Ratio(0.6).resolve(10).unwrap(), 6);
+        assert_eq!(JoinThreshold::Ratio(0.55).resolve(10).unwrap(), 6); // ceil
+        assert_eq!(JoinThreshold::Count(3).resolve(10).unwrap(), 3);
+        assert_eq!(JoinThreshold::Count(0).resolve(10).unwrap(), 1); // clamped
+        assert_eq!(JoinThreshold::Ratio(0.01).resolve(10).unwrap(), 1);
+    }
+
+    #[test]
+    fn join_threshold_rejects_bad_ratio() {
+        assert!(JoinThreshold::Ratio(0.0).resolve(10).is_err());
+        assert!(JoinThreshold::Ratio(1.1).resolve(10).is_err());
+    }
+
+    #[test]
+    fn lemma_flag_presets() {
+        assert!(LemmaFlags::all().lemma1_vector_filter);
+        assert!(!LemmaFlags::without_lemma1().lemma1_vector_filter);
+        assert!(!LemmaFlags::without_lemma34().lemma34_cell_filter);
+        assert!(LemmaFlags::without_lemma34().lemma56_cell_match);
+    }
+
+    #[test]
+    fn index_options_validation() {
+        let mut o = IndexOptions::default();
+        assert!(o.validate().is_ok());
+        o.num_pivots = 0;
+        assert!(o.validate().is_err());
+        o.num_pivots = MAX_PIVOTS + 1;
+        assert!(o.validate().is_err());
+        o.num_pivots = 3;
+        o.levels = Some(MAX_LEVELS + 1);
+        assert!(o.validate().is_err());
+        o.levels = None;
+        assert!(o.validate().is_ok());
+    }
+}

@@ -1,0 +1,309 @@
+//! Document-at-a-time verification — the paper's literal Algorithm 2
+//! mechanism.
+//!
+//! Section III-C describes the inverted-index lookup as a DaaT traversal:
+//! each column is a "document"; a cursor is materialised for every leaf
+//! cell in a query vector's candidate set; a priority queue pops the
+//! smallest column id next, so all cells contributing to one column are
+//! verified together before moving to the next column. Early termination
+//! (joinable-skip and Lemma 7) applies per column, exactly as in
+//! [`crate::verify`].
+//!
+//! The default verifier reaches the same skip behaviour with generation
+//! stamps and no heap; this module exists for fidelity and as an ablation:
+//! both strategies are property-tested to return identical results, and
+//! the benches compare their costs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::block::BlockOutput;
+use crate::column::ColumnId;
+use crate::lemmas;
+use crate::stats::SearchStats;
+use crate::verify::{VerifyContext, VerifyOutcome};
+use crate::metric::Metric;
+
+/// A cursor over one leaf cell's postings: the next not-yet-consumed
+/// column entry of that cell.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    /// Index of the cell in the candidate list (stable handle).
+    cell_idx: u32,
+    /// Position within the cell's postings column array.
+    entry: u32,
+}
+
+/// Run Algorithm 2 with the paper's priority-queue DaaT merge. Produces
+/// the identical [`VerifyOutcome`] as [`crate::verify::verify`].
+pub fn verify_daat<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    blocked: &BlockOutput,
+    stats: &mut SearchStats,
+) -> VerifyOutcome {
+    let n_cols = ctx.columns.n_columns();
+    let n_q = ctx.query.len();
+    let terminable = ctx.t_abs <= n_q;
+    let mut match_counts = vec![0u32; n_cols];
+    let mut mismatch_counts = vec![0u32; n_cols];
+    let mut joinable = vec![false; n_cols];
+    let mut pruned = vec![false; n_cols];
+    if let Some(deleted) = ctx.deleted {
+        for (p, &d) in pruned.iter_mut().zip(deleted) {
+            *p = d;
+        }
+    }
+    let mut matched_stamp = vec![0u32; n_cols];
+
+    let mut mi = 0usize;
+    let mut ci = 0usize;
+    // Reused heap: (column id, cursor), min-ordered by column id.
+    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+
+    for q in 0..n_q as u32 {
+        let gen = q + 1;
+
+        // Matching pairs first (identical to the stamp-based verifier).
+        if mi < blocked.matching.len() && blocked.matching[mi].0 == q {
+            for &cell in &blocked.matching[mi].1 {
+                let Some(postings) = ctx.inv.postings(cell) else { continue };
+                for &col in &postings.cols {
+                    let c = col as usize;
+                    if joinable[c] || pruned[c] || matched_stamp[c] == gen {
+                        continue;
+                    }
+                    matched_stamp[c] = gen;
+                    match_counts[c] += 1;
+                    if terminable && match_counts[c] as usize >= ctx.t_abs {
+                        joinable[c] = true;
+                        stats.early_joinable += 1;
+                    }
+                }
+            }
+            mi += 1;
+        }
+
+        // Candidate pairs: materialise one cursor per candidate cell (the
+        // paper: "we do not materialize a pointer for every cell but only
+        // those appearing in the candidate set of the query vector") and
+        // merge by ascending column id.
+        if ci < blocked.candidates.len() && blocked.candidates[ci].0 == q {
+            let cells = &blocked.candidates[ci].1;
+            let qm = ctx.query_mapped.get(q as usize);
+            let qv = ctx.query.get_raw(q as usize);
+
+            heap.clear();
+            for (cell_idx, &cell) in cells.iter().enumerate() {
+                if let Some(postings) = ctx.inv.postings(cell) {
+                    if !postings.cols.is_empty() {
+                        heap.push(Reverse((postings.cols[0], cell_idx as u32, 0)));
+                    }
+                }
+            }
+
+            // Pop groups of cursors sharing the smallest column id.
+            while let Some(&Reverse((col, _, _))) = heap.peek() {
+                let c = col as usize;
+                let mut group: Vec<Cursor> = Vec::new();
+                while let Some(&Reverse((col2, cell_idx, entry))) = heap.peek() {
+                    if col2 != col {
+                        break;
+                    }
+                    heap.pop();
+                    group.push(Cursor { cell_idx, entry });
+                }
+
+                let skip = joinable[c] || pruned[c] || matched_stamp[c] == gen;
+                let mut found = false;
+                if !skip {
+                    'cells: for cur in &group {
+                        let cell = cells[cur.cell_idx as usize];
+                        let postings = ctx.inv.postings(cell).expect("cursor from postings");
+                        for &vid in postings.vectors_of(cur.entry as usize) {
+                            let xm = ctx.rv_mapped.get(vid as usize);
+                            if ctx.flags.lemma1_vector_filter
+                                && lemmas::lemma1_filter(qm, xm, ctx.tau)
+                            {
+                                stats.lemma1_filtered += 1;
+                                continue;
+                            }
+                            let is_match = if ctx.flags.lemma2_vector_match
+                                && lemmas::lemma2_match(qm, xm, ctx.tau)
+                            {
+                                stats.lemma2_matched += 1;
+                                true
+                            } else {
+                                stats.distance_computations += 1;
+                                let xv = ctx.columns.store().get_raw(vid as usize);
+                                ctx.metric.dist(qv, xv) <= ctx.tau
+                            };
+                            if is_match {
+                                found = true;
+                                matched_stamp[c] = gen;
+                                match_counts[c] += 1;
+                                if terminable && match_counts[c] as usize >= ctx.t_abs {
+                                    joinable[c] = true;
+                                    stats.early_joinable += 1;
+                                }
+                                break 'cells;
+                            }
+                        }
+                    }
+                    if !found && !joinable[c] && !pruned[c] {
+                        mismatch_counts[c] += 1;
+                        if terminable && n_q - (mismatch_counts[c] as usize) < ctx.t_abs {
+                            pruned[c] = true;
+                            stats.lemma7_pruned += 1;
+                        }
+                    }
+                }
+
+                // Advance every popped cursor to its next column entry.
+                for cur in group {
+                    let cell = cells[cur.cell_idx as usize];
+                    let postings = ctx.inv.postings(cell).expect("cursor from postings");
+                    let next = cur.entry as usize + 1;
+                    if next < postings.cols.len() {
+                        heap.push(Reverse((postings.cols[next], cur.cell_idx, next as u32)));
+                    }
+                }
+            }
+            ci += 1;
+        }
+    }
+
+    let joinable_ids = (0..n_cols)
+        .filter(|&c| joinable[c])
+        .map(|c| ColumnId(c as u32))
+        .collect();
+    VerifyOutcome { joinable: joinable_ids, match_counts, mismatch_counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::block;
+    use crate::column::ColumnSet;
+    use crate::config::LemmaFlags;
+    use crate::grid::{GridParams, HierarchicalGrid};
+    use crate::invindex::InvertedIndex;
+    use crate::mapping::MappedVectors;
+    use crate::metric::Euclidean;
+    use crate::util::FastMap;
+    use crate::vector::VectorStore;
+    use crate::verify::verify;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (VectorStore, ColumnSet) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 10;
+        let unit = |rng: &mut StdRng| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|x| *x /= n);
+            v
+        };
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..n_cols {
+            let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for _ in 0..nq {
+            let v = unit(&mut rng);
+            query.push(&v).unwrap();
+        }
+        (query, columns)
+    }
+
+    /// DaaT and the stamp-based verifier agree on the joinable set (the
+    /// match-count lower bounds may differ under early termination, since
+    /// the two strategies confirm columns in different orders — but the
+    /// answer set is what the algorithm defines).
+    #[test]
+    fn daat_agrees_with_stamps() {
+        for seed in 0..6u64 {
+            let (query, columns) = instance(seed, 12, 20, 8);
+            let metric = Euclidean;
+            let pivots: Vec<Vec<f32>> =
+                (0..3).map(|i| columns.store().get_raw(i * 7).to_vec()).collect();
+            let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+            let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+            let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+            let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+            let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+            let vec_col = columns.vector_to_column();
+            let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+
+            for tau in [0.2f32, 0.5] {
+                for t_abs in [1usize, 3, 9 /* > |Q|: top-k mode */] {
+                    let mut stats = SearchStats::new();
+                    let blocked = block(
+                        &hgq, &hgrv, &q_mapped, tau, LemmaFlags::all(), None,
+                        FastMap::default(), &mut stats,
+                    );
+                    let ctx = VerifyContext {
+                        columns: &columns,
+                        vec_col: &vec_col,
+                        rv_mapped: &rv_mapped,
+                        inv: &inv,
+                        metric: &metric,
+                        query: &query,
+                        query_mapped: &q_mapped,
+                        tau,
+                        t_abs,
+                        flags: LemmaFlags::all(),
+                        deleted: None,
+                    };
+                    let mut s1 = SearchStats::new();
+                    let mut s2 = SearchStats::new();
+                    let a = verify(&ctx, &blocked, &mut s1);
+                    let b = verify_daat(&ctx, &blocked, &mut s2);
+                    assert_eq!(a.joinable, b.joinable, "seed={seed} tau={tau} T={t_abs}");
+                    if t_abs > query.len() {
+                        // No early termination: every count is exact and
+                        // must agree bit-for-bit.
+                        assert_eq!(a.match_counts, b.match_counts);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tombstoned columns are skipped by the DaaT path too.
+    #[test]
+    fn daat_respects_deletions() {
+        let (query, columns) = instance(42, 6, 10, 5);
+        let metric = Euclidean;
+        let pivots: Vec<Vec<f32>> = (0..3).map(|i| columns.store().get_raw(i).to_vec()).collect();
+        let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+        let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+        let params = GridParams::new(3, 3, 2.0 + 1e-4).unwrap();
+        let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+        let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+        let vec_col = columns.vector_to_column();
+        let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+        let mut stats = SearchStats::new();
+        let blocked = block(
+            &hgq, &hgrv, &q_mapped, 1.0, LemmaFlags::all(), None, FastMap::default(), &mut stats,
+        );
+        let deleted = vec![true; columns.n_columns()];
+        let ctx = VerifyContext {
+            columns: &columns,
+            vec_col: &vec_col,
+            rv_mapped: &rv_mapped,
+            inv: &inv,
+            metric: &metric,
+            query: &query,
+            query_mapped: &q_mapped,
+            tau: 1.0,
+            t_abs: 1,
+            flags: LemmaFlags::all(),
+            deleted: Some(&deleted),
+        };
+        let out = verify_daat(&ctx, &blocked, &mut stats);
+        assert!(out.joinable.is_empty(), "everything deleted, nothing joinable");
+    }
+}

@@ -1,0 +1,84 @@
+//! # pexeso-core — the PEXESO joinable-table-search framework
+//!
+//! Rust implementation of the core contribution of *"Efficient Joinable
+//! Table Discovery in Data Lakes: A High-Dimensional Similarity-Based
+//! Approach"* (ICDE 2021): exact joinable-column search over columns of
+//! high-dimensional vectors under a metric-space similarity predicate.
+//!
+//! ## The problem
+//!
+//! Given a repository of columns (each a multiset of embedded records), a
+//! query column `Q`, a distance threshold `τ` and a joinability threshold
+//! `T`, find every repository column `S` with
+//! `|{q ∈ Q : ∃x ∈ S, d(q,x) ≤ τ}| / |Q| ≥ T`.
+//!
+//! ## The method
+//!
+//! * [`pivot`] — PCA-based pivot selection (plus random / farthest-first);
+//! * [`mapping`] — pivot mapping into `|P|`-dimensional pivot space;
+//! * [`grid`] — sparse hierarchical grids over the pivot space;
+//! * [`lemmas`] — the six filtering/matching predicates;
+//! * [`block`] — Algorithm 1: dual-grid traversal + quick browsing;
+//! * [`invindex`] + [`verify`] — Algorithm 2: inverted-index verification
+//!   with joinable-skip and Lemma 7 early termination;
+//! * [`search`] — Algorithm 3 and the [`search::PexesoIndex`] entry point;
+//! * [`cost`] — the Eq. 1/2 cost model choosing the grid depth `m`;
+//! * [`partition`] / [`persist`] / [`outofcore`] — JSD-clustered disk
+//!   partitions for lakes that exceed main memory.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pexeso_core::prelude::*;
+//!
+//! // Three tiny 2-column repositories of 4-d unit vectors.
+//! let mut repo = ColumnSet::new(4);
+//! repo.add_column("t1", "c", 0, vec![&[1.0, 0.0, 0.0, 0.0][..], &[0.0, 1.0, 0.0, 0.0]]).unwrap();
+//! repo.add_column("t2", "c", 1, vec![&[0.0, 0.0, 1.0, 0.0][..]]).unwrap();
+//!
+//! let index = PexesoIndex::build(repo, Euclidean, IndexOptions::default()).unwrap();
+//!
+//! let mut query = VectorStore::new(4);
+//! query.push(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+//! let result = index.search(&query, Tau::Ratio(0.05), JoinThreshold::Ratio(0.9)).unwrap();
+//! assert_eq!(result.hits.len(), 1); // only t1.c joins
+//! ```
+
+pub mod block;
+pub mod column;
+pub mod config;
+pub mod cost;
+pub mod daat;
+pub mod error;
+pub mod grid;
+pub mod histogram;
+pub mod invindex;
+pub mod lemmas;
+pub mod mapping;
+pub mod metric;
+pub mod outofcore;
+pub mod partition;
+pub mod persist;
+pub mod pivot;
+pub mod search;
+pub mod stats;
+pub mod util;
+pub mod vector;
+pub mod verify;
+
+/// The commonly-needed types in one import.
+pub mod prelude {
+    pub use crate::column::{ColumnId, ColumnMeta, ColumnSet};
+    pub use crate::config::{
+        IndexOptions, JoinThreshold, LemmaFlags, PivotSelection, Tau,
+    };
+    pub use crate::error::{PexesoError, Result};
+    pub use crate::metric::{Chebyshev, Euclidean, Manhattan, Metric};
+    pub use crate::outofcore::{GlobalHit, PartitionedLake};
+    pub use crate::partition::{PartitionConfig, PartitionMethod};
+    pub use crate::search::{naive_search, PexesoIndex, SearchHit, SearchOptions, SearchResult, VerifyStrategy};
+    pub use crate::stats::SearchStats;
+    pub use crate::vector::{VectorId, VectorStore};
+}
+
+pub use prelude::*;

@@ -1,0 +1,198 @@
+//! Distance functions.
+//!
+//! PEXESO supports *any* metric; the pivot lemmata only need the triangle
+//! inequality. The paper's experiments use Euclidean distance over
+//! unit-normalised vectors (maximum possible distance 2), which is the
+//! default throughout this repo; Manhattan and Chebyshev are provided to
+//! demonstrate metric-genericity and for tests.
+
+/// A metric space over `&[f32]` vectors.
+///
+/// Implementations must satisfy the metric axioms — in particular the
+/// triangle inequality, on which every filtering lemma relies.
+pub trait Metric: Send + Sync + Clone + 'static {
+    /// Distance between two equal-length vectors.
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Upper bound on the distance between two L2-unit vectors of the given
+    /// dimensionality. Used to resolve ratio-form thresholds (Section V of
+    /// the paper) and to bound pivot-space coordinates.
+    fn max_dist_unit(&self, dim: usize) -> f32;
+
+    /// Short stable name for diagnostics and persistence validation.
+    fn name(&self) -> &'static str;
+}
+
+/// Euclidean (L2) distance. `max_dist_unit` = 2 for unit vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0f32;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    fn max_dist_unit(&self, _dim: usize) -> f32 {
+        2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Manhattan (L1) distance. For unit L2 vectors, ‖a−b‖₁ ≤ √dim·‖a−b‖₂ ≤ 2√dim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn max_dist_unit(&self, dim: usize) -> f32 {
+        2.0 * (dim as f32).sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+}
+
+/// Angular distance: `arccos(a·b / (‖a‖‖b‖))`, a true metric on the unit
+/// sphere (unlike raw cosine similarity, which violates the triangle
+/// inequality). Maximum distance π for antipodal unit vectors. Zero-norm
+/// inputs are treated as orthogonal (distance π/2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Angular;
+
+impl Metric for Angular {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for (x, y) in a.iter().zip(b.iter()) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return std::f32::consts::FRAC_PI_2;
+        }
+        let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+
+    fn max_dist_unit(&self, _dim: usize) -> f32 {
+        std::f32::consts::PI
+    }
+
+    fn name(&self) -> &'static str {
+        "angular"
+    }
+}
+
+/// Chebyshev (L∞) distance. For unit L2 vectors, ‖a−b‖∞ ≤ ‖a−b‖₂ ≤ 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    fn max_dist_unit(&self, _dim: usize) -> f32 {
+        2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "chebyshev"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_values() {
+        assert!((Euclidean.dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(Euclidean.dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_values() {
+        assert_eq!(Manhattan.dist(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_values() {
+        assert_eq!(Chebyshev.dist(&[0.0, 0.0], &[3.0, 4.0]), 4.0);
+    }
+
+    fn triangle_holds<M: Metric>(m: M) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let a: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let c: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let ab = m.dist(&a, &b);
+            let bc = m.dist(&b, &c);
+            let ac = m.dist(&a, &c);
+            assert!(ac <= ab + bc + 1e-4, "triangle violated: {ac} > {ab} + {bc}");
+            assert!((m.dist(&a, &b) - m.dist(&b, &a)).abs() < 1e-6, "symmetry");
+        }
+    }
+
+    #[test]
+    fn metric_axioms() {
+        triangle_holds(Euclidean);
+        triangle_holds(Manhattan);
+        triangle_holds(Chebyshev);
+        triangle_holds(Angular);
+    }
+
+    #[test]
+    fn angular_values() {
+        use std::f32::consts::{FRAC_PI_2, PI};
+        assert!(Angular.dist(&[1.0, 0.0], &[2.0, 0.0]).abs() < 1e-6, "parallel = 0");
+        assert!((Angular.dist(&[1.0, 0.0], &[0.0, 1.0]) - FRAC_PI_2).abs() < 1e-6);
+        assert!((Angular.dist(&[1.0, 0.0], &[-1.0, 0.0]) - PI).abs() < 1e-5);
+        // Zero vectors behave as orthogonal, never NaN.
+        assert!((Angular.dist(&[0.0, 0.0], &[1.0, 0.0]) - FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_vector_max_distances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let dim = 16;
+        for _ in 0..100 {
+            let mut a: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut b: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            a.iter_mut().for_each(|x| *x /= na);
+            b.iter_mut().for_each(|x| *x /= nb);
+            assert!(Euclidean.dist(&a, &b) <= Euclidean.max_dist_unit(dim) + 1e-5);
+            assert!(Manhattan.dist(&a, &b) <= Manhattan.max_dist_unit(dim) + 1e-5);
+            assert!(Chebyshev.dist(&a, &b) <= Chebyshev.max_dist_unit(dim) + 1e-5);
+        }
+    }
+}

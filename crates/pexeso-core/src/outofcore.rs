@@ -1,0 +1,369 @@
+//! Out-of-core search over a partitioned lake (Section IV).
+//!
+//! When the repository exceeds main memory, columns are partitioned
+//! (see [`crate::partition`]), one PEXESO index is built and persisted per
+//! partition, and a search loads partitions one at a time, merging results.
+//! An optional crossbeam-based parallel mode overlaps partition loading
+//! with searching (an extension over the paper's sequential loop; the
+//! sequential mode is the default and is what the experiments time).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::column::ColumnSet;
+use crate::config::{IndexOptions, JoinThreshold, Tau};
+use crate::error::{PexesoError, Result};
+use crate::metric::Metric;
+use crate::partition::{partition_columns, split_column_set, PartitionConfig};
+use crate::persist::{load_index, save_index};
+use crate::search::{PexesoIndex, SearchOptions};
+use crate::stats::SearchStats;
+use crate::vector::VectorStore;
+
+/// A joinable column found in a partitioned lake, identified by the
+/// caller-stable external id (partitioning reorders internal ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalHit {
+    pub external_id: u64,
+    pub table_name: String,
+    pub column_name: String,
+    /// Matched query vectors (lower bound under early termination).
+    pub match_count: u32,
+}
+
+/// A disk-resident, partitioned PEXESO deployment.
+#[derive(Debug)]
+pub struct PartitionedLake {
+    dir: PathBuf,
+    partition_files: Vec<PathBuf>,
+}
+
+impl PartitionedLake {
+    /// Partition `columns`, build one index per partition, and persist
+    /// everything under `dir` (created if missing; existing `part_*.pex`
+    /// files are replaced).
+    pub fn build<M: Metric>(
+        columns: &ColumnSet,
+        metric: M,
+        partition_config: &PartitionConfig,
+        index_options: &IndexOptions,
+        dir: &Path,
+    ) -> Result<Self> {
+        fs::create_dir_all(dir)?;
+        // Clear stale partition files so `open` never mixes deployments.
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "pex") {
+                fs::remove_file(&path)?;
+            }
+        }
+        let partitioning = partition_columns(columns, partition_config)?;
+        let parts = split_column_set(columns, &partitioning);
+        let mut files = Vec::with_capacity(parts.len());
+        for (i, (sub, _)) in parts.into_iter().enumerate() {
+            let index = PexesoIndex::build(sub, metric.clone(), index_options.clone())?;
+            let path = dir.join(format!("part_{i:04}.pex"));
+            save_index(&index, &path)?;
+            files.push(path);
+        }
+        Ok(Self { dir: dir.to_path_buf(), partition_files: files })
+    }
+
+    /// Open an existing deployment directory.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "pex"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(PexesoError::EmptyInput("no partition files in directory"));
+        }
+        Ok(Self { dir: dir.to_path_buf(), partition_files: files })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partition_files.len()
+    }
+
+    /// Load one partition's index into memory (e.g. for top-k merging or
+    /// inspection).
+    pub fn load_partition<M: Metric>(&self, i: usize, metric: M) -> Result<PexesoIndex<M>> {
+        let path = self
+            .partition_files
+            .get(i)
+            .ok_or_else(|| PexesoError::InvalidParameter(format!("no partition {i}")))?;
+        load_index(path, metric)
+    }
+
+    /// Total bytes on disk across partition files.
+    pub fn disk_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for f in &self.partition_files {
+            total += fs::metadata(f)?.len();
+        }
+        Ok(total)
+    }
+
+    /// Sequential out-of-core search: load each partition, search it, merge.
+    /// Load time is included in the stats' total time, mirroring the
+    /// paper's Table VII accounting ("includes the overhead of loading the
+    /// data from disks").
+    pub fn search<M: Metric>(
+        &self,
+        metric: M,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        let started = Instant::now();
+        let mut merged = SearchStats::new();
+        let mut hits = Vec::new();
+        for path in &self.partition_files {
+            let index = load_index(path, metric.clone())?;
+            let result = index.search_with(query, tau, t, opts)?;
+            merged.merge(&result.stats);
+            for h in result.hits {
+                let meta = index.columns().column(h.column);
+                hits.push(GlobalHit {
+                    external_id: meta.external_id,
+                    table_name: meta.table_name.clone(),
+                    column_name: meta.column_name.clone(),
+                    match_count: h.match_count,
+                });
+            }
+        }
+        hits.sort_by_key(|h| h.external_id);
+        merged.total_time = started.elapsed();
+        Ok((hits, merged))
+    }
+
+    /// Parallel variant: partitions are processed by `threads` workers.
+    /// Results are identical to [`PartitionedLake::search`]; wall-clock
+    /// improves when I/O and CPU overlap.
+    pub fn search_parallel<M: Metric>(
+        &self,
+        metric: M,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+        threads: usize,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        let threads = threads.max(1).min(self.partition_files.len().max(1));
+        let started = Instant::now();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results = parking_lot::Mutex::new(Vec::new());
+        let first_error = parking_lot::Mutex::new(None::<PexesoError>);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= self.partition_files.len() {
+                        break;
+                    }
+                    let work = (|| -> Result<(Vec<GlobalHit>, SearchStats)> {
+                        let index = load_index(&self.partition_files[i], metric.clone())?;
+                        let result = index.search_with(query, tau, t, opts)?;
+                        let hits = result
+                            .hits
+                            .into_iter()
+                            .map(|h| {
+                                let meta = index.columns().column(h.column);
+                                GlobalHit {
+                                    external_id: meta.external_id,
+                                    table_name: meta.table_name.clone(),
+                                    column_name: meta.column_name.clone(),
+                                    match_count: h.match_count,
+                                }
+                            })
+                            .collect();
+                        Ok((hits, result.stats))
+                    })();
+                    match work {
+                        Ok(r) => results.lock().push(r),
+                        Err(e) => {
+                            let mut guard = first_error.lock();
+                            if guard.is_none() {
+                                *guard = Some(e);
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .map_err(|_| PexesoError::InvalidParameter("worker thread panicked".into()))?;
+
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        let mut merged = SearchStats::new();
+        let mut hits = Vec::new();
+        for (h, s) in results.into_inner() {
+            merged.merge(&s);
+            hits.extend(h);
+        }
+        hits.sort_by_key(|h| h.external_id);
+        merged.total_time = started.elapsed();
+        Ok((hits, merged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PivotSelection;
+    use crate::metric::Euclidean;
+    use crate::partition::PartitionMethod;
+    use crate::search::naive_search;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n);
+        v
+    }
+
+    fn instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (ColumnSet, VectorStore) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 10;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..n_cols {
+            let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("tab", &format!("col{c}"), c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for _ in 0..nq {
+            let v = unit(&mut rng, dim);
+            query.push(&v).unwrap();
+        }
+        (columns, query)
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pexeso_ooc_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts() -> IndexOptions {
+        IndexOptions {
+            num_pivots: 3,
+            levels: Some(3),
+            pivot_selection: PivotSelection::Pca,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn partitioned_search_equals_naive() {
+        let (columns, query) = instance(1, 18, 25, 8);
+        let dir = tempdir("eq");
+        let lake = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig { k: 3, method: PartitionMethod::JsdKmeans, ..Default::default() },
+            &opts(),
+            &dir,
+        )
+        .unwrap();
+        let tau = Tau::Ratio(0.15);
+        let t = JoinThreshold::Ratio(0.4);
+        let (hits, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        let (naive, _) = naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
+        let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
+        let expected: Vec<u64> = naive.iter().map(|h| h.column.0 as u64).collect();
+        assert_eq!(got, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let (columns, query) = instance(2, 16, 20, 6);
+        let dir = tempdir("par");
+        let lake = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig { k: 4, ..Default::default() },
+            &opts(),
+            &dir,
+        )
+        .unwrap();
+        let tau = Tau::Ratio(0.2);
+        let t = JoinThreshold::Ratio(0.3);
+        let (seq, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        let (par, _) = lake
+            .search_parallel(Euclidean, &query, tau, t, SearchOptions::default(), 3)
+            .unwrap();
+        assert_eq!(seq, par);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let (columns, query) = instance(3, 10, 15, 5);
+        let dir = tempdir("open");
+        let built = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig { k: 2, ..Default::default() },
+            &opts(),
+            &dir,
+        )
+        .unwrap();
+        let opened = PartitionedLake::open(&dir).unwrap();
+        assert_eq!(built.num_partitions(), opened.num_partitions());
+        let tau = Tau::Ratio(0.2);
+        let t = JoinThreshold::Count(2);
+        let (a, _) = built.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        let (b, _) = opened.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        assert_eq!(a, b);
+        assert!(opened.disk_bytes().unwrap() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_empty_dir_is_error() {
+        let dir = tempdir("empty");
+        assert!(PartitionedLake::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebuild_replaces_stale_partitions() {
+        let (columns, _) = instance(4, 8, 10, 3);
+        let dir = tempdir("stale");
+        let a = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig { k: 4, ..Default::default() },
+            &opts(),
+            &dir,
+        )
+        .unwrap();
+        let first = a.num_partitions();
+        let b = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig { k: 2, ..Default::default() },
+            &opts(),
+            &dir,
+        )
+        .unwrap();
+        assert!(b.num_partitions() <= first);
+        let opened = PartitionedLake::open(&dir).unwrap();
+        assert_eq!(opened.num_partitions(), b.num_partitions());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

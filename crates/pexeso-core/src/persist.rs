@@ -1,0 +1,410 @@
+//! Compact binary persistence for PEXESO indexes.
+//!
+//! Out-of-core search (Section IV) stores one index per partition on disk
+//! and loads them one at a time. The format keeps the expensive artefacts —
+//! raw vectors, pivots, and mapped vectors — and rebuilds the hierarchical
+//! grid and inverted index deterministically on load (both are O(|RV|)
+//! hash-map constructions, far cheaper than re-mapping).
+//!
+//! Layout (little-endian):
+//! `magic "PEXIDX01" · metric name · options · grid params · pivots ·
+//!  column metas · raw vectors · mapped vectors · fnv64 checksum`.
+//! No CRC dependency: a running FNV-1a over the payload detects
+//! truncation/corruption.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::column::{ColumnMeta, ColumnSet};
+use crate::config::{IndexOptions, PivotSelection};
+use crate::error::{PexesoError, Result};
+use crate::grid::GridParams;
+use crate::mapping::MappedVectors;
+use crate::metric::Metric;
+use crate::search::PexesoIndex;
+use crate::vector::VectorStore;
+
+const MAGIC: &[u8; 8] = b"PEXIDX01";
+
+/// Incremental FNV-1a 64 used as a payload checksum.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf29ce484222325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Checksumming writer adapter.
+struct Sink<W: Write> {
+    inner: W,
+    hash: Fnv64,
+}
+
+impl<W: Write> Sink<W> {
+    fn new(inner: W) -> Self {
+        Self { inner, hash: Fnv64::new() }
+    }
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        self.hash.update(bytes);
+        self.inner.write_all(bytes)?;
+        Ok(())
+    }
+    fn put_u8(&mut self, v: u8) -> Result<()> {
+        self.put(&[v])
+    }
+    fn put_u32(&mut self, v: u32) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn put_u64(&mut self, v: u64) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn put_f32(&mut self, v: f32) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn put_str(&mut self, s: &str) -> Result<()> {
+        self.put_u32(s.len() as u32)?;
+        self.put(s.as_bytes())
+    }
+    fn put_f32_slice(&mut self, data: &[f32]) -> Result<()> {
+        // Chunked conversion keeps allocations bounded for large arenas.
+        let mut buf = [0u8; 4096];
+        for chunk in data.chunks(1024) {
+            let mut n = 0;
+            for v in chunk {
+                buf[n..n + 4].copy_from_slice(&v.to_le_bytes());
+                n += 4;
+            }
+            self.put(&buf[..n])?;
+        }
+        Ok(())
+    }
+}
+
+/// Checksumming reader adapter.
+struct Source<R: Read> {
+    inner: R,
+    hash: Fnv64,
+}
+
+impl<R: Read> Source<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, hash: Fnv64::new() }
+    }
+    fn take(&mut self, buf: &mut [u8]) -> Result<()> {
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| PexesoError::Corrupt(format!("truncated file: {e}")))?;
+        self.hash.update(buf);
+        Ok(())
+    }
+    fn take_u8(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.take(&mut b)?;
+        Ok(b[0])
+    }
+    fn take_u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.take(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn take_u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.take(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn take_f32(&mut self) -> Result<f32> {
+        let mut b = [0u8; 4];
+        self.take(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+    fn take_str(&mut self, limit: u32) -> Result<String> {
+        let len = self.take_u32()?;
+        if len > limit {
+            return Err(PexesoError::Corrupt(format!("string length {len} exceeds limit {limit}")));
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.take(&mut buf)?;
+        String::from_utf8(buf).map_err(|e| PexesoError::Corrupt(format!("invalid utf-8: {e}")))
+    }
+    fn take_f32_vec(&mut self, n: usize) -> Result<Vec<f32>> {
+        let mut out = Vec::with_capacity(n);
+        let mut buf = [0u8; 4096];
+        let mut remaining = n;
+        while remaining > 0 {
+            let take_n = remaining.min(1024);
+            let bytes = &mut buf[..take_n * 4];
+            self.take(bytes)?;
+            for c in bytes.chunks_exact(4) {
+                out.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            }
+            remaining -= take_n;
+        }
+        Ok(out)
+    }
+}
+
+fn selection_tag(s: PivotSelection) -> u8 {
+    match s {
+        PivotSelection::Pca => 0,
+        PivotSelection::Random => 1,
+        PivotSelection::FarthestFirst => 2,
+    }
+}
+
+fn selection_from_tag(t: u8) -> Result<PivotSelection> {
+    match t {
+        0 => Ok(PivotSelection::Pca),
+        1 => Ok(PivotSelection::Random),
+        2 => Ok(PivotSelection::FarthestFirst),
+        _ => Err(PexesoError::Corrupt(format!("unknown pivot selection tag {t}"))),
+    }
+}
+
+/// Serialise an index to `path`.
+pub fn save_index<M: Metric>(index: &PexesoIndex<M>, path: &Path) -> Result<()> {
+    let file = File::create(path)?;
+    let mut sink = Sink::new(BufWriter::new(file));
+    sink.put(MAGIC)?;
+    sink.put_str(index.metric().name())?;
+
+    let opts = index.options();
+    sink.put_u32(opts.num_pivots as u32)?;
+    sink.put_u32(opts.levels.unwrap_or(0) as u32)?;
+    sink.put_u8(selection_tag(opts.pivot_selection))?;
+    sink.put_u64(opts.seed)?;
+
+    let gp = index.grid_params();
+    sink.put_u32(gp.num_pivots as u32)?;
+    sink.put_u32(gp.levels as u32)?;
+    sink.put_f32(gp.span)?;
+
+    let pivots = index.pivots();
+    sink.put_u32(pivots.len() as u32)?;
+    sink.put_u32(index.columns().dim() as u32)?;
+    for p in pivots {
+        sink.put_f32_slice(p)?;
+    }
+
+    let cols = index.columns().columns();
+    sink.put_u32(cols.len() as u32)?;
+    for c in cols {
+        sink.put_str(&c.table_name)?;
+        sink.put_str(&c.column_name)?;
+        sink.put_u64(c.external_id)?;
+        sink.put_u32(c.start)?;
+        sink.put_u32(c.len)?;
+    }
+
+    let store = index.columns().store();
+    sink.put_u64(store.len() as u64)?;
+    sink.put_f32_slice(store.raw_data())?;
+
+    let mapped = index.rv_mapped();
+    sink.put_u32(mapped.num_pivots() as u32)?;
+    sink.put_u64(mapped.len() as u64)?;
+    sink.put_f32_slice(mapped.raw_data())?;
+
+    let checksum = sink.hash.0;
+    sink.inner.write_all(&checksum.to_le_bytes())?;
+    sink.inner.flush()?;
+    Ok(())
+}
+
+/// Load an index from `path`, validating magic, metric, structure, and
+/// checksum. The grid and inverted index are rebuilt deterministically.
+pub fn load_index<M: Metric>(path: &Path, metric: M) -> Result<PexesoIndex<M>> {
+    let file = File::open(path)?;
+    let mut src = Source::new(BufReader::new(file));
+
+    let mut magic = [0u8; 8];
+    src.take(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PexesoError::Corrupt("bad magic".into()));
+    }
+    let metric_name = src.take_str(64)?;
+    if metric_name != metric.name() {
+        return Err(PexesoError::Corrupt(format!(
+            "index built with metric '{metric_name}' but loaded with '{}'",
+            metric.name()
+        )));
+    }
+
+    let num_pivots = src.take_u32()? as usize;
+    let levels_raw = src.take_u32()? as usize;
+    let selection = selection_from_tag(src.take_u8()?)?;
+    let seed = src.take_u64()?;
+    let options = IndexOptions {
+        num_pivots,
+        levels: if levels_raw == 0 { None } else { Some(levels_raw) },
+        pivot_selection: selection,
+        seed,
+    };
+
+    let gp_pivots = src.take_u32()? as usize;
+    let gp_levels = src.take_u32()? as usize;
+    let gp_span = src.take_f32()?;
+    let grid_params = GridParams::new(gp_pivots, gp_levels, gp_span)?;
+
+    let k = src.take_u32()? as usize;
+    let dim = src.take_u32()? as usize;
+    if dim == 0 || dim > 1 << 20 {
+        return Err(PexesoError::Corrupt(format!("implausible dimensionality {dim}")));
+    }
+    let mut pivots = Vec::with_capacity(k);
+    for _ in 0..k {
+        pivots.push(src.take_f32_vec(dim)?);
+    }
+
+    let n_cols = src.take_u32()? as usize;
+    let mut metas = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let table_name = src.take_str(1 << 16)?;
+        let column_name = src.take_str(1 << 16)?;
+        let external_id = src.take_u64()?;
+        let start = src.take_u32()?;
+        let len = src.take_u32()?;
+        metas.push(ColumnMeta { table_name, column_name, external_id, start, len });
+    }
+
+    let n_vecs = src.take_u64()? as usize;
+    let data = src.take_f32_vec(n_vecs * dim)?;
+    let store = VectorStore::from_raw(dim, data)?;
+    let columns = ColumnSet::from_parts(store, metas)?;
+
+    let mk = src.take_u32()? as usize;
+    let mn = src.take_u64()? as usize;
+    if mk != gp_pivots || mn != n_vecs {
+        return Err(PexesoError::Corrupt(format!(
+            "mapped shape {mn}x{mk} inconsistent with {n_vecs}x{gp_pivots}"
+        )));
+    }
+    let mapped_data = src.take_f32_vec(mn * mk)?;
+    let rv_mapped = MappedVectors::from_raw(mk, mapped_data)?;
+
+    let computed = src.hash.0;
+    let mut csum = [0u8; 8];
+    src.inner
+        .read_exact(&mut csum)
+        .map_err(|e| PexesoError::Corrupt(format!("missing checksum: {e}")))?;
+    if u64::from_le_bytes(csum) != computed {
+        return Err(PexesoError::Corrupt("checksum mismatch".into()));
+    }
+
+    PexesoIndex::from_parts(columns, pivots, rv_mapped, options, grid_params, metric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{JoinThreshold, Tau};
+    use crate::metric::{Euclidean, Manhattan};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build_small(seed: u64) -> (PexesoIndex<Euclidean>, VectorStore) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 8;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..6 {
+            let mut vecs = Vec::new();
+            for _ in 0..12 {
+                let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+                v.iter_mut().for_each(|x| *x /= n);
+                vecs.push(v);
+            }
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("tab", &format!("col{c}"), 100 + c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for _ in 0..5 {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|x| *x /= n);
+            query.push(&v).unwrap();
+        }
+        let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+        (index, query)
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pexeso_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let (index, query) = build_small(1);
+        let path = tmpfile("roundtrip.pex");
+        save_index(&index, &path).unwrap();
+        let loaded = load_index(&path, Euclidean).unwrap();
+
+        let tau = Tau::Ratio(0.2);
+        let t = JoinThreshold::Ratio(0.4);
+        let a = index.search(&query, tau, t).unwrap();
+        let b = loaded.search(&query, tau, t).unwrap();
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(index.columns().columns(), loaded.columns().columns());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_metric_rejected() {
+        let (index, _) = build_small(2);
+        let path = tmpfile("metric.pex");
+        save_index(&index, &path).unwrap();
+        let err = load_index(&path, Manhattan);
+        assert!(matches!(err, Err(PexesoError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("magic.pex");
+        std::fs::write(&path, b"NOTANIDXfollowed by junk").unwrap();
+        assert!(matches!(load_index(&path, Euclidean), Err(PexesoError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (index, _) = build_small(3);
+        let path = tmpfile("trunc.pex");
+        save_index(&index, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_index(&path, Euclidean), Err(PexesoError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let (index, _) = build_small(4);
+        let path = tmpfile("flip.pex");
+        save_index(&index, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            load_index(&path, Euclidean).is_err(),
+            "flipped byte must fail checksum or structure validation"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_index(Path::new("/nonexistent/pexeso.idx"), Euclidean);
+        assert!(matches!(err, Err(PexesoError::Io(_))));
+    }
+}

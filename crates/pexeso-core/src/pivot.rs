@@ -1,0 +1,333 @@
+//! Pivot selection (Section III-D).
+//!
+//! Good pivots are outliers that scatter the mapped vectors; the paper
+//! adopts the PCA-based method of Mao et al., which runs in O(|RV|): find
+//! the principal directions (here by power iteration on a sample), then take
+//! the data points with extreme projections along each direction as pivots.
+//! Random selection and farthest-first traversal are provided as the
+//! comparison points used by Fig. 7a.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::PivotSelection;
+use crate::error::{PexesoError, Result};
+use crate::metric::Metric;
+use crate::vector::VectorStore;
+
+/// Maximum vectors used to estimate principal directions. Projections are
+/// still evaluated over the full dataset, keeping selection O(|RV|).
+const PCA_SAMPLE: usize = 2048;
+/// Power-iteration sweeps per component; convergence is fast and pivots
+/// only need approximate directions.
+const POWER_ITERS: usize = 12;
+
+/// Select `k` pivots from `store` with the given strategy. Pivots are
+/// returned as owned copies of data points.
+pub fn select_pivots<M: Metric>(
+    store: &VectorStore,
+    metric: &M,
+    k: usize,
+    strategy: PivotSelection,
+    seed: u64,
+) -> Result<Vec<Vec<f32>>> {
+    if store.is_empty() {
+        return Err(PexesoError::EmptyInput("pivot selection over empty store"));
+    }
+    if k == 0 {
+        return Err(PexesoError::InvalidParameter("zero pivots requested".into()));
+    }
+    let k = k.min(store.len());
+    match strategy {
+        PivotSelection::Random => Ok(random_pivots(store, k, seed)),
+        PivotSelection::FarthestFirst => Ok(farthest_first(store, metric, k, seed)),
+        PivotSelection::Pca => Ok(pca_pivots(store, metric, k, seed)),
+    }
+}
+
+fn random_pivots(store: &VectorStore, k: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..store.len()).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(k);
+    idx.into_iter().map(|i| store.get_raw(i).to_vec()).collect()
+}
+
+/// Farthest-first traversal: greedily add the point maximising the minimum
+/// distance to the already-chosen pivots.
+fn farthest_first<M: Metric>(store: &VectorStore, metric: &M, k: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first = rng.gen_range(0..store.len());
+    let mut chosen_idx = vec![first];
+    let mut min_dist: Vec<f32> = (0..store.len())
+        .map(|i| metric.dist(store.get_raw(i), store.get_raw(first)))
+        .collect();
+    while chosen_idx.len() < k {
+        let (best, _) = min_dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty store");
+        chosen_idx.push(best);
+        for i in 0..store.len() {
+            let d = metric.dist(store.get_raw(i), store.get_raw(best));
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    chosen_idx.into_iter().map(|i| store.get_raw(i).to_vec()).collect()
+}
+
+/// Estimate the top `c` principal directions of (a sample of) the data by
+/// power iteration with Gram–Schmidt deflation.
+fn principal_directions(store: &VectorStore, c: usize, seed: u64) -> Vec<Vec<f32>> {
+    let dim = store.dim();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9c1a_2b3c_4d5e_6f70);
+    let n = store.len();
+    let sample_idx: Vec<usize> = if n <= PCA_SAMPLE {
+        (0..n).collect()
+    } else {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(PCA_SAMPLE);
+        idx
+    };
+
+    let mut mean = vec![0.0f32; dim];
+    for &i in &sample_idx {
+        for (m, x) in mean.iter_mut().zip(store.get_raw(i)) {
+            *m += x;
+        }
+    }
+    let inv_n = 1.0 / sample_idx.len() as f32;
+    mean.iter_mut().for_each(|m| *m *= inv_n);
+
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(c);
+    let mut centered = vec![0.0f32; dim];
+    for _ in 0..c {
+        // Random start direction.
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        normalize(&mut v);
+        for _ in 0..POWER_ITERS {
+            let mut next = vec![0.0f32; dim];
+            for &i in &sample_idx {
+                let x = store.get_raw(i);
+                for (cdst, (xv, mv)) in centered.iter_mut().zip(x.iter().zip(mean.iter())) {
+                    *cdst = xv - mv;
+                }
+                let proj: f32 = centered.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                for (nv, cv) in next.iter_mut().zip(centered.iter()) {
+                    *nv += proj * cv;
+                }
+            }
+            // Deflate: remove components already found.
+            for comp in &components {
+                let d: f32 = next.iter().zip(comp.iter()).map(|(a, b)| a * b).sum();
+                for (nv, cv) in next.iter_mut().zip(comp.iter()) {
+                    *nv -= d * cv;
+                }
+            }
+            if normalize(&mut next) == 0.0 {
+                // Degenerate data (e.g. fewer distinct points than
+                // components): fall back to a random orthogonal direction.
+                next = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                for comp in &components {
+                    let d: f32 = next.iter().zip(comp.iter()).map(|(a, b)| a * b).sum();
+                    for (nv, cv) in next.iter_mut().zip(comp.iter()) {
+                        *nv -= d * cv;
+                    }
+                }
+                normalize(&mut next);
+            }
+            v = next;
+        }
+        components.push(v);
+    }
+    components
+}
+
+/// PCA pivots: for each principal direction take the extreme data points
+/// (max and min projection), dedupe, top up with farthest-first if needed.
+fn pca_pivots<M: Metric>(store: &VectorStore, metric: &M, k: usize, seed: u64) -> Vec<Vec<f32>> {
+    let dim = store.dim();
+    let n_dirs = k.div_ceil(2).max(1);
+    let dirs = principal_directions(store, n_dirs, seed);
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for dir in &dirs {
+        let mut best_hi = (0usize, f32::NEG_INFINITY);
+        let mut best_lo = (0usize, f32::INFINITY);
+        for i in 0..store.len() {
+            let x = store.get_raw(i);
+            let mut proj = 0.0f32;
+            for d in 0..dim {
+                proj += x[d] * dir[d];
+            }
+            if proj > best_hi.1 {
+                best_hi = (i, proj);
+            }
+            if proj < best_lo.1 {
+                best_lo = (i, proj);
+            }
+        }
+        for idx in [best_hi.0, best_lo.0] {
+            if chosen.len() < k && !chosen.contains(&idx) {
+                chosen.push(idx);
+            }
+        }
+    }
+
+    let mut pivots: Vec<Vec<f32>> = chosen.iter().map(|&i| store.get_raw(i).to_vec()).collect();
+    // Top up with farthest-first from the chosen set if extremes collided.
+    while pivots.len() < k {
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for i in 0..store.len() {
+            let x = store.get_raw(i);
+            let d = pivots
+                .iter()
+                .map(|p| metric.dist(x, p))
+                .fold(f32::INFINITY, f32::min);
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        pivots.push(store.get_raw(best.0).to_vec());
+    }
+    pivots
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        let inv = norm.recip();
+        v.iter_mut().for_each(|x| *x *= inv);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Euclidean;
+
+    fn gaussian_store(n: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            s.push(&v).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn all_strategies_return_k_pivots() {
+        let s = gaussian_store(500, 8, 1);
+        for strat in [PivotSelection::Pca, PivotSelection::Random, PivotSelection::FarthestFirst] {
+            let p = select_pivots(&s, &Euclidean, 5, strat, 7).unwrap();
+            assert_eq!(p.len(), 5, "{strat:?}");
+            assert!(p.iter().all(|v| v.len() == 8));
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_store_size() {
+        let s = gaussian_store(3, 4, 2);
+        let p = select_pivots(&s, &Euclidean, 10, PivotSelection::Random, 7).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn empty_store_is_error() {
+        let s = VectorStore::new(4);
+        assert!(select_pivots(&s, &Euclidean, 2, PivotSelection::Pca, 7).is_err());
+    }
+
+    #[test]
+    fn zero_pivots_is_error() {
+        let s = gaussian_store(10, 4, 3);
+        assert!(select_pivots(&s, &Euclidean, 0, PivotSelection::Pca, 7).is_err());
+    }
+
+    #[test]
+    fn pca_finds_the_stretched_axis_extremes() {
+        // Data stretched 10x along dim 0: the two PCA pivots should be the
+        // extreme points along that axis.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = VectorStore::new(4);
+        for _ in 0..400 {
+            let v = [
+                rng.gen_range(-10.0f32..10.0),
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+            ];
+            s.push(&v).unwrap();
+        }
+        let p = select_pivots(&s, &Euclidean, 2, PivotSelection::Pca, 7).unwrap();
+        // Both pivots should be near the extremes of dim 0.
+        assert!(p.iter().all(|v| v[0].abs() > 7.0), "pivots {:?}", p);
+        assert!(p[0][0] * p[1][0] < 0.0, "pivots should sit on opposite ends");
+    }
+
+    #[test]
+    fn farthest_first_pivots_are_spread() {
+        let s = gaussian_store(300, 6, 6);
+        let p = select_pivots(&s, &Euclidean, 4, PivotSelection::FarthestFirst, 7).unwrap();
+        // Pairwise distances among chosen pivots should all be substantial
+        // compared to the average pairwise distance of the data.
+        for i in 0..p.len() {
+            for j in (i + 1)..p.len() {
+                assert!(Euclidean.dist(&p[i], &p[j]) > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let s = gaussian_store(200, 8, 8);
+        for strat in [PivotSelection::Pca, PivotSelection::Random, PivotSelection::FarthestFirst] {
+            let a = select_pivots(&s, &Euclidean, 3, strat, 9).unwrap();
+            let b = select_pivots(&s, &Euclidean, 3, strat, 9).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn pca_beats_random_on_filter_power_proxy() {
+        // Proxy for Fig. 7a quality: the variance of mapped coordinates
+        // (distances to pivots) should be larger under PCA pivots.
+        let s = {
+            let mut rng = StdRng::seed_from_u64(10);
+            let mut s = VectorStore::new(8);
+            for _ in 0..500 {
+                let mut v = vec![0.0f32; 8];
+                v[0] = rng.gen_range(-5.0..5.0);
+                for x in v.iter_mut().skip(1) {
+                    *x = rng.gen_range(-0.5..0.5);
+                }
+                s.push(&v).unwrap();
+            }
+            s
+        };
+        let var_of = |pivots: &[Vec<f32>]| -> f32 {
+            let mut acc = 0.0f32;
+            for p in pivots {
+                let d: Vec<f32> = (0..s.len()).map(|i| Euclidean.dist(s.get_raw(i), p)).collect();
+                let mean = d.iter().sum::<f32>() / d.len() as f32;
+                acc += d.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d.len() as f32;
+            }
+            acc / pivots.len() as f32
+        };
+        let pca = select_pivots(&s, &Euclidean, 2, PivotSelection::Pca, 7).unwrap();
+        let rnd = select_pivots(&s, &Euclidean, 2, PivotSelection::Random, 7).unwrap();
+        assert!(
+            var_of(&pca) > var_of(&rnd) * 0.9,
+            "pca {} rnd {}",
+            var_of(&pca),
+            var_of(&rnd)
+        );
+    }
+}

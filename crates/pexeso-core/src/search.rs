@@ -1,0 +1,748 @@
+//! The PEXESO index and search entry points (Algorithm 3).
+//!
+//! [`PexesoIndex::build`] runs the offline phase: pivot selection, pivot
+//! mapping, `HG_RV` construction, and the inverted index.
+//! [`PexesoIndex::search`] runs the online phase: map the query column,
+//! build `HG_Q`, quick-browse, block, verify. Results are exact — identical
+//! to the naive scan — for every lemma-flag combination.
+
+use std::time::{Duration, Instant};
+
+use crate::block::{block, quick_browse};
+use crate::column::{ColumnId, ColumnSet};
+use crate::config::{IndexOptions, JoinThreshold, LemmaFlags, Tau};
+use crate::error::{PexesoError, Result};
+use crate::grid::{GridParams, HierarchicalGrid};
+use crate::invindex::InvertedIndex;
+use crate::lemmas;
+use crate::mapping::MappedVectors;
+use crate::metric::Metric;
+use crate::pivot::select_pivots;
+use crate::stats::SearchStats;
+use crate::util::FastMap;
+use crate::vector::{VectorId, VectorStore};
+use crate::verify::{verify, VerifyContext, VerifyOutcome};
+
+/// One joinable column in a search result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    pub column: ColumnId,
+    /// Matched query vectors. A lower bound when the column was confirmed
+    /// early (the search stops counting once `T` is reached).
+    pub match_count: u32,
+}
+
+/// Joinable-column search result with instrumentation.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Joinable columns, ascending by column id.
+    pub hits: Vec<SearchHit>,
+    pub stats: SearchStats,
+}
+
+/// How candidate pairs are verified against the inverted index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyStrategy {
+    /// Generation-stamp bookkeeping (default): same skip behaviour as the
+    /// paper's DaaT without the priority queue.
+    #[default]
+    Stamps,
+    /// The paper's literal document-at-a-time cursor merge with a
+    /// priority queue over per-cell postings cursors.
+    DaatHeap,
+}
+
+/// Per-search knobs beyond the thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    pub flags: LemmaFlags,
+    /// Enable the quick-browsing shortcut (Section III-C); on by default.
+    pub quick_browse: bool,
+    /// Verification implementation; identical results either way.
+    pub verify_strategy: VerifyStrategy,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            flags: LemmaFlags::all(),
+            quick_browse: true,
+            verify_strategy: VerifyStrategy::Stamps,
+        }
+    }
+}
+
+/// The PEXESO index over one repository of columns.
+#[derive(Debug, Clone)]
+pub struct PexesoIndex<M: Metric> {
+    metric: M,
+    options: IndexOptions,
+    grid_params: GridParams,
+    pivots: Vec<Vec<f32>>,
+    columns: ColumnSet,
+    rv_mapped: MappedVectors,
+    vec_col: Vec<u32>,
+    hgrv: HierarchicalGrid,
+    inv: InvertedIndex,
+    /// Tombstones for lazily-deleted columns (Section III-E maintenance).
+    deleted: Vec<bool>,
+    build_time: Duration,
+}
+
+impl<M: Metric> PexesoIndex<M> {
+    /// Offline construction. When `options.levels` is `None` the grid depth
+    /// is chosen by the cost model of Section III-E.
+    pub fn build(columns: ColumnSet, metric: M, options: IndexOptions) -> Result<Self> {
+        options.validate()?;
+        if columns.n_columns() == 0 {
+            return Err(PexesoError::EmptyInput("repository with zero columns"));
+        }
+        let started = Instant::now();
+        let pivots = select_pivots(
+            columns.store(),
+            &metric,
+            options.num_pivots,
+            options.pivot_selection,
+            options.seed,
+        )?;
+        let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None)?;
+        // Span covers unit-vector repositories and anything larger actually
+        // observed; queries are validated against it at search time.
+        let span = metric
+            .max_dist_unit(columns.dim())
+            .max(rv_mapped.max_coord())
+            + 1e-4;
+        let levels = match options.levels {
+            Some(m) => m,
+            None => crate::cost::choose_levels(&columns, &rv_mapped, &pivots, &metric, span, options.seed)?,
+        };
+        let grid_params = GridParams::new(pivots.len(), levels, span)?;
+        let hgrv = HierarchicalGrid::build_keys_only(grid_params.clone(), &rv_mapped)?;
+        let vec_col = columns.vector_to_column();
+        let inv = InvertedIndex::build(&grid_params, &rv_mapped, &vec_col)?;
+        let deleted = vec![false; columns.n_columns()];
+        Ok(Self {
+            metric,
+            options,
+            grid_params,
+            pivots,
+            columns,
+            rv_mapped,
+            vec_col,
+            hgrv,
+            inv,
+            deleted,
+            build_time: started.elapsed(),
+        })
+    }
+
+    /// Online search with default options.
+    pub fn search(&self, query: &VectorStore, tau: Tau, t: JoinThreshold) -> Result<SearchResult> {
+        self.search_with(query, tau, t, SearchOptions::default())
+    }
+
+    /// Online search with explicit lemma flags / quick-browse control.
+    pub fn search_with(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+    ) -> Result<SearchResult> {
+        if query.is_empty() {
+            return Err(PexesoError::EmptyInput("query column with zero vectors"));
+        }
+        if query.dim() != self.columns.dim() {
+            return Err(PexesoError::DimensionMismatch {
+                expected: self.columns.dim(),
+                got: query.dim(),
+            });
+        }
+        let tau = tau.resolve(&self.metric, self.columns.dim())?;
+        let t_abs = t.resolve(query.len())?;
+        let mut stats = SearchStats::new();
+        let total_start = Instant::now();
+
+        // Map the query column into the pivot space.
+        let query_mapped =
+            MappedVectors::build(query, &self.pivots, &self.metric, Some(&mut stats.mapping_distances))?;
+        if query_mapped.max_coord() > self.grid_params.span {
+            return Err(PexesoError::InvalidParameter(format!(
+                "query vector maps outside the pivot space (coordinate {} > span {}); \
+                 normalise query vectors like the repository",
+                query_mapped.max_coord(),
+                self.grid_params.span
+            )));
+        }
+        let hgq = HierarchicalGrid::build(self.grid_params.clone(), &query_mapped)?;
+
+        // Quick browsing, then the dual-grid traversal.
+        let block_start = Instant::now();
+        let (handled, seeded) = if opts.quick_browse {
+            let mut seeded = FastMap::default();
+            let handled = quick_browse(&hgq, &self.inv, &mut seeded, &mut stats);
+            (Some(handled), seeded)
+        } else {
+            (None, FastMap::default())
+        };
+        let blocked = block(
+            &hgq,
+            &self.hgrv,
+            &query_mapped,
+            tau,
+            opts.flags,
+            handled.as_ref(),
+            seeded,
+            &mut stats,
+        );
+        stats.block_time = block_start.elapsed();
+
+        // Verification.
+        let verify_start = Instant::now();
+        let ctx = VerifyContext {
+            columns: &self.columns,
+            vec_col: &self.vec_col,
+            rv_mapped: &self.rv_mapped,
+            inv: &self.inv,
+            metric: &self.metric,
+            query,
+            query_mapped: &query_mapped,
+            tau,
+            t_abs,
+            flags: opts.flags,
+            deleted: Some(&self.deleted),
+        };
+        let outcome: VerifyOutcome = match opts.verify_strategy {
+            VerifyStrategy::Stamps => verify(&ctx, &blocked, &mut stats),
+            VerifyStrategy::DaatHeap => crate::daat::verify_daat(&ctx, &blocked, &mut stats),
+        };
+        stats.verify_time = verify_start.elapsed();
+        stats.total_time = total_start.elapsed();
+
+        let hits = outcome
+            .joinable
+            .iter()
+            .map(|&c| SearchHit { column: c, match_count: outcome.match_counts[c.0 as usize] })
+            .collect();
+        Ok(SearchResult { hits, stats })
+    }
+
+    /// Top-k joinable-column search: the `k` non-deleted columns with the
+    /// largest number of matching query records (ties broken by column id).
+    /// Runs the same block-and-verify machinery with early termination
+    /// disabled so every count is exact — an extension beyond the paper's
+    /// threshold-form query, convenient when no good `T` is known a priori.
+    pub fn search_topk(&self, query: &VectorStore, tau: Tau, k: usize) -> Result<SearchResult> {
+        if k == 0 {
+            return Err(PexesoError::InvalidParameter("k must be positive".into()));
+        }
+        if query.is_empty() {
+            return Err(PexesoError::EmptyInput("query column with zero vectors"));
+        }
+        if query.dim() != self.columns.dim() {
+            return Err(PexesoError::DimensionMismatch {
+                expected: self.columns.dim(),
+                got: query.dim(),
+            });
+        }
+        let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
+        let mut stats = SearchStats::new();
+        let total_start = Instant::now();
+        let query_mapped =
+            MappedVectors::build(query, &self.pivots, &self.metric, Some(&mut stats.mapping_distances))?;
+        if query_mapped.max_coord() > self.grid_params.span {
+            return Err(PexesoError::InvalidParameter(
+                "query vector maps outside the pivot space; normalise query vectors".into(),
+            ));
+        }
+        let hgq = HierarchicalGrid::build(self.grid_params.clone(), &query_mapped)?;
+        let block_start = Instant::now();
+        let mut seeded = FastMap::default();
+        let handled = quick_browse(&hgq, &self.inv, &mut seeded, &mut stats);
+        let blocked = block(
+            &hgq,
+            &self.hgrv,
+            &query_mapped,
+            tau_abs,
+            LemmaFlags::all(),
+            Some(&handled),
+            seeded,
+            &mut stats,
+        );
+        stats.block_time = block_start.elapsed();
+
+        let verify_start = Instant::now();
+        let ctx = VerifyContext {
+            columns: &self.columns,
+            vec_col: &self.vec_col,
+            rv_mapped: &self.rv_mapped,
+            inv: &self.inv,
+            metric: &self.metric,
+            query,
+            query_mapped: &query_mapped,
+            tau: tau_abs,
+            t_abs: query.len() + 1, // disables early termination: exact counts
+            flags: LemmaFlags::all(),
+            deleted: Some(&self.deleted),
+        };
+        let outcome = verify(&ctx, &blocked, &mut stats);
+        stats.verify_time = verify_start.elapsed();
+        stats.total_time = total_start.elapsed();
+
+        let mut ranked: Vec<SearchHit> = outcome
+            .match_counts
+            .iter()
+            .enumerate()
+            .filter(|&(c, &count)| count > 0 && !self.deleted[c])
+            .map(|(c, &count)| SearchHit { column: ColumnId(c as u32), match_count: count })
+            .collect();
+        ranked.sort_by(|a, b| b.match_count.cmp(&a.match_count).then(a.column.cmp(&b.column)));
+        ranked.truncate(k);
+        Ok(SearchResult { hits: ranked, stats })
+    }
+
+    /// Append a new column online (Section III-E: O((|P|+m)·|s|) for the
+    /// pivot mapping and grid insertions, O(1) per posting). The appended
+    /// vectors must map inside the existing pivot-space span (guaranteed
+    /// for unit-normalised data); otherwise the index must be rebuilt.
+    pub fn append_column<'a>(
+        &mut self,
+        table_name: &str,
+        column_name: &str,
+        external_id: u64,
+        vectors: impl IntoIterator<Item = &'a [f32]>,
+    ) -> Result<ColumnId> {
+        let col_id = self.columns.add_column(table_name, column_name, external_id, vectors)?;
+        let meta = self.columns.column(col_id).clone();
+        for vid in meta.vector_range() {
+            let v = self.columns.store().get_raw(vid as usize);
+            let mapped: Vec<f32> = self.pivots.iter().map(|p| self.metric.dist(v, p)).collect();
+            if mapped.iter().any(|&c| c > self.grid_params.span) {
+                return Err(PexesoError::InvalidParameter(format!(
+                    "appended vector maps outside the pivot space (> {}); rebuild the index",
+                    self.grid_params.span
+                )));
+            }
+            self.rv_mapped.push(&mapped)?;
+            let leaf = self.grid_params.leaf_key(&mapped);
+            self.hgrv.insert(leaf, vid);
+            self.inv.append_vector(leaf, col_id.0, vid)?;
+            self.vec_col.push(col_id.0);
+        }
+        self.deleted.push(false);
+        Ok(col_id)
+    }
+
+    /// Delete a column lazily: O(1), the paper's deletion mode. Postings
+    /// and grid cells are skipped at query time; call
+    /// [`PexesoIndex::compact`] to reclaim space.
+    pub fn remove_column(&mut self, column: ColumnId) -> Result<()> {
+        let c = column.0 as usize;
+        if c >= self.deleted.len() {
+            return Err(PexesoError::InvalidParameter(format!("no column {c}")));
+        }
+        self.deleted[c] = true;
+        Ok(())
+    }
+
+    /// Whether a column has been tombstoned.
+    pub fn is_deleted(&self, column: ColumnId) -> bool {
+        self.deleted.get(column.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of live (non-deleted) columns.
+    pub fn live_columns(&self) -> usize {
+        self.deleted.iter().filter(|&&d| !d).count()
+    }
+
+    /// Rebuild without tombstoned columns, reclaiming their space.
+    pub fn compact(self) -> Result<Self> {
+        if self.deleted.iter().all(|&d| !d) {
+            return Ok(self);
+        }
+        let mut fresh = ColumnSet::new(self.columns.dim());
+        for (c, meta) in self.columns.columns().iter().enumerate() {
+            if self.deleted[c] {
+                continue;
+            }
+            fresh.add_column(
+                &meta.table_name,
+                &meta.column_name,
+                meta.external_id,
+                meta.vector_range().map(|v| self.columns.store().get_raw(v as usize)),
+            )?;
+        }
+        Self::build(fresh, self.metric.clone(), self.options.clone())
+    }
+
+    /// All (query vector, target vector) matching pairs between the query
+    /// and one column — the mapping PEXESO presents with each result table.
+    /// Uses Lemma 1/2 filtering; exact.
+    pub fn match_pairs(
+        &self,
+        query: &VectorStore,
+        query_mapped: Option<&MappedVectors>,
+        column: ColumnId,
+        tau: Tau,
+    ) -> Result<Vec<(u32, VectorId)>> {
+        let tau = tau.resolve(&self.metric, self.columns.dim())?;
+        let owned;
+        let qm = match query_mapped {
+            Some(m) => m,
+            None => {
+                owned = MappedVectors::build(query, &self.pivots, &self.metric, None)?;
+                &owned
+            }
+        };
+        let meta = self.columns.column(column);
+        let mut out = Vec::new();
+        for q in 0..query.len() {
+            let qmap = qm.get(q);
+            let qv = query.get_raw(q);
+            for v in meta.vector_range() {
+                let xm = self.rv_mapped.get(v as usize);
+                if lemmas::lemma1_filter(qmap, xm, tau) {
+                    continue;
+                }
+                let is_match = lemmas::lemma2_match(qmap, xm, tau)
+                    || self.metric.dist(qv, self.columns.store().get_raw(v as usize)) <= tau;
+                if is_match {
+                    out.push((q as u32, VectorId(v)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exact joinability ratio of one column (no early termination).
+    pub fn joinability(&self, query: &VectorStore, column: ColumnId, tau: Tau) -> Result<f64> {
+        let pairs = self.match_pairs(query, None, column, tau)?;
+        let mut matched = vec![false; query.len()];
+        for (q, _) in pairs {
+            matched[q as usize] = true;
+        }
+        Ok(matched.iter().filter(|&&m| m).count() as f64 / query.len() as f64)
+    }
+
+    pub fn columns(&self) -> &ColumnSet {
+        &self.columns
+    }
+
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    pub fn options(&self) -> &IndexOptions {
+        &self.options
+    }
+
+    pub fn grid_params(&self) -> &GridParams {
+        &self.grid_params
+    }
+
+    pub fn pivots(&self) -> &[Vec<f32>] {
+        &self.pivots
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.grid_params.levels
+    }
+
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    pub fn inverted_index(&self) -> &InvertedIndex {
+        &self.inv
+    }
+
+    pub fn rv_mapped(&self) -> &MappedVectors {
+        &self.rv_mapped
+    }
+
+    /// Estimated resident size of the *index structures* in bytes (grid +
+    /// inverted index + mapped vectors + pivots + vec→col map), excluding
+    /// the raw table-repository vectors, matching the paper's index-size
+    /// accounting (Fig. 6b).
+    pub fn index_bytes(&self) -> usize {
+        self.hgrv.approx_bytes()
+            + self.inv.approx_bytes()
+            + self.rv_mapped.raw_data().len() * 4
+            + self.vec_col.len() * 4
+            + self.pivots.iter().map(|p| p.len() * 4).sum::<usize>()
+    }
+
+    /// Size of the raw vector data (repository storage).
+    pub fn data_bytes(&self) -> usize {
+        self.columns.store().raw_data().len() * 4
+    }
+
+    /// Reassemble from persisted parts (grid and inverted index are rebuilt
+    /// deterministically from the mapped vectors).
+    pub(crate) fn from_parts(
+        columns: ColumnSet,
+        pivots: Vec<Vec<f32>>,
+        rv_mapped: MappedVectors,
+        options: IndexOptions,
+        grid_params: GridParams,
+        metric: M,
+    ) -> Result<Self> {
+        if rv_mapped.len() != columns.n_vectors() {
+            return Err(PexesoError::Corrupt(format!(
+                "mapped vectors {} != repository vectors {}",
+                rv_mapped.len(),
+                columns.n_vectors()
+            )));
+        }
+        let started = Instant::now();
+        let hgrv = HierarchicalGrid::build_keys_only(grid_params.clone(), &rv_mapped)?;
+        let vec_col = columns.vector_to_column();
+        let inv = InvertedIndex::build(&grid_params, &rv_mapped, &vec_col)?;
+        let deleted = vec![false; columns.n_columns()];
+        Ok(Self {
+            metric,
+            options,
+            grid_params,
+            pivots,
+            columns,
+            rv_mapped,
+            vec_col,
+            hgrv,
+            inv,
+            deleted,
+            build_time: started.elapsed(),
+        })
+    }
+}
+
+/// Exhaustive-scan reference: the ground-truth answer to the joinable
+/// column search problem. Used by tests, the cost model justification, and
+/// the baseline crate. Supports the same early-termination rule on `T` as
+/// the accelerated methods when `early_terminate` is set.
+pub fn naive_search<M: Metric>(
+    columns: &ColumnSet,
+    metric: &M,
+    query: &VectorStore,
+    tau: Tau,
+    t: JoinThreshold,
+    early_terminate: bool,
+) -> Result<(Vec<SearchHit>, SearchStats)> {
+    if query.is_empty() {
+        return Err(PexesoError::EmptyInput("query column with zero vectors"));
+    }
+    let tau = tau.resolve(metric, columns.dim())?;
+    let t_abs = t.resolve(query.len())?;
+    let mut stats = SearchStats::new();
+    let start = Instant::now();
+    let mut hits = Vec::new();
+    for (ci, col) in columns.columns().iter().enumerate() {
+        let mut count = 0u32;
+        let n_q = query.len();
+        for (qi, q) in query.iter().enumerate() {
+            let mut matched = false;
+            for v in col.vector_range() {
+                stats.distance_computations += 1;
+                if metric.dist(q, columns.store().get_raw(v as usize)) <= tau {
+                    matched = true;
+                    break;
+                }
+            }
+            if matched {
+                count += 1;
+                if early_terminate && count as usize >= t_abs {
+                    break;
+                }
+            } else if early_terminate {
+                // Lemma 7 applies to any method: remaining query vectors
+                // cannot reach T.
+                let remaining = n_q - qi - 1;
+                if (count as usize) + remaining < t_abs {
+                    break;
+                }
+            }
+        }
+        if count as usize >= t_abs {
+            hits.push(SearchHit { column: ColumnId(ci as u32), match_count: count });
+        }
+    }
+    stats.total_time = start.elapsed();
+    stats.verify_time = stats.total_time;
+    Ok((hits, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PivotSelection;
+    use crate::metric::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n);
+        v
+    }
+
+    fn instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (ColumnSet, VectorStore) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 16;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..n_cols {
+            let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for _ in 0..nq {
+            let v = unit(&mut rng, dim);
+            query.push(&v).unwrap();
+        }
+        (columns, query)
+    }
+
+    fn build(columns: ColumnSet, pivots: usize, levels: usize) -> PexesoIndex<Euclidean> {
+        PexesoIndex::build(
+            columns,
+            Euclidean,
+            IndexOptions {
+                num_pivots: pivots,
+                levels: Some(levels),
+                pivot_selection: PivotSelection::Pca,
+                seed: 7,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn search_equals_naive_across_settings() {
+        for seed in [1u64, 2, 3] {
+            let (columns, query) = instance(seed, 15, 25, 10);
+            let index = build(columns.clone(), 4, 4);
+            for tau in [Tau::Ratio(0.04), Tau::Ratio(0.2), Tau::Absolute(0.8)] {
+                for t in [JoinThreshold::Ratio(0.2), JoinThreshold::Ratio(0.6), JoinThreshold::Count(1)] {
+                    let (naive, _) =
+                        naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
+                    let result = index.search(&query, tau, t).unwrap();
+                    let got: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+                    let expected: Vec<ColumnId> = naive.iter().map(|h| h.column).collect();
+                    assert_eq!(got, expected, "seed={seed} tau={tau:?} t={t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_correct_for_every_pivot_and_level_combo() {
+        let (columns, query) = instance(10, 10, 20, 8);
+        let tau = Tau::Ratio(0.15);
+        let t = JoinThreshold::Ratio(0.4);
+        let (naive, _) = naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
+        let expected: Vec<ColumnId> = naive.iter().map(|h| h.column).collect();
+        for pivots in [1usize, 3, 5] {
+            for levels in [1usize, 3, 6, 8] {
+                let index = build(columns.clone(), pivots, levels);
+                let result = index.search(&query, tau, t).unwrap();
+                let got: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+                assert_eq!(got, expected, "|P|={pivots} m={levels}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let (columns, _) = instance(4, 3, 5, 1);
+        let index = build(columns, 2, 2);
+        let empty = VectorStore::new(16);
+        assert!(index.search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1)).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let (columns, _) = instance(5, 3, 5, 1);
+        let index = build(columns, 2, 2);
+        let mut q = VectorStore::new(8);
+        q.push(&[0.0; 8]).unwrap();
+        assert!(matches!(
+            index.search(&q, Tau::Ratio(0.1), JoinThreshold::Count(1)),
+            Err(PexesoError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_repository_rejected() {
+        let columns = ColumnSet::new(4);
+        assert!(PexesoIndex::build(columns, Euclidean, IndexOptions::default()).is_err());
+    }
+
+    #[test]
+    fn match_pairs_and_joinability_are_exact() {
+        let (columns, query) = instance(6, 6, 12, 6);
+        let index = build(columns.clone(), 3, 4);
+        let tau = Tau::Ratio(0.25);
+        let tau_abs = tau.resolve(&Euclidean, 16).unwrap();
+        for c in 0..columns.n_columns() {
+            let col = ColumnId(c as u32);
+            let pairs = index.match_pairs(&query, None, col, tau).unwrap();
+            // Brute-force the expected pairs.
+            let meta = columns.column(col);
+            let mut expected = Vec::new();
+            for q in 0..query.len() {
+                for v in meta.vector_range() {
+                    if Euclidean.dist(query.get_raw(q), columns.store().get_raw(v as usize)) <= tau_abs {
+                        expected.push((q as u32, VectorId(v)));
+                    }
+                }
+            }
+            assert_eq!(pairs, expected, "column {c}");
+            let jn = index.joinability(&query, col, tau).unwrap();
+            let mut matched = vec![false; query.len()];
+            for (q, _) in &expected {
+                matched[*q as usize] = true;
+            }
+            let expected_jn = matched.iter().filter(|&&m| m).count() as f64 / query.len() as f64;
+            assert!((jn - expected_jn).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unnormalised_query_outside_span_is_rejected() {
+        let (columns, _) = instance(7, 4, 8, 1);
+        let index = build(columns, 3, 3);
+        let mut q = VectorStore::new(16);
+        q.push(&[10.0; 16]).unwrap(); // far outside the unit ball
+        let err = index.search(&q, Tau::Ratio(0.1), JoinThreshold::Count(1));
+        assert!(matches!(err, Err(PexesoError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn naive_early_termination_matches_exact_answer_set() {
+        let (columns, query) = instance(8, 12, 20, 9);
+        let tau = Tau::Ratio(0.2);
+        let t = JoinThreshold::Ratio(0.5);
+        let (a, _) = naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
+        let (b, _) = naive_search(&columns, &Euclidean, &query, tau, t, true).unwrap();
+        let ids = |v: &[SearchHit]| v.iter().map(|h| h.column).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn index_size_accounting_positive_and_ordered() {
+        let (columns, _) = instance(9, 8, 30, 1);
+        let index = build(columns, 4, 4);
+        assert!(index.index_bytes() > 0);
+        assert!(index.data_bytes() > 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (columns, query) = instance(11, 10, 25, 8);
+        let index = build(columns, 4, 4);
+        let r = index.search(&query, Tau::Ratio(0.2), JoinThreshold::Ratio(0.4)).unwrap();
+        assert!(r.stats.mapping_distances > 0);
+        assert!(r.stats.candidate_pairs + r.stats.matching_pairs + r.stats.quick_browse_pairs > 0);
+        assert!(r.stats.total_time >= r.stats.block_time);
+    }
+}

@@ -1,0 +1,93 @@
+//! Search instrumentation.
+//!
+//! Figures 6a and 9 of the paper report distance-computation counts and the
+//! contribution of each lemma; Table VI splits blocking from verification
+//! time. [`SearchStats`] captures all of it in one pass-through struct so
+//! experiments don't need a second instrumented code path.
+
+use std::time::Duration;
+
+/// Counters and timings of one joinable-column search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Exact d(·,·) computations during verification (the paper's Fig. 6a
+    /// metric).
+    pub distance_computations: u64,
+    /// Distances computed while pivot-mapping the query column.
+    pub mapping_distances: u64,
+    /// Target vectors discarded by Lemma 1 during verification.
+    pub lemma1_filtered: u64,
+    /// Target vectors accepted by Lemma 2 during verification.
+    pub lemma2_matched: u64,
+    /// Cell pairs pruned by Lemma 4 / vectors-cell prunes by Lemma 3.
+    pub cell_pairs_filtered: u64,
+    /// Cell pairs fully matched by Lemma 6 / vector-cell by Lemma 5.
+    pub cell_pairs_matched: u64,
+    /// ⟨query vector, leaf cell⟩ candidate pairs produced by blocking.
+    pub candidate_pairs: u64,
+    /// ⟨query vector, leaf cell⟩ matching pairs produced by blocking.
+    pub matching_pairs: u64,
+    /// Candidate pairs emitted directly by quick browsing.
+    pub quick_browse_pairs: u64,
+    /// Columns skipped mid-verification because they reached T.
+    pub early_joinable: u64,
+    /// Columns pruned mid-verification by Lemma 7.
+    pub lemma7_pruned: u64,
+    /// Wall-clock time spent blocking (includes quick browsing).
+    pub block_time: Duration,
+    /// Wall-clock time spent verifying.
+    pub verify_time: Duration,
+    /// Total search time (mapping + HG_Q build + block + verify).
+    pub total_time: Duration,
+}
+
+impl SearchStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge counters from another search (used when searching partitions).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.distance_computations += other.distance_computations;
+        self.mapping_distances += other.mapping_distances;
+        self.lemma1_filtered += other.lemma1_filtered;
+        self.lemma2_matched += other.lemma2_matched;
+        self.cell_pairs_filtered += other.cell_pairs_filtered;
+        self.cell_pairs_matched += other.cell_pairs_matched;
+        self.candidate_pairs += other.candidate_pairs;
+        self.matching_pairs += other.matching_pairs;
+        self.quick_browse_pairs += other.quick_browse_pairs;
+        self.early_joinable += other.early_joinable;
+        self.lemma7_pruned += other.lemma7_pruned;
+        self.block_time += other.block_time;
+        self.verify_time += other.verify_time;
+        self.total_time += other.total_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchStats { distance_computations: 5, candidate_pairs: 2, ..Default::default() };
+        let b = SearchStats {
+            distance_computations: 7,
+            candidate_pairs: 1,
+            block_time: Duration::from_millis(3),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.distance_computations, 12);
+        assert_eq!(a.candidate_pairs, 3);
+        assert_eq!(a.block_time, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = SearchStats::new();
+        assert_eq!(s.distance_computations, 0);
+        assert_eq!(s.total_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,421 @@
+//! Verification: Algorithm 2 over the inverted index.
+//!
+//! Matching pairs increment the match map directly; candidate pairs walk
+//! the postings of their leaf cells, filtering vectors with Lemma 1,
+//! accepting with Lemma 2, and paying an exact distance computation only
+//! for the survivors. Two early-termination rules apply per column:
+//!
+//! * **joinable-skip** — once a column's match count reaches `T`, it is
+//!   marked joinable and never touched again;
+//! * **Lemma 7** — once a column has accumulated so many definite
+//!   mismatches that even matching every remaining query vector cannot
+//!   reach `T` (`|Q| − mismatch < T`), it is pruned.
+//!
+//! The paper realises the per-column ordering with a document-at-a-time
+//! cursor merge; we achieve the identical skip behaviour with per-query
+//! generation stamps (`matched`/`seen`), which avoids the priority queue
+//! while still touching each (query vector, column) group once.
+
+use crate::block::BlockOutput;
+use crate::column::{ColumnId, ColumnSet};
+use crate::config::LemmaFlags;
+use crate::invindex::InvertedIndex;
+use crate::lemmas;
+use crate::mapping::MappedVectors;
+use crate::metric::Metric;
+use crate::stats::SearchStats;
+use crate::vector::VectorStore;
+
+/// Everything verification needs to resolve a candidate pair.
+pub struct VerifyContext<'a, M: Metric> {
+    pub columns: &'a ColumnSet,
+    /// Flat vector id → column id map.
+    pub vec_col: &'a [u32],
+    /// Mapped repository vectors (for Lemma 1/2 checks).
+    pub rv_mapped: &'a MappedVectors,
+    pub inv: &'a InvertedIndex,
+    pub metric: &'a M,
+    pub query: &'a VectorStore,
+    pub query_mapped: &'a MappedVectors,
+    pub tau: f32,
+    /// Absolute joinability threshold T. A value larger than the query
+    /// size disables both early-termination rules, yielding exact match
+    /// counts for every column (used by top-k search).
+    pub t_abs: usize,
+    pub flags: LemmaFlags,
+    /// Tombstoned columns to skip entirely (lazy deletion).
+    pub deleted: Option<&'a [bool]>,
+}
+
+/// Result of verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Columns whose joinability reached T, ascending by id.
+    pub joinable: Vec<ColumnId>,
+    /// Per-column matched query-vector counts. Lower bounds for columns
+    /// that hit an early-termination rule.
+    pub match_counts: Vec<u32>,
+    /// Per-column definite-mismatch counts accumulated before termination.
+    pub mismatch_counts: Vec<u32>,
+}
+
+/// Run Algorithm 2.
+pub fn verify<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    blocked: &BlockOutput,
+    stats: &mut SearchStats,
+) -> VerifyOutcome {
+    let n_cols = ctx.columns.n_columns();
+    let n_q = ctx.query.len();
+    // T beyond |Q| can never be reached: early termination stays off and
+    // the loop produces exact per-column counts (top-k mode).
+    let terminable = ctx.t_abs <= n_q;
+    let mut match_counts = vec![0u32; n_cols];
+    let mut mismatch_counts = vec![0u32; n_cols];
+    let mut joinable = vec![false; n_cols];
+    let mut pruned = vec![false; n_cols];
+    if let Some(deleted) = ctx.deleted {
+        debug_assert_eq!(deleted.len(), n_cols);
+        for (p, &d) in pruned.iter_mut().zip(deleted) {
+            *p = d;
+        }
+    }
+    // Generation stamps: gen = q + 1 marks "this query vector".
+    let mut matched_stamp = vec![0u32; n_cols];
+    let mut seen_stamp = vec![0u32; n_cols];
+    let mut seen_list: Vec<u32> = Vec::new();
+
+    // Cursors into the two (query-sorted) pair lists.
+    let mut mi = 0usize;
+    let mut ci = 0usize;
+
+    for q in 0..n_q as u32 {
+        let gen = q + 1;
+
+        // 1. Matching pairs: all postings columns of the cells match q.
+        if mi < blocked.matching.len() && blocked.matching[mi].0 == q {
+            for &cell in &blocked.matching[mi].1 {
+                let Some(postings) = ctx.inv.postings(cell) else { continue };
+                for &col in &postings.cols {
+                    let c = col as usize;
+                    if joinable[c] || pruned[c] || matched_stamp[c] == gen {
+                        continue;
+                    }
+                    matched_stamp[c] = gen;
+                    match_counts[c] += 1;
+                    if terminable && match_counts[c] as usize >= ctx.t_abs {
+                        joinable[c] = true;
+                        stats.early_joinable += 1;
+                    }
+                }
+            }
+            mi += 1;
+        }
+
+        // 2. Candidate pairs: verify cell contents column by column.
+        if ci < blocked.candidates.len() && blocked.candidates[ci].0 == q {
+            let qm = ctx.query_mapped.get(q as usize);
+            let qv = ctx.query.get_raw(q as usize);
+            for &cell in &blocked.candidates[ci].1 {
+                let Some(postings) = ctx.inv.postings(cell) else { continue };
+                for (i, &col) in postings.cols.iter().enumerate() {
+                    let c = col as usize;
+                    if joinable[c] || pruned[c] || matched_stamp[c] == gen {
+                        continue;
+                    }
+                    if seen_stamp[c] != gen {
+                        seen_stamp[c] = gen;
+                        seen_list.push(col);
+                    }
+                    for &vid in postings.vectors_of(i) {
+                        let xm = ctx.rv_mapped.get(vid as usize);
+                        if ctx.flags.lemma1_vector_filter && lemmas::lemma1_filter(qm, xm, ctx.tau) {
+                            stats.lemma1_filtered += 1;
+                            continue;
+                        }
+                        let is_match = if ctx.flags.lemma2_vector_match
+                            && lemmas::lemma2_match(qm, xm, ctx.tau)
+                        {
+                            stats.lemma2_matched += 1;
+                            true
+                        } else {
+                            stats.distance_computations += 1;
+                            let xv = ctx.columns.store().get_raw(vid as usize);
+                            ctx.metric.dist(qv, xv) <= ctx.tau
+                        };
+                        if is_match {
+                            matched_stamp[c] = gen;
+                            match_counts[c] += 1;
+                            if terminable && match_counts[c] as usize >= ctx.t_abs {
+                                joinable[c] = true;
+                                stats.early_joinable += 1;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            ci += 1;
+        }
+
+        // 3. Definite mismatches for q: columns seen in candidates with no
+        //    match found. Blocking guarantees all potentially-matching
+        //    vectors of the column were in the candidate cells, so q can
+        //    never match this column — Lemma 7 may now prune it.
+        for col in seen_list.drain(..) {
+            let c = col as usize;
+            if matched_stamp[c] != gen && !joinable[c] && !pruned[c] {
+                mismatch_counts[c] += 1;
+                if terminable && n_q - (mismatch_counts[c] as usize) < ctx.t_abs {
+                    pruned[c] = true;
+                    stats.lemma7_pruned += 1;
+                }
+            }
+        }
+    }
+
+    let joinable_ids = (0..n_cols)
+        .filter(|&c| joinable[c])
+        .map(|c| ColumnId(c as u32))
+        .collect();
+    VerifyOutcome { joinable: joinable_ids, match_counts, mismatch_counts }
+}
+
+/// Resolve the ⟨vec_col⟩ lookup for callers that track it separately.
+#[inline]
+pub fn column_of(vec_col: &[u32], vid: u32) -> ColumnId {
+    ColumnId(vec_col[vid as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{block, quick_browse};
+    use crate::config::LemmaFlags;
+use crate::util::FastMap;
+    use crate::grid::{GridParams, HierarchicalGrid};
+    use crate::metric::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    
+    /// Reference implementation: exhaustive scan.
+    fn naive_joinable(
+        query: &VectorStore,
+        columns: &ColumnSet,
+        tau: f32,
+        t_abs: usize,
+    ) -> Vec<ColumnId> {
+        let mut out = Vec::new();
+        for (ci, col) in columns.columns().iter().enumerate() {
+            let mut count = 0usize;
+            for q in query.iter() {
+                let matched = col
+                    .vector_range()
+                    .any(|v| Euclidean.dist(q, columns.store().get_raw(v as usize)) <= tau);
+                if matched {
+                    count += 1;
+                }
+            }
+            if count >= t_abs {
+                out.push(ColumnId(ci as u32));
+            }
+        }
+        out
+    }
+
+    fn random_instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (VectorStore, ColumnSet) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 10;
+        let unit = |rng: &mut StdRng| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|x| *x /= n);
+            v
+        };
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..n_cols {
+            let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for _ in 0..nq {
+            let v = unit(&mut rng);
+            query.push(&v).unwrap();
+        }
+        (query, columns)
+    }
+
+    fn run_pexeso_verify(
+        query: &VectorStore,
+        columns: &ColumnSet,
+        tau: f32,
+        t_abs: usize,
+        flags: LemmaFlags,
+        with_quick_browse: bool,
+    ) -> (Vec<ColumnId>, SearchStats) {
+        let metric = Euclidean;
+        let pivots: Vec<Vec<f32>> = (0..3)
+            .map(|i| columns.store().get_raw(i * 5 % columns.n_vectors()).to_vec())
+            .collect();
+        let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+        let q_mapped = MappedVectors::build(query, &pivots, &metric, None).unwrap();
+        let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+        let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+        let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+        let vec_col = columns.vector_to_column();
+        let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+
+        let mut stats = SearchStats::new();
+        let (handled, seeded) = if with_quick_browse {
+            let mut seeded = FastMap::default();
+            let handled = quick_browse(&hgq, &inv, &mut seeded, &mut stats);
+            (Some(handled), seeded)
+        } else {
+            (None, FastMap::default())
+        };
+        let blocked = block(
+            &hgq,
+            &hgrv,
+            &q_mapped,
+            tau,
+            flags,
+            handled.as_ref(),
+            seeded,
+            &mut stats,
+        );
+        let ctx = VerifyContext {
+            columns,
+            vec_col: &vec_col,
+            rv_mapped: &rv_mapped,
+            inv: &inv,
+            metric: &metric,
+            query,
+            query_mapped: &q_mapped,
+            tau,
+            t_abs,
+            flags,
+            deleted: None,
+        };
+        let outcome = verify(&ctx, &blocked, &mut stats);
+        (outcome.joinable, stats)
+    }
+
+    #[test]
+    fn agrees_with_naive_scan() {
+        for seed in 0..5u64 {
+            let (query, columns) = random_instance(seed, 12, 30, 8);
+            for tau in [0.2f32, 0.5, 0.9] {
+                for t_abs in [1usize, 3, 6] {
+                    let expected = naive_joinable(&query, &columns, tau, t_abs);
+                    let (got, _) = run_pexeso_verify(
+                        &query, &columns, tau, t_abs, LemmaFlags::all(), true,
+                    );
+                    assert_eq!(got, expected, "seed={seed} tau={tau} T={t_abs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_under_every_ablation() {
+        let (query, columns) = random_instance(77, 10, 25, 6);
+        let tau = 0.5;
+        let t_abs = 3;
+        let expected = naive_joinable(&query, &columns, tau, t_abs);
+        for flags in [
+            LemmaFlags::all(),
+            LemmaFlags::without_lemma1(),
+            LemmaFlags::without_lemma2(),
+            LemmaFlags::without_lemma34(),
+            LemmaFlags::without_lemma56(),
+        ] {
+            for qb in [true, false] {
+                let (got, _) = run_pexeso_verify(&query, &columns, tau, t_abs, flags, qb);
+                assert_eq!(got, expected, "flags={flags:?} quick_browse={qb}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_prunes_hopeless_columns() {
+        let (query, columns) = random_instance(5, 8, 20, 10);
+        // Very tight tau and T = |Q|: nearly every column should be pruned
+        // long before all 10 query vectors are checked.
+        let (_, stats) = run_pexeso_verify(&query, &columns, 0.05, 10, LemmaFlags::all(), true);
+        assert!(stats.lemma7_pruned > 0, "expected lemma-7 prunes: {stats:?}");
+    }
+
+    #[test]
+    fn early_joinable_triggers_on_loose_thresholds() {
+        let (query, columns) = random_instance(6, 8, 20, 10);
+        let (joinable, stats) =
+            run_pexeso_verify(&query, &columns, 1.5, 1, LemmaFlags::all(), true);
+        assert!(!joinable.is_empty());
+        assert!(stats.early_joinable as usize >= joinable.len());
+    }
+
+    #[test]
+    fn lemma1_reduces_distance_computations() {
+        let (query, columns) = random_instance(7, 10, 40, 8);
+        let (_, with_l1) = run_pexeso_verify(&query, &columns, 0.3, 3, LemmaFlags::all(), true);
+        let (_, without_l1) =
+            run_pexeso_verify(&query, &columns, 0.3, 3, LemmaFlags::without_lemma1(), true);
+        assert!(
+            with_l1.distance_computations <= without_l1.distance_computations,
+            "lemma1 should not increase distance computations: {} vs {}",
+            with_l1.distance_computations,
+            without_l1.distance_computations
+        );
+    }
+
+    #[test]
+    fn match_counts_exact_without_early_termination() {
+        // T = |Q| + 1 is unreachable, so no early termination fires and the
+        // match counts must equal the naive per-column counts.
+        let (query, columns) = random_instance(8, 6, 15, 5);
+        let tau = 0.6;
+        let metric = Euclidean;
+        let naive_counts: Vec<u32> = columns
+            .columns()
+            .iter()
+            .map(|col| {
+                query
+                    .iter()
+                    .filter(|q| {
+                        col.vector_range()
+                            .any(|v| metric.dist(q, columns.store().get_raw(v as usize)) <= tau)
+                    })
+                    .count() as u32
+            })
+            .collect();
+        let pivots: Vec<Vec<f32>> = (0..3).map(|i| columns.store().get_raw(i).to_vec()).collect();
+        let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+        let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+        let params = GridParams::new(3, 3, 2.0 + 1e-4).unwrap();
+        let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+        let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+        let vec_col = columns.vector_to_column();
+        let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+        let mut stats = SearchStats::new();
+        let blocked = block(
+            &hgq, &hgrv, &q_mapped, tau, LemmaFlags::all(), None, FastMap::default(), &mut stats,
+        );
+        let ctx = VerifyContext {
+            columns: &columns,
+            vec_col: &vec_col,
+            rv_mapped: &rv_mapped,
+            inv: &inv,
+            metric: &metric,
+            query: &query,
+            query_mapped: &q_mapped,
+            tau,
+            t_abs: query.len() + 1,
+            flags: LemmaFlags::all(),
+            deleted: None,
+        };
+        let outcome = verify(&ctx, &blocked, &mut stats);
+        assert_eq!(outcome.match_counts, naive_counts);
+        assert!(outcome.joinable.is_empty());
+    }
+}

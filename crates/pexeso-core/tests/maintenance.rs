@@ -1,0 +1,206 @@
+//! Index maintenance (Section III-E) and top-k search: appending a column
+//! must be indistinguishable from a fresh build; deletion must hide
+//! columns; compaction must preserve the live answer set.
+
+use pexeso_core::prelude::*;
+
+fn unit_vec(dim: usize, seed: u64) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+fn column_vecs(dim: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..len).map(|i| unit_vec(dim, seed * 1000 + i as u64)).collect()
+}
+
+fn make_columns(dim: usize, n_cols: usize, len: usize, seed: u64) -> ColumnSet {
+    let mut cs = ColumnSet::new(dim);
+    for c in 0..n_cols {
+        let vecs = column_vecs(dim, len, seed + c as u64);
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        cs.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+    }
+    cs
+}
+
+fn query(dim: usize, n: usize, seed: u64) -> VectorStore {
+    let mut q = VectorStore::new(dim);
+    for i in 0..n {
+        q.push(&unit_vec(dim, seed * 77 + i as u64)).unwrap();
+    }
+    q
+}
+
+fn ids(hits: &[SearchHit]) -> Vec<u32> {
+    hits.iter().map(|h| h.column.0).collect()
+}
+
+#[test]
+fn append_equals_fresh_build() {
+    let dim = 10;
+    // Index built over 8 columns, then 4 appended online.
+    let base = make_columns(dim, 8, 15, 100);
+    let mut index = PexesoIndex::build(base, Euclidean, IndexOptions::default()).unwrap();
+    let mut full = make_columns(dim, 8, 15, 100);
+    for c in 8..12u64 {
+        let vecs = column_vecs(dim, 15, 100 + c);
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        index
+            .append_column("t", &format!("c{c}"), c, refs.clone())
+            .unwrap();
+        full.add_column("t", &format!("c{c}"), c, refs).unwrap();
+    }
+    let q = query(dim, 8, 5);
+    for tau in [Tau::Ratio(0.05), Tau::Ratio(0.2)] {
+        for t in [JoinThreshold::Ratio(0.3), JoinThreshold::Count(1)] {
+            let (expected, _) = naive_search(&full, &Euclidean, &q, tau, t, false).unwrap();
+            let got = index.search(&q, tau, t).unwrap();
+            assert_eq!(
+                ids(&got.hits),
+                expected.iter().map(|h| h.column.0).collect::<Vec<_>>(),
+                "tau={tau:?} t={t:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn append_then_topk_sees_new_column() {
+    let dim = 8;
+    let base = make_columns(dim, 4, 10, 7);
+    let mut index = PexesoIndex::build(base, Euclidean, IndexOptions::default()).unwrap();
+    // Append a column identical to the query: must rank first in top-k.
+    let q = query(dim, 6, 9);
+    let q_vecs: Vec<&[f32]> = (0..q.len()).map(|i| q.get_raw(i)).collect();
+    let new_col = index.append_column("t", "mirror", 99, q_vecs).unwrap();
+    let result = index.search_topk(&q, Tau::Ratio(0.02), 3).unwrap();
+    assert_eq!(result.hits[0].column, new_col);
+    assert_eq!(result.hits[0].match_count as usize, q.len());
+}
+
+#[test]
+fn removed_columns_disappear_and_compact_preserves() {
+    let dim = 10;
+    let columns = make_columns(dim, 10, 12, 50);
+    let mut index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+    let q = query(dim, 6, 3);
+    let tau = Tau::Ratio(0.3);
+    let t = JoinThreshold::Count(1);
+
+    let before = index.search(&q, tau, t).unwrap();
+    assert!(!before.hits.is_empty(), "need hits to delete");
+    let victim = before.hits[0].column;
+    index.remove_column(victim).unwrap();
+    assert!(index.is_deleted(victim));
+    assert_eq!(index.live_columns(), 9);
+
+    let after = index.search(&q, tau, t).unwrap();
+    assert!(!ids(&after.hits).contains(&victim.0), "deleted column still returned");
+    let expected_rest: Vec<u32> =
+        ids(&before.hits).into_iter().filter(|&c| c != victim.0).collect();
+    assert_eq!(ids(&after.hits), expected_rest);
+
+    // Compaction rebuilds without the victim; results on live columns
+    // (identified by external id) are unchanged.
+    let externals_before: Vec<u64> = after
+        .hits
+        .iter()
+        .map(|h| index.columns().column(h.column).external_id)
+        .collect();
+    let compacted = index.compact().unwrap();
+    assert_eq!(compacted.columns().n_columns(), 9);
+    let res = compacted.search(&q, tau, t).unwrap();
+    let externals_after: Vec<u64> = res
+        .hits
+        .iter()
+        .map(|h| compacted.columns().column(h.column).external_id)
+        .collect();
+    assert_eq!(externals_after, externals_before);
+}
+
+#[test]
+fn topk_matches_naive_ranking() {
+    let dim = 10;
+    let columns = make_columns(dim, 12, 14, 11);
+    let index = PexesoIndex::build(columns.clone(), Euclidean, IndexOptions::default()).unwrap();
+    let q = query(dim, 8, 13);
+    let tau = Tau::Ratio(0.25);
+    let tau_abs = tau.resolve(&Euclidean, dim).unwrap();
+
+    // Naive exact counts.
+    let mut counts: Vec<(u32, u32)> = columns
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(c, meta)| {
+            let count = (0..q.len())
+                .filter(|&qi| {
+                    meta.vector_range().any(|v| {
+                        Euclidean.dist(q.get_raw(qi), columns.store().get_raw(v as usize)) <= tau_abs
+                    })
+                })
+                .count() as u32;
+            (c as u32, count)
+        })
+        .filter(|&(_, count)| count > 0)
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    for k in [1usize, 3, 5, 100] {
+        let result = index.search_topk(&q, tau, k).unwrap();
+        let expected: Vec<(u32, u32)> = counts.iter().copied().take(k).collect();
+        let got: Vec<(u32, u32)> =
+            result.hits.iter().map(|h| (h.column.0, h.match_count)).collect();
+        assert_eq!(got, expected, "k={k}");
+    }
+}
+
+#[test]
+fn topk_rejects_bad_inputs() {
+    let columns = make_columns(8, 3, 5, 1);
+    let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+    let q = query(8, 3, 2);
+    assert!(index.search_topk(&q, Tau::Ratio(0.1), 0).is_err());
+    let empty = VectorStore::new(8);
+    assert!(index.search_topk(&empty, Tau::Ratio(0.1), 3).is_err());
+}
+
+#[test]
+fn remove_out_of_range_errors() {
+    let columns = make_columns(8, 3, 5, 2);
+    let mut index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+    assert!(index.remove_column(ColumnId(99)).is_err());
+}
+
+#[test]
+fn compact_without_deletions_is_identity() {
+    let columns = make_columns(8, 4, 6, 3);
+    let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+    let q = query(8, 4, 4);
+    let before = index.search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1)).unwrap();
+    let compacted = index.compact().unwrap();
+    let after = compacted.search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1)).unwrap();
+    assert_eq!(ids(&before.hits), ids(&after.hits));
+}
+
+#[test]
+fn angular_metric_end_to_end() {
+    use pexeso_core::metric::Angular;
+    let dim = 10;
+    let columns = make_columns(dim, 8, 10, 21);
+    let q = query(dim, 5, 22);
+    let tau = Tau::Ratio(0.05); // 5 % of π
+    let t = JoinThreshold::Count(1);
+    let (expected, _) = naive_search(&columns, &Angular, &q, tau, t, false).unwrap();
+    let index = PexesoIndex::build(columns, Angular, IndexOptions::default()).unwrap();
+    let got = index.search(&q, tau, t).unwrap();
+    assert_eq!(
+        ids(&got.hits),
+        expected.iter().map(|h| h.column.0).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,156 @@
+//! Property tests for the core structures: lemma soundness, grid
+//! containment, divergence properties, persistence round-trips.
+
+use proptest::prelude::*;
+
+use pexeso_core::grid::{CellKey, GridParams};
+use pexeso_core::histogram::{jensen_shannon, jsd_paper, Histogram};
+use pexeso_core::lemmas;
+use pexeso_core::mapping::MappedVectors;
+use pexeso_core::metric::{Euclidean, Metric};
+use pexeso_core::vector::VectorStore;
+
+fn unit_vec(dim: usize, seed: u64) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Lemma 1 never prunes a true match; Lemma 2 never admits a false one.
+    #[test]
+    fn lemma_1_2_soundness(seed_q in 0u64..10_000, seed_x in 0u64..10_000, tau in 0.01f32..1.5) {
+        let dim = 10;
+        let q = unit_vec(dim, seed_q);
+        let x = unit_vec(dim, seed_x);
+        let pivots: Vec<Vec<f32>> = (0..3).map(|i| unit_vec(dim, 999 + i)).collect();
+        let qm: Vec<f32> = pivots.iter().map(|p| Euclidean.dist(&q, p)).collect();
+        let xm: Vec<f32> = pivots.iter().map(|p| Euclidean.dist(&x, p)).collect();
+        let d = Euclidean.dist(&q, &x);
+        if d <= tau {
+            prop_assert!(!lemmas::lemma1_filter(&qm, &xm, tau), "pruned a match d={}", d);
+        }
+        if lemmas::lemma2_match(&qm, &xm, tau) {
+            prop_assert!(d <= tau + 1e-4, "matched a non-match d={}", d);
+        }
+    }
+
+    /// A mapped vector is always contained in the bounds of its leaf cell
+    /// and of every ancestor cell.
+    #[test]
+    fn grid_containment(seed in 0u64..10_000, levels in 1usize..8) {
+        let dim = 8;
+        let v = unit_vec(dim, seed);
+        let pivots: Vec<Vec<f32>> = (0..3).map(|i| unit_vec(dim, 31 + i)).collect();
+        let mapped: Vec<f32> = pivots.iter().map(|p| Euclidean.dist(&v, p)).collect();
+        let params = GridParams::new(3, levels, 2.0 + 1e-4).unwrap();
+        let mut key = params.leaf_key(&mapped);
+        for level in (1..=levels).rev() {
+            let b = params.bounds(key, level);
+            for i in 0..3 {
+                prop_assert!(
+                    b.lower[i] <= mapped[i] + 1e-4 && mapped[i] <= b.upper[i] + 1e-4,
+                    "level {} dim {}: {} not in [{}, {}]",
+                    level, i, mapped[i], b.lower[i], b.upper[i]
+                );
+            }
+            key = key.parent();
+        }
+    }
+
+    /// Cell-key pack/unpack/parent arithmetic is consistent.
+    #[test]
+    fn cell_key_arithmetic(indices in proptest::collection::vec(0u8..=255, 1..16)) {
+        let key = CellKey::pack(&indices);
+        prop_assert_eq!(key.unpack(indices.len()), indices.clone());
+        let parent = key.parent().unpack(indices.len());
+        for (p, i) in parent.iter().zip(indices.iter()) {
+            prop_assert_eq!(*p, i >> 1);
+        }
+    }
+
+    /// The paper's JSD is symmetric and non-negative; the true
+    /// Jensen–Shannon divergence is additionally bounded by ln 2.
+    #[test]
+    fn divergence_properties(
+        a in proptest::collection::vec(0.01f64..1.0, 8),
+        b in proptest::collection::vec(0.01f64..1.0, 8),
+    ) {
+        let norm = |v: &[f64]| {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect::<Vec<f64>>()
+        };
+        let a = norm(&a);
+        let b = norm(&b);
+        let j = jsd_paper(&a, &b);
+        prop_assert!(j >= -1e-12);
+        prop_assert!((j - jsd_paper(&b, &a)).abs() < 1e-9, "symmetry");
+        prop_assert!(jsd_paper(&a, &a).abs() < 1e-12);
+        let js = jensen_shannon(&a, &b);
+        prop_assert!((-1e-12..=std::f64::consts::LN_2 + 1e-9).contains(&js));
+    }
+
+    /// Histogram mass queries upper-bound the true fraction of values in a
+    /// range (bins overlapping the range count fully).
+    #[test]
+    fn histogram_mass_is_upper_bound(
+        values in proptest::collection::vec(0.0f32..1.0, 1..200),
+        a in 0.0f32..1.0,
+        width in 0.0f32..0.5,
+    ) {
+        let h = Histogram::from_values(values.iter().copied(), 0.0, 1.0, 16);
+        let b = (a + width).min(1.0);
+        let actual = values.iter().filter(|&&v| v >= a && v <= b).count() as f64
+            / values.len() as f64;
+        prop_assert!(h.mass_in(a, b) + 1e-9 >= actual);
+    }
+
+    /// Persist round-trip: a freshly built index and its reloaded twin
+    /// return identical results (spot-checked with one query).
+    #[test]
+    fn persist_roundtrip(seed in 0u64..300) {
+        use pexeso_core::prelude::*;
+        use pexeso_core::persist::{load_index, save_index};
+        let dim = 8;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..5 {
+            let vecs: Vec<Vec<f32>> = (0..8).map(|i| unit_vec(dim, seed * 100 + c * 10 + i)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for i in 0..4 {
+            query.push(&unit_vec(dim, seed * 7 + i)).unwrap();
+        }
+        let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+        let path = std::env::temp_dir().join(format!("pexeso_prop_persist_{seed}_{}.pex", std::process::id()));
+        save_index(&index, &path).unwrap();
+        let loaded = load_index(&path, Euclidean).unwrap();
+        std::fs::remove_file(&path).ok();
+        let tau = Tau::Ratio(0.2);
+        let t = JoinThreshold::Ratio(0.5);
+        let a = index.search(&query, tau, t).unwrap();
+        let b = loaded.search(&query, tau, t).unwrap();
+        prop_assert_eq!(a.hits, b.hits);
+    }
+
+    /// Mapping then measuring max_coord never exceeds the metric bound for
+    /// unit vectors.
+    #[test]
+    fn mapping_respects_span(seed in 0u64..2000) {
+        let dim = 12;
+        let mut store = VectorStore::new(dim);
+        for i in 0..20 {
+            store.push(&unit_vec(dim, seed * 31 + i)).unwrap();
+        }
+        let pivots: Vec<Vec<f32>> = (0..4).map(|i| unit_vec(dim, seed * 57 + i)).collect();
+        let mapped = MappedVectors::build(&store, &pivots, &Euclidean, None).unwrap();
+        prop_assert!(mapped.max_coord() <= Euclidean.max_dist_unit(dim) + 1e-4);
+    }
+}

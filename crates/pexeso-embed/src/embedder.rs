@@ -1,0 +1,359 @@
+//! The [`Embedder`] trait and its two implementations.
+//!
+//! * [`HashEmbedder`] — pure character-level feature hashing (fastText
+//!   subwords without the trained co-occurrence component).
+//! * [`SemanticEmbedder`] — blends a [`Lexicon`] concept vector into the
+//!   character vector, reproducing the synonym behaviour of trained
+//!   embeddings. This is the default model used by the experiments.
+//!
+//! Both are deterministic: the same string always embeds to the same vector,
+//! across runs and machines.
+
+use crate::abbrev::AbbrevExpander;
+use crate::hashing::hash_str;
+use crate::l2_normalize;
+use crate::lexicon::{concept_vector, Lexicon};
+use crate::ngram::for_each_ngram;
+use crate::tokenize::tokenize;
+
+/// A plug-in representation model mapping strings to vectors in a metric
+/// space, mirroring the paper's "any representation learning model can be
+/// used in our framework" design point.
+pub trait Embedder: Send + Sync {
+    /// Dimensionality of produced vectors.
+    fn dim(&self) -> usize;
+
+    /// Embed `value` into `out` (length must equal [`Embedder::dim`]).
+    /// The result is L2-normalised unless the value carries no signal, in
+    /// which case `out` is the zero vector.
+    fn embed_into(&self, value: &str, out: &mut [f32]);
+
+    /// Convenience allocating wrapper around [`Embedder::embed_into`].
+    fn embed(&self, value: &str) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        self.embed_into(value, &mut out);
+        out
+    }
+}
+
+/// Character n-gram feature-hashing embedder.
+///
+/// Every n-gram hashes to a dimension and a sign; a token is the normalised
+/// sum of its n-gram features; a multi-token value is the normalised mean of
+/// its token vectors. Misspellings share most n-grams, hence land nearby.
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    nmin: usize,
+    nmax: usize,
+    expander: AbbrevExpander,
+    salt: u64,
+}
+
+impl HashEmbedder {
+    /// Standard configuration: `dim`-dimensional, 3–4 grams, built-in
+    /// abbreviation dictionary.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 4, "embedding dimension must be at least 4");
+        Self {
+            dim,
+            nmin: 3,
+            nmax: 4,
+            expander: AbbrevExpander::with_builtin(),
+            salt: 0x9a3c_e5f1_70b2_d84e,
+        }
+    }
+
+    /// Override the n-gram range (inclusive).
+    pub fn with_ngram_range(mut self, nmin: usize, nmax: usize) -> Self {
+        assert!(nmin >= 1 && nmin <= nmax);
+        self.nmin = nmin;
+        self.nmax = nmax;
+        self
+    }
+
+    /// Replace the abbreviation dictionary.
+    pub fn with_expander(mut self, expander: AbbrevExpander) -> Self {
+        self.expander = expander;
+        self
+    }
+
+    /// Accumulate the (unnormalised) character vector of one token.
+    fn add_token(&self, token: &str, out: &mut [f32]) {
+        let dim = self.dim as u64;
+        for_each_ngram(token, self.nmin, self.nmax, |gram| {
+            let h = hash_str(gram, self.salt);
+            let idx = (h % dim) as usize;
+            let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+            out[idx] += sign;
+        });
+    }
+
+    /// Expanded lowercase tokens of a raw value.
+    fn expanded_tokens(&self, value: &str) -> Vec<String> {
+        tokenize(&self.expander.expand(value))
+    }
+
+    /// Character-level embedding shared by both embedders: mean of
+    /// per-token normalised n-gram vectors, then normalised.
+    fn char_embed_into(&self, value: &str, out: &mut [f32]) -> bool {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        let tokens = self.expanded_tokens(value);
+        if tokens.is_empty() {
+            return false;
+        }
+        let mut token_vec = vec![0.0f32; self.dim];
+        for t in &tokens {
+            token_vec.iter_mut().for_each(|x| *x = 0.0);
+            self.add_token(t, &mut token_vec);
+            l2_normalize(&mut token_vec);
+            for (o, v) in out.iter_mut().zip(token_vec.iter()) {
+                *o += v;
+            }
+        }
+        l2_normalize(out);
+        true
+    }
+}
+
+impl Embedder for HashEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed_into(&self, value: &str, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output buffer has wrong dimension");
+        self.char_embed_into(value, out);
+    }
+}
+
+/// Semantic embedder: `normalize(α · concept + (1 − α) · char)`.
+///
+/// When the (expanded, normalised) value — or failing that, an individual
+/// token — is found in the lexicon, its concept vector dominates, pulling
+/// synonyms together. Unknown strings degrade gracefully to the pure
+/// character embedding, exactly like out-of-vocabulary words fall back to
+/// subword embeddings in fastText.
+#[derive(Debug, Clone)]
+pub struct SemanticEmbedder {
+    base: HashEmbedder,
+    lexicon: Lexicon,
+    /// Weight of the concept component, in [0, 1].
+    alpha: f32,
+    /// Minimum edit similarity for fuzzy (out-of-vocabulary) lexicon hits.
+    fuzzy_min_sim: f64,
+}
+
+impl SemanticEmbedder {
+    /// The default concept weight places synonym pairs within roughly 4 %
+    /// of the maximum unit-vector distance — inside the paper's τ range
+    /// (2–8 %), the regime its experiments operate in.
+    pub fn new(dim: usize, lexicon: Lexicon) -> Self {
+        Self {
+            base: HashEmbedder::new(dim),
+            lexicon,
+            alpha: 0.95,
+            fuzzy_min_sim: 0.75,
+        }
+    }
+
+    /// Adjust the semantic mixing weight (0 = purely character-level).
+    pub fn with_alpha(mut self, alpha: f32) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        self.alpha = alpha;
+        self
+    }
+
+    /// Replace the character-level base embedder.
+    pub fn with_base(mut self, base: HashEmbedder) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Adjust the fuzzy-lookup similarity floor (0 disables fuzziness by
+    /// matching everything; 1 requires exact hits).
+    pub fn with_fuzzy_min_sim(mut self, min_sim: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min_sim));
+        self.fuzzy_min_sim = min_sim;
+        self
+    }
+
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    pub fn lexicon_mut(&mut self) -> &mut Lexicon {
+        &mut self.lexicon
+    }
+}
+
+impl Embedder for SemanticEmbedder {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn embed_into(&self, value: &str, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim(), "output buffer has wrong dimension");
+        let expanded = self.base.expander.expand(value);
+        let has_char = self.base.char_embed_into(value, out);
+
+        // Full-string lookup first (exact, then fuzzy for misspellings);
+        // else average the concepts of the tokens that are individually
+        // known.
+        let mut concept_acc = vec![0.0f32; self.dim()];
+        let mut concept_hits = 0usize;
+        if let Some(c) = self.lexicon.lookup_fuzzy(&expanded, self.fuzzy_min_sim) {
+            concept_acc = concept_vector(c, self.dim());
+            concept_hits = 1;
+        } else {
+            for t in tokenize(&expanded) {
+                if let Some(c) = self.lexicon.lookup_normalized(&t) {
+                    let v = concept_vector(c, self.dim());
+                    for (a, b) in concept_acc.iter_mut().zip(v.iter()) {
+                        *a += b;
+                    }
+                    concept_hits += 1;
+                }
+            }
+            if concept_hits > 0 {
+                l2_normalize(&mut concept_acc);
+            }
+        }
+
+        match (concept_hits > 0, has_char) {
+            (true, true) => {
+                for (o, c) in out.iter_mut().zip(concept_acc.iter()) {
+                    *o = self.alpha * c + (1.0 - self.alpha) * *o;
+                }
+                l2_normalize(out);
+            }
+            (true, false) => {
+                out.copy_from_slice(&concept_acc);
+            }
+            (false, _) => { /* char embedding (or zero) already in `out` */ }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean;
+
+    fn dist(e: &impl Embedder, a: &str, b: &str) -> f32 {
+        euclidean(&e.embed(a), &e.embed(b))
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = HashEmbedder::new(64);
+        let v = e.embed("hello world");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_string_embeds_to_zero() {
+        let e = HashEmbedder::new(64);
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+        assert!(e.embed("--- ;; ").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = HashEmbedder::new(128);
+        assert_eq!(e.embed("Nintendo"), e.embed("Nintendo"));
+    }
+
+    #[test]
+    fn identical_strings_distance_zero() {
+        let e = HashEmbedder::new(64);
+        assert_eq!(dist(&e, "mario party", "Mario Party!"), 0.0);
+    }
+
+    #[test]
+    fn misspelling_closer_than_unrelated() {
+        let e = HashEmbedder::new(128);
+        let d_typo = dist(&e, "population", "popluation");
+        let d_unrel = dist(&e, "population", "xylophone");
+        // Unrelated unit vectors sit near sqrt(2) ≈ 1.414; a transposition
+        // keeps most n-grams shared and lands well inside that.
+        assert!(
+            d_typo < d_unrel * 0.8,
+            "typo {d_typo} should be much closer than unrelated {d_unrel}"
+        );
+    }
+
+    #[test]
+    fn abbreviation_expansion_brings_forms_together() {
+        let e = HashEmbedder::new(128);
+        let d = dist(&e, "12 Main St", "12 Main Street");
+        assert!(d < 1e-5, "St should expand to Street: {d}");
+    }
+
+    #[test]
+    fn semantic_synonyms_close_unrelated_far() {
+        let mut lex = Lexicon::new();
+        lex.add_synonym_set(["American Indian/Alaska Native", "Mainland Indigenous"]);
+        lex.add_synonym_set(["Hawaiian/Guamanian/Samoan", "Pacific Islander"]);
+        let e = SemanticEmbedder::new(128, lex);
+        let d_syn = dist(&e, "American Indian/Alaska Native", "Mainland Indigenous");
+        let d_cross = dist(&e, "American Indian/Alaska Native", "Pacific Islander");
+        // Synonyms must land inside the paper's τ regime (≤ 8 % of the max
+        // distance 2 = 0.16); distinct concepts stay far outside it (at
+        // least a topic-internal distance ≈ 0.6, often the full √2).
+        assert!(d_syn < 0.16, "synonyms should be very close: {d_syn}");
+        assert!(d_cross > 0.4, "cross-concept {d_cross} vs synonym {d_syn}");
+    }
+
+    #[test]
+    fn misspelled_known_value_stays_close() {
+        let mut lex = Lexicon::new();
+        lex.add_synonym_set(["Pacific Islander"]);
+        let e = SemanticEmbedder::new(128, lex);
+        // One character-level edit: fuzzy lookup resolves to the concept.
+        let d = dist(&e, "Pacific Islander", "Pacific Islandr");
+        assert!(d < 0.16, "misspelling of a known value should stay joinable: {d}");
+        let d_far = dist(&e, "Pacific Islander", "Atlantic Salmon Run");
+        assert!(d_far > 1.0);
+    }
+
+    #[test]
+    fn unknown_strings_fall_back_to_char_level() {
+        let lex = Lexicon::new();
+        let sem = SemanticEmbedder::new(128, lex).with_alpha(0.7);
+        let base = HashEmbedder::new(128);
+        assert_eq!(sem.embed("completely unknown thing"), base.embed("completely unknown thing"));
+    }
+
+    #[test]
+    fn alpha_zero_equals_char_embedding_direction() {
+        let mut lex = Lexicon::new();
+        lex.add_synonym_set(["alpha test"]);
+        let sem = SemanticEmbedder::new(64, lex).with_alpha(0.0);
+        let base = HashEmbedder::new(64);
+        let a = sem.embed("alpha test");
+        let b = base.embed("alpha test");
+        assert!(euclidean(&a, &b) < 1e-5);
+    }
+
+    #[test]
+    fn token_level_concept_fallback() {
+        let mut lex = Lexicon::new();
+        lex.add_synonym_set(["nintendo"]);
+        let e = SemanticEmbedder::new(128, lex);
+        // "Nintendo Switch" is not in the lexicon as a whole, but the token
+        // "nintendo" is; it should still pull toward the concept.
+        let d_related = dist(&e, "Nintendo Switch", "nintendo");
+        let d_unrelated = dist(&e, "Sony PlayStation", "nintendo");
+        assert!(d_related < d_unrelated);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn wrong_buffer_dim_panics() {
+        let e = HashEmbedder::new(64);
+        let mut out = vec![0.0; 32];
+        e.embed_into("x", &mut out);
+    }
+}

@@ -1,0 +1,323 @@
+//! Synonym/concept lexicon: the semantic layer of the embedding substitute.
+//!
+//! Distributional embeddings place synonymous phrases close together because
+//! they occur in similar contexts. Offline we cannot train that, so we make
+//! the mechanism explicit: a [`Lexicon`] maps normalised surface forms to
+//! [`ConceptId`]s, and each concept deterministically owns a random unit
+//! vector. The [`crate::SemanticEmbedder`] blends this concept vector with
+//! the character-level vector, giving synonyms small mutual distances while
+//! keeping unrelated strings far apart.
+//!
+//! Out-of-vocabulary handling follows the paper's own suggestion ("using
+//! the embedding of the most literally similar word"): when an exact lookup
+//! misses, [`Lexicon::lookup_fuzzy`] finds the most edit-similar registered
+//! surface via a character-trigram index — this is what makes misspelled
+//! cells land next to their clean forms.
+
+use std::collections::HashMap;
+
+use crate::hashing::GaussianStream;
+use crate::tokenize::normalize;
+
+/// Identifier of a semantic concept (an entity / word sense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u64);
+
+/// A mapping from normalised surface strings to concepts, with fuzzy
+/// lookup for out-of-vocabulary strings.
+#[derive(Debug, Default, Clone)]
+pub struct Lexicon {
+    surface_to_concept: HashMap<String, ConceptId>,
+    /// Registered surfaces in insertion order (fuzzy-lookup candidates).
+    entries: Vec<(String, ConceptId)>,
+    /// Character trigram → indices into `entries`.
+    trigrams: HashMap<[char; 3], Vec<u32>>,
+    next_auto_id: u64,
+}
+
+/// Most trigram-sharing candidates examined per fuzzy lookup.
+const FUZZY_CANDIDATES: usize = 48;
+
+fn surface_trigrams(key: &str) -> Vec<[char; 3]> {
+    // Pad so short strings still produce trigrams.
+    let padded: Vec<char> =
+        std::iter::once('^').chain(key.chars()).chain(std::iter::once('$')).collect();
+    if padded.len() < 3 {
+        return vec![[padded[0], *padded.last().unwrap(), '$']];
+    }
+    padded.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
+}
+
+/// Bounded Levenshtein distance over chars; `None` when > `max`.
+fn edit_distance_bounded(a: &[char], b: &[char], max: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > max {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    let inf = usize::MAX / 2;
+    let mut prev: Vec<usize> = (0..=m).map(|j| if j <= max { j } else { inf }).collect();
+    let mut cur = vec![inf; m + 1];
+    for i in 1..=n {
+        let lo = i.saturating_sub(max).max(1);
+        let hi = (i + max).min(m);
+        cur[lo - 1] = if lo == 1 { i } else { inf };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let v = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            cur[j] = v;
+            row_min = row_min.min(v);
+        }
+        if hi < m {
+            cur[hi + 1..].iter_mut().for_each(|x| *x = inf);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[m] <= max).then_some(prev[m])
+}
+
+impl Lexicon {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered surface forms.
+    pub fn len(&self) -> usize {
+        self.surface_to_concept.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.surface_to_concept.is_empty()
+    }
+
+    /// Register `surface` as a form of `concept`. The surface form is
+    /// normalised (tokenised + lowercased) before storage, so lookups are
+    /// robust to case/punctuation differences.
+    pub fn register(&mut self, surface: &str, concept: ConceptId) {
+        let key = normalize(surface);
+        if key.is_empty() || self.surface_to_concept.contains_key(&key) {
+            if !key.is_empty() {
+                self.surface_to_concept.insert(key, concept);
+            }
+            return;
+        }
+        let idx = self.entries.len() as u32;
+        for tg in surface_trigrams(&key) {
+            self.trigrams.entry(tg).or_default().push(idx);
+        }
+        self.entries.push((key.clone(), concept));
+        self.surface_to_concept.insert(key, concept);
+    }
+
+    /// Create a fresh concept and register all given surface forms for it.
+    pub fn add_synonym_set<'a>(&mut self, surfaces: impl IntoIterator<Item = &'a str>) -> ConceptId {
+        // Auto ids live in a high namespace to avoid colliding with caller ids.
+        self.next_auto_id += 1;
+        let id = ConceptId(0x8000_0000_0000_0000 | self.next_auto_id);
+        for s in surfaces {
+            self.register(s, id);
+        }
+        id
+    }
+
+    /// Look up the concept of a (raw) surface string, if known.
+    pub fn lookup(&self, surface: &str) -> Option<ConceptId> {
+        self.surface_to_concept.get(&normalize(surface)).copied()
+    }
+
+    /// Look up an already-normalised key without re-normalising.
+    pub fn lookup_normalized(&self, key: &str) -> Option<ConceptId> {
+        self.surface_to_concept.get(key).copied()
+    }
+
+    /// Fuzzy lookup for out-of-vocabulary strings: the registered surface
+    /// with the highest normalised edit similarity ≥ `min_sim`, shortlisted
+    /// by shared character trigrams. `key` must be normalised.
+    pub fn lookup_fuzzy(&self, key: &str, min_sim: f64) -> Option<ConceptId> {
+        if key.is_empty() {
+            return None;
+        }
+        if let Some(&c) = self.surface_to_concept.get(key) {
+            return Some(c);
+        }
+        // Shortlist by trigram overlap.
+        let mut overlap: HashMap<u32, u32> = HashMap::new();
+        for tg in surface_trigrams(key) {
+            if let Some(posting) = self.trigrams.get(&tg) {
+                for &e in posting {
+                    *overlap.entry(e).or_insert(0) += 1;
+                }
+            }
+        }
+        if overlap.is_empty() {
+            return None;
+        }
+        let mut candidates: Vec<(u32, u32)> = overlap.into_iter().collect();
+        candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(FUZZY_CANDIDATES);
+
+        let key_chars: Vec<char> = key.chars().collect();
+        let mut best: Option<(f64, ConceptId)> = None;
+        for (entry_idx, _) in candidates {
+            let (surface, concept) = &self.entries[entry_idx as usize];
+            let cand_chars: Vec<char> = surface.chars().collect();
+            let longest = key_chars.len().max(cand_chars.len());
+            if longest == 0 {
+                continue;
+            }
+            let max_errors = ((1.0 - min_sim) * longest as f64).floor() as usize;
+            if let Some(d) = edit_distance_bounded(&key_chars, &cand_chars, max_errors) {
+                let sim = 1.0 - d as f64 / longest as f64;
+                if sim >= min_sim && best.map_or(true, |(s, _)| sim > s) {
+                    best = Some((sim, *concept));
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// All surface forms registered for a concept (linear scan; diagnostics
+    /// and tests only).
+    pub fn surfaces_of(&self, concept: ConceptId) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .surface_to_concept
+            .iter()
+            .filter(|(_, &c)| c == concept)
+            .map(|(s, _)| s.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Number of latent topics concept vectors cluster around. Real
+/// distributional embeddings are strongly anisotropic — words bunch into
+/// semantic neighbourhoods — and metric indexes (pivots, grids) exploit
+/// exactly that structure. Uniformly random unit vectors would be the
+/// adversarial worst case (all pairwise distances ≈ √2), so concepts are
+/// drawn from a topic mixture instead.
+const NUM_TOPICS: u64 = 24;
+/// Weight of the concept-specific component relative to its topic centre.
+const TOPIC_SPREAD: f32 = 0.55;
+
+/// Deterministically derive the unit vector owned by a concept: a topic
+/// centre plus a concept-specific offset, normalised. Same-topic concepts
+/// sit at distance ≈ 0.7, cross-topic at ≈ √2 — comparable to the
+/// neighbourhood structure of trained word embeddings.
+pub fn concept_vector(concept: ConceptId, dim: usize) -> Vec<f32> {
+    let topic = crate::hashing::splitmix64(concept.0 ^ 0x70_91c5_7ab3) % NUM_TOPICS;
+    let mut centre = vec![0.0f32; dim];
+    GaussianStream::new(topic.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x7091c).fill_unit_vector(&mut centre);
+    let mut offset = vec![0.0f32; dim];
+    GaussianStream::new(concept.0 ^ 0x5eed_c04c_ef70_1234).fill_unit_vector(&mut offset);
+    for (c, o) in centre.iter_mut().zip(offset.iter()) {
+        *c += TOPIC_SPREAD * o;
+    }
+    crate::l2_normalize(&mut centre);
+    centre
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup_is_normalised() {
+        let mut lex = Lexicon::new();
+        lex.register("Pacific Islander", ConceptId(7));
+        assert_eq!(lex.lookup("pacific islander"), Some(ConceptId(7)));
+        assert_eq!(lex.lookup("  PACIFIC/ISLANDER "), Some(ConceptId(7)));
+        assert_eq!(lex.lookup("atlantic islander"), None);
+    }
+
+    #[test]
+    fn synonym_set_shares_concept() {
+        let mut lex = Lexicon::new();
+        let id = lex.add_synonym_set(["Hawaiian/Guamanian/Samoan", "Pacific Islander"]);
+        assert_eq!(lex.lookup("pacific islander"), Some(id));
+        assert_eq!(lex.lookup("Hawaiian Guamanian Samoan"), Some(id));
+    }
+
+    #[test]
+    fn distinct_sets_get_distinct_concepts() {
+        let mut lex = Lexicon::new();
+        let a = lex.add_synonym_set(["a1", "a2"]);
+        let b = lex.add_synonym_set(["b1"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fuzzy_lookup_finds_misspellings() {
+        let mut lex = Lexicon::new();
+        let id = lex.add_synonym_set(["population"]);
+        lex.add_synonym_set(["participation"]);
+        assert_eq!(lex.lookup_fuzzy("popluation", 0.75), Some(id));
+        assert_eq!(lex.lookup_fuzzy("populaton", 0.75), Some(id));
+        assert_eq!(lex.lookup_fuzzy("zebra", 0.75), None);
+    }
+
+    #[test]
+    fn fuzzy_lookup_prefers_closest() {
+        let mut lex = Lexicon::new();
+        let _far = lex.add_synonym_set(["postulation"]);
+        let near = lex.add_synonym_set(["population"]);
+        assert_eq!(lex.lookup_fuzzy("populatio", 0.75), Some(near));
+    }
+
+    #[test]
+    fn fuzzy_lookup_exact_short_circuit() {
+        let mut lex = Lexicon::new();
+        let id = lex.add_synonym_set(["exact match"]);
+        assert_eq!(lex.lookup_fuzzy("exact match", 0.99), Some(id));
+    }
+
+    #[test]
+    fn fuzzy_respects_min_similarity() {
+        let mut lex = Lexicon::new();
+        lex.add_synonym_set(["population"]);
+        // 3 edits over 10 chars -> sim 0.7 < 0.9.
+        assert_eq!(lex.lookup_fuzzy("popxlatxon", 0.9), None);
+    }
+
+    #[test]
+    fn concept_vectors_deterministic_and_distinct() {
+        let v1 = concept_vector(ConceptId(1), 32);
+        let v1b = concept_vector(ConceptId(1), 32);
+        let v2 = concept_vector(ConceptId(2), 32);
+        assert_eq!(v1, v1b);
+        let d = crate::euclidean(&v1, &v2);
+        assert!(d > 0.5, "concept vectors should be well separated: {d}");
+    }
+
+    #[test]
+    fn empty_surface_ignored() {
+        let mut lex = Lexicon::new();
+        lex.register("   ", ConceptId(1));
+        assert!(lex.is_empty());
+        assert_eq!(lex.lookup_fuzzy("", 0.8), None);
+    }
+
+    #[test]
+    fn surfaces_of_lists_all() {
+        let mut lex = Lexicon::new();
+        let id = lex.add_synonym_set(["White", "Caucasian"]);
+        let s = lex.surfaces_of(id);
+        assert_eq!(s, vec!["caucasian", "white"]);
+    }
+
+    #[test]
+    fn short_strings_have_trigrams() {
+        let mut lex = Lexicon::new();
+        let id = lex.add_synonym_set(["ab"]);
+        assert_eq!(lex.lookup_fuzzy("ab", 0.9), Some(id));
+    }
+}

@@ -1,0 +1,74 @@
+//! Tokenisation of cell values.
+//!
+//! The paper splits string values into English words before embedding
+//! (GloVe path) and lowercases them. We mirror that: Unicode-aware
+//! lowercasing, splitting on any non-alphanumeric rune, dropping empties.
+
+/// Split a raw cell value into lowercase tokens.
+///
+/// `"Mario Party"` → `["mario", "party"]`;
+/// `"American Indian/Alaska Native"` → `["american", "indian", "alaska", "native"]`.
+pub fn tokenize(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Normalised single-string form of a value: tokens joined by one space.
+/// Used as the canonical key for lexicon lookups.
+pub fn normalize(s: &str) -> String {
+    tokenize(s).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation() {
+        assert_eq!(tokenize("American Indian/Alaska Native"), vec!["american", "indian", "alaska", "native"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("HELLO World"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t , ; ").is_empty());
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("Route 66"), vec!["route", "66"]);
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        assert_eq!(tokenize("Łódź Café"), vec!["łódź", "café"]);
+    }
+
+    #[test]
+    fn normalize_joins() {
+        assert_eq!(normalize("  Hello,   World!"), "hello world");
+    }
+
+    #[test]
+    fn hyphenated_splits() {
+        assert_eq!(tokenize("co-op"), vec!["co", "op"]);
+    }
+}

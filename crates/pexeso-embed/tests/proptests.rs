@@ -1,0 +1,85 @@
+//! Property tests for the embedding substrate: determinism, normalisation,
+//! tokenisation idempotence, fuzzy-lookup behaviour.
+
+use proptest::prelude::*;
+
+use pexeso_embed::{
+    tokenize, Embedder, HashEmbedder, Lexicon, SemanticEmbedder,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Embeddings are deterministic and unit-norm (or exactly zero).
+    #[test]
+    fn embedding_norm_and_determinism(s in "[ -~]{0,40}") {
+        let e = HashEmbedder::new(64);
+        let a = e.embed(&s);
+        let b = e.embed(&s);
+        prop_assert_eq!(&a, &b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm.abs() < 1e-5 || (norm - 1.0).abs() < 1e-4, "norm {}", norm);
+    }
+
+    /// Tokenisation is idempotent under re-joining and lowercasing.
+    #[test]
+    fn tokenize_idempotent(s in "[ -~]{0,48}") {
+        let t1 = tokenize(&s);
+        let rejoined = t1.join(" ");
+        let t2 = tokenize(&rejoined);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Case and punctuation never change an embedding.
+    #[test]
+    fn case_and_punctuation_invariance(words in proptest::collection::vec("[a-z]{1,8}", 1..4)) {
+        let e = HashEmbedder::new(64);
+        let plain = words.join(" ");
+        let shouty = words.iter().map(|w| w.to_uppercase()).collect::<Vec<_>>().join("  ");
+        let punct = words.join(", ");
+        prop_assert_eq!(e.embed(&plain), e.embed(&shouty));
+        prop_assert_eq!(e.embed(&plain), e.embed(&punct));
+    }
+
+    /// The semantic embedder with an empty lexicon is exactly the character
+    /// embedder.
+    #[test]
+    fn empty_lexicon_matches_char_level(s in "[ -~]{0,32}") {
+        let base = HashEmbedder::new(48);
+        let sem = SemanticEmbedder::new(48, Lexicon::new());
+        prop_assert_eq!(base.embed(&s), sem.embed(&s));
+    }
+
+    /// Registered synonyms always embed within the paper's τ regime while
+    /// an unrelated random string stays far away.
+    #[test]
+    fn synonyms_close_across_random_vocab(
+        a in "[a-z]{4,10}",
+        b in "[a-z]{4,10}",
+        other in "[a-z]{12,16}",
+    ) {
+        prop_assume!(a != b && a != other && b != other);
+        let mut lex = Lexicon::new();
+        lex.add_synonym_set([a.as_str(), b.as_str()]);
+        let e = SemanticEmbedder::new(96, lex);
+        let d_syn = pexeso_embed::euclidean(&e.embed(&a), &e.embed(&b));
+        prop_assert!(d_syn < 0.2, "synonyms too far: {}", d_syn);
+        // `other` might fuzzily resolve to a or b if it is edit-close;
+        // with length ≥ 12 vs ≤ 10 that cannot happen at sim ≥ 0.75.
+        let d_other = pexeso_embed::euclidean(&e.embed(&a), &e.embed(&other));
+        prop_assert!(d_other > 0.4, "unrelated too close: {}", d_other);
+    }
+
+    /// Fuzzy lookup never returns a concept for a string with no
+    /// sufficiently similar surface.
+    #[test]
+    fn fuzzy_lookup_respects_threshold(key in "[a-z]{1,12}") {
+        let mut lex = Lexicon::new();
+        lex.add_synonym_set(["zzzzzzzzzzzzzzzzzzzzzz"]);
+        // Max shared trigrams with a short [a-z] key is tiny; similarity
+        // threshold 0.9 cannot be met unless the key is itself long z-runs.
+        if !key.contains("zzzz") {
+            prop_assert_eq!(lex.lookup_fuzzy(&key, 0.9), None);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # pexeso-lake — data-lake substrate for PEXESO
+//!
+//! The paper evaluates on the Canadian Open Data corpus (OPEN) and the WDC
+//! Web Table Corpus (SWDC/LWDC), neither of which is redistributable here.
+//! This crate supplies everything the framework needs from a data lake:
+//!
+//! * a from-scratch [`csv`] reader/writer (RFC-4180-ish) for real ingestion,
+//! * a column-major [`table::Table`] model with [`types`] inference and a
+//!   [`keycol`] key-column detector (stand-in for the SATO model the paper
+//!   uses to pick join-key candidates),
+//! * controlled [`noise`] channels (misspellings, abbreviations, case), and
+//! * a [`generator`] that synthesises entire lakes with **exact ground-truth
+//!   joinability labels**, replacing the paper's human labelling step.
+//!
+//! The generator registers every entity's synonym set in a
+//! [`pexeso_embed::Lexicon`], which plays the role of the semantic knowledge
+//! a pre-trained embedding model would contribute.
+
+pub mod csv;
+pub mod generator;
+pub mod keycol;
+pub mod noise;
+pub mod table;
+pub mod types;
+
+pub use generator::{GenTable, GeneratorConfig, SyntheticLake};
+pub use table::Table;
+pub use types::ColumnType;

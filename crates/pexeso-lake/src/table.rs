@@ -1,0 +1,183 @@
+//! Column-major table model.
+//!
+//! Tables in data lakes are wide, sparse, and read column-at-a-time by the
+//! discovery pipeline, so values are stored per column. Cells are plain
+//! strings at this layer; typing is inferred on demand by [`crate::types`].
+
+/// A named table: headers plus column-major string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    /// `columns[c][r]` is the cell at row `r`, column `c`. All columns have
+    /// equal length (enforced by the mutation API).
+    columns: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table with the given header names.
+    pub fn new(name: impl Into<String>, headers: Vec<impl Into<String>>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let columns = headers.iter().map(|_| Vec::new()).collect();
+        Self { name: name.into(), headers, columns }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.headers.len()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Append a row. Panics if the width differs from the header width —
+    /// rectangularity is an invariant, not a recoverable condition.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.n_cols(),
+            "row width {} != table width {}",
+            row.len(),
+            self.n_cols()
+        );
+        for (col, cell) in self.columns.iter_mut().zip(row) {
+            col.push(cell);
+        }
+    }
+
+    /// Borrow one column's cells.
+    pub fn column(&self, c: usize) -> &[String] {
+        &self.columns[c]
+    }
+
+    /// Index of the column with the given header, if any.
+    pub fn column_index(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// Borrow a single cell.
+    pub fn cell(&self, r: usize, c: usize) -> &str {
+        &self.columns[c][r]
+    }
+
+    /// Materialise one row as borrowed cells.
+    pub fn row(&self, r: usize) -> Vec<&str> {
+        self.columns.iter().map(|c| c[r].as_str()).collect()
+    }
+
+    /// Fraction of non-empty cells in a column.
+    pub fn non_empty_ratio(&self, c: usize) -> f64 {
+        let col = &self.columns[c];
+        if col.is_empty() {
+            return 0.0;
+        }
+        let filled = col.iter().filter(|v| !v.trim().is_empty()).count();
+        filled as f64 / col.len() as f64
+    }
+
+    /// Fraction of distinct (non-empty, trimmed) values in a column.
+    pub fn distinct_ratio(&self, c: usize) -> f64 {
+        let col = &self.columns[c];
+        if col.is_empty() {
+            return 0.0;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut non_empty = 0usize;
+        for v in col {
+            let t = v.trim();
+            if !t.is_empty() {
+                non_empty += 1;
+                seen.insert(t);
+            }
+        }
+        if non_empty == 0 {
+            0.0
+        } else {
+            seen.len() as f64 / non_empty as f64
+        }
+    }
+
+    /// Build a table from row-major data (convenience for tests/generators).
+    pub fn from_rows(
+        name: impl Into<String>,
+        headers: Vec<impl Into<String>>,
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        let mut t = Table::new(name, headers);
+        for row in rows {
+            t.push_row(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            "people",
+            vec!["name", "age", "city"],
+            vec![
+                vec!["Alice".into(), "30".into(), "Oslo".into()],
+                vec!["Bob".into(), "31".into(), "Oslo".into()],
+                vec!["Carol".into(), "".into(), "Bergen".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.name(), "people");
+    }
+
+    #[test]
+    fn cells_and_rows() {
+        let t = sample();
+        assert_eq!(t.cell(2, 0), "Carol");
+        assert_eq!(t.row(0), vec!["Alice", "30", "Oslo"]);
+        assert_eq!(t.column(2), &["Oslo", "Oslo", "Bergen"]);
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let t = sample();
+        assert_eq!(t.column_index("age"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+    }
+
+    #[test]
+    fn distinct_and_non_empty_ratios() {
+        let t = sample();
+        assert!((t.distinct_ratio(0) - 1.0).abs() < 1e-9);
+        assert!((t.distinct_ratio(2) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((t.non_empty_ratio(1) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_ratios() {
+        let t = Table::new("empty", vec!["a"]);
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.distinct_ratio(0), 0.0);
+        assert_eq!(t.non_empty_ratio(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_push_panics() {
+        let mut t = Table::new("x", vec!["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+}

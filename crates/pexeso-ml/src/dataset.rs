@@ -1,0 +1,188 @@
+//! Feature matrices, labels, and resampling.
+//!
+//! Features are `f32` with `NAN` denoting *missing* — the natural encoding
+//! for left-join augmentation where most lake columns only cover matched
+//! rows. Trees route missing values explicitly, so no imputation happens.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Labels of a supervised task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Labels {
+    /// Class ids in `0..n_classes`.
+    Classes(Vec<u32>),
+    /// Regression targets.
+    Values(Vec<f32>),
+}
+
+impl Labels {
+    pub fn len(&self) -> usize {
+        match self {
+            Labels::Classes(v) => v.len(),
+            Labels::Values(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A supervised dataset: row-major features plus labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    pub features: Vec<Vec<f32>>,
+    pub feature_names: Vec<String>,
+    pub labels: Labels,
+}
+
+impl Dataset {
+    pub fn new(features: Vec<Vec<f32>>, feature_names: Vec<String>, labels: Labels) -> Self {
+        assert_eq!(features.len(), labels.len(), "rows must match labels");
+        for row in &features {
+            assert_eq!(row.len(), feature_names.len(), "row width must match names");
+        }
+        Self { features, feature_names, labels }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.features.len()
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Append extra feature columns (e.g. from join augmentation). Rows
+    /// must align.
+    pub fn extend_features(&mut self, names: Vec<String>, columns: Vec<Vec<f32>>) {
+        assert_eq!(names.len(), columns.len());
+        for col in &columns {
+            assert_eq!(col.len(), self.n_rows(), "augmented column must cover all rows");
+        }
+        for (name, col) in names.into_iter().zip(columns) {
+            self.feature_names.push(name);
+            for (row, v) in self.features.iter_mut().zip(col) {
+                row.push(v);
+            }
+        }
+    }
+
+    /// Keep only the given feature indices (used by RFE).
+    pub fn project(&self, keep: &[usize]) -> Dataset {
+        let names = keep.iter().map(|&i| self.feature_names[i].clone()).collect();
+        let features = self
+            .features
+            .iter()
+            .map(|row| keep.iter().map(|&i| row[i]).collect())
+            .collect();
+        Dataset { features, feature_names: names, labels: self.labels.clone() }
+    }
+
+    /// Deterministic shuffled k-fold indices: `(train, test)` per fold.
+    pub fn kfold(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let fold_size = self.n_rows().div_ceil(k);
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let lo = f * fold_size;
+            let hi = ((f + 1) * fold_size).min(self.n_rows());
+            if lo >= hi {
+                continue;
+            }
+            let test: Vec<usize> = idx[lo..hi].to_vec();
+            let train: Vec<usize> = idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
+            folds.push((train, test));
+        }
+        folds
+    }
+
+    /// Number of classes (classification only).
+    pub fn n_classes(&self) -> Option<u32> {
+        match &self.labels {
+            Labels::Classes(c) => Some(c.iter().copied().max().map_or(0, |m| m + 1)),
+            Labels::Values(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            (0..10).map(|i| vec![i as f32, (10 - i) as f32]).collect(),
+            vec!["a".into(), "b".into()],
+            Labels::Classes((0..10).map(|i| i % 2).collect()),
+        )
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let d = toy();
+        assert_eq!(d.n_rows(), 10);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must match labels")]
+    fn mismatched_labels_panic() {
+        Dataset::new(vec![vec![1.0]], vec!["a".into()], Labels::Classes(vec![0, 1]));
+    }
+
+    #[test]
+    fn extend_features_aligns() {
+        let mut d = toy();
+        d.extend_features(vec!["c".into()], vec![vec![7.0; 10]]);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.features[3][2], 7.0);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let d = toy();
+        let p = d.project(&[1]);
+        assert_eq!(p.n_features(), 1);
+        assert_eq!(p.feature_names, vec!["b"]);
+        assert_eq!(p.features[0], vec![10.0]);
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let d = toy();
+        let folds = d.kfold(4, 7);
+        let mut seen = vec![0usize; d.n_rows()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.n_rows());
+            for &t in test {
+                seen[t] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "each row in exactly one test fold: {seen:?}");
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        let d = toy();
+        assert_eq!(d.kfold(3, 9), d.kfold(3, 9));
+        assert_ne!(d.kfold(3, 9), d.kfold(3, 10));
+    }
+
+    #[test]
+    fn regression_labels() {
+        let d = Dataset::new(
+            vec![vec![1.0], vec![2.0]],
+            vec!["x".into()],
+            Labels::Values(vec![0.5, 1.5]),
+        );
+        assert_eq!(d.n_classes(), None);
+        assert_eq!(d.labels.len(), 2);
+    }
+}

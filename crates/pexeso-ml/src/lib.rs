@@ -1,0 +1,32 @@
+//! # pexeso-ml — the ML-task substrate behind the paper's Table V
+//!
+//! The paper measures how much joining semantically-matched lake tables
+//! improves downstream models: a random forest is trained on a query table
+//! before and after left-joining the discovered tables, and micro-F1 / MSE
+//! are compared across competitors. scikit-learn is not available here, so
+//! this crate implements the full pipeline from scratch:
+//!
+//! * [`dataset`] — feature matrices with missing values, splits, k-fold CV;
+//! * [`tree`] / [`forest`] — CART decision trees and bagged random forests
+//!   (gini for classification, variance for regression, missing-value
+//!   routing);
+//! * [`metrics`] — micro-F1 and MSE with cross-fold mean ± std;
+//! * [`augment`] — left-join feature augmentation with the paper's conflict
+//!   handling (same-name columns aggregated) and sparsity semantics
+//!   (unmatched rows get missing values — the mechanism by which equi-join
+//!   hurts);
+//! * [`select`] — recursive feature elimination by forest importance;
+//! * [`tasks`] — the three Table-V-style synthetic tasks over a generated
+//!   lake.
+
+pub mod augment;
+pub mod dataset;
+pub mod forest;
+pub mod metrics;
+pub mod select;
+pub mod tasks;
+pub mod tree;
+
+pub use dataset::{Dataset, Labels};
+pub use forest::{ForestConfig, RandomForest};
+pub use tree::{DecisionTree, Task, TreeConfig};

@@ -1,0 +1,96 @@
+//! Evaluation metrics: micro-F1 (classification) and MSE (regression),
+//! plus mean ± std aggregation across cross-validation folds (the form
+//! Table V reports).
+
+/// Micro-averaged F1 over multi-class predictions. Computed from pooled
+/// TP/FP/FN; for single-label problems this equals accuracy, but we keep
+/// the full computation for clarity and to support future multi-label use.
+pub fn micro_f1(y_true: &[u32], y_pred: &[u32]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let classes: u32 = y_true.iter().chain(y_pred.iter()).copied().max().unwrap_or(0) + 1;
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fnn = 0u64;
+    for c in 0..classes {
+        for (&t, &p) in y_true.iter().zip(y_pred.iter()) {
+            match (t == c, p == c) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fnn += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fnn) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Mean squared error.
+pub fn mse(y_true: &[f32], y_pred: &[f32]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(&t, &p)| ((t - p) as f64).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Mean and (population) standard deviation of fold scores.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_f1_perfect_and_zero() {
+        assert_eq!(micro_f1(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(micro_f1(&[0, 0, 0], &[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy_single_label() {
+        let t = [0u32, 1, 2, 1, 0, 2, 2];
+        let p = [0u32, 1, 1, 1, 2, 2, 2];
+        let acc = t.iter().zip(p.iter()).filter(|(a, b)| a == b).count() as f64 / t.len() as f64;
+        assert!((micro_f1(&t, &p) - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mse(&[0.0, 0.0], &[1.0, 3.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_std_values() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        micro_f1(&[0], &[0, 1]);
+    }
+}

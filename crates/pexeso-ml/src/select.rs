@@ -1,0 +1,100 @@
+//! Recursive feature elimination (RFE).
+//!
+//! The paper applies RFE on the joined result "to select meaningful
+//! features" before training the evaluation model. Each round fits a
+//! forest, ranks features by mean impurity-decrease importance, and drops
+//! the weakest ones until the target count remains.
+
+use crate::dataset::Dataset;
+use crate::forest::{ForestConfig, RandomForest};
+
+/// Run RFE and return the indices (into the original feature list) that
+/// survive, in their original order.
+pub fn recursive_feature_elimination(
+    data: &Dataset,
+    target_features: usize,
+    drop_per_round: usize,
+    config: &ForestConfig,
+) -> Vec<usize> {
+    assert!(target_features >= 1, "must keep at least one feature");
+    let drop_per_round = drop_per_round.max(1);
+    let rows: Vec<usize> = (0..data.n_rows()).collect();
+    let mut kept: Vec<usize> = (0..data.n_features()).collect();
+    while kept.len() > target_features {
+        let projected = data.project(&kept);
+        let forest = RandomForest::fit(&projected, &rows, config);
+        let importances = forest.importances();
+        // Rank current features by importance ascending.
+        let mut order: Vec<usize> = (0..kept.len()).collect();
+        order.sort_by(|&a, &b| importances[a].total_cmp(&importances[b]));
+        let n_drop = drop_per_round.min(kept.len() - target_features);
+        let dropped: std::collections::HashSet<usize> =
+            order.into_iter().take(n_drop).collect();
+        kept = kept
+            .iter()
+            .enumerate()
+            .filter(|(local, _)| !dropped.contains(local))
+            .map(|(_, &orig)| orig)
+            .collect();
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Labels;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Feature 0 is the label, features 1..4 are noise.
+    fn signal_plus_noise(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let y = (i % 2) as u32;
+            features.push(vec![
+                y as f32 + rng.gen_range(-0.1f32..0.1),
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+            ]);
+            labels.push(y);
+        }
+        Dataset::new(
+            features,
+            vec!["signal".into(), "n1".into(), "n2".into(), "n3".into()],
+            Labels::Classes(labels),
+        )
+    }
+
+    #[test]
+    fn keeps_the_signal_feature() {
+        let d = signal_plus_noise(1, 200);
+        let kept = recursive_feature_elimination(&d, 1, 1, &ForestConfig::classification(2));
+        assert_eq!(kept, vec![0], "the signal feature must survive RFE");
+    }
+
+    #[test]
+    fn respects_target_count() {
+        let d = signal_plus_noise(2, 100);
+        let kept = recursive_feature_elimination(&d, 2, 1, &ForestConfig::classification(2));
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&0));
+    }
+
+    #[test]
+    fn noop_when_already_small() {
+        let d = signal_plus_noise(3, 50);
+        let kept = recursive_feature_elimination(&d, 10, 1, &ForestConfig::classification(2));
+        assert_eq!(kept, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn larger_drop_batches_terminate() {
+        let d = signal_plus_noise(4, 100);
+        let kept = recursive_feature_elimination(&d, 1, 3, &ForestConfig::classification(2));
+        assert_eq!(kept.len(), 1);
+    }
+}

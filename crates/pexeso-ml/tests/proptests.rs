@@ -1,0 +1,99 @@
+//! Property tests for the ML substrate: prediction domains, metric ranges,
+//! fold hygiene, augmentation alignment.
+
+use proptest::prelude::*;
+
+use pexeso_ml::dataset::{Dataset, Labels};
+use pexeso_ml::forest::{ForestConfig, RandomForest};
+use pexeso_ml::metrics::{mean_std, micro_f1, mse};
+
+fn random_dataset(seed: u64, n: usize, classes: u32) -> Dataset {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features: Vec<Vec<f32>> = (0..n)
+        .map(|_| {
+            (0..3)
+                .map(|_| if rng.gen_bool(0.1) { f32::NAN } else { rng.gen_range(-1.0f32..1.0) })
+                .collect()
+        })
+        .collect();
+    let labels = Labels::Classes((0..n).map(|_| rng.gen_range(0..classes)).collect());
+    Dataset::new(features, vec!["a".into(), "b".into(), "c".into()], labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Classification predictions always land in the class range, even
+    /// with missing values in the features.
+    #[test]
+    fn predictions_in_class_range(seed in 0u64..1000, classes in 2u32..6) {
+        let d = random_dataset(seed, 40, classes);
+        let rows: Vec<usize> = (0..d.n_rows()).collect();
+        let mut cfg = ForestConfig::classification(classes);
+        cfg.n_trees = 5;
+        let forest = RandomForest::fit(&d, &rows, &cfg);
+        for row in &d.features {
+            let p = forest.predict(row) as u32;
+            prop_assert!(p < classes, "prediction {} outside 0..{}", p, classes);
+        }
+        // NaN-heavy unseen row must not panic either.
+        let p = forest.predict(&[f32::NAN, f32::NAN, f32::NAN]) as u32;
+        prop_assert!(p < classes);
+    }
+
+    /// micro-F1 is within [0, 1] and equals 1 iff predictions are perfect.
+    #[test]
+    fn micro_f1_range(truth in proptest::collection::vec(0u32..4, 1..50), seed in 0u64..100) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pred: Vec<u32> = truth.iter().map(|&t| if rng.gen_bool(0.7) { t } else { rng.gen_range(0..4) }).collect();
+        let f = micro_f1(&truth, &pred);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((micro_f1(&truth, &truth) - 1.0).abs() < 1e-12);
+        if pred == truth {
+            prop_assert!((f - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// MSE is non-negative and zero iff equal.
+    #[test]
+    fn mse_nonneg(y in proptest::collection::vec(-10.0f32..10.0, 1..40)) {
+        prop_assert!(mse(&y, &y).abs() < 1e-12);
+        let shifted: Vec<f32> = y.iter().map(|v| v + 1.0).collect();
+        let m = mse(&y, &shifted);
+        prop_assert!((m - 1.0).abs() < 1e-5);
+    }
+
+    /// mean_std: std is zero iff all values equal; mean bounded by extremes.
+    #[test]
+    fn mean_std_properties(v in proptest::collection::vec(-100.0f64..100.0, 1..30)) {
+        let (mean, std) = mean_std(&v);
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert!(std >= 0.0);
+        let constant = vec![7.5f64; v.len()];
+        let (_, s0) = mean_std(&constant);
+        prop_assert!(s0.abs() < 1e-12);
+    }
+
+    /// k-fold test sets partition the rows exactly once.
+    #[test]
+    fn kfold_partition(seed in 0u64..500, k in 2usize..6, n in 6usize..60) {
+        let d = random_dataset(seed, n, 2);
+        let folds = d.kfold(k, seed);
+        let mut seen = vec![0u32; n];
+        for (train, test) in &folds {
+            for &i in test {
+                seen[i] += 1;
+            }
+            // No train/test overlap.
+            let tset: std::collections::HashSet<_> = test.iter().collect();
+            prop_assert!(train.iter().all(|i| !tset.contains(i)));
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+    }
+}

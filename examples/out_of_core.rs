@@ -1,0 +1,72 @@
+//! Out-of-core search over a lake too big to hold one index in memory
+//! (Section IV): partition the columns with JSD clustering, persist one
+//! PEXESO index per partition, then answer queries by streaming partitions
+//! from disk — sequentially (the paper's mode) and with a parallel-worker
+//! extension.
+//!
+//! ```bash
+//! cargo run --release --example out_of_core
+//! ```
+
+use pexeso::pipeline::{embed_query, embed_synthetic_lake};
+use pexeso::prelude::*;
+
+fn main() -> Result<()> {
+    // A larger WDC-like lake.
+    let lake = SyntheticLake::generate(GeneratorConfig::wdc_like(0.2, 9));
+    let embedder = SemanticEmbedder::new(48, lake.lexicon.clone());
+    let mut embedded = embed_synthetic_lake(&embedder, &lake)?;
+    embedded.columns.store_mut().normalize_all();
+    println!(
+        "lake: {} tables / {} columns / {} vectors",
+        lake.tables.len(),
+        embedded.columns.n_columns(),
+        embedded.columns.n_vectors()
+    );
+
+    // Partition with JSD clustering and persist to disk.
+    let dir = std::env::temp_dir().join("pexeso_out_of_core_example");
+    let partitioned = PartitionedLake::build(
+        &embedded.columns,
+        Euclidean,
+        &PartitionConfig { k: 6, method: PartitionMethod::JsdKmeans, ..Default::default() },
+        &IndexOptions { num_pivots: 3, levels: Some(4), ..Default::default() },
+        &dir,
+    )?;
+    println!(
+        "partitioned into {} files, {:.1} MB on disk at {}\n",
+        partitioned.num_partitions(),
+        partitioned.disk_bytes()? as f64 / 1e6,
+        dir.display()
+    );
+
+    // Query: one of the generated domains.
+    let gen_query = lake.make_query(0, 20, 123);
+    let query = embed_query(&embedder, gen_query.key_values());
+    let tau = Tau::Ratio(0.06);
+    let t = JoinThreshold::Ratio(0.5);
+
+    // Sequential out-of-core search (disk load included in the timing).
+    let (hits, stats) = partitioned.search(Euclidean, query.store(), tau, t, SearchOptions::default())?;
+    println!(
+        "sequential search: {} joinable columns in {:?} ({} exact distance computations)",
+        hits.len(),
+        stats.total_time,
+        stats.distance_computations
+    );
+    for h in hits.iter().take(5) {
+        println!("  {} . {}  (match_count {})", h.table_name, h.column_name, h.match_count);
+    }
+    if hits.len() > 5 {
+        println!("  … and {} more", hits.len() - 5);
+    }
+
+    // Parallel extension: identical results, overlapping I/O and CPU.
+    let (par_hits, par_stats) =
+        partitioned.search_parallel(Euclidean, query.store(), tau, t, SearchOptions::default(), 3)?;
+    assert_eq!(hits, par_hits);
+    println!("\nparallel search (3 workers): same results in {:?}", par_stats.total_time);
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

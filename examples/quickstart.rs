@@ -1,0 +1,67 @@
+//! Quickstart: index a few lake columns and find the ones joinable with a
+//! query column.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use pexeso::pipeline::{embed_query, EmbeddedLakeBuilder};
+use pexeso::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. The embedding model. A lexicon carries the semantic knowledge a
+    //    pre-trained model would have learned from its corpus; here we
+    //    register one synonym pair by hand.
+    let mut lexicon = Lexicon::new();
+    lexicon.add_synonym_set(["New York City", "NYC", "Big Apple"]);
+    let embedder = SemanticEmbedder::new(64, lexicon);
+
+    // 2. Offline: embed the key columns of the data lake and build the
+    //    PEXESO index.
+    let cities = vec![
+        "Big Apple".to_string(),
+        "Los Angeles".to_string(),
+        "Chicago".to_string(),
+        "Houston".to_string(),
+    ];
+    let products = vec![
+        "Widget".to_string(),
+        "Gadget".to_string(),
+        "Sprocket".to_string(),
+        "Doohickey".to_string(),
+    ];
+    let lake = EmbeddedLakeBuilder::new(&embedder)
+        .add_column("city_stats", "city", &cities)
+        .add_column("inventory", "product", &products)
+        .build()?;
+    let index = PexesoIndex::build(lake.columns.clone(), Euclidean, IndexOptions::default())?;
+
+    // 3. Online: embed the query column and search. τ is 6 % of the
+    //    maximum distance, T requires 75 % of query records to match.
+    let query_values = vec![
+        "new york city".to_string(),
+        "los angeles".to_string(),
+        "chicago".to_string(),
+        "houstan".to_string(), // misspelled on purpose
+    ];
+    let query = embed_query(&embedder, &query_values);
+    let result = index.search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.75))?;
+
+    println!("query column: {query_values:?}\n");
+    println!("joinable columns ({} found):", result.hits.len());
+    for hit in &result.hits {
+        let meta = index.columns().column(hit.column);
+        println!(
+            "  {}.{}  ({} of {} query records matched)",
+            meta.table_name,
+            meta.column_name,
+            hit.match_count,
+            query_values.len()
+        );
+    }
+    println!("\nsearch stats:");
+    println!("  distance computations: {}", result.stats.distance_computations);
+    println!("  candidate pairs:       {}", result.stats.candidate_pairs);
+    println!("  total time:            {:?}", result.stats.total_time);
+    Ok(())
+}

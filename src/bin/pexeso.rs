@@ -1,0 +1,231 @@
+//! `pexeso` — command-line joinable-table discovery over CSV data lakes.
+//!
+//! ```text
+//! pexeso index  --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4]
+//! pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5]
+//! pexeso topk   --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10]
+//! ```
+//!
+//! The offline step detects each table's key column, embeds it with the
+//! deterministic character-level embedder, JSD-partitions the columns, and
+//! persists one PEXESO index per partition plus a small manifest. The
+//! online steps embed the query column with the same embedder and stream
+//! the partitions.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pexeso::pipeline::{embed_query, embed_tables};
+use pexeso::prelude::*;
+
+/// Shadow the crate's `Result` alias: CLI errors are plain strings.
+type CliResult<T> = std::result::Result<T, String>;
+use pexeso_lake::csv::read_table_file;
+use pexeso_lake::keycol::KeyColumnConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pexeso index  --lake <dir> --out <dir> [--dim 64] [--partitions 4]\n  \
+         pexeso search --index <dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5]\n  \
+         pexeso topk   --index <dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10]"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal `--key value` argument parser.
+fn parse_flags(args: &[String]) -> CliResult<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn manifest_path(index_dir: &Path) -> PathBuf {
+    index_dir.join("manifest.txt")
+}
+
+fn write_manifest(index_dir: &Path, dim: usize) -> std::io::Result<()> {
+    std::fs::write(manifest_path(index_dir), format!("version=1\nembedder=hash\ndim={dim}\n"))
+}
+
+fn read_manifest(index_dir: &Path) -> CliResult<usize> {
+    let text = std::fs::read_to_string(manifest_path(index_dir))
+        .map_err(|e| format!("cannot read manifest: {e}"))?;
+    for line in text.lines() {
+        if let Some(d) = line.strip_prefix("dim=") {
+            return d.parse().map_err(|e| format!("bad dim in manifest: {e}"));
+        }
+    }
+    Err("manifest missing dim".into())
+}
+
+fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
+    let lake_dir = flags.get("lake").ok_or("--lake is required")?;
+    let out_dir = PathBuf::from(flags.get("out").ok_or("--out is required")?);
+    let dim: usize = flags.get("dim").map_or(Ok(64), |d| d.parse().map_err(|e| format!("{e}")))?;
+    let partitions: usize =
+        flags.get("partitions").map_or(Ok(4), |k| k.parse().map_err(|e| format!("{e}")))?;
+
+    let mut tables = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(lake_dir)
+        .map_err(|e| format!("cannot read {lake_dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    entries.sort();
+    for path in &entries {
+        match read_table_file(path) {
+            Ok(t) => tables.push(t),
+            Err(e) => eprintln!("skipping {}: {e}", path.display()),
+        }
+    }
+    if tables.is_empty() {
+        return Err(format!("no readable CSV tables under {lake_dir}"));
+    }
+    println!("loaded {} tables from {lake_dir}", tables.len());
+
+    let embedder = HashEmbedder::new(dim);
+    let mut lake = embed_tables(&embedder, &tables, &KeyColumnConfig::default())
+        .map_err(|e| e.to_string())?;
+    lake.columns.store_mut().normalize_all();
+    println!(
+        "embedded {} key columns / {} values",
+        lake.columns.n_columns(),
+        lake.columns.n_vectors()
+    );
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let built = PartitionedLake::build(
+        &lake.columns,
+        Euclidean,
+        &PartitionConfig { k: partitions, method: PartitionMethod::JsdKmeans, ..Default::default() },
+        &IndexOptions::default(),
+        &out_dir,
+    )
+    .map_err(|e| e.to_string())?;
+    write_manifest(&out_dir, dim).map_err(|e| e.to_string())?;
+    println!(
+        "indexed into {} partitions ({:.1} MB) at {}",
+        built.num_partitions(),
+        built.disk_bytes().map_err(|e| e.to_string())? as f64 / 1e6,
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn load_query(flags: &HashMap<String, String>, dim: usize) -> CliResult<(Vec<String>, HashEmbedder)> {
+    let query_path = flags.get("query").ok_or("--query is required")?;
+    let table = read_table_file(Path::new(query_path)).map_err(|e| e.to_string())?;
+    let col = match flags.get("column") {
+        Some(name) => table
+            .column_index(name)
+            .ok_or_else(|| format!("column '{name}' not in {query_path}"))?,
+        None => {
+            // Query tables may be tiny; don't apply the lake's minimum-rows gate.
+            let cfg = KeyColumnConfig { min_rows: 1, ..Default::default() };
+            pexeso_lake::keycol::detect_key_column(&table, &cfg)
+                .ok_or("no key column detected; pass --column")?
+        }
+    };
+    println!(
+        "query: {} rows of {}.{}",
+        table.n_rows(),
+        table.name(),
+        table.headers()[col]
+    );
+    Ok((table.column(col).to_vec(), HashEmbedder::new(dim)))
+}
+
+fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let tau: f32 = flags.get("tau").map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let t: f64 = flags.get("t").map_or(Ok(0.5), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let dim = read_manifest(&index_dir)?;
+    let (values, embedder) = load_query(flags, dim)?;
+    let query = embed_query(&embedder, &values);
+
+    let lake = PartitionedLake::open(&index_dir).map_err(|e| e.to_string())?;
+    let (hits, stats) = lake
+        .search(Euclidean, query.store(), Tau::Ratio(tau), JoinThreshold::Ratio(t), SearchOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "\n{} joinable columns (tau={tau}, T={t}) in {:?}:",
+        hits.len(),
+        stats.total_time
+    );
+    for h in hits {
+        println!("  {} . {}  ({} records matched)", h.table_name, h.column_name, h.match_count);
+    }
+    Ok(())
+}
+
+fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let tau: f32 = flags.get("tau").map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let k: usize = flags.get("k").map_or(Ok(10), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let dim = read_manifest(&index_dir)?;
+    let (values, embedder) = load_query(flags, dim)?;
+    let query = embed_query(&embedder, &values);
+
+    // Top-k needs exact counts per partition, then a global merge.
+    let lake = PartitionedLake::open(&index_dir).map_err(|e| e.to_string())?;
+    let mut all: Vec<GlobalHit> = Vec::new();
+    for i in 0..lake.num_partitions() {
+        let index = lake.load_partition(i, Euclidean).map_err(|e| e.to_string())?;
+        let result = index
+            .search_topk(query.store(), Tau::Ratio(tau), k)
+            .map_err(|e| e.to_string())?;
+        for h in result.hits {
+            let meta = index.columns().column(h.column);
+            all.push(GlobalHit {
+                external_id: meta.external_id,
+                table_name: meta.table_name.clone(),
+                column_name: meta.column_name.clone(),
+                match_count: h.match_count,
+            });
+        }
+    }
+    all.sort_by(|a, b| b.match_count.cmp(&a.match_count).then(a.external_id.cmp(&b.external_id)));
+    all.truncate(k);
+    println!("\ntop-{k} joinable columns (tau={tau}):");
+    for h in all {
+        println!("  {} . {}  ({} records matched)", h.table_name, h.column_name, h.match_count);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "index" => cmd_index(&flags),
+        "search" => cmd_search(&flags),
+        "topk" => cmd_topk(&flags),
+        _ => {
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # pexeso — joinable table discovery in data lakes
+//!
+//! A full Rust reproduction of **PEXESO** (Dong, Takeoka, Xiao, Oyamada:
+//! *"Efficient Joinable Table Discovery in Data Lakes: A High-Dimensional
+//! Similarity-Based Approach"*, ICDE 2021): find, for a query column, every
+//! column in a data lake that joins with it under a *semantic* similarity
+//! predicate — string values are embedded as high-dimensional vectors and
+//! two records match when their distance is within τ.
+//!
+//! This facade crate re-exports the member crates and adds the
+//! [`pipeline`] that wires them together:
+//!
+//! * [`embed`] *(pexeso-embed)* — deterministic character-level +
+//!   semantic-lexicon embeddings (the offline substitute for
+//!   fastText/GloVe);
+//! * [`lake`] *(pexeso-lake)* — CSV ingestion, tables, key-column
+//!   detection, and a ground-truth synthetic lake generator;
+//! * [`core`] *(pexeso-core)* — the PEXESO index: pivot-based filtering,
+//!   hierarchical grids, inverted-index verification, cost model, JSD
+//!   partitioning, out-of-core search;
+//! * [`baselines`] *(pexeso-baselines)* — equi/Jaccard/edit/fuzzy/TF-IDF
+//!   joins, cover tree, extreme pivot table, product quantization,
+//!   PEXESO-H;
+//! * [`ml`] *(pexeso-ml)* — random forests and join-based feature
+//!   augmentation for the data-enrichment experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pexeso::prelude::*;
+//!
+//! // A lexicon supplies the semantic knowledge a pre-trained embedding
+//! // model would carry.
+//! let mut lexicon = Lexicon::new();
+//! lexicon.add_synonym_set(["American Indian/Alaska Native", "Mainland Indigenous"]);
+//! let embedder = SemanticEmbedder::new(64, lexicon);
+//!
+//! // Index one lake column.
+//! let lake_values = vec!["White".to_string(), "Mainland Indigenous".to_string()];
+//! let lake = pexeso::pipeline::EmbeddedLakeBuilder::new(&embedder)
+//!     .add_column("income", "Col 1", &lake_values)
+//!     .build()
+//!     .unwrap();
+//! let index = PexesoIndex::build(lake.columns, Euclidean, IndexOptions::default()).unwrap();
+//!
+//! // Search with a query column.
+//! let query_values = vec!["white".to_string(), "American Indian/Alaska Native".to_string()];
+//! let query = pexeso::pipeline::embed_query(&embedder, &query_values);
+//! let result = index
+//!     .search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.9))
+//!     .unwrap();
+//! assert_eq!(result.hits.len(), 1); // semantically joinable
+//! ```
+
+pub use pexeso_baselines as baselines;
+pub use pexeso_core as core;
+pub use pexeso_embed as embed;
+pub use pexeso_lake as lake;
+pub use pexeso_ml as ml;
+
+pub mod pipeline;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::pipeline::{embed_query, EmbeddedLake, EmbeddedLakeBuilder, EmbeddedQuery};
+    pub use pexeso_core::prelude::*;
+    pub use pexeso_embed::{Embedder, HashEmbedder, Lexicon, SemanticEmbedder};
+    pub use pexeso_lake::{GenTable, GeneratorConfig, SyntheticLake, Table};
+}

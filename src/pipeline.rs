@@ -1,0 +1,414 @@
+//! The end-to-end pipeline: tables → embedded columns → PEXESO index →
+//! join mappings.
+//!
+//! Mirrors the framework picture of the paper's Fig. 1: the offline
+//! component extracts key columns, embeds their string values, and indexes
+//! the vectors; the online component embeds the query column, searches, and
+//! presents each joinable table together with the record-level mapping.
+
+use std::collections::HashMap;
+
+use pexeso_core::column::{ColumnId, ColumnSet};
+use pexeso_core::config::Tau;
+use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::metric::Metric;
+use pexeso_core::search::PexesoIndex;
+use pexeso_core::vector::VectorStore;
+use pexeso_embed::Embedder;
+use pexeso_lake::generator::SyntheticLake;
+use pexeso_lake::keycol::{detect_key_column, KeyColumnConfig};
+use pexeso_lake::table::Table;
+use pexeso_ml::augment::JoinMapping;
+
+/// Where an embedded repository column came from, and which table row each
+/// of its vectors represents (empty cells are skipped during embedding, so
+/// vector offsets need not equal row numbers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnProvenance {
+    /// Index of the source table in the caller's table list.
+    pub table_idx: usize,
+    /// Index of the key column inside that table.
+    pub key_col: usize,
+    /// `rows[i]` = table row of the column's `i`-th vector.
+    pub rows: Vec<u32>,
+}
+
+/// An embedded repository: the vector columns plus provenance. The
+/// `external_id` of each [`ColumnSet`] column indexes into `provenance`.
+#[derive(Debug, Clone)]
+pub struct EmbeddedLake {
+    pub columns: ColumnSet,
+    pub provenance: Vec<ColumnProvenance>,
+}
+
+/// An embedded query column with its row alignment.
+#[derive(Debug, Clone)]
+pub struct EmbeddedQuery {
+    store: VectorStore,
+    /// `rows[i]` = query row of vector `i`.
+    rows: Vec<u32>,
+    n_rows: usize,
+}
+
+impl EmbeddedQuery {
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+}
+
+/// Embed the non-empty values of a column; returns (vectors, row indices).
+fn embed_values(embedder: &dyn Embedder, values: &[String]) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let mut vecs = Vec::with_capacity(values.len());
+    let mut rows = Vec::with_capacity(values.len());
+    for (ri, v) in values.iter().enumerate() {
+        if v.trim().is_empty() {
+            continue;
+        }
+        let e = embedder.embed(v);
+        // Zero vectors (no usable tokens) carry no signal; skip them like
+        // empty cells.
+        if e.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        vecs.push(e);
+        rows.push(ri as u32);
+    }
+    (vecs, rows)
+}
+
+/// Incremental builder for an [`EmbeddedLake`].
+pub struct EmbeddedLakeBuilder<'a> {
+    embedder: &'a dyn Embedder,
+    columns: ColumnSet,
+    provenance: Vec<ColumnProvenance>,
+}
+
+impl<'a> EmbeddedLakeBuilder<'a> {
+    pub fn new(embedder: &'a dyn Embedder) -> Self {
+        Self { embedder, columns: ColumnSet::new(embedder.dim()), provenance: Vec::new() }
+    }
+
+    /// Add one key column's values as a repository column. Table index is
+    /// assigned in insertion order.
+    pub fn add_column(mut self, table_name: &str, column_name: &str, values: &[String]) -> Self {
+        let (vecs, rows) = embed_values(self.embedder, values);
+        if vecs.is_empty() {
+            return self; // nothing embeddable; skip the column entirely
+        }
+        let table_idx = self.provenance.len();
+        let external_id = self.provenance.len() as u64;
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        self.columns
+            .add_column(table_name, column_name, external_id, refs)
+            .expect("embedder produces fixed-dim vectors");
+        self.provenance.push(ColumnProvenance { table_idx, key_col: 0, rows });
+        self
+    }
+
+    pub fn build(self) -> Result<EmbeddedLake> {
+        if self.columns.n_columns() == 0 {
+            return Err(PexesoError::EmptyInput("no embeddable columns"));
+        }
+        Ok(EmbeddedLake { columns: self.columns, provenance: self.provenance })
+    }
+}
+
+/// Offline ingestion of arbitrary tables: detect each table's key column
+/// (SATO stand-in) and embed it. Tables without a usable key column are
+/// skipped, like the paper drops tables lacking key information.
+pub fn embed_tables(
+    embedder: &dyn Embedder,
+    tables: &[Table],
+    key_cfg: &KeyColumnConfig,
+) -> Result<EmbeddedLake> {
+    let mut columns = ColumnSet::new(embedder.dim());
+    let mut provenance = Vec::new();
+    for (ti, table) in tables.iter().enumerate() {
+        let Some(key_col) = detect_key_column(table, key_cfg) else { continue };
+        let (vecs, rows) = embed_values(embedder, table.column(key_col));
+        if vecs.is_empty() {
+            continue;
+        }
+        let external_id = provenance.len() as u64;
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns.add_column(
+            table.name(),
+            &table.headers()[key_col],
+            external_id,
+            refs,
+        )?;
+        provenance.push(ColumnProvenance { table_idx: ti, key_col, rows });
+    }
+    if columns.n_columns() == 0 {
+        return Err(PexesoError::EmptyInput("no table with a detectable key column"));
+    }
+    Ok(EmbeddedLake { columns, provenance })
+}
+
+/// Offline ingestion of a generated lake, using the planted key columns
+/// (what the WDC corpus's key annotations provide in the paper).
+pub fn embed_synthetic_lake(embedder: &dyn Embedder, lake: &SyntheticLake) -> Result<EmbeddedLake> {
+    let mut columns = ColumnSet::new(embedder.dim());
+    let mut provenance = Vec::new();
+    for (ti, gt) in lake.tables.iter().enumerate() {
+        let (vecs, rows) = embed_values(embedder, gt.key_values());
+        if vecs.is_empty() {
+            continue;
+        }
+        let external_id = provenance.len() as u64;
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns.add_column(gt.table.name(), &gt.table.headers()[gt.key_col], external_id, refs)?;
+        provenance.push(ColumnProvenance { table_idx: ti, key_col: gt.key_col, rows });
+    }
+    if columns.n_columns() == 0 {
+        return Err(PexesoError::EmptyInput("generated lake had no embeddable tables"));
+    }
+    Ok(EmbeddedLake { columns, provenance })
+}
+
+/// Online: embed a query column's values (empty cells skipped but row
+/// alignment retained for join mappings).
+pub fn embed_query(embedder: &dyn Embedder, values: &[String]) -> EmbeddedQuery {
+    let (vecs, rows) = embed_values(embedder, values);
+    let mut store = VectorStore::new(embedder.dim());
+    for v in &vecs {
+        store.push(v).expect("embedder produces fixed-dim vectors");
+    }
+    EmbeddedQuery { store, rows, n_rows: values.len() }
+}
+
+/// Resolve search hits into the record-level [`JoinMapping`] the paper
+/// presents with each result (and which the ML augmentation consumes).
+pub fn join_mapping<M: Metric>(
+    index: &PexesoIndex<M>,
+    lake: &EmbeddedLake,
+    query: &EmbeddedQuery,
+    hit_columns: &[ColumnId],
+    tau: Tau,
+) -> Result<JoinMapping> {
+    let mut mapping = JoinMapping::new(query.n_rows);
+    for &col in hit_columns {
+        let pairs = index.match_pairs(query.store(), None, col, tau)?;
+        let meta = index.columns().column(col);
+        let prov = &lake.provenance[meta.external_id as usize];
+        for (q_vec, vid) in pairs {
+            let q_row = query.rows[q_vec as usize] as usize;
+            let offset = (vid.0 - meta.start) as usize;
+            let t_row = prov.rows[offset] as usize;
+            mapping.matches[q_row].push((prov.table_idx, t_row));
+        }
+    }
+    Ok(mapping)
+}
+
+/// Convenience: dedupe + sort each row's matches (multiple vectors of the
+/// same record can match).
+pub fn dedupe_mapping(mapping: &mut JoinMapping) {
+    for m in &mut mapping.matches {
+        m.sort_unstable();
+        m.dedup();
+    }
+}
+
+/// How the query column is chosen from a query table (Section II-A lists
+/// exactly these three options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryColumnChoice {
+    /// Option 1 (the paper's default, in line with JOSIE): the user names
+    /// the column.
+    Specified(usize),
+    /// Option 2: the embeddable column with the most distinct values.
+    MostDistinct,
+    /// Option 3: treat every embeddable column as a query column in turn.
+    IterateAll,
+}
+
+/// Resolve the query-column choice for a table into concrete column
+/// indices (one for the first two options, possibly several for
+/// [`QueryColumnChoice::IterateAll`]).
+pub fn select_query_columns(
+    table: &Table,
+    choice: QueryColumnChoice,
+    key_cfg: &KeyColumnConfig,
+) -> Result<Vec<usize>> {
+    use pexeso_lake::keycol::key_candidates;
+    match choice {
+        QueryColumnChoice::Specified(c) => {
+            if c >= table.n_cols() {
+                return Err(PexesoError::InvalidParameter(format!(
+                    "query column {c} out of range for table with {} columns",
+                    table.n_cols()
+                )));
+            }
+            Ok(vec![c])
+        }
+        QueryColumnChoice::MostDistinct => {
+            let mut cands = key_candidates(table, key_cfg);
+            if cands.is_empty() {
+                return Err(PexesoError::EmptyInput("no embeddable query-column candidate"));
+            }
+            // Rank purely by distinct count, as the paper words option 2.
+            cands.sort_by(|a, b| {
+                table
+                    .distinct_ratio(b.column)
+                    .total_cmp(&table.distinct_ratio(a.column))
+            });
+            Ok(vec![cands[0].column])
+        }
+        QueryColumnChoice::IterateAll => {
+            let cands = key_candidates(table, key_cfg);
+            if cands.is_empty() {
+                return Err(PexesoError::EmptyInput("no embeddable query-column candidate"));
+            }
+            let mut cols: Vec<usize> = cands.into_iter().map(|k| k.column).collect();
+            cols.sort_unstable();
+            Ok(cols)
+        }
+    }
+}
+
+/// Group hit columns by source table for presentation.
+pub fn hits_by_table<'a>(
+    index: &PexesoIndex<impl Metric>,
+    lake: &'a EmbeddedLake,
+    hit_columns: &[ColumnId],
+) -> HashMap<usize, Vec<&'a ColumnProvenance>> {
+    let mut map: HashMap<usize, Vec<&ColumnProvenance>> = HashMap::new();
+    for &col in hit_columns {
+        let meta = index.columns().column(col);
+        let prov = &lake.provenance[meta.external_id as usize];
+        map.entry(prov.table_idx).or_default().push(prov);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pexeso_core::config::{IndexOptions, JoinThreshold};
+    use pexeso_core::metric::Euclidean;
+    use pexeso_embed::{HashEmbedder, Lexicon, SemanticEmbedder};
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn builder_skips_empty_and_zero_cells() {
+        let e = HashEmbedder::new(32);
+        let lake = EmbeddedLakeBuilder::new(&e)
+            .add_column("t", "c", &strings(&["alpha", "", "  ", "beta", "---"]))
+            .build()
+            .unwrap();
+        assert_eq!(lake.columns.n_columns(), 1);
+        assert_eq!(lake.columns.n_vectors(), 2);
+        assert_eq!(lake.provenance[0].rows, vec![0, 3]);
+    }
+
+    #[test]
+    fn all_empty_column_is_skipped_entirely() {
+        let e = HashEmbedder::new(32);
+        let result = EmbeddedLakeBuilder::new(&e)
+            .add_column("t", "c", &strings(&["", "  "]))
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn query_embedding_keeps_row_alignment() {
+        let e = HashEmbedder::new(32);
+        let q = embed_query(&e, &strings(&["", "value", "", "other"]));
+        assert_eq!(q.store().len(), 2);
+        assert_eq!(q.rows(), &[1, 3]);
+        assert_eq!(q.n_rows(), 4);
+    }
+
+    #[test]
+    fn end_to_end_semantic_join_and_mapping() {
+        let mut lexicon = Lexicon::new();
+        lexicon.add_synonym_set(["Hawaiian/Guamanian/Samoan", "Pacific Islander"]);
+        let e = SemanticEmbedder::new(64, lexicon);
+
+        let lake = EmbeddedLakeBuilder::new(&e)
+            .add_column("income", "Col 1", &strings(&["White", "Black", "Pacific Islander"]))
+            .add_column("unrelated", "c", &strings(&["Alpha Beta", "Gamma Delta", "Epsilon"]))
+            .build()
+            .unwrap();
+        let index =
+            PexesoIndex::build(lake.columns.clone(), Euclidean, IndexOptions::default()).unwrap();
+
+        let query = embed_query(
+            &e,
+            &strings(&["White", "Black", "Hawaiian/Guamanian/Samoan"]),
+        );
+        let tau = Tau::Ratio(0.06); // the paper's default: 6 % of max distance
+        let result = index.search(query.store(), tau, JoinThreshold::Ratio(0.9)).unwrap();
+        assert_eq!(result.hits.len(), 1, "only the income column joins fully");
+
+        let hit_cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+        let mut mapping = join_mapping(&index, &lake, &query, &hit_cols, tau).unwrap();
+        dedupe_mapping(&mut mapping);
+        // Every query row maps to its semantic counterpart in table 0.
+        assert_eq!(mapping.matches[0], vec![(0, 0)]);
+        assert_eq!(mapping.matches[1], vec![(0, 1)]);
+        assert_eq!(mapping.matches[2], vec![(0, 2)]);
+    }
+
+    #[test]
+    fn query_column_choice_strategies() {
+        use pexeso_lake::table::Table;
+        let t = Table::from_rows(
+            "games",
+            vec!["Name", "Year", "Publisher"],
+            (0..10)
+                .map(|i| {
+                    vec![
+                        format!("Unique Game {i}"),
+                        format!("{}", 1990 + i),
+                        if i < 5 { "Nintendo".into() } else { "Sega".into() },
+                    ]
+                })
+                .collect(),
+        );
+        let cfg = KeyColumnConfig { min_distinct: 0.1, ..Default::default() };
+        assert_eq!(
+            select_query_columns(&t, QueryColumnChoice::Specified(2), &cfg).unwrap(),
+            vec![2]
+        );
+        assert!(select_query_columns(&t, QueryColumnChoice::Specified(9), &cfg).is_err());
+        // Name has 10 distinct values, Publisher 2 -> MostDistinct picks 0.
+        assert_eq!(
+            select_query_columns(&t, QueryColumnChoice::MostDistinct, &cfg).unwrap(),
+            vec![0]
+        );
+        // IterateAll returns every embeddable candidate (Year is numeric).
+        let all = select_query_columns(&t, QueryColumnChoice::IterateAll, &cfg).unwrap();
+        assert!(all.contains(&0));
+        assert!(!all.contains(&1));
+    }
+
+    #[test]
+    fn embed_tables_detects_keys() {
+        use pexeso_lake::table::Table;
+        let e = HashEmbedder::new(32);
+        let t = Table::from_rows(
+            "games",
+            vec!["Name", "Year"],
+            (0..8)
+                .map(|i| vec![format!("Game Number {i}"), format!("{}", 1990 + i)])
+                .collect(),
+        );
+        let lake = embed_tables(&e, &[t], &KeyColumnConfig::default()).unwrap();
+        assert_eq!(lake.columns.n_columns(), 1);
+        assert_eq!(lake.provenance[0].key_col, 0);
+        assert_eq!(lake.columns.n_vectors(), 8);
+    }
+}

@@ -1,0 +1,240 @@
+//! The central correctness property of the paper: PEXESO is an **exact**
+//! algorithm. Across random instances, parameter settings, and ablations,
+//! its answer set must equal the naive scan's — and so must every exact
+//! baseline (CTREE, EPT, PEXESO-H, partitioned/out-of-core search).
+
+use proptest::prelude::*;
+
+use pexeso::baselines::covertree::CoverTreeIndex;
+use pexeso::baselines::ept::EptIndex;
+use pexeso::baselines::pexeso_h::PexesoHIndex;
+use pexeso::baselines::VectorJoinSearch;
+use pexeso::prelude::*;
+
+/// Build a unit-normalised random repository + query from a seed.
+fn instance(
+    seed: u64,
+    n_cols: usize,
+    col_len: usize,
+    nq: usize,
+    dim: usize,
+) -> (ColumnSet, VectorStore) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let unit = |rng: &mut StdRng| {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+        v
+    };
+    let mut columns = ColumnSet::new(dim);
+    for c in 0..n_cols {
+        let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+    }
+    let mut query = VectorStore::new(dim);
+    for _ in 0..nq {
+        let v = unit(&mut rng);
+        query.push(&v).unwrap();
+    }
+    (columns, query)
+}
+
+fn expected_ids(
+    columns: &ColumnSet,
+    query: &VectorStore,
+    tau: Tau,
+    t: JoinThreshold,
+) -> Vec<ColumnId> {
+    let (hits, _) = naive_search(columns, &Euclidean, query, tau, t, false).unwrap();
+    hits.into_iter().map(|h| h.column).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// PEXESO ≡ naive scan over random instances and parameters.
+    #[test]
+    fn pexeso_equals_naive(
+        seed in 0u64..10_000,
+        tau_pct in 0.02f32..0.3,
+        t_ratio in 0.1f64..0.9,
+        pivots in 1usize..6,
+        levels in 1usize..7,
+    ) {
+        let (columns, query) = instance(seed, 10, 15, 6, 12);
+        let tau = Tau::Ratio(tau_pct);
+        let t = JoinThreshold::Ratio(t_ratio);
+        let expected = expected_ids(&columns, &query, tau, t);
+        let index = PexesoIndex::build(
+            columns,
+            Euclidean,
+            IndexOptions { num_pivots: pivots, levels: Some(levels), pivot_selection: PivotSelection::Pca, seed },
+        ).unwrap();
+        let got: Vec<ColumnId> = index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Every lemma ablation and quick-browse toggle stays exact.
+    #[test]
+    fn ablations_stay_exact(seed in 0u64..10_000, tau_pct in 0.03f32..0.25) {
+        let (columns, query) = instance(seed, 8, 12, 5, 10);
+        let tau = Tau::Ratio(tau_pct);
+        let t = JoinThreshold::Ratio(0.4);
+        let expected = expected_ids(&columns, &query, tau, t);
+        let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+        for flags in [
+            LemmaFlags::all(),
+            LemmaFlags::without_lemma1(),
+            LemmaFlags::without_lemma2(),
+            LemmaFlags::without_lemma34(),
+            LemmaFlags::without_lemma56(),
+        ] {
+            for quick_browse in [true, false] {
+                let got: Vec<ColumnId> = index
+                    .search_with(&query, tau, t, SearchOptions { flags, quick_browse, ..Default::default() })
+                    .unwrap()
+                    .hits.iter().map(|h| h.column).collect();
+                prop_assert_eq!(&got, &expected, "flags={:?} qb={}", flags, quick_browse);
+            }
+        }
+    }
+
+    /// Exact baselines agree with the naive scan too.
+    #[test]
+    fn exact_baselines_agree(seed in 0u64..10_000, tau_pct in 0.03f32..0.25) {
+        let (columns, query) = instance(seed, 8, 12, 5, 10);
+        let tau = Tau::Ratio(tau_pct);
+        let t = JoinThreshold::Ratio(0.5);
+        let expected = expected_ids(&columns, &query, tau, t);
+
+        let ctree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
+        let got: Vec<ColumnId> = ctree.search(&query, tau, t).unwrap().0.iter().map(|h| h.column).collect();
+        prop_assert_eq!(&got, &expected, "CTREE");
+
+        let ept = EptIndex::build(&columns, Euclidean, 3, seed).unwrap();
+        let got: Vec<ColumnId> = ept.search(&query, tau, t).unwrap().0.iter().map(|h| h.column).collect();
+        prop_assert_eq!(&got, &expected, "EPT");
+
+        let h = PexesoHIndex::build(&columns, Euclidean, IndexOptions::default()).unwrap();
+        let got: Vec<ColumnId> = h.search(&query, tau, t).unwrap().0.iter().map(|h| h.column).collect();
+        prop_assert_eq!(&got, &expected, "PEXESO-H");
+    }
+
+    /// Out-of-core partitioned search (every partitioning method) merges to
+    /// the same answer as in-memory search.
+    #[test]
+    fn partitioned_search_is_exact(seed in 0u64..5_000, k in 2usize..5) {
+        let (columns, query) = instance(seed, 12, 10, 5, 10);
+        let tau = Tau::Ratio(0.12);
+        let t = JoinThreshold::Ratio(0.4);
+        let expected: Vec<u64> = expected_ids(&columns, &query, tau, t)
+            .into_iter().map(|c| c.0 as u64).collect();
+        for method in [PartitionMethod::JsdKmeans, PartitionMethod::AvgKmeans, PartitionMethod::Random] {
+            let dir = std::env::temp_dir().join(format!(
+                "pexeso_prop_ooc_{}_{:?}_{}_{}", seed, method, k, std::process::id()
+            ));
+            let lake = PartitionedLake::build(
+                &columns,
+                Euclidean,
+                &PartitionConfig { k, method, ..Default::default() },
+                &IndexOptions { num_pivots: 3, levels: Some(3), ..Default::default() },
+                &dir,
+            ).unwrap();
+            let (hits, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+            let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
+            std::fs::remove_dir_all(&dir).ok();
+            prop_assert_eq!(&got, &expected, "method={:?}", method);
+        }
+    }
+
+    /// Metric-genericity: exactness holds under Manhattan and Chebyshev too.
+    #[test]
+    fn exact_under_other_metrics(seed in 0u64..5_000, tau_pct in 0.02f32..0.15) {
+        let (columns, query) = instance(seed, 8, 10, 5, 8);
+        let t = JoinThreshold::Ratio(0.4);
+
+        let tau = Tau::Ratio(tau_pct);
+        let (naive_m, _) = naive_search(&columns, &Manhattan, &query, tau, t, false).unwrap();
+        let index = PexesoIndex::build(columns.clone(), Manhattan, IndexOptions::default()).unwrap();
+        let got: Vec<ColumnId> = index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+        let expected: Vec<ColumnId> = naive_m.iter().map(|h| h.column).collect();
+        prop_assert_eq!(got, expected, "Manhattan");
+
+        let (naive_c, _) = naive_search(&columns, &Chebyshev, &query, tau, t, false).unwrap();
+        let index = PexesoIndex::build(columns, Chebyshev, IndexOptions::default()).unwrap();
+        let got: Vec<ColumnId> = index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+        let expected: Vec<ColumnId> = naive_c.iter().map(|h| h.column).collect();
+        prop_assert_eq!(got, expected, "Chebyshev");
+    }
+}
+
+/// Degenerate geometries that random sampling rarely produces.
+#[test]
+fn exactness_on_adversarial_layouts() {
+    let dim = 4;
+    // All vectors identical; all on a line; clustered at cell boundaries.
+    let layouts: Vec<Vec<Vec<f32>>> = vec![
+        vec![vec![0.5, 0.5, 0.5, 0.5]; 12],
+        (0..12).map(|i| {
+            let x = i as f32 / 11.0;
+            let mut v = vec![x, 1.0 - x, 0.0, 0.0];
+            let n: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|a| *a /= n.max(1e-9));
+            v
+        }).collect(),
+        (0..12).map(|i| {
+            // Values engineered to sit exactly on power-of-two fractions of
+            // the span, stressing the cell-boundary epsilon handling.
+            let x = (i % 4) as f32 * 0.25;
+            let mut v = vec![x, 0.3, 0.1, 1.0];
+            let n: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|a| *a /= n.max(1e-9));
+            v
+        }).collect(),
+    ];
+    for (li, layout) in layouts.into_iter().enumerate() {
+        let mut columns = ColumnSet::new(dim);
+        for (c, chunk) in layout.chunks(4).enumerate() {
+            let refs: Vec<&[f32]> = chunk.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for v in layout.iter().take(3) {
+            query.push(v).unwrap();
+        }
+        for tau in [Tau::Ratio(0.001), Tau::Ratio(0.05), Tau::Ratio(0.5)] {
+            for t in [JoinThreshold::Count(1), JoinThreshold::Ratio(1.0)] {
+                let expected = expected_ids(&columns, &query, tau, t);
+                let index = PexesoIndex::build(columns.clone(), Euclidean, IndexOptions::default())
+                    .unwrap();
+                let got: Vec<ColumnId> =
+                    index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+                assert_eq!(got, expected, "layout {li} tau={tau:?} t={t:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The DaaT-heap verification strategy returns the same answer set as
+    /// the default stamp-based one on full end-to-end searches.
+    #[test]
+    fn daat_strategy_is_exact(seed in 0u64..5_000, tau_pct in 0.03f32..0.25) {
+        let (columns, query) = instance(seed, 9, 12, 6, 10);
+        let tau = Tau::Ratio(tau_pct);
+        let t = JoinThreshold::Ratio(0.5);
+        let expected = expected_ids(&columns, &query, tau, t);
+        let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+        let opts = SearchOptions { verify_strategy: VerifyStrategy::DaatHeap, ..Default::default() };
+        let got: Vec<ColumnId> = index
+            .search_with(&query, tau, t, opts)
+            .unwrap()
+            .hits.iter().map(|h| h.column).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
