@@ -188,7 +188,10 @@ impl<M: Metric> VectorJoinSearch for CoverTreeIndex<'_, M> {
         }
         let hits = (0..n_cols)
             .filter(|&c| counts[c] as usize >= t_abs)
-            .map(|c| SearchHit { column: ColumnId(c as u32), match_count: counts[c] })
+            .map(|c| SearchHit {
+                column: ColumnId(c as u32),
+                match_count: counts[c],
+            })
             .collect();
         stats.total_time = started.elapsed();
         stats.verify_time = stats.total_time;
@@ -197,7 +200,11 @@ impl<M: Metric> VectorJoinSearch for CoverTreeIndex<'_, M> {
 
     fn index_bytes(&self) -> usize {
         self.node_count() * std::mem::size_of::<Node>()
-            + self.nodes.iter().map(|n| n.children.len() * 8 + n.duplicates.len() * 4).sum::<usize>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.len() * 8 + n.duplicates.len() * 4)
+                .sum::<usize>()
             + self.vec_col.len() * 4
     }
 }
@@ -224,7 +231,9 @@ mod tests {
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -273,8 +282,12 @@ mod tests {
     fn duplicates_are_retrievable() {
         let mut columns = ColumnSet::new(2);
         let v = [0.6f32, 0.8];
-        columns.add_column("t", "dups", 0, vec![&v[..], &v[..], &v[..]]).unwrap();
-        columns.add_column("t", "other", 1, vec![&[1.0f32, 0.0][..]]).unwrap();
+        columns
+            .add_column("t", "dups", 0, vec![&v[..], &v[..], &v[..]])
+            .unwrap();
+        columns
+            .add_column("t", "other", 1, vec![&[1.0f32, 0.0][..]])
+            .unwrap();
         let tree = CoverTreeIndex::build(&columns, Euclidean).unwrap();
         let mut stats = SearchStats::new();
         let mut out = Vec::new();

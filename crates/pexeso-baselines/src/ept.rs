@@ -49,7 +49,13 @@ impl<'a, M: Metric> EptIndex<'a, M> {
                 table.push(metric.dist(x, p));
             }
         }
-        Ok(Self { columns, metric, pivots, table, k })
+        Ok(Self {
+            columns,
+            metric,
+            pivots,
+            table,
+            k,
+        })
     }
 
     #[inline]
@@ -105,7 +111,11 @@ impl<M: Metric> VectorJoinSearch for EptIndex<'_, M> {
                         continue;
                     }
                     stats.distance_computations += 1;
-                    if self.metric.dist(qv, self.columns.store().get_raw(x as usize)) <= tau {
+                    if self
+                        .metric
+                        .dist(qv, self.columns.store().get_raw(x as usize))
+                        <= tau
+                    {
                         matched = true;
                         break;
                     }
@@ -122,7 +132,10 @@ impl<M: Metric> VectorJoinSearch for EptIndex<'_, M> {
                 }
             }
             if count >= t_abs {
-                hits.push(SearchHit { column: ColumnId(ci as u32), match_count: count as u32 });
+                hits.push(SearchHit {
+                    column: ColumnId(ci as u32),
+                    match_count: count as u32,
+                });
             }
         }
         stats.total_time = started.elapsed();
@@ -157,7 +170,9 @@ mod tests {
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -217,7 +232,9 @@ mod tests {
         let (columns, _) = instance(4, 2, 5, 1);
         let ept = EptIndex::build(&columns, Euclidean, 2, 7).unwrap();
         let empty = VectorStore::new(10);
-        assert!(ept.search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1)).is_err());
+        assert!(ept
+            .search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1))
+            .is_err());
     }
 
     #[test]

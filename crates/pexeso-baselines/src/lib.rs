@@ -20,8 +20,8 @@ pub mod covertree;
 pub mod ept;
 pub mod pexeso_h;
 pub mod pq;
-pub mod strsim;
 pub mod stringjoin;
+pub mod strsim;
 
 use pexeso_core::error::Result;
 use pexeso_core::search::SearchHit;

@@ -54,13 +54,25 @@ impl<'a, M: Metric> PexesoHIndex<'a, M> {
             options.seed,
         )?;
         let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None)?;
-        let span = metric.max_dist_unit(columns.dim()).max(rv_mapped.max_coord()) + 1e-4;
+        let span = metric
+            .max_dist_unit(columns.dim())
+            .max(rv_mapped.max_coord())
+            + 1e-4;
         let levels = options.levels.unwrap_or(4);
         let grid_params = GridParams::new(pivots.len(), levels, span)?;
         let hgrv = HierarchicalGrid::build(grid_params.clone(), &rv_mapped)?;
         let vec_col = columns.vector_to_column();
         let inv = InvertedIndex::build(&grid_params, &rv_mapped, &vec_col)?;
-        Ok(Self { columns, metric, pivots, grid_params, rv_mapped, hgrv, inv, vec_col })
+        Ok(Self {
+            columns,
+            metric,
+            pivots,
+            grid_params,
+            rv_mapped,
+            hgrv,
+            inv,
+            vec_col,
+        })
     }
 }
 
@@ -89,8 +101,12 @@ impl<M: Metric> VectorJoinSearch for PexesoHIndex<'_, M> {
         let started = std::time::Instant::now();
         let mut stats = SearchStats::new();
 
-        let query_mapped =
-            MappedVectors::build(query, &self.pivots, &self.metric, Some(&mut stats.mapping_distances))?;
+        let query_mapped = MappedVectors::build(
+            query,
+            &self.pivots,
+            &self.metric,
+            Some(&mut stats.mapping_distances),
+        )?;
         if query_mapped.max_coord() > self.grid_params.span {
             return Err(PexesoError::InvalidParameter(
                 "query vector maps outside the pivot space; normalise query vectors".into(),
@@ -153,7 +169,11 @@ impl<M: Metric> VectorJoinSearch for PexesoHIndex<'_, M> {
                             continue;
                         }
                         stats.distance_computations += 1;
-                        if self.metric.dist(qv, self.columns.store().get_raw(vid as usize)) <= tau {
+                        if self
+                            .metric
+                            .dist(qv, self.columns.store().get_raw(vid as usize))
+                            <= tau
+                        {
                             stamp[c] = gen;
                             counts[c] += 1;
                             if counts[c] as usize >= t_abs {
@@ -171,7 +191,10 @@ impl<M: Metric> VectorJoinSearch for PexesoHIndex<'_, M> {
 
         let hits = (0..n_cols)
             .filter(|&c| counts[c] as usize >= t_abs)
-            .map(|c| SearchHit { column: ColumnId(c as u32), match_count: counts[c] })
+            .map(|c| SearchHit {
+                column: ColumnId(c as u32),
+                match_count: counts[c],
+            })
             .collect();
         Ok((hits, stats))
     }
@@ -207,7 +230,9 @@ mod tests {
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -223,6 +248,7 @@ mod tests {
             levels: Some(4),
             pivot_selection: PivotSelection::Pca,
             seed: 7,
+            ..Default::default()
         }
     }
 
@@ -268,6 +294,8 @@ mod tests {
         let (columns, _) = instance(4, 3, 8, 1);
         let h = PexesoHIndex::build(&columns, Euclidean, opts()).unwrap();
         let empty = VectorStore::new(10);
-        assert!(h.search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1)).is_err());
+        assert!(h
+            .search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1))
+            .is_err());
     }
 }

@@ -39,7 +39,13 @@ pub struct PqConfig {
 
 impl Default for PqConfig {
     fn default() -> Self {
-        Self { num_subspaces: 5, num_centroids: 32, kmeans_iters: 12, train_sample: 4096, seed: 42 }
+        Self {
+            num_subspaces: 5,
+            num_centroids: 32,
+            kmeans_iters: 12,
+            train_sample: 4096,
+            seed: 42,
+        }
     }
 }
 
@@ -69,7 +75,9 @@ impl<'a> PqIndex<'a> {
             )));
         }
         if config.num_centroids == 0 || config.num_centroids > 256 {
-            return Err(PexesoError::InvalidParameter("num_centroids outside 1..=256".into()));
+            return Err(PexesoError::InvalidParameter(
+                "num_centroids outside 1..=256".into(),
+            ));
         }
         if columns.n_vectors() == 0 {
             return Err(PexesoError::EmptyInput("PQ over empty repository"));
@@ -109,11 +117,21 @@ impl<'a> PqIndex<'a> {
         for i in 0..store.len() {
             let v = store.get_raw(i);
             for s in 0..m {
-                codes[i * m + s] =
-                    nearest_centroid(&v[bounds[s]..bounds[s + 1]], &codebooks[s], bounds[s + 1] - bounds[s]);
+                codes[i * m + s] = nearest_centroid(
+                    &v[bounds[s]..bounds[s + 1]],
+                    &codebooks[s],
+                    bounds[s + 1] - bounds[s],
+                );
             }
         }
-        Ok(Self { columns, config, bounds, codebooks, codes, radius_scale: 1.0 })
+        Ok(Self {
+            columns,
+            config,
+            bounds,
+            codebooks,
+            codes,
+            radius_scale: 1.0,
+        })
     }
 
     /// Per-subspace squared-distance tables for a query.
@@ -159,7 +177,9 @@ impl<'a> PqIndex<'a> {
         let store = self.columns.store();
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xca11b7a7e);
         let n = store.len();
-        let q_idx: Vec<usize> = (0..sample_queries.min(n)).map(|_| rng.gen_range(0..n)).collect();
+        let q_idx: Vec<usize> = (0..sample_queries.min(n))
+            .map(|_| rng.gen_range(0..n))
+            .collect();
 
         let recall_at = |scale: f32| -> f64 {
             let mut found = 0usize;
@@ -243,7 +263,9 @@ fn train_kmeans(
         for (si, &p) in sample.iter().enumerate() {
             let c = assign[si] as usize;
             counts[c] += 1;
-            for (dst, src) in sums[c * dsub..(c + 1) * dsub].iter_mut().zip(&store.get_raw(p)[lo..hi])
+            for (dst, src) in sums[c * dsub..(c + 1) * dsub]
+                .iter_mut()
+                .zip(&store.get_raw(p)[lo..hi])
             {
                 *dst += src;
             }
@@ -255,7 +277,9 @@ fn train_kmeans(
                 centroids[c * dsub..(c + 1) * dsub].copy_from_slice(&store.get_raw(p)[lo..hi]);
             } else {
                 let inv = 1.0 / counts[c] as f32;
-                for (dst, src) in centroids[c * dsub..(c + 1) * dsub].iter_mut().zip(&sums[c * dsub..])
+                for (dst, src) in centroids[c * dsub..(c + 1) * dsub]
+                    .iter_mut()
+                    .zip(&sums[c * dsub..])
                 {
                     *dst = src * inv;
                 }
@@ -329,7 +353,10 @@ impl VectorJoinSearch for PqIndex<'_> {
                 }
             }
             if count >= t_abs {
-                hits.push(SearchHit { column: ColumnId(ci as u32), match_count: count as u32 });
+                hits.push(SearchHit {
+                    column: ColumnId(ci as u32),
+                    match_count: count as u32,
+                });
             }
         }
         stats.total_time = started.elapsed();
@@ -361,7 +388,9 @@ mod tests {
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -383,7 +412,14 @@ mod tests {
     #[test]
     fn adc_approximates_true_distance() {
         let (columns, query) = instance(2, 6, 30, 10);
-        let pq = PqIndex::build(&columns, PqConfig { num_centroids: 64, ..Default::default() }).unwrap();
+        let pq = PqIndex::build(
+            &columns,
+            PqConfig {
+                num_centroids: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut err_acc = 0.0f64;
         let mut n = 0usize;
         for q in query.iter() {
@@ -443,27 +479,54 @@ mod tests {
         if !e.is_empty() {
             let inter = g.intersection(&e).count();
             let recall = inter as f64 / e.len() as f64;
-            assert!(recall >= 0.5, "PQ column recall too low: {recall} ({g:?} vs {e:?})");
+            assert!(
+                recall >= 0.5,
+                "PQ column recall too low: {recall} ({g:?} vs {e:?})"
+            );
         }
     }
 
     #[test]
     fn invalid_configs_rejected() {
         let (columns, _) = instance(5, 2, 5, 1);
-        assert!(PqIndex::build(&columns, PqConfig { num_subspaces: 0, ..Default::default() }).is_err());
-        assert!(
-            PqIndex::build(&columns, PqConfig { num_subspaces: 13, ..Default::default() }).is_err()
-        );
-        assert!(
-            PqIndex::build(&columns, PqConfig { num_centroids: 0, ..Default::default() }).is_err()
-        );
+        assert!(PqIndex::build(
+            &columns,
+            PqConfig {
+                num_subspaces: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(PqIndex::build(
+            &columns,
+            PqConfig {
+                num_subspaces: 13,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(PqIndex::build(
+            &columns,
+            PqConfig {
+                num_centroids: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn uneven_dimension_split_covers_all_dims() {
         let (columns, _) = instance(6, 2, 8, 1);
         // dim 12 into 5 subspaces: 3,3,2,2,2.
-        let pq = PqIndex::build(&columns, PqConfig { num_subspaces: 5, ..Default::default() }).unwrap();
+        let pq = PqIndex::build(
+            &columns,
+            PqConfig {
+                num_subspaces: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(*pq.bounds.last().unwrap(), 12);
         assert_eq!(pq.bounds.len(), 6);
         let widths: Vec<usize> = pq.bounds.windows(2).map(|w| w[1] - w[0]).collect();

@@ -213,7 +213,10 @@ impl EquiJoinIndex {
                 }
             }
         }
-        Self { value_cols, n_columns: repo.len() }
+        Self {
+            value_cols,
+            n_columns: repo.len(),
+        }
     }
 
     pub fn search(&self, query: &[String], t_ratio: f64) -> (Vec<StringJoinHit>, StringJoinStats) {
@@ -279,9 +282,17 @@ impl TfIdfJoin {
         for (t, d) in &df {
             let id = vocab.len() as u32;
             vocab.insert(t.clone(), id);
-            idf.insert(t.clone(), ((1.0 + n_docs as f64) / (1.0 + *d as f64)).ln() + 1.0);
+            idf.insert(
+                t.clone(),
+                ((1.0 + n_docs as f64) / (1.0 + *d as f64)).ln() + 1.0,
+            );
         }
-        let mut this = Self { idf, columns: Vec::new(), vocab, threshold };
+        let mut this = Self {
+            idf,
+            columns: Vec::new(),
+            vocab,
+            threshold,
+        };
         this.columns = repo
             .columns
             .iter()
@@ -384,7 +395,11 @@ mod tests {
     }
 
     fn query() -> Vec<String> {
-        vec!["White".into(), "Black".into(), "Hawaiian/Guamanian/Samoan".into()]
+        vec![
+            "White".into(),
+            "Black".into(),
+            "Hawaiian/Guamanian/Samoan".into(),
+        ]
     }
 
     #[test]
@@ -413,25 +428,29 @@ mod tests {
     #[test]
     fn edit_join_tolerates_typos() {
         let r = repo();
-        let (hits, _) =
-            string_join_search(&EditMatcher { threshold: 0.7 }, &query(), &r, 0.6);
+        let (hits, _) = string_join_search(&EditMatcher { threshold: 0.7 }, &query(), &r, 0.6);
         let cols: Vec<usize> = hits.iter().map(|h| h.column).collect();
         assert!(cols.contains(&0));
-        assert!(cols.contains(&2), "edit-join should match the noisy column: {cols:?}");
+        assert!(
+            cols.contains(&2),
+            "edit-join should match the noisy column: {cols:?}"
+        );
     }
 
     #[test]
     fn jaccard_join_token_level() {
         let r = repo();
-        let (hits, _) =
-            string_join_search(&JaccardMatcher { threshold: 0.99 }, &query(), &r, 0.5);
+        let (hits, _) = string_join_search(&JaccardMatcher { threshold: 0.99 }, &query(), &r, 0.5);
         // Case-insensitive token equality: "white" matches, "Blck" doesn't.
         assert!(hits.iter().any(|h| h.column == 0));
     }
 
     #[test]
     fn fuzzy_join_matches_token_typos() {
-        let m = FuzzyMatcher { token_sim: 0.7, fraction: 0.9 };
+        let m = FuzzyMatcher {
+            token_sim: 0.7,
+            fraction: 0.9,
+        };
         assert!(m.matches("Pacific Islander", "Pacific Islandr"));
         assert!(!m.matches("Pacific Islander", "Atlantic Salmon"));
         assert!(m.matches("", ""));

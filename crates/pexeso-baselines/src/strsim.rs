@@ -141,16 +141,18 @@ mod tests {
             let a: Vec<char> = a.chars().collect();
             let b: Vec<char> = b.chars().collect();
             let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
-            for i in 0..=a.len() {
-                dp[i][0] = i;
+            for (i, row) in dp.iter_mut().enumerate() {
+                row[0] = i;
             }
-            for j in 0..=b.len() {
-                dp[0][j] = j;
+            for (j, cell) in dp[0].iter_mut().enumerate() {
+                *cell = j;
             }
             for i in 1..=a.len() {
                 for j in 1..=b.len() {
                     let c = usize::from(a[i - 1] != b[j - 1]);
-                    dp[i][j] = (dp[i - 1][j] + 1).min(dp[i][j - 1] + 1).min(dp[i - 1][j - 1] + c);
+                    dp[i][j] = (dp[i - 1][j] + 1)
+                        .min(dp[i][j - 1] + 1)
+                        .min(dp[i - 1][j - 1] + c);
                 }
             }
             dp[a.len()][b.len()]
@@ -161,8 +163,12 @@ mod tests {
         for _ in 0..200 {
             let len_a = rng.gen_range(0..10);
             let len_b = rng.gen_range(0..10);
-            let a: String = (0..len_a).map(|_| (b'a' + rng.gen_range(0..4)) as char).collect();
-            let b: String = (0..len_b).map(|_| (b'a' + rng.gen_range(0..4)) as char).collect();
+            let a: String = (0..len_a)
+                .map(|_| (b'a' + rng.gen_range(0..4)) as char)
+                .collect();
+            let b: String = (0..len_b)
+                .map(|_| (b'a' + rng.gen_range(0..4)) as char)
+                .collect();
             let truth = full(&a, &b);
             for max in 0..10 {
                 let got = edit_distance_bounded(&a, &b, max);

@@ -9,7 +9,6 @@ use pexeso_baselines::strsim::{edit_distance_bounded, jaccard_tokens};
 use pexeso_core::column::ColumnSet;
 use pexeso_core::metric::{Euclidean, Metric};
 use pexeso_core::stats::SearchStats;
-use pexeso_core::vector::VectorStore;
 
 fn unit_vec(dim: usize, seed: u64) -> Vec<f32> {
     use rand::rngs::StdRng;

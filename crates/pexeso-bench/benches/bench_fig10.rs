@@ -22,7 +22,8 @@ fn sample_columns(columns: &ColumnSet, pct: f64, seed: u64) -> ColumnSet {
             &meta.table_name,
             &meta.column_name,
             meta.external_id,
-            meta.vector_range().map(|v| columns.store().get_raw(v as usize)),
+            meta.vector_range()
+                .map(|v| columns.store().get_raw(v as usize)),
         )
         .unwrap();
     }

@@ -33,7 +33,11 @@ fn bench_fig7(c: &mut Criterion) {
             b.iter(|| {
                 partition_columns(
                     columns,
-                    &PartitionConfig { k: 4, method, ..Default::default() },
+                    &PartitionConfig {
+                        k: 4,
+                        method,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
             })

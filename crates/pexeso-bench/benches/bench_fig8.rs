@@ -14,16 +14,26 @@ fn bench_fig8(c: &mut Criterion) {
     let t = JoinThreshold::Ratio(0.6);
 
     let pex = PexesoIndex::build(columns.clone(), Euclidean, w.index_options()).unwrap();
-    let cfg = PqConfig { num_subspaces: (w.dim / 8).max(2), num_centroids: 32, ..Default::default() };
+    let cfg = PqConfig {
+        num_subspaces: (w.dim / 8).max(2),
+        num_centroids: 32,
+        ..Default::default()
+    };
     let mut pq75 = PqIndex::build(columns, cfg.clone()).unwrap();
     pq75.calibrate_recall(0.12, 0.75, 8);
     let mut pq85 = PqIndex::build(columns, cfg).unwrap();
     pq85.calibrate_recall(0.12, 0.85, 8);
 
     let mut group = c.benchmark_group("fig8_search");
-    group.bench_function("PQ-75", |b| b.iter(|| pq75.search(query.store(), tau, t).unwrap()));
-    group.bench_function("PQ-85", |b| b.iter(|| pq85.search(query.store(), tau, t).unwrap()));
-    group.bench_function("PEXESO", |b| b.iter(|| pex.search(query.store(), tau, t).unwrap()));
+    group.bench_function("PQ-75", |b| {
+        b.iter(|| pq75.search(query.store(), tau, t).unwrap())
+    });
+    group.bench_function("PQ-85", |b| {
+        b.iter(|| pq85.search(query.store(), tau, t).unwrap())
+    });
+    group.bench_function("PEXESO", |b| {
+        b.iter(|| pex.search(query.store(), tau, t).unwrap())
+    });
     group.finish();
 }
 

@@ -6,7 +6,8 @@ use pexeso_bench::workloads::Workload;
 
 fn bench_fig9(c: &mut Criterion) {
     let w = Workload::swdc(0.1, 13);
-    let index = PexesoIndex::build(w.embedded.columns.clone(), Euclidean, w.index_options()).unwrap();
+    let index =
+        PexesoIndex::build(w.embedded.columns.clone(), Euclidean, w.index_options()).unwrap();
     let (_, query) = w.query(0);
     let tau = Tau::Ratio(0.06);
     let t = JoinThreshold::Ratio(0.6);
@@ -19,7 +20,11 @@ fn bench_fig9(c: &mut Criterion) {
         ("no_lem56", LemmaFlags::without_lemma56()),
         ("all", LemmaFlags::all()),
     ] {
-        let opts = SearchOptions { flags, quick_browse: true, ..Default::default() };
+        let opts = SearchOptions {
+            flags,
+            quick_browse: true,
+            ..Default::default()
+        };
         group.bench_function(name, |b| {
             b.iter(|| index.search_with(query.store(), tau, t, opts).unwrap())
         });

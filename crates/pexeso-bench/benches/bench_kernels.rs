@@ -1,12 +1,229 @@
 //! Criterion microbenchmarks of the kernels every experiment rests on:
-//! embedding, pivot selection/mapping, grid construction, end-to-end search.
+//! embedding, pivot selection/mapping, grid construction, end-to-end
+//! search — plus the batched early-exit distance kernels and the parallel
+//! verification/mapping hot path (scalar-vs-kernel and sequential-vs-
+//! parallel, on a 10k×64-d workload).
+//!
+//! Record a snapshot with:
+//! `BENCH_JSON=BENCH_kernels.json cargo bench -p pexeso-bench --bench bench_kernels`
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pexeso::prelude::*;
 use pexeso_bench::workloads::Workload;
+use pexeso_core::block::{block, quick_browse};
 use pexeso_core::grid::{GridParams, HierarchicalGrid};
+use pexeso_core::invindex::InvertedIndex;
 use pexeso_core::mapping::MappedVectors;
 use pexeso_core::pivot::select_pivots;
+use pexeso_core::util::FastMap;
+use pexeso_core::verify::{verify_with, VerifyContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The seed's distance kernel: plain sequential accumulate + sqrt, no
+/// unrolling, no early exit, default `dist_le`/`dist_batch`. Benchmarking
+/// the real verification loop under this metric vs [`Euclidean`] isolates
+/// the kernel contribution.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScalarEuclidean;
+
+impl Metric for ScalarEuclidean {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    fn max_dist_unit(&self, _dim: usize) -> f32 {
+        2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+const DIM: usize = 64;
+const N_VECTORS: usize = 10_000;
+const N_COLS: usize = 100;
+const N_QUERY: usize = 64;
+
+fn unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+/// 10k×64-d unit-vector repository (100 columns) and a 64-vector query.
+fn kernel_workload() -> (ColumnSet, VectorStore) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut columns = ColumnSet::new(DIM);
+    let per_col = N_VECTORS / N_COLS;
+    for c in 0..N_COLS {
+        let vecs: Vec<Vec<f32>> = (0..per_col).map(|_| unit(&mut rng, DIM)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column("t", &format!("c{c}"), c as u64, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(DIM);
+    for _ in 0..N_QUERY {
+        query.push(&unit(&mut rng, DIM)).unwrap();
+    }
+    (columns, query)
+}
+
+/// Distance-kernel comparison: one query vector against the whole 10k
+/// arena, as the verification inner loop sees it.
+fn bench_distance_kernels(c: &mut Criterion) {
+    let (columns, query) = kernel_workload();
+    let flat = columns.store().raw_data().to_vec();
+    let q = query.get_raw(0).to_vec();
+    let tau = 0.12f32; // ~6% of the unit-vector max distance, paper regime
+
+    c.bench_function("kernel_scalar_dist_10k_x64d", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for row in flat.chunks_exact(DIM) {
+                if ScalarEuclidean.dist(black_box(&q), row) <= tau {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    c.bench_function("kernel_dist_le_10k_x64d", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for row in flat.chunks_exact(DIM) {
+                if Euclidean.dist_le(black_box(&q), row, tau) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    let mut out = vec![0.0f32; N_VECTORS];
+    c.bench_function("kernel_dist_batch_10k_x64d", |b| {
+        b.iter(|| {
+            Euclidean.dist_batch(black_box(&q), &flat, &mut out);
+            out.iter().filter(|&&d| d <= tau).count() as u32
+        })
+    });
+}
+
+/// The real verification loop, scalar vs kernel metric and sequential vs
+/// 8-thread parallel, on the 10k×64-d workload. Lemma 1/2 are disabled so
+/// every candidate pays the distance test — the configuration where the
+/// kernel matters most (it is also the paper's Fig. 9 ablation setting).
+fn bench_verify_hot_path(c: &mut Criterion) {
+    let (columns, query) = kernel_workload();
+    let tau = 0.12f32;
+    let t_abs = query.len() + 1; // exact counts: no early termination noise
+    let flags = LemmaFlags {
+        lemma1_vector_filter: false,
+        lemma2_vector_match: false,
+        lemma34_cell_filter: true,
+        lemma56_cell_match: true,
+    };
+
+    macro_rules! bench_with_metric {
+        ($metric:expr, $name_seq:literal, $name_par:literal) => {{
+            let metric = $metric;
+            let pivots =
+                select_pivots(columns.store(), &metric, 3, PivotSelection::Pca, 42).unwrap();
+            let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+            let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+            let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+            let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+            let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+            let vec_col = columns.vector_to_column();
+            let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+            let mut stats = SearchStats::new();
+            let mut seeded = FastMap::default();
+            let handled = quick_browse(&hgq, &inv, &mut seeded, &mut stats);
+            let blocked = block(
+                &hgq,
+                &hgrv,
+                &q_mapped,
+                tau,
+                flags,
+                Some(&handled),
+                seeded,
+                &mut stats,
+            );
+            let ctx = VerifyContext {
+                columns: &columns,
+                vec_col: &vec_col,
+                rv_mapped: &rv_mapped,
+                inv: &inv,
+                metric: &metric,
+                query: &query,
+                query_mapped: &q_mapped,
+                tau,
+                t_abs,
+                flags,
+                deleted: None,
+            };
+            c.bench_function($name_seq, |b| {
+                b.iter(|| {
+                    let mut s = SearchStats::new();
+                    verify_with(&ctx, &blocked, &mut s, ExecPolicy::Sequential)
+                })
+            });
+            c.bench_function($name_par, |b| {
+                b.iter(|| {
+                    let mut s = SearchStats::new();
+                    verify_with(&ctx, &blocked, &mut s, ExecPolicy::Parallel { threads: 8 })
+                })
+            });
+        }};
+    }
+
+    bench_with_metric!(
+        ScalarEuclidean,
+        "verify_scalar_seq_10k_x64d",
+        "verify_scalar_par8_10k_x64d"
+    );
+    bench_with_metric!(
+        Euclidean,
+        "verify_kernel_seq_10k_x64d",
+        "verify_kernel_par8_10k_x64d"
+    );
+}
+
+/// Pivot mapping of the full 10k repository: scalar metric vs batched
+/// kernel, sequential vs 8 threads.
+fn bench_mapping_hot_path(c: &mut Criterion) {
+    let (columns, _) = kernel_workload();
+    let pivots = select_pivots(columns.store(), &Euclidean, 5, PivotSelection::Pca, 42).unwrap();
+
+    c.bench_function("mapping_scalar_seq_10k_x64d", |b| {
+        b.iter(|| MappedVectors::build(columns.store(), &pivots, &ScalarEuclidean, None).unwrap())
+    });
+    c.bench_function("mapping_kernel_seq_10k_x64d", |b| {
+        b.iter(|| MappedVectors::build(columns.store(), &pivots, &Euclidean, None).unwrap())
+    });
+    c.bench_function("mapping_kernel_par8_10k_x64d", |b| {
+        b.iter(|| {
+            MappedVectors::build_with(
+                columns.store(),
+                &pivots,
+                &Euclidean,
+                None,
+                ExecPolicy::Parallel { threads: 8 },
+            )
+            .unwrap()
+        })
+    });
+}
 
 fn bench_kernels(c: &mut Criterion) {
     let w = Workload::swdc(0.1, 13);
@@ -42,11 +259,26 @@ fn bench_kernels(c: &mut Criterion) {
                 .unwrap()
         })
     });
+
+    let queries: Vec<VectorStore> = (0..8).map(|i| w.query(i).1.store().clone()).collect();
+    c.bench_function("search_many_8_queries", |b| {
+        b.iter(|| {
+            index
+                .search_many(
+                    &queries,
+                    Tau::Ratio(0.06),
+                    JoinThreshold::Ratio(0.6),
+                    SearchOptions::default(),
+                    ExecPolicy::auto(),
+                )
+                .unwrap()
+        })
+    });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels
+    targets = bench_kernels, bench_distance_kernels, bench_verify_hot_path, bench_mapping_hot_path
 }
 criterion_main!(benches);

@@ -19,6 +19,7 @@ fn bench_table6(c: &mut Criterion) {
                 levels: Some(m),
                 pivot_selection: PivotSelection::Pca,
                 seed: 42,
+                ..Default::default()
             };
             group.bench_with_input(
                 BenchmarkId::new("index_build", format!("P{pivots}_m{m}")),

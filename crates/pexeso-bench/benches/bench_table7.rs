@@ -22,10 +22,18 @@ fn bench_table7(c: &mut Criterion) {
     let pex = PexesoIndex::build(columns.clone(), Euclidean, w.index_options()).unwrap();
 
     let mut group = c.benchmark_group("table7_search");
-    group.bench_function("CTREE", |b| b.iter(|| ctree.search(query.store(), tau, t).unwrap()));
-    group.bench_function("EPT", |b| b.iter(|| ept.search(query.store(), tau, t).unwrap()));
-    group.bench_function("PEXESO-H", |b| b.iter(|| h.search(query.store(), tau, t).unwrap()));
-    group.bench_function("PEXESO", |b| b.iter(|| pex.search(query.store(), tau, t).unwrap()));
+    group.bench_function("CTREE", |b| {
+        b.iter(|| ctree.search(query.store(), tau, t).unwrap())
+    });
+    group.bench_function("EPT", |b| {
+        b.iter(|| ept.search(query.store(), tau, t).unwrap())
+    });
+    group.bench_function("PEXESO-H", |b| {
+        b.iter(|| h.search(query.store(), tau, t).unwrap())
+    });
+    group.bench_function("PEXESO", |b| {
+        b.iter(|| pex.search(query.store(), tau, t).unwrap())
+    });
     group.finish();
 }
 

@@ -61,7 +61,8 @@ fn sample_columns(columns: &ColumnSet, pct: f64, seed: u64) -> ColumnSet {
             &meta.table_name,
             &meta.column_name,
             meta.external_id,
-            meta.vector_range().map(|v| columns.store().get_raw(v as usize)),
+            meta.vector_range()
+                .map(|v| columns.store().get_raw(v as usize)),
         )
         .expect("copy");
     }
@@ -94,7 +95,9 @@ fn sample_vectors(columns: &ColumnSet, pct: f64, seed: u64) -> ColumnSet {
 fn main() {
     let scale = pexeso_bench::scale();
     let n_queries = pexeso_bench::n_queries_efficiency().min(8);
-    println!("Fig. 10: scalability on LWDC-like (scale={scale}, {n_queries} queries, tau=6%, T=60%)\n");
+    println!(
+        "Fig. 10: scalability on LWDC-like (scale={scale}, {n_queries} queries, tau=6%, T=60%)\n"
+    );
 
     let w = Workload::lwdc(scale, 17);
     let queries: Vec<_> = (0..n_queries).map(|i| w.query(i).1).collect();
@@ -102,7 +105,11 @@ fn main() {
 
     println!("(a/b) varying % of columns");
     let mut table = TablePrinter::new(&[
-        "% cols", "PEXESO-H time", "PEXESO time", "PEXESO-H MB", "PEXESO MB",
+        "% cols",
+        "PEXESO-H time",
+        "PEXESO time",
+        "PEXESO-H MB",
+        "PEXESO MB",
     ]);
     for pct in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
         let sub = sample_columns(&w.embedded.columns, pct, 3);
@@ -113,7 +120,11 @@ fn main() {
 
     println!("\n(c/d) varying % of vectors per column");
     let mut table = TablePrinter::new(&[
-        "% vecs", "PEXESO-H time", "PEXESO time", "PEXESO-H MB", "PEXESO MB",
+        "% vecs",
+        "PEXESO-H time",
+        "PEXESO time",
+        "PEXESO-H MB",
+        "PEXESO MB",
     ]);
     for pct in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
         let sub = sample_vectors(&w.embedded.columns, pct, 4);
@@ -124,7 +135,11 @@ fn main() {
 
     println!("\n(e) varying dimensionality (fresh embeddings per dim)");
     let mut table = TablePrinter::new(&[
-        "dim", "PEXESO-H time", "PEXESO time", "PEXESO-H MB", "PEXESO MB",
+        "dim",
+        "PEXESO-H time",
+        "PEXESO time",
+        "PEXESO-H MB",
+        "PEXESO MB",
     ]);
     for dim in [48usize, 96, 144] {
         let embedder = pexeso_embed::SemanticEmbedder::new(dim, w.lake.lexicon.clone());

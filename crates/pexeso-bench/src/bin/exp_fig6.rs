@@ -11,7 +11,10 @@ use pexeso_baselines::VectorJoinSearch;
 use pexeso_bench::fmt::TablePrinter;
 use pexeso_bench::workloads::Workload;
 
-fn run(w: &Workload, n_queries: usize) -> (Vec<(String, u64)>, Vec<(String, usize)>) {
+/// Per-method (distance-computation count, index size) measurements.
+type Fig6Numbers = (Vec<(String, u64)>, Vec<(String, usize)>);
+
+fn run(w: &Workload, n_queries: usize) -> Fig6Numbers {
     let queries: Vec<_> = (0..n_queries).map(|i| w.query(i).1).collect();
     let tau = Tau::Ratio(0.06);
     let t = JoinThreshold::Ratio(0.6);
@@ -24,13 +27,31 @@ fn run(w: &Workload, n_queries: usize) -> (Vec<(String, u64)>, Vec<(String, usiz
 
     let mut dists = Vec::new();
     let mut count = |name: &str, f: &dyn Fn(&pexeso::pipeline::EmbeddedQuery) -> u64| {
-        let total: u64 = queries.iter().map(|q| f(q)).sum();
+        let total: u64 = queries.iter().map(f).sum();
         dists.push((name.to_string(), total / n_queries as u64));
     };
-    count("CTREE", &|q| ctree.search(q.store(), tau, t).unwrap().1.distance_computations);
-    count("EPT", &|q| ept.search(q.store(), tau, t).unwrap().1.distance_computations);
-    count("PEXESO-H", &|q| h.search(q.store(), tau, t).unwrap().1.distance_computations);
-    count("PEXESO", &|q| pex.search(q.store(), tau, t).unwrap().stats.distance_computations);
+    count("CTREE", &|q| {
+        ctree
+            .search(q.store(), tau, t)
+            .unwrap()
+            .1
+            .distance_computations
+    });
+    count("EPT", &|q| {
+        ept.search(q.store(), tau, t)
+            .unwrap()
+            .1
+            .distance_computations
+    });
+    count("PEXESO-H", &|q| {
+        h.search(q.store(), tau, t).unwrap().1.distance_computations
+    });
+    count("PEXESO", &|q| {
+        pex.search(q.store(), tau, t)
+            .unwrap()
+            .stats
+            .distance_computations
+    });
 
     let sizes = vec![
         ("CTREE".to_string(), ctree.index_bytes()),

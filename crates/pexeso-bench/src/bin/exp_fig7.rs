@@ -33,7 +33,13 @@ fn fig7a(w: &Workload, n_queries: usize) {
             let _pivots = select_pivots(sub.store(), &Euclidean, 5, method, 42).expect("pivots");
             row.push(secs(start.elapsed()));
 
-            let opts = IndexOptions { num_pivots: 5, levels: Some(4), pivot_selection: method, seed: 42 };
+            let opts = IndexOptions {
+                num_pivots: 5,
+                levels: Some(4),
+                pivot_selection: method,
+                seed: 42,
+                ..Default::default()
+            };
             let index = PexesoIndex::build(sub.clone(), Euclidean, opts).expect("build");
             let start = Instant::now();
             for q in &queries {
@@ -62,9 +68,16 @@ fn subsample_columns(columns: &ColumnSet, pct: f64, seed: u64) -> ColumnSet {
     let mut out = ColumnSet::new(columns.dim());
     for &ci in &idx {
         let meta = &columns.columns()[ci];
-        let vectors = meta.vector_range().map(|v| columns.store().get_raw(v as usize));
-        out.add_column(&meta.table_name, &meta.column_name, meta.external_id, vectors)
-            .expect("copy");
+        let vectors = meta
+            .vector_range()
+            .map(|v| columns.store().get_raw(v as usize));
+        out.add_column(
+            &meta.table_name,
+            &meta.column_name,
+            meta.external_id,
+            vectors,
+        )
+        .expect("copy");
     }
     out
 }
@@ -75,13 +88,21 @@ fn fig7b(w: &Workload, n_queries: usize) {
     let mut table = TablePrinter::new(&["partitions", "JSD (s)", "Avg k-means (s)", "Random (s)"]);
     for k in [2usize, 4, 6, 8] {
         let mut row = vec![k.to_string()];
-        for method in [PartitionMethod::JsdKmeans, PartitionMethod::AvgKmeans, PartitionMethod::Random] {
+        for method in [
+            PartitionMethod::JsdKmeans,
+            PartitionMethod::AvgKmeans,
+            PartitionMethod::Random,
+        ] {
             let dir = std::env::temp_dir()
                 .join(format!("pexeso_f7b_{method:?}_{k}_{}", std::process::id()));
             let lake = PartitionedLake::build(
                 &w.embedded.columns,
                 Euclidean,
-                &PartitionConfig { k, method, ..Default::default() },
+                &PartitionConfig {
+                    k,
+                    method,
+                    ..Default::default()
+                },
                 &w.index_options(),
                 &dir,
             )

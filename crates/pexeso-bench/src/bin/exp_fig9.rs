@@ -28,7 +28,11 @@ fn run(w: &Workload, n_queries: usize) -> Vec<String> {
     let mut cells = Vec::new();
     let mut reference: Option<Vec<pexeso_core::ColumnId>> = None;
     for (_, flags) in variants {
-        let opts = SearchOptions { flags, quick_browse: true, ..Default::default() };
+        let opts = SearchOptions {
+            flags,
+            quick_browse: true,
+            ..Default::default()
+        };
         let start = Instant::now();
         let mut last_result = Vec::new();
         for q in &queries {
@@ -55,11 +59,22 @@ fn main() {
     let lwdc = run(&Workload::lwdc(scale, 17), n_queries.min(5));
 
     let mut table = TablePrinter::new(&["Variant", "OPEN (s)", "SWDC (s)", "LWDC (s)"]);
-    for (i, name) in ["No-Lem1", "No-Lem2", "No-Lem3&4", "No-Lem5&6", "ALL (PEXESO)"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "No-Lem1",
+        "No-Lem2",
+        "No-Lem3&4",
+        "No-Lem5&6",
+        "ALL (PEXESO)",
+    ]
+    .iter()
+    .enumerate()
     {
-        table.row(vec![name.to_string(), open[i].clone(), swdc[i].clone(), lwdc[i].clone()]);
+        table.row(vec![
+            name.to_string(),
+            open[i].clone(),
+            swdc[i].clone(),
+            lwdc[i].clone(),
+        ]);
     }
     table.print();
 }

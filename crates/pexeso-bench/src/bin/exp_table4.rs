@@ -49,7 +49,11 @@ fn make_queries(w: &Workload, n: usize, rows: usize) -> Queries {
         gens.push(gen);
         embedded.push(emb);
     }
-    Queries { gens, embedded, truths }
+    Queries {
+        gens,
+        embedded,
+        truths,
+    }
 }
 
 /// Score a string matcher at one threshold setting across all queries.
@@ -108,27 +112,40 @@ fn run_dataset(w: &Workload, n_queries: usize, query_rows: usize) -> Vec<(String
 
     // Jaccard-join, tuned.
     {
-        let acc = best([0.5, 0.7, 0.9].iter().map(|&t| {
-            score_matcher(&JaccardMatcher { threshold: t }, &repo, &queries)
-        }));
-        rows.push(("Jaccard-join".into(), acc.mean_precision(), acc.mean_recall()));
+        let acc = best(
+            [0.5, 0.7, 0.9]
+                .iter()
+                .map(|&t| score_matcher(&JaccardMatcher { threshold: t }, &repo, &queries)),
+        );
+        rows.push((
+            "Jaccard-join".into(),
+            acc.mean_precision(),
+            acc.mean_recall(),
+        ));
     }
 
     // edit-join, tuned.
     {
-        let acc = best([0.7, 0.8, 0.9].iter().map(|&t| {
-            score_matcher(&EditMatcher { threshold: t }, &repo, &queries)
-        }));
+        let acc = best(
+            [0.7, 0.8, 0.9]
+                .iter()
+                .map(|&t| score_matcher(&EditMatcher { threshold: t }, &repo, &queries)),
+        );
         rows.push(("edit-join".into(), acc.mean_precision(), acc.mean_recall()));
     }
 
     // fuzzy-join, tuned.
     {
-        let acc = best(
-            [(0.75, 0.6), (0.8, 0.8), (0.7, 0.9)].iter().map(|&(d, f)| {
-                score_matcher(&FuzzyMatcher { token_sim: d, fraction: f }, &repo, &queries)
-            }),
-        );
+        let acc = best([(0.75, 0.6), (0.8, 0.8), (0.7, 0.9)].iter().map(|&(d, f)| {
+            score_matcher(
+                &FuzzyMatcher {
+                    token_sim: d,
+                    fraction: f,
+                },
+                &repo,
+                &queries,
+            )
+        }));
         rows.push(("fuzzy-join".into(), acc.mean_precision(), acc.mean_recall()));
     }
 
@@ -144,12 +161,20 @@ fn run_dataset(w: &Workload, n_queries: usize, query_rows: usize) -> Vec<(String
             }
             acc
         }));
-        rows.push(("TF-IDF-join".into(), acc.mean_precision(), acc.mean_recall()));
+        rows.push((
+            "TF-IDF-join".into(),
+            acc.mean_precision(),
+            acc.mean_recall(),
+        ));
     }
 
     // PEXESO, τ tuned over the paper's 2–8 % range.
-    let index = PexesoIndex::build(w.embedded.columns.clone(), Euclidean, IndexOptions::default())
-        .expect("index build");
+    let index = PexesoIndex::build(
+        w.embedded.columns.clone(),
+        Euclidean,
+        IndexOptions::default(),
+    )
+    .expect("index build");
     let best_tau;
     {
         let mut cands = Vec::new();
@@ -157,7 +182,11 @@ fn run_dataset(w: &Workload, n_queries: usize, query_rows: usize) -> Vec<(String
             let mut acc = PrAccumulator::default();
             for (emb, truth) in queries.embedded.iter().zip(&queries.truths) {
                 let result = index
-                    .search(emb.store(), Tau::Ratio(tau_pct), JoinThreshold::Ratio(T_RATIO))
+                    .search(
+                        emb.store(),
+                        Tau::Ratio(tau_pct),
+                        JoinThreshold::Ratio(T_RATIO),
+                    )
                     .expect("search");
                 let cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
                 acc.push(&hits_to_tables(w, &index, &cols), truth);
@@ -185,7 +214,11 @@ fn run_dataset(w: &Workload, n_queries: usize, query_rows: usize) -> Vec<(String
         let mut acc = PrAccumulator::default();
         for (emb, truth) in queries.embedded.iter().zip(&queries.truths) {
             let (hits, _) = pq
-                .search(emb.store(), Tau::Ratio(best_tau), JoinThreshold::Ratio(T_RATIO))
+                .search(
+                    emb.store(),
+                    Tau::Ratio(best_tau),
+                    JoinThreshold::Ratio(T_RATIO),
+                )
                 .expect("pq search");
             let retrieved: HashSet<usize> = hits
                 .iter()
@@ -196,7 +229,11 @@ fn run_dataset(w: &Workload, n_queries: usize, query_rows: usize) -> Vec<(String
                 .collect();
             acc.push(&retrieved, truth);
         }
-        rows.push(("our join with PQ-85".into(), acc.mean_precision(), acc.mean_recall()));
+        rows.push((
+            "our join with PQ-85".into(),
+            acc.mean_precision(),
+            acc.mean_recall(),
+        ));
     }
 
     rows
@@ -224,7 +261,13 @@ fn main() {
     let mut table = TablePrinter::new(&["Method", "OPEN P", "OPEN R", "SWDC P", "SWDC R"]);
     for (o, s) in open_rows.iter().zip(swdc_rows.iter()) {
         assert_eq!(o.0, s.0);
-        table.row(vec![o.0.clone(), ratio(o.1), ratio(o.2), ratio(s.1), ratio(s.2)]);
+        table.row(vec![
+            o.0.clone(),
+            ratio(o.1),
+            ratio(o.2),
+            ratio(s.1),
+            ratio(s.2),
+        ]);
     }
     table.print();
 }

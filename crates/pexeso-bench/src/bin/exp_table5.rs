@@ -114,24 +114,42 @@ fn main() {
     let n_rows = ((200.0 * scale) as usize).clamp(60, 1000);
 
     let tasks = [
-        ("(a) company classification (micro-F1, higher better)", TaskKind::Classification, 0usize),
-        ("(b) product classification (micro-F1, higher better)", TaskKind::Classification, 1usize),
-        ("(c) sales regression (MSE, lower better)", TaskKind::Regression, 2usize),
+        (
+            "(a) company classification (micro-F1, higher better)",
+            TaskKind::Classification,
+            0usize,
+        ),
+        (
+            "(b) product classification (micro-F1, higher better)",
+            TaskKind::Classification,
+            1usize,
+        ),
+        (
+            "(c) sales regression (MSE, lower better)",
+            TaskKind::Regression,
+            2usize,
+        ),
     ];
 
     for (title, kind, domain) in tasks {
         let domain = domain % w.lake.config.num_domains;
         let task = make_task(
             &w.lake,
-            TaskSpec { name: title.to_string(), kind, domain, n_rows, seed: 31 + domain as u64 },
+            TaskSpec {
+                name: title.to_string(),
+                kind,
+                domain,
+                n_rows,
+                seed: 31 + domain as u64,
+            },
         );
         let aug_cfg = AugmentConfig {
             min_coverage: (n_rows / 10).max(5),
             ..Default::default()
         };
 
-        let mut methods: Vec<(String, JoinMapping)> = Vec::new();
-        methods.push(("no-join".into(), JoinMapping::new(n_rows)));
+        let mut methods: Vec<(String, JoinMapping)> =
+            vec![("no-join".into(), JoinMapping::new(n_rows))];
         methods.push((
             "equi-join".into(),
             string_mapping(&EquiMatcher, &repo, &task, &w.lake),
@@ -142,7 +160,15 @@ fn main() {
         ));
         methods.push((
             "fuzzy-join".into(),
-            string_mapping(&FuzzyMatcher { token_sim: 0.75, fraction: 0.8 }, &repo, &task, &w.lake),
+            string_mapping(
+                &FuzzyMatcher {
+                    token_sim: 0.75,
+                    fraction: 0.8,
+                },
+                &repo,
+                &task,
+                &w.lake,
+            ),
         ));
         methods.push((
             "edit-join".into(),
@@ -150,7 +176,10 @@ fn main() {
         ));
         let tfidf = TfIdfJoin::build(&repo, 0.7);
         methods.push(("TF-IDF-join".into(), tfidf_mapping(&tfidf, &task, &w.lake)));
-        methods.push(("PEXESO".into(), pexeso_mapping(&w, &index, &task, Tau::Ratio(0.06))));
+        methods.push((
+            "PEXESO".into(),
+            pexeso_mapping(&w, &index, &task, Tau::Ratio(0.06)),
+        ));
 
         println!("{title}");
         let metric_name = match kind {
@@ -161,7 +190,11 @@ fn main() {
         for (name, mapping) in methods {
             let (outcome, _nfeat) = evaluate_with_mapping(&task, &w.lake, &mapping, &aug_cfg);
             let match_pct = 100.0 * mapping.total_pairs() as f64 / total_cells as f64;
-            let match_str = if name == "no-join" { "-".to_string() } else { format!("{match_pct:.2}%") };
+            let match_str = if name == "no-join" {
+                "-".to_string()
+            } else {
+                format!("{match_pct:.2}%")
+            };
             table.row(vec![
                 name,
                 match_str,

@@ -13,7 +13,12 @@ use pexeso_core::mapping::MappedVectors;
 use pexeso_core::pivot::select_pivots;
 
 fn run_dataset(w: &Workload, n_queries: usize) {
-    println!("== {} ({} columns, {} vectors) ==", w.name, w.embedded.columns.n_columns(), w.embedded.columns.n_vectors());
+    println!(
+        "== {} ({} columns, {} vectors) ==",
+        w.name,
+        w.embedded.columns.n_columns(),
+        w.embedded.columns.n_vectors()
+    );
     let queries: Vec<_> = (0..n_queries).map(|i| w.query(i).1).collect();
     let tau = Tau::Ratio(0.06);
     let t = JoinThreshold::Ratio(0.6);
@@ -27,10 +32,11 @@ fn run_dataset(w: &Workload, n_queries: usize) {
                 levels: Some(m),
                 pivot_selection: PivotSelection::Pca,
                 seed: 42,
+                ..Default::default()
             };
             let start = Instant::now();
-            let index = PexesoIndex::build(w.embedded.columns.clone(), Euclidean, opts)
-                .expect("build");
+            let index =
+                PexesoIndex::build(w.embedded.columns.clone(), Euclidean, opts).expect("build");
             let index_time = start.elapsed();
 
             let mut block_total = Duration::ZERO;

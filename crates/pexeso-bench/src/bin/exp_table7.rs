@@ -46,8 +46,7 @@ fn run_in_memory(w: &Workload, n_queries: usize) {
     let pex = PexesoIndex::build(w.embedded.columns.clone(), Euclidean, w.index_options())
         .expect("pexeso");
 
-    let mut table =
-        TablePrinter::new(&["T", "tau", "CTREE", "EPT", "PEXESO-H", "PEXESO"]);
+    let mut table = TablePrinter::new(&["T", "tau", "CTREE", "EPT", "PEXESO-H", "PEXESO"]);
     for t in T_GRID {
         for tau in TAU_GRID {
             let time_method = |f: &dyn Fn(&pexeso::pipeline::EmbeddedQuery, Tau, JoinThreshold)| -> Option<Duration> {
@@ -105,7 +104,11 @@ fn run_out_of_core(w: &Workload, n_queries: usize, k: usize) {
     let lake = PartitionedLake::build(
         &w.embedded.columns,
         Euclidean,
-        &PartitionConfig { k, method: PartitionMethod::JsdKmeans, ..Default::default() },
+        &PartitionConfig {
+            k,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
         &w.index_options(),
         &dir,
     )

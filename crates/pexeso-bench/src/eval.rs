@@ -14,7 +14,11 @@ pub fn precision_recall(retrieved: &HashSet<usize>, truth: &HashSet<usize>) -> (
     }
     let inter = retrieved.intersection(truth).count() as f64;
     let precision = inter / retrieved.len() as f64;
-    let recall = if truth.is_empty() { 1.0 } else { inter / truth.len() as f64 };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        inter / truth.len() as f64
+    };
     (precision, recall)
 }
 

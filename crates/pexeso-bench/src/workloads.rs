@@ -28,7 +28,13 @@ impl Workload {
         let embedder = SemanticEmbedder::new(dim, lake.lexicon.clone());
         let mut embedded = embed_synthetic_lake(&embedder, &lake).expect("non-empty lake");
         embedded.columns.store_mut().normalize_all();
-        Self { name, lake, embedder, embedded, dim }
+        Self {
+            name,
+            lake,
+            embedder,
+            embedded,
+            dim,
+        }
     }
 
     /// OPEN-like profile.
@@ -75,6 +81,7 @@ impl Workload {
             levels: Some(m),
             pivot_selection: pexeso_core::PivotSelection::Pca,
             seed: 42,
+            ..Default::default()
         }
     }
 

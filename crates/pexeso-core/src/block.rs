@@ -8,7 +8,16 @@
 //! verification needed) and *candidate pairs* (verified by
 //! [`crate::verify`]).
 
-use crate::config::LemmaFlags;
+//! ## Parallel blocking
+//!
+//! Every query vector lies in exactly one leaf of `HG_Q`, hence under
+//! exactly one level-1 root child. [`block_with`] shards the root children
+//! across an [`ExecPolicy`]'s threads; the per-shard accumulators are
+//! therefore disjoint in query-vector keys and merge without conflicts,
+//! keeping the output byte-identical to the sequential traversal.
+
+use crate::config::{ExecPolicy, LemmaFlags};
+use crate::exec;
 use crate::grid::{CellKey, HierarchicalGrid};
 use crate::invindex::InvertedIndex;
 use crate::lemmas;
@@ -66,9 +75,10 @@ pub fn quick_browse(
     handled
 }
 
-/// Run Algorithm 1 over the two grids. `quick_browsed` carries the keys
+/// Run Algorithm 1 over the two grids single-threaded. `quick_browsed` carries the keys
 /// already handled by [`quick_browse`] (pass `None` to disable skipping).
 /// Pre-seeded candidate pairs may be supplied via `seed_candidates`.
+#[allow(clippy::too_many_arguments)]
 pub fn block(
     hgq: &HierarchicalGrid,
     hgrv: &HierarchicalGrid,
@@ -79,18 +89,90 @@ pub fn block(
     seed_candidates: FastMap<u32, Vec<CellKey>>,
     stats: &mut SearchStats,
 ) -> BlockOutput {
-    debug_assert_eq!(hgq.params().levels, hgrv.params().levels, "grids must share m");
-    let cfg = Cfg { hgq, hgrv, query_mapped, tau, flags, quick_browsed };
-    let mut acc = Acc {
-        matching: FastMap::default(),
-        candidates: seed_candidates,
-        scratch_leaves: Vec::new(),
-        scratch_vectors: Vec::new(),
+    block_with(
+        hgq,
+        hgrv,
+        query_mapped,
+        tau,
+        flags,
+        quick_browsed,
+        seed_candidates,
+        stats,
+        ExecPolicy::Sequential,
+    )
+}
+
+/// [`block`] with explicit parallelism over the `HG_Q` root children.
+/// Output is identical for every policy.
+#[allow(clippy::too_many_arguments)]
+pub fn block_with(
+    hgq: &HierarchicalGrid,
+    hgrv: &HierarchicalGrid,
+    query_mapped: &MappedVectors,
+    tau: f32,
+    flags: LemmaFlags,
+    quick_browsed: Option<&FastSet<CellKey>>,
+    mut seed_candidates: FastMap<u32, Vec<CellKey>>,
+    stats: &mut SearchStats,
+    policy: ExecPolicy,
+) -> BlockOutput {
+    debug_assert_eq!(
+        hgq.params().levels,
+        hgrv.params().levels,
+        "grids must share m"
+    );
+    let cfg = Cfg {
+        hgq,
+        hgrv,
+        query_mapped,
+        tau,
+        flags,
+        quick_browsed,
     };
-    for &q_child in hgq.root_children() {
-        for &t_child in hgrv.root_children() {
-            descend(&cfg, &mut acc, q_child, t_child, 1, stats);
+    let roots = hgq.root_children();
+
+    // Traverse shards of root children; each query vector lives under one
+    // root child, so shard accumulators have disjoint query keys.
+    let shards = exec::map_ranges_min(policy, roots.len(), 2, |range| {
+        let mut acc = Acc {
+            matching: FastMap::default(),
+            candidates: FastMap::default(),
+            scratch_leaves: Vec::new(),
+            scratch_vectors: Vec::new(),
+        };
+        let mut shard_stats = SearchStats::new();
+        for &q_child in &roots[range] {
+            for &t_child in hgrv.root_children() {
+                descend(&cfg, &mut acc, q_child, t_child, 1, &mut shard_stats);
+            }
         }
+        (acc, shard_stats)
+    });
+
+    let mut matching: FastMap<u32, Vec<CellKey>> = FastMap::default();
+    let mut traversed: FastMap<u32, Vec<CellKey>> = FastMap::default();
+    for (acc, shard_stats) in shards {
+        stats.merge(&shard_stats);
+        for (q, cells) in acc.matching {
+            debug_assert!(
+                !matching.contains_key(&q),
+                "query vector split across shards"
+            );
+            matching.insert(q, cells);
+        }
+        for (q, cells) in acc.candidates {
+            debug_assert!(
+                !traversed.contains_key(&q),
+                "query vector split across shards"
+            );
+            traversed.insert(q, cells);
+        }
+    }
+    // Per query vector: quick-browse seeds first, then traversal output —
+    // the order the sequential algorithm produced when it started from the
+    // seeded map.
+    for (q, cells) in traversed {
+        seed_candidates.entry(q).or_default().extend(cells);
     }
 
     let finalize = |map: FastMap<u32, Vec<CellKey>>| -> Vec<(u32, Vec<CellKey>)> {
@@ -99,11 +181,19 @@ pub fn block(
         v
     };
     let out = BlockOutput {
-        matching: finalize(acc.matching),
-        candidates: finalize(acc.candidates),
+        matching: finalize(matching),
+        candidates: finalize(seed_candidates),
     };
-    stats.matching_pairs += out.matching.iter().map(|(_, c)| c.len() as u64).sum::<u64>();
-    stats.candidate_pairs += out.candidates.iter().map(|(_, c)| c.len() as u64).sum::<u64>();
+    stats.matching_pairs += out
+        .matching
+        .iter()
+        .map(|(_, c)| c.len() as u64)
+        .sum::<u64>();
+    stats.candidate_pairs += out
+        .candidates
+        .iter()
+        .map(|(_, c)| c.len() as u64)
+        .sum::<u64>();
     out
 }
 
@@ -123,13 +213,16 @@ fn descend(
     let q_bounds = cfg.hgq.params().bounds(q_key, level);
     let t_bounds = cfg.hgrv.params().bounds(t_key, level);
 
-    if cfg.flags.lemma56_cell_match && lemmas::lemma6_cell_cell_match(&q_bounds, &t_bounds, cfg.tau) {
+    if cfg.flags.lemma56_cell_match && lemmas::lemma6_cell_cell_match(&q_bounds, &t_bounds, cfg.tau)
+    {
         stats.cell_pairs_matched += 1;
         // Every query vector under q_key matches every leaf under t_key.
         acc.scratch_leaves.clear();
-        cfg.hgrv.collect_leaves(t_key, level, &mut acc.scratch_leaves);
+        cfg.hgrv
+            .collect_leaves(t_key, level, &mut acc.scratch_leaves);
         acc.scratch_vectors.clear();
-        cfg.hgq.collect_vectors(q_key, level, &mut acc.scratch_vectors);
+        cfg.hgq
+            .collect_vectors(q_key, level, &mut acc.scratch_vectors);
         for &q in &acc.scratch_vectors {
             acc.matching
                 .entry(q)
@@ -138,7 +231,9 @@ fn descend(
         }
         return;
     }
-    if cfg.flags.lemma34_cell_filter && lemmas::lemma4_cell_cell_filter(&q_bounds, &t_bounds, cfg.tau) {
+    if cfg.flags.lemma34_cell_filter
+        && lemmas::lemma4_cell_cell_filter(&q_bounds, &t_bounds, cfg.tau)
+    {
         stats.cell_pairs_filtered += 1;
         return;
     }
@@ -151,7 +246,13 @@ fn descend(
     }
 }
 
-fn leaf_pair(cfg: &Cfg<'_>, acc: &mut Acc, q_key: CellKey, t_key: CellKey, stats: &mut SearchStats) {
+fn leaf_pair(
+    cfg: &Cfg<'_>,
+    acc: &mut Acc,
+    q_key: CellKey,
+    t_key: CellKey,
+    stats: &mut SearchStats,
+) {
     if q_key == t_key {
         if let Some(handled) = cfg.quick_browsed {
             if handled.contains(&q_key) {
@@ -162,7 +263,8 @@ fn leaf_pair(cfg: &Cfg<'_>, acc: &mut Acc, q_key: CellKey, t_key: CellKey, stats
     let t_bounds = cfg.hgrv.params().bounds(t_key, cfg.hgrv.params().levels);
     for &q in cfg.hgq.leaf_vectors(q_key) {
         let qm = cfg.query_mapped.get(q as usize);
-        if cfg.flags.lemma56_cell_match && lemmas::lemma5_vector_cell_match(qm, &t_bounds, cfg.tau) {
+        if cfg.flags.lemma56_cell_match && lemmas::lemma5_vector_cell_match(qm, &t_bounds, cfg.tau)
+        {
             stats.cell_pairs_matched += 1;
             acc.matching.entry(q).or_default().push(t_key);
         } else if cfg.flags.lemma34_cell_filter
@@ -222,7 +324,15 @@ mod tests {
         let params = GridParams::new(3, m, 2.0 + 1e-4).unwrap();
         let hgq = HierarchicalGrid::build(params.clone(), &qmapped).unwrap();
         let hgrv = HierarchicalGrid::build(params.clone(), &tmapped).unwrap();
-        Setup { query, targets, qmapped, tmapped, hgq, hgrv, params }
+        Setup {
+            query,
+            targets,
+            qmapped,
+            tmapped,
+            hgq,
+            hgrv,
+            params,
+        }
     }
 
     /// Coverage invariant: every true match (d(q,x) ≤ τ) appears either in
@@ -244,8 +354,12 @@ mod tests {
                 let d = Euclidean.dist(s.query.get_raw(qi), s.targets.get_raw(ti));
                 if d <= tau {
                     let leaf = s.params.leaf_key(s.tmapped.get(ti));
-                    let in_match = matching.get(&(qi as u32)).is_some_and(|c| c.contains(&leaf));
-                    let in_cand = candidates.get(&(qi as u32)).is_some_and(|c| c.contains(&leaf));
+                    let in_match = matching
+                        .get(&(qi as u32))
+                        .is_some_and(|c| c.contains(&leaf));
+                    let in_cand = candidates
+                        .get(&(qi as u32))
+                        .is_some_and(|c| c.contains(&leaf));
                     assert!(
                         in_match || in_cand,
                         "true match q{qi} x{ti} (d={d}) not covered by blocking"
@@ -260,7 +374,10 @@ mod tests {
     fn check_matching_sound(s: &Setup, out: &BlockOutput, tau: f32) {
         let mut by_leaf: FastMap<CellKey, Vec<usize>> = FastMap::default();
         for ti in 0..s.targets.len() {
-            by_leaf.entry(s.params.leaf_key(s.tmapped.get(ti))).or_default().push(ti);
+            by_leaf
+                .entry(s.params.leaf_key(s.tmapped.get(ti)))
+                .or_default()
+                .push(ti);
         }
         for (q, cells) in &out.matching {
             for cell in cells {
@@ -278,7 +395,14 @@ mod tests {
         let tau = 0.35;
         let mut stats = SearchStats::new();
         let out = block(
-            &s.hgq, &s.hgrv, &s.qmapped, tau, LemmaFlags::all(), None, FastMap::default(), &mut stats,
+            &s.hgq,
+            &s.hgrv,
+            &s.qmapped,
+            tau,
+            LemmaFlags::all(),
+            None,
+            FastMap::default(),
+            &mut stats,
         );
         check_coverage(&s, &out, tau);
         check_matching_sound(&s, &out, tau);
@@ -291,7 +415,13 @@ mod tests {
                 let s = setup(m as u64 * 100 + 7, 8, 60, m);
                 let mut stats = SearchStats::new();
                 let out = block(
-                    &s.hgq, &s.hgrv, &s.qmapped, tau, LemmaFlags::all(), None, FastMap::default(),
+                    &s.hgq,
+                    &s.hgrv,
+                    &s.qmapped,
+                    tau,
+                    LemmaFlags::all(),
+                    None,
+                    FastMap::default(),
                     &mut stats,
                 );
                 check_coverage(&s, &out, tau);
@@ -306,16 +436,30 @@ mod tests {
         let tau = 0.4;
         let count = |flags: LemmaFlags| -> (u64, u64) {
             let mut stats = SearchStats::new();
-            let out =
-                block(&s.hgq, &s.hgrv, &s.qmapped, tau, flags, None, FastMap::default(), &mut stats);
+            let out = block(
+                &s.hgq,
+                &s.hgrv,
+                &s.qmapped,
+                tau,
+                flags,
+                None,
+                FastMap::default(),
+                &mut stats,
+            );
             check_coverage(&s, &out, tau);
             (stats.candidate_pairs, stats.matching_pairs)
         };
         let (cand_all, _) = count(LemmaFlags::all());
         let (cand_no34, _) = count(LemmaFlags::without_lemma34());
         let (cand_no56, match_no56) = count(LemmaFlags::without_lemma56());
-        assert!(cand_no34 >= cand_all, "dropping filters cannot shrink candidates");
-        assert!(cand_no56 >= cand_all, "dropping matches moves pairs to candidates");
+        assert!(
+            cand_no34 >= cand_all,
+            "dropping filters cannot shrink candidates"
+        );
+        assert!(
+            cand_no56 >= cand_all,
+            "dropping matches moves pairs to candidates"
+        );
         assert_eq!(match_no56, 0, "no matching pairs without lemma 5/6");
     }
 
@@ -330,7 +474,14 @@ mod tests {
         let mut seeded = FastMap::default();
         let handled = quick_browse(&s.hgq, &inv, &mut seeded, &mut stats);
         let out = block(
-            &s.hgq, &s.hgrv, &s.qmapped, tau, LemmaFlags::all(), Some(&handled), seeded, &mut stats,
+            &s.hgq,
+            &s.hgrv,
+            &s.qmapped,
+            tau,
+            LemmaFlags::all(),
+            Some(&handled),
+            seeded,
+            &mut stats,
         );
         check_coverage(&s, &out, tau);
         // No (q, cell) pair may be duplicated.
@@ -344,12 +495,84 @@ mod tests {
     }
 
     #[test]
+    fn parallel_block_is_byte_identical() {
+        for m in [1usize, 3, 5] {
+            let s = setup(m as u64 * 13 + 2, 11, 90, m);
+            for tau in [0.15f32, 0.45, 1.0] {
+                let run = |policy: ExecPolicy| {
+                    let mut stats = SearchStats::new();
+                    let out = block_with(
+                        &s.hgq,
+                        &s.hgrv,
+                        &s.qmapped,
+                        tau,
+                        LemmaFlags::all(),
+                        None,
+                        FastMap::default(),
+                        &mut stats,
+                        policy,
+                    );
+                    (out, stats.candidate_pairs, stats.matching_pairs)
+                };
+                let (seq, seq_cand, seq_match) = run(ExecPolicy::Sequential);
+                for threads in [2usize, 4, 16] {
+                    let (par, par_cand, par_match) = run(ExecPolicy::Parallel { threads });
+                    assert_eq!(
+                        seq.matching, par.matching,
+                        "m={m} tau={tau} threads={threads}"
+                    );
+                    assert_eq!(
+                        seq.candidates, par.candidates,
+                        "m={m} tau={tau} threads={threads}"
+                    );
+                    assert_eq!(seq_cand, par_cand);
+                    assert_eq!(seq_match, par_match);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_block_preserves_quick_browse_seed_order() {
+        let s = setup(9, 14, 120, 3);
+        let tau = 0.4;
+        let vec_col: Vec<u32> = (0..s.targets.len() as u32).collect();
+        let inv = InvertedIndex::build(&s.params, &s.tmapped, &vec_col).unwrap();
+        let run = |policy: ExecPolicy| {
+            let mut stats = SearchStats::new();
+            let mut seeded = FastMap::default();
+            let handled = quick_browse(&s.hgq, &inv, &mut seeded, &mut stats);
+            block_with(
+                &s.hgq,
+                &s.hgrv,
+                &s.qmapped,
+                tau,
+                LemmaFlags::all(),
+                Some(&handled),
+                seeded,
+                &mut stats,
+                policy,
+            )
+        };
+        let seq = run(ExecPolicy::Sequential);
+        let par = run(ExecPolicy::Parallel { threads: 5 });
+        assert_eq!(seq.matching, par.matching);
+        assert_eq!(seq.candidates, par.candidates);
+    }
+
+    #[test]
     fn deterministic_output() {
         let s = setup(5, 6, 50, 3);
         let run = || {
             let mut stats = SearchStats::new();
             block(
-                &s.hgq, &s.hgrv, &s.qmapped, 0.3, LemmaFlags::all(), None, FastMap::default(),
+                &s.hgq,
+                &s.hgrv,
+                &s.qmapped,
+                0.3,
+                LemmaFlags::all(),
+                None,
+                FastMap::default(),
                 &mut stats,
             )
         };

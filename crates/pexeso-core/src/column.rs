@@ -45,7 +45,10 @@ pub struct ColumnSet {
 impl ColumnSet {
     /// Create an empty repository of the given dimensionality.
     pub fn new(dim: usize) -> Self {
-        Self { store: VectorStore::new(dim), columns: Vec::new() }
+        Self {
+            store: VectorStore::new(dim),
+            columns: Vec::new(),
+        }
     }
 
     /// Append a column given its vectors. Returns its [`ColumnId`].

@@ -34,7 +34,9 @@ impl Tau {
             }
         };
         if !(v.is_finite() && v >= 0.0) {
-            return Err(PexesoError::InvalidParameter(format!("tau {v} must be finite and >= 0")));
+            return Err(PexesoError::InvalidParameter(format!(
+                "tau {v} must be finite and >= 0"
+            )));
         }
         Ok(v)
     }
@@ -101,19 +103,67 @@ impl LemmaFlags {
     }
 
     pub fn without_lemma1() -> Self {
-        Self { lemma1_vector_filter: false, ..Self::default() }
+        Self {
+            lemma1_vector_filter: false,
+            ..Self::default()
+        }
     }
 
     pub fn without_lemma2() -> Self {
-        Self { lemma2_vector_match: false, ..Self::default() }
+        Self {
+            lemma2_vector_match: false,
+            ..Self::default()
+        }
     }
 
     pub fn without_lemma34() -> Self {
-        Self { lemma34_cell_filter: false, ..Self::default() }
+        Self {
+            lemma34_cell_filter: false,
+            ..Self::default()
+        }
     }
 
     pub fn without_lemma56() -> Self {
-        Self { lemma56_cell_match: false, ..Self::default() }
+        Self {
+            lemma56_cell_match: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// How much parallelism the index build and search pipeline may use.
+///
+/// Every parallel code path in this crate is *deterministic*: work is
+/// sharded so each unit's result is independent of the number of threads,
+/// and shards are merged in a fixed order. Consequently
+/// [`ExecPolicy::Sequential`] and [`ExecPolicy::Parallel`] produce
+/// byte-identical outputs (enforced by the differential tests in
+/// `tests/exactness.rs`), and the policy is purely a throughput knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Single-threaded; the default, and what the paper's experiments time.
+    #[default]
+    Sequential,
+    /// Shard work across `threads` OS threads (`std::thread::scope`).
+    /// `threads == 0` resolves to the machine's available parallelism.
+    Parallel { threads: usize },
+}
+
+impl ExecPolicy {
+    /// Parallel with as many threads as the machine offers.
+    pub fn auto() -> Self {
+        ExecPolicy::Parallel { threads: 0 }
+    }
+
+    /// The number of worker threads this policy resolves to (≥ 1).
+    pub fn effective_threads(self) -> usize {
+        match self {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ExecPolicy::Parallel { threads } => threads,
+        }
     }
 }
 
@@ -138,11 +188,20 @@ pub struct IndexOptions {
     pub pivot_selection: PivotSelection,
     /// Seed for any randomised step (sampling, random pivots).
     pub seed: u64,
+    /// Parallelism of the offline build (pivot mapping, grid + inverted
+    /// index construction). Results are identical either way.
+    pub exec: ExecPolicy,
 }
 
 impl Default for IndexOptions {
     fn default() -> Self {
-        Self { num_pivots: 5, levels: Some(4), pivot_selection: PivotSelection::Pca, seed: 42 }
+        Self {
+            num_pivots: 5,
+            levels: Some(4),
+            pivot_selection: PivotSelection::Pca,
+            seed: 42,
+            exec: ExecPolicy::Sequential,
+        }
     }
 }
 
@@ -211,6 +270,14 @@ mod tests {
         assert!(!LemmaFlags::without_lemma1().lemma1_vector_filter);
         assert!(!LemmaFlags::without_lemma34().lemma34_cell_filter);
         assert!(LemmaFlags::without_lemma34().lemma56_cell_match);
+    }
+
+    #[test]
+    fn exec_policy_resolves_threads() {
+        assert_eq!(ExecPolicy::Sequential.effective_threads(), 1);
+        assert_eq!(ExecPolicy::Parallel { threads: 3 }.effective_threads(), 3);
+        assert!(ExecPolicy::auto().effective_threads() >= 1);
+        assert_eq!(ExecPolicy::default(), ExecPolicy::Sequential);
     }
 
     #[test]

@@ -15,7 +15,6 @@
 //! exhaustively and refine with a parabola fit, which is equivalent here
 //! and deterministic.
 
-
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -53,7 +52,10 @@ impl PivotSpacePdfs {
         let dims = (0..k)
             .map(|i| Histogram::from_values(mapped.iter().map(|mv| mv[i]), 0.0, span, PDF_BINS))
             .collect();
-        Self { dims, n_vectors: mapped.len() }
+        Self {
+            dims,
+            n_vectors: mapped.len(),
+        }
     }
 
     /// Eq. 2: upper bound on the vectors inside `SQR(q', τ)` when the leaf
@@ -170,7 +172,14 @@ pub fn analyze_levels<M: Metric>(
 
     let mut costs = Vec::with_capacity(MAX_LEVELS);
     for m in 1..=MAX_LEVELS {
-        costs.push(expected_cost(m, span, &workload, &rv_sample, &pdfs, &WORKLOAD_TAUS)?);
+        costs.push(expected_cost(
+            m,
+            span,
+            &workload,
+            &rv_sample,
+            &pdfs,
+            &WORKLOAD_TAUS,
+        )?);
     }
     let argmin = costs
         .iter()
@@ -180,7 +189,11 @@ pub fn analyze_levels<M: Metric>(
         .unwrap_or(0);
     let fractional = parabola_refine(&costs, argmin);
     let chosen = (fractional.ceil() as usize).clamp(1, MAX_LEVELS);
-    Ok(LevelChoice { costs, fractional_m: fractional, chosen_m: chosen })
+    Ok(LevelChoice {
+        costs,
+        fractional_m: fractional,
+        chosen_m: chosen,
+    })
 }
 
 /// Choose the grid depth for index construction.
@@ -214,14 +227,18 @@ mod tests {
                 vecs.push(v);
             }
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         columns
     }
 
     fn setup(seed: u64) -> (ColumnSet, MappedVectors, Vec<Vec<f32>>, f32) {
         let columns = random_columns(seed, 20, 40);
-        let pivots: Vec<Vec<f32>> = (0..3).map(|i| columns.store().get_raw(i * 11).to_vec()).collect();
+        let pivots: Vec<Vec<f32>> = (0..3)
+            .map(|i| columns.store().get_raw(i * 11).to_vec())
+            .collect();
         let mapped = MappedVectors::build(columns.store(), &pivots, &Euclidean, None).unwrap();
         let span = 2.0f32.max(mapped.max_coord()) + 1e-4;
         (columns, mapped, pivots, span)

@@ -20,9 +20,9 @@ use std::collections::BinaryHeap;
 use crate::block::BlockOutput;
 use crate::column::ColumnId;
 use crate::lemmas;
+use crate::metric::Metric;
 use crate::stats::SearchStats;
 use crate::verify::{VerifyContext, VerifyOutcome};
-use crate::metric::Metric;
 
 /// A cursor over one leaf cell's postings: the next not-yet-consumed
 /// column entry of that cell.
@@ -66,7 +66,9 @@ pub fn verify_daat<M: Metric>(
         // Matching pairs first (identical to the stamp-based verifier).
         if mi < blocked.matching.len() && blocked.matching[mi].0 == q {
             for &cell in &blocked.matching[mi].1 {
-                let Some(postings) = ctx.inv.postings(cell) else { continue };
+                let Some(postings) = ctx.inv.postings(cell) else {
+                    continue;
+                };
                 for &col in &postings.cols {
                     let c = col as usize;
                     if joinable[c] || pruned[c] || matched_stamp[c] == gen {
@@ -176,7 +178,11 @@ pub fn verify_daat<M: Metric>(
         .filter(|&c| joinable[c])
         .map(|c| ColumnId(c as u32))
         .collect();
-    VerifyOutcome { joinable: joinable_ids, match_counts, mismatch_counts }
+    VerifyOutcome {
+        joinable: joinable_ids,
+        match_counts,
+        mismatch_counts,
+    }
 }
 
 #[cfg(test)]
@@ -208,7 +214,9 @@ mod tests {
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -227,8 +235,9 @@ mod tests {
         for seed in 0..6u64 {
             let (query, columns) = instance(seed, 12, 20, 8);
             let metric = Euclidean;
-            let pivots: Vec<Vec<f32>> =
-                (0..3).map(|i| columns.store().get_raw(i * 7).to_vec()).collect();
+            let pivots: Vec<Vec<f32>> = (0..3)
+                .map(|i| columns.store().get_raw(i * 7).to_vec())
+                .collect();
             let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
             let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
             let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
@@ -241,8 +250,14 @@ mod tests {
                 for t_abs in [1usize, 3, 9 /* > |Q|: top-k mode */] {
                     let mut stats = SearchStats::new();
                     let blocked = block(
-                        &hgq, &hgrv, &q_mapped, tau, LemmaFlags::all(), None,
-                        FastMap::default(), &mut stats,
+                        &hgq,
+                        &hgrv,
+                        &q_mapped,
+                        tau,
+                        LemmaFlags::all(),
+                        None,
+                        FastMap::default(),
+                        &mut stats,
                     );
                     let ctx = VerifyContext {
                         columns: &columns,
@@ -277,7 +292,9 @@ mod tests {
     fn daat_respects_deletions() {
         let (query, columns) = instance(42, 6, 10, 5);
         let metric = Euclidean;
-        let pivots: Vec<Vec<f32>> = (0..3).map(|i| columns.store().get_raw(i).to_vec()).collect();
+        let pivots: Vec<Vec<f32>> = (0..3)
+            .map(|i| columns.store().get_raw(i).to_vec())
+            .collect();
         let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
         let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
         let params = GridParams::new(3, 3, 2.0 + 1e-4).unwrap();
@@ -287,7 +304,14 @@ mod tests {
         let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
         let mut stats = SearchStats::new();
         let blocked = block(
-            &hgq, &hgrv, &q_mapped, 1.0, LemmaFlags::all(), None, FastMap::default(), &mut stats,
+            &hgq,
+            &hgrv,
+            &q_mapped,
+            1.0,
+            LemmaFlags::all(),
+            None,
+            FastMap::default(),
+            &mut stats,
         );
         let deleted = vec![true; columns.n_columns()];
         let ctx = VerifyContext {
@@ -304,6 +328,9 @@ mod tests {
             deleted: Some(&deleted),
         };
         let out = verify_daat(&ctx, &blocked, &mut stats);
-        assert!(out.joinable.is_empty(), "everything deleted, nothing joinable");
+        assert!(
+            out.joinable.is_empty(),
+            "everything deleted, nothing joinable"
+        );
     }
 }

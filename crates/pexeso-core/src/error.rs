@@ -59,10 +59,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = PexesoError::DimensionMismatch { expected: 50, got: 300 };
+        let e = PexesoError::DimensionMismatch {
+            expected: 50,
+            got: 300,
+        };
         assert!(e.to_string().contains("expected 50"));
-        assert!(PexesoError::EmptyInput("pivots").to_string().contains("pivots"));
-        assert!(PexesoError::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+        assert!(PexesoError::EmptyInput("pivots")
+            .to_string()
+            .contains("pivots"));
+        assert!(PexesoError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Deterministic parallel execution layer.
+//!
+//! Every hot stage of the PEXESO pipeline — pivot mapping, grid and
+//! inverted-index construction, blocking, verification, multi-query and
+//! out-of-core search — is expressed as *independent work over contiguous
+//! index ranges* and funnelled through the helpers here. The helpers shard
+//! the range across the threads of an [`ExecPolicy`] with
+//! `std::thread::scope` and merge shard results in range order, so the
+//! output is byte-identical to a sequential run (there are no
+//! order-sensitive floating-point reductions across shards). That property
+//! is what lets `ExecPolicy` be a pure throughput knob: the differential
+//! tests in `tests/exactness.rs` pin `Sequential ≡ Parallel` exactly.
+//!
+//! No external runtime (rayon et al.) is used: the registry-less build
+//! environment bakes in only the standard library, and scoped threads are
+//! all these fork-join shapes need.
+
+use std::ops::Range;
+
+use crate::config::ExecPolicy;
+
+/// Below this many work items the thread-spawn overhead dominates and the
+/// helpers fall back to the sequential path regardless of policy. Spawning
+/// and joining a thread costs on the order of tens of microseconds, so a
+/// shard needs roughly a millisecond of work to pay for itself; stages
+/// with very cheap per-item cost pass a larger `min_items` of their own.
+pub const MIN_PARALLEL_ITEMS: usize = 2048;
+
+/// Split `0..n` into at most `threads` contiguous, non-empty ranges.
+fn shards(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk).min(n)..((t + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Run `f` over contiguous shards of `0..n`, returning one result per shard
+/// in range order. Sequential policies (or small `n`) run a single shard on
+/// the calling thread.
+pub fn map_ranges<T, F>(policy: ExecPolicy, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    map_ranges_min(policy, n, MIN_PARALLEL_ITEMS, f)
+}
+
+/// [`map_ranges`] with an explicit parallelism cut-off, for stages whose
+/// per-item cost is large (e.g. one column or one whole query per item).
+pub fn map_ranges_min<T, F>(policy: ExecPolicy, n: usize, min_items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let threads = policy.effective_threads();
+    if threads <= 1 || n < min_items.max(2) {
+        return vec![f(0..n)];
+    }
+    let ranges = shards(n, threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                scope.spawn(move || f(r))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pexeso worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Fill `out` (viewed as `n = out.len() / width` logical slots of `width`
+/// elements) by handing each shard of slots its disjoint `&mut` window.
+/// `f(slot_range, window)` writes `window[(i - slot_range.start) * width ..]`
+/// for each slot `i`. Deterministic: slot values never depend on sharding.
+pub fn fill_slots<T, F>(policy: ExecPolicy, out: &mut [T], width: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    fill_slots_min(policy, out, width, MIN_PARALLEL_ITEMS, f)
+}
+
+/// [`fill_slots`] with an explicit parallelism cut-off, for stages whose
+/// per-slot cost is far from the default assumption (e.g. leaf-key packing
+/// at a few ns per slot needs far more slots to amortise a spawn).
+pub fn fill_slots_min<T, F>(policy: ExecPolicy, out: &mut [T], width: usize, min_items: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(width > 0, "slot width must be positive");
+    debug_assert_eq!(out.len() % width, 0);
+    let n = out.len() / width;
+    let threads = policy.effective_threads();
+    if threads <= 1 || n < min_items.max(2) {
+        f(0..n, out);
+        return;
+    }
+    let ranges = shards(n, threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for r in ranges {
+            let (window, tail) = rest.split_at_mut((r.end - r.start) * width);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(r, window));
+        }
+    });
+}
+
+/// Dynamic work-stealing loop for *coarse* units of uneven cost (e.g. one
+/// disk partition per unit). `f(i)` runs once for every `i in 0..n`;
+/// results are returned in unit order. Unlike [`map_ranges`] the
+/// assignment of units to threads is dynamic, which is safe exactly
+/// because each unit's result is independent of every other.
+pub fn map_units<T, F>(policy: ExecPolicy, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = policy.effective_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (next, slots, f) = (&next, &slots, &f);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                slots.lock().expect("result lock poisoned")[i] = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("every unit produced a result"))
+        .collect()
+}
+
+/// Fallible [`map_units`]: stops handing out new units after the first
+/// `Err` (or worker panic, converted to the supplied error) and returns
+/// the lowest-indexed failure, like a sequential `?` loop would. Units
+/// already in flight on other threads still run to completion; their
+/// results are discarded when an earlier unit failed.
+pub fn try_map_units<T, E, F>(
+    policy: ExecPolicy,
+    n: usize,
+    on_panic: impl Fn() -> E + Sync,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let threads = policy.effective_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    let mut out: Vec<Option<Result<T, E>>> = (0..n).map(|_| None).collect();
+    let slots = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (next, abort, slots, f, on_panic) = (&next, &abort, &slots, &f, &on_panic);
+            scope.spawn(move || loop {
+                if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                    .unwrap_or_else(|_| Err(on_panic()));
+                if r.is_err() {
+                    abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                slots.lock().expect("result lock poisoned")[i] = Some(r);
+            });
+        }
+    });
+    // Surface the lowest-indexed error (matching a sequential loop); a
+    // trailing `None` can only follow an abort.
+    let mut done = Vec::with_capacity(n);
+    for slot in out {
+        match slot {
+            Some(Ok(v)) => done.push(v),
+            Some(Err(e)) => return Err(e),
+            None => break,
+        }
+    }
+    if done.len() == n {
+        Ok(done)
+    } else {
+        // Aborted: some later unit failed before earlier ones ran.
+        Err(on_panic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_range_without_overlap() {
+        for n in [0usize, 1, 7, 100, 2048, 10_001] {
+            for t in [1usize, 2, 3, 8, 64] {
+                let s = shards(n, t);
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for r in &s {
+                    assert_eq!(r.start, expected_start);
+                    assert!(!r.is_empty());
+                    covered += r.len();
+                    expected_start = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn map_ranges_parallel_equals_sequential() {
+        let n = 50_000;
+        let work = |r: Range<usize>| -> u64 { r.map(|i| (i as u64).wrapping_mul(31)).sum() };
+        let seq: u64 = map_ranges(ExecPolicy::Sequential, n, work)
+            .into_iter()
+            .sum();
+        let par: u64 = map_ranges(ExecPolicy::Parallel { threads: 7 }, n, work)
+            .into_iter()
+            .sum();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fill_slots_parallel_equals_sequential() {
+        let n = 10_000;
+        let width = 3;
+        let f = |slots: Range<usize>, window: &mut [u32]| {
+            for (k, i) in slots.enumerate() {
+                for w in 0..width {
+                    window[k * width + w] = (i * width + w) as u32;
+                }
+            }
+        };
+        let mut seq = vec![0u32; n * width];
+        fill_slots(ExecPolicy::Sequential, &mut seq, width, f);
+        let mut par = vec![0u32; n * width];
+        fill_slots(ExecPolicy::Parallel { threads: 5 }, &mut par, width, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq[7], 7);
+    }
+
+    #[test]
+    fn map_units_preserves_order() {
+        let seq = map_units(ExecPolicy::Sequential, 20, |i| i * i);
+        let par = map_units(ExecPolicy::Parallel { threads: 4 }, 20, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(seq[3], 9);
+    }
+
+    #[test]
+    fn try_map_units_short_circuits_and_reports_lowest_error() {
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }] {
+            let ok = try_map_units(policy, 10, || "panic", |i| Ok::<_, &str>(i * 2));
+            assert_eq!(ok.unwrap(), (0..10).map(|i| i * 2).collect::<Vec<_>>());
+
+            let err = try_map_units(
+                policy,
+                10,
+                || "panic".to_string(),
+                |i| {
+                    if i >= 3 {
+                        Err(format!("unit {i} failed"))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            );
+            // Lowest-indexed failure, like a sequential `?` loop.
+            assert_eq!(err.unwrap_err(), "unit 3 failed", "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn try_map_units_converts_worker_panics_to_errors() {
+        let err = try_map_units(
+            ExecPolicy::Parallel { threads: 3 },
+            6,
+            || "worker panicked",
+            |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                Ok::<_, &str>(i)
+            },
+        );
+        assert_eq!(err.unwrap_err(), "worker panicked");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert_eq!(map_units(ExecPolicy::auto(), 0, |i| i).len(), 0);
+        let v = map_ranges(ExecPolicy::auto(), 0, |r| r.len());
+        assert_eq!(v.into_iter().sum::<usize>(), 0);
+        let mut empty: [u8; 0] = [];
+        fill_slots(ExecPolicy::auto(), &mut empty, 4, |_, _| {});
+    }
+}

@@ -7,9 +7,9 @@
 //! representation limits `|P| ≤ 16`, `m ≤ 8`). A parent key is obtained by
 //! halving every slot, which is a two-instruction lane-wise shift.
 
-
-use crate::config::{MAX_LEVELS, MAX_PIVOTS};
+use crate::config::{ExecPolicy, MAX_LEVELS, MAX_PIVOTS};
 use crate::error::{PexesoError, Result};
+use crate::exec;
 use crate::mapping::MappedVectors;
 use crate::util::FastMap;
 
@@ -77,9 +77,15 @@ impl GridParams {
             )));
         }
         if !(span.is_finite() && span > 0.0) {
-            return Err(PexesoError::InvalidParameter(format!("span {span} must be positive")));
+            return Err(PexesoError::InvalidParameter(format!(
+                "span {span} must be positive"
+            )));
         }
-        Ok(Self { num_pivots, levels, span })
+        Ok(Self {
+            num_pivots,
+            levels,
+            span,
+        })
     }
 
     /// Edge length of a cell at `level`.
@@ -105,7 +111,11 @@ impl GridParams {
     /// Bounds of the cell with `key` at `level`.
     pub fn bounds(&self, key: CellKey, level: usize) -> CellBounds {
         let w = self.cell_width(level);
-        let mut b = CellBounds { lower: [0.0; MAX_PIVOTS], upper: [0.0; MAX_PIVOTS], n: self.num_pivots };
+        let mut b = CellBounds {
+            lower: [0.0; MAX_PIVOTS],
+            upper: [0.0; MAX_PIVOTS],
+            n: self.num_pivots,
+        };
         for i in 0..self.num_pivots {
             let idx = ((key.0 >> (8 * i)) & 0xff) as f32;
             b.lower[i] = idx * w;
@@ -113,6 +123,25 @@ impl GridParams {
         }
         b
     }
+}
+
+/// Leaf keys for every mapped vector, sharded across the policy's threads.
+/// Exposed to [`crate::invindex`] so both structures share one kernel.
+pub(crate) fn compute_leaf_keys(
+    params: &GridParams,
+    mapped: &MappedVectors,
+    policy: ExecPolicy,
+) -> Vec<CellKey> {
+    let n = mapped.len();
+    let mut keys = vec![CellKey(0); n];
+    // Key packing costs only a few ns per vector, so a shard needs far
+    // more slots than the default cut-off to amortise a thread spawn.
+    exec::fill_slots_min(policy, &mut keys, 1, 1 << 17, |range, window| {
+        for (slot, i) in range.enumerate() {
+            window[slot] = params.leaf_key(mapped.get(i));
+        }
+    });
+    keys
 }
 
 /// A sparse hierarchical grid, optionally holding the vector ids of each
@@ -133,26 +162,53 @@ pub struct HierarchicalGrid {
 impl HierarchicalGrid {
     /// Build from mapped vectors, storing per-leaf vector id lists.
     pub fn build(params: GridParams, mapped: &MappedVectors) -> Result<Self> {
-        Self::build_inner(params, mapped, true)
+        Self::build_inner(params, mapped, true, ExecPolicy::Sequential)
+    }
+
+    /// [`HierarchicalGrid::build`] with explicit parallelism (identical
+    /// output for every policy).
+    pub fn build_with(
+        params: GridParams,
+        mapped: &MappedVectors,
+        policy: ExecPolicy,
+    ) -> Result<Self> {
+        Self::build_inner(params, mapped, true, policy)
     }
 
     /// Build from mapped vectors without retaining vector id lists
     /// (structure only, for `HG_RV` whose contents live in the inverted
     /// index).
     pub fn build_keys_only(params: GridParams, mapped: &MappedVectors) -> Result<Self> {
-        Self::build_inner(params, mapped, false)
+        Self::build_inner(params, mapped, false, ExecPolicy::Sequential)
     }
 
-    fn build_inner(params: GridParams, mapped: &MappedVectors, with_vectors: bool) -> Result<Self> {
+    /// [`HierarchicalGrid::build_keys_only`] with explicit parallelism.
+    pub fn build_keys_only_with(
+        params: GridParams,
+        mapped: &MappedVectors,
+        policy: ExecPolicy,
+    ) -> Result<Self> {
+        Self::build_inner(params, mapped, false, policy)
+    }
+
+    fn build_inner(
+        params: GridParams,
+        mapped: &MappedVectors,
+        with_vectors: bool,
+        policy: ExecPolicy,
+    ) -> Result<Self> {
         if mapped.num_pivots() != params.num_pivots {
             return Err(PexesoError::DimensionMismatch {
                 expected: params.num_pivots,
                 got: mapped.num_pivots(),
             });
         }
+        // Leaf keys are per-vector independent: compute them sharded, then
+        // aggregate into the sparse map in id order (same order as a
+        // sequential scan, so the map contents are identical).
+        let keys = compute_leaf_keys(&params, mapped, policy);
         let mut leaf_vectors: FastMap<CellKey, Vec<u32>> = FastMap::default();
-        for (i, mv) in mapped.iter().enumerate() {
-            let key = params.leaf_key(mv);
+        for (i, &key) in keys.iter().enumerate() {
             let entry = leaf_vectors.entry(key).or_default();
             if with_vectors {
                 entry.push(i as u32);
@@ -161,8 +217,9 @@ impl HierarchicalGrid {
 
         // Derive upper levels bottom-up.
         let m = params.levels;
-        let mut children: Vec<FastMap<CellKey, Vec<CellKey>>> =
-            (0..m.saturating_sub(1)).map(|_| FastMap::default()).collect();
+        let mut children: Vec<FastMap<CellKey, Vec<CellKey>>> = (0..m.saturating_sub(1))
+            .map(|_| FastMap::default())
+            .collect();
         let mut current: Vec<CellKey> = leaf_vectors.keys().copied().collect();
         current.sort_unstable();
         for l in (1..m).rev() {
@@ -178,7 +235,13 @@ impl HierarchicalGrid {
             current.sort_unstable();
             children[l - 1] = parents;
         }
-        Ok(Self { params, root_children: current, children, leaf_vectors, with_vectors })
+        Ok(Self {
+            params,
+            root_children: current,
+            children,
+            leaf_vectors,
+            with_vectors,
+        })
     }
 
     pub fn params(&self) -> &GridParams {
@@ -196,13 +259,19 @@ impl HierarchicalGrid {
         if level >= self.params.levels {
             return &[];
         }
-        self.children[level - 1].get(&key).map(Vec::as_slice).unwrap_or(&[])
+        self.children[level - 1]
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Vector ids in a leaf cell.
     pub fn leaf_vectors(&self, key: CellKey) -> &[u32] {
         debug_assert!(self.with_vectors, "grid built keys-only");
-        self.leaf_vectors.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        self.leaf_vectors
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All non-empty leaf keys (sorted copies for deterministic iteration).
@@ -286,7 +355,11 @@ impl HierarchicalGrid {
             total += level.values().map(|v| v.len() * key_sz).sum::<usize>();
         }
         total += self.leaf_vectors.len() * (key_sz + std::mem::size_of::<Vec<u32>>());
-        total += self.leaf_vectors.values().map(|v| v.len() * 4).sum::<usize>();
+        total += self
+            .leaf_vectors
+            .values()
+            .map(|v| v.len() * 4)
+            .sum::<usize>();
         total
     }
 }
@@ -329,8 +402,8 @@ mod tests {
         let coords = [0.1f32, 1.7, 0.95];
         let key = p.leaf_key(&coords);
         let b = p.bounds(key, 4);
-        for i in 0..3 {
-            assert!(b.lower[i] <= coords[i] + 1e-5 && coords[i] <= b.upper[i] + 1e-5);
+        for (i, &c) in coords.iter().enumerate() {
+            assert!(b.lower[i] <= c + 1e-5 && c <= b.upper[i] + 1e-5);
         }
     }
 
@@ -351,12 +424,7 @@ mod tests {
     fn grid_matches_paper_example_shape() {
         // Fig. 3: 2-d pivot space, 2 levels; leaf cells 4x4.
         let p = GridParams::new(2, 2, 4.0).unwrap();
-        let m = mapped(&[
-            &[0.5, 0.5],
-            &[0.6, 0.4],
-            &[3.5, 3.5],
-            &[2.5, 0.5],
-        ]);
+        let m = mapped(&[&[0.5, 0.5], &[0.6, 0.4], &[3.5, 3.5], &[2.5, 0.5]]);
         let g = HierarchicalGrid::build(p, &m).unwrap();
         assert_eq!(g.num_leaves(), 3, "two vectors share a leaf");
         assert_eq!(g.root_children().len(), 3);

@@ -16,7 +16,12 @@ pub struct Histogram {
 impl Histogram {
     /// Build over `[lo, hi]` with `nbins` bins; values outside the range
     /// clamp into the boundary bins.
-    pub fn from_values(values: impl IntoIterator<Item = f32>, lo: f32, hi: f32, nbins: usize) -> Self {
+    pub fn from_values(
+        values: impl IntoIterator<Item = f32>,
+        lo: f32,
+        hi: f32,
+        nbins: usize,
+    ) -> Self {
         assert!(nbins > 0 && hi > lo, "bad histogram range/bins");
         let mut bins = vec![0.0f64; nbins];
         let mut count = 0u64;
@@ -30,7 +35,12 @@ impl Histogram {
             let inv = 1.0 / count as f64;
             bins.iter_mut().for_each(|b| *b *= inv);
         }
-        Self { lo, hi, bins, count }
+        Self {
+            lo,
+            hi,
+            bins,
+            count,
+        }
     }
 
     pub fn nbins(&self) -> usize {
@@ -53,8 +63,10 @@ impl Histogram {
             return 0.0;
         }
         let width = (self.hi - self.lo) / self.bins.len() as f32;
-        let first = (((a - self.lo) / width).floor() as i64).clamp(0, self.bins.len() as i64 - 1) as usize;
-        let last = (((b - self.lo) / width).floor() as i64).clamp(0, self.bins.len() as i64 - 1) as usize;
+        let first =
+            (((a - self.lo) / width).floor() as i64).clamp(0, self.bins.len() as i64 - 1) as usize;
+        let last =
+            (((b - self.lo) / width).floor() as i64).clamp(0, self.bins.len() as i64 - 1) as usize;
         self.bins[first..=last].iter().sum()
     }
 

@@ -5,9 +5,9 @@
 //! column id** (the document-at-a-time access order), in CSR layout: per
 //! cell a sorted column array, per column a slice of its vector ids.
 
-
+use crate::config::ExecPolicy;
 use crate::error::{PexesoError, Result};
-use crate::grid::{CellKey, GridParams};
+use crate::grid::{compute_leaf_keys, CellKey, GridParams};
 use crate::mapping::MappedVectors;
 use crate::util::FastMap;
 
@@ -41,6 +41,18 @@ impl InvertedIndex {
     /// Build from the mapped repository vectors and the flat vector→column
     /// map.
     pub fn build(params: &GridParams, mapped: &MappedVectors, vec_col: &[u32]) -> Result<Self> {
+        Self::build_with(params, mapped, vec_col, ExecPolicy::Sequential)
+    }
+
+    /// [`InvertedIndex::build`] with explicit parallelism: leaf keys are
+    /// computed sharded, the CSR assembly stays in id order so the postings
+    /// are identical for every policy.
+    pub fn build_with(
+        params: &GridParams,
+        mapped: &MappedVectors,
+        vec_col: &[u32],
+        policy: ExecPolicy,
+    ) -> Result<Self> {
         if mapped.len() != vec_col.len() {
             return Err(PexesoError::Corrupt(format!(
                 "mapped {} vectors but vec_col has {}",
@@ -50,15 +62,18 @@ impl InvertedIndex {
         }
         // Vectors arrive in id order and columns own contiguous id ranges,
         // so per-cell (column, vector) pairs accumulate already sorted.
+        let keys = compute_leaf_keys(params, mapped, policy);
         let mut raw: FastMap<CellKey, Vec<(u32, u32)>> = FastMap::default();
-        for (i, mv) in mapped.iter().enumerate() {
-            let key = params.leaf_key(mv);
+        for (i, &key) in keys.iter().enumerate() {
             raw.entry(key).or_default().push((vec_col[i], i as u32));
         }
         let mut cells = FastMap::default();
         cells.reserve(raw.len());
         for (key, pairs) in raw {
-            debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]), "pairs arrive sorted");
+            debug_assert!(
+                pairs.windows(2).all(|w| w[0] <= w[1]),
+                "pairs arrive sorted"
+            );
             let mut cols: Vec<u32> = Vec::new();
             let mut offsets: Vec<u32> = Vec::new();
             let mut vecs: Vec<u32> = Vec::with_capacity(pairs.len());
@@ -70,7 +85,14 @@ impl InvertedIndex {
                 vecs.push(vec);
             }
             offsets.push(vecs.len() as u32);
-            cells.insert(key, CellPostings { cols, offsets, vecs });
+            cells.insert(
+                key,
+                CellPostings {
+                    cols,
+                    offsets,
+                    vecs,
+                },
+            );
         }
         Ok(Self { cells })
     }

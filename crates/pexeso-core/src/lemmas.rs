@@ -41,8 +41,7 @@ pub fn lemma2_match(q_mapped: &[f32], x_mapped: &[f32], tau: f32) -> bool {
 #[inline]
 pub fn lemma3_vector_cell_filter(q_mapped: &[f32], c: &CellBounds, tau: f32) -> bool {
     debug_assert_eq!(q_mapped.len(), c.n);
-    for i in 0..c.n {
-        let q = q_mapped[i];
+    for (i, &q) in q_mapped.iter().enumerate().take(c.n) {
         if c.lower[i] > q + tau + EPS || c.upper[i] < q - tau - EPS {
             return true;
         }
@@ -70,8 +69,8 @@ pub fn lemma4_cell_cell_filter(cq: &CellBounds, c: &CellBounds, tau: f32) -> boo
 #[inline]
 pub fn lemma5_vector_cell_match(q_mapped: &[f32], c: &CellBounds, tau: f32) -> bool {
     debug_assert_eq!(q_mapped.len(), c.n);
-    for i in 0..c.n {
-        let edge = tau - q_mapped[i];
+    for (i, &q) in q_mapped.iter().enumerate().take(c.n) {
+        let edge = tau - q;
         if edge > 0.0 && c.upper[i] <= edge - EPS {
             return true;
         }
@@ -105,7 +104,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn bounds(lower: &[f32], upper: &[f32]) -> CellBounds {
-        let mut b = CellBounds { lower: [0.0; 16], upper: [0.0; 16], n: lower.len() };
+        let mut b = CellBounds {
+            lower: [0.0; 16],
+            upper: [0.0; 16],
+            n: lower.len(),
+        };
         b.lower[..lower.len()].copy_from_slice(lower);
         b.upper[..upper.len()].copy_from_slice(upper);
         b
@@ -175,8 +178,7 @@ mod tests {
             v.iter_mut().for_each(|x| *x /= norm);
             store.push(&v).unwrap();
         }
-        let pivots: Vec<Vec<f32>> =
-            (0..3).map(|i| store.get_raw(i * 7).to_vec()).collect();
+        let pivots: Vec<Vec<f32>> = (0..3).map(|i| store.get_raw(i * 7).to_vec()).collect();
         let mapped = MappedVectors::build(&store, &pivots, &Euclidean, None).unwrap();
         let params = GridParams::new(3, 3, 2.0 + 1e-4).unwrap();
         let tau = 0.4f32;
@@ -210,7 +212,10 @@ mod tests {
                 let qkey = params.leaf_key(qm);
                 let qb = params.bounds(qkey, 3);
                 if d <= tau {
-                    assert!(!lemma4_cell_cell_filter(&qb, &cb, tau), "lemma4 pruned a match");
+                    assert!(
+                        !lemma4_cell_cell_filter(&qb, &cb, tau),
+                        "lemma4 pruned a match"
+                    );
                 }
                 if lemma6_cell_cell_match(&qb, &cb, tau) {
                     assert!(d <= tau + 1e-4, "lemma6 matched a non-match");

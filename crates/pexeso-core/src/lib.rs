@@ -21,10 +21,26 @@
 //! * [`block`] — Algorithm 1: dual-grid traversal + quick browsing;
 //! * [`invindex`] + [`verify`] — Algorithm 2: inverted-index verification
 //!   with joinable-skip and Lemma 7 early termination;
-//! * [`search`] — Algorithm 3 and the [`search::PexesoIndex`] entry point;
+//! * [`search`] — Algorithm 3 and the [`search::PexesoIndex`] entry point,
+//!   including the batched multi-query [`search::PexesoIndex::search_many`];
 //! * [`cost`] — the Eq. 1/2 cost model choosing the grid depth `m`;
 //! * [`partition`] / [`persist`] / [`outofcore`] — JSD-clustered disk
-//!   partitions for lakes that exceed main memory.
+//!   partitions for lakes that exceed main memory;
+//! * [`exec`] — the deterministic parallel execution layer behind
+//!   [`config::ExecPolicy`].
+//!
+//! ## Execution policy and kernels
+//!
+//! Every stage of the pipeline accepts an [`config::ExecPolicy`]:
+//! `Sequential` (the default; what the paper's experiments time) or
+//! `Parallel { threads }` (`threads == 0` = all cores). Parallel execution
+//! is **deterministic** — work is sharded so results never depend on the
+//! thread count, and `tests/exactness.rs` pins `Parallel ≡ Sequential`
+//! byte-for-byte. The distance layer exposes batched early-exit kernels
+//! ([`metric::Metric::dist_le`], [`metric::Metric::dist_batch`]) that the
+//! verification and pivot-mapping hot paths use instead of scalar
+//! [`metric::Metric::dist`]; overrides are required to agree exactly with
+//! the scalar path, so they are pure throughput knobs too.
 //!
 //! ## Quick example
 //!
@@ -50,6 +66,7 @@ pub mod config;
 pub mod cost;
 pub mod daat;
 pub mod error;
+pub mod exec;
 pub mod grid;
 pub mod histogram;
 pub mod invindex;
@@ -70,13 +87,15 @@ pub mod verify;
 pub mod prelude {
     pub use crate::column::{ColumnId, ColumnMeta, ColumnSet};
     pub use crate::config::{
-        IndexOptions, JoinThreshold, LemmaFlags, PivotSelection, Tau,
+        ExecPolicy, IndexOptions, JoinThreshold, LemmaFlags, PivotSelection, Tau,
     };
     pub use crate::error::{PexesoError, Result};
-    pub use crate::metric::{Chebyshev, Euclidean, Manhattan, Metric};
+    pub use crate::metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
     pub use crate::outofcore::{GlobalHit, PartitionedLake};
     pub use crate::partition::{PartitionConfig, PartitionMethod};
-    pub use crate::search::{naive_search, PexesoIndex, SearchHit, SearchOptions, SearchResult, VerifyStrategy};
+    pub use crate::search::{
+        naive_search, PexesoIndex, SearchHit, SearchOptions, SearchResult, VerifyStrategy,
+    };
     pub use crate::stats::SearchStats;
     pub use crate::vector::{VectorId, VectorStore};
 }

@@ -4,8 +4,16 @@
 //! the whole repository are kept resident (flat arena) because verification
 //! uses them for the O(|P|) Lemma 1/2 checks before paying an O(dim)
 //! distance computation.
+//!
+//! Mapping is embarrassingly parallel (each vector's row is independent),
+//! so [`MappedVectors::build_with`] shards the vectors across an
+//! [`ExecPolicy`] and fills each shard's disjoint window of the arena with
+//! the batched [`Metric::dist_batch`] kernel against a flattened pivot
+//! arena. The result is byte-identical for every policy.
 
+use crate::config::ExecPolicy;
 use crate::error::{PexesoError, Result};
+use crate::exec;
 use crate::metric::Metric;
 use crate::vector::VectorStore;
 
@@ -24,27 +32,53 @@ impl MappedVectors {
         store: &VectorStore,
         pivots: &[Vec<f32>],
         metric: &M,
-        mut dist_counter: Option<&mut u64>,
+        dist_counter: Option<&mut u64>,
+    ) -> Result<Self> {
+        Self::build_with(store, pivots, metric, dist_counter, ExecPolicy::Sequential)
+    }
+
+    /// [`MappedVectors::build`] with explicit parallelism. The arena is
+    /// identical for every policy.
+    pub fn build_with<M: Metric>(
+        store: &VectorStore,
+        pivots: &[Vec<f32>],
+        metric: &M,
+        dist_counter: Option<&mut u64>,
+        policy: ExecPolicy,
     ) -> Result<Self> {
         if pivots.is_empty() {
             return Err(PexesoError::EmptyInput("pivot mapping with no pivots"));
         }
         for p in pivots {
             if p.len() != store.dim() {
-                return Err(PexesoError::DimensionMismatch { expected: store.dim(), got: p.len() });
+                return Err(PexesoError::DimensionMismatch {
+                    expected: store.dim(),
+                    got: p.len(),
+                });
             }
         }
         let k = pivots.len();
-        let mut data = Vec::with_capacity(k * store.len());
-        for v in store.iter() {
-            for p in pivots {
-                data.push(metric.dist(v, p));
+        // Flatten the pivots once so each vector runs one batched kernel
+        // call over a contiguous arena instead of |P| pointer-chased rows.
+        let pivot_arena: Vec<f32> = pivots.iter().flat_map(|p| p.iter().copied()).collect();
+        let mut data = vec![0.0f32; k * store.len()];
+        // One slot costs |P|·dim flops (~1 µs at |P|=5, dim=64); scale the
+        // parallelism cut-off so each shard carries well over a spawn's
+        // worth of work.
+        let min_items = (1 << 21) / (k * store.dim()).max(1);
+        exec::fill_slots_min(policy, &mut data, k, min_items, |vec_range, window| {
+            for (slot, v) in vec_range.enumerate() {
+                let out = &mut window[slot * k..(slot + 1) * k];
+                metric.dist_batch(store.get_raw(v), &pivot_arena, out);
             }
-        }
-        if let Some(c) = dist_counter.as_deref_mut() {
+        });
+        if let Some(c) = dist_counter {
             *c += (k * store.len()) as u64;
         }
-        Ok(Self { num_pivots: k, data })
+        Ok(Self {
+            num_pivots: k,
+            data,
+        })
     }
 
     pub fn num_pivots(&self) -> usize {
@@ -53,11 +87,7 @@ impl MappedVectors {
 
     /// Number of mapped vectors.
     pub fn len(&self) -> usize {
-        if self.num_pivots == 0 {
-            0
-        } else {
-            self.data.len() / self.num_pivots
-        }
+        self.data.len().checked_div(self.num_pivots).unwrap_or(0)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -95,7 +125,7 @@ impl MappedVectors {
 
     /// Rebuild from flat data (persistence).
     pub fn from_raw(num_pivots: usize, data: Vec<f32>) -> Result<Self> {
-        if num_pivots == 0 || data.len() % num_pivots != 0 {
+        if num_pivots == 0 || !data.len().is_multiple_of(num_pivots) {
             return Err(PexesoError::Corrupt(format!(
                 "mapped data length {} not a multiple of |P| {num_pivots}",
                 data.len()
@@ -168,6 +198,33 @@ mod tests {
         assert!(MappedVectors::from_raw(0, vec![]).is_err());
         let m = MappedVectors::from_raw(2, vec![0.0; 6]).unwrap();
         assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        // Sized above the work-scaled parallelism cut-off so the sharded
+        // fill path genuinely runs (8 pivots × 64 dims → min_items 4096).
+        let dim = 64;
+        let mut s = VectorStore::new(dim);
+        for _ in 0..6000 {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            s.push(&v).unwrap();
+        }
+        let pivots: Vec<Vec<f32>> = (0..8).map(|i| s.get_raw(i * 11).to_vec()).collect();
+        let seq = MappedVectors::build_with(&s, &pivots, &Euclidean, None, ExecPolicy::Sequential)
+            .unwrap();
+        let par = MappedVectors::build_with(
+            &s,
+            &pivots,
+            &Euclidean,
+            None,
+            ExecPolicy::Parallel { threads: 8 },
+        )
+        .unwrap();
+        assert_eq!(seq.raw_data(), par.raw_data());
     }
 
     #[test]

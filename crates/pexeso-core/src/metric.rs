@@ -1,18 +1,63 @@
-//! Distance functions.
+//! Distance functions and batched early-exit distance kernels.
 //!
 //! PEXESO supports *any* metric; the pivot lemmata only need the triangle
 //! inequality. The paper's experiments use Euclidean distance over
 //! unit-normalised vectors (maximum possible distance 2), which is the
 //! default throughout this repo; Manhattan and Chebyshev are provided to
 //! demonstrate metric-genericity and for tests.
+//!
+//! ## Kernel API
+//!
+//! Verification and pivot mapping are dominated by distance arithmetic, so
+//! the [`Metric`] trait exposes two batched/thresholded entry points beyond
+//! the plain [`Metric::dist`]:
+//!
+//! * [`Metric::dist_le`] answers `d(a, b) ≤ τ` **without** committing to the
+//!   full distance: the Euclidean kernel accumulates the *squared* distance
+//!   in four independent lanes (which the compiler auto-vectorises), checks
+//!   a conservative squared bound every block, and bails out early once the
+//!   partial sum alone proves `d > τ` — no `sqrt` and often only a prefix
+//!   of the dimensions touched. When no early exit fires it falls through
+//!   to exactly the same accumulation as `dist`, so the answer is
+//!   bit-identical to `dist(a, b) <= tau` (the verification loop depends on
+//!   this for exactness).
+//! * [`Metric::dist_batch`] computes one query against a contiguous arena
+//!   of candidates (the layout [`crate::vector::VectorStore`] and
+//!   [`crate::mapping::MappedVectors`] already use), keeping the query hot
+//!   in registers/cache across rows.
+//!
+//! Both have default implementations in terms of `dist`, so custom metrics
+//! stay one-method simple; the built-in metrics override them.
 
 /// A metric space over `&[f32]` vectors.
 ///
 /// Implementations must satisfy the metric axioms — in particular the
 /// triangle inequality, on which every filtering lemma relies.
+///
+/// Only [`Metric::dist`], [`Metric::max_dist_unit`] and [`Metric::name`]
+/// are required; the kernel methods default to exact fallbacks. Overrides
+/// of [`Metric::dist_le`] must return exactly `dist(a, b) <= tau` — they
+/// may only be *faster*, never different.
 pub trait Metric: Send + Sync + Clone + 'static {
     /// Distance between two equal-length vectors.
     fn dist(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Early-exit threshold test: `d(a, b) <= tau`, with license to stop
+    /// as soon as the outcome is decided. Must agree exactly with
+    /// `self.dist(a, b) <= tau`.
+    #[inline]
+    fn dist_le(&self, a: &[f32], b: &[f32], tau: f32) -> bool {
+        self.dist(a, b) <= tau
+    }
+
+    /// Distances from `q` to every `q.len()`-wide row of the contiguous
+    /// arena `flat`, written into `out` (`out.len() == flat.len() / q.len()`).
+    fn dist_batch(&self, q: &[f32], flat: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(flat.len(), q.len() * out.len());
+        for (row, o) in flat.chunks_exact(q.len()).zip(out.iter_mut()) {
+            *o = self.dist(q, row);
+        }
+    }
 
     /// Upper bound on the distance between two L2-unit vectors of the given
     /// dimensionality. Used to resolve ratio-form thresholds (Section V of
@@ -23,6 +68,39 @@ pub trait Metric: Send + Sync + Clone + 'static {
     fn name(&self) -> &'static str;
 }
 
+/// Dimensions per early-exit block: enough work between threshold checks
+/// to amortise the branch, small enough to exit within a few cache lines.
+const EXIT_BLOCK: usize = 16;
+
+/// Squared Euclidean distance with four independent accumulator lanes.
+/// This exact accumulation order is shared by `dist`, `dist_le` and
+/// `dist_batch` so all three agree bit-for-bit.
+#[inline]
+fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 4];
+    let quads = a.len() / 4;
+    for i in 0..quads {
+        let o = i * 4;
+        for l in 0..4 {
+            let d = a[o + l] - b[o + l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in quads * 4..a.len() {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// Combine the lanes the same way `l2_sq`'s epilogue does (no tail yet).
+#[inline]
+fn lane_sum(lanes: [f32; 4]) -> f32 {
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
 /// Euclidean (L2) distance. `max_dist_unit` = 2 for unit vectors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Euclidean;
@@ -30,13 +108,48 @@ pub struct Euclidean;
 impl Metric for Euclidean {
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        l2_sq(a, b).sqrt()
+    }
+
+    fn dist_le(&self, a: &[f32], b: &[f32], tau: f32) -> bool {
         debug_assert_eq!(a.len(), b.len());
-        let mut acc = 0.0f32;
-        for (x, y) in a.iter().zip(b.iter()) {
-            let d = x - y;
-            acc += d * d;
+        // Conservative squared bound, evaluated in f64 so its own rounding
+        // can never mask a borderline match: partial sums of squares are
+        // monotone non-decreasing, so once a partial exceeds the inflated
+        // bound the true distance is strictly beyond tau. Anything less
+        // clear-cut falls through to the exact comparison below.
+        let bound = (tau as f64) * (tau as f64) * 1.000_001 + f64::MIN_POSITIVE;
+        let mut lanes = [0.0f32; 4];
+        let quads = a.len() / 4;
+        let mut q = 0;
+        while q < quads {
+            let block_end = (q + EXIT_BLOCK / 4).min(quads);
+            while q < block_end {
+                let o = q * 4;
+                for l in 0..4 {
+                    let d = a[o + l] - b[o + l];
+                    lanes[l] += d * d;
+                }
+                q += 1;
+            }
+            if q < quads && (lane_sum(lanes) as f64) > bound {
+                return false;
+            }
         }
-        acc.sqrt()
+        let mut tail = 0.0f32;
+        for i in quads * 4..a.len() {
+            let d = a[i] - b[i];
+            tail += d * d;
+        }
+        // Identical accumulation to `dist` from here on: exact agreement.
+        (lane_sum(lanes) + tail).sqrt() <= tau
+    }
+
+    fn dist_batch(&self, q: &[f32], flat: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(flat.len(), q.len() * out.len());
+        for (row, o) in flat.chunks_exact(q.len()).zip(out.iter_mut()) {
+            *o = l2_sq(q, row).sqrt();
+        }
     }
 
     fn max_dist_unit(&self, _dim: usize) -> f32 {
@@ -52,11 +165,62 @@ impl Metric for Euclidean {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Manhattan;
 
+/// L1 with the same lane structure as [`l2_sq`].
+#[inline]
+fn l1(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 4];
+    let quads = a.len() / 4;
+    for i in 0..quads {
+        let o = i * 4;
+        for l in 0..4 {
+            lanes[l] += (a[o + l] - b[o + l]).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in quads * 4..a.len() {
+        tail += (a[i] - b[i]).abs();
+    }
+    lane_sum(lanes) + tail
+}
+
 impl Metric for Manhattan {
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        l1(a, b)
+    }
+
+    fn dist_le(&self, a: &[f32], b: &[f32], tau: f32) -> bool {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+        let bound = (tau as f64) * 1.000_001 + f64::MIN_POSITIVE;
+        let mut lanes = [0.0f32; 4];
+        let quads = a.len() / 4;
+        let mut q = 0;
+        while q < quads {
+            let block_end = (q + EXIT_BLOCK / 4).min(quads);
+            while q < block_end {
+                let o = q * 4;
+                for l in 0..4 {
+                    lanes[l] += (a[o + l] - b[o + l]).abs();
+                }
+                q += 1;
+            }
+            if q < quads && (lane_sum(lanes) as f64) > bound {
+                return false;
+            }
+        }
+        let mut tail = 0.0f32;
+        for i in quads * 4..a.len() {
+            tail += (a[i] - b[i]).abs();
+        }
+        lane_sum(lanes) + tail <= tau
+    }
+
+    fn dist_batch(&self, q: &[f32], flat: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(flat.len(), q.len() * out.len());
+        for (row, o) in flat.chunks_exact(q.len()).zip(out.iter_mut()) {
+            *o = l1(q, row);
+        }
     }
 
     fn max_dist_unit(&self, dim: usize) -> f32 {
@@ -71,7 +235,8 @@ impl Metric for Manhattan {
 /// Angular distance: `arccos(a·b / (‖a‖‖b‖))`, a true metric on the unit
 /// sphere (unlike raw cosine similarity, which violates the triangle
 /// inequality). Maximum distance π for antipodal unit vectors. Zero-norm
-/// inputs are treated as orthogonal (distance π/2).
+/// inputs are treated as orthogonal (distance π/2). No early exit exists
+/// for the dot product, so `dist_le` keeps the default implementation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Angular;
 
@@ -111,7 +276,17 @@ impl Metric for Chebyshev {
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// `max` is exact under any evaluation order, so the early exit (bail
+    /// at the first coordinate beyond τ) is trivially equivalent.
+    fn dist_le(&self, a: &[f32], b: &[f32], tau: f32) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= tau)
     }
 
     fn max_dist_unit(&self, _dim: usize) -> f32 {
@@ -126,6 +301,8 @@ impl Metric for Chebyshev {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn euclidean_values() {
@@ -144,8 +321,6 @@ mod tests {
     }
 
     fn triangle_holds<M: Metric>(m: M) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..200 {
             let a: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -154,7 +329,10 @@ mod tests {
             let ab = m.dist(&a, &b);
             let bc = m.dist(&b, &c);
             let ac = m.dist(&a, &c);
-            assert!(ac <= ab + bc + 1e-4, "triangle violated: {ac} > {ab} + {bc}");
+            assert!(
+                ac <= ab + bc + 1e-4,
+                "triangle violated: {ac} > {ab} + {bc}"
+            );
             assert!((m.dist(&a, &b) - m.dist(&b, &a)).abs() < 1e-6, "symmetry");
         }
     }
@@ -170,7 +348,10 @@ mod tests {
     #[test]
     fn angular_values() {
         use std::f32::consts::{FRAC_PI_2, PI};
-        assert!(Angular.dist(&[1.0, 0.0], &[2.0, 0.0]).abs() < 1e-6, "parallel = 0");
+        assert!(
+            Angular.dist(&[1.0, 0.0], &[2.0, 0.0]).abs() < 1e-6,
+            "parallel = 0"
+        );
         assert!((Angular.dist(&[1.0, 0.0], &[0.0, 1.0]) - FRAC_PI_2).abs() < 1e-6);
         assert!((Angular.dist(&[1.0, 0.0], &[-1.0, 0.0]) - PI).abs() < 1e-5);
         // Zero vectors behave as orthogonal, never NaN.
@@ -179,13 +360,11 @@ mod tests {
 
     #[test]
     fn unit_vector_max_distances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(12);
         let dim = 16;
         for _ in 0..100 {
-            let mut a: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let mut b: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut a: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let mut b: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
             let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
             a.iter_mut().for_each(|x| *x /= na);
@@ -194,5 +373,76 @@ mod tests {
             assert!(Manhattan.dist(&a, &b) <= Manhattan.max_dist_unit(dim) + 1e-5);
             assert!(Chebyshev.dist(&a, &b) <= Chebyshev.max_dist_unit(dim) + 1e-5);
         }
+    }
+
+    fn random_pair(rng: &mut StdRng, dim: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        (a, b)
+    }
+
+    /// The kernel contract: `dist_le` agrees with `dist() <= tau` exactly,
+    /// including when tau is the computed distance itself (the boundary).
+    fn dist_le_is_exact<M: Metric>(m: M) {
+        let mut rng = StdRng::seed_from_u64(77);
+        for dim in [1usize, 3, 4, 7, 8, 31, 32, 64, 129] {
+            for _ in 0..200 {
+                let (a, b) = random_pair(&mut rng, dim);
+                let d = m.dist(&a, &b);
+                for tau in [d, d * 0.999, d * 1.001, rng.gen_range(0.0f32..3.0), 0.0] {
+                    assert_eq!(
+                        m.dist_le(&a, &b, tau),
+                        m.dist(&a, &b) <= tau,
+                        "{} dim={dim} d={d} tau={tau}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist_le_matches_dist_exactly() {
+        dist_le_is_exact(Euclidean);
+        dist_le_is_exact(Manhattan);
+        dist_le_is_exact(Chebyshev);
+        dist_le_is_exact(Angular);
+    }
+
+    /// `dist_batch` agrees with per-row `dist` bit-for-bit.
+    fn dist_batch_is_exact<M: Metric>(m: M) {
+        let mut rng = StdRng::seed_from_u64(78);
+        for dim in [1usize, 4, 17, 64] {
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let rows = 37;
+            let flat: Vec<f32> = (0..rows * dim)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
+            let mut out = vec![0.0f32; rows];
+            m.dist_batch(&q, &flat, &mut out);
+            for (i, row) in flat.chunks_exact(dim).enumerate() {
+                assert_eq!(out[i], m.dist(&q, row), "{} dim={dim} row={i}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dist_batch_matches_dist_exactly() {
+        dist_batch_is_exact(Euclidean);
+        dist_batch_is_exact(Manhattan);
+        dist_batch_is_exact(Chebyshev);
+        dist_batch_is_exact(Angular);
+    }
+
+    #[test]
+    fn dist_le_tiny_tau_never_false_positives() {
+        // Degenerate thresholds (0, subnormal) must stay exact.
+        let a = [0.5f32; 64];
+        let mut b = a;
+        assert!(Euclidean.dist_le(&a, &b, 0.0));
+        b[63] += 1e-3;
+        assert!(!Euclidean.dist_le(&a, &b, 0.0));
+        assert!(!Euclidean.dist_le(&a, &b, 1e-30));
+        assert!(Euclidean.dist_le(&a, &b, 1e-2));
     }
 }

@@ -3,17 +3,21 @@
 //! When the repository exceeds main memory, columns are partitioned
 //! (see [`crate::partition`]), one PEXESO index is built and persisted per
 //! partition, and a search loads partitions one at a time, merging results.
-//! An optional crossbeam-based parallel mode overlaps partition loading
-//! with searching (an extension over the paper's sequential loop; the
-//! sequential mode is the default and is what the experiments time).
+//! [`PartitionedLake::search_with_policy`] runs the same loop under the
+//! crate-wide [`ExecPolicy`]: partitions are coarse work units handed to a
+//! [`crate::exec::map_units`] work-stealing pool, overlapping partition
+//! loading with searching (an extension over the paper's sequential loop;
+//! the sequential mode is the default and is what the experiments time).
+//! Results are identical for every policy.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use crate::column::ColumnSet;
-use crate::config::{IndexOptions, JoinThreshold, Tau};
+use crate::config::{ExecPolicy, IndexOptions, JoinThreshold, Tau};
 use crate::error::{PexesoError, Result};
+use crate::exec;
 use crate::metric::Metric;
 use crate::partition::{partition_columns, split_column_set, PartitionConfig};
 use crate::persist::{load_index, save_index};
@@ -67,7 +71,10 @@ impl PartitionedLake {
             save_index(&index, &path)?;
             files.push(path);
         }
-        Ok(Self { dir: dir.to_path_buf(), partition_files: files })
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            partition_files: files,
+        })
     }
 
     /// Open an existing deployment directory.
@@ -81,7 +88,10 @@ impl PartitionedLake {
         if files.is_empty() {
             return Err(PexesoError::EmptyInput("no partition files in directory"));
         }
-        Ok(Self { dir: dir.to_path_buf(), partition_files: files })
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            partition_files: files,
+        })
     }
 
     pub fn dir(&self) -> &Path {
@@ -123,31 +133,73 @@ impl PartitionedLake {
         t: JoinThreshold,
         opts: SearchOptions,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        self.search_with_policy(metric, query, tau, t, opts, ExecPolicy::Sequential)
+    }
+
+    /// Out-of-core search under an explicit [`ExecPolicy`]: each partition
+    /// (load + search + hit resolution) is one coarse work unit on the
+    /// policy's thread pool, so I/O and CPU overlap across partitions.
+    /// Results are identical to the sequential loop: per-partition results
+    /// are kept in partition order and merged deterministically.
+    pub fn search_with_policy<M: Metric>(
+        &self,
+        metric: M,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
         let started = Instant::now();
+        // When partitions already fan out across threads, keep each
+        // partition's inner search sequential to avoid nested fan-out.
+        let inner_opts = match policy {
+            ExecPolicy::Parallel { .. } => SearchOptions {
+                exec: ExecPolicy::Sequential,
+                ..opts
+            },
+            ExecPolicy::Sequential => opts,
+        };
+        // `try_map_units` stops handing out partitions after the first
+        // failure (like the sequential `?` loop always did) and converts a
+        // worker panic into a recoverable error instead of crashing a
+        // long-running server.
+        let per_partition = exec::try_map_units(
+            policy,
+            self.partition_files.len(),
+            || PexesoError::InvalidParameter("partition search worker panicked".into()),
+            |i| {
+                let index = load_index(&self.partition_files[i], metric.clone())?;
+                let result = index.search_with(query, tau, t, inner_opts)?;
+                let hits: Vec<GlobalHit> = result
+                    .hits
+                    .into_iter()
+                    .map(|h| {
+                        let meta = index.columns().column(h.column);
+                        GlobalHit {
+                            external_id: meta.external_id,
+                            table_name: meta.table_name.clone(),
+                            column_name: meta.column_name.clone(),
+                            match_count: h.match_count,
+                        }
+                    })
+                    .collect();
+                Ok::<_, PexesoError>((hits, result.stats))
+            },
+        )?;
         let mut merged = SearchStats::new();
         let mut hits = Vec::new();
-        for path in &self.partition_files {
-            let index = load_index(path, metric.clone())?;
-            let result = index.search_with(query, tau, t, opts)?;
-            merged.merge(&result.stats);
-            for h in result.hits {
-                let meta = index.columns().column(h.column);
-                hits.push(GlobalHit {
-                    external_id: meta.external_id,
-                    table_name: meta.table_name.clone(),
-                    column_name: meta.column_name.clone(),
-                    match_count: h.match_count,
-                });
-            }
+        for (h, s) in per_partition {
+            merged.merge(&s);
+            hits.extend(h);
         }
         hits.sort_by_key(|h| h.external_id);
         merged.total_time = started.elapsed();
         Ok((hits, merged))
     }
 
-    /// Parallel variant: partitions are processed by `threads` workers.
-    /// Results are identical to [`PartitionedLake::search`]; wall-clock
-    /// improves when I/O and CPU overlap.
+    /// Parallel variant with an explicit thread count; kept as a
+    /// convenience wrapper over [`PartitionedLake::search_with_policy`].
     pub fn search_parallel<M: Metric>(
         &self,
         metric: M,
@@ -158,62 +210,14 @@ impl PartitionedLake {
         threads: usize,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
         let threads = threads.max(1).min(self.partition_files.len().max(1));
-        let started = Instant::now();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = parking_lot::Mutex::new(Vec::new());
-        let first_error = parking_lot::Mutex::new(None::<PexesoError>);
-
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= self.partition_files.len() {
-                        break;
-                    }
-                    let work = (|| -> Result<(Vec<GlobalHit>, SearchStats)> {
-                        let index = load_index(&self.partition_files[i], metric.clone())?;
-                        let result = index.search_with(query, tau, t, opts)?;
-                        let hits = result
-                            .hits
-                            .into_iter()
-                            .map(|h| {
-                                let meta = index.columns().column(h.column);
-                                GlobalHit {
-                                    external_id: meta.external_id,
-                                    table_name: meta.table_name.clone(),
-                                    column_name: meta.column_name.clone(),
-                                    match_count: h.match_count,
-                                }
-                            })
-                            .collect();
-                        Ok((hits, result.stats))
-                    })();
-                    match work {
-                        Ok(r) => results.lock().push(r),
-                        Err(e) => {
-                            let mut guard = first_error.lock();
-                            if guard.is_none() {
-                                *guard = Some(e);
-                            }
-                        }
-                    }
-                });
-            }
-        })
-        .map_err(|_| PexesoError::InvalidParameter("worker thread panicked".into()))?;
-
-        if let Some(e) = first_error.into_inner() {
-            return Err(e);
-        }
-        let mut merged = SearchStats::new();
-        let mut hits = Vec::new();
-        for (h, s) in results.into_inner() {
-            merged.merge(&s);
-            hits.extend(h);
-        }
-        hits.sort_by_key(|h| h.external_id);
-        merged.total_time = started.elapsed();
-        Ok((hits, merged))
+        self.search_with_policy(
+            metric,
+            query,
+            tau,
+            t,
+            opts,
+            ExecPolicy::Parallel { threads },
+        )
     }
 }
 
@@ -241,7 +245,9 @@ mod tests {
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("tab", &format!("col{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("tab", &format!("col{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -263,6 +269,7 @@ mod tests {
             levels: Some(3),
             pivot_selection: PivotSelection::Pca,
             seed: 7,
+            ..Default::default()
         }
     }
 
@@ -273,14 +280,20 @@ mod tests {
         let lake = PartitionedLake::build(
             &columns,
             Euclidean,
-            &PartitionConfig { k: 3, method: PartitionMethod::JsdKmeans, ..Default::default() },
+            &PartitionConfig {
+                k: 3,
+                method: PartitionMethod::JsdKmeans,
+                ..Default::default()
+            },
             &opts(),
             &dir,
         )
         .unwrap();
         let tau = Tau::Ratio(0.15);
         let t = JoinThreshold::Ratio(0.4);
-        let (hits, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        let (hits, _) = lake
+            .search(Euclidean, &query, tau, t, SearchOptions::default())
+            .unwrap();
         let (naive, _) = naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
         let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
         let expected: Vec<u64> = naive.iter().map(|h| h.column.0 as u64).collect();
@@ -295,14 +308,19 @@ mod tests {
         let lake = PartitionedLake::build(
             &columns,
             Euclidean,
-            &PartitionConfig { k: 4, ..Default::default() },
+            &PartitionConfig {
+                k: 4,
+                ..Default::default()
+            },
             &opts(),
             &dir,
         )
         .unwrap();
         let tau = Tau::Ratio(0.2);
         let t = JoinThreshold::Ratio(0.3);
-        let (seq, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        let (seq, _) = lake
+            .search(Euclidean, &query, tau, t, SearchOptions::default())
+            .unwrap();
         let (par, _) = lake
             .search_parallel(Euclidean, &query, tau, t, SearchOptions::default(), 3)
             .unwrap();
@@ -317,7 +335,10 @@ mod tests {
         let built = PartitionedLake::build(
             &columns,
             Euclidean,
-            &PartitionConfig { k: 2, ..Default::default() },
+            &PartitionConfig {
+                k: 2,
+                ..Default::default()
+            },
             &opts(),
             &dir,
         )
@@ -326,8 +347,12 @@ mod tests {
         assert_eq!(built.num_partitions(), opened.num_partitions());
         let tau = Tau::Ratio(0.2);
         let t = JoinThreshold::Count(2);
-        let (a, _) = built.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
-        let (b, _) = opened.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        let (a, _) = built
+            .search(Euclidean, &query, tau, t, SearchOptions::default())
+            .unwrap();
+        let (b, _) = opened
+            .search(Euclidean, &query, tau, t, SearchOptions::default())
+            .unwrap();
         assert_eq!(a, b);
         assert!(opened.disk_bytes().unwrap() > 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -347,7 +372,10 @@ mod tests {
         let a = PartitionedLake::build(
             &columns,
             Euclidean,
-            &PartitionConfig { k: 4, ..Default::default() },
+            &PartitionConfig {
+                k: 4,
+                ..Default::default()
+            },
             &opts(),
             &dir,
         )
@@ -356,7 +384,10 @@ mod tests {
         let b = PartitionedLake::build(
             &columns,
             Euclidean,
-            &PartitionConfig { k: 2, ..Default::default() },
+            &PartitionConfig {
+                k: 2,
+                ..Default::default()
+            },
             &opts(),
             &dir,
         )

@@ -41,7 +41,13 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        Self { k: 4, method: PartitionMethod::JsdKmeans, iterations: 10, bins: 32, seed: 42 }
+        Self {
+            k: 4,
+            method: PartitionMethod::JsdKmeans,
+            iterations: 10,
+            bins: 32,
+            seed: 42,
+        }
     }
 }
 
@@ -124,7 +130,11 @@ fn kmeans<T: Clone>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut center_idx: Vec<usize> = (0..n).collect();
     center_idx.shuffle(&mut rng);
-    let mut centers: Vec<T> = center_idx.iter().take(k).map(|&i| items[i].clone()).collect();
+    let mut centers: Vec<T> = center_idx
+        .iter()
+        .take(k)
+        .map(|&i| items[i].clone())
+        .collect();
     let mut assignments = vec![0usize; n];
 
     for _ in 0..iterations {
@@ -141,8 +151,12 @@ fn kmeans<T: Clone>(
         }
         // Update.
         for c in 0..k {
-            let members: Vec<&T> =
-                items.iter().zip(&assignments).filter(|(_, &a)| a == c).map(|(t, _)| t).collect();
+            let members: Vec<&T> = items
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, &a)| a == c)
+                .map(|(t, _)| t)
+                .collect();
             if members.is_empty() {
                 // Re-seed an empty cluster with the item farthest from its
                 // current center.
@@ -230,7 +244,10 @@ pub fn partition_columns(columns: &ColumnSet, config: &PartitionConfig) -> Resul
 /// Materialise per-partition repositories (copying vectors). Empty
 /// partitions are dropped; the returned vector pairs each sub-repository
 /// with the original column indices it contains.
-pub fn split_column_set(columns: &ColumnSet, partitioning: &Partitioning) -> Vec<(ColumnSet, Vec<usize>)> {
+pub fn split_column_set(
+    columns: &ColumnSet,
+    partitioning: &Partitioning,
+) -> Vec<(ColumnSet, Vec<usize>)> {
     let groups = partitioning.groups();
     let mut out = Vec::new();
     for group in groups {
@@ -243,8 +260,13 @@ pub fn split_column_set(columns: &ColumnSet, partitioning: &Partitioning) -> Vec
             let vectors = meta
                 .vector_range()
                 .map(|v| columns.store().get_raw(v as usize));
-            sub.add_column(&meta.table_name, &meta.column_name, meta.external_id, vectors)
-                .expect("copying a valid column cannot fail");
+            sub.add_column(
+                &meta.table_name,
+                &meta.column_name,
+                meta.external_id,
+                vectors,
+            )
+            .expect("copying a valid column cannot fail");
         }
         out.push((sub, group));
     }
@@ -272,7 +294,9 @@ mod tests {
                 vecs.push(v);
             }
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         columns
     }
@@ -282,7 +306,11 @@ mod tests {
         let columns = bimodal_columns(1, 8, 30);
         let p = partition_columns(
             &columns,
-            &PartitionConfig { k: 2, method: PartitionMethod::JsdKmeans, ..Default::default() },
+            &PartitionConfig {
+                k: 2,
+                method: PartitionMethod::JsdKmeans,
+                ..Default::default()
+            },
         )
         .unwrap();
         // All +side columns in one partition, all -side in the other.
@@ -296,7 +324,11 @@ mod tests {
         let columns = bimodal_columns(2, 6, 25);
         let p = partition_columns(
             &columns,
-            &PartitionConfig { k: 2, method: PartitionMethod::AvgKmeans, ..Default::default() },
+            &PartitionConfig {
+                k: 2,
+                method: PartitionMethod::AvgKmeans,
+                ..Default::default()
+            },
         )
         .unwrap();
         let first = p.assignments[0];
@@ -309,7 +341,11 @@ mod tests {
         let columns = bimodal_columns(3, 20, 5);
         let p = partition_columns(
             &columns,
-            &PartitionConfig { k: 4, method: PartitionMethod::Random, ..Default::default() },
+            &PartitionConfig {
+                k: 4,
+                method: PartitionMethod::Random,
+                ..Default::default()
+            },
         )
         .unwrap();
         let groups = p.groups();
@@ -322,7 +358,11 @@ mod tests {
         let columns = bimodal_columns(4, 2, 5);
         let p = partition_columns(
             &columns,
-            &PartitionConfig { k: 100, method: PartitionMethod::JsdKmeans, ..Default::default() },
+            &PartitionConfig {
+                k: 100,
+                method: PartitionMethod::JsdKmeans,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(p.k <= columns.n_columns());
@@ -334,7 +374,11 @@ mod tests {
         let columns = bimodal_columns(5, 4, 10);
         let p = partition_columns(
             &columns,
-            &PartitionConfig { k: 2, method: PartitionMethod::JsdKmeans, ..Default::default() },
+            &PartitionConfig {
+                k: 2,
+                method: PartitionMethod::JsdKmeans,
+                ..Default::default()
+            },
         )
         .unwrap();
         let parts = split_column_set(&columns, &p);
@@ -359,7 +403,10 @@ mod tests {
     #[test]
     fn deterministic_partitioning() {
         let columns = bimodal_columns(6, 5, 10);
-        let cfg = PartitionConfig { k: 3, ..Default::default() };
+        let cfg = PartitionConfig {
+            k: 3,
+            ..Default::default()
+        };
         let a = partition_columns(&columns, &cfg).unwrap();
         let b = partition_columns(&columns, &cfg).unwrap();
         assert_eq!(a, b);
@@ -370,7 +417,10 @@ mod tests {
         let columns = bimodal_columns(7, 2, 5);
         assert!(partition_columns(
             &columns,
-            &PartitionConfig { k: 0, ..Default::default() }
+            &PartitionConfig {
+                k: 0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

@@ -50,7 +50,10 @@ struct Sink<W: Write> {
 
 impl<W: Write> Sink<W> {
     fn new(inner: W) -> Self {
-        Self { inner, hash: Fnv64::new() }
+        Self {
+            inner,
+            hash: Fnv64::new(),
+        }
     }
     fn put(&mut self, bytes: &[u8]) -> Result<()> {
         self.hash.update(bytes);
@@ -96,7 +99,10 @@ struct Source<R: Read> {
 
 impl<R: Read> Source<R> {
     fn new(inner: R) -> Self {
-        Self { inner, hash: Fnv64::new() }
+        Self {
+            inner,
+            hash: Fnv64::new(),
+        }
     }
     fn take(&mut self, buf: &mut [u8]) -> Result<()> {
         self.inner
@@ -128,7 +134,9 @@ impl<R: Read> Source<R> {
     fn take_str(&mut self, limit: u32) -> Result<String> {
         let len = self.take_u32()?;
         if len > limit {
-            return Err(PexesoError::Corrupt(format!("string length {len} exceeds limit {limit}")));
+            return Err(PexesoError::Corrupt(format!(
+                "string length {len} exceeds limit {limit}"
+            )));
         }
         let mut buf = vec![0u8; len as usize];
         self.take(&mut buf)?;
@@ -164,7 +172,9 @@ fn selection_from_tag(t: u8) -> Result<PivotSelection> {
         0 => Ok(PivotSelection::Pca),
         1 => Ok(PivotSelection::Random),
         2 => Ok(PivotSelection::FarthestFirst),
-        _ => Err(PexesoError::Corrupt(format!("unknown pivot selection tag {t}"))),
+        _ => Err(PexesoError::Corrupt(format!(
+            "unknown pivot selection tag {t}"
+        ))),
     }
 }
 
@@ -241,11 +251,18 @@ pub fn load_index<M: Metric>(path: &Path, metric: M) -> Result<PexesoIndex<M>> {
     let levels_raw = src.take_u32()? as usize;
     let selection = selection_from_tag(src.take_u8()?)?;
     let seed = src.take_u64()?;
+    // The execution policy is a runtime throughput knob, not part of the
+    // persisted index identity; loaded indexes start sequential.
     let options = IndexOptions {
         num_pivots,
-        levels: if levels_raw == 0 { None } else { Some(levels_raw) },
+        levels: if levels_raw == 0 {
+            None
+        } else {
+            Some(levels_raw)
+        },
         pivot_selection: selection,
         seed,
+        ..Default::default()
     };
 
     let gp_pivots = src.take_u32()? as usize;
@@ -256,7 +273,9 @@ pub fn load_index<M: Metric>(path: &Path, metric: M) -> Result<PexesoIndex<M>> {
     let k = src.take_u32()? as usize;
     let dim = src.take_u32()? as usize;
     if dim == 0 || dim > 1 << 20 {
-        return Err(PexesoError::Corrupt(format!("implausible dimensionality {dim}")));
+        return Err(PexesoError::Corrupt(format!(
+            "implausible dimensionality {dim}"
+        )));
     }
     let mut pivots = Vec::with_capacity(k);
     for _ in 0..k {
@@ -271,7 +290,13 @@ pub fn load_index<M: Metric>(path: &Path, metric: M) -> Result<PexesoIndex<M>> {
         let external_id = src.take_u64()?;
         let start = src.take_u32()?;
         let len = src.take_u32()?;
-        metas.push(ColumnMeta { table_name, column_name, external_id, start, len });
+        metas.push(ColumnMeta {
+            table_name,
+            column_name,
+            external_id,
+            start,
+            len,
+        });
     }
 
     let n_vecs = src.take_u64()? as usize;
@@ -322,7 +347,9 @@ mod tests {
                 vecs.push(v);
             }
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("tab", &format!("col{c}"), 100 + c as u64, refs).unwrap();
+            columns
+                .add_column("tab", &format!("col{c}"), 100 + c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..5 {
@@ -371,7 +398,10 @@ mod tests {
     fn bad_magic_rejected() {
         let path = tmpfile("magic.pex");
         std::fs::write(&path, b"NOTANIDXfollowed by junk").unwrap();
-        assert!(matches!(load_index(&path, Euclidean), Err(PexesoError::Corrupt(_))));
+        assert!(matches!(
+            load_index(&path, Euclidean),
+            Err(PexesoError::Corrupt(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -382,7 +412,10 @@ mod tests {
         save_index(&index, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(matches!(load_index(&path, Euclidean), Err(PexesoError::Corrupt(_))));
+        assert!(matches!(
+            load_index(&path, Euclidean),
+            Err(PexesoError::Corrupt(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -7,12 +7,22 @@
 //! Random selection and farthest-first traversal are provided as the
 //! comparison points used by Fig. 7a.
 
+//! Parallelism: the O(|RV|) scans (distance-to-pivot updates, projection
+//! extremes) are element-independent and run sharded under an
+//! [`ExecPolicy`]; shard extremes merge in range order with the same strict
+//! comparisons as the sequential scan, so the selected pivots are identical
+//! for every policy. The power-iteration *reduction* inside
+//! [`principal_directions`] is order-sensitive floating-point accumulation
+//! and deliberately stays sequential — it touches only a bounded sample
+//! (`PCA_SAMPLE`) and is not the hot part.
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::config::PivotSelection;
+use crate::config::{ExecPolicy, PivotSelection};
 use crate::error::{PexesoError, Result};
+use crate::exec;
 use crate::metric::Metric;
 use crate::vector::VectorStore;
 
@@ -32,17 +42,32 @@ pub fn select_pivots<M: Metric>(
     strategy: PivotSelection,
     seed: u64,
 ) -> Result<Vec<Vec<f32>>> {
+    select_pivots_with(store, metric, k, strategy, seed, ExecPolicy::Sequential)
+}
+
+/// [`select_pivots`] with explicit parallelism. The chosen pivots are
+/// identical for every policy.
+pub fn select_pivots_with<M: Metric>(
+    store: &VectorStore,
+    metric: &M,
+    k: usize,
+    strategy: PivotSelection,
+    seed: u64,
+    policy: ExecPolicy,
+) -> Result<Vec<Vec<f32>>> {
     if store.is_empty() {
         return Err(PexesoError::EmptyInput("pivot selection over empty store"));
     }
     if k == 0 {
-        return Err(PexesoError::InvalidParameter("zero pivots requested".into()));
+        return Err(PexesoError::InvalidParameter(
+            "zero pivots requested".into(),
+        ));
     }
     let k = k.min(store.len());
     match strategy {
         PivotSelection::Random => Ok(random_pivots(store, k, seed)),
-        PivotSelection::FarthestFirst => Ok(farthest_first(store, metric, k, seed)),
-        PivotSelection::Pca => Ok(pca_pivots(store, metric, k, seed)),
+        PivotSelection::FarthestFirst => Ok(farthest_first(store, metric, k, seed, policy)),
+        PivotSelection::Pca => Ok(pca_pivots(store, metric, k, seed, policy)),
     }
 }
 
@@ -55,14 +80,32 @@ fn random_pivots(store: &VectorStore, k: usize, seed: u64) -> Vec<Vec<f32>> {
 }
 
 /// Farthest-first traversal: greedily add the point maximising the minimum
-/// distance to the already-chosen pivots.
-fn farthest_first<M: Metric>(store: &VectorStore, metric: &M, k: usize, seed: u64) -> Vec<Vec<f32>> {
+/// distance to the already-chosen pivots. The per-point distance updates
+/// are element-independent and run sharded; the argmax merge preserves the
+/// sequential `max_by` tie-breaking (last maximum wins).
+fn farthest_first<M: Metric>(
+    store: &VectorStore,
+    metric: &M,
+    k: usize,
+    seed: u64,
+    policy: ExecPolicy,
+) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let first = rng.gen_range(0..store.len());
     let mut chosen_idx = vec![first];
-    let mut min_dist: Vec<f32> = (0..store.len())
-        .map(|i| metric.dist(store.get_raw(i), store.get_raw(first)))
-        .collect();
+    let mut min_dist = vec![0.0f32; store.len()];
+    let update = |pivot: usize, min_dist: &mut [f32], init: bool| {
+        exec::fill_slots(policy, min_dist, 1, |range, window| {
+            let pv = store.get_raw(pivot);
+            for (s, i) in range.enumerate() {
+                let d = metric.dist(store.get_raw(i), pv);
+                if init || d < window[s] {
+                    window[s] = d;
+                }
+            }
+        });
+    };
+    update(first, &mut min_dist, true);
     while chosen_idx.len() < k {
         let (best, _) = min_dist
             .iter()
@@ -70,14 +113,12 @@ fn farthest_first<M: Metric>(store: &VectorStore, metric: &M, k: usize, seed: u6
             .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty store");
         chosen_idx.push(best);
-        for i in 0..store.len() {
-            let d = metric.dist(store.get_raw(i), store.get_raw(best));
-            if d < min_dist[i] {
-                min_dist[i] = d;
-            }
-        }
+        update(best, &mut min_dist, false);
     }
-    chosen_idx.into_iter().map(|i| store.get_raw(i).to_vec()).collect()
+    chosen_idx
+        .into_iter()
+        .map(|i| store.get_raw(i).to_vec())
+        .collect()
 }
 
 /// Estimate the top `c` principal directions of (a sample of) the data by
@@ -150,26 +191,48 @@ fn principal_directions(store: &VectorStore, c: usize, seed: u64) -> Vec<Vec<f32
 
 /// PCA pivots: for each principal direction take the extreme data points
 /// (max and min projection), dedupe, top up with farthest-first if needed.
-fn pca_pivots<M: Metric>(store: &VectorStore, metric: &M, k: usize, seed: u64) -> Vec<Vec<f32>> {
+/// The full-dataset projection scans are sharded; shard extremes merge in
+/// range order with the sequential scan's strict comparisons (first
+/// extreme wins), so the result is policy-independent.
+fn pca_pivots<M: Metric>(
+    store: &VectorStore,
+    metric: &M,
+    k: usize,
+    seed: u64,
+    policy: ExecPolicy,
+) -> Vec<Vec<f32>> {
     let dim = store.dim();
     let n_dirs = k.div_ceil(2).max(1);
     let dirs = principal_directions(store, n_dirs, seed);
 
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     for dir in &dirs {
+        let shard_extremes = exec::map_ranges(policy, store.len(), |range| {
+            let mut best_hi = (usize::MAX, f32::NEG_INFINITY);
+            let mut best_lo = (usize::MAX, f32::INFINITY);
+            for i in range {
+                let x = store.get_raw(i);
+                let mut proj = 0.0f32;
+                for d in 0..dim {
+                    proj += x[d] * dir[d];
+                }
+                if proj > best_hi.1 {
+                    best_hi = (i, proj);
+                }
+                if proj < best_lo.1 {
+                    best_lo = (i, proj);
+                }
+            }
+            (best_hi, best_lo)
+        });
         let mut best_hi = (0usize, f32::NEG_INFINITY);
         let mut best_lo = (0usize, f32::INFINITY);
-        for i in 0..store.len() {
-            let x = store.get_raw(i);
-            let mut proj = 0.0f32;
-            for d in 0..dim {
-                proj += x[d] * dir[d];
+        for (hi, lo) in shard_extremes {
+            if hi.0 != usize::MAX && hi.1 > best_hi.1 {
+                best_hi = hi;
             }
-            if proj > best_hi.1 {
-                best_hi = (i, proj);
-            }
-            if proj < best_lo.1 {
-                best_lo = (i, proj);
+            if lo.0 != usize::MAX && lo.1 < best_lo.1 {
+                best_lo = lo;
             }
         }
         for idx in [best_hi.0, best_lo.0] {
@@ -182,15 +245,24 @@ fn pca_pivots<M: Metric>(store: &VectorStore, metric: &M, k: usize, seed: u64) -
     let mut pivots: Vec<Vec<f32>> = chosen.iter().map(|&i| store.get_raw(i).to_vec()).collect();
     // Top up with farthest-first from the chosen set if extremes collided.
     while pivots.len() < k {
+        let shard_best = exec::map_ranges(policy, store.len(), |range| {
+            let mut best = (usize::MAX, f32::NEG_INFINITY);
+            for i in range {
+                let x = store.get_raw(i);
+                let d = pivots
+                    .iter()
+                    .map(|p| metric.dist(x, p))
+                    .fold(f32::INFINITY, f32::min);
+                if d > best.1 {
+                    best = (i, d);
+                }
+            }
+            best
+        });
         let mut best = (0usize, f32::NEG_INFINITY);
-        for i in 0..store.len() {
-            let x = store.get_raw(i);
-            let d = pivots
-                .iter()
-                .map(|p| metric.dist(x, p))
-                .fold(f32::INFINITY, f32::min);
-            if d > best.1 {
-                best = (i, d);
+        for b in shard_best {
+            if b.0 != usize::MAX && b.1 > best.1 {
+                best = b;
             }
         }
         pivots.push(store.get_raw(best.0).to_vec());
@@ -225,7 +297,11 @@ mod tests {
     #[test]
     fn all_strategies_return_k_pivots() {
         let s = gaussian_store(500, 8, 1);
-        for strat in [PivotSelection::Pca, PivotSelection::Random, PivotSelection::FarthestFirst] {
+        for strat in [
+            PivotSelection::Pca,
+            PivotSelection::Random,
+            PivotSelection::FarthestFirst,
+        ] {
             let p = select_pivots(&s, &Euclidean, 5, strat, 7).unwrap();
             assert_eq!(p.len(), 5, "{strat:?}");
             assert!(p.iter().all(|v| v.len() == 8));
@@ -269,7 +345,10 @@ mod tests {
         let p = select_pivots(&s, &Euclidean, 2, PivotSelection::Pca, 7).unwrap();
         // Both pivots should be near the extremes of dim 0.
         assert!(p.iter().all(|v| v[0].abs() > 7.0), "pivots {:?}", p);
-        assert!(p[0][0] * p[1][0] < 0.0, "pivots should sit on opposite ends");
+        assert!(
+            p[0][0] * p[1][0] < 0.0,
+            "pivots should sit on opposite ends"
+        );
     }
 
     #[test]
@@ -288,7 +367,11 @@ mod tests {
     #[test]
     fn selection_is_deterministic() {
         let s = gaussian_store(200, 8, 8);
-        for strat in [PivotSelection::Pca, PivotSelection::Random, PivotSelection::FarthestFirst] {
+        for strat in [
+            PivotSelection::Pca,
+            PivotSelection::Random,
+            PivotSelection::FarthestFirst,
+        ] {
             let a = select_pivots(&s, &Euclidean, 3, strat, 9).unwrap();
             let b = select_pivots(&s, &Euclidean, 3, strat, 9).unwrap();
             assert_eq!(a, b);
@@ -315,7 +398,9 @@ mod tests {
         let var_of = |pivots: &[Vec<f32>]| -> f32 {
             let mut acc = 0.0f32;
             for p in pivots {
-                let d: Vec<f32> = (0..s.len()).map(|i| Euclidean.dist(s.get_raw(i), p)).collect();
+                let d: Vec<f32> = (0..s.len())
+                    .map(|i| Euclidean.dist(s.get_raw(i), p))
+                    .collect();
                 let mean = d.iter().sum::<f32>() / d.len() as f32;
                 acc += d.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d.len() as f32;
             }

@@ -8,20 +8,21 @@
 
 use std::time::{Duration, Instant};
 
-use crate::block::{block, quick_browse};
+use crate::block::{block_with, quick_browse};
 use crate::column::{ColumnId, ColumnSet};
-use crate::config::{IndexOptions, JoinThreshold, LemmaFlags, Tau};
+use crate::config::{ExecPolicy, IndexOptions, JoinThreshold, LemmaFlags, Tau};
 use crate::error::{PexesoError, Result};
+use crate::exec;
 use crate::grid::{GridParams, HierarchicalGrid};
 use crate::invindex::InvertedIndex;
 use crate::lemmas;
 use crate::mapping::MappedVectors;
 use crate::metric::Metric;
-use crate::pivot::select_pivots;
+use crate::pivot::select_pivots_with;
 use crate::stats::SearchStats;
 use crate::util::FastMap;
 use crate::vector::{VectorId, VectorStore};
-use crate::verify::{verify, VerifyContext, VerifyOutcome};
+use crate::verify::{verify, verify_with, VerifyContext, VerifyOutcome};
 
 /// One joinable column in a search result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +61,10 @@ pub struct SearchOptions {
     pub quick_browse: bool,
     /// Verification implementation; identical results either way.
     pub verify_strategy: VerifyStrategy,
+    /// Parallelism of the online path (query mapping, `HG_Q` build,
+    /// blocking, stamp verification). Results are identical either way;
+    /// [`VerifyStrategy::DaatHeap`] verification itself stays sequential.
+    pub exec: ExecPolicy,
 }
 
 impl Default for SearchOptions {
@@ -68,6 +73,7 @@ impl Default for SearchOptions {
             flags: LemmaFlags::all(),
             quick_browse: true,
             verify_strategy: VerifyStrategy::Stamps,
+            exec: ExecPolicy::Sequential,
         }
     }
 }
@@ -98,14 +104,16 @@ impl<M: Metric> PexesoIndex<M> {
             return Err(PexesoError::EmptyInput("repository with zero columns"));
         }
         let started = Instant::now();
-        let pivots = select_pivots(
+        let pivots = select_pivots_with(
             columns.store(),
             &metric,
             options.num_pivots,
             options.pivot_selection,
             options.seed,
+            options.exec,
         )?;
-        let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None)?;
+        let rv_mapped =
+            MappedVectors::build_with(columns.store(), &pivots, &metric, None, options.exec)?;
         // Span covers unit-vector repositories and anything larger actually
         // observed; queries are validated against it at search time.
         let span = metric
@@ -114,12 +122,20 @@ impl<M: Metric> PexesoIndex<M> {
             + 1e-4;
         let levels = match options.levels {
             Some(m) => m,
-            None => crate::cost::choose_levels(&columns, &rv_mapped, &pivots, &metric, span, options.seed)?,
+            None => crate::cost::choose_levels(
+                &columns,
+                &rv_mapped,
+                &pivots,
+                &metric,
+                span,
+                options.seed,
+            )?,
         };
         let grid_params = GridParams::new(pivots.len(), levels, span)?;
-        let hgrv = HierarchicalGrid::build_keys_only(grid_params.clone(), &rv_mapped)?;
+        let hgrv =
+            HierarchicalGrid::build_keys_only_with(grid_params.clone(), &rv_mapped, options.exec)?;
         let vec_col = columns.vector_to_column();
-        let inv = InvertedIndex::build(&grid_params, &rv_mapped, &vec_col)?;
+        let inv = InvertedIndex::build_with(&grid_params, &rv_mapped, &vec_col, options.exec)?;
         let deleted = vec![false; columns.n_columns()];
         Ok(Self {
             metric,
@@ -164,8 +180,13 @@ impl<M: Metric> PexesoIndex<M> {
         let total_start = Instant::now();
 
         // Map the query column into the pivot space.
-        let query_mapped =
-            MappedVectors::build(query, &self.pivots, &self.metric, Some(&mut stats.mapping_distances))?;
+        let query_mapped = MappedVectors::build_with(
+            query,
+            &self.pivots,
+            &self.metric,
+            Some(&mut stats.mapping_distances),
+            opts.exec,
+        )?;
         if query_mapped.max_coord() > self.grid_params.span {
             return Err(PexesoError::InvalidParameter(format!(
                 "query vector maps outside the pivot space (coordinate {} > span {}); \
@@ -174,7 +195,7 @@ impl<M: Metric> PexesoIndex<M> {
                 self.grid_params.span
             )));
         }
-        let hgq = HierarchicalGrid::build(self.grid_params.clone(), &query_mapped)?;
+        let hgq = HierarchicalGrid::build_with(self.grid_params.clone(), &query_mapped, opts.exec)?;
 
         // Quick browsing, then the dual-grid traversal.
         let block_start = Instant::now();
@@ -185,7 +206,7 @@ impl<M: Metric> PexesoIndex<M> {
         } else {
             (None, FastMap::default())
         };
-        let blocked = block(
+        let blocked = block_with(
             &hgq,
             &self.hgrv,
             &query_mapped,
@@ -194,6 +215,7 @@ impl<M: Metric> PexesoIndex<M> {
             handled.as_ref(),
             seeded,
             &mut stats,
+            opts.exec,
         );
         stats.block_time = block_start.elapsed();
 
@@ -213,7 +235,7 @@ impl<M: Metric> PexesoIndex<M> {
             deleted: Some(&self.deleted),
         };
         let outcome: VerifyOutcome = match opts.verify_strategy {
-            VerifyStrategy::Stamps => verify(&ctx, &blocked, &mut stats),
+            VerifyStrategy::Stamps => verify_with(&ctx, &blocked, &mut stats, opts.exec),
             VerifyStrategy::DaatHeap => crate::daat::verify_daat(&ctx, &blocked, &mut stats),
         };
         stats.verify_time = verify_start.elapsed();
@@ -222,9 +244,46 @@ impl<M: Metric> PexesoIndex<M> {
         let hits = outcome
             .joinable
             .iter()
-            .map(|&c| SearchHit { column: c, match_count: outcome.match_counts[c.0 as usize] })
+            .map(|&c| SearchHit {
+                column: c,
+                match_count: outcome.match_counts[c.0 as usize],
+            })
             .collect();
         Ok(SearchResult { hits, stats })
+    }
+
+    /// Batched multi-query search: answer many query columns against the
+    /// same index in one call, amortising index traversal state and — under
+    /// a parallel [`ExecPolicy`] — running whole queries concurrently.
+    ///
+    /// `results[i]` is exactly what `search_with(&queries[i], …)` returns
+    /// (queries are independent, so the outer parallelism cannot change
+    /// results). Each query itself runs sequentially when the outer policy
+    /// is parallel, avoiding nested thread fan-out; with
+    /// [`ExecPolicy::Sequential`] the per-query policy in `opts.exec` is
+    /// honoured instead.
+    pub fn search_many<Q: AsRef<VectorStore> + Sync>(
+        &self,
+        queries: &[Q],
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<Vec<SearchResult>> {
+        let inner_opts = match policy {
+            // Outer fan-out owns the threads; keep each query single-threaded.
+            ExecPolicy::Parallel { .. } => SearchOptions {
+                exec: ExecPolicy::Sequential,
+                ..opts
+            },
+            ExecPolicy::Sequential => opts,
+        };
+        let shards = exec::map_ranges_min(policy, queries.len(), 2, |range| {
+            range
+                .map(|i| self.search_with(queries[i].as_ref(), tau, t, inner_opts))
+                .collect::<Vec<Result<SearchResult>>>()
+        });
+        shards.into_iter().flatten().collect()
     }
 
     /// Top-k joinable-column search: the `k` non-deleted columns with the
@@ -248,8 +307,12 @@ impl<M: Metric> PexesoIndex<M> {
         let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
         let mut stats = SearchStats::new();
         let total_start = Instant::now();
-        let query_mapped =
-            MappedVectors::build(query, &self.pivots, &self.metric, Some(&mut stats.mapping_distances))?;
+        let query_mapped = MappedVectors::build(
+            query,
+            &self.pivots,
+            &self.metric,
+            Some(&mut stats.mapping_distances),
+        )?;
         if query_mapped.max_coord() > self.grid_params.span {
             return Err(PexesoError::InvalidParameter(
                 "query vector maps outside the pivot space; normalise query vectors".into(),
@@ -259,7 +322,7 @@ impl<M: Metric> PexesoIndex<M> {
         let block_start = Instant::now();
         let mut seeded = FastMap::default();
         let handled = quick_browse(&hgq, &self.inv, &mut seeded, &mut stats);
-        let blocked = block(
+        let blocked = block_with(
             &hgq,
             &self.hgrv,
             &query_mapped,
@@ -268,6 +331,7 @@ impl<M: Metric> PexesoIndex<M> {
             Some(&handled),
             seeded,
             &mut stats,
+            ExecPolicy::Sequential,
         );
         stats.block_time = block_start.elapsed();
 
@@ -294,11 +358,21 @@ impl<M: Metric> PexesoIndex<M> {
             .iter()
             .enumerate()
             .filter(|&(c, &count)| count > 0 && !self.deleted[c])
-            .map(|(c, &count)| SearchHit { column: ColumnId(c as u32), match_count: count })
+            .map(|(c, &count)| SearchHit {
+                column: ColumnId(c as u32),
+                match_count: count,
+            })
             .collect();
-        ranked.sort_by(|a, b| b.match_count.cmp(&a.match_count).then(a.column.cmp(&b.column)));
+        ranked.sort_by(|a, b| {
+            b.match_count
+                .cmp(&a.match_count)
+                .then(a.column.cmp(&b.column))
+        });
         ranked.truncate(k);
-        Ok(SearchResult { hits: ranked, stats })
+        Ok(SearchResult {
+            hits: ranked,
+            stats,
+        })
     }
 
     /// Append a new column online (Section III-E: O((|P|+m)·|s|) for the
@@ -312,7 +386,9 @@ impl<M: Metric> PexesoIndex<M> {
         external_id: u64,
         vectors: impl IntoIterator<Item = &'a [f32]>,
     ) -> Result<ColumnId> {
-        let col_id = self.columns.add_column(table_name, column_name, external_id, vectors)?;
+        let col_id = self
+            .columns
+            .add_column(table_name, column_name, external_id, vectors)?;
         let meta = self.columns.column(col_id).clone();
         for vid in meta.vector_range() {
             let v = self.columns.store().get_raw(vid as usize);
@@ -347,7 +423,10 @@ impl<M: Metric> PexesoIndex<M> {
 
     /// Whether a column has been tombstoned.
     pub fn is_deleted(&self, column: ColumnId) -> bool {
-        self.deleted.get(column.0 as usize).copied().unwrap_or(false)
+        self.deleted
+            .get(column.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Number of live (non-deleted) columns.
@@ -369,7 +448,8 @@ impl<M: Metric> PexesoIndex<M> {
                 &meta.table_name,
                 &meta.column_name,
                 meta.external_id,
-                meta.vector_range().map(|v| self.columns.store().get_raw(v as usize)),
+                meta.vector_range()
+                    .map(|v| self.columns.store().get_raw(v as usize)),
             )?;
         }
         Self::build(fresh, self.metric.clone(), self.options.clone())
@@ -405,7 +485,10 @@ impl<M: Metric> PexesoIndex<M> {
                     continue;
                 }
                 let is_match = lemmas::lemma2_match(qmap, xm, tau)
-                    || self.metric.dist(qv, self.columns.store().get_raw(v as usize)) <= tau;
+                    || self
+                        .metric
+                        .dist(qv, self.columns.store().get_raw(v as usize))
+                        <= tau;
                 if is_match {
                     out.push((q as u32, VectorId(v)));
                 }
@@ -562,7 +645,10 @@ pub fn naive_search<M: Metric>(
             }
         }
         if count as usize >= t_abs {
-            hits.push(SearchHit { column: ColumnId(ci as u32), match_count: count });
+            hits.push(SearchHit {
+                column: ColumnId(ci as u32),
+                match_count: count,
+            });
         }
     }
     stats.total_time = start.elapsed();
@@ -592,7 +678,9 @@ mod tests {
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng, dim)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -611,6 +699,7 @@ mod tests {
                 levels: Some(levels),
                 pivot_selection: PivotSelection::Pca,
                 seed: 7,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -622,7 +711,11 @@ mod tests {
             let (columns, query) = instance(seed, 15, 25, 10);
             let index = build(columns.clone(), 4, 4);
             for tau in [Tau::Ratio(0.04), Tau::Ratio(0.2), Tau::Absolute(0.8)] {
-                for t in [JoinThreshold::Ratio(0.2), JoinThreshold::Ratio(0.6), JoinThreshold::Count(1)] {
+                for t in [
+                    JoinThreshold::Ratio(0.2),
+                    JoinThreshold::Ratio(0.6),
+                    JoinThreshold::Count(1),
+                ] {
                     let (naive, _) =
                         naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
                     let result = index.search(&query, tau, t).unwrap();
@@ -656,7 +749,9 @@ mod tests {
         let (columns, _) = instance(4, 3, 5, 1);
         let index = build(columns, 2, 2);
         let empty = VectorStore::new(16);
-        assert!(index.search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1)).is_err());
+        assert!(index
+            .search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1))
+            .is_err());
     }
 
     #[test]
@@ -691,7 +786,9 @@ mod tests {
             let mut expected = Vec::new();
             for q in 0..query.len() {
                 for v in meta.vector_range() {
-                    if Euclidean.dist(query.get_raw(q), columns.store().get_raw(v as usize)) <= tau_abs {
+                    if Euclidean.dist(query.get_raw(q), columns.store().get_raw(v as usize))
+                        <= tau_abs
+                    {
                         expected.push((q as u32, VectorId(v)));
                     }
                 }
@@ -740,7 +837,9 @@ mod tests {
     fn stats_are_populated() {
         let (columns, query) = instance(11, 10, 25, 8);
         let index = build(columns, 4, 4);
-        let r = index.search(&query, Tau::Ratio(0.2), JoinThreshold::Ratio(0.4)).unwrap();
+        let r = index
+            .search(&query, Tau::Ratio(0.2), JoinThreshold::Ratio(0.4))
+            .unwrap();
         assert!(r.stats.mapping_distances > 0);
         assert!(r.stats.candidate_pairs + r.stats.matching_pairs + r.stats.quick_browse_pairs > 0);
         assert!(r.stats.total_time >= r.stats.block_time);

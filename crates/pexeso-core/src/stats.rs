@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SearchStats { distance_computations: 5, candidate_pairs: 2, ..Default::default() };
+        let mut a = SearchStats {
+            distance_computations: 5,
+            candidate_pairs: 2,
+            ..Default::default()
+        };
         let b = SearchStats {
             distance_computations: 7,
             candidate_pairs: 1,

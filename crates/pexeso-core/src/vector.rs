@@ -19,17 +19,29 @@ pub struct VectorStore {
     data: Vec<f32>,
 }
 
+impl AsRef<VectorStore> for VectorStore {
+    fn as_ref(&self) -> &VectorStore {
+        self
+    }
+}
+
 impl VectorStore {
     /// Create an empty store of the given dimensionality.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Pre-allocate for `n` vectors.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -48,7 +60,10 @@ impl VectorStore {
     /// Append a vector, returning its id.
     pub fn push(&mut self, v: &[f32]) -> Result<VectorId> {
         if v.len() != self.dim {
-            return Err(PexesoError::DimensionMismatch { expected: self.dim, got: v.len() });
+            return Err(PexesoError::DimensionMismatch {
+                expected: self.dim,
+                got: v.len(),
+            });
         }
         let id = VectorId(self.len() as u32);
         self.data.extend_from_slice(v);
@@ -95,7 +110,7 @@ impl VectorStore {
 
     /// Rebuild from flat data (persistence).
     pub fn from_raw(dim: usize, data: Vec<f32>) -> Result<Self> {
-        if dim == 0 || data.len() % dim != 0 {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
             return Err(PexesoError::Corrupt(format!(
                 "flat data length {} not a multiple of dim {dim}",
                 data.len()
@@ -129,7 +144,10 @@ mod tests {
         let mut s = VectorStore::new(3);
         assert!(matches!(
             s.push(&[1.0]),
-            Err(PexesoError::DimensionMismatch { expected: 3, got: 1 })
+            Err(PexesoError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

@@ -15,10 +15,34 @@
 //! cursor merge; we achieve the identical skip behaviour with per-query
 //! generation stamps (`matched`/`seen`), which avoids the priority queue
 //! while still touching each (query vector, column) group once.
+//!
+//! ## Parallel verification
+//!
+//! All per-column state (match/mismatch counts, stamps, joinable/pruned
+//! flags) is independent across columns: a column's outcome depends only on
+//! the query-vector order, never on other columns. [`verify_with`]
+//! therefore shards the column id space into contiguous ranges, runs the
+//! identical scan per shard (each shard skipping postings entries outside
+//! its range), and concatenates shard results in range order — making
+//! [`ExecPolicy::Parallel`] output byte-identical to
+//! [`ExecPolicy::Sequential`]. Exact distances go through the early-exit
+//! [`Metric::dist_le`] kernel, which answers `d ≤ τ` without a `sqrt` and
+//! usually without touching every dimension.
+//!
+//! Trade-off: every shard walks the full blocked pair lists and skips
+//! postings entries outside its column range, so the cheap postings
+//! traversal is repeated once per shard while the expensive per-vector
+//! work is split. Speedup is therefore sublinear in threads on
+//! postings-heavy/verification-light workloads; pre-partitioning the
+//! postings by column shard would remove the rescan if that ever
+//! dominates.
+
+use std::ops::Range;
 
 use crate::block::BlockOutput;
 use crate::column::{ColumnId, ColumnSet};
-use crate::config::LemmaFlags;
+use crate::config::{ExecPolicy, LemmaFlags};
+use crate::exec;
 use crate::invindex::InvertedIndex;
 use crate::lemmas;
 use crate::mapping::MappedVectors;
@@ -59,30 +83,80 @@ pub struct VerifyOutcome {
     pub mismatch_counts: Vec<u32>,
 }
 
-/// Run Algorithm 2.
+/// Run Algorithm 2 single-threaded.
 pub fn verify<M: Metric>(
     ctx: &VerifyContext<'_, M>,
     blocked: &BlockOutput,
     stats: &mut SearchStats,
 ) -> VerifyOutcome {
+    verify_with(ctx, blocked, stats, ExecPolicy::Sequential)
+}
+
+/// Run Algorithm 2, sharding the column space across the policy's threads.
+/// The outcome (and every counter in `stats`) is identical for every
+/// policy; only wall-clock changes.
+pub fn verify_with<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    blocked: &BlockOutput,
+    stats: &mut SearchStats,
+    policy: ExecPolicy,
+) -> VerifyOutcome {
     let n_cols = ctx.columns.n_columns();
+    let threads = policy.effective_threads();
+    if threads <= 1 || n_cols < 2 {
+        return verify_range(ctx, blocked, 0..n_cols, stats);
+    }
+    let shards = exec::map_ranges_min(policy, n_cols, 2, |cols| {
+        let mut shard_stats = SearchStats::new();
+        let outcome = verify_range(ctx, blocked, cols, &mut shard_stats);
+        (outcome, shard_stats)
+    });
+    let mut joinable = Vec::new();
+    let mut match_counts = Vec::with_capacity(n_cols);
+    let mut mismatch_counts = Vec::with_capacity(n_cols);
+    for (outcome, shard_stats) in shards {
+        // Ranges are contiguous and ascending, so plain concatenation
+        // reproduces the sequential layout.
+        joinable.extend(outcome.joinable);
+        match_counts.extend(outcome.match_counts);
+        mismatch_counts.extend(outcome.mismatch_counts);
+        stats.merge(&shard_stats);
+    }
+    VerifyOutcome {
+        joinable,
+        match_counts,
+        mismatch_counts,
+    }
+}
+
+/// The Algorithm 2 scan restricted to columns in `cols`. Per-column state
+/// never crosses column boundaries, so running disjoint ranges (in any
+/// interleaving) and concatenating equals one full sequential run.
+fn verify_range<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    blocked: &BlockOutput,
+    cols: Range<usize>,
+    stats: &mut SearchStats,
+) -> VerifyOutcome {
+    let (lo, hi) = (cols.start, cols.end);
+    let width = hi - lo;
     let n_q = ctx.query.len();
     // T beyond |Q| can never be reached: early termination stays off and
     // the loop produces exact per-column counts (top-k mode).
     let terminable = ctx.t_abs <= n_q;
-    let mut match_counts = vec![0u32; n_cols];
-    let mut mismatch_counts = vec![0u32; n_cols];
-    let mut joinable = vec![false; n_cols];
-    let mut pruned = vec![false; n_cols];
+    let mut match_counts = vec![0u32; width];
+    let mut mismatch_counts = vec![0u32; width];
+    let mut joinable = vec![false; width];
+    let mut pruned = vec![false; width];
     if let Some(deleted) = ctx.deleted {
-        debug_assert_eq!(deleted.len(), n_cols);
-        for (p, &d) in pruned.iter_mut().zip(deleted) {
+        debug_assert_eq!(deleted.len(), ctx.columns.n_columns());
+        for (p, &d) in pruned.iter_mut().zip(&deleted[lo..hi]) {
             *p = d;
         }
     }
     // Generation stamps: gen = q + 1 marks "this query vector".
-    let mut matched_stamp = vec![0u32; n_cols];
-    let mut seen_stamp = vec![0u32; n_cols];
+    let mut matched_stamp = vec![0u32; width];
+    let mut seen_stamp = vec![0u32; width];
     let mut seen_list: Vec<u32> = Vec::new();
 
     // Cursors into the two (query-sorted) pair lists.
@@ -95,9 +169,13 @@ pub fn verify<M: Metric>(
         // 1. Matching pairs: all postings columns of the cells match q.
         if mi < blocked.matching.len() && blocked.matching[mi].0 == q {
             for &cell in &blocked.matching[mi].1 {
-                let Some(postings) = ctx.inv.postings(cell) else { continue };
+                let Some(postings) = ctx.inv.postings(cell) else {
+                    continue;
+                };
                 for &col in &postings.cols {
-                    let c = col as usize;
+                    let Some(c) = shard_slot(col, lo, hi) else {
+                        continue;
+                    };
                     if joinable[c] || pruned[c] || matched_stamp[c] == gen {
                         continue;
                     }
@@ -117,9 +195,13 @@ pub fn verify<M: Metric>(
             let qm = ctx.query_mapped.get(q as usize);
             let qv = ctx.query.get_raw(q as usize);
             for &cell in &blocked.candidates[ci].1 {
-                let Some(postings) = ctx.inv.postings(cell) else { continue };
+                let Some(postings) = ctx.inv.postings(cell) else {
+                    continue;
+                };
                 for (i, &col) in postings.cols.iter().enumerate() {
-                    let c = col as usize;
+                    let Some(c) = shard_slot(col, lo, hi) else {
+                        continue;
+                    };
                     if joinable[c] || pruned[c] || matched_stamp[c] == gen {
                         continue;
                     }
@@ -129,7 +211,8 @@ pub fn verify<M: Metric>(
                     }
                     for &vid in postings.vectors_of(i) {
                         let xm = ctx.rv_mapped.get(vid as usize);
-                        if ctx.flags.lemma1_vector_filter && lemmas::lemma1_filter(qm, xm, ctx.tau) {
+                        if ctx.flags.lemma1_vector_filter && lemmas::lemma1_filter(qm, xm, ctx.tau)
+                        {
                             stats.lemma1_filtered += 1;
                             continue;
                         }
@@ -141,7 +224,7 @@ pub fn verify<M: Metric>(
                         } else {
                             stats.distance_computations += 1;
                             let xv = ctx.columns.store().get_raw(vid as usize);
-                            ctx.metric.dist(qv, xv) <= ctx.tau
+                            ctx.metric.dist_le(qv, xv, ctx.tau)
                         };
                         if is_match {
                             matched_stamp[c] = gen;
@@ -163,7 +246,7 @@ pub fn verify<M: Metric>(
         //    vectors of the column were in the candidate cells, so q can
         //    never match this column — Lemma 7 may now prune it.
         for col in seen_list.drain(..) {
-            let c = col as usize;
+            let c = (col as usize) - lo;
             if matched_stamp[c] != gen && !joinable[c] && !pruned[c] {
                 mismatch_counts[c] += 1;
                 if terminable && n_q - (mismatch_counts[c] as usize) < ctx.t_abs {
@@ -174,11 +257,27 @@ pub fn verify<M: Metric>(
         }
     }
 
-    let joinable_ids = (0..n_cols)
+    let joinable_ids = (0..width)
         .filter(|&c| joinable[c])
-        .map(|c| ColumnId(c as u32))
+        .map(|c| ColumnId((lo + c) as u32))
         .collect();
-    VerifyOutcome { joinable: joinable_ids, match_counts, mismatch_counts }
+    VerifyOutcome {
+        joinable: joinable_ids,
+        match_counts,
+        mismatch_counts,
+    }
+}
+
+/// Shard-local slot of a global column id, or `None` when the column
+/// belongs to another shard.
+#[inline(always)]
+fn shard_slot(col: u32, lo: usize, hi: usize) -> Option<usize> {
+    let c = col as usize;
+    if c >= lo && c < hi {
+        Some(c - lo)
+    } else {
+        None
+    }
 }
 
 /// Resolve the ⟨vec_col⟩ lookup for callers that track it separately.
@@ -192,12 +291,12 @@ mod tests {
     use super::*;
     use crate::block::{block, quick_browse};
     use crate::config::LemmaFlags;
-use crate::util::FastMap;
     use crate::grid::{GridParams, HierarchicalGrid};
     use crate::metric::Euclidean;
+    use crate::util::FastMap;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    
+
     /// Reference implementation: exhaustive scan.
     fn naive_joinable(
         query: &VectorStore,
@@ -223,7 +322,12 @@ use crate::util::FastMap;
         out
     }
 
-    fn random_instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (VectorStore, ColumnSet) {
+    fn random_instance(
+        seed: u64,
+        n_cols: usize,
+        col_len: usize,
+        nq: usize,
+    ) -> (VectorStore, ColumnSet) {
         let mut rng = StdRng::seed_from_u64(seed);
         let dim = 10;
         let unit = |rng: &mut StdRng| {
@@ -236,7 +340,9 @@ use crate::util::FastMap;
         for c in 0..n_cols {
             let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
             let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for _ in 0..nq {
@@ -256,7 +362,12 @@ use crate::util::FastMap;
     ) -> (Vec<ColumnId>, SearchStats) {
         let metric = Euclidean;
         let pivots: Vec<Vec<f32>> = (0..3)
-            .map(|i| columns.store().get_raw(i * 5 % columns.n_vectors()).to_vec())
+            .map(|i| {
+                columns
+                    .store()
+                    .get_raw(i * 5 % columns.n_vectors())
+                    .to_vec()
+            })
             .collect();
         let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
         let q_mapped = MappedVectors::build(query, &pivots, &metric, None).unwrap();
@@ -308,10 +419,86 @@ use crate::util::FastMap;
             for tau in [0.2f32, 0.5, 0.9] {
                 for t_abs in [1usize, 3, 6] {
                     let expected = naive_joinable(&query, &columns, tau, t_abs);
-                    let (got, _) = run_pexeso_verify(
-                        &query, &columns, tau, t_abs, LemmaFlags::all(), true,
-                    );
+                    let (got, _) =
+                        run_pexeso_verify(&query, &columns, tau, t_abs, LemmaFlags::all(), true);
                     assert_eq!(got, expected, "seed={seed} tau={tau} T={t_abs}");
+                }
+            }
+        }
+    }
+
+    /// Column-sharded parallel verification is byte-identical to the
+    /// sequential scan: same joinable set, same exact counts, same
+    /// early-termination and lemma counters.
+    #[test]
+    fn parallel_verify_is_byte_identical() {
+        for seed in 0..4u64 {
+            let (query, columns) = random_instance(seed * 7 + 1, 13, 25, 9);
+            let metric = Euclidean;
+            let pivots: Vec<Vec<f32>> = (0..3)
+                .map(|i| {
+                    columns
+                        .store()
+                        .get_raw(i * 5 % columns.n_vectors())
+                        .to_vec()
+                })
+                .collect();
+            let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+            let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+            let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+            let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+            let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+            let vec_col = columns.vector_to_column();
+            let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+            for tau in [0.1f32, 0.4, 0.8] {
+                for t_abs in [1usize, 4, query.len() + 1] {
+                    let mut stats = SearchStats::new();
+                    let blocked = block(
+                        &hgq,
+                        &hgrv,
+                        &q_mapped,
+                        tau,
+                        LemmaFlags::all(),
+                        None,
+                        FastMap::default(),
+                        &mut stats,
+                    );
+                    let ctx = VerifyContext {
+                        columns: &columns,
+                        vec_col: &vec_col,
+                        rv_mapped: &rv_mapped,
+                        inv: &inv,
+                        metric: &metric,
+                        query: &query,
+                        query_mapped: &q_mapped,
+                        tau,
+                        t_abs,
+                        flags: LemmaFlags::all(),
+                        deleted: None,
+                    };
+                    let mut seq_stats = SearchStats::new();
+                    let seq = verify(&ctx, &blocked, &mut seq_stats);
+                    for threads in [2usize, 3, 8, 64] {
+                        let mut par_stats = SearchStats::new();
+                        let par = verify_with(
+                            &ctx,
+                            &blocked,
+                            &mut par_stats,
+                            crate::config::ExecPolicy::Parallel { threads },
+                        );
+                        assert_eq!(
+                            seq, par,
+                            "seed={seed} tau={tau} T={t_abs} threads={threads}"
+                        );
+                        assert_eq!(
+                            seq_stats.distance_computations, par_stats.distance_computations,
+                            "distance counter diverged (threads={threads})"
+                        );
+                        assert_eq!(seq_stats.early_joinable, par_stats.early_joinable);
+                        assert_eq!(seq_stats.lemma7_pruned, par_stats.lemma7_pruned);
+                        assert_eq!(seq_stats.lemma1_filtered, par_stats.lemma1_filtered);
+                        assert_eq!(seq_stats.lemma2_matched, par_stats.lemma2_matched);
+                    }
                 }
             }
         }
@@ -343,7 +530,10 @@ use crate::util::FastMap;
         // Very tight tau and T = |Q|: nearly every column should be pruned
         // long before all 10 query vectors are checked.
         let (_, stats) = run_pexeso_verify(&query, &columns, 0.05, 10, LemmaFlags::all(), true);
-        assert!(stats.lemma7_pruned > 0, "expected lemma-7 prunes: {stats:?}");
+        assert!(
+            stats.lemma7_pruned > 0,
+            "expected lemma-7 prunes: {stats:?}"
+        );
     }
 
     #[test]
@@ -389,7 +579,9 @@ use crate::util::FastMap;
                     .count() as u32
             })
             .collect();
-        let pivots: Vec<Vec<f32>> = (0..3).map(|i| columns.store().get_raw(i).to_vec()).collect();
+        let pivots: Vec<Vec<f32>> = (0..3)
+            .map(|i| columns.store().get_raw(i).to_vec())
+            .collect();
         let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
         let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
         let params = GridParams::new(3, 3, 2.0 + 1e-4).unwrap();
@@ -399,7 +591,14 @@ use crate::util::FastMap;
         let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
         let mut stats = SearchStats::new();
         let blocked = block(
-            &hgq, &hgrv, &q_mapped, tau, LemmaFlags::all(), None, FastMap::default(), &mut stats,
+            &hgq,
+            &hgrv,
+            &q_mapped,
+            tau,
+            LemmaFlags::all(),
+            None,
+            FastMap::default(),
+            &mut stats,
         );
         let ctx = VerifyContext {
             columns: &columns,

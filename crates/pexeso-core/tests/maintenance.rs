@@ -15,7 +15,9 @@ fn unit_vec(dim: usize, seed: u64) -> Vec<f32> {
 }
 
 fn column_vecs(dim: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
-    (0..len).map(|i| unit_vec(dim, seed * 1000 + i as u64)).collect()
+    (0..len)
+        .map(|i| unit_vec(dim, seed * 1000 + i as u64))
+        .collect()
 }
 
 fn make_columns(dim: usize, n_cols: usize, len: usize, seed: u64) -> ColumnSet {
@@ -23,7 +25,8 @@ fn make_columns(dim: usize, n_cols: usize, len: usize, seed: u64) -> ColumnSet {
     for c in 0..n_cols {
         let vecs = column_vecs(dim, len, seed + c as u64);
         let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-        cs.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        cs.add_column("t", &format!("c{c}"), c as u64, refs)
+            .unwrap();
     }
     cs
 }
@@ -100,9 +103,14 @@ fn removed_columns_disappear_and_compact_preserves() {
     assert_eq!(index.live_columns(), 9);
 
     let after = index.search(&q, tau, t).unwrap();
-    assert!(!ids(&after.hits).contains(&victim.0), "deleted column still returned");
-    let expected_rest: Vec<u32> =
-        ids(&before.hits).into_iter().filter(|&c| c != victim.0).collect();
+    assert!(
+        !ids(&after.hits).contains(&victim.0),
+        "deleted column still returned"
+    );
+    let expected_rest: Vec<u32> = ids(&before.hits)
+        .into_iter()
+        .filter(|&c| c != victim.0)
+        .collect();
     assert_eq!(ids(&after.hits), expected_rest);
 
     // Compaction rebuilds without the victim; results on live columns
@@ -141,7 +149,8 @@ fn topk_matches_naive_ranking() {
             let count = (0..q.len())
                 .filter(|&qi| {
                     meta.vector_range().any(|v| {
-                        Euclidean.dist(q.get_raw(qi), columns.store().get_raw(v as usize)) <= tau_abs
+                        Euclidean.dist(q.get_raw(qi), columns.store().get_raw(v as usize))
+                            <= tau_abs
                     })
                 })
                 .count() as u32;
@@ -154,8 +163,11 @@ fn topk_matches_naive_ranking() {
     for k in [1usize, 3, 5, 100] {
         let result = index.search_topk(&q, tau, k).unwrap();
         let expected: Vec<(u32, u32)> = counts.iter().copied().take(k).collect();
-        let got: Vec<(u32, u32)> =
-            result.hits.iter().map(|h| (h.column.0, h.match_count)).collect();
+        let got: Vec<(u32, u32)> = result
+            .hits
+            .iter()
+            .map(|h| (h.column.0, h.match_count))
+            .collect();
         assert_eq!(got, expected, "k={k}");
     }
 }
@@ -182,9 +194,13 @@ fn compact_without_deletions_is_identity() {
     let columns = make_columns(8, 4, 6, 3);
     let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
     let q = query(8, 4, 4);
-    let before = index.search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1)).unwrap();
+    let before = index
+        .search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1))
+        .unwrap();
     let compacted = index.compact().unwrap();
-    let after = compacted.search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1)).unwrap();
+    let after = compacted
+        .search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1))
+        .unwrap();
     assert_eq!(ids(&before.hits), ids(&after.hits));
 }
 

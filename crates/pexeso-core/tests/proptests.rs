@@ -53,9 +53,9 @@ proptest! {
         let mut key = params.leaf_key(&mapped);
         for level in (1..=levels).rev() {
             let b = params.bounds(key, level);
-            for i in 0..3 {
+            for (i, &mc) in mapped.iter().enumerate().take(3) {
                 prop_assert!(
-                    b.lower[i] <= mapped[i] + 1e-4 && mapped[i] <= b.upper[i] + 1e-4,
+                    b.lower[i] <= mc + 1e-4 && mc <= b.upper[i] + 1e-4,
                     "level {} dim {}: {} not in [{}, {}]",
                     level, i, mapped[i], b.lower[i], b.upper[i]
                 );

@@ -94,7 +94,9 @@ impl AbbrevExpander {
 
     /// Empty expander (no rules).
     pub fn empty() -> Self {
-        Self { map: HashMap::new() }
+        Self {
+            map: HashMap::new(),
+        }
     }
 
     /// Add or override a rule; `from` is matched case-insensitively on whole

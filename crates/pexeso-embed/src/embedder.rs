@@ -313,7 +313,10 @@ mod tests {
         let e = SemanticEmbedder::new(128, lex);
         // One character-level edit: fuzzy lookup resolves to the concept.
         let d = dist(&e, "Pacific Islander", "Pacific Islandr");
-        assert!(d < 0.16, "misspelling of a known value should stay joinable: {d}");
+        assert!(
+            d < 0.16,
+            "misspelling of a known value should stay joinable: {d}"
+        );
         let d_far = dist(&e, "Pacific Islander", "Atlantic Salmon Run");
         assert!(d_far > 1.0);
     }
@@ -323,7 +326,10 @@ mod tests {
         let lex = Lexicon::new();
         let sem = SemanticEmbedder::new(128, lex).with_alpha(0.7);
         let base = HashEmbedder::new(128);
-        assert_eq!(sem.embed("completely unknown thing"), base.embed("completely unknown thing"));
+        assert_eq!(
+            sem.embed("completely unknown thing"),
+            base.embed("completely unknown thing")
+        );
     }
 
     #[test]

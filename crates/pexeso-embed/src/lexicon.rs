@@ -40,8 +40,10 @@ const FUZZY_CANDIDATES: usize = 48;
 
 fn surface_trigrams(key: &str) -> Vec<[char; 3]> {
     // Pad so short strings still produce trigrams.
-    let padded: Vec<char> =
-        std::iter::once('^').chain(key.chars()).chain(std::iter::once('$')).collect();
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(key.chars())
+        .chain(std::iter::once('$'))
+        .collect();
     if padded.len() < 3 {
         return vec![[padded[0], *padded.last().unwrap(), '$']];
     }
@@ -119,7 +121,10 @@ impl Lexicon {
     }
 
     /// Create a fresh concept and register all given surface forms for it.
-    pub fn add_synonym_set<'a>(&mut self, surfaces: impl IntoIterator<Item = &'a str>) -> ConceptId {
+    pub fn add_synonym_set<'a>(
+        &mut self,
+        surfaces: impl IntoIterator<Item = &'a str>,
+    ) -> ConceptId {
         // Auto ids live in a high namespace to avoid colliding with caller ids.
         self.next_auto_id += 1;
         let id = ConceptId(0x8000_0000_0000_0000 | self.next_auto_id);
@@ -177,7 +182,7 @@ impl Lexicon {
             let max_errors = ((1.0 - min_sim) * longest as f64).floor() as usize;
             if let Some(d) = edit_distance_bounded(&key_chars, &cand_chars, max_errors) {
                 let sim = 1.0 - d as f64 / longest as f64;
-                if sim >= min_sim && best.map_or(true, |(s, _)| sim > s) {
+                if sim >= min_sim && best.is_none_or(|(s, _)| sim > s) {
                     best = Some((sim, *concept));
                 }
             }
@@ -216,7 +221,8 @@ const TOPIC_SPREAD: f32 = 0.55;
 pub fn concept_vector(concept: ConceptId, dim: usize) -> Vec<f32> {
     let topic = crate::hashing::splitmix64(concept.0 ^ 0x70_91c5_7ab3) % NUM_TOPICS;
     let mut centre = vec![0.0f32; dim];
-    GaussianStream::new(topic.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x7091c).fill_unit_vector(&mut centre);
+    GaussianStream::new(topic.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x7091c)
+        .fill_unit_vector(&mut centre);
     let mut offset = vec![0.0f32; dim];
     GaussianStream::new(concept.0 ^ 0x5eed_c04c_ef70_1234).fill_unit_vector(&mut offset);
     for (c, o) in centre.iter_mut().zip(offset.iter()) {

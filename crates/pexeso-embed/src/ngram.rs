@@ -71,7 +71,10 @@ mod tests {
         let c: HashSet<_> = ngrams("zebra", 3, 4).into_iter().collect();
         let overlap_ab = a.intersection(&b).count() as f64 / a.len() as f64;
         let overlap_ac = a.intersection(&c).count() as f64 / a.len() as f64;
-        assert!(overlap_ab > 0.4, "misspelling overlap too low: {overlap_ab}");
+        assert!(
+            overlap_ab > 0.4,
+            "misspelling overlap too low: {overlap_ab}"
+        );
         assert!(overlap_ac < 0.1, "unrelated overlap too high: {overlap_ac}");
     }
 

@@ -38,7 +38,10 @@ mod tests {
 
     #[test]
     fn splits_on_punctuation() {
-        assert_eq!(tokenize("American Indian/Alaska Native"), vec!["american", "indian", "alaska", "native"]);
+        assert_eq!(
+            tokenize("American Indian/Alaska Native"),
+            vec!["american", "indian", "alaska", "native"]
+        );
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use pexeso_embed::{
-    tokenize, Embedder, HashEmbedder, Lexicon, SemanticEmbedder,
-};
+use pexeso_embed::{tokenize, Embedder, HashEmbedder, Lexicon, SemanticEmbedder};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]

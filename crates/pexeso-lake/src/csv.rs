@@ -22,7 +22,11 @@ pub enum CsvError {
     /// record terminator, or another quote.
     InvalidQuoteEscape { line: usize },
     /// Records have inconsistent field counts.
-    RaggedRow { row: usize, expected: usize, got: usize },
+    RaggedRow {
+        row: usize,
+        expected: usize,
+        got: usize,
+    },
     /// Underlying I/O failure (message-only to stay `Clone`/`Eq`).
     Io(String),
 }
@@ -174,7 +178,11 @@ pub fn read_table(name: &str, input: &str) -> Result<Table, CsvError> {
     let mut table = Table::new(name, headers);
     for (i, row) in rows.into_iter().enumerate() {
         if row.len() != width {
-            return Err(CsvError::RaggedRow { row: i + 2, expected: width, got: row.len() });
+            return Err(CsvError::RaggedRow {
+                row: i + 2,
+                expected: width,
+                got: row.len(),
+            });
         }
         table.push_row(row);
     }
@@ -253,12 +261,18 @@ mod tests {
 
     #[test]
     fn unterminated_quote_is_error() {
-        assert!(matches!(parse("\"abc"), Err(CsvError::UnterminatedQuote { .. })));
+        assert!(matches!(
+            parse("\"abc"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
     }
 
     #[test]
     fn invalid_quote_escape_is_error() {
-        assert!(matches!(parse("\"abc\"x,y"), Err(CsvError::InvalidQuoteEscape { .. })));
+        assert!(matches!(
+            parse("\"abc\"x,y"),
+            Err(CsvError::InvalidQuoteEscape { .. })
+        ));
     }
 
     #[test]
@@ -291,7 +305,14 @@ mod tests {
     #[test]
     fn ragged_rows_rejected_by_read_table() {
         let err = read_table("x", "a,b\n1\n").unwrap_err();
-        assert!(matches!(err, CsvError::RaggedRow { row: 2, expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            CsvError::RaggedRow {
+                row: 2,
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -309,7 +330,11 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = CsvError::RaggedRow { row: 3, expected: 2, got: 5 };
+        let e = CsvError::RaggedRow {
+            row: 3,
+            expected: 2,
+            got: 5,
+        };
         assert!(e.to_string().contains("row 3"));
         assert!(CsvError::Io("boom".into()).to_string().contains("boom"));
     }

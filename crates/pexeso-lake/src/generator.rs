@@ -116,7 +116,11 @@ impl GeneratorConfig {
             num_tables: (150.0 * scale).ceil().max(6.0) as usize,
             rows_per_table: (100, 500),
             synonym_rate: 0.1,
-            noise: NoiseModel { misspell_rate: 0.03, abbrev_rate: 0.03, case_rate: 0.03 },
+            noise: NoiseModel {
+                misspell_rate: 0.03,
+                abbrev_rate: 0.03,
+                case_rate: 0.03,
+            },
             numeric_attrs: 2,
             num_classes: 13,
             confusable_rate: 0.1,
@@ -135,7 +139,11 @@ impl GeneratorConfig {
             num_tables: (1200.0 * scale).ceil().max(10.0) as usize,
             rows_per_table: (8, 30),
             synonym_rate: 0.1,
-            noise: NoiseModel { misspell_rate: 0.03, abbrev_rate: 0.03, case_rate: 0.03 },
+            noise: NoiseModel {
+                misspell_rate: 0.03,
+                abbrev_rate: 0.03,
+                case_rate: 0.03,
+            },
             numeric_attrs: 2,
             num_classes: 39,
             confusable_rate: 0.1,
@@ -175,8 +183,8 @@ pub struct SyntheticLake {
 /// vocabulary without any external word list.
 fn random_word(rng: &mut StdRng) -> String {
     const ONSETS: &[&str] = &[
-        "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m",
-        "n", "p", "pr", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
+        "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n",
+        "p", "pr", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
     ];
     const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
     const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "rd", "nt", "x", "ck"];
@@ -194,8 +202,16 @@ fn random_word(rng: &mut StdRng) -> String {
 
 /// Dictionary long-forms the abbreviation noise channel knows how to
 /// shorten (and the expander how to restore).
-const SUFFIX_WORDS: &[&str] =
-    &["Street", "Avenue", "Road", "Corporation", "Incorporated", "Company", "Limited", "International"];
+const SUFFIX_WORDS: &[&str] = &[
+    "Street",
+    "Avenue",
+    "Road",
+    "Corporation",
+    "Incorporated",
+    "Company",
+    "Limited",
+    "International",
+];
 
 fn title_case(w: &str) -> String {
     let mut cs = w.chars();
@@ -244,7 +260,12 @@ impl SyntheticLake {
         for e in &vocab.entities {
             lexicon.add_synonym_set(e.surfaces.iter().map(|s| s.as_str()));
         }
-        let mut lake = Self { config, vocab, lexicon, tables: Vec::new() };
+        let mut lake = Self {
+            config,
+            vocab,
+            lexicon,
+            tables: Vec::new(),
+        };
         for t in 0..lake.config.num_tables {
             let gt = lake.generate_table(&mut rng, &format!("lake_table_{t:05}"));
             lake.tables.push(gt);
@@ -258,7 +279,8 @@ impl SyntheticLake {
         for domain in 0..config.num_domains {
             let mut members: Vec<EntityIdx> = Vec::with_capacity(config.entities_per_domain);
             for e in 0..config.entities_per_domain {
-                let n_forms = rng.gen_range(config.synonyms_per_entity.0..=config.synonyms_per_entity.1);
+                let n_forms =
+                    rng.gen_range(config.synonyms_per_entity.0..=config.synonyms_per_entity.1);
                 let mut surfaces = Vec::with_capacity(n_forms);
                 // Confusable channel: derive the canonical from a previous
                 // same-domain entity's canonical (Table IV's precision
@@ -283,10 +305,14 @@ impl SyntheticLake {
                 let latent_class = rng.gen_range(0..config.num_classes);
                 // Latent value correlates with the class so both task kinds
                 // share one planted signal.
-                let latent_value =
-                    latent_class as f32 + rng.gen_range(-0.25f32..0.25f32);
+                let latent_value = latent_class as f32 + rng.gen_range(-0.25f32..0.25f32);
                 members.push(vocab.entities.len());
-                vocab.entities.push(Entity { surfaces, domain, latent_class, latent_value });
+                vocab.entities.push(Entity {
+                    surfaces,
+                    domain,
+                    latent_class,
+                    latent_value,
+                });
             }
             vocab.by_domain.push(members);
         }
@@ -352,7 +378,12 @@ impl SyntheticLake {
             row.push(format!("class_{cls}"));
             table.push_row(row);
         }
-        GenTable { table, key_col: 0, entities, domain }
+        GenTable {
+            table,
+            key_col: 0,
+            entities,
+            domain,
+        }
     }
 
     /// Generate a query table: `rows` keys drawn from `domain`, rendered
@@ -375,7 +406,12 @@ impl SyntheticLake {
         for &eidx in &entities {
             table.push_row(vec![self.render_key(&mut rng, eidx)]);
         }
-        GenTable { table, key_col: 0, entities, domain }
+        GenTable {
+            table,
+            key_col: 0,
+            entities,
+            domain,
+        }
     }
 
     /// Exact ground-truth joinability of `target`'s key column to `query`'s:
@@ -385,7 +421,11 @@ impl SyntheticLake {
             return 0.0;
         }
         let target_set: HashSet<EntityIdx> = target.entities.iter().copied().collect();
-        let hit = query.entities.iter().filter(|e| target_set.contains(e)).count();
+        let hit = query
+            .entities
+            .iter()
+            .filter(|e| target_set.contains(e))
+            .count();
         hit as f64 / query.entities.len() as f64
     }
 
@@ -433,7 +473,10 @@ mod tests {
         let lake = SyntheticLake::generate(cfg.clone());
         assert_eq!(lake.tables.len(), cfg.num_tables);
         assert_eq!(lake.vocab.by_domain.len(), cfg.num_domains);
-        assert_eq!(lake.vocab.entities.len(), cfg.num_domains * cfg.entities_per_domain);
+        assert_eq!(
+            lake.vocab.entities.len(),
+            cfg.num_domains * cfg.entities_per_domain
+        );
         for t in &lake.tables {
             let rows = t.table.n_rows();
             assert!(rows >= cfg.rows_per_table.0 && rows <= cfg.rows_per_table.1);
@@ -445,7 +488,11 @@ mod tests {
     fn lexicon_knows_every_canonical_surface() {
         let lake = SyntheticLake::generate(GeneratorConfig::tiny(4));
         for e in &lake.vocab.entities {
-            assert!(lake.lexicon.lookup(&e.surfaces[0]).is_some(), "missing {:?}", e.surfaces[0]);
+            assert!(
+                lake.lexicon.lookup(&e.surfaces[0]).is_some(),
+                "missing {:?}",
+                e.surfaces[0]
+            );
         }
     }
 
@@ -481,8 +528,14 @@ mod tests {
             .filter(|t| t.domain != 0)
             .map(|t| SyntheticLake::true_joinability(&q, t))
             .collect();
-        assert!(same.iter().any(|&j| j > 0.3), "same-domain tables should overlap: {same:?}");
-        assert!(other.iter().all(|&j| j == 0.0), "cross-domain tables must not overlap");
+        assert!(
+            same.iter().any(|&j| j > 0.3),
+            "same-domain tables should overlap: {same:?}"
+        );
+        assert!(
+            other.iter().all(|&j| j == 0.0),
+            "cross-domain tables must not overlap"
+        );
     }
 
     #[test]
@@ -505,7 +558,11 @@ mod tests {
             }
         }
         // The planted key column should almost always be recovered.
-        assert!(detected * 10 >= lake.tables.len() * 8, "{detected}/{}", lake.tables.len());
+        assert!(
+            detected * 10 >= lake.tables.len() * 8,
+            "{detected}/{}",
+            lake.tables.len()
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub struct KeyColumnConfig {
 
 impl Default for KeyColumnConfig {
     fn default() -> Self {
-        Self { type_sample: 256, min_non_empty: 0.5, min_distinct: 0.3, min_rows: 5 }
+        Self {
+            type_sample: 256,
+            min_non_empty: 0.5,
+            min_distinct: 0.3,
+            min_rows: 5,
+        }
     }
 }
 
@@ -59,7 +64,11 @@ pub fn key_candidates(table: &Table, cfg: &KeyColumnConfig) -> Vec<KeyCandidate>
         // position gets a nudge (keys usually lead in published tables).
         let position_bonus = 0.05 * (1.0 - c as f64 / table.n_cols().max(1) as f64);
         let score = distinct * 0.7 + non_empty * 0.25 + position_bonus;
-        out.push(KeyCandidate { column: c, column_type: ty, score });
+        out.push(KeyCandidate {
+            column: c,
+            column_type: ty,
+            score,
+        });
     }
     out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out
@@ -83,7 +92,11 @@ mod tests {
                     vec![
                         format!("Game Title {i}"),
                         format!("{}", 1990 + i),
-                        if i % 2 == 0 { "Nintendo".to_string() } else { "Sega".to_string() },
+                        if i % 2 == 0 {
+                            "Nintendo".to_string()
+                        } else {
+                            "Sega".to_string()
+                        },
                     ]
                 })
                 .collect(),
@@ -100,7 +113,10 @@ mod tests {
     fn numeric_columns_excluded() {
         let t = game_table();
         let cands = key_candidates(&t, &KeyColumnConfig::default());
-        assert!(cands.iter().all(|k| k.column != 1), "release year is numeric");
+        assert!(
+            cands.iter().all(|k| k.column != 1),
+            "release year is numeric"
+        );
     }
 
     #[test]
@@ -113,11 +129,7 @@ mod tests {
 
     #[test]
     fn tiny_tables_skipped() {
-        let t = Table::from_rows(
-            "tiny",
-            vec!["a"],
-            vec![vec!["x".into()], vec!["y".into()]],
-        );
+        let t = Table::from_rows("tiny", vec!["a"], vec![vec!["x".into()], vec!["y".into()]]);
         assert_eq!(detect_key_column(&t, &KeyColumnConfig::default()), None);
     }
 
@@ -126,7 +138,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..10 {
             rows.push(vec![
-                if i < 2 { format!("v{i}") } else { String::new() },
+                if i < 2 {
+                    format!("v{i}")
+                } else {
+                    String::new()
+                },
                 format!("name {i}"),
             ]);
         }

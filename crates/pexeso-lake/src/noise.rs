@@ -22,13 +22,21 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        Self { misspell_rate: 0.15, abbrev_rate: 0.1, case_rate: 0.1 }
+        Self {
+            misspell_rate: 0.15,
+            abbrev_rate: 0.1,
+            case_rate: 0.1,
+        }
     }
 }
 
 impl NoiseModel {
     pub fn clean() -> Self {
-        Self { misspell_rate: 0.0, abbrev_rate: 0.0, case_rate: 0.0 }
+        Self {
+            misspell_rate: 0.0,
+            abbrev_rate: 0.0,
+            case_rate: 0.0,
+        }
     }
 
     /// Apply the channels to `s`, consuming randomness from `rng`.
@@ -206,7 +214,11 @@ mod tests {
     #[test]
     fn noise_rates_roughly_respected() {
         let mut rng = StdRng::seed_from_u64(5);
-        let m = NoiseModel { misspell_rate: 0.5, abbrev_rate: 0.0, case_rate: 0.0 };
+        let m = NoiseModel {
+            misspell_rate: 0.5,
+            abbrev_rate: 0.0,
+            case_rate: 0.0,
+        };
         let n = 2000;
         let changed = (0..n)
             .filter(|_| m.apply(&mut rng, "population") != "population")

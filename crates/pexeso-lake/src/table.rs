@@ -19,7 +19,11 @@ impl Table {
     pub fn new(name: impl Into<String>, headers: Vec<impl Into<String>>) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         let columns = headers.iter().map(|_| Vec::new()).collect();
-        Self { name: name.into(), headers, columns }
+        Self {
+            name: name.into(),
+            headers,
+            columns,
+        }
     }
 
     pub fn name(&self) -> &str {

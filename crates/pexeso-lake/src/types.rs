@@ -48,9 +48,29 @@ fn is_float(s: &str) -> bool {
 }
 
 const MONTH_NAMES: &[&str] = &[
-    "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
-    "january", "february", "march", "april", "june", "july", "august", "september",
-    "october", "november", "december",
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "may",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "oct",
+    "nov",
+    "dec",
+    "january",
+    "february",
+    "march",
+    "april",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// Recognise common date shapes: `2020-03-01`, `01/03/2020`, `3 Mar 2020`,
@@ -62,7 +82,11 @@ fn is_date(s: &str) -> bool {
     }
     // ISO: YYYY-MM-DD (also with '/').
     let parts: Vec<&str> = s.split(['-', '/']).collect();
-    if parts.len() == 3 && parts.iter().all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit())) {
+    if parts.len() == 3
+        && parts
+            .iter()
+            .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+    {
         let nums: Vec<u32> = parts.iter().map(|p| p.parse().unwrap_or(0)).collect();
         let (a, b, c) = (nums[0], nums[1], nums[2]);
         let iso = a >= 1000 && (1..=12).contains(&b) && (1..=31).contains(&c);
@@ -78,7 +102,9 @@ fn is_date(s: &str) -> bool {
         .collect();
     if (2..=4).contains(&tokens.len()) {
         let has_month = tokens.iter().any(|t| MONTH_NAMES.contains(&t.as_str()));
-        let has_number = tokens.iter().any(|t| t.chars().all(|c| c.is_ascii_digit()) && !t.is_empty());
+        let has_number = tokens
+            .iter()
+            .any(|t| t.chars().all(|c| c.is_ascii_digit()) && !t.is_empty());
         return has_month && has_number;
     }
     false
@@ -110,7 +136,11 @@ pub fn infer_column(values: &[String], sample: usize) -> ColumnType {
     let mut all_int = true;
     let mut all_num = true;
     let mut all_date = true;
-    for v in values.iter().filter(|v| !v.trim().is_empty()).take(sample.max(1)) {
+    for v in values
+        .iter()
+        .filter(|v| !v.trim().is_empty())
+        .take(sample.max(1))
+    {
         seen_any = true;
         match infer_value(v) {
             ColumnType::Integer => {
@@ -152,23 +182,38 @@ mod tests {
 
     #[test]
     fn integer_column() {
-        assert_eq!(infer_column(&col(&["1", "42", "-7", "1,234"]), 100), ColumnType::Integer);
+        assert_eq!(
+            infer_column(&col(&["1", "42", "-7", "1,234"]), 100),
+            ColumnType::Integer
+        );
     }
 
     #[test]
     fn float_column() {
-        assert_eq!(infer_column(&col(&["1.5", "2", "-0.25"]), 100), ColumnType::Float);
+        assert_eq!(
+            infer_column(&col(&["1.5", "2", "-0.25"]), 100),
+            ColumnType::Float
+        );
     }
 
     #[test]
     fn text_column() {
-        assert_eq!(infer_column(&col(&["White", "Black", "42"]), 100), ColumnType::Text);
+        assert_eq!(
+            infer_column(&col(&["White", "Black", "42"]), 100),
+            ColumnType::Text
+        );
     }
 
     #[test]
     fn date_column_iso_and_textual() {
-        assert_eq!(infer_column(&col(&["2020-03-01", "1999-12-31"]), 100), ColumnType::Date);
-        assert_eq!(infer_column(&col(&["3 Mar 2020", "Mar 4, 2021"]), 100), ColumnType::Date);
+        assert_eq!(
+            infer_column(&col(&["2020-03-01", "1999-12-31"]), 100),
+            ColumnType::Date
+        );
+        assert_eq!(
+            infer_column(&col(&["3 Mar 2020", "Mar 4, 2021"]), 100),
+            ColumnType::Date
+        );
         assert_eq!(infer_column(&col(&["01/03/2020"]), 100), ColumnType::Date);
     }
 

@@ -26,7 +26,9 @@ pub struct JoinMapping {
 
 impl JoinMapping {
     pub fn new(n_query_rows: usize) -> Self {
-        Self { matches: vec![Vec::new(); n_query_rows] }
+        Self {
+            matches: vec![Vec::new(); n_query_rows],
+        }
     }
 
     /// Fraction of query rows with at least one match.
@@ -74,7 +76,10 @@ pub struct AugmentConfig {
 
 impl Default for AugmentConfig {
     fn default() -> Self {
-        Self { min_coverage: 5, skip_headers: vec!["name".to_string()] }
+        Self {
+            min_coverage: 5,
+            skip_headers: vec!["name".to_string()],
+        }
     }
 }
 
@@ -86,7 +91,11 @@ pub fn augment(
     mapping: &JoinMapping,
     config: &AugmentConfig,
 ) -> Vec<String> {
-    assert_eq!(base.n_rows(), mapping.matches.len(), "mapping must cover all query rows");
+    assert_eq!(
+        base.n_rows(),
+        mapping.matches.len(),
+        "mapping must cover all query rows"
+    );
 
     // Aggregated per header: per query row, (sum over matched rows of the
     // per-row value, count).
@@ -123,7 +132,13 @@ pub fn augment(
         }
         let values: Vec<f32> = col
             .iter()
-            .map(|&(sum, count)| if count == 0 { f32::NAN } else { sum / count as f32 })
+            .map(|&(sum, count)| {
+                if count == 0 {
+                    f32::NAN
+                } else {
+                    sum / count as f32
+                }
+            })
             .collect();
         kept_names.push(format!("joined::{name}"));
         kept_cols.push(values);
@@ -166,10 +181,17 @@ mod tests {
             &mut d,
             &[&t],
             &mapping,
-            &AugmentConfig { min_coverage: 1, ..Default::default() },
+            &AugmentConfig {
+                min_coverage: 1,
+                ..Default::default()
+            },
         );
         assert!(added.contains(&"joined::attr_0".to_string()));
-        let attr_idx = d.feature_names.iter().position(|n| n == "joined::attr_0").unwrap();
+        let attr_idx = d
+            .feature_names
+            .iter()
+            .position(|n| n == "joined::attr_0")
+            .unwrap();
         assert_eq!(d.features[0][attr_idx], 1.5);
         assert!(d.features[1][attr_idx].is_nan());
         assert_eq!(d.features[2][attr_idx], 2.5);
@@ -182,8 +204,20 @@ mod tests {
         mapping.matches[0].push((0, 0));
         mapping.matches[0].push((0, 1));
         let mut d = base(1);
-        augment(&mut d, &[&t], &mapping, &AugmentConfig { min_coverage: 1, ..Default::default() });
-        let attr_idx = d.feature_names.iter().position(|n| n == "joined::attr_0").unwrap();
+        augment(
+            &mut d,
+            &[&t],
+            &mapping,
+            &AugmentConfig {
+                min_coverage: 1,
+                ..Default::default()
+            },
+        );
+        let attr_idx = d
+            .feature_names
+            .iter()
+            .position(|n| n == "joined::attr_0")
+            .unwrap();
         assert_eq!(d.features[0][attr_idx], 2.0);
     }
 
@@ -195,12 +229,27 @@ mod tests {
         mapping.matches[0].push((0, 0));
         mapping.matches[0].push((1, 0));
         let mut d = base(1);
-        augment(&mut d, &[&t0, &t1], &mapping, &AugmentConfig { min_coverage: 1, ..Default::default() });
+        augment(
+            &mut d,
+            &[&t0, &t1],
+            &mapping,
+            &AugmentConfig {
+                min_coverage: 1,
+                ..Default::default()
+            },
+        );
         // One aggregated feature, mean of the two matched values.
-        let attr_cols: Vec<_> =
-            d.feature_names.iter().filter(|n| n.contains("attr_0")).collect();
+        let attr_cols: Vec<_> = d
+            .feature_names
+            .iter()
+            .filter(|n| n.contains("attr_0"))
+            .collect();
         assert_eq!(attr_cols.len(), 1);
-        let attr_idx = d.feature_names.iter().position(|n| n == "joined::attr_0").unwrap();
+        let attr_idx = d
+            .feature_names
+            .iter()
+            .position(|n| n == "joined::attr_0")
+            .unwrap();
         assert_eq!(d.features[0][attr_idx], 3.0);
     }
 
@@ -214,7 +263,10 @@ mod tests {
             &mut d,
             &[&t],
             &mapping,
-            &AugmentConfig { min_coverage: 5, ..Default::default() },
+            &AugmentConfig {
+                min_coverage: 5,
+                ..Default::default()
+            },
         );
         assert!(added.is_empty(), "1/10 coverage is below the minimum");
         assert_eq!(d.n_features(), 1);
@@ -226,8 +278,15 @@ mod tests {
         let mut mapping = JoinMapping::new(1);
         mapping.matches[0].push((0, 0));
         let mut d = base(1);
-        let added =
-            augment(&mut d, &[&t], &mapping, &AugmentConfig { min_coverage: 1, ..Default::default() });
+        let added = augment(
+            &mut d,
+            &[&t],
+            &mapping,
+            &AugmentConfig {
+                min_coverage: 1,
+                ..Default::default()
+            },
+        );
         assert!(added.iter().all(|n| !n.contains("name")));
     }
 

@@ -44,7 +44,11 @@ impl Dataset {
         for row in &features {
             assert_eq!(row.len(), feature_names.len(), "row width must match names");
         }
-        Self { features, feature_names, labels }
+        Self {
+            features,
+            feature_names,
+            labels,
+        }
     }
 
     pub fn n_rows(&self) -> usize {
@@ -60,7 +64,11 @@ impl Dataset {
     pub fn extend_features(&mut self, names: Vec<String>, columns: Vec<Vec<f32>>) {
         assert_eq!(names.len(), columns.len());
         for col in &columns {
-            assert_eq!(col.len(), self.n_rows(), "augmented column must cover all rows");
+            assert_eq!(
+                col.len(),
+                self.n_rows(),
+                "augmented column must cover all rows"
+            );
         }
         for (name, col) in names.into_iter().zip(columns) {
             self.feature_names.push(name);
@@ -72,13 +80,20 @@ impl Dataset {
 
     /// Keep only the given feature indices (used by RFE).
     pub fn project(&self, keep: &[usize]) -> Dataset {
-        let names = keep.iter().map(|&i| self.feature_names[i].clone()).collect();
+        let names = keep
+            .iter()
+            .map(|&i| self.feature_names[i].clone())
+            .collect();
         let features = self
             .features
             .iter()
             .map(|row| keep.iter().map(|&i| row[i]).collect())
             .collect();
-        Dataset { features, feature_names: names, labels: self.labels.clone() }
+        Dataset {
+            features,
+            feature_names: names,
+            labels: self.labels.clone(),
+        }
     }
 
     /// Deterministic shuffled k-fold indices: `(train, test)` per fold.
@@ -134,7 +149,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "rows must match labels")]
     fn mismatched_labels_panic() {
-        Dataset::new(vec![vec![1.0]], vec!["a".into()], Labels::Classes(vec![0, 1]));
+        Dataset::new(
+            vec![vec![1.0]],
+            vec!["a".into()],
+            Labels::Classes(vec![0, 1]),
+        );
     }
 
     #[test]
@@ -165,7 +184,10 @@ mod tests {
                 seen[t] += 1;
             }
         }
-        assert!(seen.iter().all(|&s| s == 1), "each row in exactly one test fold: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s == 1),
+            "each row in exactly one test fold: {seen:?}"
+        );
     }
 
     #[test]

@@ -15,11 +15,21 @@ pub struct ForestConfig {
 
 impl ForestConfig {
     pub fn classification(n_classes: u32) -> Self {
-        Self { n_trees: 30, tree: TreeConfig::classification(n_classes), max_features: None, seed: 42 }
+        Self {
+            n_trees: 30,
+            tree: TreeConfig::classification(n_classes),
+            max_features: None,
+            seed: 42,
+        }
     }
 
     pub fn regression() -> Self {
-        Self { n_trees: 30, tree: TreeConfig::regression(), max_features: None, seed: 42 }
+        Self {
+            n_trees: 30,
+            tree: TreeConfig::regression(),
+            max_features: None,
+            seed: 42,
+        }
     }
 }
 
@@ -47,7 +57,10 @@ impl RandomForest {
             tree_cfg.max_features = Some(mf);
             trees.push(DecisionTree::fit(data, &sample, tree_cfg, &mut rng));
         }
-        Self { trees, task: config.tree.task }
+        Self {
+            trees,
+            task: config.tree.task,
+        }
     }
 
     /// Predict one row: majority vote (classification) or mean
@@ -105,9 +118,16 @@ impl RandomForest {
 }
 
 /// Convenience: fit on `train`, evaluate accuracy-like agreement on `test`.
-pub fn fit_predict(data: &Dataset, train: &[usize], test: &[usize], config: &ForestConfig) -> Vec<f32> {
+pub fn fit_predict(
+    data: &Dataset,
+    train: &[usize],
+    test: &[usize],
+    config: &ForestConfig,
+) -> Vec<f32> {
     let forest = RandomForest::fit(data, train, config);
-    test.iter().map(|&i| forest.predict(&data.features[i])).collect()
+    test.iter()
+        .map(|&i| forest.predict(&data.features[i]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -164,16 +184,24 @@ mod tests {
     #[test]
     fn regression_tracks_linear_signal() {
         let mut rng = rng_from(2);
-        let features: Vec<Vec<f32>> =
-            (0..200).map(|_| vec![rng.gen_range(-1.0f32..1.0)]).collect();
-        let labels: Vec<f32> = features.iter().map(|f| 3.0 * f[0] + rng.gen_range(-0.1..0.1)).collect();
+        let features: Vec<Vec<f32>> = (0..200)
+            .map(|_| vec![rng.gen_range(-1.0f32..1.0)])
+            .collect();
+        let labels: Vec<f32> = features
+            .iter()
+            .map(|f| 3.0 * f[0] + rng.gen_range(-0.1..0.1))
+            .collect();
         let d = Dataset::new(features, vec!["x".into()], Labels::Values(labels));
         let rows: Vec<usize> = (0..d.n_rows()).collect();
         let forest = RandomForest::fit(&d, &rows, &ForestConfig::regression());
         let mse: f32 = (0..d.n_rows())
             .map(|i| {
                 let p = forest.predict(&d.features[i]);
-                let y = if let Labels::Values(v) = &d.labels { v[i] } else { 0.0 };
+                let y = if let Labels::Values(v) = &d.labels {
+                    v[i]
+                } else {
+                    0.0
+                };
                 (p - y) * (p - y)
             })
             .sum::<f32>()
@@ -187,7 +215,10 @@ mod tests {
         let rows: Vec<usize> = (0..d.n_rows()).collect();
         let forest = RandomForest::fit(&d, &rows, &ForestConfig::classification(2));
         let imp = forest.importances();
-        assert!(imp[0] > imp[2] && imp[1] > imp[2], "noise should matter least: {imp:?}");
+        assert!(
+            imp[0] > imp[2] && imp[1] > imp[2],
+            "noise should matter least: {imp:?}"
+        );
     }
 
     #[test]

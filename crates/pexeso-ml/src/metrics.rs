@@ -10,7 +10,13 @@ pub fn micro_f1(y_true: &[u32], y_pred: &[u32]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    let classes: u32 = y_true.iter().chain(y_pred.iter()).copied().max().unwrap_or(0) + 1;
+    let classes: u32 = y_true
+        .iter()
+        .chain(y_pred.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        + 1;
     let mut tp = 0u64;
     let mut fp = 0u64;
     let mut fnn = 0u64;

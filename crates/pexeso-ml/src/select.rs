@@ -28,8 +28,7 @@ pub fn recursive_feature_elimination(
         let mut order: Vec<usize> = (0..kept.len()).collect();
         order.sort_by(|&a, &b| importances[a].total_cmp(&importances[b]));
         let n_drop = drop_per_round.min(kept.len() - target_features);
-        let dropped: std::collections::HashSet<usize> =
-            order.into_iter().take(n_drop).collect();
+        let dropped: std::collections::HashSet<usize> = order.into_iter().take(n_drop).collect();
         kept = kept
             .iter()
             .enumerate()

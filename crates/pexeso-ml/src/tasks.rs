@@ -65,7 +65,11 @@ pub fn make_task(lake: &SyntheticLake, spec: TaskSpec) -> MlTask {
             rng.gen_range(-1.0f32..1.0),
         ]);
         // Labels: latent class with 5 % label noise / latent value + noise.
-        let c = if rng.gen_bool(0.05) { rng.gen_range(0..n_classes) } else { entity.latent_class };
+        let c = if rng.gen_bool(0.05) {
+            rng.gen_range(0..n_classes)
+        } else {
+            entity.latent_class
+        };
         cls.push(c);
         vals.push(entity.latent_value * 2.0 + rng.gen_range(-0.3f32..0.3));
     }
@@ -73,7 +77,11 @@ pub fn make_task(lake: &SyntheticLake, spec: TaskSpec) -> MlTask {
         TaskKind::Classification => Labels::Classes(cls),
         TaskKind::Regression => Labels::Values(vals),
     };
-    let base = Dataset::new(features, vec!["base_weak".into(), "base_noise".into()], labels);
+    let base = Dataset::new(
+        features,
+        vec!["base_weak".into(), "base_noise".into()],
+        labels,
+    );
     MlTask { spec, query, base }
 }
 
@@ -98,21 +106,28 @@ pub fn evaluate(data: &Dataset, kind: TaskKind, seed: u64) -> EvalOutcome {
         match (&data.labels, kind) {
             (Labels::Classes(truth), TaskKind::Classification) => {
                 let y_true: Vec<u32> = test.iter().map(|&i| truth[i]).collect();
-                let y_pred: Vec<u32> =
-                    test.iter().map(|&i| forest.predict(&data.features[i]) as u32).collect();
+                let y_pred: Vec<u32> = test
+                    .iter()
+                    .map(|&i| forest.predict(&data.features[i]) as u32)
+                    .collect();
                 scores.push(micro_f1(&y_true, &y_pred));
             }
             (Labels::Values(truth), TaskKind::Regression) => {
                 let y_true: Vec<f32> = test.iter().map(|&i| truth[i]).collect();
-                let y_pred: Vec<f32> =
-                    test.iter().map(|&i| forest.predict(&data.features[i])).collect();
+                let y_pred: Vec<f32> = test
+                    .iter()
+                    .map(|&i| forest.predict(&data.features[i]))
+                    .collect();
                 scores.push(mse(&y_true, &y_pred));
             }
             _ => unreachable!("task kind matches label kind by construction"),
         }
     }
     let (metric_mean, metric_std) = mean_std(&scores);
-    EvalOutcome { metric_mean, metric_std }
+    EvalOutcome {
+        metric_mean,
+        metric_std,
+    }
 }
 
 /// Evaluate a task after augmenting with a join mapping (pass an empty
@@ -195,7 +210,10 @@ mod tests {
             },
         );
         let empty = JoinMapping::new(60);
-        let cfg = AugmentConfig { min_coverage: 5, ..Default::default() };
+        let cfg = AugmentConfig {
+            min_coverage: 5,
+            ..Default::default()
+        };
         let (no_join, n0) = evaluate_with_mapping(&task, &lake, &empty, &cfg);
         let oracle = oracle_mapping(&task, &lake);
         let (with_join, n1) = evaluate_with_mapping(&task, &lake, &oracle, &cfg);
@@ -223,7 +241,10 @@ mod tests {
             },
         );
         let empty = JoinMapping::new(60);
-        let cfg = AugmentConfig { min_coverage: 5, ..Default::default() };
+        let cfg = AugmentConfig {
+            min_coverage: 5,
+            ..Default::default()
+        };
         let (no_join, _) = evaluate_with_mapping(&task, &lake, &empty, &cfg);
         let oracle = oracle_mapping(&task, &lake);
         let (with_join, _) = evaluate_with_mapping(&task, &lake, &oracle, &cfg);

@@ -112,7 +112,11 @@ fn impurity(task: Task, labels: &Labels, rows: &[usize]) -> f64 {
         }
         Task::Regression => {
             let n = rows.len() as f64;
-            let mean: f64 = rows.iter().map(|&r| label_f32(labels, r) as f64).sum::<f64>() / n;
+            let mean: f64 = rows
+                .iter()
+                .map(|&r| label_f32(labels, r) as f64)
+                .sum::<f64>()
+                / n;
             rows.iter()
                 .map(|&r| (label_f32(labels, r) as f64 - mean).powi(2))
                 .sum::<f64>()
@@ -168,14 +172,22 @@ impl Builder<'_> {
                         self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
                         let left = self.build(left_rows, depth + 1, rng);
                         let right = self.build(right_rows, depth + 1, rng);
-                        self.nodes[idx] = Node::Split { feature, threshold, missing_left, left, right };
+                        self.nodes[idx] = Node::Split {
+                            feature,
+                            threshold,
+                            missing_left,
+                            left,
+                            right,
+                        };
                         return idx;
                     }
                 }
             }
         }
         let idx = self.nodes.len();
-        self.nodes.push(Node::Leaf { value: leaf_value(task, &self.data.labels, &rows) });
+        self.nodes.push(Node::Leaf {
+            value: leaf_value(task, &self.data.labels, &rows),
+        });
         idx
     }
 
@@ -197,14 +209,19 @@ impl Builder<'_> {
         let mut present: Vec<f32> = Vec::with_capacity(rows.len());
         for &f in &feature_pool {
             present.clear();
-            present.extend(rows.iter().map(|&r| self.data.features[r][f]).filter(|v| !v.is_nan()));
+            present.extend(
+                rows.iter()
+                    .map(|&r| self.data.features[r][f])
+                    .filter(|v| !v.is_nan()),
+            );
             if present.len() < 2 {
                 continue;
             }
             present.sort_unstable_by(f32::total_cmp);
             let k = self.config.n_thresholds.min(present.len() - 1).max(1);
             for t in 1..=k {
-                let pos = t * (present.len() - 1) / (k + 1) + (t * (present.len() - 1) % (k + 1) > 0) as usize;
+                let pos = t * (present.len() - 1) / (k + 1)
+                    + !(t * (present.len() - 1)).is_multiple_of(k + 1) as usize;
                 let pos = pos.clamp(1, present.len() - 1);
                 let threshold = (present[pos - 1] + present[pos]) / 2.0;
                 let (left, right, _) = partition(self.data, rows, f, threshold);
@@ -212,10 +229,13 @@ impl Builder<'_> {
                     continue;
                 }
                 let n = rows.len() as f64;
-                let child = impurity(self.config.task, &self.data.labels, &left) * left.len() as f64 / n
-                    + impurity(self.config.task, &self.data.labels, &right) * right.len() as f64 / n;
+                let child = impurity(self.config.task, &self.data.labels, &left)
+                    * left.len() as f64
+                    / n
+                    + impurity(self.config.task, &self.data.labels, &right) * right.len() as f64
+                        / n;
                 let gain = parent_impurity - child;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((f, threshold, gain));
                 }
             }
@@ -226,7 +246,12 @@ impl Builder<'_> {
 
 /// Partition rows by (feature, threshold); missing values follow the
 /// larger branch. Returns (left, right, missing_left).
-fn partition(data: &Dataset, rows: &[usize], feature: usize, threshold: f32) -> (Vec<usize>, Vec<usize>, bool) {
+fn partition(
+    data: &Dataset,
+    rows: &[usize],
+    feature: usize,
+    threshold: f32,
+) -> (Vec<usize>, Vec<usize>, bool) {
     let mut left = Vec::new();
     let mut right = Vec::new();
     let mut missing = Vec::new();
@@ -261,7 +286,11 @@ impl DecisionTree {
         };
         b.build(rows.to_vec(), 0, rng);
         let (nodes, importances) = (b.nodes, b.importances);
-        DecisionTree { nodes, config, importances }
+        DecisionTree {
+            nodes,
+            config,
+            importances,
+        }
     }
 
     /// Predict a single row of features.
@@ -270,7 +299,13 @@ impl DecisionTree {
         loop {
             match &self.nodes[cur] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, missing_left, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    missing_left,
+                    left,
+                    right,
+                } => {
                     let v = row[*feature];
                     cur = if v.is_nan() {
                         if *missing_left {
@@ -305,7 +340,9 @@ pub(crate) fn rng_from(seed: u64) -> StdRng {
 
 /// Bootstrap sample of `n` row indices drawn from `rows`.
 pub(crate) fn bootstrap(rows: &[usize], rng: &mut StdRng) -> Vec<usize> {
-    (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect()
+    (0..rows.len())
+        .map(|_| rows[rng.gen_range(0..rows.len())])
+        .collect()
 }
 
 #[cfg(test)]
@@ -322,7 +359,11 @@ mod tests {
             features.push(vec![a as f32 + 0.001 * (i as f32), b as f32]);
             labels.push((a ^ b) as u32);
         }
-        Dataset::new(features, vec!["a".into(), "b".into()], Labels::Classes(labels))
+        Dataset::new(
+            features,
+            vec!["a".into(), "b".into()],
+            Labels::Classes(labels),
+        )
     }
 
     #[test]
@@ -359,7 +400,13 @@ mod tests {
         let mut features = Vec::new();
         let mut labels = Vec::new();
         for i in 0..100 {
-            let x = if i % 5 == 0 { f32::NAN } else if i < 50 { 0.0 } else { 1.0 };
+            let x = if i % 5 == 0 {
+                f32::NAN
+            } else if i < 50 {
+                0.0
+            } else {
+                1.0
+            };
             features.push(vec![x]);
             labels.push(u32::from(i >= 50));
         }
@@ -386,7 +433,11 @@ mod tests {
             features.push(vec![rng.gen_range(-1.0f32..1.0), y as f32]);
             labels.push(y);
         }
-        let d = Dataset::new(features, vec!["noise".into(), "signal".into()], Labels::Classes(labels));
+        let d = Dataset::new(
+            features,
+            vec!["noise".into(), "signal".into()],
+            Labels::Classes(labels),
+        );
         let rows: Vec<usize> = (0..d.n_rows()).collect();
         let tree = DecisionTree::fit(&d, &rows, TreeConfig::classification(2), &mut rng);
         assert!(

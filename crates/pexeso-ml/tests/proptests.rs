@@ -14,7 +14,13 @@ fn random_dataset(seed: u64, n: usize, classes: u32) -> Dataset {
     let features: Vec<Vec<f32>> = (0..n)
         .map(|_| {
             (0..3)
-                .map(|_| if rng.gen_bool(0.1) { f32::NAN } else { rng.gen_range(-1.0f32..1.0) })
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        f32::NAN
+                    } else {
+                        rng.gen_range(-1.0f32..1.0)
+                    }
+                })
                 .collect()
         })
         .collect();

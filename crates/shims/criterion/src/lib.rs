@@ -1,0 +1,320 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the subset of the criterion API its benches use: `Criterion` with
+//! `bench_function` / `benchmark_group` / `bench_with_input`,
+//! `criterion_group!`/`criterion_main!` (both forms), `BenchmarkId`, and
+//! `black_box`.
+//!
+//! Measurements are real: each benchmark warms up for `warm_up_time`, then
+//! runs timed batches until `measurement_time` elapses and reports the
+//! mean, median and min per-iteration wall time. When the `BENCH_JSON`
+//! environment variable names a file, one JSON line per benchmark
+//! (`{"name", "mean_ns", "median_ns", "min_ns", "samples"}`) is appended
+//! to it so snapshots can be recorded.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported from std).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure one closure. Runs `sample_size` samples (or as many as fit
+    /// in `measurement_time`), each averaging over an adaptive batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            iters += 1;
+        }
+        let approx = warm_start.elapsed().as_secs_f64() / iters.max(1) as f64;
+        // Batch size targeting ~1ms per sample, at least 1 iteration.
+        let batch = ((1e-3 / approx.max(1e-9)).round() as u64).max(1);
+
+        let bench_start = Instant::now();
+        while self.samples.len() < self.sample_size
+            && (self.samples.len() < 2 || bench_start.elapsed() < self.measurement_time)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+fn report(samples: &mut [f64]) -> Report {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len().max(1);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+    let min = samples.first().copied().unwrap_or(0.0);
+    Report {
+        mean_ns: mean * 1e9,
+        median_ns: median * 1e9,
+        min_ns: min * 1e9,
+        samples: samples.len(),
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Identifier combining a function name and a parameter, rendered
+/// `name/param` like upstream.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        let mut full = String::new();
+        let _ = write!(full, "{name}/{param}");
+        Self { full }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            full: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { full: s }
+    }
+}
+
+/// The harness. Builder methods mirror upstream's.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let r = report(&mut b.samples);
+        println!(
+            "{name:<48} time: [{} {} {}]  ({} samples)",
+            human(r.min_ns),
+            human(r.median_ns),
+            human(r.mean_ns),
+            r.samples
+        );
+        emit_json(name, r);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.group, id.into().full);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.group, id.full);
+        self.parent.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn emit_json(name: &str, r: Report) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("BENCH_JSON: cannot open {path}");
+        return;
+    };
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let _ = writeln!(
+        file,
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}",
+        r.mean_ns, r.median_ns, r.min_ns, r.samples
+    );
+}
+
+/// Both upstream forms: positional and `name/config/targets`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).full, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").full, "x");
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("a", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("b", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,541 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the *subset* of the proptest API the test suites use: the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, range and string-regex
+//! strategies, `collection::vec`, and the `prop_assert*` family.
+//!
+//! Semantics differ from upstream in two deliberate ways: case inputs are
+//! drawn from a deterministic RNG keyed on (test name, case index) so runs
+//! are reproducible without a persistence file, and failing cases are
+//! reported without shrinking (the failing inputs are printed instead).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies. Deterministic per (test, case).
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(
+            h ^ ((case as u64) << 32 | 0x5bd1_e995),
+        ))
+    }
+
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Accepted for API compatibility; rejections are simply skipped.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// A constant strategy (`Just` in upstream proptest).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String literals act as regex strategies, like upstream.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+pub mod string {
+    //! Regex-subset string strategies: sequences of literal characters and
+    //! character classes `[...]` (with ranges and `\n`/`\t`/`\\`/`\"`
+    //! escapes), each optionally followed by `{n}`, `{m,n}`, `?`, `*` or
+    //! `+` (the unbounded quantifiers cap at 8 repetitions).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy over strings matching the (subset) regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.rng().gen_range(atom.min..=atom.max);
+                for _ in 0..n {
+                    let i = rng.rng().gen_range(0..atom.chars.len());
+                    out.push(atom.chars[i]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parse a subset regex into a strategy. Mirrors
+    /// `proptest::string::string_regex`'s signature.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => parse_class(&mut it)?,
+                '\\' => vec![unescape(it.next().ok_or("dangling escape")?)],
+                '.' => (' '..='~').collect(),
+                '(' | ')' | '|' => {
+                    return Err(format!("unsupported regex construct {c:?} in {pattern:?}"))
+                }
+                other => vec![other],
+            };
+            if chars.is_empty() {
+                return Err(format!("empty character class in {pattern:?}"));
+            }
+            let (min, max) = parse_quantifier(&mut it)?;
+            atoms.push(Atom { chars, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(it: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, String> {
+        let mut chars = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = it.next().ok_or("unterminated character class")?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = unescape(it.next().ok_or("dangling escape in class")?);
+                    chars.push(e);
+                    prev = Some(e);
+                }
+                '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                    let hi = it.next().expect("peeked");
+                    let hi = if hi == '\\' {
+                        unescape(it.next().ok_or("dangling escape in class")?)
+                    } else {
+                        hi
+                    };
+                    let lo = prev.take().expect("checked");
+                    if lo > hi {
+                        return Err(format!("inverted range {lo:?}-{hi:?}"));
+                    }
+                    // `lo` is already in `chars`; add the rest of the range.
+                    let mut v = lo;
+                    while v < hi {
+                        v = char::from_u32(v as u32 + 1).ok_or("range crosses surrogates")?;
+                        chars.push(v);
+                    }
+                }
+                other => {
+                    chars.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        Ok(chars)
+    }
+
+    fn parse_quantifier(
+        it: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), String> {
+        match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut body = String::new();
+                for c in it.by_ref() {
+                    if c == '}' {
+                        let (min, max) = match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.trim().parse().map_err(|e| format!("bad bound: {e}"))?,
+                                b.trim().parse().map_err(|e| format!("bad bound: {e}"))?,
+                            ),
+                            None => {
+                                let n =
+                                    body.trim().parse().map_err(|e| format!("bad bound: {e}"))?;
+                                (n, n)
+                            }
+                        };
+                        if min > max {
+                            return Err(format!("inverted quantifier {{{body}}}"));
+                        }
+                        return Ok((min, max));
+                    }
+                    body.push(c);
+                }
+                Err("unterminated quantifier".into())
+            }
+            Some('?') => {
+                it.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                it.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                it.next();
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+pub mod collection {
+    //! `vec(strategy, size)` with sizes given as a count or a range.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Accepted size specifications.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng().gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Declare property tests. Supports the subset of upstream syntax used in
+/// this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0u8..=255, 1..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (@fns ($config:expr)) => {};
+    (
+        @fns ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // Render the inputs before the body runs: the body may
+                // consume them by value.
+                let rendered_inputs =
+                    [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),+].join(", ");
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} failed: {}\n  inputs: {}",
+                            case, msg, rendered_inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    // No-config form; must stay last so it cannot shadow the arms above.
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a proptest body; failure aborts only the current case
+/// report (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} != {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} != {} ({:?} vs {:?}): {}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in collection::vec(0u8..=255, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn fixed_size_vec(v in collection::vec(0.0f64..1.0, 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+
+        #[test]
+        fn regex_strings_match_class(s in "[a-c]{0,8}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn regex_with_ranges_and_escapes() {
+        let s = crate::string::string_regex("[ -~\n\"]{0,24}").unwrap();
+        let mut rng = crate::TestRng::for_case("regex", 1);
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v.len() <= 24);
+            assert!(v.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|i| crate::Strategy::generate(&strat, &mut crate::TestRng::for_case("d", i)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|i| crate::Strategy::generate(&strat, &mut crate::TestRng::for_case("d", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -62,7 +62,10 @@ fn main() -> Result<()> {
     println!("\njoined result (Race -> income category -> Median income):");
     for (qi, matches) in mapping.matches.iter().enumerate() {
         for &(_, row) in matches {
-            println!("  {:<33} -> {:<20} -> ${}", race[qi], income_col1[row], income_col2[row]);
+            println!(
+                "  {:<33} -> {:<20} -> ${}",
+                race[qi], income_col1[row], income_col2[row]
+            );
         }
         if matches.is_empty() {
             println!("  {:<33} -> (no match)", race[qi]);

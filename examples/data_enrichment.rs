@@ -7,11 +7,11 @@
 //! cargo run --release --example data_enrichment
 //! ```
 
-use pexeso::pipeline::{dedupe_mapping, embed_query, embed_synthetic_lake, join_mapping};
-use pexeso::prelude::*;
 use pexeso::baselines::stringjoin::{EquiJoinIndex, StringColumns};
 use pexeso::ml::augment::{AugmentConfig, JoinMapping};
 use pexeso::ml::tasks::{evaluate_with_mapping, make_task, TaskKind, TaskSpec};
+use pexeso::pipeline::{dedupe_mapping, embed_query, embed_synthetic_lake, join_mapping};
+use pexeso::prelude::*;
 
 fn main() -> Result<()> {
     // A WDC-like lake with planted latent signal.
@@ -39,12 +39,18 @@ fn main() -> Result<()> {
             seed: 3,
         },
     );
-    let aug = AugmentConfig { min_coverage: 10, ..Default::default() };
+    let aug = AugmentConfig {
+        min_coverage: 10,
+        ..Default::default()
+    };
 
     // no-join baseline.
     let empty = JoinMapping::new(100);
     let (no_join, _) = evaluate_with_mapping(&task, &lake, &empty, &aug);
-    println!("no-join      micro-F1 = {:.3} ± {:.3}", no_join.metric_mean, no_join.metric_std);
+    println!(
+        "no-join      micro-F1 = {:.3} ± {:.3}",
+        no_join.metric_mean, no_join.metric_std
+    );
 
     // equi-join enrichment.
     let mut repo = StringColumns::default();

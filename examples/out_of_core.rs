@@ -29,8 +29,16 @@ fn main() -> Result<()> {
     let partitioned = PartitionedLake::build(
         &embedded.columns,
         Euclidean,
-        &PartitionConfig { k: 6, method: PartitionMethod::JsdKmeans, ..Default::default() },
-        &IndexOptions { num_pivots: 3, levels: Some(4), ..Default::default() },
+        &PartitionConfig {
+            k: 6,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
+        &IndexOptions {
+            num_pivots: 3,
+            levels: Some(4),
+            ..Default::default()
+        },
         &dir,
     )?;
     println!(
@@ -47,7 +55,8 @@ fn main() -> Result<()> {
     let t = JoinThreshold::Ratio(0.5);
 
     // Sequential out-of-core search (disk load included in the timing).
-    let (hits, stats) = partitioned.search(Euclidean, query.store(), tau, t, SearchOptions::default())?;
+    let (hits, stats) =
+        partitioned.search(Euclidean, query.store(), tau, t, SearchOptions::default())?;
     println!(
         "sequential search: {} joinable columns in {:?} ({} exact distance computations)",
         hits.len(),
@@ -55,17 +64,29 @@ fn main() -> Result<()> {
         stats.distance_computations
     );
     for h in hits.iter().take(5) {
-        println!("  {} . {}  (match_count {})", h.table_name, h.column_name, h.match_count);
+        println!(
+            "  {} . {}  (match_count {})",
+            h.table_name, h.column_name, h.match_count
+        );
     }
     if hits.len() > 5 {
         println!("  … and {} more", hits.len() - 5);
     }
 
     // Parallel extension: identical results, overlapping I/O and CPU.
-    let (par_hits, par_stats) =
-        partitioned.search_parallel(Euclidean, query.store(), tau, t, SearchOptions::default(), 3)?;
+    let (par_hits, par_stats) = partitioned.search_parallel(
+        Euclidean,
+        query.store(),
+        tau,
+        t,
+        SearchOptions::default(),
+        3,
+    )?;
     assert_eq!(hits, par_hits);
-    println!("\nparallel search (3 workers): same results in {:?}", par_stats.total_time);
+    println!(
+        "\nparallel search (3 workers): same results in {:?}",
+        par_stats.total_time
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

@@ -60,7 +60,10 @@ fn main() -> Result<()> {
         );
     }
     println!("\nsearch stats:");
-    println!("  distance computations: {}", result.stats.distance_computations);
+    println!(
+        "  distance computations: {}",
+        result.stats.distance_computations
+    );
     println!("  candidate pairs:       {}", result.stats.candidate_pairs);
     println!("  total time:            {:?}", result.stats.total_time);
     Ok(())

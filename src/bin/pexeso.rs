@@ -41,7 +41,9 @@ fn parse_flags(args: &[String]) -> CliResult<HashMap<String, String>> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
         map.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -53,7 +55,10 @@ fn manifest_path(index_dir: &Path) -> PathBuf {
 }
 
 fn write_manifest(index_dir: &Path, dim: usize) -> std::io::Result<()> {
-    std::fs::write(manifest_path(index_dir), format!("version=1\nembedder=hash\ndim={dim}\n"))
+    std::fs::write(
+        manifest_path(index_dir),
+        format!("version=1\nembedder=hash\ndim={dim}\n"),
+    )
 }
 
 fn read_manifest(index_dir: &Path) -> CliResult<usize> {
@@ -70,9 +75,12 @@ fn read_manifest(index_dir: &Path) -> CliResult<usize> {
 fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
     let lake_dir = flags.get("lake").ok_or("--lake is required")?;
     let out_dir = PathBuf::from(flags.get("out").ok_or("--out is required")?);
-    let dim: usize = flags.get("dim").map_or(Ok(64), |d| d.parse().map_err(|e| format!("{e}")))?;
-    let partitions: usize =
-        flags.get("partitions").map_or(Ok(4), |k| k.parse().map_err(|e| format!("{e}")))?;
+    let dim: usize = flags
+        .get("dim")
+        .map_or(Ok(64), |d| d.parse().map_err(|e| format!("{e}")))?;
+    let partitions: usize = flags
+        .get("partitions")
+        .map_or(Ok(4), |k| k.parse().map_err(|e| format!("{e}")))?;
 
     let mut tables = Vec::new();
     let mut entries: Vec<PathBuf> = std::fs::read_dir(lake_dir)
@@ -94,8 +102,8 @@ fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
     println!("loaded {} tables from {lake_dir}", tables.len());
 
     let embedder = HashEmbedder::new(dim);
-    let mut lake = embed_tables(&embedder, &tables, &KeyColumnConfig::default())
-        .map_err(|e| e.to_string())?;
+    let mut lake =
+        embed_tables(&embedder, &tables, &KeyColumnConfig::default()).map_err(|e| e.to_string())?;
     lake.columns.store_mut().normalize_all();
     println!(
         "embedded {} key columns / {} values",
@@ -107,7 +115,11 @@ fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
     let built = PartitionedLake::build(
         &lake.columns,
         Euclidean,
-        &PartitionConfig { k: partitions, method: PartitionMethod::JsdKmeans, ..Default::default() },
+        &PartitionConfig {
+            k: partitions,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
         &IndexOptions::default(),
         &out_dir,
     )
@@ -122,7 +134,10 @@ fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
-fn load_query(flags: &HashMap<String, String>, dim: usize) -> CliResult<(Vec<String>, HashEmbedder)> {
+fn load_query(
+    flags: &HashMap<String, String>,
+    dim: usize,
+) -> CliResult<(Vec<String>, HashEmbedder)> {
     let query_path = flags.get("query").ok_or("--query is required")?;
     let table = read_table_file(Path::new(query_path)).map_err(|e| e.to_string())?;
     let col = match flags.get("column") {
@@ -131,7 +146,10 @@ fn load_query(flags: &HashMap<String, String>, dim: usize) -> CliResult<(Vec<Str
             .ok_or_else(|| format!("column '{name}' not in {query_path}"))?,
         None => {
             // Query tables may be tiny; don't apply the lake's minimum-rows gate.
-            let cfg = KeyColumnConfig { min_rows: 1, ..Default::default() };
+            let cfg = KeyColumnConfig {
+                min_rows: 1,
+                ..Default::default()
+            };
             pexeso_lake::keycol::detect_key_column(&table, &cfg)
                 .ok_or("no key column detected; pass --column")?
         }
@@ -147,15 +165,25 @@ fn load_query(flags: &HashMap<String, String>, dim: usize) -> CliResult<(Vec<Str
 
 fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
     let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
-    let tau: f32 = flags.get("tau").map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let t: f64 = flags.get("t").map_or(Ok(0.5), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let tau: f32 = flags
+        .get("tau")
+        .map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let t: f64 = flags
+        .get("t")
+        .map_or(Ok(0.5), |v| v.parse().map_err(|e| format!("{e}")))?;
     let dim = read_manifest(&index_dir)?;
     let (values, embedder) = load_query(flags, dim)?;
     let query = embed_query(&embedder, &values);
 
     let lake = PartitionedLake::open(&index_dir).map_err(|e| e.to_string())?;
     let (hits, stats) = lake
-        .search(Euclidean, query.store(), Tau::Ratio(tau), JoinThreshold::Ratio(t), SearchOptions::default())
+        .search(
+            Euclidean,
+            query.store(),
+            Tau::Ratio(tau),
+            JoinThreshold::Ratio(t),
+            SearchOptions::default(),
+        )
         .map_err(|e| e.to_string())?;
     println!(
         "\n{} joinable columns (tau={tau}, T={t}) in {:?}:",
@@ -163,15 +191,22 @@ fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
         stats.total_time
     );
     for h in hits {
-        println!("  {} . {}  ({} records matched)", h.table_name, h.column_name, h.match_count);
+        println!(
+            "  {} . {}  ({} records matched)",
+            h.table_name, h.column_name, h.match_count
+        );
     }
     Ok(())
 }
 
 fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
     let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
-    let tau: f32 = flags.get("tau").map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let k: usize = flags.get("k").map_or(Ok(10), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let tau: f32 = flags
+        .get("tau")
+        .map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let k: usize = flags
+        .get("k")
+        .map_or(Ok(10), |v| v.parse().map_err(|e| format!("{e}")))?;
     let dim = read_manifest(&index_dir)?;
     let (values, embedder) = load_query(flags, dim)?;
     let query = embed_query(&embedder, &values);
@@ -180,7 +215,9 @@ fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
     let lake = PartitionedLake::open(&index_dir).map_err(|e| e.to_string())?;
     let mut all: Vec<GlobalHit> = Vec::new();
     for i in 0..lake.num_partitions() {
-        let index = lake.load_partition(i, Euclidean).map_err(|e| e.to_string())?;
+        let index = lake
+            .load_partition(i, Euclidean)
+            .map_err(|e| e.to_string())?;
         let result = index
             .search_topk(query.store(), Tau::Ratio(tau), k)
             .map_err(|e| e.to_string())?;
@@ -194,18 +231,27 @@ fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
             });
         }
     }
-    all.sort_by(|a, b| b.match_count.cmp(&a.match_count).then(a.external_id.cmp(&b.external_id)));
+    all.sort_by(|a, b| {
+        b.match_count
+            .cmp(&a.match_count)
+            .then(a.external_id.cmp(&b.external_id))
+    });
     all.truncate(k);
     println!("\ntop-{k} joinable columns (tau={tau}):");
     for h in all {
-        println!("  {} . {}  ({} records matched)", h.table_name, h.column_name, h.match_count);
+        println!(
+            "  {} . {}  ({} records matched)",
+            h.table_name, h.column_name, h.match_count
+        );
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,
         Err(e) => {

@@ -24,6 +24,13 @@
 //! * [`ml`] *(pexeso-ml)* — random forests and join-based feature
 //!   augmentation for the data-enrichment experiments.
 //!
+//! Every stage accepts a [`pexeso_core::config::ExecPolicy`]
+//! (`Sequential`, the default, or `Parallel { threads }`) and produces
+//! identical results either way; see `pexeso_core`'s crate docs for the
+//! determinism contract and [`pipeline::search_many_queries`] /
+//! [`pexeso_core::search::PexesoIndex::search_many`] for the batched
+//! multi-user entry points.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -9,10 +9,10 @@
 use std::collections::HashMap;
 
 use pexeso_core::column::{ColumnId, ColumnSet};
-use pexeso_core::config::Tau;
+use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
 use pexeso_core::error::{PexesoError, Result};
 use pexeso_core::metric::Metric;
-use pexeso_core::search::PexesoIndex;
+use pexeso_core::search::{PexesoIndex, SearchOptions, SearchResult};
 use pexeso_core::vector::VectorStore;
 use pexeso_embed::Embedder;
 use pexeso_lake::generator::SyntheticLake;
@@ -93,7 +93,11 @@ pub struct EmbeddedLakeBuilder<'a> {
 
 impl<'a> EmbeddedLakeBuilder<'a> {
     pub fn new(embedder: &'a dyn Embedder) -> Self {
-        Self { embedder, columns: ColumnSet::new(embedder.dim()), provenance: Vec::new() }
+        Self {
+            embedder,
+            columns: ColumnSet::new(embedder.dim()),
+            provenance: Vec::new(),
+        }
     }
 
     /// Add one key column's values as a repository column. Table index is
@@ -109,7 +113,11 @@ impl<'a> EmbeddedLakeBuilder<'a> {
         self.columns
             .add_column(table_name, column_name, external_id, refs)
             .expect("embedder produces fixed-dim vectors");
-        self.provenance.push(ColumnProvenance { table_idx, key_col: 0, rows });
+        self.provenance.push(ColumnProvenance {
+            table_idx,
+            key_col: 0,
+            rows,
+        });
         self
     }
 
@@ -117,7 +125,10 @@ impl<'a> EmbeddedLakeBuilder<'a> {
         if self.columns.n_columns() == 0 {
             return Err(PexesoError::EmptyInput("no embeddable columns"));
         }
-        Ok(EmbeddedLake { columns: self.columns, provenance: self.provenance })
+        Ok(EmbeddedLake {
+            columns: self.columns,
+            provenance: self.provenance,
+        })
     }
 }
 
@@ -132,25 +143,31 @@ pub fn embed_tables(
     let mut columns = ColumnSet::new(embedder.dim());
     let mut provenance = Vec::new();
     for (ti, table) in tables.iter().enumerate() {
-        let Some(key_col) = detect_key_column(table, key_cfg) else { continue };
+        let Some(key_col) = detect_key_column(table, key_cfg) else {
+            continue;
+        };
         let (vecs, rows) = embed_values(embedder, table.column(key_col));
         if vecs.is_empty() {
             continue;
         }
         let external_id = provenance.len() as u64;
         let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-        columns.add_column(
-            table.name(),
-            &table.headers()[key_col],
-            external_id,
-            refs,
-        )?;
-        provenance.push(ColumnProvenance { table_idx: ti, key_col, rows });
+        columns.add_column(table.name(), &table.headers()[key_col], external_id, refs)?;
+        provenance.push(ColumnProvenance {
+            table_idx: ti,
+            key_col,
+            rows,
+        });
     }
     if columns.n_columns() == 0 {
-        return Err(PexesoError::EmptyInput("no table with a detectable key column"));
+        return Err(PexesoError::EmptyInput(
+            "no table with a detectable key column",
+        ));
     }
-    Ok(EmbeddedLake { columns, provenance })
+    Ok(EmbeddedLake {
+        columns,
+        provenance,
+    })
 }
 
 /// Offline ingestion of a generated lake, using the planted key columns
@@ -165,13 +182,27 @@ pub fn embed_synthetic_lake(embedder: &dyn Embedder, lake: &SyntheticLake) -> Re
         }
         let external_id = provenance.len() as u64;
         let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-        columns.add_column(gt.table.name(), &gt.table.headers()[gt.key_col], external_id, refs)?;
-        provenance.push(ColumnProvenance { table_idx: ti, key_col: gt.key_col, rows });
+        columns.add_column(
+            gt.table.name(),
+            &gt.table.headers()[gt.key_col],
+            external_id,
+            refs,
+        )?;
+        provenance.push(ColumnProvenance {
+            table_idx: ti,
+            key_col: gt.key_col,
+            rows,
+        });
     }
     if columns.n_columns() == 0 {
-        return Err(PexesoError::EmptyInput("generated lake had no embeddable tables"));
+        return Err(PexesoError::EmptyInput(
+            "generated lake had no embeddable tables",
+        ));
     }
-    Ok(EmbeddedLake { columns, provenance })
+    Ok(EmbeddedLake {
+        columns,
+        provenance,
+    })
 }
 
 /// Online: embed a query column's values (empty cells skipped but row
@@ -182,7 +213,36 @@ pub fn embed_query(embedder: &dyn Embedder, values: &[String]) -> EmbeddedQuery 
     for v in &vecs {
         store.push(v).expect("embedder produces fixed-dim vectors");
     }
-    EmbeddedQuery { store, rows, n_rows: values.len() }
+    EmbeddedQuery {
+        store,
+        rows,
+        n_rows: values.len(),
+    }
+}
+
+/// Batched multi-user entry point: embed many string query columns and
+/// answer them against one index in a single call. Under a parallel
+/// [`ExecPolicy`] whole queries run concurrently — the shape a server
+/// handling simultaneous users wants — while results stay exactly what
+/// per-query [`PexesoIndex::search_with`] returns (`results[i]` pairs with
+/// `query_columns[i]`). Query columns with no embeddable value yield the
+/// same `EmptyInput` error a direct search would (failing the batch).
+pub fn search_many_queries<M: Metric>(
+    index: &PexesoIndex<M>,
+    embedder: &dyn Embedder,
+    query_columns: &[Vec<String>],
+    tau: Tau,
+    t: JoinThreshold,
+    opts: SearchOptions,
+    policy: ExecPolicy,
+) -> Result<Vec<(EmbeddedQuery, SearchResult)>> {
+    let embedded: Vec<EmbeddedQuery> = query_columns
+        .iter()
+        .map(|values| embed_query(embedder, values))
+        .collect();
+    let stores: Vec<&VectorStore> = embedded.iter().map(|q| &q.store).collect();
+    let results = index.search_many(&stores, tau, t, opts, policy)?;
+    Ok(embedded.into_iter().zip(results).collect())
 }
 
 /// Resolve search hits into the record-level [`JoinMapping`] the paper
@@ -253,7 +313,9 @@ pub fn select_query_columns(
         QueryColumnChoice::MostDistinct => {
             let mut cands = key_candidates(table, key_cfg);
             if cands.is_empty() {
-                return Err(PexesoError::EmptyInput("no embeddable query-column candidate"));
+                return Err(PexesoError::EmptyInput(
+                    "no embeddable query-column candidate",
+                ));
             }
             // Rank purely by distinct count, as the paper words option 2.
             cands.sort_by(|a, b| {
@@ -266,7 +328,9 @@ pub fn select_query_columns(
         QueryColumnChoice::IterateAll => {
             let cands = key_candidates(table, key_cfg);
             if cands.is_empty() {
-                return Err(PexesoError::EmptyInput("no embeddable query-column candidate"));
+                return Err(PexesoError::EmptyInput(
+                    "no embeddable query-column candidate",
+                ));
             }
             let mut cols: Vec<usize> = cands.into_iter().map(|k| k.column).collect();
             cols.sort_unstable();
@@ -338,8 +402,16 @@ mod tests {
         let e = SemanticEmbedder::new(64, lexicon);
 
         let lake = EmbeddedLakeBuilder::new(&e)
-            .add_column("income", "Col 1", &strings(&["White", "Black", "Pacific Islander"]))
-            .add_column("unrelated", "c", &strings(&["Alpha Beta", "Gamma Delta", "Epsilon"]))
+            .add_column(
+                "income",
+                "Col 1",
+                &strings(&["White", "Black", "Pacific Islander"]),
+            )
+            .add_column(
+                "unrelated",
+                "c",
+                &strings(&["Alpha Beta", "Gamma Delta", "Epsilon"]),
+            )
             .build()
             .unwrap();
         let index =
@@ -350,7 +422,9 @@ mod tests {
             &strings(&["White", "Black", "Hawaiian/Guamanian/Samoan"]),
         );
         let tau = Tau::Ratio(0.06); // the paper's default: 6 % of max distance
-        let result = index.search(query.store(), tau, JoinThreshold::Ratio(0.9)).unwrap();
+        let result = index
+            .search(query.store(), tau, JoinThreshold::Ratio(0.9))
+            .unwrap();
         assert_eq!(result.hits.len(), 1, "only the income column joins fully");
 
         let hit_cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
@@ -360,6 +434,56 @@ mod tests {
         assert_eq!(mapping.matches[0], vec![(0, 0)]);
         assert_eq!(mapping.matches[1], vec![(0, 1)]);
         assert_eq!(mapping.matches[2], vec![(0, 2)]);
+    }
+
+    #[test]
+    fn search_many_queries_matches_individual_searches() {
+        let mut lexicon = Lexicon::new();
+        lexicon.add_synonym_set(["Hawaiian/Guamanian/Samoan", "Pacific Islander"]);
+        let e = SemanticEmbedder::new(64, lexicon);
+        let lake = EmbeddedLakeBuilder::new(&e)
+            .add_column(
+                "income",
+                "Col 1",
+                &strings(&["White", "Black", "Pacific Islander"]),
+            )
+            .add_column(
+                "unrelated",
+                "c",
+                &strings(&["Alpha Beta", "Gamma Delta", "Epsilon"]),
+            )
+            .build()
+            .unwrap();
+        let index =
+            PexesoIndex::build(lake.columns.clone(), Euclidean, IndexOptions::default()).unwrap();
+        let tau = Tau::Ratio(0.06);
+        let t = JoinThreshold::Ratio(0.9);
+        let query_columns = vec![
+            strings(&["White", "Black", "Hawaiian/Guamanian/Samoan"]),
+            strings(&["Alpha Beta", "Epsilon", "Gamma Delta"]),
+        ];
+        for policy in [
+            pexeso_core::config::ExecPolicy::Sequential,
+            pexeso_core::config::ExecPolicy::Parallel { threads: 4 },
+        ] {
+            let batched = search_many_queries(
+                &index,
+                &e,
+                &query_columns,
+                tau,
+                t,
+                pexeso_core::search::SearchOptions::default(),
+                policy,
+            )
+            .unwrap();
+            assert_eq!(batched.len(), 2);
+            for (values, (embedded, result)) in query_columns.iter().zip(&batched) {
+                let solo = index.search(embedded.store(), tau, t).unwrap();
+                assert_eq!(result.hits, solo.hits, "policy={policy:?}");
+                assert_eq!(embedded.n_rows(), values.len());
+                assert_eq!(result.hits.len(), 1, "each query joins exactly one column");
+            }
+        }
     }
 
     #[test]
@@ -373,12 +497,19 @@ mod tests {
                     vec![
                         format!("Unique Game {i}"),
                         format!("{}", 1990 + i),
-                        if i < 5 { "Nintendo".into() } else { "Sega".into() },
+                        if i < 5 {
+                            "Nintendo".into()
+                        } else {
+                            "Sega".into()
+                        },
                     ]
                 })
                 .collect(),
         );
-        let cfg = KeyColumnConfig { min_distinct: 0.1, ..Default::default() };
+        let cfg = KeyColumnConfig {
+            min_distinct: 0.1,
+            ..Default::default()
+        };
         assert_eq!(
             select_query_columns(&t, QueryColumnChoice::Specified(2), &cfg).unwrap(),
             vec![2]

@@ -13,7 +13,13 @@ use pexeso_lake::keycol::KeyColumnConfig;
 use pexeso_ml::augment::AugmentConfig;
 use pexeso_ml::tasks::{evaluate_with_mapping, make_task, TaskKind, TaskSpec};
 
-fn wdc_workload(seed: u64) -> (SyntheticLake, SemanticEmbedder, pexeso::pipeline::EmbeddedLake) {
+fn wdc_workload(
+    seed: u64,
+) -> (
+    SyntheticLake,
+    SemanticEmbedder,
+    pexeso::pipeline::EmbeddedLake,
+) {
     let mut cfg = GeneratorConfig::wdc_like(0.05, seed);
     cfg.num_tables = 60;
     let lake = SyntheticLake::generate(cfg);
@@ -26,8 +32,8 @@ fn wdc_workload(seed: u64) -> (SyntheticLake, SemanticEmbedder, pexeso::pipeline
 #[test]
 fn discovery_recall_beats_equi_join_on_noisy_lake() {
     let (lake, embedder, embedded) = wdc_workload(5);
-    let index = PexesoIndex::build(embedded.columns.clone(), Euclidean, IndexOptions::default())
-        .unwrap();
+    let index =
+        PexesoIndex::build(embedded.columns.clone(), Euclidean, IndexOptions::default()).unwrap();
 
     let t_ratio = 0.5;
     let mut pexeso_recalls = Vec::new();
@@ -71,9 +77,7 @@ fn discovery_recall_beats_equi_join_on_noisy_lake() {
         // equi-join.
         let (equi_hits, _) = equi_repo.search(q.key_values(), t_ratio);
         let equi_retrieved: HashSet<usize> = equi_hits.iter().map(|h| h.column).collect();
-        equi_recalls.push(
-            equi_retrieved.intersection(&truth).count() as f64 / truth.len() as f64,
-        );
+        equi_recalls.push(equi_retrieved.intersection(&truth).count() as f64 / truth.len() as f64);
     }
     assert!(evaluated >= 5, "need non-trivial queries, got {evaluated}");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -88,8 +92,8 @@ fn discovery_recall_beats_equi_join_on_noisy_lake() {
 #[test]
 fn full_enrichment_pipeline_improves_model() {
     let (lake, embedder, embedded) = wdc_workload(6);
-    let index = PexesoIndex::build(embedded.columns.clone(), Euclidean, IndexOptions::default())
-        .unwrap();
+    let index =
+        PexesoIndex::build(embedded.columns.clone(), Euclidean, IndexOptions::default()).unwrap();
 
     let task = make_task(
         &lake,
@@ -103,15 +107,23 @@ fn full_enrichment_pipeline_improves_model() {
     );
     let tau = Tau::Ratio(0.06);
     let query = embed_query(&embedder, task.query.key_values());
-    let result = index.search(query.store(), tau, JoinThreshold::Ratio(0.5)).unwrap();
+    let result = index
+        .search(query.store(), tau, JoinThreshold::Ratio(0.5))
+        .unwrap();
     let cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
     assert!(!cols.is_empty(), "discovery must find joinable tables");
 
     let mut mapping = join_mapping(&index, &embedded, &query, &cols, tau).unwrap();
     dedupe_mapping(&mut mapping);
-    assert!(mapping.row_match_rate() > 0.5, "most query rows should be matched");
+    assert!(
+        mapping.row_match_rate() > 0.5,
+        "most query rows should be matched"
+    );
 
-    let aug_cfg = AugmentConfig { min_coverage: 8, ..Default::default() };
+    let aug_cfg = AugmentConfig {
+        min_coverage: 8,
+        ..Default::default()
+    };
     let empty = pexeso_ml::augment::JoinMapping::new(80);
     let (no_join, _) = evaluate_with_mapping(&task, &lake, &empty, &aug_cfg);
     let (with_join, n_features) = evaluate_with_mapping(&task, &lake, &mapping, &aug_cfg);
@@ -143,14 +155,28 @@ fn csv_ingestion_to_search_roundtrip() {
         tables.push(pexeso_lake::csv::read_table_file(&dir.join(format!("{name}.csv"))).unwrap());
     }
     let embedder = HashEmbedder::new(64);
-    let mut lake = embed_tables(&embedder, &tables, &KeyColumnConfig { min_rows: 3, ..Default::default() })
-        .unwrap();
+    let mut lake = embed_tables(
+        &embedder,
+        &tables,
+        &KeyColumnConfig {
+            min_rows: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     lake.columns.store_mut().normalize_all();
-    assert_eq!(lake.columns.n_columns(), 3, "all three tables have key columns");
+    assert_eq!(
+        lake.columns.n_columns(),
+        3,
+        "all three tables have key columns"
+    );
 
-    let index = PexesoIndex::build(lake.columns.clone(), Euclidean, IndexOptions::default()).unwrap();
-    let query_vals: Vec<String> =
-        ["Super Mario World", "Zelda Ocarina", "Metroid Prime"].iter().map(|s| s.to_string()).collect();
+    let index =
+        PexesoIndex::build(lake.columns.clone(), Euclidean, IndexOptions::default()).unwrap();
+    let query_vals: Vec<String> = ["Super Mario World", "Zelda Ocarina", "Metroid Prime"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let query = embed_query(&embedder, &query_vals);
     let result = index
         .search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.9))
@@ -165,8 +191,14 @@ fn csv_ingestion_to_search_roundtrip() {
         .collect();
     // Both the games table and the lower-cased sales table join; cities not.
     assert!(hit_tables.contains(&0), "games should join: {hit_tables:?}");
-    assert!(hit_tables.contains(&2), "sales (case-noisy) should join: {hit_tables:?}");
-    assert!(!hit_tables.contains(&1), "cities must not join: {hit_tables:?}");
+    assert!(
+        hit_tables.contains(&2),
+        "sales (case-noisy) should join: {hit_tables:?}"
+    );
+    assert!(
+        !hit_tables.contains(&1),
+        "cities must not join: {hit_tables:?}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -179,7 +211,11 @@ fn persisted_partitions_survive_reopen_and_match_in_memory() {
     let built = PartitionedLake::build(
         &embedded.columns,
         Euclidean,
-        &PartitionConfig { k: 4, method: PartitionMethod::JsdKmeans, ..Default::default() },
+        &PartitionConfig {
+            k: 4,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
         &IndexOptions::default(),
         &dir,
     )

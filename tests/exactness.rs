@@ -32,7 +32,9 @@ fn instance(
     for c in 0..n_cols {
         let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
         let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
-        columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+        columns
+            .add_column("t", &format!("c{c}"), c as u64, refs)
+            .unwrap();
     }
     let mut query = VectorStore::new(dim);
     for _ in 0..nq {
@@ -71,7 +73,13 @@ proptest! {
         let index = PexesoIndex::build(
             columns,
             Euclidean,
-            IndexOptions { num_pivots: pivots, levels: Some(levels), pivot_selection: PivotSelection::Pca, seed },
+            IndexOptions {
+                num_pivots: pivots,
+                levels: Some(levels),
+                pivot_selection: PivotSelection::Pca,
+                seed,
+                ..Default::default()
+            },
         ).unwrap();
         let got: Vec<ColumnId> = index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
         prop_assert_eq!(got, expected);
@@ -178,28 +186,34 @@ fn exactness_on_adversarial_layouts() {
     // All vectors identical; all on a line; clustered at cell boundaries.
     let layouts: Vec<Vec<Vec<f32>>> = vec![
         vec![vec![0.5, 0.5, 0.5, 0.5]; 12],
-        (0..12).map(|i| {
-            let x = i as f32 / 11.0;
-            let mut v = vec![x, 1.0 - x, 0.0, 0.0];
-            let n: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
-            v.iter_mut().for_each(|a| *a /= n.max(1e-9));
-            v
-        }).collect(),
-        (0..12).map(|i| {
-            // Values engineered to sit exactly on power-of-two fractions of
-            // the span, stressing the cell-boundary epsilon handling.
-            let x = (i % 4) as f32 * 0.25;
-            let mut v = vec![x, 0.3, 0.1, 1.0];
-            let n: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
-            v.iter_mut().for_each(|a| *a /= n.max(1e-9));
-            v
-        }).collect(),
+        (0..12)
+            .map(|i| {
+                let x = i as f32 / 11.0;
+                let mut v = vec![x, 1.0 - x, 0.0, 0.0];
+                let n: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
+                v.iter_mut().for_each(|a| *a /= n.max(1e-9));
+                v
+            })
+            .collect(),
+        (0..12)
+            .map(|i| {
+                // Values engineered to sit exactly on power-of-two fractions of
+                // the span, stressing the cell-boundary epsilon handling.
+                let x = (i % 4) as f32 * 0.25;
+                let mut v = vec![x, 0.3, 0.1, 1.0];
+                let n: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
+                v.iter_mut().for_each(|a| *a /= n.max(1e-9));
+                v
+            })
+            .collect(),
     ];
     for (li, layout) in layouts.into_iter().enumerate() {
         let mut columns = ColumnSet::new(dim);
         for (c, chunk) in layout.chunks(4).enumerate() {
             let refs: Vec<&[f32]> = chunk.iter().map(|v| v.as_slice()).collect();
-            columns.add_column("t", &format!("c{c}"), c as u64, refs).unwrap();
+            columns
+                .add_column("t", &format!("c{c}"), c as u64, refs)
+                .unwrap();
         }
         let mut query = VectorStore::new(dim);
         for v in layout.iter().take(3) {
@@ -210,8 +224,13 @@ fn exactness_on_adversarial_layouts() {
                 let expected = expected_ids(&columns, &query, tau, t);
                 let index = PexesoIndex::build(columns.clone(), Euclidean, IndexOptions::default())
                     .unwrap();
-                let got: Vec<ColumnId> =
-                    index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+                let got: Vec<ColumnId> = index
+                    .search(&query, tau, t)
+                    .unwrap()
+                    .hits
+                    .iter()
+                    .map(|h| h.column)
+                    .collect();
                 assert_eq!(got, expected, "layout {li} tau={tau:?} t={t:?}");
             }
         }
@@ -236,5 +255,146 @@ proptest! {
             .unwrap()
             .hits.iter().map(|h| h.column).collect();
         prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: ExecPolicy::Parallel and the batched early-exit
+// distance kernels must be byte-identical to the sequential scalar path.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Parallel build + parallel search produce exactly the sequential
+    /// hits, match counts, and verification counters.
+    #[test]
+    fn parallel_policy_is_byte_identical(
+        seed in 0u64..10_000,
+        tau_pct in 0.03f32..0.3,
+        t_ratio in 0.1f64..0.9,
+        threads in 2usize..9,
+    ) {
+        let (columns, query) = instance(seed, 12, 14, 7, 12);
+        let tau = Tau::Ratio(tau_pct);
+        let t = JoinThreshold::Ratio(t_ratio);
+
+        let seq_index = PexesoIndex::build(
+            columns.clone(),
+            Euclidean,
+            IndexOptions { exec: ExecPolicy::Sequential, ..Default::default() },
+        ).unwrap();
+        let par_index = PexesoIndex::build(
+            columns,
+            Euclidean,
+            IndexOptions { exec: ExecPolicy::Parallel { threads }, ..Default::default() },
+        ).unwrap();
+        // The parallel build must assemble the exact same structures.
+        prop_assert_eq!(seq_index.pivots(), par_index.pivots());
+        prop_assert_eq!(seq_index.rv_mapped().raw_data(), par_index.rv_mapped().raw_data());
+
+        let seq = seq_index.search_with(&query, tau, t, SearchOptions::default()).unwrap();
+        let par = par_index.search_with(
+            &query,
+            tau,
+            t,
+            SearchOptions { exec: ExecPolicy::Parallel { threads }, ..Default::default() },
+        ).unwrap();
+        prop_assert_eq!(&seq.hits, &par.hits);
+        // Counter-level equality pins the shard merge, not just the answer.
+        prop_assert_eq!(seq.stats.distance_computations, par.stats.distance_computations);
+        prop_assert_eq!(seq.stats.lemma1_filtered, par.stats.lemma1_filtered);
+        prop_assert_eq!(seq.stats.lemma2_matched, par.stats.lemma2_matched);
+        prop_assert_eq!(seq.stats.candidate_pairs, par.stats.candidate_pairs);
+        prop_assert_eq!(seq.stats.matching_pairs, par.stats.matching_pairs);
+        prop_assert_eq!(seq.stats.early_joinable, par.stats.early_joinable);
+        prop_assert_eq!(seq.stats.lemma7_pruned, par.stats.lemma7_pruned);
+    }
+
+    /// `dist_le` and `dist_batch` agree exactly with scalar `dist` for all
+    /// built-in metrics, including at the threshold boundary.
+    #[test]
+    fn kernels_agree_with_scalar_dist(seed in 0u64..10_000, dim in 1usize..80) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let rows = 8;
+        let flat: Vec<f32> = (0..rows * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        fn check<M: Metric>(m: M, a: &[f32], flat: &[f32], dim: usize, rows: usize) -> Result<()> {
+            let mut out = vec![0.0f32; rows];
+            m.dist_batch(a, flat, &mut out);
+            for (i, row) in flat.chunks_exact(dim).enumerate() {
+                let d = m.dist(a, row);
+                assert_eq!(out[i], d, "{} dist_batch row {i}", m.name());
+                for tau in [d, d * 0.999, d * 1.001, 0.0, 0.5] {
+                    assert_eq!(
+                        m.dist_le(a, row, tau),
+                        d <= tau,
+                        "{} dist_le d={d} tau={tau}",
+                        m.name()
+                    );
+                }
+            }
+            Ok(())
+        }
+        check(Euclidean, &a, &flat, dim, rows).unwrap();
+        check(Manhattan, &a, &flat, dim, rows).unwrap();
+        check(Chebyshev, &a, &flat, dim, rows).unwrap();
+        check(Angular, &a, &flat, dim, rows).unwrap();
+    }
+
+    /// Batched multi-query search equals one-at-a-time search, under both
+    /// outer policies.
+    #[test]
+    fn search_many_equals_individual_searches(seed in 0u64..5_000, nq in 2usize..5) {
+        let (columns, _) = instance(seed, 10, 12, 5, 10);
+        let queries: Vec<VectorStore> = (0..nq)
+            .map(|i| instance(seed * 31 + i as u64 + 1, 1, 1, 6, 10).1)
+            .collect();
+        let tau = Tau::Ratio(0.15);
+        let t = JoinThreshold::Ratio(0.4);
+        let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+        let opts = SearchOptions::default();
+        let expected: Vec<Vec<SearchHit>> = queries
+            .iter()
+            .map(|q| index.search_with(q, tau, t, opts).unwrap().hits)
+            .collect();
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }] {
+            let got: Vec<Vec<SearchHit>> = index
+                .search_many(&queries, tau, t, opts, policy)
+                .unwrap()
+                .into_iter()
+                .map(|r| r.hits)
+                .collect();
+            prop_assert_eq!(&got, &expected, "policy={:?}", policy);
+        }
+    }
+
+    /// Out-of-core search under a parallel policy merges to the sequential
+    /// answer.
+    #[test]
+    fn partitioned_parallel_policy_is_exact(seed in 0u64..3_000, threads in 2usize..6) {
+        let (columns, query) = instance(seed, 12, 10, 5, 10);
+        let tau = Tau::Ratio(0.12);
+        let t = JoinThreshold::Ratio(0.4);
+        let dir = std::env::temp_dir().join(format!(
+            "pexeso_prop_ooc_par_{}_{}_{}", seed, threads, std::process::id()
+        ));
+        let lake = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig { k: 3, ..Default::default() },
+            &IndexOptions { num_pivots: 3, levels: Some(3), ..Default::default() },
+            &dir,
+        ).unwrap();
+        let (seq, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
+        let (par, _) = lake.search_with_policy(
+            Euclidean, &query, tau, t, SearchOptions::default(),
+            ExecPolicy::Parallel { threads },
+        ).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(seq, par);
     }
 }

@@ -21,12 +21,16 @@ fn single_vector_columns_and_queries() {
     let mut columns = ColumnSet::new(dim);
     for c in 0..4u64 {
         let v = unit_vec(dim, c);
-        columns.add_column("t", &format!("c{c}"), c, vec![v.as_slice()]).unwrap();
+        columns
+            .add_column("t", &format!("c{c}"), c, vec![v.as_slice()])
+            .unwrap();
     }
     let index = PexesoIndex::build(columns.clone(), Euclidean, IndexOptions::default()).unwrap();
     let mut q = VectorStore::new(dim);
     q.push(&unit_vec(dim, 0)).unwrap();
-    let r = index.search(&q, Tau::Ratio(0.01), JoinThreshold::Ratio(1.0)).unwrap();
+    let r = index
+        .search(&q, Tau::Ratio(0.01), JoinThreshold::Ratio(1.0))
+        .unwrap();
     assert_eq!(r.hits.len(), 1);
     assert_eq!(r.hits[0].column, ColumnId(0));
 }
@@ -43,13 +47,19 @@ fn extreme_thresholds() {
     q.push(&unit_vec(dim, 3)).unwrap();
 
     // tau = 0: only exact duplicates match.
-    let r = index.search(&q, Tau::Absolute(0.0), JoinThreshold::Count(1)).unwrap();
+    let r = index
+        .search(&q, Tau::Absolute(0.0), JoinThreshold::Count(1))
+        .unwrap();
     assert_eq!(r.hits.len(), 1);
     // tau = max distance: everything matches.
-    let r = index.search(&q, Tau::Ratio(1.0), JoinThreshold::Ratio(1.0)).unwrap();
+    let r = index
+        .search(&q, Tau::Ratio(1.0), JoinThreshold::Ratio(1.0))
+        .unwrap();
     assert_eq!(r.hits.len(), 1);
     // Unsatisfiable T (count beyond |Q|) finds nothing but must not panic.
-    let r = index.search(&q, Tau::Ratio(1.0), JoinThreshold::Count(5)).unwrap();
+    let r = index
+        .search(&q, Tau::Ratio(1.0), JoinThreshold::Count(5))
+        .unwrap();
     assert!(r.hits.is_empty());
 }
 
@@ -67,15 +77,26 @@ fn pipeline_handles_pathological_strings() {
     ];
     // Builder must skip unusable cells (emoji and control characters have
     // no alphanumeric tokens) and keep the rest.
-    let lake = EmbeddedLakeBuilder::new(&e).add_column("t", "weird", &weird).build().unwrap();
-    assert_eq!(lake.columns.n_vectors(), 3, "exactly the three tokenisable strings embed");
+    let lake = EmbeddedLakeBuilder::new(&e)
+        .add_column("t", "weird", &weird)
+        .build()
+        .unwrap();
+    assert_eq!(
+        lake.columns.n_vectors(),
+        3,
+        "exactly the three tokenisable strings embed"
+    );
     let index = PexesoIndex::build(lake.columns, Euclidean, IndexOptions::default()).unwrap();
     let q = embed_query(&e, &["Łódź — Göteborg — 北京".to_string()]);
-    let r = index.search(q.store(), Tau::Ratio(0.01), JoinThreshold::Count(1)).unwrap();
+    let r = index
+        .search(q.store(), Tau::Ratio(0.01), JoinThreshold::Count(1))
+        .unwrap();
     assert_eq!(r.hits.len(), 1, "the unicode string must find itself");
     // A query with no embeddable content must error cleanly, not panic.
     let crab = embed_query(&e, &["🦀🦀🦀".to_string()]);
-    assert!(index.search(crab.store(), Tau::Ratio(0.01), JoinThreshold::Count(1)).is_err());
+    assert!(index
+        .search(crab.store(), Tau::Ratio(0.01), JoinThreshold::Count(1))
+        .is_err());
 }
 
 #[test]
@@ -99,7 +120,10 @@ fn corrupted_partition_file_yields_typed_error() {
     let lake = PartitionedLake::build(
         &columns,
         Euclidean,
-        &PartitionConfig { k: 2, ..Default::default() },
+        &PartitionConfig {
+            k: 2,
+            ..Default::default()
+        },
         &IndexOptions::default(),
         &dir,
     )
@@ -123,8 +147,17 @@ fn corrupted_partition_file_yields_typed_error() {
 
     let mut q = VectorStore::new(dim);
     q.push(&unit_vec(dim, 3)).unwrap();
-    let err = lake.search(Euclidean, &q, Tau::Ratio(0.1), JoinThreshold::Count(1), SearchOptions::default());
-    assert!(err.is_err(), "corruption must surface as an error, not wrong results");
+    let err = lake.search(
+        Euclidean,
+        &q,
+        Tau::Ratio(0.1),
+        JoinThreshold::Count(1),
+        SearchOptions::default(),
+    );
+    assert!(
+        err.is_err(),
+        "corruption must surface as an error, not wrong results"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -136,16 +169,21 @@ fn duplicate_heavy_columns() {
     let v = unit_vec(dim, 9);
     let mut columns = ColumnSet::new(dim);
     columns
-        .add_column("t", "dups", 0, std::iter::repeat(v.as_slice()).take(20))
+        .add_column("t", "dups", 0, std::iter::repeat_n(v.as_slice(), 20))
         .unwrap();
     let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
     let mut q = VectorStore::new(dim);
     for _ in 0..5 {
         q.push(&v).unwrap();
     }
-    let r = index.search(&q, Tau::Absolute(0.0), JoinThreshold::Ratio(1.0)).unwrap();
+    let r = index
+        .search(&q, Tau::Absolute(0.0), JoinThreshold::Ratio(1.0))
+        .unwrap();
     assert_eq!(r.hits.len(), 1);
-    assert_eq!(r.hits[0].match_count, 5, "every duplicate query record counts");
+    assert_eq!(
+        r.hits[0].match_count, 5,
+        "every duplicate query record counts"
+    );
 }
 
 #[test]
@@ -168,7 +206,10 @@ fn partitioning_single_column_lake() {
     // k far exceeds the column count; must clamp, not crash.
     let p = pexeso_core::partition::partition_columns(
         &columns,
-        &PartitionConfig { k: 64, ..Default::default() },
+        &PartitionConfig {
+            k: 64,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(p.assignments.len(), 1);
