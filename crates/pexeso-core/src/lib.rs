@@ -22,8 +22,12 @@
 //! * [`invindex`] + [`verify`] — Algorithm 2: inverted-index verification
 //!   with joinable-skip and Lemma 7 early termination;
 //! * [`search`] — Algorithm 3 and the [`search::PexesoIndex`] entry point,
-//!   including the batched multi-query [`search::PexesoIndex::search_many`];
-//! * [`cost`] — the Eq. 1/2 cost model choosing the grid depth `m`;
+//!   including the batched multi-query [`search::PexesoIndex::search_many`]
+//!   and the best-first top-k [`search::PexesoIndex::search_topk`];
+//! * [`oracle`] — the brute-force ground truth every search mode is
+//!   differentially tested against;
+//! * [`cost`] — the Eq. 1/2 cost model choosing the grid depth `m`, plus
+//!   the per-column match-count bounds that seed the top-k threshold;
 //! * [`partition`] / [`persist`] / [`outofcore`] — JSD-clustered disk
 //!   partitions for lakes that exceed main memory;
 //! * [`exec`] — the deterministic parallel execution layer behind
@@ -73,6 +77,7 @@ pub mod invindex;
 pub mod lemmas;
 pub mod mapping;
 pub mod metric;
+pub mod oracle;
 pub mod outofcore;
 pub mod partition;
 pub mod persist;

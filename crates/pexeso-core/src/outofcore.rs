@@ -153,13 +153,7 @@ impl PartitionedLake {
         let started = Instant::now();
         // When partitions already fan out across threads, keep each
         // partition's inner search sequential to avoid nested fan-out.
-        let inner_opts = match policy {
-            ExecPolicy::Parallel { .. } => SearchOptions {
-                exec: ExecPolicy::Sequential,
-                ..opts
-            },
-            ExecPolicy::Sequential => opts,
-        };
+        let inner_opts = opts.demoted_under(policy);
         // `try_map_units` stops handing out partitions after the first
         // failure (like the sequential `?` loop always did) and converts a
         // worker panic into a recoverable error instead of crashing a
@@ -194,6 +188,99 @@ impl PartitionedLake {
             hits.extend(h);
         }
         hits.sort_by_key(|h| h.external_id);
+        merged.total_time = started.elapsed();
+        Ok((hits, merged))
+    }
+
+    /// Out-of-core top-k: the (up to) `k` columns of the whole lake with
+    /// the most matching query records, ranked by count descending and
+    /// ties broken by ascending external id (internal column ids are not
+    /// stable across partitioning). Sequential partition loop; see
+    /// [`PartitionedLake::search_topk_with_policy`].
+    pub fn search_topk<M: Metric>(
+        &self,
+        metric: M,
+        query: &VectorStore,
+        tau: Tau,
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        self.search_topk_with_policy(metric, query, tau, k, opts, ExecPolicy::Sequential)
+    }
+
+    /// Out-of-core top-k under an explicit [`ExecPolicy`]. Each partition
+    /// answers its *local* top-k exactly and **tie-inclusively**: the
+    /// in-partition tie-break runs on internal column ids (insertion
+    /// order), which need not agree with the global external-id order, so
+    /// when the k-th best count extends past the local cut the partition
+    /// is re-queried with a doubled k until every column tied with the
+    /// boundary count is present. With all boundary ties in hand, any
+    /// member of the global top-k is necessarily in its partition's list;
+    /// the per-partition lists are then merged in partition order and
+    /// re-ranked deterministically (count descending, external id
+    /// ascending), making the result identical for every policy.
+    pub fn search_topk_with_policy<M: Metric>(
+        &self,
+        metric: M,
+        query: &VectorStore,
+        tau: Tau,
+        k: usize,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        let started = Instant::now();
+        let inner_opts = opts.demoted_under(policy);
+        let per_partition = exec::try_map_units(
+            policy,
+            self.partition_files.len(),
+            || PexesoError::InvalidParameter("partition top-k worker panicked".into()),
+            |i| {
+                let index = load_index(&self.partition_files[i], metric.clone())?;
+                let mut kk = k;
+                let mut result = index.search_topk_with(query, tau, kk, inner_opts)?;
+                // Tie-inclusive boundary: while the last returned hit
+                // still carries the k-th best count, columns tied with it
+                // (but with larger internal ids) may have been cut off —
+                // and one of them could win the global external-id
+                // tie-break. Double k until the boundary count is fully
+                // enumerated or the partition is exhausted.
+                while k > 0
+                    && result.hits.len() == kk
+                    && kk < index.live_columns()
+                    && result.hits.last().map(|h| h.match_count)
+                        == result.hits.get(k - 1).map(|h| h.match_count)
+                {
+                    kk *= 2;
+                    result = index.search_topk_with(query, tau, kk, inner_opts)?;
+                }
+                let hits: Vec<GlobalHit> = result
+                    .hits
+                    .into_iter()
+                    .map(|h| {
+                        let meta = index.columns().column(h.column);
+                        GlobalHit {
+                            external_id: meta.external_id,
+                            table_name: meta.table_name.clone(),
+                            column_name: meta.column_name.clone(),
+                            match_count: h.match_count,
+                        }
+                    })
+                    .collect();
+                Ok::<_, PexesoError>((hits, result.stats))
+            },
+        )?;
+        let mut merged = SearchStats::new();
+        let mut hits = Vec::new();
+        for (h, s) in per_partition {
+            merged.merge(&s);
+            hits.extend(h);
+        }
+        hits.sort_by(|a, b| {
+            b.match_count
+                .cmp(&a.match_count)
+                .then(a.external_id.cmp(&b.external_id))
+        });
+        hits.truncate(k);
         merged.total_time = started.elapsed();
         Ok((hits, merged))
     }

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use crate::block::{block_with, quick_browse};
+use crate::block::{block_with, quick_browse, BlockOutput};
 use crate::column::{ColumnId, ColumnSet};
 use crate::config::{ExecPolicy, IndexOptions, JoinThreshold, LemmaFlags, Tau};
 use crate::error::{PexesoError, Result};
@@ -74,6 +74,23 @@ impl Default for SearchOptions {
             quick_browse: true,
             verify_strategy: VerifyStrategy::Stamps,
             exec: ExecPolicy::Sequential,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Per-query options under an outer batching `policy`: a parallel
+    /// outer fan-out owns the threads, so each inner query is demoted to
+    /// sequential (avoiding nested fan-out); a sequential outer loop
+    /// honours the per-query policy unchanged. Every batched entry point
+    /// (multi-query and out-of-core) must use this one rule.
+    pub(crate) fn demoted_under(self, policy: ExecPolicy) -> Self {
+        match policy {
+            ExecPolicy::Parallel { .. } => SearchOptions {
+                exec: ExecPolicy::Sequential,
+                ..self
+            },
+            ExecPolicy::Sequential => self,
         }
     }
 }
@@ -165,59 +182,12 @@ impl<M: Metric> PexesoIndex<M> {
         t: JoinThreshold,
         opts: SearchOptions,
     ) -> Result<SearchResult> {
-        if query.is_empty() {
-            return Err(PexesoError::EmptyInput("query column with zero vectors"));
-        }
-        if query.dim() != self.columns.dim() {
-            return Err(PexesoError::DimensionMismatch {
-                expected: self.columns.dim(),
-                got: query.dim(),
-            });
-        }
+        self.validate_query(query)?;
         let tau = tau.resolve(&self.metric, self.columns.dim())?;
         let t_abs = t.resolve(query.len())?;
         let mut stats = SearchStats::new();
         let total_start = Instant::now();
-
-        // Map the query column into the pivot space.
-        let query_mapped = MappedVectors::build_with(
-            query,
-            &self.pivots,
-            &self.metric,
-            Some(&mut stats.mapping_distances),
-            opts.exec,
-        )?;
-        if query_mapped.max_coord() > self.grid_params.span {
-            return Err(PexesoError::InvalidParameter(format!(
-                "query vector maps outside the pivot space (coordinate {} > span {}); \
-                 normalise query vectors like the repository",
-                query_mapped.max_coord(),
-                self.grid_params.span
-            )));
-        }
-        let hgq = HierarchicalGrid::build_with(self.grid_params.clone(), &query_mapped, opts.exec)?;
-
-        // Quick browsing, then the dual-grid traversal.
-        let block_start = Instant::now();
-        let (handled, seeded) = if opts.quick_browse {
-            let mut seeded = FastMap::default();
-            let handled = quick_browse(&hgq, &self.inv, &mut seeded, &mut stats);
-            (Some(handled), seeded)
-        } else {
-            (None, FastMap::default())
-        };
-        let blocked = block_with(
-            &hgq,
-            &self.hgrv,
-            &query_mapped,
-            tau,
-            opts.flags,
-            handled.as_ref(),
-            seeded,
-            &mut stats,
-            opts.exec,
-        );
-        stats.block_time = block_start.elapsed();
+        let (query_mapped, blocked) = self.map_and_block(query, tau, opts, &mut stats)?;
 
         // Verification.
         let verify_start = Instant::now();
@@ -270,14 +240,7 @@ impl<M: Metric> PexesoIndex<M> {
         opts: SearchOptions,
         policy: ExecPolicy,
     ) -> Result<Vec<SearchResult>> {
-        let inner_opts = match policy {
-            // Outer fan-out owns the threads; keep each query single-threaded.
-            ExecPolicy::Parallel { .. } => SearchOptions {
-                exec: ExecPolicy::Sequential,
-                ..opts
-            },
-            ExecPolicy::Sequential => opts,
-        };
+        let inner_opts = opts.demoted_under(policy);
         let shards = exec::map_ranges_min(policy, queries.len(), 2, |range| {
             range
                 .map(|i| self.search_with(queries[i].as_ref(), tau, t, inner_opts))
@@ -286,15 +249,8 @@ impl<M: Metric> PexesoIndex<M> {
         shards.into_iter().flatten().collect()
     }
 
-    /// Top-k joinable-column search: the `k` non-deleted columns with the
-    /// largest number of matching query records (ties broken by column id).
-    /// Runs the same block-and-verify machinery with early termination
-    /// disabled so every count is exact — an extension beyond the paper's
-    /// threshold-form query, convenient when no good `T` is known a priori.
-    pub fn search_topk(&self, query: &VectorStore, tau: Tau, k: usize) -> Result<SearchResult> {
-        if k == 0 {
-            return Err(PexesoError::InvalidParameter("k must be positive".into()));
-        }
+    /// Shared query validation for every online entry point.
+    fn validate_query(&self, query: &VectorStore) -> Result<()> {
         if query.is_empty() {
             return Err(PexesoError::EmptyInput("query column with zero vectors"));
         }
@@ -304,36 +260,173 @@ impl<M: Metric> PexesoIndex<M> {
                 got: query.dim(),
             });
         }
-        let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
-        let mut stats = SearchStats::new();
-        let total_start = Instant::now();
-        let query_mapped = MappedVectors::build(
+        Ok(())
+    }
+
+    /// The shared online prologue of every search entry point: map the
+    /// query into pivot space, validate against the grid span, build
+    /// `HG_Q`, quick-browse (when enabled), and run the dual-grid
+    /// blocking. Populates `stats.mapping_distances`, the blocking
+    /// counters, and `stats.block_time`.
+    fn map_and_block(
+        &self,
+        query: &VectorStore,
+        tau_abs: f32,
+        opts: SearchOptions,
+        stats: &mut SearchStats,
+    ) -> Result<(MappedVectors, BlockOutput)> {
+        let query_mapped = MappedVectors::build_with(
             query,
             &self.pivots,
             &self.metric,
             Some(&mut stats.mapping_distances),
+            opts.exec,
         )?;
         if query_mapped.max_coord() > self.grid_params.span {
-            return Err(PexesoError::InvalidParameter(
-                "query vector maps outside the pivot space; normalise query vectors".into(),
-            ));
+            return Err(PexesoError::InvalidParameter(format!(
+                "query vector maps outside the pivot space (coordinate {} > span {}); \
+                 normalise query vectors like the repository",
+                query_mapped.max_coord(),
+                self.grid_params.span
+            )));
         }
-        let hgq = HierarchicalGrid::build(self.grid_params.clone(), &query_mapped)?;
+        let hgq = HierarchicalGrid::build_with(self.grid_params.clone(), &query_mapped, opts.exec)?;
         let block_start = Instant::now();
-        let mut seeded = FastMap::default();
-        let handled = quick_browse(&hgq, &self.inv, &mut seeded, &mut stats);
+        let (handled, seeded) = if opts.quick_browse {
+            let mut seeded = FastMap::default();
+            let handled = quick_browse(&hgq, &self.inv, &mut seeded, stats);
+            (Some(handled), seeded)
+        } else {
+            (None, FastMap::default())
+        };
         let blocked = block_with(
             &hgq,
             &self.hgrv,
             &query_mapped,
             tau_abs,
-            LemmaFlags::all(),
-            Some(&handled),
+            opts.flags,
+            handled.as_ref(),
             seeded,
-            &mut stats,
-            ExecPolicy::Sequential,
+            stats,
+            opts.exec,
         );
         stats.block_time = block_start.elapsed();
+        Ok((query_mapped, blocked))
+    }
+
+    /// Top-k joinable-column search with default options: the (up to) `k`
+    /// non-deleted columns with the largest number of matching query
+    /// records. See [`PexesoIndex::search_topk_with`].
+    pub fn search_topk(&self, query: &VectorStore, tau: Tau, k: usize) -> Result<SearchResult> {
+        self.search_topk_with(query, tau, k, SearchOptions::default())
+    }
+
+    /// Best-first top-k joinable-column search.
+    ///
+    /// Ranks columns by exact match count, descending, with ties broken
+    /// by ascending column id (the same order the brute-force oracle
+    /// documents); columns with zero matches never appear, so fewer than
+    /// `k` hits may be returned, and `k == 0` returns no hits. An
+    /// extension beyond the paper's threshold-form query, convenient when
+    /// no good `T` is known a priori.
+    ///
+    /// Instead of exactly counting every column (see
+    /// [`PexesoIndex::search_topk_exhaustive`]), the search brackets every
+    /// column's join size with the cheap bounds pass of
+    /// [`crate::cost::column_match_bounds`], seeds the join-size threshold
+    /// from the k-th best lower bound ([`crate::cost::topk_seed`]), and
+    /// verifies columns best-first (probe evidence, then upper bound,
+    /// then density), tightening the threshold as the result heap fills:
+    /// a column is skipped once its own upper bound ranks below the
+    /// current k-th best, and an in-flight count aborts as soon as it
+    /// can no longer get there. Results are exact and — like every other
+    /// entry point — byte-identical for every [`ExecPolicy`].
+    ///
+    /// `opts.verify_strategy` is ignored (top-k has its own verifier);
+    /// `opts.flags` and `opts.quick_browse` behave as in
+    /// [`PexesoIndex::search_with`].
+    pub fn search_topk_with(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<SearchResult> {
+        self.validate_query(query)?;
+        let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
+        let mut stats = SearchStats::new();
+        if k == 0 {
+            return Ok(SearchResult {
+                hits: Vec::new(),
+                stats,
+            });
+        }
+        let total_start = Instant::now();
+        let (query_mapped, blocked) = self.map_and_block(query, tau_abs, opts, &mut stats)?;
+
+        let verify_start = Instant::now();
+        let bounds = crate::cost::column_match_bounds(
+            &blocked,
+            &self.inv,
+            self.columns.n_columns(),
+            query.len(),
+            Some(&self.deleted),
+            opts.exec,
+        );
+        let seed = crate::cost::topk_seed(&bounds, k);
+        let ctx = VerifyContext {
+            columns: &self.columns,
+            vec_col: &self.vec_col,
+            rv_mapped: &self.rv_mapped,
+            inv: &self.inv,
+            metric: &self.metric,
+            query,
+            query_mapped: &query_mapped,
+            tau: tau_abs,
+            t_abs: query.len() + 1, // top-k never early-terminates on T
+            flags: opts.flags,
+            deleted: Some(&self.deleted),
+        };
+        let ranked =
+            crate::verify::verify_topk(&ctx, &blocked, &bounds, seed, k, &mut stats, opts.exec);
+        stats.verify_time = verify_start.elapsed();
+        stats.total_time = total_start.elapsed();
+        Ok(SearchResult {
+            hits: ranked
+                .into_iter()
+                .map(|(count, column)| SearchHit {
+                    column,
+                    match_count: count,
+                })
+                .collect(),
+            stats,
+        })
+    }
+
+    /// Reference top-k: exactly count every column (early termination
+    /// disabled), then sort and truncate — the "threshold search with an
+    /// unreachable T, then sort" baseline that
+    /// [`PexesoIndex::search_topk_with`] is benchmarked against. Returns
+    /// the identical hits (`tests/differential.rs` pins both against the
+    /// brute-force oracle).
+    pub fn search_topk_exhaustive(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        k: usize,
+    ) -> Result<SearchResult> {
+        self.validate_query(query)?;
+        let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
+        let mut stats = SearchStats::new();
+        if k == 0 {
+            return Ok(SearchResult {
+                hits: Vec::new(),
+                stats,
+            });
+        }
+        let total_start = Instant::now();
+        let (query_mapped, blocked) =
+            self.map_and_block(query, tau_abs, SearchOptions::default(), &mut stats)?;
 
         let verify_start = Instant::now();
         let ctx = VerifyContext {
@@ -373,6 +466,28 @@ impl<M: Metric> PexesoIndex<M> {
             hits: ranked,
             stats,
         })
+    }
+
+    /// Batched multi-query top-k: answer many query columns against the
+    /// same index in one call, mirroring [`PexesoIndex::search_many`].
+    /// `results[i]` is exactly what `search_topk_with(&queries[i], …)`
+    /// returns; under a parallel outer `policy` each query runs
+    /// sequentially to avoid nested fan-out.
+    pub fn search_topk_many<Q: AsRef<VectorStore> + Sync>(
+        &self,
+        queries: &[Q],
+        tau: Tau,
+        k: usize,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<Vec<SearchResult>> {
+        let inner_opts = opts.demoted_under(policy);
+        let shards = exec::map_ranges_min(policy, queries.len(), 2, |range| {
+            range
+                .map(|i| self.search_topk_with(queries[i].as_ref(), tau, k, inner_opts))
+                .collect::<Vec<Result<SearchResult>>>()
+        });
+        shards.into_iter().flatten().collect()
     }
 
     /// Append a new column online (Section III-E: O((|P|+m)·|s|) for the

@@ -33,6 +33,12 @@ pub struct SearchStats {
     pub early_joinable: u64,
     /// Columns pruned mid-verification by Lemma 7.
     pub lemma7_pruned: u64,
+    /// Top-k search: columns eliminated by the cheap match-count upper
+    /// bound without any exact verification.
+    pub topk_pruned: u64,
+    /// Top-k search: exact per-column scans aborted early because the
+    /// column could no longer beat the adaptive k-th-best threshold.
+    pub topk_aborted: u64,
     /// Wall-clock time spent blocking (includes quick browsing).
     pub block_time: Duration,
     /// Wall-clock time spent verifying.
@@ -59,6 +65,8 @@ impl SearchStats {
         self.quick_browse_pairs += other.quick_browse_pairs;
         self.early_joinable += other.early_joinable;
         self.lemma7_pruned += other.lemma7_pruned;
+        self.topk_pruned += other.topk_pruned;
+        self.topk_aborted += other.topk_aborted;
         self.block_time += other.block_time;
         self.verify_time += other.verify_time;
         self.total_time += other.total_time;

@@ -180,6 +180,27 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "dimensionality must be positive")]
+    fn zero_dim_store_rejected() {
+        VectorStore::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality must be positive")]
+    fn zero_dim_with_capacity_rejected() {
+        VectorStore::with_capacity(0, 4);
+    }
+
+    #[test]
+    fn zero_dim_from_raw_rejected() {
+        // Even with empty data (0 is a multiple of everything), dim 0 is
+        // corrupt: it would make every length/index computation divide by
+        // zero downstream.
+        assert!(VectorStore::from_raw(0, vec![]).is_err());
+        assert!(VectorStore::from_raw(0, vec![1.0]).is_err());
+    }
+
+    #[test]
     fn non_finite_detection() {
         let mut s = VectorStore::new(2);
         s.push(&[1.0, 2.0]).unwrap();

@@ -37,13 +37,16 @@
 //! postings by column shard would remove the rescan if that ever
 //! dominates.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::ops::Range;
 
 use crate::block::BlockOutput;
 use crate::column::{ColumnId, ColumnSet};
 use crate::config::{ExecPolicy, LemmaFlags};
+use crate::cost::ColumnMatchBounds;
 use crate::exec;
-use crate::invindex::InvertedIndex;
+use crate::invindex::{CellPostings, InvertedIndex};
 use crate::lemmas;
 use crate::mapping::MappedVectors;
 use crate::metric::Metric;
@@ -284,6 +287,447 @@ fn shard_slot(col: u32, lo: usize, hi: usize) -> Option<usize> {
 #[inline]
 pub fn column_of(vec_col: &[u32], vid: u32) -> ColumnId {
     ColumnId(vec_col[vid as usize])
+}
+
+// ---------------------------------------------------------------------------
+// Top-k verification
+// ---------------------------------------------------------------------------
+
+/// Columns exactly verified per round of the best-first loop. Fixed (not
+/// derived from the thread count) so the adaptive threshold is frozen at
+/// identical points for every [`ExecPolicy`] — the batch is *what* gets
+/// verified, the policy only decides how many threads verify it.
+const TOPK_BATCH: usize = 16;
+
+/// Query-vector groups counted during the probe pass. The cheap bounds
+/// saturate on clustered lakes (every column reachable by every query
+/// vector), so a sliver of real evidence — the exact count over the first
+/// few query vectors — is what actually ranks strong columns first. The
+/// probed prefix is not re-scanned: exact verification resumes behind it.
+const TOPK_PROBE: usize = 2;
+
+/// Strict ranking of `(match count, column id)` entries: `a` outranks `b`
+/// iff it has more matches, or equally many and a smaller column id. This
+/// is the documented top-k tie-break, shared with the oracle.
+#[inline]
+pub(crate) fn beats(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// Heap entry ordered so the *worst* entry (fewest matches, then largest
+/// column id) surfaces at the top of the max-[`BinaryHeap`].
+#[derive(Debug, PartialEq, Eq)]
+struct WorstFirst(u32, u32);
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp(&self.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Verification plan of one column: its per-query-vector work, in query
+/// order. A *definite* group needs no distance work (a matching cell
+/// contained the column); a candidate group carries the cells' postings
+/// (and the column's slot within each) to scan until the first match.
+#[derive(Debug, Default)]
+struct ColumnPlan<'a> {
+    /// `(query vector, start into entries, definitely matched)`; group
+    /// `i`'s entries end where group `i + 1`'s start (or at the vec end).
+    groups: Vec<(u32, u32, bool)>,
+    /// `(candidate cell's postings, slot of this column within them)` —
+    /// the postings reference is resolved at plan time so the hot scan
+    /// never touches the cell hash map.
+    entries: Vec<(&'a CellPostings, u32)>,
+}
+
+/// Best-first top-k verification.
+///
+/// `bounds` is the cheap bracketing pass of
+/// [`crate::cost::column_match_bounds`] and `seed` the sound initial
+/// threshold of [`crate::cost::topk_seed`]. Columns are verified exactly
+/// in best-first order (probe evidence, then upper bound, then density),
+/// in fixed batches of [`TOPK_BATCH`]; after each batch the threshold is
+/// re-tightened to the current k-th best exact entry. Pruning never
+/// trusts the heuristic order: each column is skipped by its **own**
+/// upper bound ranking below the threshold, the loop stops outright only
+/// once the suffix maximum of the remaining upper bounds falls strictly
+/// below the threshold count, and an in-flight column aborts as soon as
+/// even matching every remaining query vector could not reach the
+/// threshold — the adaptive-T analogue of the Lemma 7 rule.
+///
+/// Returns the k best `(exact match count, column)` entries in rank
+/// order (count descending, then column id ascending). The result — and
+/// every counter in `stats` — is byte-identical for every policy:
+/// batches and their frozen thresholds are policy-independent, so the
+/// thread pool only changes wall-clock.
+pub fn verify_topk<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    blocked: &BlockOutput,
+    bounds: &ColumnMatchBounds,
+    seed: Option<(u32, u32)>,
+    k: usize,
+    stats: &mut SearchStats,
+    policy: ExecPolicy,
+) -> Vec<(u32, ColumnId)> {
+    let n_cols = ctx.columns.n_columns();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Survivors: live columns that can match at all and whose best case
+    // is not already below the seeded threshold.
+    let mut survivor = vec![false; n_cols];
+    let mut order: Vec<u32> = Vec::new();
+    for (c, alive) in survivor.iter_mut().enumerate() {
+        let ub = bounds.upper[c];
+        if ub == 0 {
+            continue; // unreachable by any query vector (or deleted)
+        }
+        if let Some(bar) = seed {
+            if beats(bar, (ub, c as u32)) {
+                stats.topk_pruned += 1;
+                continue;
+            }
+        }
+        *alive = true;
+        order.push(c as u32);
+    }
+    let plans = build_plans(ctx.inv, blocked, &survivor, ctx.query.len(), policy);
+
+    // Probe: when there are more candidates than slots, exactly count the
+    // first TOPK_PROBE query groups of every survivor. The bounds
+    // saturate on clustered data, so this sliver of evidence is what
+    // ranks genuinely joinable columns ahead of near-misses; exact
+    // verification later resumes where the probe stopped.
+    let mut probe_of = vec![0u32; n_cols];
+    let probed = order.len() > k;
+    if probed {
+        let shards = exec::map_ranges_min(policy, order.len(), 2, |r| {
+            let mut out = Vec::with_capacity(r.len());
+            for j in r {
+                let c = order[j];
+                let mut s = SearchStats::new();
+                let p = probe_column(ctx, &plans[c as usize], &mut s);
+                out.push((c, p, s));
+            }
+            out
+        });
+        for (c, p, s) in shards.into_iter().flatten() {
+            probe_of[c as usize] = p;
+            stats.merge(&s);
+        }
+    }
+
+    // Best-first order: strongest probe evidence first, then tightest
+    // upper bound, then densest column (most vectors inside the query's
+    // cells), then id. The order is a pure heuristic: any order yields
+    // the same result, only how early the threshold tightens changes —
+    // the pruning below never assumes anything about it.
+    order.sort_unstable_by(|&a, &b| {
+        let (a_idx, b_idx) = (a as usize, b as usize);
+        probe_of[b_idx]
+            .cmp(&probe_of[a_idx])
+            .then(bounds.upper[b_idx].cmp(&bounds.upper[a_idx]))
+            .then(bounds.weight[b_idx].cmp(&bounds.weight[a_idx]))
+            .then(a.cmp(&b))
+    });
+    // Largest upper bound among order[j..]: the sound whole-loop stopping
+    // rule (the order itself is probe-first, not upper-bound-descending,
+    // so one column's bound says nothing about its successors').
+    let mut suffix_max_ub = vec![0u32; order.len() + 1];
+    for j in (0..order.len()).rev() {
+        suffix_max_ub[j] = suffix_max_ub[j + 1].max(bounds.upper[order[j] as usize]);
+    }
+
+    let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+    let mut i = 0usize;
+    while i < order.len() {
+        // Threshold as of this batch: the stronger of the seed and the
+        // current k-th best exact entry. Frozen per batch so abort
+        // decisions never depend on scheduling.
+        let bar = effective_bar(&heap, seed, k);
+        // No remaining column can reach the bar count at all: stop.
+        if let Some((bc, _)) = bar {
+            if suffix_max_ub[i] < bc {
+                stats.topk_pruned += (order.len() - i) as u64;
+                break;
+            }
+        }
+        let end = (i + TOPK_BATCH).min(order.len());
+        // Keep only batch members whose own best case can still rank at
+        // or above the bar; the rest are pruned individually.
+        let mut batch: Vec<u32> = Vec::with_capacity(end - i);
+        for &c in &order[i..end] {
+            match bar {
+                Some(b) if beats(b, (bounds.upper[c as usize], c)) => stats.topk_pruned += 1,
+                _ => batch.push(c),
+            }
+        }
+        i = end;
+        if batch.is_empty() {
+            continue;
+        }
+        let shard_results = exec::map_ranges_min(policy, batch.len(), 2, |r| {
+            let mut out = Vec::with_capacity(r.len());
+            for j in r {
+                let c = batch[j];
+                debug_assert_eq!(
+                    plans[c as usize].groups.len(),
+                    bounds.upper[c as usize] as usize
+                );
+                let mut s = SearchStats::new();
+                let plan = &plans[c as usize];
+                let start_group = if probed {
+                    TOPK_PROBE.min(plan.groups.len())
+                } else {
+                    0
+                };
+                let cnt = verify_column_exact(
+                    ctx,
+                    plan,
+                    c,
+                    bar,
+                    start_group,
+                    probe_of[c as usize],
+                    &mut s,
+                );
+                out.push((c, cnt, s));
+            }
+            out
+        });
+        for (c, cnt, s) in shard_results.into_iter().flatten() {
+            stats.merge(&s);
+            match cnt {
+                Some(n) if n > 0 => {
+                    heap.push(WorstFirst(n, c));
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+                Some(_) => {}
+                None => stats.topk_aborted += 1,
+            }
+        }
+    }
+    let mut hits: Vec<(u32, ColumnId)> = heap
+        .into_iter()
+        .map(|WorstFirst(n, c)| (n, ColumnId(c)))
+        .collect();
+    hits.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    hits
+}
+
+/// The stronger of the seed threshold and the heap's k-th best entry.
+fn effective_bar(
+    heap: &BinaryHeap<WorstFirst>,
+    seed: Option<(u32, u32)>,
+    k: usize,
+) -> Option<(u32, u32)> {
+    let worst = if heap.len() >= k {
+        heap.peek().map(|w| (w.0, w.1))
+    } else {
+        None
+    };
+    match (seed, worst) {
+        (s, None) => s,
+        (None, w) => w,
+        (Some(s), Some(w)) => Some(if beats(s, w) { s } else { w }),
+    }
+}
+
+/// Does query group `gi` of this column's plan match (definite, or a
+/// candidate vector within τ)?
+#[inline]
+fn group_matches<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    plan: &ColumnPlan<'_>,
+    gi: usize,
+    stats: &mut SearchStats,
+) -> bool {
+    let (q, start, definite) = plan.groups[gi];
+    if definite {
+        return true;
+    }
+    let qm = ctx.query_mapped.get(q as usize);
+    let qv = ctx.query.get_raw(q as usize);
+    let end = plan
+        .groups
+        .get(gi + 1)
+        .map(|g| g.1)
+        .unwrap_or(plan.entries.len() as u32);
+    for &(postings, slot) in &plan.entries[start as usize..end as usize] {
+        for &vid in postings.vectors_of(slot as usize) {
+            let xm = ctx.rv_mapped.get(vid as usize);
+            if ctx.flags.lemma1_vector_filter && lemmas::lemma1_filter(qm, xm, ctx.tau) {
+                stats.lemma1_filtered += 1;
+                continue;
+            }
+            let is_match = if ctx.flags.lemma2_vector_match && lemmas::lemma2_match(qm, xm, ctx.tau)
+            {
+                stats.lemma2_matched += 1;
+                true
+            } else {
+                stats.distance_computations += 1;
+                let xv = ctx.columns.store().get_raw(vid as usize);
+                ctx.metric.dist_le(qv, xv, ctx.tau)
+            };
+            if is_match {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Exact match count over the first [`TOPK_PROBE`] query groups — the
+/// ordering evidence, never used for pruning.
+fn probe_column<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    plan: &ColumnPlan<'_>,
+    stats: &mut SearchStats,
+) -> u32 {
+    let upto = TOPK_PROBE.min(plan.groups.len());
+    (0..upto)
+        .filter(|&gi| group_matches(ctx, plan, gi, stats))
+        .count() as u32
+}
+
+/// Exact match count of one column, resuming behind an already-counted
+/// probe prefix (`start_group` groups contributing `start_count`
+/// matches), or `None` once even matching every remaining query vector
+/// could not lift the column's entry to the bar. `None` is returned only
+/// from a genuine mid-scan exit — a fully-scanned column always yields
+/// its exact `Some(count)`, even when that count misses the bar (the
+/// heap push/pop discards it; `topk_aborted` stays an honest count of
+/// scans that actually terminated early).
+fn verify_column_exact<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    plan: &ColumnPlan<'_>,
+    col: u32,
+    bar: Option<(u32, u32)>,
+    start_group: usize,
+    start_count: u32,
+    stats: &mut SearchStats,
+) -> Option<u32> {
+    // Smallest count whose entry does not rank strictly below the bar
+    // (the bar's own column may tie it; larger ids must exceed it).
+    let needed = match bar {
+        None => 1,
+        Some((bc, bcol)) => {
+            if col <= bcol {
+                bc.max(1)
+            } else {
+                bc + 1
+            }
+        }
+    };
+    let mut remaining = (plan.groups.len() - start_group) as u32;
+    let mut count = start_count;
+    for gi in start_group..plan.groups.len() {
+        if count + remaining < needed {
+            return None;
+        }
+        remaining -= 1;
+        if group_matches(ctx, plan, gi, stats) {
+            count += 1;
+        }
+    }
+    Some(count)
+}
+
+/// Build the per-column verification plans for the surviving columns in
+/// one walk over the blocked pairs, sharded by column range (plan content
+/// is independent of the sharding).
+///
+/// This walk deliberately mirrors [`crate::cost::bounds_range`]'s cursor
+/// and stamp structure rather than sharing it: the bounds pass must run
+/// *first* over every column so its seed can shrink the survivor set,
+/// while this pass allocates plan storage only for the survivors — the
+/// two passes must stay in lockstep (`groups.len() == bounds.upper[c]`
+/// for every survivor, asserted at verification time).
+fn build_plans<'a>(
+    inv: &'a InvertedIndex,
+    blocked: &BlockOutput,
+    survivor: &[bool],
+    n_q: usize,
+    policy: ExecPolicy,
+) -> Vec<ColumnPlan<'a>> {
+    let n_cols = survivor.len();
+    let shards = exec::map_ranges_min(policy, n_cols, 2, |cols| {
+        plans_range(inv, blocked, survivor, cols, n_q)
+    });
+    shards.into_iter().flatten().collect()
+}
+
+/// The plan-building walk restricted to columns in `cols`.
+fn plans_range<'a>(
+    inv: &'a InvertedIndex,
+    blocked: &BlockOutput,
+    survivor: &[bool],
+    cols: Range<usize>,
+    n_q: usize,
+) -> Vec<ColumnPlan<'a>> {
+    let (lo, hi) = (cols.start, cols.end);
+    let width = hi - lo;
+    let mut plans: Vec<ColumnPlan> = (0..width).map(|_| ColumnPlan::default()).collect();
+    let mut def_stamp = vec![0u32; width];
+    let mut any_stamp = vec![0u32; width];
+    let mut mi = 0usize;
+    let mut ci = 0usize;
+    for q in 0..n_q as u32 {
+        let gen = q + 1;
+        if mi < blocked.matching.len() && blocked.matching[mi].0 == q {
+            for &cell in &blocked.matching[mi].1 {
+                let Some(postings) = inv.postings(cell) else {
+                    continue;
+                };
+                for &col in &postings.cols {
+                    let c = col as usize;
+                    if c < lo || c >= hi || !survivor[c] {
+                        continue;
+                    }
+                    let s = c - lo;
+                    if def_stamp[s] != gen {
+                        def_stamp[s] = gen;
+                        any_stamp[s] = gen;
+                        let start = plans[s].entries.len() as u32;
+                        plans[s].groups.push((q, start, true));
+                    }
+                }
+            }
+            mi += 1;
+        }
+        if ci < blocked.candidates.len() && blocked.candidates[ci].0 == q {
+            for &cell in &blocked.candidates[ci].1 {
+                let Some(postings) = inv.postings(cell) else {
+                    continue;
+                };
+                for (slot, &col) in postings.cols.iter().enumerate() {
+                    let c = col as usize;
+                    if c < lo || c >= hi || !survivor[c] {
+                        continue;
+                    }
+                    let s = c - lo;
+                    if def_stamp[s] == gen {
+                        continue; // already a definite match for this q
+                    }
+                    if any_stamp[s] != gen {
+                        any_stamp[s] = gen;
+                        let start = plans[s].entries.len() as u32;
+                        plans[s].groups.push((q, start, false));
+                    }
+                    plans[s].entries.push((postings, slot as u32));
+                }
+            }
+            ci += 1;
+        }
+    }
+    plans
 }
 
 #[cfg(test)]
@@ -556,6 +1000,265 @@ mod tests {
             "lemma1 should not increase distance computations: {} vs {}",
             with_l1.distance_computations,
             without_l1.distance_computations
+        );
+    }
+
+    /// Full small-pipeline scaffolding for the top-k tests: grids,
+    /// inverted index, blocked pairs and a ready [`VerifyContext`] input.
+    struct TopkSetup {
+        columns: ColumnSet,
+        query: VectorStore,
+        rv_mapped: MappedVectors,
+        q_mapped: MappedVectors,
+        vec_col: Vec<u32>,
+        inv: InvertedIndex,
+        blocked: BlockOutput,
+        tau: f32,
+    }
+
+    fn topk_setup(seed: u64, tau: f32) -> TopkSetup {
+        let (query, columns) = random_instance(seed, 14, 22, 9);
+        let metric = Euclidean;
+        let pivots: Vec<Vec<f32>> = (0..3)
+            .map(|i| {
+                columns
+                    .store()
+                    .get_raw(i * 7 % columns.n_vectors())
+                    .to_vec()
+            })
+            .collect();
+        let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+        let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+        let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+        let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+        let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+        let vec_col = columns.vector_to_column();
+        let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+        let mut stats = SearchStats::new();
+        let mut seeded = FastMap::default();
+        let handled = quick_browse(&hgq, &inv, &mut seeded, &mut stats);
+        let blocked = block(
+            &hgq,
+            &hgrv,
+            &q_mapped,
+            tau,
+            LemmaFlags::all(),
+            Some(&handled),
+            seeded,
+            &mut stats,
+        );
+        TopkSetup {
+            columns,
+            query,
+            rv_mapped,
+            q_mapped,
+            vec_col,
+            inv,
+            blocked,
+            tau,
+        }
+    }
+
+    fn naive_counts(s: &TopkSetup) -> Vec<u32> {
+        s.columns
+            .columns()
+            .iter()
+            .map(|col| {
+                s.query
+                    .iter()
+                    .filter(|q| {
+                        col.vector_range().any(|v| {
+                            Euclidean.dist(q, s.columns.store().get_raw(v as usize)) <= s.tau
+                        })
+                    })
+                    .count() as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn column_bounds_bracket_exact_counts() {
+        for seed in 0..4u64 {
+            for tau in [0.2f32, 0.5, 0.9] {
+                let s = topk_setup(seed, tau);
+                let exact = naive_counts(&s);
+                let bounds = crate::cost::column_match_bounds(
+                    &s.blocked,
+                    &s.inv,
+                    s.columns.n_columns(),
+                    s.query.len(),
+                    None,
+                    crate::config::ExecPolicy::Sequential,
+                );
+                for (c, &cnt) in exact.iter().enumerate() {
+                    assert!(
+                        bounds.lower[c] <= cnt && cnt <= bounds.upper[c],
+                        "seed={seed} tau={tau} col={c}: {} <= {cnt} <= {} violated",
+                        bounds.lower[c],
+                        bounds.upper[c]
+                    );
+                }
+                for threads in [2usize, 5, 32] {
+                    let par = crate::cost::column_match_bounds(
+                        &s.blocked,
+                        &s.inv,
+                        s.columns.n_columns(),
+                        s.query.len(),
+                        None,
+                        crate::config::ExecPolicy::Parallel { threads },
+                    );
+                    assert_eq!(bounds, par, "seed={seed} tau={tau} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_topk_equals_exhaustive_ranking_for_every_policy() {
+        for seed in 0..4u64 {
+            for tau in [0.15f32, 0.4, 0.8] {
+                let s = topk_setup(seed * 3 + 1, tau);
+                let exact = naive_counts(&s);
+                let n_cols = s.columns.n_columns();
+                let ctx = VerifyContext {
+                    columns: &s.columns,
+                    vec_col: &s.vec_col,
+                    rv_mapped: &s.rv_mapped,
+                    inv: &s.inv,
+                    metric: &Euclidean,
+                    query: &s.query,
+                    query_mapped: &s.q_mapped,
+                    tau: s.tau,
+                    t_abs: s.query.len() + 1,
+                    flags: LemmaFlags::all(),
+                    deleted: None,
+                };
+                let bounds = crate::cost::column_match_bounds(
+                    &s.blocked,
+                    &s.inv,
+                    n_cols,
+                    s.query.len(),
+                    None,
+                    crate::config::ExecPolicy::Sequential,
+                );
+                for k in [0usize, 1, 2, 5, n_cols, n_cols * 3] {
+                    let seed_bar = crate::cost::topk_seed(&bounds, k);
+                    let expected: Vec<(u32, ColumnId)> = {
+                        let mut ranked: Vec<(u32, ColumnId)> = exact
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &cnt)| cnt > 0)
+                            .map(|(c, &cnt)| (cnt, ColumnId(c as u32)))
+                            .collect();
+                        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                        ranked.truncate(k);
+                        ranked
+                    };
+                    let mut seq_stats = SearchStats::new();
+                    let seq = verify_topk(
+                        &ctx,
+                        &s.blocked,
+                        &bounds,
+                        seed_bar,
+                        k,
+                        &mut seq_stats,
+                        crate::config::ExecPolicy::Sequential,
+                    );
+                    assert_eq!(seq, expected, "seed={seed} tau={tau} k={k}");
+                    for threads in [2usize, 4, 16] {
+                        let mut par_stats = SearchStats::new();
+                        let par = verify_topk(
+                            &ctx,
+                            &s.blocked,
+                            &bounds,
+                            seed_bar,
+                            k,
+                            &mut par_stats,
+                            crate::config::ExecPolicy::Parallel { threads },
+                        );
+                        assert_eq!(seq, par, "threads={threads} seed={seed} tau={tau} k={k}");
+                        assert_eq!(
+                            seq_stats.distance_computations, par_stats.distance_computations,
+                            "topk distance counter diverged (threads={threads})"
+                        );
+                        assert_eq!(seq_stats.topk_pruned, par_stats.topk_pruned);
+                        assert_eq!(seq_stats.topk_aborted, par_stats.topk_aborted);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_topk_prunes_on_skewed_instances() {
+        // Skewed lake: 40 random columns plus one mirror of the query
+        // column. With k = 1 the mirror fills the heap at |Q| matches in
+        // the first batch and every later column's upper bound falls
+        // below the tightened threshold — the batches after the first
+        // must be pruned wholesale, never exactly verified.
+        let (query, mut columns) = random_instance(3, 40, 15, 9);
+        let q_refs: Vec<&[f32]> = (0..query.len()).map(|i| query.get_raw(i)).collect();
+        columns.add_column("t", "mirror", 40, q_refs).unwrap();
+        let metric = Euclidean;
+        let pivots: Vec<Vec<f32>> = (0..3)
+            .map(|i| columns.store().get_raw(i * 11).to_vec())
+            .collect();
+        let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+        let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+        let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+        let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+        let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+        let vec_col = columns.vector_to_column();
+        let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+        let tau = 0.05f32;
+        let mut stats = SearchStats::new();
+        let mut seeded = FastMap::default();
+        let handled = quick_browse(&hgq, &inv, &mut seeded, &mut stats);
+        let blocked = block(
+            &hgq,
+            &hgrv,
+            &q_mapped,
+            tau,
+            LemmaFlags::all(),
+            Some(&handled),
+            seeded,
+            &mut stats,
+        );
+        let ctx = VerifyContext {
+            columns: &columns,
+            vec_col: &vec_col,
+            rv_mapped: &rv_mapped,
+            inv: &inv,
+            metric: &metric,
+            query: &query,
+            query_mapped: &q_mapped,
+            tau,
+            t_abs: query.len() + 1,
+            flags: LemmaFlags::all(),
+            deleted: None,
+        };
+        let bounds = crate::cost::column_match_bounds(
+            &blocked,
+            &inv,
+            columns.n_columns(),
+            query.len(),
+            None,
+            crate::config::ExecPolicy::Sequential,
+        );
+        let seed_bar = crate::cost::topk_seed(&bounds, 1);
+        let hits = verify_topk(
+            &ctx,
+            &blocked,
+            &bounds,
+            seed_bar,
+            1,
+            &mut stats,
+            crate::config::ExecPolicy::Sequential,
+        );
+        assert_eq!(hits, vec![(query.len() as u32, ColumnId(40))]);
+        assert!(
+            stats.topk_pruned > 0 || stats.topk_aborted > 0,
+            "adaptive threshold never pruned anything: {stats:?}"
         );
     }
 

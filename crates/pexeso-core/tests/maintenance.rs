@@ -173,11 +173,13 @@ fn topk_matches_naive_ranking() {
 }
 
 #[test]
-fn topk_rejects_bad_inputs() {
+fn topk_edge_inputs() {
     let columns = make_columns(8, 3, 5, 1);
     let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
     let q = query(8, 3, 2);
-    assert!(index.search_topk(&q, Tau::Ratio(0.1), 0).is_err());
+    // k = 0 is a valid request for an empty ranking, not an error.
+    let r = index.search_topk(&q, Tau::Ratio(0.1), 0).unwrap();
+    assert!(r.hits.is_empty());
     let empty = VectorStore::new(8);
     assert!(index.search_topk(&empty, Tau::Ratio(0.1), 3).is_err());
 }

@@ -140,6 +140,106 @@ proptest! {
         prop_assert_eq!(a.hits, b.hits);
     }
 
+    /// Top-k invariants, with the brute-force oracle supplying exact
+    /// per-column scores:
+    ///
+    /// * the result is sorted by count descending, column id ascending;
+    /// * at most `k` hits, all with positive *exact* counts;
+    /// * the k-th (worst returned) entry outranks every excluded column;
+    /// * growing k only appends: `topk(k)` is a prefix of `topk(k + 1)`.
+    #[test]
+    fn topk_invariants(seed in 0u64..400, k in 0usize..14, tau_r in 0.05f32..0.6) {
+        use pexeso_core::prelude::*;
+        use pexeso_core::oracle;
+        let dim = 8;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..9 {
+            let vecs: Vec<Vec<f32>> = (0..10).map(|i| unit_vec(dim, seed * 131 + c * 17 + i)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for i in 0..6 {
+            query.push(&unit_vec(dim, seed * 13 + 1000 + i)).unwrap();
+        }
+        let index = PexesoIndex::build(
+            columns.clone(),
+            Euclidean,
+            IndexOptions { num_pivots: 3, levels: Some(3), ..Default::default() },
+        ).unwrap();
+        let tau = Tau::Ratio(tau_r);
+        let exact = oracle::match_counts(&columns, &Euclidean, &query, tau, None).unwrap();
+        let res = index.search_topk(&query, tau, k).unwrap();
+
+        prop_assert!(res.hits.len() <= k);
+        for w in res.hits.windows(2) {
+            prop_assert!(
+                w[0].match_count > w[1].match_count
+                    || (w[0].match_count == w[1].match_count && w[0].column < w[1].column),
+                "not in rank order: {:?}", res.hits
+            );
+        }
+        for h in &res.hits {
+            prop_assert!(h.match_count > 0);
+            prop_assert_eq!(h.match_count, exact[h.column.0 as usize], "count not exact");
+        }
+        let included: Vec<u32> = res.hits.iter().map(|h| h.column.0).collect();
+        if res.hits.len() == k {
+            if let Some(last) = res.hits.last() {
+                for (c, &cnt) in exact.iter().enumerate() {
+                    if cnt > 0 && !included.contains(&(c as u32)) {
+                        prop_assert!(
+                            last.match_count > cnt
+                                || (last.match_count == cnt && last.column.0 < c as u32),
+                            "excluded column {c} (count {cnt}) outranks the k-th hit {last:?}"
+                        );
+                    }
+                }
+            }
+        } else {
+            // Fewer than k hits: every positive column must be included.
+            let positive = exact.iter().filter(|&&c| c > 0).count();
+            prop_assert_eq!(res.hits.len(), positive);
+        }
+        let bigger = index.search_topk(&query, tau, k + 1).unwrap();
+        prop_assert_eq!(
+            &res.hits[..],
+            &bigger.hits[..res.hits.len().min(bigger.hits.len())],
+            "topk({}) is not a prefix of topk({})", k, k + 1
+        );
+    }
+
+    /// Threshold monotonicity: raising T (or shrinking τ) can only shrink
+    /// the answer set, and every T-answer is a subset of the T = 1 answer.
+    #[test]
+    fn threshold_search_monotone_in_t_and_tau(seed in 0u64..400, t_lo in 0.1f64..0.5, dt in 0.0f64..0.5) {
+        use pexeso_core::prelude::*;
+        let dim = 8;
+        let mut columns = ColumnSet::new(dim);
+        for c in 0..8 {
+            let vecs: Vec<Vec<f32>> = (0..10).map(|i| unit_vec(dim, seed * 97 + c * 29 + i)).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            columns.add_column("t", &format!("c{c}"), c, refs).unwrap();
+        }
+        let mut query = VectorStore::new(dim);
+        for i in 0..6 {
+            query.push(&unit_vec(dim, seed * 11 + 500 + i)).unwrap();
+        }
+        let index = PexesoIndex::build(
+            columns,
+            Euclidean,
+            IndexOptions { num_pivots: 3, levels: Some(3), ..Default::default() },
+        ).unwrap();
+        let tau = Tau::Ratio(0.3);
+        let t_hi = (t_lo + dt).min(1.0);
+        let ids = |r: &SearchResult| r.hits.iter().map(|h| h.column.0).collect::<Vec<u32>>();
+        let lo = ids(&index.search(&query, tau, JoinThreshold::Ratio(t_lo)).unwrap());
+        let hi = ids(&index.search(&query, tau, JoinThreshold::Ratio(t_hi)).unwrap());
+        prop_assert!(hi.iter().all(|c| lo.contains(c)), "T↑ grew the answer set");
+        let tight = ids(&index.search(&query, Tau::Ratio(0.1), JoinThreshold::Ratio(t_lo)).unwrap());
+        prop_assert!(tight.iter().all(|c| lo.contains(c)), "τ↓ grew the answer set");
+    }
+
     /// Mapping then measuring max_coord never exceeds the metric bound for
     /// unit vectors.
     #[test]

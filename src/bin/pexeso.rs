@@ -211,32 +211,18 @@ fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
     let (values, embedder) = load_query(flags, dim)?;
     let query = embed_query(&embedder, &values);
 
-    // Top-k needs exact counts per partition, then a global merge.
+    // Per-partition exact top-k, merged globally (count descending,
+    // external id ascending) by the lake.
     let lake = PartitionedLake::open(&index_dir).map_err(|e| e.to_string())?;
-    let mut all: Vec<GlobalHit> = Vec::new();
-    for i in 0..lake.num_partitions() {
-        let index = lake
-            .load_partition(i, Euclidean)
-            .map_err(|e| e.to_string())?;
-        let result = index
-            .search_topk(query.store(), Tau::Ratio(tau), k)
-            .map_err(|e| e.to_string())?;
-        for h in result.hits {
-            let meta = index.columns().column(h.column);
-            all.push(GlobalHit {
-                external_id: meta.external_id,
-                table_name: meta.table_name.clone(),
-                column_name: meta.column_name.clone(),
-                match_count: h.match_count,
-            });
-        }
-    }
-    all.sort_by(|a, b| {
-        b.match_count
-            .cmp(&a.match_count)
-            .then(a.external_id.cmp(&b.external_id))
-    });
-    all.truncate(k);
+    let (all, _stats) = lake
+        .search_topk(
+            Euclidean,
+            query.store(),
+            Tau::Ratio(tau),
+            k,
+            SearchOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
     println!("\ntop-{k} joinable columns (tau={tau}):");
     for h in all {
         println!(

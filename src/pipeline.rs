@@ -245,6 +245,29 @@ pub fn search_many_queries<M: Metric>(
     Ok(embedded.into_iter().zip(results).collect())
 }
 
+/// Batched multi-user top-k entry point: embed many string query columns
+/// and rank each one's `k` best join candidates against one index —
+/// [`search_many_queries`]' ranking twin for users who have no good `T`
+/// in mind. `results[i]` pairs with `query_columns[i]` and is exactly
+/// what per-query [`PexesoIndex::search_topk_with`] returns.
+pub fn search_topk_queries<M: Metric>(
+    index: &PexesoIndex<M>,
+    embedder: &dyn Embedder,
+    query_columns: &[Vec<String>],
+    tau: Tau,
+    k: usize,
+    opts: SearchOptions,
+    policy: ExecPolicy,
+) -> Result<Vec<(EmbeddedQuery, SearchResult)>> {
+    let embedded: Vec<EmbeddedQuery> = query_columns
+        .iter()
+        .map(|values| embed_query(embedder, values))
+        .collect();
+    let stores: Vec<&VectorStore> = embedded.iter().map(|q| &q.store).collect();
+    let results = index.search_topk_many(&stores, tau, k, opts, policy)?;
+    Ok(embedded.into_iter().zip(results).collect())
+}
+
 /// Resolve search hits into the record-level [`JoinMapping`] the paper
 /// presents with each result (and which the ML augmentation consumes).
 pub fn join_mapping<M: Metric>(

@@ -1,0 +1,498 @@
+//! Differential suite: every search mode against the brute-force oracle.
+//!
+//! `pexeso_core::oracle` is an independent O(|Q|·|R|) matcher with no
+//! pivots, grids, lemmas, kernels, or early termination. This suite pins
+//! the accelerated paths — threshold search, batched search, best-first
+//! top-k, exhaustive top-k, and out-of-core search — against it on
+//! randomized workloads across metrics, thresholds, k values, and both
+//! [`ExecPolicy`] variants. Unlike `tests/exactness.rs` (which pins
+//! Parallel ≡ Sequential and index ≡ naive-with-the-same-kernels), the
+//! oracle shares *nothing* with the code under test, so a bug in the
+//! shared machinery cannot cancel out of the comparison.
+
+use pexeso::core::config::PivotSelection;
+use pexeso::core::oracle;
+use pexeso::prelude::*;
+
+/// Build a unit-normalised random repository + query from a seed.
+fn instance(
+    seed: u64,
+    n_cols: usize,
+    col_len: usize,
+    nq: usize,
+    dim: usize,
+) -> (ColumnSet, VectorStore) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let unit = |rng: &mut StdRng| {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+        v
+    };
+    let mut columns = ColumnSet::new(dim);
+    for c in 0..n_cols {
+        let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column("t", &format!("c{c}"), c as u64, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(dim);
+    for _ in 0..nq {
+        let v = unit(&mut rng);
+        query.push(&v).unwrap();
+    }
+    (columns, query)
+}
+
+fn build<M: Metric>(columns: ColumnSet, metric: M, pivots: usize, levels: usize) -> PexesoIndex<M> {
+    PexesoIndex::build(
+        columns,
+        metric,
+        IndexOptions {
+            num_pivots: pivots,
+            levels: Some(levels),
+            pivot_selection: PivotSelection::Pca,
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn pairs(hits: &[SearchHit]) -> Vec<(u32, u32)> {
+    hits.iter().map(|h| (h.column.0, h.match_count)).collect()
+}
+
+const POLICIES: [ExecPolicy; 2] = [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }];
+
+/// Threshold search (and its batched form) equals the oracle: same
+/// columns, in ascending id order, for several metrics, τ, T, and both
+/// execution policies. Match counts are lower bounds under early
+/// termination, so only the id sets are compared here.
+fn check_threshold<M: Metric>(metric: M, seed: u64) {
+    let (columns, query) = instance(seed, 14, 20, 9, 12);
+    let index = build(columns.clone(), metric.clone(), 4, 4);
+    for tau in [Tau::Ratio(0.05), Tau::Ratio(0.2), Tau::Ratio(0.5)] {
+        for t in [
+            JoinThreshold::Count(1),
+            JoinThreshold::Ratio(0.4),
+            JoinThreshold::Ratio(1.0),
+        ] {
+            let expected: Vec<u32> =
+                oracle::threshold_search(&columns, &metric, &query, tau, t, None)
+                    .unwrap()
+                    .iter()
+                    .map(|h| h.column.0)
+                    .collect();
+            for policy in POLICIES {
+                let opts = SearchOptions {
+                    exec: policy,
+                    ..Default::default()
+                };
+                let got: Vec<u32> = index
+                    .search_with(&query, tau, t, opts)
+                    .unwrap()
+                    .hits
+                    .iter()
+                    .map(|h| h.column.0)
+                    .collect();
+                assert_eq!(
+                    got,
+                    expected,
+                    "metric={} seed={seed} tau={tau:?} t={t:?} policy={policy:?}",
+                    metric.name()
+                );
+                let batched = index
+                    .search_many(&[&query, &query], tau, t, opts, policy)
+                    .unwrap();
+                for r in batched {
+                    let ids: Vec<u32> = r.hits.iter().map(|h| h.column.0).collect();
+                    assert_eq!(ids, expected, "search_many diverged (policy={policy:?})");
+                }
+            }
+        }
+    }
+}
+
+/// Top-k equals the oracle exactly — same columns, same exact counts,
+/// same order under the documented tie-break — for several metrics, τ,
+/// k, and both execution policies; the exhaustive baseline and the
+/// batched form must agree too.
+fn check_topk<M: Metric>(metric: M, seed: u64) {
+    let (columns, query) = instance(seed, 14, 20, 9, 12);
+    let n_cols = columns.n_columns();
+    let index = build(columns.clone(), metric.clone(), 4, 4);
+    for tau in [Tau::Ratio(0.1), Tau::Ratio(0.3), Tau::Ratio(0.6)] {
+        for k in [0usize, 1, 3, 7, n_cols, n_cols * 2] {
+            let expected = pairs(&oracle::topk(&columns, &metric, &query, tau, k, None).unwrap());
+            let exhaustive = pairs(&index.search_topk_exhaustive(&query, tau, k).unwrap().hits);
+            assert_eq!(
+                exhaustive,
+                expected,
+                "exhaustive top-k vs oracle (metric={} seed={seed} tau={tau:?} k={k})",
+                metric.name()
+            );
+            for policy in POLICIES {
+                let opts = SearchOptions {
+                    exec: policy,
+                    ..Default::default()
+                };
+                let got = pairs(&index.search_topk_with(&query, tau, k, opts).unwrap().hits);
+                assert_eq!(
+                    got,
+                    expected,
+                    "best-first top-k vs oracle (metric={} seed={seed} tau={tau:?} k={k} \
+                     policy={policy:?})",
+                    metric.name()
+                );
+                let batched = index
+                    .search_topk_many(&[&query, &query], tau, k, opts, policy)
+                    .unwrap();
+                for r in batched {
+                    assert_eq!(
+                        pairs(&r.hits),
+                        expected,
+                        "search_topk_many diverged (policy={policy:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threshold_search_matches_oracle_euclidean() {
+    for seed in [1u64, 2, 3] {
+        check_threshold(Euclidean, seed);
+    }
+}
+
+#[test]
+fn threshold_search_matches_oracle_manhattan() {
+    check_threshold(Manhattan, 4);
+}
+
+#[test]
+fn threshold_search_matches_oracle_chebyshev() {
+    check_threshold(Chebyshev, 5);
+}
+
+#[test]
+fn topk_matches_oracle_euclidean() {
+    for seed in [1u64, 2, 3] {
+        check_topk(Euclidean, seed);
+    }
+}
+
+#[test]
+fn topk_matches_oracle_manhattan() {
+    check_topk(Manhattan, 4);
+}
+
+#[test]
+fn topk_matches_oracle_chebyshev() {
+    check_topk(Chebyshev, 5);
+}
+
+/// Lemma ablations and quick-browse off must not change the top-k answer.
+#[test]
+fn topk_matches_oracle_under_ablations() {
+    let (columns, query) = instance(6, 12, 18, 8, 10);
+    let index = build(columns.clone(), Euclidean, 3, 4);
+    let tau = Tau::Ratio(0.25);
+    let expected = pairs(&oracle::topk(&columns, &Euclidean, &query, tau, 5, None).unwrap());
+    for flags in [
+        LemmaFlags::all(),
+        LemmaFlags::without_lemma1(),
+        LemmaFlags::without_lemma2(),
+        LemmaFlags::without_lemma34(),
+        LemmaFlags::without_lemma56(),
+    ] {
+        for quick_browse in [true, false] {
+            let opts = SearchOptions {
+                flags,
+                quick_browse,
+                ..Default::default()
+            };
+            let got = pairs(&index.search_topk_with(&query, tau, 5, opts).unwrap().hits);
+            assert_eq!(got, expected, "flags={flags:?} quick_browse={quick_browse}");
+        }
+    }
+}
+
+/// Duplicate columns produce identical scores; the tie-break (ascending
+/// column id) must order them deterministically in every mode.
+#[test]
+fn duplicate_columns_tie_break_deterministically() {
+    let (mut columns, query) = instance(7, 6, 15, 8, 10);
+    // Clone column 2's vectors twice: three columns with identical scores.
+    let dup: Vec<Vec<f32>> = columns
+        .column(ColumnId(2))
+        .vector_range()
+        .map(|v| columns.store().get_raw(v as usize).to_vec())
+        .collect();
+    for (name, ext) in [("dup_a", 6u64), ("dup_b", 7)] {
+        let refs: Vec<&[f32]> = dup.iter().map(|v| v.as_slice()).collect();
+        columns.add_column("t", name, ext, refs).unwrap();
+    }
+    let index = build(columns.clone(), Euclidean, 3, 4);
+    let tau = Tau::Ratio(0.4);
+    let expected =
+        pairs(&oracle::topk(&columns, &Euclidean, &query, tau, columns.n_columns(), None).unwrap());
+    // The three duplicates must appear with equal counts, ids ascending.
+    let c2 = expected.iter().position(|&(c, _)| c == 2).unwrap();
+    let c6 = expected.iter().position(|&(c, _)| c == 6).unwrap();
+    let c7 = expected.iter().position(|&(c, _)| c == 7).unwrap();
+    assert_eq!(expected[c2].1, expected[c6].1);
+    assert_eq!(expected[c6].1, expected[c7].1);
+    assert!(c2 < c6 && c6 < c7, "tie-break must order by ascending id");
+    for policy in POLICIES {
+        let opts = SearchOptions {
+            exec: policy,
+            ..Default::default()
+        };
+        let got = pairs(
+            &index
+                .search_topk_with(&query, tau, columns.n_columns(), opts)
+                .unwrap()
+                .hits,
+        );
+        assert_eq!(got, expected, "policy={policy:?}");
+    }
+}
+
+/// Deleted columns disappear from top-k exactly like an oracle over the
+/// masked repository.
+#[test]
+fn topk_respects_deletions() {
+    let (columns, query) = instance(8, 10, 15, 8, 10);
+    let mut index = build(columns.clone(), Euclidean, 3, 4);
+    let tau = Tau::Ratio(0.3);
+    let full = index.search_topk(&query, tau, 5).unwrap();
+    assert!(!full.hits.is_empty(), "need a hit to delete");
+    let victim = full.hits[0].column;
+    index.remove_column(victim).unwrap();
+    let mut deleted = vec![false; columns.n_columns()];
+    deleted[victim.0 as usize] = true;
+    let expected =
+        pairs(&oracle::topk(&columns, &Euclidean, &query, tau, 5, Some(&deleted)).unwrap());
+    let got = pairs(&index.search_topk(&query, tau, 5).unwrap().hits);
+    assert_eq!(got, expected);
+}
+
+/// Out-of-core threshold and top-k search equal the oracle on external
+/// ids, for both execution policies.
+#[test]
+fn out_of_core_matches_oracle() {
+    use pexeso::core::partition::PartitionMethod;
+    let (columns, query) = instance(9, 16, 18, 8, 10);
+    let dir = std::env::temp_dir().join(format!("pexeso_diff_ooc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let lake = PartitionedLake::build(
+        &columns,
+        Euclidean,
+        &PartitionConfig {
+            k: 3,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
+        &IndexOptions {
+            num_pivots: 3,
+            levels: Some(3),
+            pivot_selection: PivotSelection::Pca,
+            seed: 7,
+            ..Default::default()
+        },
+        &dir,
+    )
+    .unwrap();
+    assert!(
+        lake.num_partitions() > 1,
+        "want a real multi-partition merge"
+    );
+    let tau = Tau::Ratio(0.25);
+
+    // Threshold form: ascending external id.
+    let t = JoinThreshold::Ratio(0.3);
+    let expected_ids: Vec<u64> =
+        oracle::threshold_search(&columns, &Euclidean, &query, tau, t, None)
+            .unwrap()
+            .iter()
+            .map(|h| h.column.0 as u64)
+            .collect();
+    // Top-k form: count descending, external id ascending. External ids
+    // equal the original column ids here, so the oracle ranking carries
+    // over unchanged.
+    let expected_topk: Vec<(u64, u32)> = oracle::topk(&columns, &Euclidean, &query, tau, 6, None)
+        .unwrap()
+        .iter()
+        .map(|h| (h.column.0 as u64, h.match_count))
+        .collect();
+    for policy in POLICIES {
+        let (hits, _) = lake
+            .search_with_policy(Euclidean, &query, tau, t, SearchOptions::default(), policy)
+            .unwrap();
+        let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
+        assert_eq!(
+            got, expected_ids,
+            "out-of-core threshold (policy={policy:?})"
+        );
+
+        let (top, _) = lake
+            .search_topk_with_policy(Euclidean, &query, tau, 6, SearchOptions::default(), policy)
+            .unwrap();
+        let got: Vec<(u64, u32)> = top.iter().map(|h| (h.external_id, h.match_count)).collect();
+        assert_eq!(got, expected_topk, "out-of-core top-k (policy={policy:?})");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Adversarial ordering: a column whose first few reachable query
+/// vectors are *near misses* (so the probe scores it 0) but which
+/// matches many later query vectors must still win — pruning may never
+/// trust the best-first heuristic order. Seventeen decoy columns match
+/// only the first two query vectors (strong probes, small upper bounds),
+/// pushing the strong column past the first verification batch with a
+/// tightened threshold in force.
+#[test]
+fn weak_probe_high_count_column_is_not_pruned() {
+    let dim = 4;
+    // Points on a unit circle: chord distance between v(a) and v(b) is
+    // 2·sin(|a−b|/2) ≈ |a−b| for small angles.
+    let v = |theta: f32| vec![theta.cos(), theta.sin(), 0.0, 0.0];
+    let mut query = VectorStore::new(dim);
+    for i in 0..12 {
+        query.push(&v(0.5 * i as f32)).unwrap();
+    }
+    let mut columns = ColumnSet::new(dim);
+    // Decoys 0..=16: exact copies of q0 and q1 only (count 2, probe 2).
+    for c in 0..17u64 {
+        let vecs = [v(0.0), v(0.5)];
+        let refs: Vec<&[f32]> = vecs.iter().map(|x| x.as_slice()).collect();
+        columns
+            .add_column("t", &format!("decoy{c}"), c, refs)
+            .unwrap();
+    }
+    // Strong column 17: near misses for q0/q1 (chord ≈ 0.15 > τ = 0.1,
+    // close enough to stay blocked as candidates) plus exact matches for
+    // q2..=q11 (count 10, probe 0).
+    let mut strong = vec![v(0.15), v(0.65)];
+    for i in 2..12 {
+        strong.push(v(0.5 * i as f32));
+    }
+    let refs: Vec<&[f32]> = strong.iter().map(|x| x.as_slice()).collect();
+    columns.add_column("t", "strong", 17, refs).unwrap();
+
+    let index = build(columns.clone(), Euclidean, 3, 2);
+    let tau = Tau::Absolute(0.1);
+    for k in [1usize, 3, 18] {
+        let expected = pairs(&oracle::topk(&columns, &Euclidean, &query, tau, k, None).unwrap());
+        assert_eq!(expected[0], (17, 10), "test instance lost its shape");
+        for policy in POLICIES {
+            let opts = SearchOptions {
+                exec: policy,
+                ..Default::default()
+            };
+            let got = pairs(&index.search_topk_with(&query, tau, k, opts).unwrap().hits);
+            assert_eq!(got, expected, "k={k} policy={policy:?}");
+        }
+    }
+}
+
+/// Out-of-core boundary ties: the in-partition tie-break runs on
+/// internal (insertion-order) ids while the global merge ranks by
+/// external id. With identical columns whose external ids run *opposite*
+/// to insertion order, a naive per-partition top-k would keep the wrong
+/// end of every tie; the tie-inclusive re-query must surface the column
+/// with the smallest external id anyway.
+#[test]
+fn out_of_core_topk_boundary_ties_respect_external_ids() {
+    use pexeso::core::partition::PartitionMethod;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let dim = 6;
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut unit = || {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+        v
+    };
+    let vecs: Vec<Vec<f32>> = (0..12).map(|_| unit()).collect();
+    let mut columns = ColumnSet::new(dim);
+    for i in 0..10u64 {
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        // External ids descend as insertion order ascends.
+        columns
+            .add_column("t", &format!("c{i}"), 9 - i, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(dim);
+    for v in vecs.iter().take(6) {
+        query.push(v).unwrap();
+    }
+    let dir = std::env::temp_dir().join(format!("pexeso_diff_ties_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let lake = PartitionedLake::build(
+        &columns,
+        Euclidean,
+        &PartitionConfig {
+            k: 3,
+            method: PartitionMethod::Random,
+            ..Default::default()
+        },
+        &IndexOptions {
+            num_pivots: 3,
+            levels: Some(3),
+            seed: 7,
+            ..Default::default()
+        },
+        &dir,
+    )
+    .unwrap();
+    let tau = Tau::Ratio(0.05);
+    for policy in POLICIES {
+        for k in [1usize, 3] {
+            let (hits, _) = lake
+                .search_topk_with_policy(
+                    Euclidean,
+                    &query,
+                    tau,
+                    k,
+                    SearchOptions::default(),
+                    policy,
+                )
+                .unwrap();
+            let got: Vec<(u64, u32)> = hits
+                .iter()
+                .map(|h| (h.external_id, h.match_count))
+                .collect();
+            let expected: Vec<(u64, u32)> = (0..k as u64).map(|e| (e, 6)).collect();
+            assert_eq!(got, expected, "k={k} policy={policy:?}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Edge cases: k = 0 (valid, empty), k far beyond the candidate count
+/// (everything with a positive count, still ranked), and an empty query
+/// column (an error, like every other entry point).
+#[test]
+fn topk_edge_cases() {
+    let (columns, query) = instance(10, 8, 12, 6, 10);
+    let index = build(columns.clone(), Euclidean, 3, 4);
+    let tau = Tau::Ratio(0.3);
+
+    assert!(index.search_topk(&query, tau, 0).unwrap().hits.is_empty());
+
+    let all = pairs(&oracle::topk(&columns, &Euclidean, &query, tau, usize::MAX, None).unwrap());
+    let got = pairs(&index.search_topk(&query, tau, 10_000).unwrap().hits);
+    assert_eq!(got, all, "oversized k must return every positive column");
+
+    let empty = VectorStore::new(10);
+    assert!(index.search_topk(&empty, tau, 3).is_err());
+    assert!(oracle::topk(&columns, &Euclidean, &empty, tau, 3, None).is_err());
+}
