@@ -155,6 +155,32 @@ impl ExecPolicy {
         ExecPolicy::Parallel { threads: 0 }
     }
 
+    /// Parse the CLI/protocol spelling of a policy: `seq`, `par`
+    /// (machine-sized), or `par:N` for an explicit thread count.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "seq" | "sequential" => Ok(ExecPolicy::Sequential),
+            "par" | "parallel" => Ok(ExecPolicy::auto()),
+            _ => {
+                if let Some(n) = s.strip_prefix("par:") {
+                    let threads: usize = n.parse().map_err(|_| {
+                        PexesoError::InvalidParameter(format!("bad thread count in policy '{s}'"))
+                    })?;
+                    if threads == 0 {
+                        return Err(PexesoError::InvalidParameter(
+                            "par:0 is ambiguous; use 'par' for machine-sized".into(),
+                        ));
+                    }
+                    Ok(ExecPolicy::Parallel { threads })
+                } else {
+                    Err(PexesoError::InvalidParameter(format!(
+                        "unknown policy '{s}' (expected seq, par, or par:N)"
+                    )))
+                }
+            }
+        }
+    }
+
     /// The number of worker threads this policy resolves to (≥ 1).
     pub fn effective_threads(self) -> usize {
         match self {
@@ -278,6 +304,23 @@ mod tests {
         assert_eq!(ExecPolicy::Parallel { threads: 3 }.effective_threads(), 3);
         assert!(ExecPolicy::auto().effective_threads() >= 1);
         assert_eq!(ExecPolicy::default(), ExecPolicy::Sequential);
+    }
+
+    #[test]
+    fn exec_policy_parses_cli_spellings() {
+        assert_eq!(ExecPolicy::parse("seq").unwrap(), ExecPolicy::Sequential);
+        assert_eq!(
+            ExecPolicy::parse("sequential").unwrap(),
+            ExecPolicy::Sequential
+        );
+        assert_eq!(ExecPolicy::parse("par").unwrap(), ExecPolicy::auto());
+        assert_eq!(
+            ExecPolicy::parse("par:8").unwrap(),
+            ExecPolicy::Parallel { threads: 8 }
+        );
+        assert!(ExecPolicy::parse("par:0").is_err());
+        assert!(ExecPolicy::parse("par:x").is_err());
+        assert!(ExecPolicy::parse("turbo").is_err());
     }
 
     #[test]

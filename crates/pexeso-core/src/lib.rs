@@ -96,7 +96,7 @@ pub mod prelude {
     };
     pub use crate::error::{PexesoError, Result};
     pub use crate::metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
-    pub use crate::outofcore::{GlobalHit, PartitionedLake};
+    pub use crate::outofcore::{GlobalHit, LakeManifest, PartitionedLake, ResidentPartitions};
     pub use crate::partition::{PartitionConfig, PartitionMethod};
     pub use crate::search::{
         naive_search, PexesoIndex, SearchHit, SearchOptions, SearchResult, VerifyStrategy,

@@ -36,6 +36,125 @@ pub struct GlobalHit {
     pub match_count: u32,
 }
 
+/// The small text manifest persisted next to the partition files of a
+/// deployed lake. It records what cannot be recovered from the partition
+/// files alone: the embedding dimensionality the query side must use, and
+/// a monotonically increasing `index_version` bumped on every re-index so
+/// long-running servers can tell one build of the same directory from the
+/// next (the hot-swap path in `pexeso-serve` keys its result cache on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LakeManifest {
+    /// Manifest format version (currently 1).
+    pub format_version: u32,
+    /// Name of the embedder family used at index time (e.g. `hash`).
+    pub embedder: String,
+    /// Embedding dimensionality of every vector in the deployment.
+    pub dim: usize,
+    /// Name of the [`Metric`] the partition indexes were built with. The
+    /// persisted pivot mappings are only valid under this metric, so the
+    /// query side must match it exactly (a server rejects mismatches).
+    pub metric: String,
+    /// Build generation of this directory; starts at 1, +1 per re-index.
+    pub index_version: u64,
+}
+
+impl LakeManifest {
+    /// Manifest location inside a deployment directory.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join("manifest.txt")
+    }
+
+    /// A first-generation manifest for a fresh Euclidean deployment (the
+    /// only metric the offline pipeline builds today).
+    pub fn new(embedder: &str, dim: usize) -> Self {
+        Self {
+            format_version: 1,
+            embedder: embedder.to_string(),
+            dim,
+            metric: "euclidean".to_string(),
+            index_version: 1,
+        }
+    }
+
+    /// Read and parse `dir`'s manifest. Manifests written before
+    /// `index_version`/`metric` existed default them to 1 / `euclidean`.
+    pub fn read(dir: &Path) -> Result<Self> {
+        let text = fs::read_to_string(Self::path(dir))?;
+        let mut format_version = 1u32;
+        let mut embedder = String::from("hash");
+        let mut dim = None;
+        let mut metric = String::from("euclidean");
+        let mut index_version = 1u64;
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key.trim() {
+                "version" => {
+                    format_version = value.trim().parse().map_err(|_| {
+                        PexesoError::Corrupt(format!("bad manifest version '{value}'"))
+                    })?
+                }
+                "embedder" => embedder = value.trim().to_string(),
+                "metric" => metric = value.trim().to_string(),
+                "dim" => {
+                    dim =
+                        Some(value.trim().parse().map_err(|_| {
+                            PexesoError::Corrupt(format!("bad manifest dim '{value}'"))
+                        })?)
+                }
+                "index_version" => {
+                    index_version = value.trim().parse().map_err(|_| {
+                        PexesoError::Corrupt(format!("bad manifest index_version '{value}'"))
+                    })?
+                }
+                _ => {} // forward-compatible: ignore unknown keys
+            }
+        }
+        let dim = dim.ok_or_else(|| PexesoError::Corrupt("manifest missing dim".into()))?;
+        if dim == 0 {
+            return Err(PexesoError::Corrupt("manifest dim must be positive".into()));
+        }
+        Ok(Self {
+            format_version,
+            embedder,
+            dim,
+            metric,
+            index_version,
+        })
+    }
+
+    /// Write the manifest into `dir`.
+    pub fn write(&self, dir: &Path) -> Result<()> {
+        fs::write(
+            Self::path(dir),
+            format!(
+                "version={}\nembedder={}\ndim={}\nmetric={}\nindex_version={}\n",
+                self.format_version, self.embedder, self.dim, self.metric, self.index_version
+            ),
+        )?;
+        Ok(())
+    }
+
+    /// The manifest a re-index of `dir` should write: same identity, next
+    /// `index_version` — continuing from the existing manifest when one is
+    /// present, or starting a fresh line at 1 when none exists. A manifest
+    /// that exists but cannot be read is an error: silently restarting the
+    /// version line would erase the build lineage operators rely on.
+    pub fn next_build(dir: &Path, embedder: &str, dim: usize) -> Result<Self> {
+        match Self::read(dir) {
+            Ok(prev) => Ok(Self {
+                index_version: prev.index_version + 1,
+                ..Self::new(embedder, dim)
+            }),
+            Err(PexesoError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                Ok(Self::new(embedder, dim))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// A disk-resident, partitioned PEXESO deployment.
 #[derive(Debug)]
 pub struct PartitionedLake {
@@ -102,6 +221,12 @@ impl PartitionedLake {
         self.partition_files.len()
     }
 
+    /// The partition files backing this deployment, in search order — the
+    /// immutable handle set a resident server snapshots.
+    pub fn partition_files(&self) -> &[PathBuf] {
+        &self.partition_files
+    }
+
     /// Load one partition's index into memory (e.g. for top-k merging or
     /// inspection).
     pub fn load_partition<M: Metric>(&self, i: usize, metric: M) -> Result<PexesoIndex<M>> {
@@ -165,31 +290,10 @@ impl PartitionedLake {
             |i| {
                 let index = load_index(&self.partition_files[i], metric.clone())?;
                 let result = index.search_with(query, tau, t, inner_opts)?;
-                let hits: Vec<GlobalHit> = result
-                    .hits
-                    .into_iter()
-                    .map(|h| {
-                        let meta = index.columns().column(h.column);
-                        GlobalHit {
-                            external_id: meta.external_id,
-                            table_name: meta.table_name.clone(),
-                            column_name: meta.column_name.clone(),
-                            match_count: h.match_count,
-                        }
-                    })
-                    .collect();
-                Ok::<_, PexesoError>((hits, result.stats))
+                Ok::<_, PexesoError>((resolve_global_hits(&index, result.hits), result.stats))
             },
         )?;
-        let mut merged = SearchStats::new();
-        let mut hits = Vec::new();
-        for (h, s) in per_partition {
-            merged.merge(&s);
-            hits.extend(h);
-        }
-        hits.sort_by_key(|h| h.external_id);
-        merged.total_time = started.elapsed();
-        Ok((hits, merged))
+        Ok(merge_threshold(per_partition, started))
     }
 
     /// Out-of-core top-k: the (up to) `k` columns of the whole lake with
@@ -236,53 +340,10 @@ impl PartitionedLake {
             || PexesoError::InvalidParameter("partition top-k worker panicked".into()),
             |i| {
                 let index = load_index(&self.partition_files[i], metric.clone())?;
-                let mut kk = k;
-                let mut result = index.search_topk_with(query, tau, kk, inner_opts)?;
-                // Tie-inclusive boundary: while the last returned hit
-                // still carries the k-th best count, columns tied with it
-                // (but with larger internal ids) may have been cut off —
-                // and one of them could win the global external-id
-                // tie-break. Double k until the boundary count is fully
-                // enumerated or the partition is exhausted.
-                while k > 0
-                    && result.hits.len() == kk
-                    && kk < index.live_columns()
-                    && result.hits.last().map(|h| h.match_count)
-                        == result.hits.get(k - 1).map(|h| h.match_count)
-                {
-                    kk *= 2;
-                    result = index.search_topk_with(query, tau, kk, inner_opts)?;
-                }
-                let hits: Vec<GlobalHit> = result
-                    .hits
-                    .into_iter()
-                    .map(|h| {
-                        let meta = index.columns().column(h.column);
-                        GlobalHit {
-                            external_id: meta.external_id,
-                            table_name: meta.table_name.clone(),
-                            column_name: meta.column_name.clone(),
-                            match_count: h.match_count,
-                        }
-                    })
-                    .collect();
-                Ok::<_, PexesoError>((hits, result.stats))
+                topk_tie_inclusive(&index, query, tau, k, inner_opts)
             },
         )?;
-        let mut merged = SearchStats::new();
-        let mut hits = Vec::new();
-        for (h, s) in per_partition {
-            merged.merge(&s);
-            hits.extend(h);
-        }
-        hits.sort_by(|a, b| {
-            b.match_count
-                .cmp(&a.match_count)
-                .then(a.external_id.cmp(&b.external_id))
-        });
-        hits.truncate(k);
-        merged.total_time = started.elapsed();
-        Ok((hits, merged))
+        Ok(merge_topk(per_partition, k, started))
     }
 
     /// Parallel variant with an explicit thread count; kept as a
@@ -305,6 +366,167 @@ impl PartitionedLake {
             opts,
             ExecPolicy::Parallel { threads },
         )
+    }
+}
+
+/// Resolve a partition-local result into caller-stable global hits.
+fn resolve_global_hits<M: Metric>(
+    index: &PexesoIndex<M>,
+    hits: Vec<crate::search::SearchHit>,
+) -> Vec<GlobalHit> {
+    hits.into_iter()
+        .map(|h| {
+            let meta = index.columns().column(h.column);
+            GlobalHit {
+                external_id: meta.external_id,
+                table_name: meta.table_name.clone(),
+                column_name: meta.column_name.clone(),
+                match_count: h.match_count,
+            }
+        })
+        .collect()
+}
+
+/// One partition's *local* top-k, answered exactly and **tie-inclusively**:
+/// the in-partition tie-break runs on internal column ids (insertion
+/// order), which need not agree with the global external-id order, so when
+/// the k-th best count extends past the local cut the partition is
+/// re-queried with a doubled k until every column tied with the boundary
+/// count is present. With all boundary ties in hand, any member of the
+/// global top-k is necessarily in its partition's list.
+fn topk_tie_inclusive<M: Metric>(
+    index: &PexesoIndex<M>,
+    query: &VectorStore,
+    tau: Tau,
+    k: usize,
+    opts: SearchOptions,
+) -> Result<(Vec<GlobalHit>, SearchStats)> {
+    let mut kk = k;
+    let mut result = index.search_topk_with(query, tau, kk, opts)?;
+    while k > 0
+        && result.hits.len() == kk
+        && kk < index.live_columns()
+        && result.hits.last().map(|h| h.match_count)
+            == result.hits.get(k - 1).map(|h| h.match_count)
+    {
+        kk *= 2;
+        result = index.search_topk_with(query, tau, kk, opts)?;
+    }
+    Ok((resolve_global_hits(index, result.hits), result.stats))
+}
+
+/// Merge per-partition threshold results: stats accumulate, hits keep the
+/// deterministic ascending-external-id order.
+fn merge_threshold(
+    per_partition: Vec<(Vec<GlobalHit>, SearchStats)>,
+    started: Instant,
+) -> (Vec<GlobalHit>, SearchStats) {
+    let mut merged = SearchStats::new();
+    let mut hits = Vec::new();
+    for (h, s) in per_partition {
+        merged.merge(&s);
+        hits.extend(h);
+    }
+    hits.sort_by_key(|h| h.external_id);
+    merged.total_time = started.elapsed();
+    (hits, merged)
+}
+
+/// Merge per-partition (tie-inclusive) top-k lists and re-rank
+/// deterministically: count descending, external id ascending.
+fn merge_topk(
+    per_partition: Vec<(Vec<GlobalHit>, SearchStats)>,
+    k: usize,
+    started: Instant,
+) -> (Vec<GlobalHit>, SearchStats) {
+    let mut merged = SearchStats::new();
+    let mut hits = Vec::new();
+    for (h, s) in per_partition {
+        merged.merge(&s);
+        hits.extend(h);
+    }
+    hits.sort_by(|a, b| {
+        b.match_count
+            .cmp(&a.match_count)
+            .then(a.external_id.cmp(&b.external_id))
+    });
+    hits.truncate(k);
+    merged.total_time = started.elapsed();
+    (hits, merged)
+}
+
+/// A partitioned deployment loaded fully into memory — the form a
+/// resident server keeps hot. Search semantics (per-partition algorithms,
+/// tie-inclusive top-k, merge order, [`ExecPolicy`] determinism) are
+/// identical to [`PartitionedLake`]; only the per-query `load_index`
+/// disappears, so queries never touch the filesystem and a concurrent
+/// re-index of the backing directory cannot affect answers already being
+/// computed.
+#[derive(Debug)]
+pub struct ResidentPartitions<M: Metric> {
+    indexes: Vec<PexesoIndex<M>>,
+}
+
+impl<M: Metric> ResidentPartitions<M> {
+    /// Load every partition of `lake` into memory.
+    pub fn load(lake: &PartitionedLake, metric: M) -> Result<Self> {
+        let indexes = lake
+            .partition_files()
+            .iter()
+            .map(|path| load_index(path, metric.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { indexes })
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// In-memory counterpart of [`PartitionedLake::search_with_policy`];
+    /// identical results for every policy.
+    pub fn search_with_policy(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        let started = Instant::now();
+        let inner_opts = opts.demoted_under(policy);
+        let per_partition = exec::try_map_units(
+            policy,
+            self.indexes.len(),
+            || PexesoError::InvalidParameter("partition search worker panicked".into()),
+            |i| {
+                let index = &self.indexes[i];
+                let result = index.search_with(query, tau, t, inner_opts)?;
+                Ok::<_, PexesoError>((resolve_global_hits(index, result.hits), result.stats))
+            },
+        )?;
+        Ok(merge_threshold(per_partition, started))
+    }
+
+    /// In-memory counterpart of
+    /// [`PartitionedLake::search_topk_with_policy`]; identical results for
+    /// every policy.
+    pub fn search_topk_with_policy(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        k: usize,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        let started = Instant::now();
+        let inner_opts = opts.demoted_under(policy);
+        let per_partition = exec::try_map_units(
+            policy,
+            self.indexes.len(),
+            || PexesoError::InvalidParameter("partition top-k worker panicked".into()),
+            |i| topk_tie_inclusive(&self.indexes[i], query, tau, k, inner_opts),
+        )?;
+        Ok(merge_topk(per_partition, k, started))
     }
 }
 
@@ -449,6 +671,144 @@ mod tests {
     fn open_empty_dir_is_error() {
         let dir = tempdir("empty");
         assert!(PartitionedLake::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_version_bump() {
+        let dir = tempdir("manifest");
+        // No manifest yet: next_build starts a fresh line at version 1.
+        let first = LakeManifest::next_build(&dir, "hash", 64).unwrap();
+        assert_eq!(first.index_version, 1);
+        assert_eq!(first.metric, "euclidean");
+        first.write(&dir).unwrap();
+        let read = LakeManifest::read(&dir).unwrap();
+        assert_eq!(read, first);
+        // Re-index: same identity, bumped version.
+        let second = LakeManifest::next_build(&dir, "hash", 64).unwrap();
+        assert_eq!(second.index_version, 2);
+        second.write(&dir).unwrap();
+        assert_eq!(LakeManifest::read(&dir).unwrap().index_version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_tolerates_legacy_and_unknown_keys() {
+        let dir = tempdir("manifest_legacy");
+        // A pre-index_version/metric manifest (what older deployments wrote).
+        std::fs::write(
+            LakeManifest::path(&dir),
+            "version=1\nembedder=hash\ndim=32\nfuture_knob=7\n",
+        )
+        .unwrap();
+        let m = LakeManifest::read(&dir).unwrap();
+        assert_eq!(m.dim, 32);
+        assert_eq!(m.index_version, 1);
+        assert_eq!(m.metric, "euclidean");
+        // Corrupt dim is a typed error...
+        std::fs::write(LakeManifest::path(&dir), "version=1\ndim=banana\n").unwrap();
+        assert!(matches!(
+            LakeManifest::read(&dir),
+            Err(PexesoError::Corrupt(_))
+        ));
+        // ...and next_build must propagate it rather than silently
+        // restarting the version line at 1.
+        assert!(matches!(
+            LakeManifest::next_build(&dir, "hash", 32),
+            Err(PexesoError::Corrupt(_))
+        ));
+        std::fs::write(LakeManifest::path(&dir), "version=1\nembedder=hash\n").unwrap();
+        assert!(LakeManifest::read(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_partitions_match_disk_search() {
+        let (columns, query) = instance(12, 16, 20, 6);
+        let dir = tempdir("resident");
+        let lake = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &opts(),
+            &dir,
+        )
+        .unwrap();
+        let resident = ResidentPartitions::load(&lake, Euclidean).unwrap();
+        assert_eq!(resident.num_partitions(), lake.num_partitions());
+        let tau = Tau::Ratio(0.2);
+        let t = JoinThreshold::Ratio(0.3);
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 3 }] {
+            let (disk, _) = lake
+                .search_with_policy(Euclidean, &query, tau, t, SearchOptions::default(), policy)
+                .unwrap();
+            let (mem, _) = resident
+                .search_with_policy(&query, tau, t, SearchOptions::default(), policy)
+                .unwrap();
+            assert_eq!(disk, mem, "threshold, {policy:?}");
+            for k in [1, 3, 20] {
+                let (disk_k, _) = lake
+                    .search_topk_with_policy(
+                        Euclidean,
+                        &query,
+                        tau,
+                        k,
+                        SearchOptions::default(),
+                        policy,
+                    )
+                    .unwrap();
+                let (mem_k, _) = resident
+                    .search_topk_with_policy(&query, tau, k, SearchOptions::default(), policy)
+                    .unwrap();
+                assert_eq!(disk_k, mem_k, "topk k={k}, {policy:?}");
+            }
+        }
+        // Residency: deleting the backing files must not affect answers.
+        let (before, _) = resident
+            .search_with_policy(
+                &query,
+                tau,
+                t,
+                SearchOptions::default(),
+                ExecPolicy::Sequential,
+            )
+            .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let (after, _) = resident
+            .search_with_policy(
+                &query,
+                tau,
+                t,
+                SearchOptions::default(),
+                ExecPolicy::Sequential,
+            )
+            .unwrap();
+        assert_eq!(before, after, "resident search must never touch disk");
+    }
+
+    #[test]
+    fn partition_files_expose_search_order() {
+        let (columns, _) = instance(9, 8, 10, 3);
+        let dir = tempdir("handles");
+        let lake = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &opts(),
+            &dir,
+        )
+        .unwrap();
+        let files = lake.partition_files();
+        assert_eq!(files.len(), lake.num_partitions());
+        let mut sorted = files.to_vec();
+        sorted.sort();
+        assert_eq!(files, sorted.as_slice(), "files must stay in search order");
         std::fs::remove_dir_all(&dir).ok();
     }
 

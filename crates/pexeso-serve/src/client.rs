@@ -1,0 +1,173 @@
+//! Synchronous client for the `pexeso serve` protocol.
+//!
+//! One [`ServeClient`] wraps one TCP connection and can issue any number
+//! of requests sequentially. The server's explicit backpressure surfaces
+//! as [`ClientError::Busy`] so callers can retry elsewhere or back off.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
+use pexeso_core::vector::VectorStore;
+
+use crate::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, HitsReply, InfoReply, QueryPayload,
+    Reply, Request, WireError,
+};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect/read/write).
+    Io(std::io::Error),
+    /// The server rejected the connection under load; retry later.
+    Busy,
+    /// The server processed the request and answered with an error.
+    Server(String),
+    /// The reply violated the protocol (or the connection died mid-frame).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Busy => write!(f, "server busy; retry later"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            WireError::Malformed(msg) => ClientError::Protocol(msg),
+        }
+    }
+}
+
+type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// Build the query half of a request from an embedded column.
+pub fn query_payload(
+    metric: &str,
+    tau: Tau,
+    policy: ExecPolicy,
+    store: &VectorStore,
+) -> QueryPayload {
+    QueryPayload {
+        metric: metric.to_string(),
+        tau,
+        policy,
+        dim: store.dim() as u32,
+        vectors: store.raw_data().to_vec(),
+    }
+}
+
+/// One connection to a `pexeso serve` daemon.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Bound how long any single reply may take.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> ClientResult<Reply> {
+        // A rejected connection gets one BUSY frame and a hang-up *before*
+        // we ever write; the write then fails with a broken pipe while the
+        // BUSY frame sits in our receive buffer. On write failure, drain
+        // that pending reply instead of surfacing the pipe error.
+        let write_err = write_frame(&mut self.stream, &encode_request(req)).err();
+        let payload = match read_frame(&mut self.stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                return Err(write_err.map(ClientError::Io).unwrap_or_else(|| {
+                    ClientError::Protocol("connection closed before reply".into())
+                }))
+            }
+            Err(e) => {
+                return Err(write_err.map(ClientError::Io).unwrap_or_else(|| e.into()));
+            }
+        };
+        match decode_reply(&payload)? {
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Err { message } => Err(ClientError::Server(message)),
+            reply => Ok(reply),
+        }
+    }
+
+    pub fn info(&mut self) -> ClientResult<InfoReply> {
+        match self.roundtrip(&Request::Info)? {
+            Reply::Info(info) => Ok(info),
+            other => Err(unexpected("INFO", &other)),
+        }
+    }
+
+    pub fn search(&mut self, query: QueryPayload, t: JoinThreshold) -> ClientResult<HitsReply> {
+        match self.roundtrip(&Request::Search { query, t })? {
+            Reply::Hits(hits) => Ok(hits),
+            other => Err(unexpected("SEARCH", &other)),
+        }
+    }
+
+    pub fn topk(&mut self, query: QueryPayload, k: u64) -> ClientResult<HitsReply> {
+        match self.roundtrip(&Request::Topk { query, k })? {
+            Reply::Hits(hits) => Ok(hits),
+            other => Err(unexpected("TOPK", &other)),
+        }
+    }
+
+    /// The raw `key=value` stats body (see
+    /// [`crate::metrics::stat_value`] for parsing single entries).
+    pub fn stats_text(&mut self) -> ClientResult<String> {
+        match self.roundtrip(&Request::Stats)? {
+            Reply::Stats { text } => Ok(text),
+            other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// Hot-swap the served snapshot; `dir = None` re-opens the current
+    /// directory. Returns (new generation, partition count).
+    pub fn reload(&mut self, dir: Option<&Path>) -> ClientResult<(u64, u32)> {
+        let dir = dir.map(|p| p.to_string_lossy().into_owned());
+        match self.roundtrip(&Request::Reload { dir })? {
+            Reply::Reloaded {
+                generation,
+                partitions,
+            } => Ok((generation, partitions)),
+            other => Err(unexpected("RELOAD", &other)),
+        }
+    }
+
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            other => Err(unexpected("SHUTDOWN", &other)),
+        }
+    }
+}
+
+fn unexpected(verb: &str, reply: &Reply) -> ClientError {
+    ClientError::Protocol(format!("unexpected reply to {verb}: {reply:?}"))
+}

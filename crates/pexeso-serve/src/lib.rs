@@ -1,0 +1,44 @@
+//! # pexeso-serve — a resident query-serving daemon for PEXESO
+//!
+//! The PEXESO indexes of a partitioned lake are expensive to build and
+//! cheap to query — exactly the shape that wants a long-running process
+//! instead of a pay-the-startup-cost-every-time CLI. This crate turns a
+//! persisted [`pexeso_core::outofcore::PartitionedLake`] deployment into a
+//! TCP daemon (`std::net` only; no external runtime):
+//!
+//! * [`protocol`] — a small length-prefixed binary protocol
+//!   (`INFO`/`SEARCH`/`TOPK`/`STATS`/`RELOAD`/`SHUTDOWN`), query vectors
+//!   on the wire as raw `f32`s, explicit `BUSY` backpressure;
+//! * [`snapshot`] — `Arc`-swapped immutable index snapshots with a
+//!   versioned-manifest reload path: `RELOAD` re-opens the deployment
+//!   directory and atomically publishes it under live traffic with zero
+//!   dropped queries (in-flight requests finish on the old snapshot);
+//! * [`cache`] — a sharded LRU result cache keyed on (query fingerprint,
+//!   τ, T/k, metric, snapshot generation), invalidated wholesale on swap;
+//! * [`server`] — a fixed worker pool over a bounded connection queue,
+//!   per-request [`pexeso_core::config::ExecPolicy`] selection (clamped by
+//!   the server), and a clean shutdown path;
+//! * [`metrics`] — per-endpoint request/error counters and p50/p99
+//!   latency (binned through [`pexeso_core::histogram::Histogram`]),
+//!   rendered as `key=value` text on the `STATS` verb;
+//! * [`client`] — a synchronous client used by `pexeso query` and the
+//!   integration tests.
+//!
+//! Served results are exact: a reply is byte-identical to what a direct
+//! [`pexeso_core::outofcore::PartitionedLake::search`] call returns, for
+//! every execution policy (the crate-wide determinism contract is also
+//! why a sequential and a parallel request may share one cache entry).
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CacheStats, LruCache, ShardedCache};
+pub use client::{query_payload, ClientError, ServeClient};
+pub use metrics::{stat_value, ServerMetrics};
+pub use protocol::{HitsReply, InfoReply, QueryPayload, Reply, Request, WireHit};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use snapshot::{Snapshot, SnapshotCell};

@@ -1,0 +1,252 @@
+//! Server instrumentation: per-endpoint counters and latency quantiles.
+//!
+//! Counters are lock-free atomics; latencies go into a small fixed-size
+//! ring of recent samples per endpoint and are summarised into p50/p99 on
+//! demand by binning them through [`pexeso_core::histogram::Histogram`] —
+//! the same histogram the cost model and JSD partitioner use, reused here
+//! as a quantile sketch. Everything is rendered as `key=value` lines for
+//! the `STATS` protocol verb, so operators (and the CI smoke job) can
+//! scrape it with nothing fancier than `grep`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pexeso_core::histogram::Histogram;
+
+use crate::cache::CacheStats;
+
+/// Recent-latency ring; 4096 samples ≈ the last few seconds under load,
+/// which is what p50/p99 should describe on a live server.
+const LATENCY_RING: usize = 4096;
+/// Histogram resolution for the quantile sketch.
+const LATENCY_BINS: usize = 256;
+
+#[derive(Default)]
+struct Ring {
+    samples: Vec<f32>, // microseconds
+    next: usize,
+}
+
+/// One endpoint's counters + latency ring.
+#[derive(Default)]
+pub struct EndpointMetrics {
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl EndpointMetrics {
+    /// Count one served request and record its handling latency.
+    pub fn record(&self, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_secs_f64() * 1e6;
+        let mut ring = self.ring.lock().expect("latency ring poisoned");
+        let next = ring.next;
+        if ring.samples.len() < LATENCY_RING {
+            ring.samples.push(us as f32);
+        } else {
+            ring.samples[next] = us as f32;
+        }
+        ring.next = (next + 1) % LATENCY_RING;
+    }
+
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// (p50, p99) of the recent-latency ring, in microseconds. Zero when
+    /// no request has been served yet.
+    pub fn latency_quantiles_us(&self) -> (f64, f64) {
+        let samples = {
+            let ring = self.ring.lock().expect("latency ring poisoned");
+            ring.samples.clone()
+        };
+        (quantile_us(&samples, 0.50), quantile_us(&samples, 0.99))
+    }
+}
+
+/// Quantile from a latency sample set via a fixed-range histogram: bin the
+/// samples over `[0, max]`, walk the cumulative mass to the target
+/// quantile, and report the bin's upper edge (a conservative estimate —
+/// never below the true quantile by more than one bin width).
+fn quantile_us(samples: &[f32], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let hi = samples.iter().copied().fold(0.0f32, f32::max).max(1e-3);
+    let h = Histogram::from_values(samples.iter().copied(), 0.0, hi, LATENCY_BINS);
+    let width = hi as f64 / LATENCY_BINS as f64;
+    let mut cumulative = 0.0;
+    for (i, mass) in h.masses().iter().enumerate() {
+        cumulative += mass;
+        if cumulative >= q - 1e-12 {
+            return (i + 1) as f64 * width;
+        }
+    }
+    hi as f64
+}
+
+/// All server metrics, grouped per endpoint plus daemon-wide counters.
+pub struct ServerMetrics {
+    pub search: EndpointMetrics,
+    pub topk: EndpointMetrics,
+    pub info: EndpointMetrics,
+    pub stats: EndpointMetrics,
+    pub reload: EndpointMetrics,
+    /// Connections rejected with a BUSY reply (queue full).
+    pub busy_rejections: AtomicU64,
+    /// Completed hot swaps.
+    pub swaps: AtomicU64,
+    /// Cumulative exact distance computations spent in the verify stage
+    /// across all served (uncached) queries — flat between repeats of a
+    /// cached query, which is how the tests prove a cache hit skipped the
+    /// search entirely.
+    pub distance_computations: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self {
+            search: EndpointMetrics::default(),
+            topk: EndpointMetrics::default(),
+            info: EndpointMetrics::default(),
+            stats: EndpointMetrics::default(),
+            reload: EndpointMetrics::default(),
+            busy_rejections: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            distance_computations: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Render every counter as `key=value` lines (the `STATS` reply body).
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        generation: u64,
+        index_version: u64,
+        partitions: usize,
+        dim: usize,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "uptime_us={}", self.started.elapsed().as_micros());
+        let _ = writeln!(out, "snapshot.generation={generation}");
+        let _ = writeln!(out, "snapshot.index_version={index_version}");
+        let _ = writeln!(out, "snapshot.partitions={partitions}");
+        let _ = writeln!(out, "snapshot.dim={dim}");
+        let _ = writeln!(out, "swaps={}", self.swaps.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "busy_rejections={}",
+            self.busy_rejections.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "distance_computations={}",
+            self.distance_computations.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "cache.capacity={}", cache.capacity);
+        let _ = writeln!(out, "cache.len={}", cache.len);
+        let _ = writeln!(out, "cache.shards={}", cache.shards);
+        let _ = writeln!(out, "cache.hits={}", cache.hits);
+        let _ = writeln!(out, "cache.misses={}", cache.misses);
+        let _ = writeln!(out, "cache.insertions={}", cache.insertions);
+        let _ = writeln!(out, "cache.evictions={}", cache.evictions);
+        for (name, ep) in [
+            ("search", &self.search),
+            ("topk", &self.topk),
+            ("info", &self.info),
+            ("stats", &self.stats),
+            ("reload", &self.reload),
+        ] {
+            let (p50, p99) = ep.latency_quantiles_us();
+            let _ = writeln!(
+                out,
+                "{name}.requests={}",
+                ep.requests.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(out, "{name}.errors={}", ep.errors.load(Ordering::Relaxed));
+            let _ = writeln!(out, "{name}.p50_us={p50:.0}");
+            let _ = writeln!(out, "{name}.p99_us={p99:.0}");
+        }
+        out
+    }
+}
+
+/// Parse one counter back out of a rendered STATS body (client-side
+/// convenience for tests and tooling).
+pub fn stat_value(text: &str, key: &str) -> Option<f64> {
+    text.lines()
+        .find_map(|l| l.strip_prefix(key)?.strip_prefix('='))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let ep = EndpointMetrics::default();
+        // 1000 samples: 98% at ~100us, 2% at ~10000us — the slow 2% must
+        // pull p99 into the slow region while p50 stays fast.
+        for _ in 0..980 {
+            ep.record(Duration::from_micros(100));
+        }
+        for _ in 0..20 {
+            ep.record(Duration::from_micros(10_000));
+        }
+        let (p50, p99) = ep.latency_quantiles_us();
+        assert!((100.0..500.0).contains(&p50), "p50={p50}");
+        assert!(p99 > 5_000.0 && p99 <= 10_100.0, "p99={p99}");
+        assert_eq!(ep.requests.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_ring_reports_zero() {
+        let ep = EndpointMetrics::default();
+        assert_eq!(ep.latency_quantiles_us(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        let ep = EndpointMetrics::default();
+        // Fill far past the ring: only recent (fast) samples remain.
+        for _ in 0..LATENCY_RING {
+            ep.record(Duration::from_millis(50));
+        }
+        for _ in 0..LATENCY_RING {
+            ep.record(Duration::from_micros(10));
+        }
+        let (p50, p99) = ep.latency_quantiles_us();
+        assert!(p99 < 1_000.0, "old slow samples must age out, p99={p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let m = ServerMetrics::default();
+        m.search.record(Duration::from_micros(250));
+        m.busy_rejections.fetch_add(3, Ordering::Relaxed);
+        let cache = CacheStats {
+            hits: 7,
+            misses: 2,
+            capacity: 100,
+            shards: 4,
+            ..Default::default()
+        };
+        let text = m.render(&cache, 2, 5, 3, 64);
+        assert_eq!(stat_value(&text, "snapshot.generation"), Some(2.0));
+        assert_eq!(stat_value(&text, "snapshot.index_version"), Some(5.0));
+        assert_eq!(stat_value(&text, "cache.hits"), Some(7.0));
+        assert_eq!(stat_value(&text, "busy_rejections"), Some(3.0));
+        assert_eq!(stat_value(&text, "search.requests"), Some(1.0));
+        assert!(stat_value(&text, "search.p99_us").unwrap() > 0.0);
+        assert_eq!(stat_value(&text, "no.such.key"), None);
+    }
+}

@@ -1,0 +1,791 @@
+//! The wire protocol between `pexeso serve` and its clients.
+//!
+//! Every message is one length-prefixed frame: a `u32` little-endian
+//! payload length followed by the payload. Request payloads start with the
+//! magic `PXSV`, a protocol version byte, and a verb byte; reply payloads
+//! start with a single kind byte. All integers are little-endian, strings
+//! are `u32` length + UTF-8 bytes, and query vectors travel as raw `f32`
+//! bits — the embedding happens client-side so the daemon stays agnostic
+//! to embedder implementations.
+//!
+//! The protocol is deliberately synchronous per connection: a client sends
+//! one request frame and reads one reply frame, any number of times, then
+//! closes. Backpressure is explicit — an overloaded server answers a
+//! connection with a [`Reply::Busy`] frame instead of queueing unboundedly.
+
+use std::io::{Read, Write};
+
+use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
+use pexeso_core::outofcore::GlobalHit;
+
+/// First bytes of every request payload.
+pub const MAGIC: &[u8; 4] = b"PXSV";
+/// Bumped on incompatible protocol changes.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Hard cap on a single frame; anything larger is treated as garbage
+/// framing rather than a legitimate request.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+const VERB_INFO: u8 = 0;
+const VERB_SEARCH: u8 = 1;
+const VERB_TOPK: u8 = 2;
+const VERB_STATS: u8 = 3;
+const VERB_RELOAD: u8 = 4;
+const VERB_SHUTDOWN: u8 = 5;
+
+const REPLY_INFO: u8 = 0;
+const REPLY_HITS: u8 = 1;
+const REPLY_STATS: u8 = 2;
+const REPLY_RELOADED: u8 = 3;
+const REPLY_SHUTTING_DOWN: u8 = 4;
+const REPLY_BUSY: u8 = 250;
+const REPLY_ERR: u8 = 251;
+
+/// Wire-level failure: transport I/O or a malformed frame.
+#[derive(Debug)]
+pub enum WireError {
+    Io(std::io::Error),
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+type WireResult<T> = std::result::Result<T, WireError>;
+
+/// The query half shared by `SEARCH` and `TOPK`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPayload {
+    /// Distance metric name (`euclidean`, `manhattan`, `chebyshev`,
+    /// `angular`); must match the metric the index was built with.
+    pub metric: String,
+    pub tau: Tau,
+    /// Requested execution policy for this query; the server clamps the
+    /// thread count to its own ceiling.
+    pub policy: ExecPolicy,
+    pub dim: u32,
+    /// Row-major query vectors, `len = n * dim`.
+    pub vectors: Vec<f32>,
+}
+
+impl QueryPayload {
+    /// Number of query vectors carried.
+    pub fn n_vectors(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.vectors.len() / self.dim as usize
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Deployment facts a client needs before it can query (dimension,
+    /// snapshot generation, partition count).
+    Info,
+    /// Threshold search: every column with ≥ T matching query records.
+    Search {
+        query: QueryPayload,
+        t: JoinThreshold,
+    },
+    /// Top-k search: the k columns with the most matching query records.
+    Topk { query: QueryPayload, k: u64 },
+    /// Per-endpoint counters and latency quantiles as `key=value` text.
+    Stats,
+    /// Atomically hot-swap the served snapshot: re-open the given
+    /// directory (`None` = the currently served one) and bump the
+    /// generation. In-flight queries finish on the old snapshot.
+    Reload { dir: Option<String> },
+    /// Stop accepting connections and exit once in-flight work drains.
+    Shutdown,
+}
+
+/// One joinable column on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireHit {
+    pub external_id: u64,
+    pub table_name: String,
+    pub column_name: String,
+    pub match_count: u32,
+}
+
+impl From<&GlobalHit> for WireHit {
+    fn from(h: &GlobalHit) -> Self {
+        WireHit {
+            external_id: h.external_id,
+            table_name: h.table_name.clone(),
+            column_name: h.column_name.clone(),
+            match_count: h.match_count,
+        }
+    }
+}
+
+/// Reply to [`Request::Info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfoReply {
+    pub dim: u32,
+    /// Serve-side snapshot generation; bumps on every hot swap.
+    pub generation: u64,
+    /// `index_version` from the deployment manifest.
+    pub index_version: u64,
+    pub partitions: u32,
+    pub disk_bytes: u64,
+}
+
+/// Reply to [`Request::Search`] / [`Request::Topk`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HitsReply {
+    /// Generation of the snapshot that answered (or populated the cached
+    /// entry for) this query.
+    pub generation: u64,
+    /// True when the reply was served from the result cache.
+    pub cached: bool,
+    pub hits: Vec<WireHit>,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Info(InfoReply),
+    Hits(HitsReply),
+    Stats {
+        text: String,
+    },
+    Reloaded {
+        generation: u64,
+        partitions: u32,
+    },
+    ShuttingDown,
+    /// Explicit backpressure: worker pool and request queue are full.
+    Busy,
+    Err {
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly before starting a new frame.
+pub fn read_frame(r: &mut impl Read) -> WireResult<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Malformed("eof inside frame length".into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Malformed(format!(
+            "frame of {len} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| WireError::Malformed(format!("eof inside frame body: {e}")))?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding primitives
+// ---------------------------------------------------------------------------
+
+struct ByteWriter(Vec<u8>);
+
+impl ByteWriter {
+    fn new() -> Self {
+        ByteWriter(Vec::new())
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn f32_slice(&mut self, data: &[f32]) {
+        self.0.reserve(data.len() * 4);
+        for v in data {
+            self.0.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+    fn bytes(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError::Malformed("truncated payload".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> WireResult<f32> {
+        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self, limit: u32) -> WireResult<String> {
+        let len = self.u32()?;
+        if len > limit {
+            return Err(WireError::Malformed(format!(
+                "string of {len} bytes exceeds limit {limit}"
+            )));
+        }
+        let bytes = self.bytes(len as usize)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Malformed(format!("invalid utf-8: {e}")))
+    }
+    fn f32_vec(&mut self, n: usize) -> WireResult<Vec<f32>> {
+        let raw = self
+            .bytes(n.checked_mul(4).ok_or_else(|| {
+                WireError::Malformed(format!("f32 vector length {n} overflows"))
+            })?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+    fn finish(&self) -> WireResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes in payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_tau(w: &mut ByteWriter, tau: Tau) {
+    match tau {
+        Tau::Absolute(v) => {
+            w.u8(0);
+            w.f32(v);
+        }
+        Tau::Ratio(v) => {
+            w.u8(1);
+            w.f32(v);
+        }
+    }
+}
+
+fn take_tau(r: &mut ByteReader) -> WireResult<Tau> {
+    match r.u8()? {
+        0 => Ok(Tau::Absolute(r.f32()?)),
+        1 => Ok(Tau::Ratio(r.f32()?)),
+        t => Err(WireError::Malformed(format!("unknown tau tag {t}"))),
+    }
+}
+
+fn put_threshold(w: &mut ByteWriter, t: JoinThreshold) {
+    match t {
+        JoinThreshold::Count(c) => {
+            w.u8(0);
+            w.u64(c as u64);
+        }
+        JoinThreshold::Ratio(rat) => {
+            w.u8(1);
+            w.f64(rat);
+        }
+    }
+}
+
+fn take_threshold(r: &mut ByteReader) -> WireResult<JoinThreshold> {
+    match r.u8()? {
+        0 => Ok(JoinThreshold::Count(r.u64()? as usize)),
+        1 => Ok(JoinThreshold::Ratio(r.f64()?)),
+        t => Err(WireError::Malformed(format!("unknown threshold tag {t}"))),
+    }
+}
+
+fn put_policy(w: &mut ByteWriter, p: ExecPolicy) {
+    match p {
+        ExecPolicy::Sequential => {
+            w.u8(0);
+            w.u32(0);
+        }
+        ExecPolicy::Parallel { threads } => {
+            w.u8(1);
+            w.u32(threads as u32);
+        }
+    }
+}
+
+fn take_policy(r: &mut ByteReader) -> WireResult<ExecPolicy> {
+    let tag = r.u8()?;
+    let threads = r.u32()? as usize;
+    match tag {
+        0 => Ok(ExecPolicy::Sequential),
+        1 => Ok(ExecPolicy::Parallel { threads }),
+        t => Err(WireError::Malformed(format!("unknown policy tag {t}"))),
+    }
+}
+
+fn put_query(w: &mut ByteWriter, q: &QueryPayload) {
+    w.str(&q.metric);
+    put_tau(w, q.tau);
+    put_policy(w, q.policy);
+    w.u32(q.dim);
+    w.u32(q.n_vectors() as u32);
+    w.f32_slice(&q.vectors);
+}
+
+fn take_query(r: &mut ByteReader) -> WireResult<QueryPayload> {
+    let metric = r.str(64)?;
+    let tau = take_tau(r)?;
+    let policy = take_policy(r)?;
+    let dim = r.u32()?;
+    let n = r.u32()?;
+    if dim == 0 {
+        return Err(WireError::Malformed("query dimension is zero".into()));
+    }
+    let vectors = r.f32_vec(n as usize * dim as usize)?;
+    Ok(QueryPayload {
+        metric,
+        tau,
+        policy,
+        dim,
+        vectors,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Request / reply codecs
+// ---------------------------------------------------------------------------
+
+/// Encode a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.0.extend_from_slice(MAGIC);
+    w.u8(PROTOCOL_VERSION);
+    match req {
+        Request::Info => w.u8(VERB_INFO),
+        Request::Search { query, t } => {
+            w.u8(VERB_SEARCH);
+            put_query(&mut w, query);
+            put_threshold(&mut w, *t);
+        }
+        Request::Topk { query, k } => {
+            w.u8(VERB_TOPK);
+            put_query(&mut w, query);
+            w.u64(*k);
+        }
+        Request::Stats => w.u8(VERB_STATS),
+        Request::Reload { dir } => {
+            w.u8(VERB_RELOAD);
+            w.str(dir.as_deref().unwrap_or(""));
+        }
+        Request::Shutdown => w.u8(VERB_SHUTDOWN),
+    }
+    w.0
+}
+
+/// Decode a frame payload into a request.
+pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
+    let mut r = ByteReader::new(payload);
+    if r.bytes(4)? != MAGIC {
+        return Err(WireError::Malformed("bad request magic".into()));
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::Malformed(format!(
+            "protocol version {version} unsupported (want {PROTOCOL_VERSION})"
+        )));
+    }
+    let req = match r.u8()? {
+        VERB_INFO => Request::Info,
+        VERB_SEARCH => {
+            let query = take_query(&mut r)?;
+            let t = take_threshold(&mut r)?;
+            Request::Search { query, t }
+        }
+        VERB_TOPK => {
+            let query = take_query(&mut r)?;
+            let k = r.u64()?;
+            Request::Topk { query, k }
+        }
+        VERB_STATS => Request::Stats,
+        VERB_RELOAD => {
+            let dir = r.str(4096)?;
+            Request::Reload {
+                dir: if dir.is_empty() { None } else { Some(dir) },
+            }
+        }
+        VERB_SHUTDOWN => Request::Shutdown,
+        v => return Err(WireError::Malformed(format!("unknown verb {v}"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encode a reply into a frame payload.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match reply {
+        Reply::Info(info) => {
+            w.u8(REPLY_INFO);
+            w.u32(info.dim);
+            w.u64(info.generation);
+            w.u64(info.index_version);
+            w.u32(info.partitions);
+            w.u64(info.disk_bytes);
+        }
+        Reply::Hits(h) => {
+            w.u8(REPLY_HITS);
+            w.u64(h.generation);
+            w.u8(h.cached as u8);
+            w.u32(h.hits.len() as u32);
+            for hit in &h.hits {
+                w.u64(hit.external_id);
+                w.str(&hit.table_name);
+                w.str(&hit.column_name);
+                w.u32(hit.match_count);
+            }
+        }
+        Reply::Stats { text } => {
+            w.u8(REPLY_STATS);
+            w.str(text);
+        }
+        Reply::Reloaded {
+            generation,
+            partitions,
+        } => {
+            w.u8(REPLY_RELOADED);
+            w.u64(*generation);
+            w.u32(*partitions);
+        }
+        Reply::ShuttingDown => w.u8(REPLY_SHUTTING_DOWN),
+        Reply::Busy => w.u8(REPLY_BUSY),
+        Reply::Err { message } => {
+            w.u8(REPLY_ERR);
+            w.str(message);
+        }
+    }
+    w.0
+}
+
+/// Decode a frame payload into a reply.
+pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
+    let mut r = ByteReader::new(payload);
+    let reply = match r.u8()? {
+        REPLY_INFO => Reply::Info(InfoReply {
+            dim: r.u32()?,
+            generation: r.u64()?,
+            index_version: r.u64()?,
+            partitions: r.u32()?,
+            disk_bytes: r.u64()?,
+        }),
+        REPLY_HITS => {
+            let generation = r.u64()?;
+            let cached = r.u8()? != 0;
+            let n = r.u32()? as usize;
+            let mut hits = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                hits.push(WireHit {
+                    external_id: r.u64()?,
+                    table_name: r.str(1 << 16)?,
+                    column_name: r.str(1 << 16)?,
+                    match_count: r.u32()?,
+                });
+            }
+            Reply::Hits(HitsReply {
+                generation,
+                cached,
+                hits,
+            })
+        }
+        REPLY_STATS => Reply::Stats {
+            text: r.str(1 << 20)?,
+        },
+        REPLY_RELOADED => Reply::Reloaded {
+            generation: r.u64()?,
+            partitions: r.u32()?,
+        },
+        REPLY_SHUTTING_DOWN => Reply::ShuttingDown,
+        REPLY_BUSY => Reply::Busy,
+        REPLY_ERR => Reply::Err {
+            message: r.str(1 << 16)?,
+        },
+        k => return Err(WireError::Malformed(format!("unknown reply kind {k}"))),
+    };
+    r.finish()?;
+    Ok(reply)
+}
+
+// ---------------------------------------------------------------------------
+// Cache fingerprinting
+// ---------------------------------------------------------------------------
+
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf29ce484222325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Cache key for a query against one snapshot generation: FNV-1a over the
+/// request kind, metric, τ, T (or k), the raw query bits, and the
+/// generation. The execution policy is deliberately *excluded* — results
+/// are policy-independent by the crate-wide determinism contract, so a
+/// sequential and a parallel request share one cache line.
+pub fn query_fingerprint(req: &Request, generation: u64) -> Option<u64> {
+    let (kind, query, discriminator) = match req {
+        Request::Search { query, t } => {
+            let mut w = ByteWriter::new();
+            put_threshold(&mut w, *t);
+            (1u8, query, w.0)
+        }
+        Request::Topk { query, k } => (2u8, query, k.to_le_bytes().to_vec()),
+        _ => return None,
+    };
+    let mut h = Fnv64::new();
+    h.update(&[kind]);
+    h.update(query.metric.as_bytes());
+    let mut w = ByteWriter::new();
+    put_tau(&mut w, query.tau);
+    h.update(&w.0);
+    h.update(&discriminator);
+    h.update(&query.dim.to_le_bytes());
+    for v in &query.vectors {
+        h.update(&v.to_bits().to_le_bytes());
+    }
+    h.update(&generation.to_le_bytes());
+    Some(h.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> QueryPayload {
+        QueryPayload {
+            metric: "euclidean".into(),
+            tau: Tau::Ratio(0.06),
+            policy: ExecPolicy::Parallel { threads: 4 },
+            dim: 3,
+            vectors: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_all_verbs() {
+        let requests = [
+            Request::Info,
+            Request::Search {
+                query: sample_query(),
+                t: JoinThreshold::Ratio(0.5),
+            },
+            Request::Search {
+                query: sample_query(),
+                t: JoinThreshold::Count(7),
+            },
+            Request::Topk {
+                query: sample_query(),
+                k: 10,
+            },
+            Request::Stats,
+            Request::Reload { dir: None },
+            Request::Reload {
+                dir: Some("/tmp/idx".into()),
+            },
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            let bytes = encode_request(req);
+            let back = decode_request(&bytes).unwrap();
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_all_kinds() {
+        let replies = [
+            Reply::Info(InfoReply {
+                dim: 64,
+                generation: 3,
+                index_version: 2,
+                partitions: 4,
+                disk_bytes: 123456,
+            }),
+            Reply::Hits(HitsReply {
+                generation: 1,
+                cached: true,
+                hits: vec![WireHit {
+                    external_id: 42,
+                    table_name: "tab".into(),
+                    column_name: "col".into(),
+                    match_count: 9,
+                }],
+            }),
+            Reply::Stats {
+                text: "a=1\nb=2\n".into(),
+            },
+            Reply::Reloaded {
+                generation: 2,
+                partitions: 3,
+            },
+            Reply::ShuttingDown,
+            Reply::Busy,
+            Reply::Err {
+                message: "nope".into(),
+            },
+        ];
+        for reply in &replies {
+            let bytes = encode_reply(reply);
+            let back = decode_reply(&bytes).unwrap();
+            assert_eq!(&back, reply);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_pipe() {
+        let payload = encode_request(&Request::Info);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, payload);
+        // A clean EOF after the frame reads as None, not an error.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_rejected() {
+        let mut giant = Vec::new();
+        giant.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(giant)),
+            Err(WireError::Malformed(_))
+        ));
+        let mut short = Vec::new();
+        short.extend_from_slice(&100u32.to_le_bytes());
+        short.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(short)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_request(b"JUNKxxxx").is_err());
+        // Right magic, wrong version.
+        let mut bytes = encode_request(&Request::Info);
+        bytes[4] = 99;
+        assert!(decode_request(&bytes).is_err());
+        // Trailing bytes after a valid request.
+        let mut bytes = encode_request(&Request::Info);
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+        assert!(decode_reply(&[77]).is_err());
+    }
+
+    #[test]
+    fn fingerprint_sensitivity() {
+        let req = |tau, k| Request::Topk {
+            query: QueryPayload {
+                tau,
+                ..sample_query()
+            },
+            k,
+        };
+        let base = query_fingerprint(&req(Tau::Ratio(0.06), 10), 1).unwrap();
+        // Same request, same generation: stable.
+        assert_eq!(
+            base,
+            query_fingerprint(&req(Tau::Ratio(0.06), 10), 1).unwrap()
+        );
+        // Any keyed field changing changes the fingerprint.
+        assert_ne!(
+            base,
+            query_fingerprint(&req(Tau::Ratio(0.07), 10), 1).unwrap()
+        );
+        assert_ne!(
+            base,
+            query_fingerprint(&req(Tau::Ratio(0.06), 11), 1).unwrap()
+        );
+        assert_ne!(
+            base,
+            query_fingerprint(&req(Tau::Ratio(0.06), 10), 2).unwrap()
+        );
+        // The policy is *not* keyed: results are policy-independent.
+        let mut q = sample_query();
+        q.policy = ExecPolicy::Sequential;
+        let seq = query_fingerprint(&Request::Topk { query: q, k: 10 }, 1).unwrap();
+        assert_eq!(base, seq);
+        // Non-query verbs have no fingerprint.
+        assert!(query_fingerprint(&Request::Stats, 1).is_none());
+    }
+}

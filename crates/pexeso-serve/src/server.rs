@@ -1,0 +1,407 @@
+//! The serving daemon: listener, worker pool, dispatch.
+//!
+//! One acceptor thread owns the listening socket and feeds accepted
+//! connections into a bounded queue; a fixed pool of worker threads pops
+//! connections and serves request frames until the peer closes. When the
+//! queue is full the acceptor answers the connection with a single BUSY
+//! frame and drops it — explicit backpressure instead of unbounded
+//! queueing, so a traffic spike degrades into fast rejections rather than
+//! ballooning latency for everyone.
+//!
+//! Each query request grabs the current [`Snapshot`] `Arc` once and uses
+//! it end-to-end; a concurrent `RELOAD` hot-swaps the cell without
+//! touching in-flight queries (they finish on the old snapshot, new
+//! arrivals see the new generation). Served results are memoised in the
+//! sharded result cache, keyed on the query fingerprint + snapshot
+//! generation and cleared wholesale on swap.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pexeso_core::config::{ExecPolicy, JoinThreshold};
+use pexeso_core::error::Result;
+use pexeso_core::search::SearchOptions;
+use pexeso_core::vector::VectorStore;
+
+use crate::cache::ShardedCache;
+use crate::metrics::{EndpointMetrics, ServerMetrics};
+use crate::protocol::{
+    decode_request, encode_reply, query_fingerprint, read_frame, write_frame, HitsReply, InfoReply,
+    Reply, Request, WireHit,
+};
+use crate::snapshot::SnapshotCell;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before BUSY kicks in.
+    pub queue_capacity: usize,
+    /// Total result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Result-cache shards.
+    pub cache_shards: usize,
+    /// Per-connection read timeout; an idle or wedged peer releases its
+    /// worker after this long.
+    pub read_timeout: Option<Duration>,
+    /// Ceiling on the per-request `ExecPolicy` thread count.
+    pub max_request_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_request_threads: 16,
+        }
+    }
+}
+
+struct Shared {
+    snapshot: SnapshotCell,
+    cache: ShardedCache<Arc<Vec<WireHit>>>,
+    metrics: ServerMetrics,
+    config: ServeConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Open `index_dir` as the first snapshot, bind `addr` (use port 0 for
+    /// an ephemeral test port), and spawn the acceptor + worker threads.
+    pub fn start(
+        index_dir: &Path,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> Result<ServerHandle> {
+        let snapshot = SnapshotCell::open(index_dir)?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            metrics: ServerMetrics::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            addr: local_addr,
+            snapshot,
+            config,
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = shared.clone();
+            threads.push(std::thread::spawn(move || accept_loop(listener, &shared)));
+        }
+        for _ in 0..workers {
+            let shared = shared.clone();
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        Ok(ServerHandle {
+            addr: local_addr,
+            threads,
+            shared,
+        })
+    }
+}
+
+/// A running daemon: its address plus the thread handles to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiate shutdown (idempotent) and join every server thread.
+    /// In-flight connections finish their current request; queued
+    /// connections are still served before workers exit.
+    pub fn shutdown(mut self) {
+        initiate_shutdown(&self.shared);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the server shuts down via a protocol `SHUTDOWN`.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.queue_cv.notify_all();
+    // The acceptor is parked in `accept`; poke it with a throwaway
+    // connection so it observes the flag.
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let mut queue = shared.queue.lock().expect("connection queue poisoned");
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            // Explicit backpressure: one BUSY frame, then hang up.
+            shared
+                .metrics
+                .busy_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(&mut stream, &encode_reply(&Reply::Busy));
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.queue_cv.notify_one();
+        }
+    }
+    // Unblock any workers still parked on the queue.
+    shared.queue_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("connection queue poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .expect("connection queue poisoned");
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, stream),
+            None => break,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            // Clean close, read timeout, or garbage framing: hang up.
+            Ok(None) | Err(_) => return,
+        };
+        match decode_request(&payload) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let reply = dispatch(shared, req);
+                if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+                    return;
+                }
+                if is_shutdown {
+                    initiate_shutdown(shared);
+                    return;
+                }
+                // A shutdown initiated elsewhere must not be held open by
+                // a chatty keep-alive peer: finish the current request,
+                // then close instead of reading the next frame.
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) => {
+                let reply = Reply::Err {
+                    message: format!("bad request: {e}"),
+                };
+                let _ = write_frame(&mut stream, &encode_reply(&reply));
+                return; // a peer speaking garbage gets one error, not a loop
+            }
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, req: Request) -> Reply {
+    let started = Instant::now();
+    match req {
+        Request::Info => {
+            let snap = shared.snapshot.current();
+            let reply = match snap.lake().disk_bytes() {
+                Ok(disk_bytes) => Reply::Info(InfoReply {
+                    dim: snap.dim() as u32,
+                    generation: snap.generation(),
+                    index_version: snap.manifest().index_version,
+                    partitions: snap.lake().num_partitions() as u32,
+                    disk_bytes,
+                }),
+                Err(e) => error_reply(&shared.metrics.info, e.to_string()),
+            };
+            shared.metrics.info.record(started.elapsed());
+            reply
+        }
+        Request::Stats => {
+            let snap = shared.snapshot.current();
+            let text = shared.metrics.render(
+                &shared.cache.stats(),
+                snap.generation(),
+                snap.manifest().index_version,
+                snap.lake().num_partitions(),
+                snap.dim(),
+            );
+            shared.metrics.stats.record(started.elapsed());
+            Reply::Stats { text }
+        }
+        Request::Reload { dir } => {
+            let target: Option<PathBuf> = dir.map(PathBuf::from);
+            let reply = match shared.snapshot.swap(target.as_deref()) {
+                Ok(fresh) => {
+                    // Every cached entry keyed the old generation; release
+                    // the memory in one sweep.
+                    shared.cache.clear();
+                    shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+                    Reply::Reloaded {
+                        generation: fresh.generation(),
+                        partitions: fresh.lake().num_partitions() as u32,
+                    }
+                }
+                // A failed load leaves the served snapshot untouched.
+                Err(e) => error_reply(&shared.metrics.reload, e.to_string()),
+            };
+            shared.metrics.reload.record(started.elapsed());
+            reply
+        }
+        Request::Shutdown => Reply::ShuttingDown,
+        Request::Search { .. } | Request::Topk { .. } => handle_query(shared, req, started),
+    }
+}
+
+fn error_reply(endpoint: &EndpointMetrics, message: String) -> Reply {
+    endpoint.record_error();
+    Reply::Err { message }
+}
+
+enum QueryKind {
+    Threshold(JoinThreshold),
+    Topk(usize),
+}
+
+fn handle_query(shared: &Shared, req: Request, started: Instant) -> Reply {
+    let endpoint = match &req {
+        Request::Search { .. } => &shared.metrics.search,
+        _ => &shared.metrics.topk,
+    };
+    let reply = match run_query(shared, &req) {
+        Ok(hits) => Reply::Hits(hits),
+        Err(message) => error_reply(endpoint, message),
+    };
+    endpoint.record(started.elapsed());
+    reply
+}
+
+fn run_query(shared: &Shared, req: &Request) -> std::result::Result<HitsReply, String> {
+    let (query, kind) = match req {
+        Request::Search { query, t } => (query, QueryKind::Threshold(*t)),
+        Request::Topk { query, k } => (query, QueryKind::Topk(*k as usize)),
+        _ => unreachable!("run_query only sees query verbs"),
+    };
+    // Pin the snapshot for the whole request: a concurrent hot swap must
+    // never split one query across two index states.
+    let snap = shared.snapshot.current();
+    if query.dim as usize != snap.dim() {
+        return Err(format!(
+            "query dimension {} does not match index dimension {}",
+            query.dim,
+            snap.dim()
+        ));
+    }
+    let fingerprint =
+        query_fingerprint(req, snap.generation()).expect("query verbs always fingerprint");
+    if let Some(hits) = shared.cache.get(fingerprint) {
+        return Ok(HitsReply {
+            generation: snap.generation(),
+            cached: true,
+            hits: (*hits).clone(),
+        });
+    }
+    let store = VectorStore::from_raw(query.dim as usize, query.vectors.clone())
+        .map_err(|e| e.to_string())?;
+    let policy = clamp_policy(query.policy, shared.config.max_request_threads);
+    let opts = SearchOptions::default();
+    let (hits, stats) = match kind {
+        QueryKind::Threshold(t) => {
+            snap.search_threshold(&query.metric, &store, query.tau, t, opts, policy)
+        }
+        QueryKind::Topk(k) => snap.search_topk(&query.metric, &store, query.tau, k, opts, policy),
+    }
+    .map_err(|e| e.to_string())?;
+    shared
+        .metrics
+        .distance_computations
+        .fetch_add(stats.distance_computations, Ordering::Relaxed);
+    let wire: Vec<WireHit> = hits.iter().map(WireHit::from).collect();
+    shared.cache.insert(fingerprint, Arc::new(wire.clone()));
+    Ok(HitsReply {
+        generation: snap.generation(),
+        cached: false,
+        hits: wire,
+    })
+}
+
+/// Resolve `Parallel {{ threads: 0 }}` to the machine size and clamp to the
+/// server's per-request ceiling.
+fn clamp_policy(policy: ExecPolicy, max_threads: usize) -> ExecPolicy {
+    match policy {
+        ExecPolicy::Sequential => ExecPolicy::Sequential,
+        ExecPolicy::Parallel { .. } => ExecPolicy::Parallel {
+            threads: policy.effective_threads().clamp(1, max_threads.max(1)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_clamping() {
+        assert_eq!(
+            clamp_policy(ExecPolicy::Sequential, 4),
+            ExecPolicy::Sequential
+        );
+        assert_eq!(
+            clamp_policy(ExecPolicy::Parallel { threads: 99 }, 4),
+            ExecPolicy::Parallel { threads: 4 }
+        );
+        let auto = clamp_policy(ExecPolicy::Parallel { threads: 0 }, 8);
+        match auto {
+            ExecPolicy::Parallel { threads } => assert!((1..=8).contains(&threads)),
+            _ => panic!("auto must stay parallel"),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Arc-swapped immutable, fully-resident index snapshots.
+//!
+//! A [`Snapshot`] is one opened deployment loaded *entirely into memory*
+//! ([`ResidentPartitions`]) plus its manifest, tagged with a serve-side
+//! *generation* that increases by one on every hot swap. Residency is
+//! what makes the daemon worth running — queries never pay the partition
+//! load the one-shot CLI pays — and it is also what makes the swap safe:
+//! an operator can re-index the backing directory *in place* (which
+//! deletes and rewrites the partition files) while in-flight queries keep
+//! answering from the old snapshot's memory, untouched by the filesystem.
+//!
+//! The server keeps the current snapshot in a [`SnapshotCell`]; request
+//! handlers grab an `Arc` once per request and use it for the whole
+//! query. A swap loads the new deployment outside the write lock (readers
+//! never block behind the disk) and publishes it with a single pointer
+//! store. Concurrent swaps are serialized by a dedicated swap mutex so
+//! generations are strictly increasing — two racing `RELOAD`s can never
+//! mint the same generation (which would let the result cache serve one
+//! deployment's entries for the other).
+//!
+//! The manifest records the metric the partition indexes were built with;
+//! the persisted pivot mappings are only valid under that metric, so
+//! queries requesting any other metric are rejected with a typed error
+//! instead of silently returning non-exact results.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
+use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::metric::{Angular, Chebyshev, Euclidean, Manhattan};
+use pexeso_core::outofcore::{GlobalHit, LakeManifest, PartitionedLake, ResidentPartitions};
+use pexeso_core::search::SearchOptions;
+use pexeso_core::stats::SearchStats;
+use pexeso_core::vector::VectorStore;
+
+/// The resident indexes, monomorphised per supported metric (the metric
+/// type is fixed at load time by the manifest).
+#[derive(Debug)]
+enum ResidentLake {
+    Euclidean(ResidentPartitions<Euclidean>),
+    Manhattan(ResidentPartitions<Manhattan>),
+    Chebyshev(ResidentPartitions<Chebyshev>),
+    Angular(ResidentPartitions<Angular>),
+}
+
+/// One immutable, memory-resident opened deployment.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Path handles, kept for `disk_bytes` and same-dir reload.
+    lake: PartitionedLake,
+    resident: ResidentLake,
+    manifest: LakeManifest,
+    generation: u64,
+    dir: PathBuf,
+}
+
+impl Snapshot {
+    /// Open `dir` (manifest + partition files) as generation `generation`
+    /// and load every partition into memory under the manifest's metric.
+    pub fn load(dir: &Path, generation: u64) -> Result<Self> {
+        let manifest = LakeManifest::read(dir)?;
+        let lake = PartitionedLake::open(dir)?;
+        let resident = match manifest.metric.as_str() {
+            "euclidean" => ResidentLake::Euclidean(ResidentPartitions::load(&lake, Euclidean)?),
+            "manhattan" => ResidentLake::Manhattan(ResidentPartitions::load(&lake, Manhattan)?),
+            "chebyshev" => ResidentLake::Chebyshev(ResidentPartitions::load(&lake, Chebyshev)?),
+            "angular" => ResidentLake::Angular(ResidentPartitions::load(&lake, Angular)?),
+            other => {
+                return Err(PexesoError::Corrupt(format!(
+                    "manifest names unsupported metric '{other}'"
+                )))
+            }
+        };
+        Ok(Self {
+            lake,
+            resident,
+            manifest,
+            generation,
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    pub fn lake(&self) -> &PartitionedLake {
+        &self.lake
+    }
+
+    pub fn manifest(&self) -> &LakeManifest {
+        &self.manifest
+    }
+
+    pub fn dim(&self) -> usize {
+        self.manifest.dim
+    }
+
+    /// Serve-side generation; bumps on every hot swap.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Reject a query whose metric does not match the one the indexes
+    /// were built with — the pivot mappings would be invalid and results
+    /// silently wrong, violating the exactness contract.
+    fn check_metric(&self, requested: &str) -> Result<()> {
+        if requested == self.manifest.metric {
+            Ok(())
+        } else {
+            Err(PexesoError::InvalidParameter(format!(
+                "index was built with metric '{}'; cannot serve '{requested}'",
+                self.manifest.metric
+            )))
+        }
+    }
+
+    /// Threshold search over the resident partitions.
+    pub fn search_threshold(
+        &self,
+        metric: &str,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        self.check_metric(metric)?;
+        match &self.resident {
+            ResidentLake::Euclidean(r) => r.search_with_policy(query, tau, t, opts, policy),
+            ResidentLake::Manhattan(r) => r.search_with_policy(query, tau, t, opts, policy),
+            ResidentLake::Chebyshev(r) => r.search_with_policy(query, tau, t, opts, policy),
+            ResidentLake::Angular(r) => r.search_with_policy(query, tau, t, opts, policy),
+        }
+    }
+
+    /// Top-k search over the resident partitions.
+    pub fn search_topk(
+        &self,
+        metric: &str,
+        query: &VectorStore,
+        tau: Tau,
+        k: usize,
+        opts: SearchOptions,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
+        self.check_metric(metric)?;
+        match &self.resident {
+            ResidentLake::Euclidean(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
+            ResidentLake::Manhattan(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
+            ResidentLake::Chebyshev(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
+            ResidentLake::Angular(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
+        }
+    }
+}
+
+/// The swap point: a shared cell holding the current snapshot.
+pub struct SnapshotCell {
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes whole swaps (load + publish). Without it two concurrent
+    /// reloads could both read generation G and both publish G+1 —
+    /// duplicate generations would alias result-cache keys across
+    /// deployments.
+    swap_lock: Mutex<()>,
+}
+
+impl SnapshotCell {
+    /// Open `dir` as the first served snapshot (generation 1).
+    pub fn open(dir: &Path) -> Result<Self> {
+        let snapshot = Snapshot::load(dir, 1)?;
+        Ok(Self {
+            current: RwLock::new(Arc::new(snapshot)),
+            swap_lock: Mutex::new(()),
+        })
+    }
+
+    /// The snapshot new requests should use. Cheap (`Arc` clone under a
+    /// read lock); call once per request and reuse the `Arc`.
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.current.read().expect("snapshot cell poisoned").clone()
+    }
+
+    /// Hot swap: load `dir` (or re-load the currently served directory),
+    /// then atomically publish it with the next generation. On any load
+    /// error the served snapshot is left untouched — a bad re-index never
+    /// takes down live traffic. Swaps serialize; generations are strictly
+    /// increasing.
+    pub fn swap(&self, dir: Option<&Path>) -> Result<Arc<Snapshot>> {
+        let _swapping = self.swap_lock.lock().expect("swap lock poisoned");
+        let old = self.current();
+        let target = dir.unwrap_or_else(|| old.dir());
+        // Expensive directory scan + full resident load happens outside
+        // the write lock, so readers never block behind a slow disk.
+        let fresh = Arc::new(Snapshot::load(target, old.generation() + 1)?);
+        *self.current.write().expect("snapshot cell poisoned") = fresh.clone();
+        Ok(fresh)
+    }
+}

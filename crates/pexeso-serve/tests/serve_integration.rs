@@ -1,0 +1,503 @@
+//! Loopback integration tests for the serving daemon: served replies vs
+//! direct `PartitionedLake` calls, hot swap under concurrent load, warm
+//! cache behaviour, BUSY backpressure, and clean shutdown.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use pexeso_core::column::ColumnSet;
+use pexeso_core::config::{ExecPolicy, IndexOptions, JoinThreshold, PivotSelection, Tau};
+use pexeso_core::metric::Euclidean;
+use pexeso_core::outofcore::{GlobalHit, LakeManifest, PartitionedLake};
+use pexeso_core::partition::{PartitionConfig, PartitionMethod};
+use pexeso_core::search::SearchOptions;
+use pexeso_core::vector::VectorStore;
+use pexeso_serve::protocol::{encode_reply, HitsReply, Reply, WireHit};
+use pexeso_serve::{query_payload, stat_value, ClientError, ServeClient, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 12;
+
+fn unit(rng: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+/// A lake where the first columns contain exact copies of the query
+/// vectors (guaranteed matches at any τ) and the rest are random.
+fn workload(seed: u64, n_cols: usize, tag: &str) -> (ColumnSet, VectorStore) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query_vecs: Vec<Vec<f32>> = (0..6).map(|_| unit(&mut rng)).collect();
+    let mut columns = ColumnSet::new(DIM);
+    for c in 0..n_cols {
+        let mut vecs: Vec<Vec<f32>> = (0..15).map(|_| unit(&mut rng)).collect();
+        if c < 3 {
+            // Plant the query inside the first three columns.
+            for (slot, q) in vecs.iter_mut().zip(&query_vecs) {
+                slot.clone_from(q);
+            }
+        }
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column(&format!("{tag}_tab{c}"), "key", c as u64, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(DIM);
+    for q in &query_vecs {
+        query.push(q).unwrap();
+    }
+    (columns, query)
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pexeso_serve_{name}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Build + persist a deployment (partitions, manifest) and return it.
+fn deploy(dir: &Path, columns: &ColumnSet) -> PartitionedLake {
+    let lake = PartitionedLake::build(
+        columns,
+        Euclidean,
+        &PartitionConfig {
+            k: 3,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
+        &IndexOptions {
+            num_pivots: 3,
+            levels: Some(3),
+            pivot_selection: PivotSelection::Pca,
+            seed: 7,
+            ..Default::default()
+        },
+        dir,
+    )
+    .unwrap();
+    LakeManifest::next_build(dir, "test", DIM)
+        .unwrap()
+        .write(dir)
+        .unwrap();
+    lake
+}
+
+fn wire(hits: &[GlobalHit]) -> Vec<WireHit> {
+    hits.iter().map(WireHit::from).collect()
+}
+
+#[test]
+fn served_replies_byte_identical_to_direct_calls() {
+    let dir = tempdir("exact");
+    let (columns, query) = workload(11, 10, "a");
+    let lake = deploy(&dir, &columns);
+    let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+
+    let info = client.info().unwrap();
+    assert_eq!(info.dim as usize, DIM);
+    assert_eq!(info.generation, 1);
+    assert_eq!(info.partitions as usize, lake.num_partitions());
+
+    for tau in [Tau::Ratio(0.05), Tau::Ratio(0.2)] {
+        for t in [
+            JoinThreshold::Ratio(0.5),
+            JoinThreshold::Ratio(0.9),
+            JoinThreshold::Count(2),
+        ] {
+            for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }] {
+                let served = client
+                    .search(query_payload("euclidean", tau, policy, &query), t)
+                    .unwrap();
+                let (direct, _) = lake
+                    .search(Euclidean, &query, tau, t, SearchOptions::default())
+                    .unwrap();
+                assert!(!direct.is_empty(), "workload must produce hits");
+                // Byte-identical: the served reply re-encodes to exactly
+                // the bytes a reply built from the direct call encodes to.
+                let direct_reply = Reply::Hits(HitsReply {
+                    generation: served.generation,
+                    cached: served.cached,
+                    hits: wire(&direct),
+                });
+                assert_eq!(
+                    encode_reply(&Reply::Hits(served.clone())),
+                    encode_reply(&direct_reply),
+                    "tau={tau:?} t={t:?} policy={policy:?}"
+                );
+            }
+        }
+        for k in [1usize, 3, 8] {
+            let served = client
+                .topk(
+                    query_payload("euclidean", tau, ExecPolicy::Sequential, &query),
+                    k as u64,
+                )
+                .unwrap();
+            let (direct, _) = lake
+                .search_topk(Euclidean, &query, tau, k, SearchOptions::default())
+                .unwrap();
+            assert_eq!(
+                encode_reply(&Reply::Hits(served.clone())),
+                encode_reply(&Reply::Hits(HitsReply {
+                    generation: served.generation,
+                    cached: served.cached,
+                    hits: wire(&direct),
+                })),
+                "tau={tau:?} k={k}"
+            );
+        }
+    }
+
+    // Typed server-side errors come back as ClientError::Server.
+    let bad_metric = client.search(
+        query_payload("cosine", Tau::Ratio(0.1), ExecPolicy::Sequential, &query),
+        JoinThreshold::Count(1),
+    );
+    assert!(matches!(bad_metric, Err(ClientError::Server(_))));
+    // A *known* metric that differs from the build metric must also be
+    // rejected — running Manhattan over Euclidean pivot mappings would
+    // silently return non-exact results.
+    let wrong_metric = client.search(
+        query_payload("manhattan", Tau::Ratio(0.1), ExecPolicy::Sequential, &query),
+        JoinThreshold::Count(1),
+    );
+    match wrong_metric {
+        Err(ClientError::Server(msg)) => {
+            assert!(
+                msg.contains("euclidean"),
+                "should name the build metric: {msg}"
+            )
+        }
+        other => panic!("expected metric-mismatch rejection, got {other:?}"),
+    }
+    let mut wrong_dim = VectorStore::new(DIM + 1);
+    wrong_dim.push(&[0.0; DIM + 1]).unwrap();
+    let bad_dim = client.search(
+        query_payload(
+            "euclidean",
+            Tau::Ratio(0.1),
+            ExecPolicy::Sequential,
+            &wrong_dim,
+        ),
+        JoinThreshold::Count(1),
+    );
+    assert!(matches!(bad_dim, Err(ClientError::Server(_))));
+
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_cache_serves_repeats_without_search_work() {
+    let dir = tempdir("cache");
+    let (columns, query) = workload(22, 10, "a");
+    deploy(&dir, &columns);
+    let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+
+    let payload = || query_payload("euclidean", Tau::Ratio(0.2), ExecPolicy::Sequential, &query);
+    let cold = client.search(payload(), JoinThreshold::Ratio(0.5)).unwrap();
+    assert!(!cold.cached);
+    let stats_after_cold = client.stats_text().unwrap();
+    let dc_cold = stat_value(&stats_after_cold, "distance_computations").unwrap();
+    assert!(dc_cold > 0.0, "cold query must verify with real distances");
+    let hits_cold = stat_value(&stats_after_cold, "cache.hits").unwrap();
+
+    let warm = client.search(payload(), JoinThreshold::Ratio(0.5)).unwrap();
+    assert!(warm.cached, "repeat query must come from cache");
+    assert_eq!(warm.hits, cold.hits);
+    assert_eq!(warm.generation, cold.generation);
+
+    let stats_after_warm = client.stats_text().unwrap();
+    // The hit counter moved...
+    assert_eq!(
+        stat_value(&stats_after_warm, "cache.hits").unwrap(),
+        hits_cold + 1.0
+    );
+    // ...and no verify-stage distance computation happened for the repeat.
+    assert_eq!(
+        stat_value(&stats_after_warm, "distance_computations").unwrap(),
+        dc_cold
+    );
+    // A different T is a different cache key.
+    let other = client.search(payload(), JoinThreshold::Ratio(0.9)).unwrap();
+    assert!(!other.cached);
+
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_swap_under_concurrent_load_drops_nothing() {
+    let dir_a = tempdir("swap_a");
+    let dir_b = tempdir("swap_b");
+    let (columns_a, query) = workload(33, 10, "a");
+    let lake_a = deploy(&dir_a, &columns_a);
+    // B shares the query but is a different lake (more columns, new tag).
+    let (columns_b, _) = workload(33, 14, "b");
+    let lake_b = deploy(&dir_b, &columns_b);
+
+    let tau = Tau::Ratio(0.2);
+    let t = JoinThreshold::Ratio(0.5);
+    let (direct_a, _) = lake_a
+        .search(Euclidean, &query, tau, t, SearchOptions::default())
+        .unwrap();
+    let (direct_b, _) = lake_b
+        .search(Euclidean, &query, tau, t, SearchOptions::default())
+        .unwrap();
+    let (expect_a, expect_b) = (wire(&direct_a), wire(&direct_b));
+    assert_ne!(expect_a, expect_b, "swap must be observable in results");
+
+    let handle = Server::start(
+        &dir_a,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 6,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 4;
+    let stop = AtomicBool::new(false);
+    let swap_result = std::thread::scope(|scope| {
+        let mut client_threads = Vec::new();
+        for _ in 0..CLIENTS {
+            let (stop, query) = (&stop, &query);
+            let (expect_a, expect_b) = (&expect_a, &expect_b);
+            client_threads.push(scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let mut generations: Vec<u64> = Vec::new();
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let reply = client
+                        .search(
+                            query_payload("euclidean", tau, ExecPolicy::Sequential, query),
+                            t,
+                        )
+                        .expect("no query may be dropped during a hot swap");
+                    // Replies must match the snapshot they claim to be from.
+                    match reply.generation {
+                        1 => assert_eq!(&reply.hits, expect_a),
+                        2 => assert_eq!(&reply.hits, expect_b),
+                        g => panic!("unexpected generation {g}"),
+                    }
+                    generations.push(reply.generation);
+                    served += 1;
+                }
+                (generations, served)
+            }));
+        }
+
+        // Let traffic flow on generation 1, then hot-swap to B.
+        std::thread::sleep(Duration::from_millis(120));
+        let mut admin = ServeClient::connect(addr).unwrap();
+        let (generation, partitions) = admin.reload(Some(&dir_b)).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(partitions as usize, lake_b.num_partitions());
+        // Let traffic flow on generation 2, then stop the clients.
+        std::thread::sleep(Duration::from_millis(120));
+        stop.store(true, Ordering::Relaxed);
+
+        let mut total_served = 0;
+        let mut saw_gen = [false; 3];
+        for th in client_threads {
+            let (generations, served) = th.join().unwrap();
+            total_served += served;
+            // Generations never go backwards within a connection.
+            assert!(generations.windows(2).all(|w| w[0] <= w[1]));
+            for g in generations {
+                saw_gen[g as usize] = true;
+            }
+        }
+        (admin, total_served, saw_gen)
+    });
+    let (mut admin, total_served, saw_gen) = swap_result;
+    assert!(total_served > 0);
+    assert!(saw_gen[1] && saw_gen[2], "load must straddle the swap");
+
+    // After the swap the daemon serves B, and the swap was counted.
+    let final_reply = admin
+        .search(
+            query_payload("euclidean", tau, ExecPolicy::Sequential, &query),
+            t,
+        )
+        .unwrap();
+    assert_eq!(final_reply.generation, 2);
+    assert_eq!(final_reply.hits, expect_b);
+    let stats = admin.stats_text().unwrap();
+    assert_eq!(stat_value(&stats, "swaps"), Some(1.0));
+    assert_eq!(stat_value(&stats, "snapshot.generation"), Some(2.0));
+
+    drop(admin);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn busy_backpressure_rejects_beyond_queue() {
+    let dir = tempdir("busy");
+    let (columns, query) = workload(44, 8, "a");
+    deploy(&dir, &columns);
+    // One worker, queue of one: the third concurrent connection gets BUSY.
+    let handle = Server::start(
+        &dir,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout: Some(Duration::from_secs(10)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // A occupies the single worker (connected, sends nothing yet).
+    let mut conn_a = ServeClient::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // B fills the queue slot.
+    let mut conn_b = ServeClient::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // C overflows: the acceptor answers BUSY and hangs up.
+    let mut conn_c = ServeClient::connect(addr).unwrap();
+    let busy = conn_c.info();
+    assert!(matches!(busy, Err(ClientError::Busy)), "got {busy:?}");
+
+    // A's worker was never stolen: it still serves its held connection.
+    let reply = conn_a
+        .search(
+            query_payload("euclidean", Tau::Ratio(0.2), ExecPolicy::Sequential, &query),
+            JoinThreshold::Count(1),
+        )
+        .unwrap();
+    assert!(!reply.hits.is_empty());
+    // Releasing A lets the queued B be served.
+    drop(conn_a);
+    let info = conn_b.info().unwrap();
+    assert_eq!(info.generation, 1);
+    let stats = conn_b.stats_text().unwrap();
+    assert_eq!(stat_value(&stats, "busy_rejections"), Some(1.0));
+
+    drop(conn_b);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reload_same_dir_picks_up_reindex_and_failures_keep_serving() {
+    let dir = tempdir("reindex");
+    let (columns, query) = workload(55, 8, "a");
+    let lake_a = deploy(&dir, &columns);
+    // Direct answer of the first build, captured while its files exist.
+    let (direct_a, _) = lake_a
+        .search(
+            Euclidean,
+            &query,
+            Tau::Ratio(0.2),
+            JoinThreshold::Count(3),
+            SearchOptions::default(),
+        )
+        .unwrap();
+    let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.info().unwrap().index_version, 1);
+
+    // A reload pointing at garbage fails without hurting live serving.
+    let missing = tempdir("reindex_missing");
+    std::fs::remove_dir_all(&missing).ok();
+    assert!(matches!(
+        client.reload(Some(&missing)),
+        Err(ClientError::Server(_))
+    ));
+    assert_eq!(
+        client.info().unwrap().generation,
+        1,
+        "failed swap is a no-op"
+    );
+
+    // Re-index the same directory *in place*: this deletes and rewrites
+    // every partition file under the live daemon. The snapshot is fully
+    // resident, so an *uncached* query during the window (Count(3) was
+    // never asked before, so this is a real search, not a cache hit)
+    // still answers from the old build, exactly.
+    let (columns2, _) = workload(56, 9, "a2");
+    deploy(&dir, &columns2);
+    let payload = || query_payload("euclidean", Tau::Ratio(0.2), ExecPolicy::Sequential, &query);
+    let during = client.search(payload(), JoinThreshold::Count(3)).unwrap();
+    assert_eq!(during.generation, 1);
+    assert!(!during.cached);
+    assert_eq!(
+        during.hits,
+        wire(&direct_a),
+        "must keep serving the old build"
+    );
+
+    // Now pick the re-index up (manifest bumps to 2).
+    let (generation, _) = client.reload(None).unwrap();
+    assert_eq!(generation, 2);
+    let info = client.info().unwrap();
+    assert_eq!(info.index_version, 2, "manifest version travels in INFO");
+    let reply = client
+        .search(
+            query_payload("euclidean", Tau::Ratio(0.2), ExecPolicy::Sequential, &query),
+            JoinThreshold::Count(1),
+        )
+        .unwrap();
+    assert_eq!(reply.generation, 2);
+
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn protocol_shutdown_drains_and_joins() {
+    let dir = tempdir("shutdown");
+    let (columns, _) = workload(66, 6, "a");
+    deploy(&dir, &columns);
+    let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = handle.addr();
+    // A chatty keep-alive peer must not be able to hold the daemon open:
+    // after shutdown it gets at most its in-flight reply, then the
+    // connection closes.
+    let mut chatty = ServeClient::connect(addr).unwrap();
+    chatty.info().unwrap();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    drop(client);
+    // Whether this request sneaks in before the worker observes the flag
+    // or fails on a closed connection, the follow-up must fail and join()
+    // must return instead of hanging on the chatty peer.
+    let first = chatty.info();
+    let second = chatty.info();
+    assert!(
+        first.is_err() || second.is_err(),
+        "a shutting-down server must close keep-alive connections"
+    );
+    drop(chatty);
+    // The daemon exits on its own: join() returns instead of hanging.
+    handle.join();
+    // And the port is actually released/refusing.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut late = match ServeClient::connect(addr) {
+        Err(_) => return, // refused outright: fine
+        Ok(c) => c,
+    };
+    assert!(late.info().is_err(), "a shut-down server must not answer");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -106,6 +106,20 @@ macro_rules! float_range_strategy {
 
 float_range_strategy!(f32, f64);
 
+// Tuples of strategies generate tuples of values, like upstream.
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
 /// A constant strategy (`Just` in upstream proptest).
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone + std::fmt::Debug>(pub T);

@@ -1,86 +1,203 @@
 //! `pexeso` — command-line joinable-table discovery over CSV data lakes.
 //!
 //! ```text
-//! pexeso index  --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4]
-//! pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5]
-//! pexeso topk   --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10]
+//! pexeso index  --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4] [--policy seq|par|par:N]
+//! pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy ...]
+//! pexeso topk   --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...]
+//! pexeso serve  --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--cache 4096]
+//! pexeso query  --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...]
+//! pexeso query  --addr <host:port> --stats | --reload [--reload-dir <dir>] | --shutdown
 //! ```
 //!
 //! The offline step detects each table's key column, embeds it with the
 //! deterministic character-level embedder, JSD-partitions the columns, and
-//! persists one PEXESO index per partition plus a small manifest. The
-//! online steps embed the query column with the same embedder and stream
-//! the partitions.
+//! persists one PEXESO index per partition plus a versioned manifest. The
+//! online steps embed the query column with the same embedder and either
+//! stream the partitions locally (`search`/`topk`) or talk to a resident
+//! `pexeso serve` daemon (`query`), which keeps the partitions hot, caches
+//! results, and supports zero-downtime re-index via `--reload`.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pexeso::pipeline::{embed_query, embed_tables};
+use pexeso::pipeline::{build_lake_index, embed_query, open_lake_index};
 use pexeso::prelude::*;
 
 /// Shadow the crate's `Result` alias: CLI errors are plain strings.
 type CliResult<T> = std::result::Result<T, String>;
 use pexeso_lake::csv::read_table_file;
 use pexeso_lake::keycol::KeyColumnConfig;
+use pexeso_serve::{query_payload, ServeClient, ServeConfig, Server};
+
+/// One legal flag of a subcommand.
+struct FlagSpec {
+    name: &'static str,
+    /// `--flag value` when true, a bare `--flag` switch when false.
+    takes_value: bool,
+}
+
+const fn val(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+const INDEX_FLAGS: &[FlagSpec] = &[
+    val("lake"),
+    val("out"),
+    val("dim"),
+    val("partitions"),
+    val("policy"),
+    switch("help"),
+];
+const SEARCH_FLAGS: &[FlagSpec] = &[
+    val("index"),
+    val("query"),
+    val("column"),
+    val("tau"),
+    val("t"),
+    val("policy"),
+    switch("help"),
+];
+const TOPK_FLAGS: &[FlagSpec] = &[
+    val("index"),
+    val("query"),
+    val("column"),
+    val("tau"),
+    val("k"),
+    val("policy"),
+    switch("help"),
+];
+const SERVE_FLAGS: &[FlagSpec] = &[
+    val("index"),
+    val("addr"),
+    val("port"),
+    val("workers"),
+    val("queue"),
+    val("cache"),
+    switch("help"),
+];
+const QUERY_FLAGS: &[FlagSpec] = &[
+    val("addr"),
+    val("query"),
+    val("column"),
+    val("tau"),
+    val("t"),
+    val("k"),
+    val("policy"),
+    val("reload-dir"),
+    switch("stats"),
+    switch("reload"),
+    switch("shutdown"),
+    switch("help"),
+];
+
+fn usage_text(cmd: &str) -> &'static str {
+    match cmd {
+        "index" => {
+            "pexeso index --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4] [--policy seq|par|par:N]"
+        }
+        "search" => {
+            "pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy seq|par|par:N]"
+        }
+        "topk" => {
+            "pexeso topk --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy seq|par|par:N]"
+        }
+        "serve" => {
+            "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--cache 4096]"
+        }
+        "query" => {
+            "pexeso query --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N]\n\
+             pexeso query --addr <host:port> --stats | --reload [--reload-dir <dir>] | --shutdown"
+        }
+        _ => "",
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pexeso index  --lake <dir> --out <dir> [--dim 64] [--partitions 4]\n  \
-         pexeso search --index <dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5]\n  \
-         pexeso topk   --index <dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10]"
+        "usage:\n  {}\n  {}\n  {}\n  {}\n  {}",
+        usage_text("index"),
+        usage_text("search"),
+        usage_text("topk"),
+        usage_text("serve"),
+        usage_text("query"),
     );
     ExitCode::from(2)
 }
 
-/// Minimal `--key value` argument parser.
-fn parse_flags(args: &[String]) -> CliResult<HashMap<String, String>> {
+/// Spec-driven `--flag [value]` parser: rejects unknown flags (naming the
+/// subcommand), rejects duplicates instead of silently keeping the last
+/// occurrence, and supports value-less switches like `--help`. Switches
+/// are stored with an empty value.
+fn parse_flags(
+    cmd: &str,
+    specs: &[FlagSpec],
+    args: &[String],
+) -> CliResult<HashMap<String, String>> {
     let mut map = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        map.insert(key.to_string(), value.clone());
-        i += 2;
+        let spec = specs.iter().find(|s| s.name == key).ok_or_else(|| {
+            format!("unknown flag --{key} for subcommand '{cmd}' (see '{cmd} --help')")
+        })?;
+        if map.contains_key(key) {
+            return Err(format!("duplicate flag --{key}"));
+        }
+        if spec.takes_value {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), value.clone());
+            i += 2;
+        } else {
+            map.insert(key.to_string(), String::new());
+            i += 1;
+        }
     }
     Ok(map)
 }
 
-fn manifest_path(index_dir: &Path) -> PathBuf {
-    index_dir.join("manifest.txt")
-}
-
-fn write_manifest(index_dir: &Path, dim: usize) -> std::io::Result<()> {
-    std::fs::write(
-        manifest_path(index_dir),
-        format!("version=1\nembedder=hash\ndim={dim}\n"),
-    )
-}
-
-fn read_manifest(index_dir: &Path) -> CliResult<usize> {
-    let text = std::fs::read_to_string(manifest_path(index_dir))
-        .map_err(|e| format!("cannot read manifest: {e}"))?;
-    for line in text.lines() {
-        if let Some(d) = line.strip_prefix("dim=") {
-            return d.parse().map_err(|e| format!("bad dim in manifest: {e}"));
-        }
+fn parse_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> CliResult<T>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{key} '{v}': {e}")),
     }
-    Err("manifest missing dim".into())
+}
+
+/// The `--policy seq|par|par:N` flag shared by every subcommand.
+fn parse_policy(flags: &HashMap<String, String>) -> CliResult<ExecPolicy> {
+    match flags.get("policy") {
+        None => Ok(ExecPolicy::Sequential),
+        Some(v) => ExecPolicy::parse(v).map_err(|e| e.to_string()),
+    }
 }
 
 fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
     let lake_dir = flags.get("lake").ok_or("--lake is required")?;
     let out_dir = PathBuf::from(flags.get("out").ok_or("--out is required")?);
-    let dim: usize = flags
-        .get("dim")
-        .map_or(Ok(64), |d| d.parse().map_err(|e| format!("{e}")))?;
-    let partitions: usize = flags
-        .get("partitions")
-        .map_or(Ok(4), |k| k.parse().map_err(|e| format!("{e}")))?;
+    let dim: usize = parse_or(flags, "dim", 64)?;
+    let partitions: usize = parse_or(flags, "partitions", 4)?;
+    let policy = parse_policy(flags)?;
 
     let mut tables = Vec::new();
     let mut entries: Vec<PathBuf> = std::fs::read_dir(lake_dir)
@@ -102,34 +219,26 @@ fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
     println!("loaded {} tables from {lake_dir}", tables.len());
 
     let embedder = HashEmbedder::new(dim);
-    let mut lake =
-        embed_tables(&embedder, &tables, &KeyColumnConfig::default()).map_err(|e| e.to_string())?;
-    lake.columns.store_mut().normalize_all();
-    println!(
-        "embedded {} key columns / {} values",
-        lake.columns.n_columns(),
-        lake.columns.n_vectors()
-    );
-
-    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
-    let built = PartitionedLake::build(
-        &lake.columns,
-        Euclidean,
-        &PartitionConfig {
-            k: partitions,
-            method: PartitionMethod::JsdKmeans,
-            ..Default::default()
-        },
-        &IndexOptions::default(),
+    let deployed = build_lake_index(
+        &tables,
+        &embedder,
+        "hash",
+        &KeyColumnConfig::default(),
         &out_dir,
+        partitions,
+        policy,
     )
     .map_err(|e| e.to_string())?;
-    write_manifest(&out_dir, dim).map_err(|e| e.to_string())?;
     println!(
-        "indexed into {} partitions ({:.1} MB) at {}",
-        built.num_partitions(),
-        built.disk_bytes().map_err(|e| e.to_string())? as f64 / 1e6,
-        out_dir.display()
+        "embedded {} key columns / {} values",
+        deployed.n_columns, deployed.n_vectors
+    );
+    println!(
+        "indexed into {} partitions ({:.1} MB) at {} (index_version={})",
+        deployed.lake.num_partitions(),
+        deployed.lake.disk_bytes().map_err(|e| e.to_string())? as f64 / 1e6,
+        out_dir.display(),
+        deployed.manifest.index_version,
     );
     Ok(())
 }
@@ -163,26 +272,36 @@ fn load_query(
     Ok((table.column(col).to_vec(), HashEmbedder::new(dim)))
 }
 
+fn print_hits<'a>(hits: impl IntoIterator<Item = &'a GlobalHit>) {
+    for h in hits {
+        println!(
+            "  {} . {}  ({} records matched)",
+            h.table_name, h.column_name, h.match_count
+        );
+    }
+}
+
 fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
     let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
-    let tau: f32 = flags
-        .get("tau")
-        .map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let t: f64 = flags
-        .get("t")
-        .map_or(Ok(0.5), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let dim = read_manifest(&index_dir)?;
-    let (values, embedder) = load_query(flags, dim)?;
+    let tau: f32 = parse_or(flags, "tau", 0.06)?;
+    let t: f64 = parse_or(flags, "t", 0.5)?;
+    let policy = parse_policy(flags)?;
+    let (lake, manifest) = open_lake_index(&index_dir).map_err(|e| e.to_string())?;
+    let (values, embedder) = load_query(flags, manifest.dim)?;
     let query = embed_query(&embedder, &values);
 
-    let lake = PartitionedLake::open(&index_dir).map_err(|e| e.to_string())?;
+    let opts = SearchOptions {
+        exec: policy,
+        ..Default::default()
+    };
     let (hits, stats) = lake
-        .search(
+        .search_with_policy(
             Euclidean,
             query.store(),
             Tau::Ratio(tau),
             JoinThreshold::Ratio(t),
-            SearchOptions::default(),
+            opts,
+            policy,
         )
         .map_err(|e| e.to_string())?;
     println!(
@@ -190,41 +309,136 @@ fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
         hits.len(),
         stats.total_time
     );
-    for h in hits {
-        println!(
-            "  {} . {}  ({} records matched)",
-            h.table_name, h.column_name, h.match_count
-        );
-    }
+    print_hits(&hits);
     Ok(())
 }
 
 fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
     let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
-    let tau: f32 = flags
-        .get("tau")
-        .map_or(Ok(0.06), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let k: usize = flags
-        .get("k")
-        .map_or(Ok(10), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let dim = read_manifest(&index_dir)?;
-    let (values, embedder) = load_query(flags, dim)?;
+    let tau: f32 = parse_or(flags, "tau", 0.06)?;
+    let k: usize = parse_or(flags, "k", 10)?;
+    let policy = parse_policy(flags)?;
+    let (lake, manifest) = open_lake_index(&index_dir).map_err(|e| e.to_string())?;
+    let (values, embedder) = load_query(flags, manifest.dim)?;
     let query = embed_query(&embedder, &values);
 
     // Per-partition exact top-k, merged globally (count descending,
     // external id ascending) by the lake.
-    let lake = PartitionedLake::open(&index_dir).map_err(|e| e.to_string())?;
+    let opts = SearchOptions {
+        exec: policy,
+        ..Default::default()
+    };
     let (all, _stats) = lake
-        .search_topk(
-            Euclidean,
-            query.store(),
-            Tau::Ratio(tau),
-            k,
-            SearchOptions::default(),
-        )
+        .search_topk_with_policy(Euclidean, query.store(), Tau::Ratio(tau), k, opts, policy)
         .map_err(|e| e.to_string())?;
     println!("\ntop-{k} joinable columns (tau={tau}):");
-    for h in all {
+    print_hits(&all);
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let addr = match (flags.get("addr"), flags.get("port")) {
+        (Some(_), Some(_)) => return Err("--addr and --port are mutually exclusive".into()),
+        (Some(addr), None) => addr.clone(),
+        (None, Some(port)) => format!("127.0.0.1:{port}"),
+        (None, None) => "127.0.0.1:7878".to_string(),
+    };
+    let config = ServeConfig {
+        workers: parse_or(flags, "workers", 4)?,
+        queue_capacity: parse_or(flags, "queue", 64)?,
+        cache_capacity: parse_or(flags, "cache", 4096)?,
+        ..Default::default()
+    };
+    let workers = config.workers;
+    let handle = Server::start(&index_dir, addr.as_str(), config).map_err(|e| e.to_string())?;
+    println!(
+        "pexeso serve: listening on {} ({} workers, index {})",
+        handle.addr(),
+        workers,
+        index_dir.display()
+    );
+    // Runs until a client sends SHUTDOWN (`pexeso query --addr ... --shutdown`).
+    handle.join();
+    println!("pexeso serve: shut down");
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
+    let addr = flags.get("addr").ok_or("--addr is required")?;
+    // Exactly one mode: at most one admin verb, no silently-ignored flags.
+    let admin_verbs: Vec<&str> = ["stats", "shutdown", "reload", "reload-dir"]
+        .into_iter()
+        .filter(|v| flags.contains_key(*v))
+        .collect();
+    if admin_verbs.len() > 1 && admin_verbs != ["reload", "reload-dir"] {
+        return Err(format!(
+            "--{} and --{} are mutually exclusive",
+            admin_verbs[0], admin_verbs[1]
+        ));
+    }
+    if !admin_verbs.is_empty() {
+        for q in ["query", "column", "tau", "t", "k", "policy"] {
+            if flags.contains_key(q) {
+                return Err(format!(
+                    "--{q} cannot be combined with --{}",
+                    admin_verbs[0]
+                ));
+            }
+        }
+    }
+    if flags.contains_key("t") && flags.contains_key("k") {
+        return Err("--t (threshold search) and --k (top-k) are mutually exclusive".into());
+    }
+    let mut client = ServeClient::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    if flags.contains_key("stats") {
+        print!("{}", client.stats_text().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if flags.contains_key("shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("server at {addr} is shutting down");
+        return Ok(());
+    }
+    if flags.contains_key("reload") || flags.contains_key("reload-dir") {
+        let dir = flags.get("reload-dir").map(PathBuf::from);
+        let (generation, partitions) = client.reload(dir.as_deref()).map_err(|e| e.to_string())?;
+        println!("reloaded: generation {generation}, {partitions} partitions");
+        return Ok(());
+    }
+
+    let tau: f32 = parse_or(flags, "tau", 0.06)?;
+    let policy = parse_policy(flags)?;
+    let info = client.info().map_err(|e| e.to_string())?;
+    let (values, embedder) = load_query(flags, info.dim as usize)?;
+    let query = embed_query(&embedder, &values);
+    let payload = query_payload("euclidean", Tau::Ratio(tau), policy, query.store());
+
+    let reply = if let Some(k) = flags.get("k") {
+        let k: u64 = k.parse().map_err(|e| format!("bad --k '{k}': {e}"))?;
+        let reply = client.topk(payload, k).map_err(|e| e.to_string())?;
+        println!(
+            "\ntop-{k} joinable columns (tau={tau}, snapshot generation {}{}):",
+            reply.generation,
+            if reply.cached { ", cached" } else { "" }
+        );
+        reply
+    } else {
+        let t: f64 = parse_or(flags, "t", 0.5)?;
+        let reply = client
+            .search(payload, JoinThreshold::Ratio(t))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "\n{} joinable columns (tau={tau}, T={t}, snapshot generation {}{}):",
+            reply.hits.len(),
+            reply.generation,
+            if reply.cached { ", cached" } else { "" }
+        );
+        reply
+    };
+    for h in &reply.hits {
         println!(
             "  {} . {}  ({} records matched)",
             h.table_name, h.column_name, h.match_count
@@ -238,20 +452,32 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    let flags = match parse_flags(&args[1..]) {
+    let specs = match cmd.as_str() {
+        "index" => INDEX_FLAGS,
+        "search" => SEARCH_FLAGS,
+        "topk" => TOPK_FLAGS,
+        "serve" => SERVE_FLAGS,
+        "query" => QUERY_FLAGS,
+        _ => return usage(),
+    };
+    let flags = match parse_flags(cmd, specs, &args[1..]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
         }
     };
+    if flags.contains_key("help") {
+        println!("usage: {}", usage_text(cmd));
+        return ExitCode::SUCCESS;
+    }
     let result = match cmd.as_str() {
         "index" => cmd_index(&flags),
         "search" => cmd_search(&flags),
         "topk" => cmd_topk(&flags),
-        _ => {
-            return usage();
-        }
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
+        _ => unreachable!("subcommand validated above"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

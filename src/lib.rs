@@ -22,7 +22,10 @@
 //!   joins, cover tree, extreme pivot table, product quantization,
 //!   PEXESO-H;
 //! * [`ml`] *(pexeso-ml)* — random forests and join-based feature
-//!   augmentation for the data-enrichment experiments.
+//!   augmentation for the data-enrichment experiments;
+//! * [`serve`] *(pexeso-serve)* — a resident TCP query-serving daemon
+//!   over a persisted [`pexeso_core::outofcore::PartitionedLake`]:
+//!   result caching, atomic hot index swap, explicit backpressure.
 //!
 //! Every stage accepts a [`pexeso_core::config::ExecPolicy`]
 //! (`Sequential`, the default, or `Parallel { threads }`) and produces
@@ -64,6 +67,7 @@ pub use pexeso_core as core;
 pub use pexeso_embed as embed;
 pub use pexeso_lake as lake;
 pub use pexeso_ml as ml;
+pub use pexeso_serve as serve;
 
 pub mod pipeline;
 

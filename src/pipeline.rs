@@ -7,11 +7,14 @@
 //! presents each joinable table together with the record-level mapping.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use pexeso_core::column::{ColumnId, ColumnSet};
-use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
+use pexeso_core::config::{ExecPolicy, IndexOptions, JoinThreshold, Tau};
 use pexeso_core::error::{PexesoError, Result};
-use pexeso_core::metric::Metric;
+use pexeso_core::metric::{Euclidean, Metric};
+use pexeso_core::outofcore::{LakeManifest, PartitionedLake};
+use pexeso_core::partition::{PartitionConfig, PartitionMethod};
 use pexeso_core::search::{PexesoIndex, SearchOptions, SearchResult};
 use pexeso_core::vector::VectorStore;
 use pexeso_embed::Embedder;
@@ -218,6 +221,72 @@ pub fn embed_query(embedder: &dyn Embedder, values: &[String]) -> EmbeddedQuery 
         rows,
         n_rows: values.len(),
     }
+}
+
+/// A persisted deployment plus build statistics, as returned by
+/// [`build_lake_index`].
+#[derive(Debug)]
+pub struct DeployedLake {
+    pub lake: PartitionedLake,
+    pub manifest: LakeManifest,
+    /// Key columns embedded into the deployment.
+    pub n_columns: usize,
+    /// Total vectors across those columns.
+    pub n_vectors: usize,
+}
+
+/// Offline deployment build shared by the CLI, the serving daemon's
+/// operators, and the tests: detect each table's key column, embed it,
+/// JSD-partition the columns, persist one PEXESO index per partition
+/// under `out_dir`, and write the versioned manifest (`index_version`
+/// continues from any manifest already present, so re-indexing the same
+/// directory produces a build a resident server can distinguish from the
+/// previous one when it hot-swaps).
+pub fn build_lake_index(
+    tables: &[Table],
+    embedder: &dyn Embedder,
+    embedder_name: &str,
+    key_cfg: &KeyColumnConfig,
+    out_dir: &Path,
+    partitions: usize,
+    policy: ExecPolicy,
+) -> Result<DeployedLake> {
+    let mut embedded = embed_tables(embedder, tables, key_cfg)?;
+    embedded.columns.store_mut().normalize_all();
+    let n_columns = embedded.columns.n_columns();
+    let n_vectors = embedded.columns.n_vectors();
+    std::fs::create_dir_all(out_dir)?;
+    let lake = PartitionedLake::build(
+        &embedded.columns,
+        Euclidean,
+        &PartitionConfig {
+            k: partitions,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
+        &IndexOptions {
+            exec: policy,
+            ..Default::default()
+        },
+        out_dir,
+    )?;
+    let manifest = LakeManifest::next_build(out_dir, embedder_name, embedder.dim())?;
+    manifest.write(out_dir)?;
+    Ok(DeployedLake {
+        lake,
+        manifest,
+        n_columns,
+        n_vectors,
+    })
+}
+
+/// Open a persisted deployment for querying: the partitioned lake plus
+/// the manifest that tells the query side which embedding dimensionality
+/// to use.
+pub fn open_lake_index(index_dir: &Path) -> Result<(PartitionedLake, LakeManifest)> {
+    let manifest = LakeManifest::read(index_dir)?;
+    let lake = PartitionedLake::open(index_dir)?;
+    Ok((lake, manifest))
 }
 
 /// Batched multi-user entry point: embed many string query columns and
@@ -547,6 +616,58 @@ mod tests {
         let all = select_query_columns(&t, QueryColumnChoice::IterateAll, &cfg).unwrap();
         assert!(all.contains(&0));
         assert!(!all.contains(&1));
+    }
+
+    #[test]
+    fn build_and_open_lake_index_roundtrip() {
+        use pexeso_lake::table::Table;
+        let e = HashEmbedder::new(32);
+        let tables: Vec<Table> = (0..3)
+            .map(|t| {
+                Table::from_rows(
+                    format!("tab{t}"),
+                    vec!["Name", "Year"],
+                    (0..10)
+                        .map(|i| vec![format!("Item {t} Number {i}"), format!("{}", 2000 + i)])
+                        .collect(),
+                )
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("pexeso_pipeline_idx_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let deployed = build_lake_index(
+            &tables,
+            &e,
+            "hash",
+            &KeyColumnConfig::default(),
+            &dir,
+            2,
+            ExecPolicy::Sequential,
+        )
+        .unwrap();
+        assert_eq!(deployed.manifest.index_version, 1);
+        assert_eq!(deployed.manifest.dim, 32);
+        assert_eq!(deployed.n_columns, 3);
+        assert_eq!(deployed.n_vectors, 30);
+
+        let (opened, manifest) = open_lake_index(&dir).unwrap();
+        assert_eq!(opened.num_partitions(), deployed.lake.num_partitions());
+        assert_eq!(manifest, deployed.manifest);
+
+        // Re-indexing the same directory bumps the manifest version.
+        let again = build_lake_index(
+            &tables,
+            &e,
+            "hash",
+            &KeyColumnConfig::default(),
+            &dir,
+            2,
+            ExecPolicy::Sequential,
+        )
+        .unwrap();
+        assert_eq!(again.manifest.index_version, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
