@@ -211,6 +211,7 @@ impl<M: Metric> VectorJoinSearch for PexesoHIndex<'_, M> {
 mod tests {
     use super::*;
     use pexeso_core::metric::Euclidean;
+    use pexeso_core::query::Queryable;
     use pexeso_core::search::{naive_search, PexesoIndex};
     use pexeso_core::PivotSelection;
     use rand::rngs::StdRng;
@@ -263,10 +264,18 @@ mod tests {
                     let (expected, _) =
                         naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
                     let (got_h, _) = h.search(&query, tau, t).unwrap();
-                    let got_full = full.search(&query, tau, t).unwrap();
+                    let got_full = full
+                        .execute(&pexeso_core::query::Query::threshold(tau, t), &query)
+                        .unwrap();
                     let ids = |v: &[SearchHit]| v.iter().map(|h| h.column).collect::<Vec<_>>();
                     assert_eq!(ids(&got_h), ids(&expected), "seed={seed}");
-                    assert_eq!(ids(&got_full.hits), ids(&expected), "seed={seed}");
+                    // External ids equal insertion order in this fixture.
+                    let full_ids: Vec<ColumnId> = got_full
+                        .hits
+                        .iter()
+                        .map(|h| ColumnId(h.external_id as u32))
+                        .collect();
+                    assert_eq!(full_ids, ids(&expected), "seed={seed}");
                 }
             }
         }
@@ -280,7 +289,9 @@ mod tests {
         let tau = Tau::Ratio(0.1);
         let t = JoinThreshold::Ratio(0.5);
         let (_, h_stats) = h.search(&query, tau, t).unwrap();
-        let full_result = full.search(&query, tau, t).unwrap();
+        let full_result = full
+            .execute(&pexeso_core::query::Query::threshold(tau, t), &query)
+            .unwrap();
         assert!(
             full_result.stats.distance_computations <= h_stats.distance_computations,
             "PEXESO {} should not exceed PEXESO-H {}",

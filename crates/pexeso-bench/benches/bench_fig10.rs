@@ -43,7 +43,13 @@ fn bench_fig10(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("pexeso_search", format!("{:.0}pct", pct * 100.0)),
             &index,
-            |b, index| b.iter(|| index.search(query.store(), tau, t).unwrap()),
+            |b, index| {
+                b.iter(|| {
+                    index
+                        .execute(&Query::threshold(tau, t), query.store())
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();

@@ -32,7 +32,10 @@ fn bench_fig8(c: &mut Criterion) {
         b.iter(|| pq85.search(query.store(), tau, t).unwrap())
     });
     group.bench_function("PEXESO", |b| {
-        b.iter(|| pex.search(query.store(), tau, t).unwrap())
+        b.iter(|| {
+            pex.execute(&Query::threshold(tau, t), query.store())
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -26,7 +26,11 @@ fn bench_fig9(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| index.search_with(query.store(), tau, t, opts).unwrap())
+            b.iter(|| {
+                index
+                    .execute(&Query::threshold(tau, t).with_options(opts), query.store())
+                    .unwrap()
+            })
         });
     }
     group.finish();

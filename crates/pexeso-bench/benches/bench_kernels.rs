@@ -255,24 +255,20 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("search_end_to_end", |b| {
         b.iter(|| {
             index
-                .search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.6))
+                .execute(
+                    &Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(0.6)),
+                    query.store(),
+                )
                 .unwrap()
         })
     });
 
     let queries: Vec<VectorStore> = (0..8).map(|i| w.query(i).1.store().clone()).collect();
+    let stores: Vec<&VectorStore> = queries.iter().collect();
+    let batch_query = Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(0.6))
+        .with_policy(ExecPolicy::auto());
     c.bench_function("search_many_8_queries", |b| {
-        b.iter(|| {
-            index
-                .search_many(
-                    &queries,
-                    Tau::Ratio(0.06),
-                    JoinThreshold::Ratio(0.6),
-                    SearchOptions::default(),
-                    ExecPolicy::auto(),
-                )
-                .unwrap()
-        })
+        b.iter(|| index.execute_many(&batch_query, &stores).unwrap())
     });
 }
 

@@ -108,7 +108,7 @@ fn start(dir: &Path, workers: usize, cache_capacity: usize) -> ServerHandle {
     .unwrap()
 }
 
-fn one_request(client: &mut ServeClient, query: &VectorStore) -> usize {
+fn one_request(client: &ServeClient, query: &VectorStore) -> usize {
     let reply = client
         .search(
             query_payload("euclidean", TAU, ExecPolicy::Sequential, query),
@@ -120,11 +120,9 @@ fn one_request(client: &mut ServeClient, query: &VectorStore) -> usize {
 
 /// Single connection, one request per iteration: mean_ns = per-request.
 fn bench_single(c: &mut Criterion, label: &str, handle: &ServerHandle, query: &VectorStore) {
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
-    assert!(one_request(&mut client, query) > 0, "workload must hit");
-    c.bench_function(label, |b| {
-        b.iter(|| black_box(one_request(&mut client, query)))
-    });
+    let client = ServeClient::connect(handle.addr()).unwrap();
+    assert!(one_request(&client, query) > 0, "workload must hit");
+    c.bench_function(label, |b| b.iter(|| black_box(one_request(&client, query))));
 }
 
 /// 8 client threads × 8 requests per iteration (each thread reconnects
@@ -136,9 +134,9 @@ fn bench_fanout(c: &mut Criterion, label: &str, handle: &ServerHandle, query: &V
             std::thread::scope(|scope| {
                 for _ in 0..FANOUT {
                     scope.spawn(|| {
-                        let mut client = ServeClient::connect(addr).unwrap();
+                        let client = ServeClient::connect(addr).unwrap();
                         for _ in 0..REQS_PER_CLIENT {
-                            black_box(one_request(&mut client, query));
+                            black_box(one_request(&client, query));
                         }
                     });
                 }

@@ -36,7 +36,13 @@ fn bench_table6(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("search", format!("P{pivots}_m{m}")),
                 &index,
-                |b, index| b.iter(|| index.search(query.store(), tau, t).unwrap()),
+                |b, index| {
+                    b.iter(|| {
+                        index
+                            .execute(&Query::threshold(tau, t), query.store())
+                            .unwrap()
+                    })
+                },
             );
         }
     }

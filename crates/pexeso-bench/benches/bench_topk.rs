@@ -97,31 +97,25 @@ fn build(columns: ColumnSet) -> PexesoIndex<Euclidean> {
 }
 
 fn bench_pair(c: &mut Criterion, label: &str, index: &PexesoIndex<Euclidean>, query: &VectorStore) {
+    let best_q = Query::topk(TAU, K);
+    let exhaustive_q = Query::topk(TAU, K).with_options(SearchOptions {
+        topk_strategy: TopkStrategy::Exhaustive,
+        ..Default::default()
+    });
     // Sanity: both strategies must return identical hits before we time them.
-    let best = index.search_topk(query, TAU, K).unwrap();
-    let exhaustive = index.search_topk_exhaustive(query, TAU, K).unwrap();
+    let best = index.execute(&best_q, query).unwrap();
+    let exhaustive = index.execute(&exhaustive_q, query).unwrap();
     assert_eq!(best.hits, exhaustive.hits, "strategies diverged on {label}");
 
     c.bench_function(&format!("topk{K}_best_first_{label}_10k_x64d"), |b| {
-        b.iter(|| index.search_topk(black_box(query), TAU, K).unwrap())
+        b.iter(|| index.execute(&best_q, black_box(query)).unwrap())
     });
     c.bench_function(&format!("topk{K}_threshold_sort_{label}_10k_x64d"), |b| {
-        b.iter(|| {
-            index
-                .search_topk_exhaustive(black_box(query), TAU, K)
-                .unwrap()
-        })
+        b.iter(|| index.execute(&exhaustive_q, black_box(query)).unwrap())
     });
     c.bench_function(&format!("topk{K}_best_first_par8_{label}_10k_x64d"), |b| {
-        let opts = SearchOptions {
-            exec: ExecPolicy::Parallel { threads: 8 },
-            ..Default::default()
-        };
-        b.iter(|| {
-            index
-                .search_topk_with(black_box(query), TAU, K, opts)
-                .unwrap()
-        })
+        let par_q = Query::topk(TAU, K).with_exec(ExecPolicy::Parallel { threads: 8 });
+        b.iter(|| index.execute(&par_q, black_box(query)).unwrap())
     });
 }
 

@@ -29,7 +29,7 @@ fn avg_search(
 
     let start = Instant::now();
     for q in queries {
-        let _ = pex.search(q.store(), tau, t);
+        let _ = pex.execute(&Query::threshold(tau, t), q.store());
     }
     let pex_time = start.elapsed() / queries.len() as u32;
     let start = Instant::now();

@@ -47,7 +47,7 @@ fn run(w: &Workload, n_queries: usize) -> Fig6Numbers {
         h.search(q.store(), tau, t).unwrap().1.distance_computations
     });
     count("PEXESO", &|q| {
-        pex.search(q.store(), tau, t)
+        pex.execute(&Query::threshold(tau, t), q.store())
             .unwrap()
             .stats
             .distance_computations

@@ -43,7 +43,10 @@ fn fig7a(w: &Workload, n_queries: usize) {
             let index = PexesoIndex::build(sub.clone(), Euclidean, opts).expect("build");
             let start = Instant::now();
             for q in &queries {
-                let _ = index.search(q.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.6));
+                let _ = index.execute(
+                    &Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(0.6)),
+                    q.store(),
+                );
             }
             search_times.push(secs(start.elapsed() / n_queries as u32));
         }
@@ -109,12 +112,9 @@ fn fig7b(w: &Workload, n_queries: usize) {
             .expect("partition build");
             let start = Instant::now();
             for q in &queries {
-                let _ = lake.search(
-                    Euclidean,
+                let _ = lake.execute(
+                    &Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(0.6)),
                     q.store(),
-                    Tau::Ratio(0.06),
-                    JoinThreshold::Ratio(0.6),
-                    SearchOptions::default(),
                 );
             }
             row.push(secs(start.elapsed() / n_queries as u32));

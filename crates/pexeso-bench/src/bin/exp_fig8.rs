@@ -66,7 +66,7 @@ fn main() {
             ),
             avg(
                 &|q, tau, t| {
-                    let _ = pex.search(q.store(), tau, t);
+                    let _ = pex.execute(&Query::threshold(tau, t), q.store());
                 },
                 tau,
                 0.6,
@@ -96,7 +96,7 @@ fn main() {
             ),
             avg(
                 &|q, tau, tt| {
-                    let _ = pex.search(q.store(), tau, tt);
+                    let _ = pex.execute(&Query::threshold(tau, tt), q.store());
                 },
                 0.06,
                 t,

@@ -26,7 +26,7 @@ fn run(w: &Workload, n_queries: usize) -> Vec<String> {
         ("ALL (PEXESO)", LemmaFlags::all()),
     ];
     let mut cells = Vec::new();
-    let mut reference: Option<Vec<pexeso_core::ColumnId>> = None;
+    let mut reference: Option<Vec<u64>> = None;
     for (_, flags) in variants {
         let opts = SearchOptions {
             flags,
@@ -36,8 +36,10 @@ fn run(w: &Workload, n_queries: usize) -> Vec<String> {
         let start = Instant::now();
         let mut last_result = Vec::new();
         for q in &queries {
-            let r = index.search_with(q.store(), tau, t, opts).expect("search");
-            last_result = r.hits.iter().map(|h| h.column).collect();
+            let r = index
+                .execute(&Query::threshold(tau, t).with_options(opts), q.store())
+                .expect("search");
+            last_result = r.hits.iter().map(|h| h.external_id).collect();
         }
         cells.push(secs(start.elapsed() / n_queries as u32));
         // Exactness: every ablation returns identical results.

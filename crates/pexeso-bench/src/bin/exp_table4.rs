@@ -182,13 +182,17 @@ fn run_dataset(w: &Workload, n_queries: usize, query_rows: usize) -> Vec<(String
             let mut acc = PrAccumulator::default();
             for (emb, truth) in queries.embedded.iter().zip(&queries.truths) {
                 let result = index
-                    .search(
+                    .execute(
+                        &Query::threshold(Tau::Ratio(tau_pct), JoinThreshold::Ratio(T_RATIO)),
                         emb.store(),
-                        Tau::Ratio(tau_pct),
-                        JoinThreshold::Ratio(T_RATIO),
                     )
                     .expect("search");
-                let cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+                // External ids equal insertion order in the workload.
+                let cols: Vec<ColumnId> = result
+                    .hits
+                    .iter()
+                    .map(|h| ColumnId(h.external_id as u32))
+                    .collect();
                 acc.push(&hits_to_tables(w, &index, &cols), truth);
             }
             cands.push((tau_pct, acc));

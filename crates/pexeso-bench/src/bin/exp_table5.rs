@@ -94,9 +94,17 @@ fn pexeso_mapping(
 ) -> JoinMapping {
     let query = embed_query(&w.embedder, task.query.key_values());
     let result = index
-        .search(query.store(), tau, JoinThreshold::Ratio(T_RATIO))
+        .execute(
+            &Query::threshold(tau, JoinThreshold::Ratio(T_RATIO)),
+            query.store(),
+        )
         .expect("search");
-    let cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+    // External ids equal insertion order in the embedded workload.
+    let cols: Vec<ColumnId> = result
+        .hits
+        .iter()
+        .map(|h| ColumnId(h.external_id as u32))
+        .collect();
     let mut mapping = join_mapping(index, &w.embedded, &query, &cols, tau).expect("mapping");
     dedupe_mapping(&mut mapping);
     mapping

@@ -42,7 +42,9 @@ fn run_dataset(w: &Workload, n_queries: usize) {
             let mut block_total = Duration::ZERO;
             let mut search_total = Duration::ZERO;
             for q in &queries {
-                let r = index.search(q.store(), tau, t).expect("search");
+                let r = index
+                    .execute(&Query::threshold(tau, t), q.store())
+                    .expect("search");
                 block_total += r.stats.block_time;
                 search_total += r.stats.block_time + r.stats.verify_time;
             }

@@ -73,7 +73,7 @@ fn run_in_memory(w: &Workload, n_queries: usize) {
                 let _ = h.search(q.store(), tau, t);
             });
             let p = time_method(&|q, tau, t| {
-                let _ = pex.search(q.store(), tau, t);
+                let _ = pex.execute(&Query::threshold(tau, t), q.store());
             });
             table.row(vec![
                 format!("{:.0}%", t * 100.0),
@@ -148,7 +148,7 @@ fn run_out_of_core(w: &Workload, n_queries: usize, k: usize) {
                 let _ = h.search(q.store(), tau, t);
             });
             let p = time_method(&|q, tau, t| {
-                let _ = lake.search(Euclidean, q.store(), tau, t, SearchOptions::default());
+                let _ = lake.execute(&Query::threshold(tau, t), q.store());
             });
             table.row(vec![
                 format!("{:.0}%", t * 100.0),

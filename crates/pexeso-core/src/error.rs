@@ -19,6 +19,9 @@ pub enum PexesoError {
     Io(std::io::Error),
     /// A persisted index file failed validation.
     Corrupt(String),
+    /// A remote backend (e.g. a `pexeso serve` daemon) failed to answer:
+    /// server-side rejection, backpressure, or a protocol violation.
+    Remote(String),
 }
 
 impl fmt::Display for PexesoError {
@@ -31,6 +34,7 @@ impl fmt::Display for PexesoError {
             PexesoError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             PexesoError::Io(e) => write!(f, "I/O error: {e}"),
             PexesoError::Corrupt(msg) => write!(f, "corrupt index file: {msg}"),
+            PexesoError::Remote(msg) => write!(f, "remote backend error: {msg}"),
         }
     }
 }

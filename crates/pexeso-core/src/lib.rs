@@ -46,12 +46,23 @@
 //! [`metric::Metric::dist`]; overrides are required to agree exactly with
 //! the scalar path, so they are pure throughput knobs too.
 //!
+//! ## The unified query API
+//!
+//! Every backend — the in-memory [`search::PexesoIndex`], the
+//! out-of-core [`outofcore::PartitionedLake`], its fully-resident twin
+//! [`outofcore::ResidentPartitions`], and the remote client in
+//! `pexeso-serve` — answers one request type, [`query::Query`], through
+//! one object-safe trait, [`query::Queryable`], with byte-identical
+//! rankings and a typed exactness outcome (budgeted queries report
+//! [`query::QueryOutcome::Exceeded`] instead of silently presenting
+//! partial results). See the [`query`] module docs for the contract.
+//!
 //! ## Quick example
 //!
 //! ```
 //! use pexeso_core::prelude::*;
 //!
-//! // Three tiny 2-column repositories of 4-d unit vectors.
+//! // Two tiny repositories of 4-d unit vectors.
 //! let mut repo = ColumnSet::new(4);
 //! repo.add_column("t1", "c", 0, vec![&[1.0, 0.0, 0.0, 0.0][..], &[0.0, 1.0, 0.0, 0.0]]).unwrap();
 //! repo.add_column("t2", "c", 1, vec![&[0.0, 0.0, 1.0, 0.0][..]]).unwrap();
@@ -60,7 +71,9 @@
 //!
 //! let mut query = VectorStore::new(4);
 //! query.push(&[1.0, 0.0, 0.0, 0.0]).unwrap();
-//! let result = index.search(&query, Tau::Ratio(0.05), JoinThreshold::Ratio(0.9)).unwrap();
+//! let q = Query::threshold(Tau::Ratio(0.05), JoinThreshold::Ratio(0.9));
+//! let result = index.execute(&q, &query).unwrap();
+//! assert!(result.exact());
 //! assert_eq!(result.hits.len(), 1); // only t1.c joins
 //! ```
 
@@ -82,6 +95,7 @@ pub mod outofcore;
 pub mod partition;
 pub mod persist;
 pub mod pivot;
+pub mod query;
 pub mod search;
 pub mod stats;
 pub mod util;
@@ -98,8 +112,12 @@ pub mod prelude {
     pub use crate::metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
     pub use crate::outofcore::{GlobalHit, LakeManifest, PartitionedLake, ResidentPartitions};
     pub use crate::partition::{PartitionConfig, PartitionMethod};
+    pub use crate::query::{
+        Exceeded, Query, QueryBudget, QueryMode, QueryOutcome, QueryResponse, Queryable,
+    };
     pub use crate::search::{
-        naive_search, PexesoIndex, SearchHit, SearchOptions, SearchResult, VerifyStrategy,
+        naive_search, PexesoIndex, SearchHit, SearchOptions, SearchResult, TopkStrategy,
+        VerifyStrategy,
     };
     pub use crate::stats::SearchStats;
     pub use crate::vector::{VectorId, VectorStore};

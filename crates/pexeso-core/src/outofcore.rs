@@ -18,9 +18,13 @@ use crate::column::ColumnSet;
 use crate::config::{ExecPolicy, IndexOptions, JoinThreshold, Tau};
 use crate::error::{PexesoError, Result};
 use crate::exec;
-use crate::metric::Metric;
+use crate::metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
 use crate::partition::{partition_columns, split_column_set, PartitionConfig};
 use crate::persist::{load_index, save_index};
+use crate::query::{
+    fold_outcome, rank_topk_hits, sort_threshold_hits, BudgetGuard, Exceeded, Query, QueryMode,
+    QueryOutcome, QueryResponse, Queryable,
+};
 use crate::search::{PexesoIndex, SearchOptions};
 use crate::stats::SearchStats;
 use crate::vector::VectorStore;
@@ -246,10 +250,48 @@ impl PartitionedLake {
         Ok(total)
     }
 
+    /// Typed execution under an explicit metric instance: the engine
+    /// behind both [`Queryable::execute`] (which resolves the metric from
+    /// the query/manifest) and the legacy typed shims.
+    pub(crate) fn execute_typed<M: Metric>(
+        &self,
+        metric: M,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> Result<QueryResponse> {
+        execute_partitioned(self.partition_files.len(), query, |i, inner, guard| {
+            let index = load_index(&self.partition_files[i], metric.clone())?;
+            execute_on_index(&index, inner, vectors, guard)
+        })
+    }
+
+    /// The metric this deployment must be queried with: an explicit
+    /// [`Query::metric`] expectation, cross-checked against the directory
+    /// manifest when one exists (a mismatch is a typed error — the
+    /// persisted pivot mappings are only valid under the build metric);
+    /// with neither, Euclidean, the only metric the offline pipeline
+    /// deploys.
+    fn resolve_metric_name(&self, query: &Query) -> Result<String> {
+        let manifest_metric = match LakeManifest::read(&self.dir) {
+            Ok(m) => Some(m.metric),
+            Err(PexesoError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        match (query.metric.clone(), manifest_metric) {
+            (Some(q), Some(m)) if q != m => Err(PexesoError::InvalidParameter(format!(
+                "deployment manifest names metric '{m}'; query expects '{q}'"
+            ))),
+            (Some(q), _) => Ok(q),
+            (None, Some(m)) => Ok(m),
+            (None, None) => Ok("euclidean".to_string()),
+        }
+    }
+
     /// Sequential out-of-core search: load each partition, search it, merge.
     /// Load time is included in the stats' total time, mirroring the
     /// paper's Table VII accounting ("includes the overhead of loading the
     /// data from disks").
+    #[deprecated(note = "use `Queryable::execute` with `Query::threshold(tau, t)`")]
     pub fn search<M: Metric>(
         &self,
         metric: M,
@@ -258,7 +300,9 @@ impl PartitionedLake {
         t: JoinThreshold,
         opts: SearchOptions,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        self.search_with_policy(metric, query, tau, t, opts, ExecPolicy::Sequential)
+        let q = Query::threshold(tau, t).with_options(opts);
+        let resp = self.execute_typed(metric, &q, query)?;
+        Ok((resp.hits, resp.stats))
     }
 
     /// Out-of-core search under an explicit [`ExecPolicy`]: each partition
@@ -266,6 +310,9 @@ impl PartitionedLake {
     /// policy's thread pool, so I/O and CPU overlap across partitions.
     /// Results are identical to the sequential loop: per-partition results
     /// are kept in partition order and merged deterministically.
+    #[deprecated(
+        note = "use `Queryable::execute` with `Query::threshold(tau, t).with_policy(policy)`"
+    )]
     pub fn search_with_policy<M: Metric>(
         &self,
         metric: M,
@@ -275,25 +322,11 @@ impl PartitionedLake {
         opts: SearchOptions,
         policy: ExecPolicy,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        let started = Instant::now();
-        // When partitions already fan out across threads, keep each
-        // partition's inner search sequential to avoid nested fan-out.
-        let inner_opts = opts.demoted_under(policy);
-        // `try_map_units` stops handing out partitions after the first
-        // failure (like the sequential `?` loop always did) and converts a
-        // worker panic into a recoverable error instead of crashing a
-        // long-running server.
-        let per_partition = exec::try_map_units(
-            policy,
-            self.partition_files.len(),
-            || PexesoError::InvalidParameter("partition search worker panicked".into()),
-            |i| {
-                let index = load_index(&self.partition_files[i], metric.clone())?;
-                let result = index.search_with(query, tau, t, inner_opts)?;
-                Ok::<_, PexesoError>((resolve_global_hits(&index, result.hits), result.stats))
-            },
-        )?;
-        Ok(merge_threshold(per_partition, started))
+        let q = Query::threshold(tau, t)
+            .with_options(opts)
+            .with_policy(policy);
+        let resp = self.execute_typed(metric, &q, query)?;
+        Ok((resp.hits, resp.stats))
     }
 
     /// Out-of-core top-k: the (up to) `k` columns of the whole lake with
@@ -301,6 +334,7 @@ impl PartitionedLake {
     /// ties broken by ascending external id (internal column ids are not
     /// stable across partitioning). Sequential partition loop; see
     /// [`PartitionedLake::search_topk_with_policy`].
+    #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k)`")]
     pub fn search_topk<M: Metric>(
         &self,
         metric: M,
@@ -309,20 +343,18 @@ impl PartitionedLake {
         k: usize,
         opts: SearchOptions,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        self.search_topk_with_policy(metric, query, tau, k, opts, ExecPolicy::Sequential)
+        let q = Query::topk(tau, k).with_options(opts);
+        let resp = self.execute_typed(metric, &q, query)?;
+        Ok((resp.hits, resp.stats))
     }
 
     /// Out-of-core top-k under an explicit [`ExecPolicy`]. Each partition
-    /// answers its *local* top-k exactly and **tie-inclusively**: the
-    /// in-partition tie-break runs on internal column ids (insertion
-    /// order), which need not agree with the global external-id order, so
-    /// when the k-th best count extends past the local cut the partition
-    /// is re-queried with a doubled k until every column tied with the
-    /// boundary count is present. With all boundary ties in hand, any
-    /// member of the global top-k is necessarily in its partition's list;
-    /// the per-partition lists are then merged in partition order and
-    /// re-ranked deterministically (count descending, external id
-    /// ascending), making the result identical for every policy.
+    /// answers its *local* top-k exactly and **tie-inclusively** (see
+    /// `execute_on_index`); the per-partition lists are merged in
+    /// partition order and re-ranked deterministically (count descending,
+    /// external id ascending), making the result identical for every
+    /// policy.
+    #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k).with_policy(policy)`")]
     pub fn search_topk_with_policy<M: Metric>(
         &self,
         metric: M,
@@ -332,22 +364,16 @@ impl PartitionedLake {
         opts: SearchOptions,
         policy: ExecPolicy,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        let started = Instant::now();
-        let inner_opts = opts.demoted_under(policy);
-        let per_partition = exec::try_map_units(
-            policy,
-            self.partition_files.len(),
-            || PexesoError::InvalidParameter("partition top-k worker panicked".into()),
-            |i| {
-                let index = load_index(&self.partition_files[i], metric.clone())?;
-                topk_tie_inclusive(&index, query, tau, k, inner_opts)
-            },
-        )?;
-        Ok(merge_topk(per_partition, k, started))
+        let q = Query::topk(tau, k).with_options(opts).with_policy(policy);
+        let resp = self.execute_typed(metric, &q, query)?;
+        Ok((resp.hits, resp.stats))
     }
 
     /// Parallel variant with an explicit thread count; kept as a
-    /// convenience wrapper over [`PartitionedLake::search_with_policy`].
+    /// convenience wrapper over the policy form.
+    #[deprecated(
+        note = "use `Queryable::execute` with `Query::threshold(tau, t).with_policy(ExecPolicy::Parallel { threads })`"
+    )]
     pub fn search_parallel<M: Metric>(
         &self,
         metric: M,
@@ -358,14 +384,29 @@ impl PartitionedLake {
         threads: usize,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
         let threads = threads.max(1).min(self.partition_files.len().max(1));
-        self.search_with_policy(
-            metric,
-            query,
-            tau,
-            t,
-            opts,
-            ExecPolicy::Parallel { threads },
-        )
+        let q = Query::threshold(tau, t)
+            .with_options(opts)
+            .with_policy(ExecPolicy::Parallel { threads });
+        let resp = self.execute_typed(metric, &q, query)?;
+        Ok((resp.hits, resp.stats))
+    }
+}
+
+/// Out-of-core deployments answer the unified [`Query`] like every other
+/// backend. The metric is resolved from the query's expectation and the
+/// deployment manifest (see `resolve_metric_name`) and dispatched to the
+/// matching monomorphised engine.
+impl Queryable for PartitionedLake {
+    fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
+        match self.resolve_metric_name(query)?.as_str() {
+            "euclidean" => self.execute_typed(Euclidean, query, vectors),
+            "manhattan" => self.execute_typed(Manhattan, query, vectors),
+            "chebyshev" => self.execute_typed(Chebyshev, query, vectors),
+            "angular" => self.execute_typed(Angular, query, vectors),
+            other => Err(PexesoError::InvalidParameter(format!(
+                "unsupported metric '{other}'"
+            ))),
+        }
     }
 }
 
@@ -387,72 +428,161 @@ fn resolve_global_hits<M: Metric>(
         .collect()
 }
 
-/// One partition's *local* top-k, answered exactly and **tie-inclusively**:
-/// the in-partition tie-break runs on internal column ids (insertion
-/// order), which need not agree with the global external-id order, so when
-/// the k-th best count extends past the local cut the partition is
-/// re-queried with a doubled k until every column tied with the boundary
-/// count is present. With all boundary ties in hand, any member of the
-/// global top-k is necessarily in its partition's list.
-fn topk_tie_inclusive<M: Metric>(
+/// Execute one unified [`Query`] against one in-memory [`PexesoIndex`] —
+/// the per-partition building block of every backend (the single-index
+/// [`Queryable`] impl is this helper plus the final global ranking).
+///
+/// Threshold mode returns the joinable hits resolved to global identities
+/// (caller sorts). Top-k mode answers exactly and **tie-inclusively**:
+/// the in-index tie-break runs on internal column ids (insertion order),
+/// which need not agree with the global external-id order, so when the
+/// k-th best count extends past the local cut the index is re-queried
+/// with a doubled k until every column tied with the boundary count is
+/// present — the returned list may therefore hold more than `k` entries,
+/// and any member of the global top-k is necessarily in it.
+///
+/// `guard` carries the query's budget across sub-executions (re-queries
+/// here, partitions in the callers); a tripped limit is returned so the
+/// caller can stop and flag the response.
+pub(crate) fn execute_on_index<M: Metric>(
     index: &PexesoIndex<M>,
-    query: &VectorStore,
-    tau: Tau,
-    k: usize,
-    opts: SearchOptions,
-) -> Result<(Vec<GlobalHit>, SearchStats)> {
-    let mut kk = k;
-    let mut result = index.search_topk_with(query, tau, kk, opts)?;
-    while k > 0
-        && result.hits.len() == kk
-        && kk < index.live_columns()
-        && result.hits.last().map(|h| h.match_count)
-            == result.hits.get(k - 1).map(|h| h.match_count)
-    {
-        kk *= 2;
-        result = index.search_topk_with(query, tau, kk, opts)?;
+    query: &Query,
+    vectors: &VectorStore,
+    guard: &mut Option<BudgetGuard>,
+) -> Result<(Vec<GlobalHit>, SearchStats, Option<Exceeded>)> {
+    match query.mode {
+        QueryMode::Threshold(t) => {
+            let (hits, stats, exceeded) =
+                index.threshold_inner(vectors, query.tau, t, query.options, guard.as_ref())?;
+            if let Some(g) = guard.as_mut() {
+                g.advance(stats.distance_computations);
+            }
+            Ok((resolve_global_hits(index, hits), stats, exceeded))
+        }
+        QueryMode::Topk(k) => {
+            if k == 0 {
+                return Ok((Vec::new(), SearchStats::new(), None));
+            }
+            let mut total = SearchStats::new();
+            // Ask for one extra slot up front: when the (k+1)-th entry's
+            // count falls strictly below the k-th's, every column tied
+            // with the boundary is provably already in the list (any
+            // excluded column counts at most the last entry's count), so
+            // the common tie-free case answers in a single pass instead
+            // of a doubling re-query.
+            let mut kk = k.saturating_add(1);
+            loop {
+                let (ranked, stats, exceeded) =
+                    index.topk_inner(vectors, query.tau, kk, query.options, guard.as_ref())?;
+                total.merge(&stats);
+                if let Some(g) = guard.as_mut() {
+                    g.advance(stats.distance_computations);
+                }
+                let boundary_tied = exceeded.is_none()
+                    && ranked.len() == kk
+                    && kk < index.live_columns()
+                    && ranked.last().map(|r| r.0) == ranked.get(k - 1).map(|r| r.0);
+                if !boundary_tied {
+                    let hits = ranked
+                        .into_iter()
+                        .map(|(count, col)| {
+                            let meta = index.columns().column(col);
+                            GlobalHit {
+                                external_id: meta.external_id,
+                                table_name: meta.table_name.clone(),
+                                column_name: meta.column_name.clone(),
+                                match_count: count,
+                            }
+                        })
+                        .collect();
+                    return Ok((hits, total, exceeded));
+                }
+                kk = kk.saturating_mul(2);
+            }
+        }
     }
-    Ok((resolve_global_hits(index, result.hits), result.stats))
 }
 
-/// Merge per-partition threshold results: stats accumulate, hits keep the
-/// deterministic ascending-external-id order.
-fn merge_threshold(
-    per_partition: Vec<(Vec<GlobalHit>, SearchStats)>,
-    started: Instant,
-) -> (Vec<GlobalHit>, SearchStats) {
-    let mut merged = SearchStats::new();
-    let mut hits = Vec::new();
-    for (h, s) in per_partition {
-        merged.merge(&s);
-        hits.extend(h);
+/// The shared partition loop behind the out-of-core and resident
+/// backends: fan `run(i, …)` over the partitions under `query.policy`
+/// (each partition's inner search demoted to sequential — the crate-wide
+/// no-nested-fan-out rule), merge per-partition results in partition
+/// order, and apply the unified final ranking.
+///
+/// A budgeted query runs the partition loop sequentially instead: the
+/// guard carries the spent budget from one partition into the next, and
+/// the loop stops at the first partition that trips a limit, so the
+/// distance-cap cutoff is deterministic. `Topk(0)` answers empty without
+/// touching any partition — the unified `k = 0` contract.
+fn execute_partitioned<F>(n_partitions: usize, query: &Query, run: F) -> Result<QueryResponse>
+where
+    F: Fn(
+            usize,
+            &Query,
+            &mut Option<BudgetGuard>,
+        ) -> Result<(Vec<GlobalHit>, SearchStats, Option<Exceeded>)>
+        + Sync,
+{
+    let started = Instant::now();
+    if let QueryMode::Topk(0) = query.mode {
+        return Ok(QueryResponse {
+            hits: Vec::new(),
+            stats: SearchStats::new(),
+            outcome: QueryOutcome::Exact,
+        });
     }
-    hits.sort_by_key(|h| h.external_id);
-    merged.total_time = started.elapsed();
-    (hits, merged)
-}
-
-/// Merge per-partition (tie-inclusive) top-k lists and re-rank
-/// deterministically: count descending, external id ascending.
-fn merge_topk(
-    per_partition: Vec<(Vec<GlobalHit>, SearchStats)>,
-    k: usize,
-    started: Instant,
-) -> (Vec<GlobalHit>, SearchStats) {
-    let mut merged = SearchStats::new();
+    let inner = Query {
+        options: query.options.demoted_under(query.policy),
+        ..query.clone()
+    };
+    let mut guard = BudgetGuard::start(&query.budget);
+    let per_partition = if guard.is_some() {
+        let mut out = Vec::new();
+        for i in 0..n_partitions {
+            let part = run(i, &inner, &mut guard)?;
+            let tripped = part.2.is_some();
+            out.push(part);
+            if tripped {
+                break;
+            }
+        }
+        out
+    } else {
+        // `try_map_units` stops handing out partitions after the first
+        // failure (like the sequential `?` loop always did) and converts
+        // a worker panic into a recoverable error instead of crashing a
+        // long-running server.
+        exec::try_map_units(
+            query.policy,
+            n_partitions,
+            || PexesoError::InvalidParameter("partition query worker panicked".into()),
+            |i| {
+                let mut unbudgeted = None;
+                run(i, &inner, &mut unbudgeted)
+            },
+        )?
+    };
+    let mut stats = SearchStats::new();
     let mut hits = Vec::new();
-    for (h, s) in per_partition {
-        merged.merge(&s);
+    let mut outcome = QueryOutcome::Exact;
+    for (h, s, e) in per_partition {
+        stats.merge(&s);
         hits.extend(h);
+        fold_outcome(&mut outcome, e);
     }
-    hits.sort_by(|a, b| {
-        b.match_count
-            .cmp(&a.match_count)
-            .then(a.external_id.cmp(&b.external_id))
-    });
-    hits.truncate(k);
-    merged.total_time = started.elapsed();
-    (hits, merged)
+    let hits = match query.mode {
+        QueryMode::Threshold(_) => {
+            sort_threshold_hits(&mut hits);
+            hits
+        }
+        QueryMode::Topk(k) => rank_topk_hits(hits, k),
+    };
+    stats.total_time = started.elapsed();
+    Ok(QueryResponse {
+        hits,
+        stats,
+        outcome,
+    })
 }
 
 /// A partitioned deployment loaded fully into memory — the form a
@@ -482,8 +612,24 @@ impl<M: Metric> ResidentPartitions<M> {
         self.indexes.len()
     }
 
+    /// The typed engine behind the resident [`Queryable`] impl and the
+    /// legacy shims: the same partition loop as the disk-backed lake,
+    /// minus the per-query `load_index`.
+    pub(crate) fn execute_resident(
+        &self,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> Result<QueryResponse> {
+        execute_partitioned(self.indexes.len(), query, |i, inner, guard| {
+            execute_on_index(&self.indexes[i], inner, vectors, guard)
+        })
+    }
+
     /// In-memory counterpart of [`PartitionedLake::search_with_policy`];
     /// identical results for every policy.
+    #[deprecated(
+        note = "use `Queryable::execute` with `Query::threshold(tau, t).with_policy(policy)`"
+    )]
     pub fn search_with_policy(
         &self,
         query: &VectorStore,
@@ -492,24 +638,17 @@ impl<M: Metric> ResidentPartitions<M> {
         opts: SearchOptions,
         policy: ExecPolicy,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        let started = Instant::now();
-        let inner_opts = opts.demoted_under(policy);
-        let per_partition = exec::try_map_units(
-            policy,
-            self.indexes.len(),
-            || PexesoError::InvalidParameter("partition search worker panicked".into()),
-            |i| {
-                let index = &self.indexes[i];
-                let result = index.search_with(query, tau, t, inner_opts)?;
-                Ok::<_, PexesoError>((resolve_global_hits(index, result.hits), result.stats))
-            },
-        )?;
-        Ok(merge_threshold(per_partition, started))
+        let q = Query::threshold(tau, t)
+            .with_options(opts)
+            .with_policy(policy);
+        let resp = self.execute_resident(&q, query)?;
+        Ok((resp.hits, resp.stats))
     }
 
     /// In-memory counterpart of
     /// [`PartitionedLake::search_topk_with_policy`]; identical results for
     /// every policy.
+    #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k).with_policy(policy)`")]
     pub fn search_topk_with_policy(
         &self,
         query: &VectorStore,
@@ -518,15 +657,27 @@ impl<M: Metric> ResidentPartitions<M> {
         opts: SearchOptions,
         policy: ExecPolicy,
     ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        let started = Instant::now();
-        let inner_opts = opts.demoted_under(policy);
-        let per_partition = exec::try_map_units(
-            policy,
-            self.indexes.len(),
-            || PexesoError::InvalidParameter("partition top-k worker panicked".into()),
-            |i| topk_tie_inclusive(&self.indexes[i], query, tau, k, inner_opts),
-        )?;
-        Ok(merge_topk(per_partition, k, started))
+        let q = Query::topk(tau, k).with_options(opts).with_policy(policy);
+        let resp = self.execute_resident(&q, query)?;
+        Ok((resp.hits, resp.stats))
+    }
+}
+
+/// Resident deployments answer the unified [`Query`] directly; the metric
+/// is fixed at load time, so an explicit [`Query::metric`] expectation is
+/// verified against it.
+impl<M: Metric> Queryable for ResidentPartitions<M> {
+    fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
+        if let (Some(expected), Some(index)) = (query.metric.as_deref(), self.indexes.first()) {
+            let actual = index.metric().name();
+            if expected != actual {
+                return Err(PexesoError::InvalidParameter(format!(
+                    "resident partitions were built with metric '{actual}'; \
+                     query expects '{expected}'"
+                )));
+            }
+        }
+        self.execute_resident(query, vectors)
     }
 }
 
@@ -600,11 +751,10 @@ mod tests {
         .unwrap();
         let tau = Tau::Ratio(0.15);
         let t = JoinThreshold::Ratio(0.4);
-        let (hits, _) = lake
-            .search(Euclidean, &query, tau, t, SearchOptions::default())
-            .unwrap();
+        let resp = lake.execute(&Query::threshold(tau, t), &query).unwrap();
+        assert!(resp.exact());
         let (naive, _) = naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
-        let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
+        let got: Vec<u64> = resp.hits.iter().map(|h| h.external_id).collect();
         let expected: Vec<u64> = naive.iter().map(|h| h.column.0 as u64).collect();
         assert_eq!(got, expected);
         std::fs::remove_dir_all(&dir).ok();
@@ -627,13 +777,15 @@ mod tests {
         .unwrap();
         let tau = Tau::Ratio(0.2);
         let t = JoinThreshold::Ratio(0.3);
-        let (seq, _) = lake
-            .search(Euclidean, &query, tau, t, SearchOptions::default())
+        let q = Query::threshold(tau, t);
+        let seq = lake.execute(&q, &query).unwrap();
+        let par = lake
+            .execute(
+                &q.clone().with_policy(ExecPolicy::Parallel { threads: 3 }),
+                &query,
+            )
             .unwrap();
-        let (par, _) = lake
-            .search_parallel(Euclidean, &query, tau, t, SearchOptions::default(), 3)
-            .unwrap();
-        assert_eq!(seq, par);
+        assert_eq!(seq.hits, par.hits);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -656,13 +808,10 @@ mod tests {
         assert_eq!(built.num_partitions(), opened.num_partitions());
         let tau = Tau::Ratio(0.2);
         let t = JoinThreshold::Count(2);
-        let (a, _) = built
-            .search(Euclidean, &query, tau, t, SearchOptions::default())
-            .unwrap();
-        let (b, _) = opened
-            .search(Euclidean, &query, tau, t, SearchOptions::default())
-            .unwrap();
-        assert_eq!(a, b);
+        let q = Query::threshold(tau, t);
+        let a = built.execute(&q, &query).unwrap();
+        let b = opened.execute(&q, &query).unwrap();
+        assert_eq!(a.hits, b.hits);
         assert!(opened.disk_bytes().unwrap() > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -742,51 +891,26 @@ mod tests {
         let tau = Tau::Ratio(0.2);
         let t = JoinThreshold::Ratio(0.3);
         for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 3 }] {
-            let (disk, _) = lake
-                .search_with_policy(Euclidean, &query, tau, t, SearchOptions::default(), policy)
-                .unwrap();
-            let (mem, _) = resident
-                .search_with_policy(&query, tau, t, SearchOptions::default(), policy)
-                .unwrap();
-            assert_eq!(disk, mem, "threshold, {policy:?}");
+            let q = Query::threshold(tau, t).with_policy(policy);
+            let disk = lake.execute(&q, &query).unwrap();
+            let mem = resident.execute(&q, &query).unwrap();
+            assert_eq!(disk.hits, mem.hits, "threshold, {policy:?}");
             for k in [1, 3, 20] {
-                let (disk_k, _) = lake
-                    .search_topk_with_policy(
-                        Euclidean,
-                        &query,
-                        tau,
-                        k,
-                        SearchOptions::default(),
-                        policy,
-                    )
-                    .unwrap();
-                let (mem_k, _) = resident
-                    .search_topk_with_policy(&query, tau, k, SearchOptions::default(), policy)
-                    .unwrap();
-                assert_eq!(disk_k, mem_k, "topk k={k}, {policy:?}");
+                let qk = Query::topk(tau, k).with_policy(policy);
+                let disk_k = lake.execute(&qk, &query).unwrap();
+                let mem_k = resident.execute(&qk, &query).unwrap();
+                assert_eq!(disk_k.hits, mem_k.hits, "topk k={k}, {policy:?}");
             }
         }
         // Residency: deleting the backing files must not affect answers.
-        let (before, _) = resident
-            .search_with_policy(
-                &query,
-                tau,
-                t,
-                SearchOptions::default(),
-                ExecPolicy::Sequential,
-            )
-            .unwrap();
+        let q = Query::threshold(tau, t);
+        let before = resident.execute(&q, &query).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
-        let (after, _) = resident
-            .search_with_policy(
-                &query,
-                tau,
-                t,
-                SearchOptions::default(),
-                ExecPolicy::Sequential,
-            )
-            .unwrap();
-        assert_eq!(before, after, "resident search must never touch disk");
+        let after = resident.execute(&q, &query).unwrap();
+        assert_eq!(
+            before.hits, after.hits,
+            "resident search must never touch disk"
+        );
     }
 
     #[test]

@@ -353,6 +353,7 @@ mod tests {
     use super::*;
     use crate::config::{JoinThreshold, Tau};
     use crate::metric::{Euclidean, Manhattan};
+    use crate::query::{Query, Queryable};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -399,8 +400,9 @@ mod tests {
 
         let tau = Tau::Ratio(0.2);
         let t = JoinThreshold::Ratio(0.4);
-        let a = index.search(&query, tau, t).unwrap();
-        let b = loaded.search(&query, tau, t).unwrap();
+        let q = Query::threshold(tau, t);
+        let a = index.execute(&q, &query).unwrap();
+        let b = loaded.execute(&q, &query).unwrap();
         assert_eq!(a.hits, b.hits);
         assert_eq!(index.columns().columns(), loaded.columns().columns());
         std::fs::remove_file(&path).ok();
@@ -491,9 +493,8 @@ mod tests {
         // `Corrupt` error or — when the flip lands on a section that only
         // changes values, not structure — fail the final checksum. No
         // position may panic or silently load with altered search results.
-        let baseline = index
-            .search(&query, Tau::Ratio(0.2), JoinThreshold::Count(1))
-            .unwrap();
+        let probe = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Count(1));
+        let baseline = index.execute(&probe, &query).unwrap();
         for pos in (0..clean.len()).step_by(97) {
             let mut bytes = clean.clone();
             bytes[pos] ^= 0x5a;
@@ -509,9 +510,7 @@ mod tests {
                     // from_parts revalidates structure; a flip that loads
                     // must have been caught by the checksum — so this is
                     // unreachable unless validation regressed.
-                    let got = loaded
-                        .search(&query, Tau::Ratio(0.2), JoinThreshold::Count(1))
-                        .unwrap();
+                    let got = loaded.execute(&probe, &query).unwrap();
                     panic!(
                         "byte {pos}: corrupted file loaded (results equal: {})",
                         got.hits == baseline.hits

@@ -12,7 +12,7 @@
 //! [`ExecPolicy`]; shard extremes merge in range order with the same strict
 //! comparisons as the sequential scan, so the selected pivots are identical
 //! for every policy. The power-iteration *reduction* inside
-//! [`principal_directions`] is order-sensitive floating-point accumulation
+//! `principal_directions` is order-sensitive floating-point accumulation
 //! and deliberately stays sequential — it touches only a bounded sample
 //! (`PCA_SAMPLE`) and is not the hot part.
 

@@ -19,10 +19,14 @@ use crate::lemmas;
 use crate::mapping::MappedVectors;
 use crate::metric::Metric;
 use crate::pivot::select_pivots_with;
+use crate::query::{
+    fold_outcome, rank_topk_hits, sort_threshold_hits, BudgetGuard, Exceeded, Query, QueryMode,
+    QueryOutcome, QueryResponse, Queryable,
+};
 use crate::stats::SearchStats;
 use crate::util::FastMap;
 use crate::vector::{VectorId, VectorStore};
-use crate::verify::{verify, verify_with, VerifyContext, VerifyOutcome};
+use crate::verify::{verify_budgeted, verify_topk_budgeted, VerifyContext};
 
 /// One joinable column in a search result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +45,21 @@ pub struct SearchResult {
     pub stats: SearchStats,
 }
 
+/// Map the top-k engine's internal ranking into legacy [`SearchHit`]s.
+fn ranked_to_hits(ranked: Vec<(u32, ColumnId)>) -> Vec<SearchHit> {
+    ranked
+        .into_iter()
+        .map(|(count, column)| SearchHit {
+            column,
+            match_count: count,
+        })
+        .collect()
+}
+
+/// One top-k engine answer: the internal `(count, column)` ranking, the
+/// search stats, and any tripped budget limit.
+pub(crate) type RankedTopk = (Vec<(u32, ColumnId)>, SearchStats, Option<Exceeded>);
+
 /// How candidate pairs are verified against the inverted index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VerifyStrategy {
@@ -53,14 +72,31 @@ pub enum VerifyStrategy {
     DaatHeap,
 }
 
+/// How a top-k query is answered. Results are identical either way; the
+/// exhaustive form exists as the benchmark baseline the best-first engine
+/// is measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopkStrategy {
+    /// Best-first verification with an adaptively tightened threshold
+    /// (the default; see [`crate::verify::verify_topk`]).
+    #[default]
+    BestFirst,
+    /// Exactly count every column (early termination disabled), then sort
+    /// and truncate — the "threshold search with an unreachable T, then
+    /// sort" baseline.
+    Exhaustive,
+}
+
 /// Per-search knobs beyond the thresholds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchOptions {
     pub flags: LemmaFlags,
     /// Enable the quick-browsing shortcut (Section III-C); on by default.
     pub quick_browse: bool,
     /// Verification implementation; identical results either way.
     pub verify_strategy: VerifyStrategy,
+    /// Top-k implementation; identical results either way.
+    pub topk_strategy: TopkStrategy,
     /// Parallelism of the online path (query mapping, `HG_Q` build,
     /// blocking, stamp verification). Results are identical either way;
     /// [`VerifyStrategy::DaatHeap`] verification itself stays sequential.
@@ -73,6 +109,7 @@ impl Default for SearchOptions {
             flags: LemmaFlags::all(),
             quick_browse: true,
             verify_strategy: VerifyStrategy::Stamps,
+            topk_strategy: TopkStrategy::BestFirst,
             exec: ExecPolicy::Sequential,
         }
     }
@@ -169,19 +206,17 @@ impl<M: Metric> PexesoIndex<M> {
         })
     }
 
-    /// Online search with default options.
-    pub fn search(&self, query: &VectorStore, tau: Tau, t: JoinThreshold) -> Result<SearchResult> {
-        self.search_with(query, tau, t, SearchOptions::default())
-    }
-
-    /// Online search with explicit lemma flags / quick-browse control.
-    pub fn search_with(
+    /// The threshold scan shared by [`Queryable::execute`] and the legacy
+    /// shims: map, block, verify (optionally budgeted), and collect hits
+    /// in ascending internal-column-id order.
+    pub(crate) fn threshold_inner(
         &self,
         query: &VectorStore,
         tau: Tau,
         t: JoinThreshold,
         opts: SearchOptions,
-    ) -> Result<SearchResult> {
+        budget: Option<&BudgetGuard>,
+    ) -> Result<(Vec<SearchHit>, SearchStats, Option<Exceeded>)> {
         self.validate_query(query)?;
         let tau = tau.resolve(&self.metric, self.columns.dim())?;
         let t_abs = t.resolve(query.len())?;
@@ -204,9 +239,14 @@ impl<M: Metric> PexesoIndex<M> {
             flags: opts.flags,
             deleted: Some(&self.deleted),
         };
-        let outcome: VerifyOutcome = match opts.verify_strategy {
-            VerifyStrategy::Stamps => verify_with(&ctx, &blocked, &mut stats, opts.exec),
-            VerifyStrategy::DaatHeap => crate::daat::verify_daat(&ctx, &blocked, &mut stats),
+        // A budgeted query always runs the stamp scan: it is the verifier
+        // with the per-query-vector budget checkpoint (the DaaT cursor
+        // merge is a strategy ablation, not a budget-aware path).
+        let (outcome, exceeded) = match opts.verify_strategy {
+            VerifyStrategy::DaatHeap if budget.is_none() => {
+                (crate::daat::verify_daat(&ctx, &blocked, &mut stats), None)
+            }
+            _ => verify_budgeted(&ctx, &blocked, &mut stats, opts.exec, budget),
         };
         stats.verify_time = verify_start.elapsed();
         stats.total_time = total_start.elapsed();
@@ -219,6 +259,29 @@ impl<M: Metric> PexesoIndex<M> {
                 match_count: outcome.match_counts[c.0 as usize],
             })
             .collect();
+        Ok((hits, stats, exceeded))
+    }
+
+    /// Online search with default options.
+    #[deprecated(note = "use `Queryable::execute` with `Query::threshold(tau, t)`")]
+    pub fn search(&self, query: &VectorStore, tau: Tau, t: JoinThreshold) -> Result<SearchResult> {
+        let (hits, stats, _) =
+            self.threshold_inner(query, tau, t, SearchOptions::default(), None)?;
+        Ok(SearchResult { hits, stats })
+    }
+
+    /// Online search with explicit lemma flags / quick-browse control.
+    #[deprecated(
+        note = "use `Queryable::execute` with `Query::threshold(tau, t).with_options(opts)`"
+    )]
+    pub fn search_with(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        t: JoinThreshold,
+        opts: SearchOptions,
+    ) -> Result<SearchResult> {
+        let (hits, stats, _) = self.threshold_inner(query, tau, t, opts, None)?;
         Ok(SearchResult { hits, stats })
     }
 
@@ -232,6 +295,9 @@ impl<M: Metric> PexesoIndex<M> {
     /// is parallel, avoiding nested thread fan-out; with
     /// [`ExecPolicy::Sequential`] the per-query policy in `opts.exec` is
     /// honoured instead.
+    #[deprecated(
+        note = "use `Queryable::execute_many` with `Query::threshold(tau, t).with_policy(policy)`"
+    )]
     pub fn search_many<Q: AsRef<VectorStore> + Sync>(
         &self,
         queries: &[Q],
@@ -243,7 +309,11 @@ impl<M: Metric> PexesoIndex<M> {
         let inner_opts = opts.demoted_under(policy);
         let shards = exec::map_ranges_min(policy, queries.len(), 2, |range| {
             range
-                .map(|i| self.search_with(queries[i].as_ref(), tau, t, inner_opts))
+                .map(|i| {
+                    let (hits, stats, _) =
+                        self.threshold_inner(queries[i].as_ref(), tau, t, inner_opts, None)?;
+                    Ok(SearchResult { hits, stats })
+                })
                 .collect::<Vec<Result<SearchResult>>>()
         });
         shards.into_iter().flatten().collect()
@@ -314,11 +384,88 @@ impl<M: Metric> PexesoIndex<M> {
         Ok((query_mapped, blocked))
     }
 
+    /// The top-k engine shared by [`Queryable::execute`] and the legacy
+    /// shims, ranking under the *internal* tie-break (count descending,
+    /// internal column id ascending). Dispatches on
+    /// [`SearchOptions::topk_strategy`]; both strategies honour the
+    /// optional budget (best-first checks per batch round, exhaustive per
+    /// query vector of its full scan).
+    pub(crate) fn topk_inner(
+        &self,
+        query: &VectorStore,
+        tau: Tau,
+        k: usize,
+        opts: SearchOptions,
+        budget: Option<&BudgetGuard>,
+    ) -> Result<RankedTopk> {
+        self.validate_query(query)?;
+        let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
+        let mut stats = SearchStats::new();
+        if k == 0 {
+            return Ok((Vec::new(), stats, None));
+        }
+        let total_start = Instant::now();
+        let (query_mapped, blocked) = self.map_and_block(query, tau_abs, opts, &mut stats)?;
+
+        let verify_start = Instant::now();
+        let ctx = VerifyContext {
+            columns: &self.columns,
+            vec_col: &self.vec_col,
+            rv_mapped: &self.rv_mapped,
+            inv: &self.inv,
+            metric: &self.metric,
+            query,
+            query_mapped: &query_mapped,
+            tau: tau_abs,
+            t_abs: query.len() + 1, // top-k never early-terminates on T
+            flags: opts.flags,
+            deleted: Some(&self.deleted),
+        };
+        let (ranked, exceeded) = match opts.topk_strategy {
+            TopkStrategy::BestFirst => {
+                let bounds = crate::cost::column_match_bounds(
+                    &blocked,
+                    &self.inv,
+                    self.columns.n_columns(),
+                    query.len(),
+                    Some(&self.deleted),
+                    opts.exec,
+                );
+                let seed = crate::cost::topk_seed(&bounds, k);
+                verify_topk_budgeted(
+                    &ctx, &blocked, &bounds, seed, k, &mut stats, opts.exec, budget,
+                )
+            }
+            TopkStrategy::Exhaustive => {
+                let (outcome, exceeded) =
+                    verify_budgeted(&ctx, &blocked, &mut stats, opts.exec, budget);
+                let mut ranked: Vec<(u32, ColumnId)> = outcome
+                    .match_counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(c, &count)| count > 0 && !self.deleted[c])
+                    .map(|(c, &count)| (count, ColumnId(c as u32)))
+                    .collect();
+                ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                ranked.truncate(k);
+                (ranked, exceeded)
+            }
+        };
+        stats.verify_time = verify_start.elapsed();
+        stats.total_time = total_start.elapsed();
+        Ok((ranked, stats, exceeded))
+    }
+
     /// Top-k joinable-column search with default options: the (up to) `k`
     /// non-deleted columns with the largest number of matching query
     /// records. See [`PexesoIndex::search_topk_with`].
+    #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k)`")]
     pub fn search_topk(&self, query: &VectorStore, tau: Tau, k: usize) -> Result<SearchResult> {
-        self.search_topk_with(query, tau, k, SearchOptions::default())
+        let (ranked, stats, _) = self.topk_inner(query, tau, k, SearchOptions::default(), None)?;
+        Ok(SearchResult {
+            hits: ranked_to_hits(ranked),
+            stats,
+        })
     }
 
     /// Best-first top-k joinable-column search.
@@ -345,6 +492,7 @@ impl<M: Metric> PexesoIndex<M> {
     /// `opts.verify_strategy` is ignored (top-k has its own verifier);
     /// `opts.flags` and `opts.quick_browse` behave as in
     /// [`PexesoIndex::search_with`].
+    #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k).with_options(opts)`")]
     pub fn search_topk_with(
         &self,
         query: &VectorStore,
@@ -352,118 +500,37 @@ impl<M: Metric> PexesoIndex<M> {
         k: usize,
         opts: SearchOptions,
     ) -> Result<SearchResult> {
-        self.validate_query(query)?;
-        let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
-        let mut stats = SearchStats::new();
-        if k == 0 {
-            return Ok(SearchResult {
-                hits: Vec::new(),
-                stats,
-            });
-        }
-        let total_start = Instant::now();
-        let (query_mapped, blocked) = self.map_and_block(query, tau_abs, opts, &mut stats)?;
-
-        let verify_start = Instant::now();
-        let bounds = crate::cost::column_match_bounds(
-            &blocked,
-            &self.inv,
-            self.columns.n_columns(),
-            query.len(),
-            Some(&self.deleted),
-            opts.exec,
-        );
-        let seed = crate::cost::topk_seed(&bounds, k);
-        let ctx = VerifyContext {
-            columns: &self.columns,
-            vec_col: &self.vec_col,
-            rv_mapped: &self.rv_mapped,
-            inv: &self.inv,
-            metric: &self.metric,
-            query,
-            query_mapped: &query_mapped,
-            tau: tau_abs,
-            t_abs: query.len() + 1, // top-k never early-terminates on T
-            flags: opts.flags,
-            deleted: Some(&self.deleted),
+        let opts = SearchOptions {
+            topk_strategy: TopkStrategy::BestFirst,
+            ..opts
         };
-        let ranked =
-            crate::verify::verify_topk(&ctx, &blocked, &bounds, seed, k, &mut stats, opts.exec);
-        stats.verify_time = verify_start.elapsed();
-        stats.total_time = total_start.elapsed();
+        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None)?;
         Ok(SearchResult {
-            hits: ranked
-                .into_iter()
-                .map(|(count, column)| SearchHit {
-                    column,
-                    match_count: count,
-                })
-                .collect(),
+            hits: ranked_to_hits(ranked),
             stats,
         })
     }
 
     /// Reference top-k: exactly count every column (early termination
     /// disabled), then sort and truncate — the "threshold search with an
-    /// unreachable T, then sort" baseline that
-    /// [`PexesoIndex::search_topk_with`] is benchmarked against. Returns
-    /// the identical hits (`tests/differential.rs` pins both against the
-    /// brute-force oracle).
+    /// unreachable T, then sort" baseline the best-first engine is
+    /// benchmarked against. Returns the identical hits
+    /// (`tests/differential.rs` pins both against the brute-force oracle).
+    #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k)` and \
+                `SearchOptions { topk_strategy: TopkStrategy::Exhaustive, .. }`")]
     pub fn search_topk_exhaustive(
         &self,
         query: &VectorStore,
         tau: Tau,
         k: usize,
     ) -> Result<SearchResult> {
-        self.validate_query(query)?;
-        let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
-        let mut stats = SearchStats::new();
-        if k == 0 {
-            return Ok(SearchResult {
-                hits: Vec::new(),
-                stats,
-            });
-        }
-        let total_start = Instant::now();
-        let (query_mapped, blocked) =
-            self.map_and_block(query, tau_abs, SearchOptions::default(), &mut stats)?;
-
-        let verify_start = Instant::now();
-        let ctx = VerifyContext {
-            columns: &self.columns,
-            vec_col: &self.vec_col,
-            rv_mapped: &self.rv_mapped,
-            inv: &self.inv,
-            metric: &self.metric,
-            query,
-            query_mapped: &query_mapped,
-            tau: tau_abs,
-            t_abs: query.len() + 1, // disables early termination: exact counts
-            flags: LemmaFlags::all(),
-            deleted: Some(&self.deleted),
+        let opts = SearchOptions {
+            topk_strategy: TopkStrategy::Exhaustive,
+            ..Default::default()
         };
-        let outcome = verify(&ctx, &blocked, &mut stats);
-        stats.verify_time = verify_start.elapsed();
-        stats.total_time = total_start.elapsed();
-
-        let mut ranked: Vec<SearchHit> = outcome
-            .match_counts
-            .iter()
-            .enumerate()
-            .filter(|&(c, &count)| count > 0 && !self.deleted[c])
-            .map(|(c, &count)| SearchHit {
-                column: ColumnId(c as u32),
-                match_count: count,
-            })
-            .collect();
-        ranked.sort_by(|a, b| {
-            b.match_count
-                .cmp(&a.match_count)
-                .then(a.column.cmp(&b.column))
-        });
-        ranked.truncate(k);
+        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None)?;
         Ok(SearchResult {
-            hits: ranked,
+            hits: ranked_to_hits(ranked),
             stats,
         })
     }
@@ -473,6 +540,9 @@ impl<M: Metric> PexesoIndex<M> {
     /// `results[i]` is exactly what `search_topk_with(&queries[i], …)`
     /// returns; under a parallel outer `policy` each query runs
     /// sequentially to avoid nested fan-out.
+    #[deprecated(
+        note = "use `Queryable::execute_many` with `Query::topk(tau, k).with_policy(policy)`"
+    )]
     pub fn search_topk_many<Q: AsRef<VectorStore> + Sync>(
         &self,
         queries: &[Q],
@@ -484,7 +554,14 @@ impl<M: Metric> PexesoIndex<M> {
         let inner_opts = opts.demoted_under(policy);
         let shards = exec::map_ranges_min(policy, queries.len(), 2, |range| {
             range
-                .map(|i| self.search_topk_with(queries[i].as_ref(), tau, k, inner_opts))
+                .map(|i| {
+                    let (ranked, stats, _) =
+                        self.topk_inner(queries[i].as_ref(), tau, k, inner_opts, None)?;
+                    Ok(SearchResult {
+                        hits: ranked_to_hits(ranked),
+                        stats,
+                    })
+                })
                 .collect::<Vec<Result<SearchResult>>>()
         });
         shards.into_iter().flatten().collect()
@@ -713,6 +790,71 @@ impl<M: Metric> PexesoIndex<M> {
     }
 }
 
+impl<M: Metric> PexesoIndex<M> {
+    /// Reject a [`Query`] expecting a different metric than this index's.
+    fn check_metric_expectation(&self, query: &Query) -> Result<()> {
+        match query.metric.as_deref() {
+            Some(expected) if expected != self.metric.name() => {
+                Err(PexesoError::InvalidParameter(format!(
+                    "index was built with metric '{}'; query expects '{expected}'",
+                    self.metric.name()
+                )))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl<M: Metric> Queryable for PexesoIndex<M> {
+    /// Execute one unified [`Query`] against the in-memory index.
+    ///
+    /// Hits follow the unified contract: threshold hits ascend by
+    /// `external_id`; top-k ranks by count descending with ties broken by
+    /// ascending `external_id`. The internal top-k tie-break runs on
+    /// insertion-order column ids, which need not agree with the
+    /// caller-chosen external ids, so boundary ties are resolved
+    /// tie-inclusively (the index is re-queried with a doubled `k` until
+    /// every column tied with the boundary count is present) before the
+    /// global re-rank — the same discipline the partitioned backends use.
+    fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
+        self.check_metric_expectation(query)?;
+        let mut guard = BudgetGuard::start(&query.budget);
+        let (mut hits, stats, exceeded) =
+            crate::outofcore::execute_on_index(self, query, vectors, &mut guard)?;
+        let mut outcome = QueryOutcome::Exact;
+        fold_outcome(&mut outcome, exceeded);
+        let hits = match query.mode {
+            QueryMode::Threshold(_) => {
+                sort_threshold_hits(&mut hits);
+                hits
+            }
+            QueryMode::Topk(k) => rank_topk_hits(hits, k),
+        };
+        Ok(QueryResponse {
+            hits,
+            stats,
+            outcome,
+        })
+    }
+
+    /// Batched execution: `query.policy` fans whole query columns across
+    /// threads; each query itself is demoted to sequential under a
+    /// parallel outer policy (the crate-wide no-nested-fan-out rule), so
+    /// `responses[i]` is byte-identical to `execute(query, columns[i])`.
+    fn execute_many(&self, query: &Query, columns: &[&VectorStore]) -> Result<Vec<QueryResponse>> {
+        let inner = Query {
+            options: query.options.demoted_under(query.policy),
+            ..query.clone()
+        };
+        let shards = exec::map_ranges_min(query.policy, columns.len(), 2, |range| {
+            range
+                .map(|i| self.execute(&inner, columns[i]))
+                .collect::<Vec<Result<QueryResponse>>>()
+        });
+        shards.into_iter().flatten().collect()
+    }
+}
+
 /// Exhaustive-scan reference: the ground-truth answer to the joinable
 /// column search problem. Used by tests, the cost model justification, and
 /// the baseline crate. Supports the same early-termination rule on `T` as
@@ -833,9 +975,12 @@ mod tests {
                 ] {
                     let (naive, _) =
                         naive_search(&columns, &Euclidean, &query, tau, t, false).unwrap();
-                    let result = index.search(&query, tau, t).unwrap();
-                    let got: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
-                    let expected: Vec<ColumnId> = naive.iter().map(|h| h.column).collect();
+                    let result = index.execute(&Query::threshold(tau, t), &query).unwrap();
+                    assert!(result.exact());
+                    let got: Vec<u64> = result.hits.iter().map(|h| h.external_id).collect();
+                    // External ids equal insertion order here, so the
+                    // unified external-id ordering matches the oracle's.
+                    let expected: Vec<u64> = naive.iter().map(|h| h.column.0 as u64).collect();
                     assert_eq!(got, expected, "seed={seed} tau={tau:?} t={t:?}");
                 }
             }
@@ -852,8 +997,12 @@ mod tests {
         for pivots in [1usize, 3, 5] {
             for levels in [1usize, 3, 6, 8] {
                 let index = build(columns.clone(), pivots, levels);
-                let result = index.search(&query, tau, t).unwrap();
-                let got: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+                let result = index.execute(&Query::threshold(tau, t), &query).unwrap();
+                let got: Vec<ColumnId> = result
+                    .hits
+                    .iter()
+                    .map(|h| ColumnId(h.external_id as u32))
+                    .collect();
                 assert_eq!(got, expected, "|P|={pivots} m={levels}");
             }
         }
@@ -864,9 +1013,8 @@ mod tests {
         let (columns, _) = instance(4, 3, 5, 1);
         let index = build(columns, 2, 2);
         let empty = VectorStore::new(16);
-        assert!(index
-            .search(&empty, Tau::Ratio(0.1), JoinThreshold::Count(1))
-            .is_err());
+        let q = Query::threshold(Tau::Ratio(0.1), JoinThreshold::Count(1));
+        assert!(index.execute(&q, &empty).is_err());
     }
 
     #[test]
@@ -875,8 +1023,9 @@ mod tests {
         let index = build(columns, 2, 2);
         let mut q = VectorStore::new(8);
         q.push(&[0.0; 8]).unwrap();
+        let query = Query::threshold(Tau::Ratio(0.1), JoinThreshold::Count(1));
         assert!(matches!(
-            index.search(&q, Tau::Ratio(0.1), JoinThreshold::Count(1)),
+            index.execute(&query, &q),
             Err(PexesoError::DimensionMismatch { .. })
         ));
     }
@@ -925,7 +1074,8 @@ mod tests {
         let index = build(columns, 3, 3);
         let mut q = VectorStore::new(16);
         q.push(&[10.0; 16]).unwrap(); // far outside the unit ball
-        let err = index.search(&q, Tau::Ratio(0.1), JoinThreshold::Count(1));
+        let query = Query::threshold(Tau::Ratio(0.1), JoinThreshold::Count(1));
+        let err = index.execute(&query, &q);
         assert!(matches!(err, Err(PexesoError::InvalidParameter(_))));
     }
 
@@ -953,7 +1103,10 @@ mod tests {
         let (columns, query) = instance(11, 10, 25, 8);
         let index = build(columns, 4, 4);
         let r = index
-            .search(&query, Tau::Ratio(0.2), JoinThreshold::Ratio(0.4))
+            .execute(
+                &Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.4)),
+                &query,
+            )
             .unwrap();
         assert!(r.stats.mapping_distances > 0);
         assert!(r.stats.candidate_pairs + r.stats.matching_pairs + r.stats.quick_browse_pairs > 0);

@@ -50,6 +50,7 @@ use crate::invindex::{CellPostings, InvertedIndex};
 use crate::lemmas;
 use crate::mapping::MappedVectors;
 use crate::metric::Metric;
+use crate::query::{BudgetGuard, Exceeded};
 use crate::stats::SearchStats;
 use crate::vector::VectorStore;
 
@@ -104,14 +105,31 @@ pub fn verify_with<M: Metric>(
     stats: &mut SearchStats,
     policy: ExecPolicy,
 ) -> VerifyOutcome {
+    verify_budgeted(ctx, blocked, stats, policy, None).0
+}
+
+/// [`verify_with`] under an optional per-query budget, checked at the top
+/// of every query-vector iteration of the scan. A budgeted scan runs
+/// sequentially regardless of `policy` so the cutoff point — and therefore
+/// the partial outcome — is deterministic: column shards would otherwise
+/// each trip the cap at a thread-dependent place. When a limit trips, the
+/// outcome reflects the scan up to that query vector and the tripped limit
+/// is returned alongside it.
+pub fn verify_budgeted<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    blocked: &BlockOutput,
+    stats: &mut SearchStats,
+    policy: ExecPolicy,
+    budget: Option<&BudgetGuard>,
+) -> (VerifyOutcome, Option<Exceeded>) {
     let n_cols = ctx.columns.n_columns();
     let threads = policy.effective_threads();
-    if threads <= 1 || n_cols < 2 {
-        return verify_range(ctx, blocked, 0..n_cols, stats);
+    if budget.is_some() || threads <= 1 || n_cols < 2 {
+        return verify_range(ctx, blocked, 0..n_cols, stats, budget);
     }
     let shards = exec::map_ranges_min(policy, n_cols, 2, |cols| {
         let mut shard_stats = SearchStats::new();
-        let outcome = verify_range(ctx, blocked, cols, &mut shard_stats);
+        let (outcome, _) = verify_range(ctx, blocked, cols, &mut shard_stats, None);
         (outcome, shard_stats)
     });
     let mut joinable = Vec::new();
@@ -125,22 +143,28 @@ pub fn verify_with<M: Metric>(
         mismatch_counts.extend(outcome.mismatch_counts);
         stats.merge(&shard_stats);
     }
-    VerifyOutcome {
-        joinable,
-        match_counts,
-        mismatch_counts,
-    }
+    (
+        VerifyOutcome {
+            joinable,
+            match_counts,
+            mismatch_counts,
+        },
+        None,
+    )
 }
 
 /// The Algorithm 2 scan restricted to columns in `cols`. Per-column state
 /// never crosses column boundaries, so running disjoint ranges (in any
-/// interleaving) and concatenating equals one full sequential run.
+/// interleaving) and concatenating equals one full sequential run. The
+/// optional budget is checked once per query vector — the verify loop's
+/// natural checkpoint — and a trip ends the scan there.
 fn verify_range<M: Metric>(
     ctx: &VerifyContext<'_, M>,
     blocked: &BlockOutput,
     cols: Range<usize>,
     stats: &mut SearchStats,
-) -> VerifyOutcome {
+    budget: Option<&BudgetGuard>,
+) -> (VerifyOutcome, Option<Exceeded>) {
     let (lo, hi) = (cols.start, cols.end);
     let width = hi - lo;
     let n_q = ctx.query.len();
@@ -165,8 +189,15 @@ fn verify_range<M: Metric>(
     // Cursors into the two (query-sorted) pair lists.
     let mut mi = 0usize;
     let mut ci = 0usize;
+    let mut exceeded = None;
 
     for q in 0..n_q as u32 {
+        if let Some(guard) = budget {
+            if let Some(e) = guard.check(stats.distance_computations) {
+                exceeded = Some(e);
+                break;
+            }
+        }
         let gen = q + 1;
 
         // 1. Matching pairs: all postings columns of the cells match q.
@@ -264,11 +295,14 @@ fn verify_range<M: Metric>(
         .filter(|&c| joinable[c])
         .map(|c| ColumnId((lo + c) as u32))
         .collect();
-    VerifyOutcome {
-        joinable: joinable_ids,
-        match_counts,
-        mismatch_counts,
-    }
+    (
+        VerifyOutcome {
+            joinable: joinable_ids,
+            match_counts,
+            mismatch_counts,
+        },
+        exceeded,
+    )
 }
 
 /// Shard-local slot of a global column id, or `None` when the column
@@ -352,7 +386,7 @@ struct ColumnPlan<'a> {
 /// [`crate::cost::column_match_bounds`] and `seed` the sound initial
 /// threshold of [`crate::cost::topk_seed`]. Columns are verified exactly
 /// in best-first order (probe evidence, then upper bound, then density),
-/// in fixed batches of [`TOPK_BATCH`]; after each batch the threshold is
+/// in fixed batches of `TOPK_BATCH` (16); after each batch the threshold is
 /// re-tightened to the current k-th best exact entry. Pruning never
 /// trusts the heuristic order: each column is skipped by its **own**
 /// upper bound ranking below the threshold, the loop stops outright only
@@ -375,10 +409,32 @@ pub fn verify_topk<M: Metric>(
     stats: &mut SearchStats,
     policy: ExecPolicy,
 ) -> Vec<(u32, ColumnId)> {
+    verify_topk_budgeted(ctx, blocked, bounds, seed, k, stats, policy, None).0
+}
+
+/// [`verify_topk`] under an optional per-query budget. The limits are
+/// checked at the loop's deterministic checkpoints — before the probe
+/// pass and at the top of every best-first batch round; batch membership
+/// and the frozen thresholds are policy-independent, so a distance-cap
+/// cutoff lands at the same round for every [`ExecPolicy`]. On a trip the
+/// ranking over the columns verified so far is returned together with the
+/// tripped limit.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_topk_budgeted<M: Metric>(
+    ctx: &VerifyContext<'_, M>,
+    blocked: &BlockOutput,
+    bounds: &ColumnMatchBounds,
+    seed: Option<(u32, u32)>,
+    k: usize,
+    stats: &mut SearchStats,
+    policy: ExecPolicy,
+    budget: Option<&BudgetGuard>,
+) -> (Vec<(u32, ColumnId)>, Option<Exceeded>) {
     let n_cols = ctx.columns.n_columns();
     if k == 0 {
-        return Vec::new();
+        return (Vec::new(), None);
     }
+    let mut exceeded = None;
     // Survivors: live columns that can match at all and whose best case
     // is not already below the seeded threshold.
     let mut survivor = vec![false; n_cols];
@@ -406,7 +462,10 @@ pub fn verify_topk<M: Metric>(
     // verification later resumes where the probe stopped.
     let mut probe_of = vec![0u32; n_cols];
     let probed = order.len() > k;
-    if probed {
+    if let Some(guard) = budget {
+        exceeded = guard.check(stats.distance_computations);
+    }
+    if probed && exceeded.is_none() {
         let shards = exec::map_ranges_min(policy, order.len(), 2, |r| {
             let mut out = Vec::with_capacity(r.len());
             for j in r {
@@ -446,7 +505,13 @@ pub fn verify_topk<M: Metric>(
 
     let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
     let mut i = 0usize;
-    while i < order.len() {
+    while exceeded.is_none() && i < order.len() {
+        if let Some(guard) = budget {
+            if let Some(e) = guard.check(stats.distance_computations) {
+                exceeded = Some(e);
+                break;
+            }
+        }
         // Threshold as of this batch: the stronger of the seed and the
         // current k-th best exact entry. Frozen per batch so abort
         // decisions never depend on scheduling.
@@ -519,7 +584,7 @@ pub fn verify_topk<M: Metric>(
         .map(|WorstFirst(n, c)| (n, ColumnId(c)))
         .collect();
     hits.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    hits
+    (hits, exceeded)
 }
 
 /// The stronger of the seed threshold and the heap's k-th best entry.

@@ -39,8 +39,10 @@ fn query(dim: usize, n: usize, seed: u64) -> VectorStore {
     q
 }
 
-fn ids(hits: &[SearchHit]) -> Vec<u32> {
-    hits.iter().map(|h| h.column.0).collect()
+/// External ids equal insertion order in these fixtures, so the unified
+/// external-id ordering matches the oracle's column-id ordering.
+fn ids(hits: &[GlobalHit]) -> Vec<u32> {
+    hits.iter().map(|h| h.external_id as u32).collect()
 }
 
 #[test]
@@ -62,7 +64,7 @@ fn append_equals_fresh_build() {
     for tau in [Tau::Ratio(0.05), Tau::Ratio(0.2)] {
         for t in [JoinThreshold::Ratio(0.3), JoinThreshold::Count(1)] {
             let (expected, _) = naive_search(&full, &Euclidean, &q, tau, t, false).unwrap();
-            let got = index.search(&q, tau, t).unwrap();
+            let got = index.execute(&Query::threshold(tau, t), &q).unwrap();
             assert_eq!(
                 ids(&got.hits),
                 expected.iter().map(|h| h.column.0).collect::<Vec<_>>(),
@@ -81,8 +83,11 @@ fn append_then_topk_sees_new_column() {
     let q = query(dim, 6, 9);
     let q_vecs: Vec<&[f32]> = (0..q.len()).map(|i| q.get_raw(i)).collect();
     let new_col = index.append_column("t", "mirror", 99, q_vecs).unwrap();
-    let result = index.search_topk(&q, Tau::Ratio(0.02), 3).unwrap();
-    assert_eq!(result.hits[0].column, new_col);
+    assert_eq!(new_col, ColumnId(4));
+    let result = index
+        .execute(&Query::topk(Tau::Ratio(0.02), 3), &q)
+        .unwrap();
+    assert_eq!(result.hits[0].external_id, 99);
     assert_eq!(result.hits[0].match_count as usize, q.len());
 }
 
@@ -95,14 +100,14 @@ fn removed_columns_disappear_and_compact_preserves() {
     let tau = Tau::Ratio(0.3);
     let t = JoinThreshold::Count(1);
 
-    let before = index.search(&q, tau, t).unwrap();
+    let before = index.execute(&Query::threshold(tau, t), &q).unwrap();
     assert!(!before.hits.is_empty(), "need hits to delete");
-    let victim = before.hits[0].column;
+    let victim = ColumnId(before.hits[0].external_id as u32);
     index.remove_column(victim).unwrap();
     assert!(index.is_deleted(victim));
     assert_eq!(index.live_columns(), 9);
 
-    let after = index.search(&q, tau, t).unwrap();
+    let after = index.execute(&Query::threshold(tau, t), &q).unwrap();
     assert!(
         !ids(&after.hits).contains(&victim.0),
         "deleted column still returned"
@@ -115,19 +120,11 @@ fn removed_columns_disappear_and_compact_preserves() {
 
     // Compaction rebuilds without the victim; results on live columns
     // (identified by external id) are unchanged.
-    let externals_before: Vec<u64> = after
-        .hits
-        .iter()
-        .map(|h| index.columns().column(h.column).external_id)
-        .collect();
+    let externals_before: Vec<u64> = after.hits.iter().map(|h| h.external_id).collect();
     let compacted = index.compact().unwrap();
     assert_eq!(compacted.columns().n_columns(), 9);
-    let res = compacted.search(&q, tau, t).unwrap();
-    let externals_after: Vec<u64> = res
-        .hits
-        .iter()
-        .map(|h| compacted.columns().column(h.column).external_id)
-        .collect();
+    let res = compacted.execute(&Query::threshold(tau, t), &q).unwrap();
+    let externals_after: Vec<u64> = res.hits.iter().map(|h| h.external_id).collect();
     assert_eq!(externals_after, externals_before);
 }
 
@@ -161,12 +158,12 @@ fn topk_matches_naive_ranking() {
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     for k in [1usize, 3, 5, 100] {
-        let result = index.search_topk(&q, tau, k).unwrap();
+        let result = index.execute(&Query::topk(tau, k), &q).unwrap();
         let expected: Vec<(u32, u32)> = counts.iter().copied().take(k).collect();
         let got: Vec<(u32, u32)> = result
             .hits
             .iter()
-            .map(|h| (h.column.0, h.match_count))
+            .map(|h| (h.external_id as u32, h.match_count))
             .collect();
         assert_eq!(got, expected, "k={k}");
     }
@@ -178,10 +175,12 @@ fn topk_edge_inputs() {
     let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
     let q = query(8, 3, 2);
     // k = 0 is a valid request for an empty ranking, not an error.
-    let r = index.search_topk(&q, Tau::Ratio(0.1), 0).unwrap();
-    assert!(r.hits.is_empty());
+    let r = index.execute(&Query::topk(Tau::Ratio(0.1), 0), &q).unwrap();
+    assert!(r.hits.is_empty() && r.exact());
     let empty = VectorStore::new(8);
-    assert!(index.search_topk(&empty, Tau::Ratio(0.1), 3).is_err());
+    assert!(index
+        .execute(&Query::topk(Tau::Ratio(0.1), 3), &empty)
+        .is_err());
 }
 
 #[test]
@@ -196,13 +195,10 @@ fn compact_without_deletions_is_identity() {
     let columns = make_columns(8, 4, 6, 3);
     let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
     let q = query(8, 4, 4);
-    let before = index
-        .search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1))
-        .unwrap();
+    let probe = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Count(1));
+    let before = index.execute(&probe, &q).unwrap();
     let compacted = index.compact().unwrap();
-    let after = compacted
-        .search(&q, Tau::Ratio(0.2), JoinThreshold::Count(1))
-        .unwrap();
+    let after = compacted.execute(&probe, &q).unwrap();
     assert_eq!(ids(&before.hits), ids(&after.hits));
 }
 
@@ -216,7 +212,7 @@ fn angular_metric_end_to_end() {
     let t = JoinThreshold::Count(1);
     let (expected, _) = naive_search(&columns, &Angular, &q, tau, t, false).unwrap();
     let index = PexesoIndex::build(columns, Angular, IndexOptions::default()).unwrap();
-    let got = index.search(&q, tau, t).unwrap();
+    let got = index.execute(&Query::threshold(tau, t), &q).unwrap();
     assert_eq!(
         ids(&got.hits),
         expected.iter().map(|h| h.column.0).collect::<Vec<_>>()

@@ -135,8 +135,9 @@ proptest! {
         std::fs::remove_file(&path).ok();
         let tau = Tau::Ratio(0.2);
         let t = JoinThreshold::Ratio(0.5);
-        let a = index.search(&query, tau, t).unwrap();
-        let b = loaded.search(&query, tau, t).unwrap();
+        let q = Query::threshold(tau, t);
+        let a = index.execute(&q, &query).unwrap();
+        let b = loaded.execute(&q, &query).unwrap();
         prop_assert_eq!(a.hits, b.hits);
     }
 
@@ -169,28 +170,31 @@ proptest! {
         ).unwrap();
         let tau = Tau::Ratio(tau_r);
         let exact = oracle::match_counts(&columns, &Euclidean, &query, tau, None).unwrap();
-        let res = index.search_topk(&query, tau, k).unwrap();
+        // External ids equal insertion order here, so the unified
+        // external-id tie-break matches the oracle's column-id one.
+        let res = index.execute(&Query::topk(tau, k), &query).unwrap();
 
         prop_assert!(res.hits.len() <= k);
         for w in res.hits.windows(2) {
             prop_assert!(
                 w[0].match_count > w[1].match_count
-                    || (w[0].match_count == w[1].match_count && w[0].column < w[1].column),
+                    || (w[0].match_count == w[1].match_count
+                        && w[0].external_id < w[1].external_id),
                 "not in rank order: {:?}", res.hits
             );
         }
         for h in &res.hits {
             prop_assert!(h.match_count > 0);
-            prop_assert_eq!(h.match_count, exact[h.column.0 as usize], "count not exact");
+            prop_assert_eq!(h.match_count, exact[h.external_id as usize], "count not exact");
         }
-        let included: Vec<u32> = res.hits.iter().map(|h| h.column.0).collect();
+        let included: Vec<u32> = res.hits.iter().map(|h| h.external_id as u32).collect();
         if res.hits.len() == k {
             if let Some(last) = res.hits.last() {
                 for (c, &cnt) in exact.iter().enumerate() {
                     if cnt > 0 && !included.contains(&(c as u32)) {
                         prop_assert!(
                             last.match_count > cnt
-                                || (last.match_count == cnt && last.column.0 < c as u32),
+                                || (last.match_count == cnt && (last.external_id as u32) < c as u32),
                             "excluded column {c} (count {cnt}) outranks the k-th hit {last:?}"
                         );
                     }
@@ -201,7 +205,7 @@ proptest! {
             let positive = exact.iter().filter(|&&c| c > 0).count();
             prop_assert_eq!(res.hits.len(), positive);
         }
-        let bigger = index.search_topk(&query, tau, k + 1).unwrap();
+        let bigger = index.execute(&Query::topk(tau, k + 1), &query).unwrap();
         prop_assert_eq!(
             &res.hits[..],
             &bigger.hits[..res.hits.len().min(bigger.hits.len())],
@@ -232,11 +236,11 @@ proptest! {
         ).unwrap();
         let tau = Tau::Ratio(0.3);
         let t_hi = (t_lo + dt).min(1.0);
-        let ids = |r: &SearchResult| r.hits.iter().map(|h| h.column.0).collect::<Vec<u32>>();
-        let lo = ids(&index.search(&query, tau, JoinThreshold::Ratio(t_lo)).unwrap());
-        let hi = ids(&index.search(&query, tau, JoinThreshold::Ratio(t_hi)).unwrap());
-        prop_assert!(hi.iter().all(|c| lo.contains(c)), "T↑ grew the answer set");
-        let tight = ids(&index.search(&query, Tau::Ratio(0.1), JoinThreshold::Ratio(t_lo)).unwrap());
+        let ids = |r: &QueryResponse| r.hits.iter().map(|h| h.external_id).collect::<Vec<u64>>();
+        let lo = ids(&index.execute(&Query::threshold(tau, JoinThreshold::Ratio(t_lo)), &query).unwrap());
+        let hi = ids(&index.execute(&Query::threshold(tau, JoinThreshold::Ratio(t_hi)), &query).unwrap());
+        prop_assert!(hi.iter().all(|c| lo.contains(c)), "T raised must not grow the answer set");
+        let tight = ids(&index.execute(&Query::threshold(Tau::Ratio(0.1), JoinThreshold::Ratio(t_lo)), &query).unwrap());
         prop_assert!(tight.iter().all(|c| lo.contains(c)), "τ↓ grew the answer set");
     }
 

@@ -3,17 +3,29 @@
 //! One [`ServeClient`] wraps one TCP connection and can issue any number
 //! of requests sequentially. The server's explicit backpressure surfaces
 //! as [`ClientError::Busy`] so callers can retry elsewhere or back off.
+//!
+//! The client is the *remote* [`Queryable`] backend: a unified
+//! [`Query`] executes over the wire exactly like it would against a local
+//! index, with the per-query options/budget travelling in the V2 frame
+//! extension and the outcome/stats coming back in the extended reply.
+//! The stream is guarded by a mutex so the trait's `&self` surface stays
+//! sound; requests on one connection serialize.
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
+use pexeso_core::error::PexesoError;
+use pexeso_core::outofcore::GlobalHit;
+use pexeso_core::query::{Query, QueryMode, QueryOutcome, QueryResponse, Queryable};
+use pexeso_core::stats::SearchStats;
 use pexeso_core::vector::VectorStore;
 
 use crate::protocol::{
-    decode_reply, encode_request, read_frame, write_frame, HitsReply, InfoReply, QueryPayload,
-    Reply, Request, WireError,
+    decode_reply, encode_request, read_frame, write_frame, HitsReply, InfoReply, QueryExt,
+    QueryPayload, Reply, Request, WireError,
 };
 
 /// Client-side failure modes.
@@ -57,6 +69,17 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Fold client failures into the unified error type so `&dyn Queryable`
+/// callers handle remote and local backends identically.
+impl From<ClientError> for PexesoError {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Io(e) => PexesoError::Io(e),
+            other => PexesoError::Remote(other.to_string()),
+        }
+    }
+}
+
 type ClientResult<T> = std::result::Result<T, ClientError>;
 
 /// Build the query half of a request from an embedded column.
@@ -72,34 +95,84 @@ pub fn query_payload(
         policy,
         dim: store.dim() as u32,
         vectors: store.raw_data().to_vec(),
+        ext: None,
     }
+}
+
+/// The wire request a unified [`Query`] translates to: every criterion —
+/// mode, τ, T/k, policy, metric expectation, lemma toggles, quick-browse,
+/// and budget — travels in the frame (the options/budget in the V2
+/// extension). This is the client half of the serve mapping; the server
+/// reassembles the same `Query` on the other side. Public so the
+/// round-trip can be property-tested against the frame codec.
+pub fn wire_request(query: &Query, vectors: &VectorStore) -> Request {
+    let payload = QueryPayload {
+        // An empty metric string spells "no expectation": the server
+        // answers with its own build metric, exactly like the local
+        // backends do for `Query::metric = None`.
+        metric: query.metric.clone().unwrap_or_default(),
+        tau: query.tau,
+        policy: query.policy,
+        dim: vectors.dim() as u32,
+        vectors: vectors.raw_data().to_vec(),
+        ext: Some(QueryExt {
+            flags: query.options.flags,
+            quick_browse: query.options.quick_browse,
+            max_distance_computations: query.budget.max_distance_computations,
+            // Ceil to whole milliseconds: a sub-millisecond (but nonzero)
+            // deadline must not truncate to an instant trip server-side.
+            deadline_ms: query
+                .budget
+                .deadline
+                .map(|d| d.as_nanos().div_ceil(1_000_000) as u64),
+        }),
+    };
+    match query.mode {
+        QueryMode::Threshold(t) => Request::Search { query: payload, t },
+        QueryMode::Topk(k) => Request::Topk {
+            query: payload,
+            k: k as u64,
+        },
+    }
+}
+
+/// Serve-side facts accompanying a remote [`QueryResponse`]: which
+/// snapshot generation answered and whether the result cache did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteMeta {
+    pub generation: u64,
+    pub cached: bool,
 }
 
 /// One connection to a `pexeso serve` daemon.
 pub struct ServeClient {
-    stream: TcpStream,
+    stream: Mutex<TcpStream>,
 }
 
 impl ServeClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream: Mutex::new(stream),
+        })
     }
 
     /// Bound how long any single reply may take.
-    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.stream.set_read_timeout(timeout)?;
-        self.stream.set_write_timeout(timeout)
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let stream = self.stream.lock().expect("client stream poisoned");
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
     }
 
-    fn roundtrip(&mut self, req: &Request) -> ClientResult<Reply> {
+    fn roundtrip(&self, req: &Request) -> ClientResult<Reply> {
+        let mut stream = self.stream.lock().expect("client stream poisoned");
         // A rejected connection gets one BUSY frame and a hang-up *before*
         // we ever write; the write then fails with a broken pipe while the
         // BUSY frame sits in our receive buffer. On write failure, drain
         // that pending reply instead of surfacing the pipe error.
-        let write_err = write_frame(&mut self.stream, &encode_request(req)).err();
-        let payload = match read_frame(&mut self.stream) {
+        let write_err = write_frame(&mut *stream, &encode_request(req)).err();
+        let payload = match read_frame(&mut *stream) {
             Ok(Some(p)) => p,
             Ok(None) => {
                 return Err(write_err.map(ClientError::Io).unwrap_or_else(|| {
@@ -117,30 +190,84 @@ impl ServeClient {
         }
     }
 
-    pub fn info(&mut self) -> ClientResult<InfoReply> {
+    pub fn info(&self) -> ClientResult<InfoReply> {
         match self.roundtrip(&Request::Info)? {
             Reply::Info(info) => Ok(info),
             other => Err(unexpected("INFO", &other)),
         }
     }
 
-    pub fn search(&mut self, query: QueryPayload, t: JoinThreshold) -> ClientResult<HitsReply> {
+    /// Raw threshold search over an explicit wire payload. The unified
+    /// path is [`Queryable::execute`]; this is the protocol-level escape
+    /// hatch (and what the V1-compat tests drive).
+    pub fn search(&self, query: QueryPayload, t: JoinThreshold) -> ClientResult<HitsReply> {
         match self.roundtrip(&Request::Search { query, t })? {
             Reply::Hits(hits) => Ok(hits),
             other => Err(unexpected("SEARCH", &other)),
         }
     }
 
-    pub fn topk(&mut self, query: QueryPayload, k: u64) -> ClientResult<HitsReply> {
+    /// Raw top-k search over an explicit wire payload; named to match the
+    /// core `search_topk` verb. See [`ServeClient::search`].
+    pub fn search_topk(&self, query: QueryPayload, k: u64) -> ClientResult<HitsReply> {
         match self.roundtrip(&Request::Topk { query, k })? {
             Reply::Hits(hits) => Ok(hits),
             other => Err(unexpected("TOPK", &other)),
         }
     }
 
+    /// Old name of [`ServeClient::search_topk`].
+    #[deprecated(note = "renamed to `search_topk` to match the core verbs")]
+    pub fn topk(&self, query: QueryPayload, k: u64) -> ClientResult<HitsReply> {
+        self.search_topk(query, k)
+    }
+
+    /// Execute a unified [`Query`] remotely and also return the serve-side
+    /// metadata (snapshot generation, cache hit). [`Queryable::execute`]
+    /// is this minus the metadata.
+    pub fn execute_detailed(
+        &self,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> ClientResult<(QueryResponse, RemoteMeta)> {
+        let reply = match self.roundtrip(&wire_request(query, vectors))? {
+            Reply::Hits(hits) => hits,
+            other => return Err(unexpected("SEARCH/TOPK", &other)),
+        };
+        let meta = RemoteMeta {
+            generation: reply.generation,
+            cached: reply.cached,
+        };
+        let ext = reply.ext.ok_or_else(|| {
+            ClientError::Protocol("server answered a V2 request without the reply extension".into())
+        })?;
+        let hits = reply
+            .hits
+            .into_iter()
+            .map(|h| GlobalHit {
+                external_id: h.external_id,
+                table_name: h.table_name,
+                column_name: h.column_name,
+                match_count: h.match_count,
+            })
+            .collect();
+        let stats = SearchStats {
+            distance_computations: ext.distance_computations,
+            ..SearchStats::new()
+        };
+        Ok((
+            QueryResponse {
+                hits,
+                stats,
+                outcome: ext.outcome,
+            },
+            meta,
+        ))
+    }
+
     /// The raw `key=value` stats body (see
     /// [`crate::metrics::stat_value`] for parsing single entries).
-    pub fn stats_text(&mut self) -> ClientResult<String> {
+    pub fn stats_text(&self) -> ClientResult<String> {
         match self.roundtrip(&Request::Stats)? {
             Reply::Stats { text } => Ok(text),
             other => Err(unexpected("STATS", &other)),
@@ -149,7 +276,7 @@ impl ServeClient {
 
     /// Hot-swap the served snapshot; `dir = None` re-opens the current
     /// directory. Returns (new generation, partition count).
-    pub fn reload(&mut self, dir: Option<&Path>) -> ClientResult<(u64, u32)> {
+    pub fn reload(&self, dir: Option<&Path>) -> ClientResult<(u64, u32)> {
         let dir = dir.map(|p| p.to_string_lossy().into_owned());
         match self.roundtrip(&Request::Reload { dir })? {
             Reply::Reloaded {
@@ -160,11 +287,28 @@ impl ServeClient {
         }
     }
 
-    pub fn shutdown(&mut self) -> ClientResult<()> {
+    pub fn shutdown(&self) -> ClientResult<()> {
         match self.roundtrip(&Request::Shutdown)? {
             Reply::ShuttingDown => Ok(()),
             other => Err(unexpected("SHUTDOWN", &other)),
         }
+    }
+}
+
+/// The remote backend: a unified [`Query`] answered by a `pexeso serve`
+/// daemon, byte-identical to the same query against the served deployment
+/// locally (pinned by `tests/query_api.rs` at the workspace root).
+impl Queryable for ServeClient {
+    fn execute(
+        &self,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> pexeso_core::error::Result<QueryResponse> {
+        let (resp, _meta) = self.execute_detailed(query, vectors)?;
+        // The server reports Exact for every uncapped query; trust but
+        // keep the type honest if a budget was set and tripped remotely.
+        debug_assert!(query.budget.is_limited() || resp.outcome == QueryOutcome::Exact);
+        Ok(resp)
     }
 }
 

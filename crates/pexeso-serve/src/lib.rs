@@ -37,8 +37,10 @@ pub mod server;
 pub mod snapshot;
 
 pub use cache::{CacheStats, LruCache, ShardedCache};
-pub use client::{query_payload, ClientError, ServeClient};
+pub use client::{query_payload, wire_request, ClientError, RemoteMeta, ServeClient};
 pub use metrics::{stat_value, ServerMetrics};
-pub use protocol::{HitsReply, InfoReply, QueryPayload, Reply, Request, WireHit};
+pub use protocol::{
+    HitsExt, HitsReply, InfoReply, QueryExt, QueryPayload, Reply, Request, WireHit,
+};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotCell};

@@ -15,13 +15,19 @@
 
 use std::io::{Read, Write};
 
-use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
+use pexeso_core::config::{ExecPolicy, JoinThreshold, LemmaFlags, Tau};
 use pexeso_core::outofcore::GlobalHit;
+use pexeso_core::query::{Exceeded, QueryOutcome};
 
 /// First bytes of every request payload.
 pub const MAGIC: &[u8; 4] = b"PXSV";
-/// Bumped on incompatible protocol changes.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Current protocol version. Version 2 adds the optional per-query
+/// options/budget extension to `SEARCH`/`TOPK` requests and the extended
+/// `HITS` reply; version-1 frames (no extension) are still accepted, so
+/// old clients keep working unchanged.
+pub const PROTOCOL_VERSION: u8 = 2;
+/// Oldest request version the server still parses.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 /// Hard cap on a single frame; anything larger is treated as garbage
 /// framing rather than a legitimate request.
 pub const MAX_FRAME_BYTES: u32 = 64 << 20;
@@ -38,6 +44,9 @@ const REPLY_HITS: u8 = 1;
 const REPLY_STATS: u8 = 2;
 const REPLY_RELOADED: u8 = 3;
 const REPLY_SHUTTING_DOWN: u8 = 4;
+/// V2 `HITS` reply carrying the outcome/stats extension. Only ever sent
+/// in answer to a V2 request, so V1 clients never see this kind byte.
+const REPLY_HITS_V2: u8 = 5;
 const REPLY_BUSY: u8 = 250;
 const REPLY_ERR: u8 = 251;
 
@@ -67,6 +76,32 @@ impl From<std::io::Error> for WireError {
 
 type WireResult<T> = std::result::Result<T, WireError>;
 
+/// The version-2 per-query options/budget extension of `SEARCH`/`TOPK`
+/// frames. Its presence is what makes a request a V2 frame; V1 frames
+/// decode with `ext: None` and the server applies the defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryExt {
+    /// Lemma toggles (results never change; ablation/throughput knob).
+    pub flags: LemmaFlags,
+    /// Quick-browsing shortcut toggle.
+    pub quick_browse: bool,
+    /// Cap on exact distance computations; `None` = unlimited.
+    pub max_distance_computations: Option<u64>,
+    /// Wall-clock allowance in milliseconds; `None` = unlimited.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for QueryExt {
+    fn default() -> Self {
+        Self {
+            flags: LemmaFlags::all(),
+            quick_browse: true,
+            max_distance_computations: None,
+            deadline_ms: None,
+        }
+    }
+}
+
 /// The query half shared by `SEARCH` and `TOPK`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryPayload {
@@ -80,6 +115,9 @@ pub struct QueryPayload {
     pub dim: u32,
     /// Row-major query vectors, `len = n * dim`.
     pub vectors: Vec<f32>,
+    /// V2 options/budget extension; `None` encodes a V1 frame so old
+    /// servers and clients interoperate.
+    pub ext: Option<QueryExt>,
 }
 
 impl QueryPayload {
@@ -148,8 +186,18 @@ pub struct InfoReply {
     pub disk_bytes: u64,
 }
 
+/// The V2 `HITS` reply extension: the unified query outcome plus the
+/// verification cost, so remote callers get the same exactness contract
+/// local backends report. Cached replies carry `QueryOutcome::Exact` and
+/// zero distance computations (only exact results are ever cached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitsExt {
+    pub outcome: QueryOutcome,
+    pub distance_computations: u64,
+}
+
 /// Reply to [`Request::Search`] / [`Request::Topk`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HitsReply {
     /// Generation of the snapshot that answered (or populated the cached
     /// entry for) this query.
@@ -157,6 +205,8 @@ pub struct HitsReply {
     /// True when the reply was served from the result cache.
     pub cached: bool,
     pub hits: Vec<WireHit>,
+    /// Outcome/stats extension, present iff the request was a V2 frame.
+    pub ext: Option<HitsExt>,
 }
 
 /// A server reply.
@@ -411,29 +461,126 @@ fn take_query(r: &mut ByteReader) -> WireResult<QueryPayload> {
         policy,
         dim,
         vectors,
+        ext: None,
     })
+}
+
+fn put_opt_u64(w: &mut ByteWriter, v: Option<u64>) {
+    match v {
+        None => w.u8(0),
+        Some(x) => {
+            w.u8(1);
+            w.u64(x);
+        }
+    }
+}
+
+fn take_opt_u64(r: &mut ByteReader) -> WireResult<Option<u64>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64()?)),
+        t => Err(WireError::Malformed(format!("unknown option tag {t}"))),
+    }
+}
+
+/// The V2 options/budget extension, appended after the request's
+/// threshold/k field. Lemma flags travel as a 4-bit mask.
+fn put_query_ext(w: &mut ByteWriter, ext: &QueryExt) {
+    let mut mask = 0u8;
+    if ext.flags.lemma1_vector_filter {
+        mask |= 1;
+    }
+    if ext.flags.lemma2_vector_match {
+        mask |= 2;
+    }
+    if ext.flags.lemma34_cell_filter {
+        mask |= 4;
+    }
+    if ext.flags.lemma56_cell_match {
+        mask |= 8;
+    }
+    w.u8(mask);
+    w.u8(ext.quick_browse as u8);
+    put_opt_u64(w, ext.max_distance_computations);
+    put_opt_u64(w, ext.deadline_ms);
+}
+
+fn take_query_ext(r: &mut ByteReader) -> WireResult<QueryExt> {
+    let mask = r.u8()?;
+    if mask & !0xf != 0 {
+        return Err(WireError::Malformed(format!(
+            "unknown lemma bits {mask:#x}"
+        )));
+    }
+    let flags = LemmaFlags {
+        lemma1_vector_filter: mask & 1 != 0,
+        lemma2_vector_match: mask & 2 != 0,
+        lemma34_cell_filter: mask & 4 != 0,
+        lemma56_cell_match: mask & 8 != 0,
+    };
+    let quick_browse = r.u8()? != 0;
+    let max_distance_computations = take_opt_u64(r)?;
+    let deadline_ms = take_opt_u64(r)?;
+    Ok(QueryExt {
+        flags,
+        quick_browse,
+        max_distance_computations,
+        deadline_ms,
+    })
+}
+
+fn put_outcome(w: &mut ByteWriter, outcome: QueryOutcome) {
+    w.u8(match outcome {
+        QueryOutcome::Exact => 0,
+        QueryOutcome::Exceeded(Exceeded::DistanceComputations) => 1,
+        QueryOutcome::Exceeded(Exceeded::Deadline) => 2,
+    })
+}
+
+fn take_outcome(r: &mut ByteReader) -> WireResult<QueryOutcome> {
+    match r.u8()? {
+        0 => Ok(QueryOutcome::Exact),
+        1 => Ok(QueryOutcome::Exceeded(Exceeded::DistanceComputations)),
+        2 => Ok(QueryOutcome::Exceeded(Exceeded::Deadline)),
+        t => Err(WireError::Malformed(format!("unknown outcome tag {t}"))),
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Request / reply codecs
 // ---------------------------------------------------------------------------
 
-/// Encode a request into a frame payload.
+/// Encode a request into a frame payload. Query verbs carrying the V2
+/// extension are stamped version 2 (the V1 byte layout is a strict prefix
+/// of the V2 one); everything else — including extension-less query
+/// frames — stays version 1, so an un-upgraded server keeps answering.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.0.extend_from_slice(MAGIC);
-    w.u8(PROTOCOL_VERSION);
+    let version = match req {
+        Request::Search { query, .. } | Request::Topk { query, .. } if query.ext.is_some() => {
+            PROTOCOL_VERSION
+        }
+        _ => MIN_PROTOCOL_VERSION,
+    };
+    w.u8(version);
     match req {
         Request::Info => w.u8(VERB_INFO),
         Request::Search { query, t } => {
             w.u8(VERB_SEARCH);
             put_query(&mut w, query);
             put_threshold(&mut w, *t);
+            if let Some(ext) = &query.ext {
+                put_query_ext(&mut w, ext);
+            }
         }
         Request::Topk { query, k } => {
             w.u8(VERB_TOPK);
             put_query(&mut w, query);
             w.u64(*k);
+            if let Some(ext) = &query.ext {
+                put_query_ext(&mut w, ext);
+            }
         }
         Request::Stats => w.u8(VERB_STATS),
         Request::Reload { dir } => {
@@ -445,28 +592,37 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     w.0
 }
 
-/// Decode a frame payload into a request.
+/// Decode a frame payload into a request. Accepts every version from
+/// [`MIN_PROTOCOL_VERSION`] to [`PROTOCOL_VERSION`]: V1 query frames
+/// decode with `ext: None`, V2 frames carry the trailing extension.
 pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
     let mut r = ByteReader::new(payload);
     if r.bytes(4)? != MAGIC {
         return Err(WireError::Malformed("bad request magic".into()));
     }
     let version = r.u8()?;
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(WireError::Malformed(format!(
-            "protocol version {version} unsupported (want {PROTOCOL_VERSION})"
+            "protocol version {version} unsupported \
+             (want {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
         )));
     }
     let req = match r.u8()? {
         VERB_INFO => Request::Info,
         VERB_SEARCH => {
-            let query = take_query(&mut r)?;
+            let mut query = take_query(&mut r)?;
             let t = take_threshold(&mut r)?;
+            if version >= 2 {
+                query.ext = Some(take_query_ext(&mut r)?);
+            }
             Request::Search { query, t }
         }
         VERB_TOPK => {
-            let query = take_query(&mut r)?;
+            let mut query = take_query(&mut r)?;
             let k = r.u64()?;
+            if version >= 2 {
+                query.ext = Some(take_query_ext(&mut r)?);
+            }
             Request::Topk { query, k }
         }
         VERB_STATS => Request::Stats,
@@ -496,9 +652,20 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.u64(info.disk_bytes);
         }
         Reply::Hits(h) => {
-            w.u8(REPLY_HITS);
+            // The V2 kind byte is only used when the extension is present,
+            // i.e. only in answer to a V2 request — old clients never
+            // receive a kind they cannot parse.
+            w.u8(if h.ext.is_some() {
+                REPLY_HITS_V2
+            } else {
+                REPLY_HITS
+            });
             w.u64(h.generation);
             w.u8(h.cached as u8);
+            if let Some(ext) = &h.ext {
+                put_outcome(&mut w, ext.outcome);
+                w.u64(ext.distance_computations);
+            }
             w.u32(h.hits.len() as u32);
             for hit in &h.hits {
                 w.u64(hit.external_id);
@@ -540,9 +707,17 @@ pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
             partitions: r.u32()?,
             disk_bytes: r.u64()?,
         }),
-        REPLY_HITS => {
+        kind @ (REPLY_HITS | REPLY_HITS_V2) => {
             let generation = r.u64()?;
             let cached = r.u8()? != 0;
+            let ext = if kind == REPLY_HITS_V2 {
+                Some(HitsExt {
+                    outcome: take_outcome(&mut r)?,
+                    distance_computations: r.u64()?,
+                })
+            } else {
+                None
+            };
             let n = r.u32()? as usize;
             let mut hits = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
@@ -557,6 +732,7 @@ pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
                 generation,
                 cached,
                 hits,
+                ext,
             })
         }
         REPLY_STATS => Reply::Stats {
@@ -636,6 +812,16 @@ mod tests {
             policy: ExecPolicy::Parallel { threads: 4 },
             dim: 3,
             vectors: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            ext: None,
+        }
+    }
+
+    fn sample_ext() -> QueryExt {
+        QueryExt {
+            flags: LemmaFlags::without_lemma34(),
+            quick_browse: false,
+            max_distance_computations: Some(12345),
+            deadline_ms: Some(250),
         }
     }
 
@@ -651,8 +837,22 @@ mod tests {
                 query: sample_query(),
                 t: JoinThreshold::Count(7),
             },
+            Request::Search {
+                query: QueryPayload {
+                    ext: Some(sample_ext()),
+                    ..sample_query()
+                },
+                t: JoinThreshold::Count(7),
+            },
             Request::Topk {
                 query: sample_query(),
+                k: 10,
+            },
+            Request::Topk {
+                query: QueryPayload {
+                    ext: Some(QueryExt::default()),
+                    ..sample_query()
+                },
                 k: 10,
             },
             Request::Stats,
@@ -667,6 +867,33 @@ mod tests {
             let back = decode_request(&bytes).unwrap();
             assert_eq!(&back, req);
         }
+    }
+
+    #[test]
+    fn version_gating_is_backward_compatible() {
+        // An extension-less query encodes a V1 frame, byte-identical to
+        // what a pre-extension client produces — old servers still parse.
+        let v1 = encode_request(&Request::Search {
+            query: sample_query(),
+            t: JoinThreshold::Count(3),
+        });
+        assert_eq!(v1[4], MIN_PROTOCOL_VERSION);
+        // A V2 frame is the V1 layout plus the trailing extension.
+        let v2 = encode_request(&Request::Search {
+            query: QueryPayload {
+                ext: Some(sample_ext()),
+                ..sample_query()
+            },
+            t: JoinThreshold::Count(3),
+        });
+        assert_eq!(v2[4], PROTOCOL_VERSION);
+        assert_eq!(&v2[5..v1.len()], &v1[5..], "V1 layout must be a prefix");
+        // Truncating the extension off a V2 frame is malformed (the
+        // version byte promises it), while the V1 frame stands alone.
+        let mut truncated = v2.clone();
+        truncated.truncate(v1.len());
+        assert!(decode_request(&truncated).is_err());
+        assert!(decode_request(&v1).is_ok());
     }
 
     #[test]
@@ -688,6 +915,16 @@ mod tests {
                     column_name: "col".into(),
                     match_count: 9,
                 }],
+                ext: None,
+            }),
+            Reply::Hits(HitsReply {
+                generation: 4,
+                cached: false,
+                hits: Vec::new(),
+                ext: Some(HitsExt {
+                    outcome: QueryOutcome::Exceeded(Exceeded::DistanceComputations),
+                    distance_computations: 777,
+                }),
             }),
             Reply::Stats {
                 text: "a=1\nb=2\n".into(),

@@ -8,7 +8,7 @@
 //! queueing, so a traffic spike degrades into fast rejections rather than
 //! ballooning latency for everyone.
 //!
-//! Each query request grabs the current [`Snapshot`] `Arc` once and uses
+//! Each query request grabs the current [`crate::snapshot::Snapshot`] `Arc` once and uses
 //! it end-to-end; a concurrent `RELOAD` hot-swaps the cell without
 //! touching in-flight queries (they finish on the old snapshot, new
 //! arrivals see the new generation). Served results are memoised in the
@@ -22,16 +22,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pexeso_core::config::{ExecPolicy, JoinThreshold};
+use pexeso_core::config::ExecPolicy;
 use pexeso_core::error::Result;
-use pexeso_core::search::SearchOptions;
+use pexeso_core::query::{Query, QueryBudget, QueryMode, QueryOutcome, Queryable};
 use pexeso_core::vector::VectorStore;
 
 use crate::cache::ShardedCache;
 use crate::metrics::{EndpointMetrics, ServerMetrics};
 use crate::protocol::{
-    decode_request, encode_reply, query_fingerprint, read_frame, write_frame, HitsReply, InfoReply,
-    Reply, Request, WireHit,
+    decode_request, encode_reply, query_fingerprint, read_frame, write_frame, HitsExt, HitsReply,
+    InfoReply, Reply, Request, WireHit,
 };
 use crate::snapshot::SnapshotCell;
 
@@ -306,11 +306,6 @@ fn error_reply(endpoint: &EndpointMetrics, message: String) -> Reply {
     Reply::Err { message }
 }
 
-enum QueryKind {
-    Threshold(JoinThreshold),
-    Topk(usize),
-}
-
 fn handle_query(shared: &Shared, req: Request, started: Instant) -> Reply {
     let endpoint = match &req {
         Request::Search { .. } => &shared.metrics.search,
@@ -325,18 +320,20 @@ fn handle_query(shared: &Shared, req: Request, started: Instant) -> Reply {
 }
 
 fn run_query(shared: &Shared, req: &Request) -> std::result::Result<HitsReply, String> {
-    let (query, kind) = match req {
-        Request::Search { query, t } => (query, QueryKind::Threshold(*t)),
-        Request::Topk { query, k } => (query, QueryKind::Topk(*k as usize)),
+    let (payload, mode) = match req {
+        Request::Search { query, t } => (query, QueryMode::Threshold(*t)),
+        Request::Topk { query, k } => (query, QueryMode::Topk(*k as usize)),
         _ => unreachable!("run_query only sees query verbs"),
     };
+    // Requests carrying the V2 extension get the extended reply.
+    let v2 = payload.ext.is_some();
     // Pin the snapshot for the whole request: a concurrent hot swap must
     // never split one query across two index states.
     let snap = shared.snapshot.current();
-    if query.dim as usize != snap.dim() {
+    if payload.dim as usize != snap.dim() {
         return Err(format!(
             "query dimension {} does not match index dimension {}",
-            query.dim,
+            payload.dim,
             snap.dim()
         ));
     }
@@ -347,29 +344,64 @@ fn run_query(shared: &Shared, req: &Request) -> std::result::Result<HitsReply, S
             generation: snap.generation(),
             cached: true,
             hits: (*hits).clone(),
+            // Only exact results are cached, and the cache charges the
+            // requester no verification work.
+            ext: v2.then_some(HitsExt {
+                outcome: QueryOutcome::Exact,
+                distance_computations: 0,
+            }),
         });
     }
-    let store = VectorStore::from_raw(query.dim as usize, query.vectors.clone())
+    let store = VectorStore::from_raw(payload.dim as usize, payload.vectors.clone())
         .map_err(|e| e.to_string())?;
-    let policy = clamp_policy(query.policy, shared.config.max_request_threads);
-    let opts = SearchOptions::default();
-    let (hits, stats) = match kind {
-        QueryKind::Threshold(t) => {
-            snap.search_threshold(&query.metric, &store, query.tau, t, opts, policy)
-        }
-        QueryKind::Topk(k) => snap.search_topk(&query.metric, &store, query.tau, k, opts, policy),
+    // Reassemble the unified query the wire frame describes and hand it
+    // to the snapshot's `Queryable` impl — the same executor every local
+    // backend uses.
+    let mut query = match mode {
+        QueryMode::Threshold(t) => Query::threshold(payload.tau, t),
+        QueryMode::Topk(k) => Query::topk(payload.tau, k),
     }
-    .map_err(|e| e.to_string())?;
+    .with_policy(clamp_policy(
+        payload.policy,
+        shared.config.max_request_threads,
+    ));
+    // An empty metric string spells "no expectation" (the V2 client's
+    // encoding of `Query::metric = None`): serve with the build metric,
+    // exactly like every local backend does.
+    if !payload.metric.is_empty() {
+        query = query.expect_metric(&payload.metric);
+    }
+    if let Some(ext) = &payload.ext {
+        query.options.flags = ext.flags;
+        query.options.quick_browse = ext.quick_browse;
+        query.budget = QueryBudget {
+            max_distance_computations: ext.max_distance_computations,
+            deadline: ext.deadline_ms.map(Duration::from_millis),
+        };
+    }
+    let resp = snap.execute(&query, &store).map_err(|e| e.to_string())?;
     shared
         .metrics
         .distance_computations
-        .fetch_add(stats.distance_computations, Ordering::Relaxed);
-    let wire: Vec<WireHit> = hits.iter().map(WireHit::from).collect();
-    shared.cache.insert(fingerprint, Arc::new(wire.clone()));
+        .fetch_add(resp.stats.distance_computations, Ordering::Relaxed);
+    let wire: Vec<WireHit> = resp.hits.iter().map(WireHit::from).collect();
+    // A budget-limited partial answer must never masquerade as the exact
+    // one for a later (possibly unbudgeted) identical request: cache
+    // exact outcomes only. The fingerprint deliberately ignores the
+    // options/budget extension — flags and quick-browse never change
+    // results, and an exact answer is exact regardless of the budget that
+    // allowed it — so budgeted and unbudgeted requests share a line.
+    if resp.outcome == QueryOutcome::Exact {
+        shared.cache.insert(fingerprint, Arc::new(wire.clone()));
+    }
     Ok(HitsReply {
         generation: snap.generation(),
         cached: false,
         hits: wire,
+        ext: v2.then_some(HitsExt {
+            outcome: resp.outcome,
+            distance_computations: resp.stats.distance_computations,
+        }),
     })
 }
 

@@ -26,12 +26,10 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
-use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
 use pexeso_core::error::{PexesoError, Result};
 use pexeso_core::metric::{Angular, Chebyshev, Euclidean, Manhattan};
-use pexeso_core::outofcore::{GlobalHit, LakeManifest, PartitionedLake, ResidentPartitions};
-use pexeso_core::search::SearchOptions;
-use pexeso_core::stats::SearchStats;
+use pexeso_core::outofcore::{LakeManifest, PartitionedLake, ResidentPartitions};
+use pexeso_core::query::{Query, QueryResponse, Queryable};
 use pexeso_core::vector::VectorStore;
 
 /// The resident indexes, monomorphised per supported metric (the metric
@@ -115,42 +113,22 @@ impl Snapshot {
             )))
         }
     }
+}
 
-    /// Threshold search over the resident partitions.
-    pub fn search_threshold(
-        &self,
-        metric: &str,
-        query: &VectorStore,
-        tau: Tau,
-        t: JoinThreshold,
-        opts: SearchOptions,
-        policy: ExecPolicy,
-    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        self.check_metric(metric)?;
-        match &self.resident {
-            ResidentLake::Euclidean(r) => r.search_with_policy(query, tau, t, opts, policy),
-            ResidentLake::Manhattan(r) => r.search_with_policy(query, tau, t, opts, policy),
-            ResidentLake::Chebyshev(r) => r.search_with_policy(query, tau, t, opts, policy),
-            ResidentLake::Angular(r) => r.search_with_policy(query, tau, t, opts, policy),
+/// A snapshot answers the unified [`Query`] by checking the metric
+/// expectation against its manifest and delegating to the matching
+/// monomorphised resident backend — the serve dispatch is one
+/// [`Queryable::execute`] call away from the core engines.
+impl Queryable for Snapshot {
+    fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
+        if let Some(expected) = query.metric.as_deref() {
+            self.check_metric(expected)?;
         }
-    }
-
-    /// Top-k search over the resident partitions.
-    pub fn search_topk(
-        &self,
-        metric: &str,
-        query: &VectorStore,
-        tau: Tau,
-        k: usize,
-        opts: SearchOptions,
-        policy: ExecPolicy,
-    ) -> Result<(Vec<GlobalHit>, SearchStats)> {
-        self.check_metric(metric)?;
         match &self.resident {
-            ResidentLake::Euclidean(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
-            ResidentLake::Manhattan(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
-            ResidentLake::Chebyshev(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
-            ResidentLake::Angular(r) => r.search_topk_with_policy(query, tau, k, opts, policy),
+            ResidentLake::Euclidean(r) => r.execute(query, vectors),
+            ResidentLake::Manhattan(r) => r.execute(query, vectors),
+            ResidentLake::Chebyshev(r) => r.execute(query, vectors),
+            ResidentLake::Angular(r) => r.execute(query, vectors),
         }
     }
 }

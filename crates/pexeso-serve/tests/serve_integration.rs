@@ -11,7 +11,7 @@ use pexeso_core::config::{ExecPolicy, IndexOptions, JoinThreshold, PivotSelectio
 use pexeso_core::metric::Euclidean;
 use pexeso_core::outofcore::{GlobalHit, LakeManifest, PartitionedLake};
 use pexeso_core::partition::{PartitionConfig, PartitionMethod};
-use pexeso_core::search::SearchOptions;
+use pexeso_core::query::{Query, Queryable};
 use pexeso_core::vector::VectorStore;
 use pexeso_serve::protocol::{encode_reply, HitsReply, Reply, WireHit};
 use pexeso_serve::{query_payload, stat_value, ClientError, ServeClient, ServeConfig, Server};
@@ -101,7 +101,7 @@ fn served_replies_byte_identical_to_direct_calls() {
     let (columns, query) = workload(11, 10, "a");
     let lake = deploy(&dir, &columns);
     let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
 
     let info = client.info().unwrap();
     assert_eq!(info.dim as usize, DIM);
@@ -118,9 +118,10 @@ fn served_replies_byte_identical_to_direct_calls() {
                 let served = client
                     .search(query_payload("euclidean", tau, policy, &query), t)
                     .unwrap();
-                let (direct, _) = lake
-                    .search(Euclidean, &query, tau, t, SearchOptions::default())
-                    .unwrap();
+                let direct = lake
+                    .execute(&Query::threshold(tau, t), &query)
+                    .unwrap()
+                    .hits;
                 assert!(!direct.is_empty(), "workload must produce hits");
                 // Byte-identical: the served reply re-encodes to exactly
                 // the bytes a reply built from the direct call encodes to.
@@ -128,6 +129,7 @@ fn served_replies_byte_identical_to_direct_calls() {
                     generation: served.generation,
                     cached: served.cached,
                     hits: wire(&direct),
+                    ext: None,
                 });
                 assert_eq!(
                     encode_reply(&Reply::Hits(served.clone())),
@@ -138,20 +140,19 @@ fn served_replies_byte_identical_to_direct_calls() {
         }
         for k in [1usize, 3, 8] {
             let served = client
-                .topk(
+                .search_topk(
                     query_payload("euclidean", tau, ExecPolicy::Sequential, &query),
                     k as u64,
                 )
                 .unwrap();
-            let (direct, _) = lake
-                .search_topk(Euclidean, &query, tau, k, SearchOptions::default())
-                .unwrap();
+            let direct = lake.execute(&Query::topk(tau, k), &query).unwrap().hits;
             assert_eq!(
                 encode_reply(&Reply::Hits(served.clone())),
                 encode_reply(&Reply::Hits(HitsReply {
                     generation: served.generation,
                     cached: served.cached,
                     hits: wire(&direct),
+                    ext: None,
                 })),
                 "tau={tau:?} k={k}"
             );
@@ -204,7 +205,7 @@ fn warm_cache_serves_repeats_without_search_work() {
     let (columns, query) = workload(22, 10, "a");
     deploy(&dir, &columns);
     let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
 
     let payload = || query_payload("euclidean", Tau::Ratio(0.2), ExecPolicy::Sequential, &query);
     let cold = client.search(payload(), JoinThreshold::Ratio(0.5)).unwrap();
@@ -251,12 +252,14 @@ fn hot_swap_under_concurrent_load_drops_nothing() {
 
     let tau = Tau::Ratio(0.2);
     let t = JoinThreshold::Ratio(0.5);
-    let (direct_a, _) = lake_a
-        .search(Euclidean, &query, tau, t, SearchOptions::default())
-        .unwrap();
-    let (direct_b, _) = lake_b
-        .search(Euclidean, &query, tau, t, SearchOptions::default())
-        .unwrap();
+    let direct_a = lake_a
+        .execute(&Query::threshold(tau, t), &query)
+        .unwrap()
+        .hits;
+    let direct_b = lake_b
+        .execute(&Query::threshold(tau, t), &query)
+        .unwrap()
+        .hits;
     let (expect_a, expect_b) = (wire(&direct_a), wire(&direct_b));
     assert_ne!(expect_a, expect_b, "swap must be observable in results");
 
@@ -279,7 +282,7 @@ fn hot_swap_under_concurrent_load_drops_nothing() {
             let (stop, query) = (&stop, &query);
             let (expect_a, expect_b) = (&expect_a, &expect_b);
             client_threads.push(scope.spawn(move || {
-                let mut client = ServeClient::connect(addr).unwrap();
+                let client = ServeClient::connect(addr).unwrap();
                 let mut generations: Vec<u64> = Vec::new();
                 let mut served = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -304,7 +307,7 @@ fn hot_swap_under_concurrent_load_drops_nothing() {
 
         // Let traffic flow on generation 1, then hot-swap to B.
         std::thread::sleep(Duration::from_millis(120));
-        let mut admin = ServeClient::connect(addr).unwrap();
+        let admin = ServeClient::connect(addr).unwrap();
         let (generation, partitions) = admin.reload(Some(&dir_b)).unwrap();
         assert_eq!(generation, 2);
         assert_eq!(partitions as usize, lake_b.num_partitions());
@@ -325,7 +328,7 @@ fn hot_swap_under_concurrent_load_drops_nothing() {
         }
         (admin, total_served, saw_gen)
     });
-    let (mut admin, total_served, saw_gen) = swap_result;
+    let (admin, total_served, saw_gen) = swap_result;
     assert!(total_served > 0);
     assert!(saw_gen[1] && saw_gen[2], "load must straddle the swap");
 
@@ -368,13 +371,13 @@ fn busy_backpressure_rejects_beyond_queue() {
     let addr = handle.addr();
 
     // A occupies the single worker (connected, sends nothing yet).
-    let mut conn_a = ServeClient::connect(addr).unwrap();
+    let conn_a = ServeClient::connect(addr).unwrap();
     std::thread::sleep(Duration::from_millis(100));
     // B fills the queue slot.
-    let mut conn_b = ServeClient::connect(addr).unwrap();
+    let conn_b = ServeClient::connect(addr).unwrap();
     std::thread::sleep(Duration::from_millis(100));
     // C overflows: the acceptor answers BUSY and hangs up.
-    let mut conn_c = ServeClient::connect(addr).unwrap();
+    let conn_c = ServeClient::connect(addr).unwrap();
     let busy = conn_c.info();
     assert!(matches!(busy, Err(ClientError::Busy)), "got {busy:?}");
 
@@ -404,17 +407,15 @@ fn reload_same_dir_picks_up_reindex_and_failures_keep_serving() {
     let (columns, query) = workload(55, 8, "a");
     let lake_a = deploy(&dir, &columns);
     // Direct answer of the first build, captured while its files exist.
-    let (direct_a, _) = lake_a
-        .search(
-            Euclidean,
+    let direct_a = lake_a
+        .execute(
+            &Query::threshold(Tau::Ratio(0.2), JoinThreshold::Count(3)),
             &query,
-            Tau::Ratio(0.2),
-            JoinThreshold::Count(3),
-            SearchOptions::default(),
         )
-        .unwrap();
+        .unwrap()
+        .hits;
     let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
     assert_eq!(client.info().unwrap().index_version, 1);
 
     // A reload pointing at garbage fails without hurting live serving.
@@ -475,9 +476,9 @@ fn protocol_shutdown_drains_and_joins() {
     // A chatty keep-alive peer must not be able to hold the daemon open:
     // after shutdown it gets at most its in-flight reply, then the
     // connection closes.
-    let mut chatty = ServeClient::connect(addr).unwrap();
+    let chatty = ServeClient::connect(addr).unwrap();
     chatty.info().unwrap();
-    let mut client = ServeClient::connect(addr).unwrap();
+    let client = ServeClient::connect(addr).unwrap();
     client.shutdown().unwrap();
     drop(client);
     // Whether this request sneaks in before the worker observes the flag
@@ -494,7 +495,7 @@ fn protocol_shutdown_drains_and_joins() {
     handle.join();
     // And the port is actually released/refusing.
     std::thread::sleep(Duration::from_millis(50));
-    let mut late = match ServeClient::connect(addr) {
+    let late = match ServeClient::connect(addr) {
         Err(_) => return, // refused outright: fine
         Ok(c) => c,
     };

@@ -52,11 +52,19 @@ fn main() -> Result<()> {
     let index = PexesoIndex::build(lake.columns.clone(), Euclidean, IndexOptions::default())?;
     let query = embed_query(&embedder, &race);
     let tau = Tau::Ratio(0.06);
-    let result = index.search(query.store(), tau, JoinThreshold::Ratio(0.9))?;
+    let result = index.execute(
+        &Query::threshold(tau, JoinThreshold::Ratio(0.9)),
+        query.store(),
+    )?;
     println!("PEXESO: {} joinable tables at T=90%", result.hits.len());
 
-    // Present the record-level mapping, as the framework does for users.
-    let cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+    // Present the record-level mapping, as the framework does for users
+    // (external ids equal insertion order in the embedded lake).
+    let cols: Vec<ColumnId> = result
+        .hits
+        .iter()
+        .map(|h| ColumnId(h.external_id as u32))
+        .collect();
     let mut mapping = join_mapping(&index, &lake, &query, &cols, tau)?;
     dedupe_mapping(&mut mapping);
     println!("\njoined result (Race -> income category -> Median income):");

@@ -82,8 +82,15 @@ fn main() -> Result<()> {
     // PEXESO enrichment.
     let tau = Tau::Ratio(0.06);
     let query = embed_query(&embedder, task.query.key_values());
-    let result = index.search(query.store(), tau, JoinThreshold::Ratio(0.5))?;
-    let cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+    let result = index.execute(
+        &Query::threshold(tau, JoinThreshold::Ratio(0.5)),
+        query.store(),
+    )?;
+    let cols: Vec<ColumnId> = result
+        .hits
+        .iter()
+        .map(|h| ColumnId(h.external_id as u32))
+        .collect();
     let mut mapping = join_mapping(&index, &embedded, &query, &cols, tau)?;
     dedupe_mapping(&mut mapping);
     let (pexeso_out, n_features) = evaluate_with_mapping(&task, &lake, &mapping, &aug);

@@ -55,8 +55,8 @@ fn main() -> Result<()> {
     let t = JoinThreshold::Ratio(0.5);
 
     // Sequential out-of-core search (disk load included in the timing).
-    let (hits, stats) =
-        partitioned.search(Euclidean, query.store(), tau, t, SearchOptions::default())?;
+    let resp = partitioned.execute(&Query::threshold(tau, t), query.store())?;
+    let (hits, stats) = (resp.hits, resp.stats);
     println!(
         "sequential search: {} joinable columns in {:?} ({} exact distance computations)",
         hits.len(),
@@ -74,14 +74,11 @@ fn main() -> Result<()> {
     }
 
     // Parallel extension: identical results, overlapping I/O and CPU.
-    let (par_hits, par_stats) = partitioned.search_parallel(
-        Euclidean,
+    let par = partitioned.execute(
+        &Query::threshold(tau, t).with_policy(ExecPolicy::Parallel { threads: 3 }),
         query.store(),
-        tau,
-        t,
-        SearchOptions::default(),
-        3,
     )?;
+    let (par_hits, par_stats) = (par.hits, par.stats);
     assert_eq!(hits, par_hits);
     println!(
         "\nparallel search (3 workers): same results in {:?}",

@@ -45,16 +45,17 @@ fn main() -> Result<()> {
         "houstan".to_string(), // misspelled on purpose
     ];
     let query = embed_query(&embedder, &query_values);
-    let result = index.search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.75))?;
+    // One request type for every ranking mode and backend.
+    let q = Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(0.75));
+    let result = index.execute(&q, query.store())?;
 
     println!("query column: {query_values:?}\n");
     println!("joinable columns ({} found):", result.hits.len());
     for hit in &result.hits {
-        let meta = index.columns().column(hit.column);
         println!(
             "  {}.{}  ({} of {} query records matched)",
-            meta.table_name,
-            meta.column_name,
+            hit.table_name,
+            hit.column_name,
             hit.match_count,
             query_values.len()
         );

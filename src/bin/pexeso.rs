@@ -23,12 +23,13 @@ use std::process::ExitCode;
 
 use pexeso::pipeline::{build_lake_index, embed_query, open_lake_index};
 use pexeso::prelude::*;
+use std::time::Duration;
 
 /// Shadow the crate's `Result` alias: CLI errors are plain strings.
 type CliResult<T> = std::result::Result<T, String>;
 use pexeso_lake::csv::read_table_file;
 use pexeso_lake::keycol::KeyColumnConfig;
-use pexeso_serve::{query_payload, ServeClient, ServeConfig, Server};
+use pexeso_serve::{ServeClient, ServeConfig, Server};
 
 /// One legal flag of a subcommand.
 struct FlagSpec {
@@ -66,6 +67,8 @@ const SEARCH_FLAGS: &[FlagSpec] = &[
     val("tau"),
     val("t"),
     val("policy"),
+    val("budget"),
+    val("deadline-ms"),
     switch("help"),
 ];
 const TOPK_FLAGS: &[FlagSpec] = &[
@@ -75,6 +78,8 @@ const TOPK_FLAGS: &[FlagSpec] = &[
     val("tau"),
     val("k"),
     val("policy"),
+    val("budget"),
+    val("deadline-ms"),
     switch("help"),
 ];
 const SERVE_FLAGS: &[FlagSpec] = &[
@@ -94,6 +99,8 @@ const QUERY_FLAGS: &[FlagSpec] = &[
     val("t"),
     val("k"),
     val("policy"),
+    val("budget"),
+    val("deadline-ms"),
     val("reload-dir"),
     switch("stats"),
     switch("reload"),
@@ -107,16 +114,16 @@ fn usage_text(cmd: &str) -> &'static str {
             "pexeso index --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4] [--policy seq|par|par:N]"
         }
         "search" => {
-            "pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy seq|par|par:N]"
+            "pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]"
         }
         "topk" => {
-            "pexeso topk --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy seq|par|par:N]"
+            "pexeso topk --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]"
         }
         "serve" => {
             "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--cache 4096]"
         }
         "query" => {
-            "pexeso query --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N]\n\
+            "pexeso query --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]\n\
              pexeso query --addr <host:port> --stats | --reload [--reload-dir <dir>] | --shutdown"
         }
         _ => "",
@@ -189,6 +196,38 @@ fn parse_policy(flags: &HashMap<String, String>) -> CliResult<ExecPolicy> {
     match flags.get("policy") {
         None => Ok(ExecPolicy::Sequential),
         Some(v) => ExecPolicy::parse(v).map_err(|e| e.to_string()),
+    }
+}
+
+/// The optional `--budget <max-distances>` / `--deadline-ms <ms>` pair
+/// shared by every online subcommand.
+fn parse_budget(flags: &HashMap<String, String>) -> CliResult<QueryBudget> {
+    let max: Option<u64> = match flags.get("budget") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --budget '{v}': {e}"))?),
+    };
+    let deadline: Option<u64> = match flags.get("deadline-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| format!("bad --deadline-ms '{v}': {e}"))?,
+        ),
+    };
+    Ok(QueryBudget {
+        max_distance_computations: max,
+        deadline: deadline.map(Duration::from_millis),
+    })
+}
+
+/// Flag a budget-limited partial answer so it is never mistaken for the
+/// exact one.
+fn outcome_suffix(resp: &QueryResponse) -> &'static str {
+    match resp.outcome {
+        QueryOutcome::Exact => "",
+        QueryOutcome::Exceeded(Exceeded::DistanceComputations) => {
+            ", PARTIAL: distance budget exceeded"
+        }
+        QueryOutcome::Exceeded(Exceeded::Deadline) => ", PARTIAL: deadline exceeded",
     }
 }
 
@@ -290,26 +329,19 @@ fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
     let (values, embedder) = load_query(flags, manifest.dim)?;
     let query = embed_query(&embedder, &values);
 
-    let opts = SearchOptions {
-        exec: policy,
-        ..Default::default()
-    };
-    let (hits, stats) = lake
-        .search_with_policy(
-            Euclidean,
-            query.store(),
-            Tau::Ratio(tau),
-            JoinThreshold::Ratio(t),
-            opts,
-            policy,
-        )
-        .map_err(|e| e.to_string())?;
+    let q = Query::threshold(Tau::Ratio(tau), JoinThreshold::Ratio(t))
+        .with_exec(policy)
+        .with_policy(policy)
+        .expect_metric(&manifest.metric)
+        .with_budget(parse_budget(flags)?);
+    let resp = lake.execute(&q, query.store()).map_err(|e| e.to_string())?;
     println!(
-        "\n{} joinable columns (tau={tau}, T={t}) in {:?}:",
-        hits.len(),
-        stats.total_time
+        "\n{} joinable columns (tau={tau}, T={t}) in {:?}{}:",
+        resp.hits.len(),
+        resp.stats.total_time,
+        outcome_suffix(&resp)
     );
-    print_hits(&hits);
+    print_hits(&resp.hits);
     Ok(())
 }
 
@@ -323,16 +355,18 @@ fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
     let query = embed_query(&embedder, &values);
 
     // Per-partition exact top-k, merged globally (count descending,
-    // external id ascending) by the lake.
-    let opts = SearchOptions {
-        exec: policy,
-        ..Default::default()
-    };
-    let (all, _stats) = lake
-        .search_topk_with_policy(Euclidean, query.store(), Tau::Ratio(tau), k, opts, policy)
-        .map_err(|e| e.to_string())?;
-    println!("\ntop-{k} joinable columns (tau={tau}):");
-    print_hits(&all);
+    // external id ascending) by the lake's unified executor.
+    let q = Query::topk(Tau::Ratio(tau), k)
+        .with_exec(policy)
+        .with_policy(policy)
+        .expect_metric(&manifest.metric)
+        .with_budget(parse_budget(flags)?);
+    let resp = lake.execute(&q, query.store()).map_err(|e| e.to_string())?;
+    println!(
+        "\ntop-{k} joinable columns (tau={tau}){}:",
+        outcome_suffix(&resp)
+    );
+    print_hits(&resp.hits);
     Ok(())
 }
 
@@ -378,7 +412,16 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
         ));
     }
     if !admin_verbs.is_empty() {
-        for q in ["query", "column", "tau", "t", "k", "policy"] {
+        for q in [
+            "query",
+            "column",
+            "tau",
+            "t",
+            "k",
+            "policy",
+            "budget",
+            "deadline-ms",
+        ] {
             if flags.contains_key(q) {
                 return Err(format!(
                     "--{q} cannot be combined with --{}",
@@ -390,7 +433,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     if flags.contains_key("t") && flags.contains_key("k") {
         return Err("--t (threshold search) and --k (top-k) are mutually exclusive".into());
     }
-    let mut client = ServeClient::connect(addr.as_str())
+    let client = ServeClient::connect(addr.as_str())
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
 
     if flags.contains_key("stats") {
@@ -411,39 +454,42 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
 
     let tau: f32 = parse_or(flags, "tau", 0.06)?;
     let policy = parse_policy(flags)?;
+    let budget = parse_budget(flags)?;
     let info = client.info().map_err(|e| e.to_string())?;
     let (values, embedder) = load_query(flags, info.dim as usize)?;
     let query = embed_query(&embedder, &values);
-    let payload = query_payload("euclidean", Tau::Ratio(tau), policy, query.store());
 
-    let reply = if let Some(k) = flags.get("k") {
-        let k: u64 = k.parse().map_err(|e| format!("bad --k '{k}': {e}"))?;
-        let reply = client.topk(payload, k).map_err(|e| e.to_string())?;
-        println!(
-            "\ntop-{k} joinable columns (tau={tau}, snapshot generation {}{}):",
-            reply.generation,
-            if reply.cached { ", cached" } else { "" }
-        );
-        reply
+    let t: f64 = parse_or(flags, "t", 0.5)?;
+    let q = if let Some(k) = flags.get("k") {
+        let k: usize = k.parse().map_err(|e| format!("bad --k '{k}': {e}"))?;
+        Query::topk(Tau::Ratio(tau), k)
     } else {
-        let t: f64 = parse_or(flags, "t", 0.5)?;
-        let reply = client
-            .search(payload, JoinThreshold::Ratio(t))
-            .map_err(|e| e.to_string())?;
-        println!(
-            "\n{} joinable columns (tau={tau}, T={t}, snapshot generation {}{}):",
-            reply.hits.len(),
-            reply.generation,
-            if reply.cached { ", cached" } else { "" }
-        );
-        reply
-    };
-    for h in &reply.hits {
-        println!(
-            "  {} . {}  ({} records matched)",
-            h.table_name, h.column_name, h.match_count
-        );
+        Query::threshold(Tau::Ratio(tau), JoinThreshold::Ratio(t))
     }
+    .with_policy(policy)
+    .expect_metric("euclidean")
+    .with_budget(budget);
+    // The remote backend speaks the same unified query; the detailed form
+    // also surfaces the serve-side generation and cache-hit flag.
+    let (resp, meta) = client
+        .execute_detailed(&q, query.store())
+        .map_err(|e| e.to_string())?;
+    match q.mode {
+        QueryMode::Topk(k) => println!(
+            "\ntop-{k} joinable columns (tau={tau}, snapshot generation {}{}{}):",
+            meta.generation,
+            if meta.cached { ", cached" } else { "" },
+            outcome_suffix(&resp)
+        ),
+        QueryMode::Threshold(_) => println!(
+            "\n{} joinable columns (tau={tau}, T={t}, snapshot generation {}{}{}):",
+            resp.hits.len(),
+            meta.generation,
+            if meta.cached { ", cached" } else { "" },
+            outcome_suffix(&resp)
+        ),
+    }
+    print_hits(&resp.hits);
     Ok(())
 }
 

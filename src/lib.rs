@@ -27,12 +27,15 @@
 //!   over a persisted [`pexeso_core::outofcore::PartitionedLake`]:
 //!   result caching, atomic hot index swap, explicit backpressure.
 //!
-//! Every stage accepts a [`pexeso_core::config::ExecPolicy`]
+//! Every backend answers one request type —
+//! [`pexeso_core::query::Query`] — through the object-safe
+//! [`pexeso_core::query::Queryable`] trait, with byte-identical rankings
+//! across in-memory, out-of-core, resident, and remote execution, an
+//! explicit exactness outcome, and optional per-query budgets. Every
+//! stage also accepts a [`pexeso_core::config::ExecPolicy`]
 //! (`Sequential`, the default, or `Parallel { threads }`) and produces
-//! identical results either way; see `pexeso_core`'s crate docs for the
-//! determinism contract and [`pipeline::search_many_queries`] /
-//! [`pexeso_core::search::PexesoIndex::search_many`] for the batched
-//! multi-user entry points.
+//! identical results either way; [`pipeline::run_queries`] is the
+//! batched multi-user entry point over any `&dyn Queryable`.
 //!
 //! ## Quickstart
 //!
@@ -53,12 +56,12 @@
 //!     .unwrap();
 //! let index = PexesoIndex::build(lake.columns, Euclidean, IndexOptions::default()).unwrap();
 //!
-//! // Search with a query column.
+//! // Search with a query column: one request type for every backend.
 //! let query_values = vec!["white".to_string(), "American Indian/Alaska Native".to_string()];
 //! let query = pexeso::pipeline::embed_query(&embedder, &query_values);
-//! let result = index
-//!     .search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.9))
-//!     .unwrap();
+//! let q = Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(0.9));
+//! let result = index.execute(&q, query.store()).unwrap();
+//! assert!(result.exact());
 //! assert_eq!(result.hits.len(), 1); // semantically joinable
 //! ```
 

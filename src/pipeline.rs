@@ -15,7 +15,8 @@ use pexeso_core::error::{PexesoError, Result};
 use pexeso_core::metric::{Euclidean, Metric};
 use pexeso_core::outofcore::{LakeManifest, PartitionedLake};
 use pexeso_core::partition::{PartitionConfig, PartitionMethod};
-use pexeso_core::search::{PexesoIndex, SearchOptions, SearchResult};
+use pexeso_core::query::{Query, QueryResponse, Queryable};
+use pexeso_core::search::{PexesoIndex, SearchOptions};
 use pexeso_core::vector::VectorStore;
 use pexeso_embed::Embedder;
 use pexeso_lake::generator::SyntheticLake;
@@ -289,52 +290,61 @@ pub fn open_lake_index(index_dir: &Path) -> Result<(PartitionedLake, LakeManifes
     Ok((lake, manifest))
 }
 
-/// Batched multi-user entry point: embed many string query columns and
-/// answer them against one index in a single call. Under a parallel
-/// [`ExecPolicy`] whole queries run concurrently — the shape a server
-/// handling simultaneous users wants — while results stay exactly what
-/// per-query [`PexesoIndex::search_with`] returns (`results[i]` pairs with
-/// `query_columns[i]`). Query columns with no embeddable value yield the
-/// same `EmptyInput` error a direct search would (failing the batch).
-pub fn search_many_queries<M: Metric>(
-    index: &PexesoIndex<M>,
+/// The batched multi-user entry point, written once against the unified
+/// executor trait: embed many string query columns and answer them all
+/// with one [`Query`] against *any* backend — an in-memory index, a
+/// disk-backed or resident partitioned lake, or a remote `pexeso serve`
+/// daemon. `responses[i]` pairs with `query_columns[i]` and is exactly
+/// what `backend.execute(query, …)` returns for that column;
+/// [`Query::policy`] may fan whole queries across threads on backends
+/// that support it (results are policy-independent). Query columns with
+/// no embeddable value yield the same `EmptyInput` error a direct
+/// execution would (failing the batch).
+pub fn run_queries(
+    backend: &dyn Queryable,
+    embedder: &dyn Embedder,
+    query_columns: &[Vec<String>],
+    query: &Query,
+) -> Result<Vec<(EmbeddedQuery, QueryResponse)>> {
+    let embedded: Vec<EmbeddedQuery> = query_columns
+        .iter()
+        .map(|values| embed_query(embedder, values))
+        .collect();
+    let stores: Vec<&VectorStore> = embedded.iter().map(|q| &q.store).collect();
+    let results = backend.execute_many(query, &stores)?;
+    Ok(embedded.into_iter().zip(results).collect())
+}
+
+/// Threshold form of [`run_queries`], kept as a named convenience: embed
+/// many query columns and find every joinable column for each.
+pub fn search_many_queries(
+    backend: &dyn Queryable,
     embedder: &dyn Embedder,
     query_columns: &[Vec<String>],
     tau: Tau,
     t: JoinThreshold,
     opts: SearchOptions,
     policy: ExecPolicy,
-) -> Result<Vec<(EmbeddedQuery, SearchResult)>> {
-    let embedded: Vec<EmbeddedQuery> = query_columns
-        .iter()
-        .map(|values| embed_query(embedder, values))
-        .collect();
-    let stores: Vec<&VectorStore> = embedded.iter().map(|q| &q.store).collect();
-    let results = index.search_many(&stores, tau, t, opts, policy)?;
-    Ok(embedded.into_iter().zip(results).collect())
+) -> Result<Vec<(EmbeddedQuery, QueryResponse)>> {
+    let query = Query::threshold(tau, t)
+        .with_options(opts)
+        .with_policy(policy);
+    run_queries(backend, embedder, query_columns, &query)
 }
 
-/// Batched multi-user top-k entry point: embed many string query columns
-/// and rank each one's `k` best join candidates against one index —
-/// [`search_many_queries`]' ranking twin for users who have no good `T`
-/// in mind. `results[i]` pairs with `query_columns[i]` and is exactly
-/// what per-query [`PexesoIndex::search_topk_with`] returns.
-pub fn search_topk_queries<M: Metric>(
-    index: &PexesoIndex<M>,
+/// Top-k form of [`run_queries`] — [`search_many_queries`]' ranking twin
+/// for users who have no good `T` in mind.
+pub fn search_topk_queries(
+    backend: &dyn Queryable,
     embedder: &dyn Embedder,
     query_columns: &[Vec<String>],
     tau: Tau,
     k: usize,
     opts: SearchOptions,
     policy: ExecPolicy,
-) -> Result<Vec<(EmbeddedQuery, SearchResult)>> {
-    let embedded: Vec<EmbeddedQuery> = query_columns
-        .iter()
-        .map(|values| embed_query(embedder, values))
-        .collect();
-    let stores: Vec<&VectorStore> = embedded.iter().map(|q| &q.store).collect();
-    let results = index.search_topk_many(&stores, tau, k, opts, policy)?;
-    Ok(embedded.into_iter().zip(results).collect())
+) -> Result<Vec<(EmbeddedQuery, QueryResponse)>> {
+    let query = Query::topk(tau, k).with_options(opts).with_policy(policy);
+    run_queries(backend, embedder, query_columns, &query)
 }
 
 /// Resolve search hits into the record-level [`JoinMapping`] the paper
@@ -515,11 +525,20 @@ mod tests {
         );
         let tau = Tau::Ratio(0.06); // the paper's default: 6 % of max distance
         let result = index
-            .search(query.store(), tau, JoinThreshold::Ratio(0.9))
+            .execute(
+                &Query::threshold(tau, JoinThreshold::Ratio(0.9)),
+                query.store(),
+            )
             .unwrap();
         assert_eq!(result.hits.len(), 1, "only the income column joins fully");
 
-        let hit_cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+        // External ids equal insertion order in the builder, so they map
+        // straight back to internal column ids here.
+        let hit_cols: Vec<ColumnId> = result
+            .hits
+            .iter()
+            .map(|h| ColumnId(h.external_id as u32))
+            .collect();
         let mut mapping = join_mapping(&index, &lake, &query, &hit_cols, tau).unwrap();
         dedupe_mapping(&mut mapping);
         // Every query row maps to its semantic counterpart in table 0.
@@ -570,7 +589,9 @@ mod tests {
             .unwrap();
             assert_eq!(batched.len(), 2);
             for (values, (embedded, result)) in query_columns.iter().zip(&batched) {
-                let solo = index.search(embedded.store(), tau, t).unwrap();
+                let solo = index
+                    .execute(&Query::threshold(tau, t), embedded.store())
+                    .unwrap();
                 assert_eq!(result.hits, solo.hits, "policy={policy:?}");
                 assert_eq!(embedded.n_rows(), values.len());
                 assert_eq!(result.hits.len(), 1, "each query joins exactly one column");

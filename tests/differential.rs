@@ -66,6 +66,15 @@ fn pairs(hits: &[SearchHit]) -> Vec<(u32, u32)> {
     hits.iter().map(|h| (h.column.0, h.match_count)).collect()
 }
 
+/// Unified-API hits, compared on (external id, count). Every in-memory
+/// fixture here assigns external ids in insertion order, so the unified
+/// external-id ranking coincides with the oracle's column-id ranking.
+fn gpairs(hits: &[GlobalHit]) -> Vec<(u32, u32)> {
+    hits.iter()
+        .map(|h| (h.external_id as u32, h.match_count))
+        .collect()
+}
+
 const POLICIES: [ExecPolicy; 2] = [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }];
 
 /// Threshold search (and its batched form) equals the oracle: same
@@ -88,16 +97,16 @@ fn check_threshold<M: Metric>(metric: M, seed: u64) {
                     .map(|h| h.column.0)
                     .collect();
             for policy in POLICIES {
-                let opts = SearchOptions {
-                    exec: policy,
-                    ..Default::default()
-                };
+                let q = Query::threshold(tau, t)
+                    .with_exec(policy)
+                    .with_policy(policy)
+                    .expect_metric(metric.name());
                 let got: Vec<u32> = index
-                    .search_with(&query, tau, t, opts)
+                    .execute(&q, &query)
                     .unwrap()
                     .hits
                     .iter()
-                    .map(|h| h.column.0)
+                    .map(|h| h.external_id as u32)
                     .collect();
                 assert_eq!(
                     got,
@@ -105,12 +114,10 @@ fn check_threshold<M: Metric>(metric: M, seed: u64) {
                     "metric={} seed={seed} tau={tau:?} t={t:?} policy={policy:?}",
                     metric.name()
                 );
-                let batched = index
-                    .search_many(&[&query, &query], tau, t, opts, policy)
-                    .unwrap();
+                let batched = index.execute_many(&q, &[&query, &query]).unwrap();
                 for r in batched {
-                    let ids: Vec<u32> = r.hits.iter().map(|h| h.column.0).collect();
-                    assert_eq!(ids, expected, "search_many diverged (policy={policy:?})");
+                    let ids: Vec<u32> = r.hits.iter().map(|h| h.external_id as u32).collect();
+                    assert_eq!(ids, expected, "execute_many diverged (policy={policy:?})");
                 }
             }
         }
@@ -128,7 +135,11 @@ fn check_topk<M: Metric>(metric: M, seed: u64) {
     for tau in [Tau::Ratio(0.1), Tau::Ratio(0.3), Tau::Ratio(0.6)] {
         for k in [0usize, 1, 3, 7, n_cols, n_cols * 2] {
             let expected = pairs(&oracle::topk(&columns, &metric, &query, tau, k, None).unwrap());
-            let exhaustive = pairs(&index.search_topk_exhaustive(&query, tau, k).unwrap().hits);
+            let exhaustive_q = Query::topk(tau, k).with_options(SearchOptions {
+                topk_strategy: TopkStrategy::Exhaustive,
+                ..Default::default()
+            });
+            let exhaustive = gpairs(&index.execute(&exhaustive_q, &query).unwrap().hits);
             assert_eq!(
                 exhaustive,
                 expected,
@@ -136,11 +147,8 @@ fn check_topk<M: Metric>(metric: M, seed: u64) {
                 metric.name()
             );
             for policy in POLICIES {
-                let opts = SearchOptions {
-                    exec: policy,
-                    ..Default::default()
-                };
-                let got = pairs(&index.search_topk_with(&query, tau, k, opts).unwrap().hits);
+                let q = Query::topk(tau, k).with_exec(policy).with_policy(policy);
+                let got = gpairs(&index.execute(&q, &query).unwrap().hits);
                 assert_eq!(
                     got,
                     expected,
@@ -148,14 +156,12 @@ fn check_topk<M: Metric>(metric: M, seed: u64) {
                      policy={policy:?})",
                     metric.name()
                 );
-                let batched = index
-                    .search_topk_many(&[&query, &query], tau, k, opts, policy)
-                    .unwrap();
+                let batched = index.execute_many(&q, &[&query, &query]).unwrap();
                 for r in batched {
                     assert_eq!(
-                        pairs(&r.hits),
+                        gpairs(&r.hits),
                         expected,
-                        "search_topk_many diverged (policy={policy:?})"
+                        "batched top-k diverged (policy={policy:?})"
                     );
                 }
             }
@@ -212,12 +218,10 @@ fn topk_matches_oracle_under_ablations() {
         LemmaFlags::without_lemma56(),
     ] {
         for quick_browse in [true, false] {
-            let opts = SearchOptions {
-                flags,
-                quick_browse,
-                ..Default::default()
-            };
-            let got = pairs(&index.search_topk_with(&query, tau, 5, opts).unwrap().hits);
+            let q = Query::topk(tau, 5)
+                .with_flags(flags)
+                .quick_browse(quick_browse);
+            let got = gpairs(&index.execute(&q, &query).unwrap().hits);
             assert_eq!(got, expected, "flags={flags:?} quick_browse={quick_browse}");
         }
     }
@@ -250,16 +254,8 @@ fn duplicate_columns_tie_break_deterministically() {
     assert_eq!(expected[c6].1, expected[c7].1);
     assert!(c2 < c6 && c6 < c7, "tie-break must order by ascending id");
     for policy in POLICIES {
-        let opts = SearchOptions {
-            exec: policy,
-            ..Default::default()
-        };
-        let got = pairs(
-            &index
-                .search_topk_with(&query, tau, columns.n_columns(), opts)
-                .unwrap()
-                .hits,
-        );
+        let q = Query::topk(tau, columns.n_columns()).with_exec(policy);
+        let got = gpairs(&index.execute(&q, &query).unwrap().hits);
         assert_eq!(got, expected, "policy={policy:?}");
     }
 }
@@ -271,15 +267,15 @@ fn topk_respects_deletions() {
     let (columns, query) = instance(8, 10, 15, 8, 10);
     let mut index = build(columns.clone(), Euclidean, 3, 4);
     let tau = Tau::Ratio(0.3);
-    let full = index.search_topk(&query, tau, 5).unwrap();
+    let full = index.execute(&Query::topk(tau, 5), &query).unwrap();
     assert!(!full.hits.is_empty(), "need a hit to delete");
-    let victim = full.hits[0].column;
+    let victim = ColumnId(full.hits[0].external_id as u32);
     index.remove_column(victim).unwrap();
     let mut deleted = vec![false; columns.n_columns()];
     deleted[victim.0 as usize] = true;
     let expected =
         pairs(&oracle::topk(&columns, &Euclidean, &query, tau, 5, Some(&deleted)).unwrap());
-    let got = pairs(&index.search_topk(&query, tau, 5).unwrap().hits);
+    let got = gpairs(&index.execute(&Query::topk(tau, 5), &query).unwrap().hits);
     assert_eq!(got, expected);
 }
 
@@ -332,19 +328,23 @@ fn out_of_core_matches_oracle() {
         .map(|h| (h.column.0 as u64, h.match_count))
         .collect();
     for policy in POLICIES {
-        let (hits, _) = lake
-            .search_with_policy(Euclidean, &query, tau, t, SearchOptions::default(), policy)
+        let resp = lake
+            .execute(&Query::threshold(tau, t).with_policy(policy), &query)
             .unwrap();
-        let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
+        let got: Vec<u64> = resp.hits.iter().map(|h| h.external_id).collect();
         assert_eq!(
             got, expected_ids,
             "out-of-core threshold (policy={policy:?})"
         );
 
-        let (top, _) = lake
-            .search_topk_with_policy(Euclidean, &query, tau, 6, SearchOptions::default(), policy)
+        let top = lake
+            .execute(&Query::topk(tau, 6).with_policy(policy), &query)
             .unwrap();
-        let got: Vec<(u64, u32)> = top.iter().map(|h| (h.external_id, h.match_count)).collect();
+        let got: Vec<(u64, u32)> = top
+            .hits
+            .iter()
+            .map(|h| (h.external_id, h.match_count))
+            .collect();
         assert_eq!(got, expected_topk, "out-of-core top-k (policy={policy:?})");
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -392,11 +392,8 @@ fn weak_probe_high_count_column_is_not_pruned() {
         let expected = pairs(&oracle::topk(&columns, &Euclidean, &query, tau, k, None).unwrap());
         assert_eq!(expected[0], (17, 10), "test instance lost its shape");
         for policy in POLICIES {
-            let opts = SearchOptions {
-                exec: policy,
-                ..Default::default()
-            };
-            let got = pairs(&index.search_topk_with(&query, tau, k, opts).unwrap().hits);
+            let q = Query::topk(tau, k).with_exec(policy);
+            let got = gpairs(&index.execute(&q, &query).unwrap().hits);
             assert_eq!(got, expected, "k={k} policy={policy:?}");
         }
     }
@@ -456,17 +453,11 @@ fn out_of_core_topk_boundary_ties_respect_external_ids() {
     let tau = Tau::Ratio(0.05);
     for policy in POLICIES {
         for k in [1usize, 3] {
-            let (hits, _) = lake
-                .search_topk_with_policy(
-                    Euclidean,
-                    &query,
-                    tau,
-                    k,
-                    SearchOptions::default(),
-                    policy,
-                )
+            let resp = lake
+                .execute(&Query::topk(tau, k).with_policy(policy), &query)
                 .unwrap();
-            let got: Vec<(u64, u32)> = hits
+            let got: Vec<(u64, u32)> = resp
+                .hits
                 .iter()
                 .map(|h| (h.external_id, h.match_count))
                 .collect();
@@ -486,13 +477,22 @@ fn topk_edge_cases() {
     let index = build(columns.clone(), Euclidean, 3, 4);
     let tau = Tau::Ratio(0.3);
 
-    assert!(index.search_topk(&query, tau, 0).unwrap().hits.is_empty());
+    assert!(index
+        .execute(&Query::topk(tau, 0), &query)
+        .unwrap()
+        .hits
+        .is_empty());
 
     let all = pairs(&oracle::topk(&columns, &Euclidean, &query, tau, usize::MAX, None).unwrap());
-    let got = pairs(&index.search_topk(&query, tau, 10_000).unwrap().hits);
+    let got = gpairs(
+        &index
+            .execute(&Query::topk(tau, 10_000), &query)
+            .unwrap()
+            .hits,
+    );
     assert_eq!(got, all, "oversized k must return every positive column");
 
     let empty = VectorStore::new(10);
-    assert!(index.search_topk(&empty, tau, 3).is_err());
+    assert!(index.execute(&Query::topk(tau, 3), &empty).is_err());
     assert!(oracle::topk(&columns, &Euclidean, &empty, tau, 3, None).is_err());
 }

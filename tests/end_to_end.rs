@@ -57,15 +57,15 @@ fn discovery_recall_beats_equi_join_on_noisy_lake() {
         // PEXESO.
         let emb = embed_query(&embedder, q.key_values());
         let result = index
-            .search(emb.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(t_ratio))
+            .execute(
+                &Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(t_ratio)),
+                emb.store(),
+            )
             .unwrap();
         let retrieved: HashSet<usize> = result
             .hits
             .iter()
-            .map(|h| {
-                let ext = index.columns().column(h.column).external_id as usize;
-                embedded.provenance[ext].table_idx
-            })
+            .map(|h| embedded.provenance[h.external_id as usize].table_idx)
             .collect();
         let inter = retrieved.intersection(&truth).count();
         pexeso_recalls.push(inter as f64 / truth.len() as f64);
@@ -108,9 +108,17 @@ fn full_enrichment_pipeline_improves_model() {
     let tau = Tau::Ratio(0.06);
     let query = embed_query(&embedder, task.query.key_values());
     let result = index
-        .search(query.store(), tau, JoinThreshold::Ratio(0.5))
+        .execute(
+            &Query::threshold(tau, JoinThreshold::Ratio(0.5)),
+            query.store(),
+        )
         .unwrap();
-    let cols: Vec<ColumnId> = result.hits.iter().map(|h| h.column).collect();
+    // External ids equal insertion order in the embedded lake.
+    let cols: Vec<ColumnId> = result
+        .hits
+        .iter()
+        .map(|h| ColumnId(h.external_id as u32))
+        .collect();
     assert!(!cols.is_empty(), "discovery must find joinable tables");
 
     let mut mapping = join_mapping(&index, &embedded, &query, &cols, tau).unwrap();
@@ -179,15 +187,15 @@ fn csv_ingestion_to_search_roundtrip() {
         .collect();
     let query = embed_query(&embedder, &query_vals);
     let result = index
-        .search(query.store(), Tau::Ratio(0.06), JoinThreshold::Ratio(0.9))
+        .execute(
+            &Query::threshold(Tau::Ratio(0.06), JoinThreshold::Ratio(0.9)),
+            query.store(),
+        )
         .unwrap();
     let hit_tables: Vec<usize> = result
         .hits
         .iter()
-        .map(|h| {
-            let ext = index.columns().column(h.column).external_id as usize;
-            lake.provenance[ext].table_idx
-        })
+        .map(|h| lake.provenance[h.external_id as usize].table_idx)
         .collect();
     // Both the games table and the lower-cased sales table join; cities not.
     assert!(hit_tables.contains(&0), "games should join: {hit_tables:?}");
@@ -244,20 +252,18 @@ fn persisted_partitions_survive_reopen_and_match_in_memory() {
     let tau = Tau::Ratio(0.06);
     let t = JoinThreshold::Ratio(0.3);
     let in_mem: Vec<u64> = index
-        .search(&query, tau, t)
+        .execute(&Query::threshold(tau, t), &query)
         .unwrap()
         .hits
         .iter()
-        .map(|h| index.columns().column(h.column).external_id)
+        .map(|h| h.external_id)
         .collect();
 
     let reopened = PartitionedLake::open(&dir).unwrap();
-    let (hits, stats) = reopened
-        .search(Euclidean, &query, tau, t, SearchOptions::default())
-        .unwrap();
-    let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
+    let resp = reopened.execute(&Query::threshold(tau, t), &query).unwrap();
+    let got: Vec<u64> = resp.hits.iter().map(|h| h.external_id).collect();
     assert_eq!(got, in_mem);
-    assert!(stats.total_time.as_nanos() > 0);
+    assert!(resp.stats.total_time.as_nanos() > 0);
     let _ = embedder;
 
     std::fs::remove_dir_all(&dir).ok();

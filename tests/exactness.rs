@@ -81,7 +81,10 @@ proptest! {
                 ..Default::default()
             },
         ).unwrap();
-        let got: Vec<ColumnId> = index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+        // External ids equal insertion order in these fixtures, so the
+        // unified external-id ordering matches the naive column-id order.
+        let got: Vec<ColumnId> = index.execute(&Query::threshold(tau, t), &query).unwrap()
+            .hits.iter().map(|h| ColumnId(h.external_id as u32)).collect();
         prop_assert_eq!(got, expected);
     }
 
@@ -101,10 +104,11 @@ proptest! {
             LemmaFlags::without_lemma56(),
         ] {
             for quick_browse in [true, false] {
+                let q = Query::threshold(tau, t).with_flags(flags).quick_browse(quick_browse);
                 let got: Vec<ColumnId> = index
-                    .search_with(&query, tau, t, SearchOptions { flags, quick_browse, ..Default::default() })
+                    .execute(&q, &query)
                     .unwrap()
-                    .hits.iter().map(|h| h.column).collect();
+                    .hits.iter().map(|h| ColumnId(h.external_id as u32)).collect();
                 prop_assert_eq!(&got, &expected, "flags={:?} qb={}", flags, quick_browse);
             }
         }
@@ -151,8 +155,8 @@ proptest! {
                 &IndexOptions { num_pivots: 3, levels: Some(3), ..Default::default() },
                 &dir,
             ).unwrap();
-            let (hits, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
-            let got: Vec<u64> = hits.iter().map(|h| h.external_id).collect();
+            let resp = lake.execute(&Query::threshold(tau, t), &query).unwrap();
+            let got: Vec<u64> = resp.hits.iter().map(|h| h.external_id).collect();
             std::fs::remove_dir_all(&dir).ok();
             prop_assert_eq!(&got, &expected, "method={:?}", method);
         }
@@ -167,13 +171,15 @@ proptest! {
         let tau = Tau::Ratio(tau_pct);
         let (naive_m, _) = naive_search(&columns, &Manhattan, &query, tau, t, false).unwrap();
         let index = PexesoIndex::build(columns.clone(), Manhattan, IndexOptions::default()).unwrap();
-        let got: Vec<ColumnId> = index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+        let got: Vec<ColumnId> = index.execute(&Query::threshold(tau, t).expect_metric("manhattan"), &query)
+            .unwrap().hits.iter().map(|h| ColumnId(h.external_id as u32)).collect();
         let expected: Vec<ColumnId> = naive_m.iter().map(|h| h.column).collect();
         prop_assert_eq!(got, expected, "Manhattan");
 
         let (naive_c, _) = naive_search(&columns, &Chebyshev, &query, tau, t, false).unwrap();
         let index = PexesoIndex::build(columns, Chebyshev, IndexOptions::default()).unwrap();
-        let got: Vec<ColumnId> = index.search(&query, tau, t).unwrap().hits.iter().map(|h| h.column).collect();
+        let got: Vec<ColumnId> = index.execute(&Query::threshold(tau, t).expect_metric("chebyshev"), &query)
+            .unwrap().hits.iter().map(|h| ColumnId(h.external_id as u32)).collect();
         let expected: Vec<ColumnId> = naive_c.iter().map(|h| h.column).collect();
         prop_assert_eq!(got, expected, "Chebyshev");
     }
@@ -225,11 +231,11 @@ fn exactness_on_adversarial_layouts() {
                 let index = PexesoIndex::build(columns.clone(), Euclidean, IndexOptions::default())
                     .unwrap();
                 let got: Vec<ColumnId> = index
-                    .search(&query, tau, t)
+                    .execute(&Query::threshold(tau, t), &query)
                     .unwrap()
                     .hits
                     .iter()
-                    .map(|h| h.column)
+                    .map(|h| ColumnId(h.external_id as u32))
                     .collect();
                 assert_eq!(got, expected, "layout {li} tau={tau:?} t={t:?}");
             }
@@ -251,9 +257,9 @@ proptest! {
         let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
         let opts = SearchOptions { verify_strategy: VerifyStrategy::DaatHeap, ..Default::default() };
         let got: Vec<ColumnId> = index
-            .search_with(&query, tau, t, opts)
+            .execute(&Query::threshold(tau, t).with_options(opts), &query)
             .unwrap()
-            .hits.iter().map(|h| h.column).collect();
+            .hits.iter().map(|h| ColumnId(h.external_id as u32)).collect();
         prop_assert_eq!(got, expected);
     }
 }
@@ -293,12 +299,10 @@ proptest! {
         prop_assert_eq!(seq_index.pivots(), par_index.pivots());
         prop_assert_eq!(seq_index.rv_mapped().raw_data(), par_index.rv_mapped().raw_data());
 
-        let seq = seq_index.search_with(&query, tau, t, SearchOptions::default()).unwrap();
-        let par = par_index.search_with(
+        let seq = seq_index.execute(&Query::threshold(tau, t), &query).unwrap();
+        let par = par_index.execute(
+            &Query::threshold(tau, t).with_exec(ExecPolicy::Parallel { threads }),
             &query,
-            tau,
-            t,
-            SearchOptions { exec: ExecPolicy::Parallel { threads }, ..Default::default() },
         ).unwrap();
         prop_assert_eq!(&seq.hits, &par.hits);
         // Counter-level equality pins the shard merge, not just the answer.
@@ -356,14 +360,15 @@ proptest! {
         let tau = Tau::Ratio(0.15);
         let t = JoinThreshold::Ratio(0.4);
         let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
-        let opts = SearchOptions::default();
-        let expected: Vec<Vec<SearchHit>> = queries
+        let base = Query::threshold(tau, t);
+        let expected: Vec<Vec<GlobalHit>> = queries
             .iter()
-            .map(|q| index.search_with(q, tau, t, opts).unwrap().hits)
+            .map(|q| index.execute(&base, q).unwrap().hits)
             .collect();
+        let stores: Vec<&VectorStore> = queries.iter().collect();
         for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }] {
-            let got: Vec<Vec<SearchHit>> = index
-                .search_many(&queries, tau, t, opts, policy)
+            let got: Vec<Vec<GlobalHit>> = index
+                .execute_many(&base.clone().with_policy(policy), &stores)
                 .unwrap()
                 .into_iter()
                 .map(|r| r.hits)
@@ -389,12 +394,12 @@ proptest! {
             &IndexOptions { num_pivots: 3, levels: Some(3), ..Default::default() },
             &dir,
         ).unwrap();
-        let (seq, _) = lake.search(Euclidean, &query, tau, t, SearchOptions::default()).unwrap();
-        let (par, _) = lake.search_with_policy(
-            Euclidean, &query, tau, t, SearchOptions::default(),
-            ExecPolicy::Parallel { threads },
+        let seq = lake.execute(&Query::threshold(tau, t), &query).unwrap();
+        let par = lake.execute(
+            &Query::threshold(tau, t).with_policy(ExecPolicy::Parallel { threads }),
+            &query,
         ).unwrap();
         std::fs::remove_dir_all(&dir).ok();
-        prop_assert_eq!(seq, par);
+        prop_assert_eq!(seq.hits, par.hits);
     }
 }

@@ -1,0 +1,411 @@
+//! The unified query API contract, end to end: one [`Query`] executed
+//! through `&dyn Queryable` against all four backends — the in-memory
+//! [`PexesoIndex`], the out-of-core [`PartitionedLake`], the fully
+//! resident [`ResidentPartitions`], and a remote [`ServeClient`] over
+//! loopback — must return **byte-identical** rankings. Also pins the
+//! shared edge-case contract (`k = 0`, `T = 0`, invalid τ), the typed
+//! budget outcomes, and batched execution through the trait object.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use pexeso::prelude::*;
+use pexeso::serve::{ServeClient, ServeConfig, Server};
+use pexeso_core::partition::PartitionMethod;
+
+const DIM: usize = 12;
+
+fn unit(rng: &mut rand::rngs::StdRng) -> Vec<f32> {
+    use rand::Rng;
+    let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+/// A workload with guaranteed joinable columns (exact copies of the query
+/// vectors planted in the first three columns), plus boundary ties whose
+/// external ids run *opposite* to insertion order — the adversarial case
+/// for top-k tie-breaks across backends.
+fn workload(seed: u64) -> (ColumnSet, VectorStore) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let query_vecs: Vec<Vec<f32>> = (0..6).map(|_| unit(&mut rng)).collect();
+    let mut columns = ColumnSet::new(DIM);
+    for c in 0..10u64 {
+        let mut vecs: Vec<Vec<f32>> = (0..14).map(|_| unit(&mut rng)).collect();
+        if c < 3 {
+            for (slot, q) in vecs.iter_mut().zip(&query_vecs) {
+                slot.clone_from(q);
+            }
+        }
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column(&format!("tab{c}"), "key", c, refs)
+            .unwrap();
+    }
+    // Two identical twin columns with *descending* external ids: any
+    // backend breaking top-k ties on its internal order instead of the
+    // external ids gets these wrong.
+    let twin: Vec<Vec<f32>> = query_vecs.iter().take(4).cloned().collect();
+    for (name, ext) in [("twin_hi", 21u64), ("twin_lo", 20)] {
+        let refs: Vec<&[f32]> = twin.iter().map(|v| v.as_slice()).collect();
+        columns.add_column("twins", name, ext, refs).unwrap();
+    }
+    let mut query = VectorStore::new(DIM);
+    for q in &query_vecs {
+        query.push(q).unwrap();
+    }
+    (columns, query)
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pexeso_qapi_{name}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn index_options() -> IndexOptions {
+    IndexOptions {
+        num_pivots: 3,
+        levels: Some(3),
+        pivot_selection: PivotSelection::Pca,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// All four backends over the same repository: in-memory, disk, resident,
+/// remote (loopback daemon). The server handle shuts the daemon down on
+/// drop of the struct via `finish`.
+struct Backends {
+    index: PexesoIndex<Euclidean>,
+    lake: PartitionedLake,
+    resident: ResidentPartitions<Euclidean>,
+    client: ServeClient,
+    handle: Option<pexeso::serve::ServerHandle>,
+    dir: PathBuf,
+}
+
+impl Backends {
+    fn build(seed: u64, tag: &str) -> (Self, VectorStore) {
+        let (columns, query) = workload(seed);
+        let dir = tempdir(tag);
+        let index = PexesoIndex::build(columns.clone(), Euclidean, index_options()).unwrap();
+        let lake = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig {
+                k: 3,
+                method: PartitionMethod::JsdKmeans,
+                ..Default::default()
+            },
+            &index_options(),
+            &dir,
+        )
+        .unwrap();
+        assert!(lake.num_partitions() > 1, "need a real partition merge");
+        LakeManifest::next_build(&dir, "test", DIM)
+            .unwrap()
+            .write(&dir)
+            .unwrap();
+        let resident = ResidentPartitions::load(&lake, Euclidean).unwrap();
+        let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let client = ServeClient::connect(handle.addr()).unwrap();
+        (
+            Self {
+                index,
+                lake,
+                resident,
+                client,
+                handle: Some(handle),
+                dir,
+            },
+            query,
+        )
+    }
+
+    /// The four backends as trait objects — the object-safety check is
+    /// that this compiles at all.
+    fn as_dyn(&self) -> Vec<(&'static str, &dyn Queryable)> {
+        vec![
+            ("index", &self.index),
+            ("lake", &self.lake),
+            ("resident", &self.resident),
+            ("serve", &self.client),
+        ]
+    }
+
+    fn finish(mut self) {
+        let _ = self.client.shutdown();
+        if let Some(handle) = self.handle.take() {
+            handle.join();
+        }
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Run one query through a trait object.
+fn run(backend: &dyn Queryable, query: &Query, vectors: &VectorStore) -> QueryResponse {
+    backend.execute(query, vectors).unwrap()
+}
+
+/// The acceptance-criterion test: one `Query` through `&dyn Queryable`
+/// on all four backends returns byte-identical rankings (hit-for-hit
+/// equality of external id, table name, column name, and match count),
+/// across modes, thresholds, k values, and execution policies.
+#[test]
+fn one_query_four_backends_byte_identical() {
+    let (backends, query_vecs) = Backends::build(42, "diff");
+    let policies = [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 3 }];
+    let mut queries: Vec<Query> = Vec::new();
+    for tau in [Tau::Ratio(0.05), Tau::Ratio(0.25)] {
+        for policy in policies {
+            for t in [
+                JoinThreshold::Count(2),
+                JoinThreshold::Ratio(0.5),
+                JoinThreshold::Ratio(1.0),
+            ] {
+                queries.push(
+                    Query::threshold(tau, t)
+                        .with_policy(policy)
+                        .expect_metric("euclidean"),
+                );
+            }
+            for k in [1usize, 3, 5, 50] {
+                queries.push(
+                    Query::topk(tau, k)
+                        .with_policy(policy)
+                        .expect_metric("euclidean"),
+                );
+            }
+        }
+    }
+    let mut nonempty = 0;
+    for q in &queries {
+        let reference = run(&backends.index, q, &query_vecs);
+        assert!(reference.exact());
+        if !reference.hits.is_empty() {
+            nonempty += 1;
+        }
+        for (name, backend) in backends.as_dyn() {
+            let resp = run(backend, q, &query_vecs);
+            assert!(resp.exact(), "{name} not exact for {q:?}");
+            assert_eq!(
+                resp.hits, reference.hits,
+                "{name} diverged from the in-memory backend for {q:?}"
+            );
+        }
+    }
+    assert!(nonempty > queries.len() / 2, "workload must produce hits");
+    backends.finish();
+}
+
+/// Top-k boundary ties resolve by external id on every backend, even
+/// where external ids run opposite to insertion order.
+#[test]
+fn topk_boundary_ties_rank_by_external_id_everywhere() {
+    let (backends, query_vecs) = Backends::build(7, "ties");
+    // The two twin columns tie with 4 exact matches each; k = 4 puts the
+    // boundary inside the tie, so the smaller external id (20) must win
+    // the last slot on every backend.
+    let q = Query::topk(Tau::Ratio(0.02), 4).expect_metric("euclidean");
+    let reference = run(&backends.index, &q, &query_vecs);
+    let twin_slots: Vec<u64> = reference
+        .hits
+        .iter()
+        .filter(|h| h.external_id >= 20)
+        .map(|h| h.external_id)
+        .collect();
+    assert_eq!(twin_slots, vec![20], "tie must keep external id 20, not 21");
+    for (name, backend) in backends.as_dyn() {
+        assert_eq!(
+            run(backend, &q, &query_vecs).hits,
+            reference.hits,
+            "{name} broke the tie differently"
+        );
+    }
+    backends.finish();
+}
+
+/// The shared edge-case contract: `k = 0` answers empty (exact, no
+/// error), `T = Count(0)` clamps to 1, and an invalid τ is a typed error
+/// — identically on all four backends.
+#[test]
+fn edge_cases_identical_across_backends() {
+    let (backends, query_vecs) = Backends::build(11, "edge");
+    let k0 = Query::topk(Tau::Ratio(0.1), 0).expect_metric("euclidean");
+    let t0 = Query::threshold(Tau::Ratio(0.25), JoinThreshold::Count(0)).expect_metric("euclidean");
+    let t1 = Query::threshold(Tau::Ratio(0.25), JoinThreshold::Count(1)).expect_metric("euclidean");
+    let bad_tau =
+        Query::threshold(Tau::Ratio(1.5), JoinThreshold::Count(1)).expect_metric("euclidean");
+    let t1_reference = run(&backends.index, &t1, &query_vecs);
+    for (name, backend) in backends.as_dyn() {
+        // k = 0: empty, exact, no error.
+        let resp = backend.execute(&k0, &query_vecs).unwrap();
+        assert!(resp.hits.is_empty() && resp.exact(), "{name} k=0 contract");
+        // T = 0 clamps to "at least one match" — same answer as T = 1.
+        let resp = backend.execute(&t0, &query_vecs).unwrap();
+        assert_eq!(resp.hits, t1_reference.hits, "{name} T=0 contract");
+        // Invalid τ: typed error, never a silent empty result.
+        assert!(
+            backend.execute(&bad_tau, &query_vecs).is_err(),
+            "{name} must reject tau ratio > 1"
+        );
+        // Metric expectation mismatch: typed error on every backend.
+        let wrong =
+            Query::threshold(Tau::Ratio(0.1), JoinThreshold::Count(1)).expect_metric("manhattan");
+        assert!(
+            backend.execute(&wrong, &query_vecs).is_err(),
+            "{name} must reject a metric mismatch"
+        );
+        // No expectation at all: every backend (including the remote one,
+        // whose wire frame spells `None` as an empty metric string)
+        // answers with its own build metric.
+        let agnostic = Query::threshold(Tau::Ratio(0.25), JoinThreshold::Count(1));
+        let resp = backend.execute(&agnostic, &query_vecs).unwrap();
+        assert_eq!(
+            resp.hits, t1_reference.hits,
+            "{name} metric-agnostic contract"
+        );
+    }
+    backends.finish();
+}
+
+/// Budgets return the typed `Exceeded` outcome instead of silently
+/// partial results, deterministically for the distance cap, on local and
+/// remote backends alike.
+#[test]
+fn budget_exceeded_is_typed_and_deterministic() {
+    let (backends, query_vecs) = Backends::build(23, "budget");
+    // Establish that the unbudgeted query really pays distance work.
+    let full = Query::threshold(Tau::Ratio(0.25), JoinThreshold::Ratio(1.0))
+        .with_flags(LemmaFlags {
+            lemma2_vector_match: false, // force exact distances
+            ..LemmaFlags::all()
+        })
+        .expect_metric("euclidean");
+    let exact = run(&backends.index, &full, &query_vecs);
+    assert!(
+        exact.stats.distance_computations > 4,
+        "workload too small to exercise the budget: {}",
+        exact.stats.distance_computations
+    );
+
+    let capped = full.clone().with_max_distance_computations(2);
+    for (name, backend) in backends.as_dyn() {
+        let a = backend.execute(&capped, &query_vecs).unwrap();
+        assert_eq!(
+            a.outcome,
+            QueryOutcome::Exceeded(Exceeded::DistanceComputations),
+            "{name} must flag the tripped distance cap"
+        );
+        // Deterministic cutoff: the same budget yields the same partial
+        // answer every time.
+        let b = backend.execute(&capped, &query_vecs).unwrap();
+        assert_eq!(a.hits, b.hits, "{name} budget cutoff must be deterministic");
+        assert_eq!(a.outcome, b.outcome);
+    }
+
+    // A zero deadline trips the wall-clock limit (top-k checks it before
+    // the probe pass, threshold at the first query vector).
+    let instant = Query::topk(Tau::Ratio(0.25), 3)
+        .with_deadline(Duration::ZERO)
+        .expect_metric("euclidean");
+    for (name, backend) in backends.as_dyn() {
+        let resp = backend.execute(&instant, &query_vecs).unwrap();
+        assert_eq!(
+            resp.outcome,
+            QueryOutcome::Exceeded(Exceeded::Deadline),
+            "{name} must flag the expired deadline"
+        );
+    }
+
+    // A generous budget changes nothing: exact results, exact flag.
+    let roomy = full.clone().with_max_distance_computations(u64::MAX);
+    for (name, backend) in backends.as_dyn() {
+        let resp = backend.execute(&roomy, &query_vecs).unwrap();
+        assert!(resp.exact(), "{name} must stay exact under a roomy budget");
+        assert_eq!(resp.hits, exact.hits, "{name} roomy-budget hits diverged");
+    }
+    backends.finish();
+}
+
+/// `execute_many` through the trait object answers each column exactly
+/// like `execute`, under both outer policies.
+#[test]
+fn execute_many_matches_execute_through_dyn() {
+    let (backends, query_vecs) = Backends::build(31, "many");
+    // Three query columns: the planted one and two random ones.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut q2 = VectorStore::new(DIM);
+    let mut q3 = VectorStore::new(DIM);
+    for _ in 0..5 {
+        q2.push(&unit(&mut rng)).unwrap();
+        q3.push(&unit(&mut rng)).unwrap();
+    }
+    let columns: Vec<&VectorStore> = vec![&query_vecs, &q2, &q3];
+    for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }] {
+        let q = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.4))
+            .with_policy(policy)
+            .expect_metric("euclidean");
+        for (name, backend) in backends.as_dyn() {
+            let batched = backend.execute_many(&q, &columns).unwrap();
+            assert_eq!(batched.len(), 3);
+            for (i, resp) in batched.iter().enumerate() {
+                let solo = backend.execute(&q, columns[i]).unwrap();
+                assert_eq!(
+                    resp.hits, solo.hits,
+                    "{name} column {i} diverged under {policy:?}"
+                );
+            }
+        }
+    }
+    backends.finish();
+}
+
+/// A generic function over `&dyn Queryable` (the shape batch drivers and
+/// servers are written in) — and proof the trait object composes with the
+/// pipeline's `run_queries`.
+#[test]
+fn dyn_queryable_composes_with_the_pipeline() {
+    use pexeso::pipeline::{run_queries, EmbeddedLakeBuilder};
+    let embedder = HashEmbedder::new(24);
+    let lake = EmbeddedLakeBuilder::new(&embedder)
+        .add_column(
+            "cities",
+            "name",
+            &["Berlin".into(), "Paris".into(), "Rome".into()],
+        )
+        .add_column(
+            "foods",
+            "name",
+            &["Bread".into(), "Cheese".into(), "Olives".into()],
+        )
+        .build()
+        .unwrap();
+    let index = PexesoIndex::build(lake.columns, Euclidean, IndexOptions::default()).unwrap();
+    let backend: &dyn Queryable = &index;
+    let query = Query::threshold(Tau::Ratio(0.05), JoinThreshold::Ratio(0.9));
+    let results = run_queries(
+        backend,
+        &embedder,
+        &[
+            vec!["Berlin".into(), "Paris".into(), "Rome".into()],
+            vec!["Bread".into(), "Cheese".into(), "Olives".into()],
+        ],
+        &query,
+    )
+    .unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].1.hits.len(), 1);
+    assert_eq!(results[0].1.hits[0].table_name, "cities");
+    assert_eq!(results[1].1.hits.len(), 1);
+    assert_eq!(results[1].1.hits[0].table_name, "foods");
+}

@@ -29,10 +29,13 @@ fn single_vector_columns_and_queries() {
     let mut q = VectorStore::new(dim);
     q.push(&unit_vec(dim, 0)).unwrap();
     let r = index
-        .search(&q, Tau::Ratio(0.01), JoinThreshold::Ratio(1.0))
+        .execute(
+            &Query::threshold(Tau::Ratio(0.01), JoinThreshold::Ratio(1.0)),
+            &q,
+        )
         .unwrap();
     assert_eq!(r.hits.len(), 1);
-    assert_eq!(r.hits[0].column, ColumnId(0));
+    assert_eq!(r.hits[0].external_id, 0);
 }
 
 #[test]
@@ -48,17 +51,26 @@ fn extreme_thresholds() {
 
     // tau = 0: only exact duplicates match.
     let r = index
-        .search(&q, Tau::Absolute(0.0), JoinThreshold::Count(1))
+        .execute(
+            &Query::threshold(Tau::Absolute(0.0), JoinThreshold::Count(1)),
+            &q,
+        )
         .unwrap();
     assert_eq!(r.hits.len(), 1);
     // tau = max distance: everything matches.
     let r = index
-        .search(&q, Tau::Ratio(1.0), JoinThreshold::Ratio(1.0))
+        .execute(
+            &Query::threshold(Tau::Ratio(1.0), JoinThreshold::Ratio(1.0)),
+            &q,
+        )
         .unwrap();
     assert_eq!(r.hits.len(), 1);
     // Unsatisfiable T (count beyond |Q|) finds nothing but must not panic.
     let r = index
-        .search(&q, Tau::Ratio(1.0), JoinThreshold::Count(5))
+        .execute(
+            &Query::threshold(Tau::Ratio(1.0), JoinThreshold::Count(5)),
+            &q,
+        )
         .unwrap();
     assert!(r.hits.is_empty());
 }
@@ -88,15 +100,12 @@ fn pipeline_handles_pathological_strings() {
     );
     let index = PexesoIndex::build(lake.columns, Euclidean, IndexOptions::default()).unwrap();
     let q = embed_query(&e, &["Łódź — Göteborg — 北京".to_string()]);
-    let r = index
-        .search(q.store(), Tau::Ratio(0.01), JoinThreshold::Count(1))
-        .unwrap();
+    let probe = Query::threshold(Tau::Ratio(0.01), JoinThreshold::Count(1));
+    let r = index.execute(&probe, q.store()).unwrap();
     assert_eq!(r.hits.len(), 1, "the unicode string must find itself");
     // A query with no embeddable content must error cleanly, not panic.
     let crab = embed_query(&e, &["🦀🦀🦀".to_string()]);
-    assert!(index
-        .search(crab.store(), Tau::Ratio(0.01), JoinThreshold::Count(1))
-        .is_err());
+    assert!(index.execute(&probe, crab.store()).is_err());
 }
 
 #[test]
@@ -147,12 +156,9 @@ fn corrupted_partition_file_yields_typed_error() {
 
     let mut q = VectorStore::new(dim);
     q.push(&unit_vec(dim, 3)).unwrap();
-    let err = lake.search(
-        Euclidean,
+    let err = lake.execute(
+        &Query::threshold(Tau::Ratio(0.1), JoinThreshold::Count(1)),
         &q,
-        Tau::Ratio(0.1),
-        JoinThreshold::Count(1),
-        SearchOptions::default(),
     );
     assert!(
         err.is_err(),
@@ -177,7 +183,10 @@ fn duplicate_heavy_columns() {
         q.push(&v).unwrap();
     }
     let r = index
-        .search(&q, Tau::Absolute(0.0), JoinThreshold::Ratio(1.0))
+        .execute(
+            &Query::threshold(Tau::Absolute(0.0), JoinThreshold::Ratio(1.0)),
+            &q,
+        )
         .unwrap();
     assert_eq!(r.hits.len(), 1);
     assert_eq!(

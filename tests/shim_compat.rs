@@ -1,0 +1,243 @@
+//! Shim-compat suite: the **only** module that may call the deprecated
+//! legacy entry points. Each shim must be a faithful thin delegate of the
+//! unified `Query`/`Queryable` path: same hits, same counts, same
+//! ordering under its own documented (legacy) contract.
+#![allow(deprecated)]
+
+use pexeso::prelude::*;
+use pexeso_core::partition::PartitionMethod;
+
+fn instance(seed: u64, n_cols: usize, col_len: usize, nq: usize) -> (ColumnSet, VectorStore) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let dim = 10;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let unit = move |rng: &mut StdRng| {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+        v
+    };
+    let mut columns = ColumnSet::new(dim);
+    for c in 0..n_cols {
+        let vecs: Vec<Vec<f32>> = (0..col_len).map(|_| unit(&mut rng)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column("t", &format!("c{c}"), c as u64, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(dim);
+    for _ in 0..nq {
+        let v = unit(&mut rng);
+        query.push(&v).unwrap();
+    }
+    (columns, query)
+}
+
+fn build(columns: ColumnSet) -> PexesoIndex<Euclidean> {
+    PexesoIndex::build(
+        columns,
+        Euclidean,
+        IndexOptions {
+            num_pivots: 3,
+            levels: Some(3),
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Legacy in-memory entry points delegate to the same engine `execute`
+/// runs: identical hit sets and counts (legacy hits are ColumnId-keyed;
+/// external ids equal insertion order in this fixture).
+#[test]
+fn index_shims_match_execute() {
+    let (columns, query) = instance(3, 12, 18, 8);
+    let index = build(columns);
+    let tau = Tau::Ratio(0.2);
+    let t = JoinThreshold::Ratio(0.4);
+
+    let unified = index.execute(&Query::threshold(tau, t), &query).unwrap();
+    let to_pairs = |hits: &[SearchHit]| -> Vec<(u32, u32)> {
+        hits.iter().map(|h| (h.column.0, h.match_count)).collect()
+    };
+    let g_pairs: Vec<(u32, u32)> = unified
+        .hits
+        .iter()
+        .map(|h| (h.external_id as u32, h.match_count))
+        .collect();
+
+    assert_eq!(
+        to_pairs(&index.search(&query, tau, t).unwrap().hits),
+        g_pairs
+    );
+    assert_eq!(
+        to_pairs(
+            &index
+                .search_with(&query, tau, t, SearchOptions::default())
+                .unwrap()
+                .hits
+        ),
+        g_pairs
+    );
+    let batched = index
+        .search_many(
+            &[&query, &query],
+            tau,
+            t,
+            SearchOptions::default(),
+            ExecPolicy::Parallel { threads: 2 },
+        )
+        .unwrap();
+    for r in batched {
+        assert_eq!(to_pairs(&r.hits), g_pairs);
+    }
+
+    for k in [0usize, 1, 4, 100] {
+        let unified = index.execute(&Query::topk(tau, k), &query).unwrap();
+        let g_pairs: Vec<(u32, u32)> = unified
+            .hits
+            .iter()
+            .map(|h| (h.external_id as u32, h.match_count))
+            .collect();
+        assert_eq!(
+            to_pairs(&index.search_topk(&query, tau, k).unwrap().hits),
+            g_pairs,
+            "k={k}"
+        );
+        assert_eq!(
+            to_pairs(
+                &index
+                    .search_topk_with(&query, tau, k, SearchOptions::default())
+                    .unwrap()
+                    .hits
+            ),
+            g_pairs,
+            "k={k}"
+        );
+        assert_eq!(
+            to_pairs(&index.search_topk_exhaustive(&query, tau, k).unwrap().hits),
+            g_pairs,
+            "exhaustive k={k}"
+        );
+        let batched = index
+            .search_topk_many(
+                &[&query],
+                tau,
+                k,
+                SearchOptions::default(),
+                ExecPolicy::Sequential,
+            )
+            .unwrap();
+        assert_eq!(to_pairs(&batched[0].hits), g_pairs, "batched k={k}");
+    }
+}
+
+/// Legacy out-of-core and resident entry points delegate to the unified
+/// partition loop: identical global hits.
+#[test]
+fn lake_and_resident_shims_match_execute() {
+    let (columns, query) = instance(5, 14, 14, 7);
+    let dir = std::env::temp_dir().join(format!("pexeso_shim_ooc_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let lake = PartitionedLake::build(
+        &columns,
+        Euclidean,
+        &PartitionConfig {
+            k: 3,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
+        &IndexOptions {
+            num_pivots: 3,
+            levels: Some(3),
+            ..Default::default()
+        },
+        &dir,
+    )
+    .unwrap();
+    let resident = ResidentPartitions::load(&lake, Euclidean).unwrap();
+    let tau = Tau::Ratio(0.2);
+    let t = JoinThreshold::Ratio(0.4);
+    for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 3 }] {
+        let unified = lake
+            .execute(&Query::threshold(tau, t).with_policy(policy), &query)
+            .unwrap();
+        let (hits, _) = lake
+            .search_with_policy(Euclidean, &query, tau, t, SearchOptions::default(), policy)
+            .unwrap();
+        assert_eq!(hits, unified.hits, "lake threshold {policy:?}");
+        let (hits, _) = resident
+            .search_with_policy(&query, tau, t, SearchOptions::default(), policy)
+            .unwrap();
+        assert_eq!(hits, unified.hits, "resident threshold {policy:?}");
+
+        let unified_k = lake
+            .execute(&Query::topk(tau, 5).with_policy(policy), &query)
+            .unwrap();
+        let (hits, _) = lake
+            .search_topk_with_policy(Euclidean, &query, tau, 5, SearchOptions::default(), policy)
+            .unwrap();
+        assert_eq!(hits, unified_k.hits, "lake topk {policy:?}");
+        let (hits, _) = resident
+            .search_topk_with_policy(&query, tau, 5, SearchOptions::default(), policy)
+            .unwrap();
+        assert_eq!(hits, unified_k.hits, "resident topk {policy:?}");
+    }
+    let (seq, _) = lake
+        .search(Euclidean, &query, tau, t, SearchOptions::default())
+        .unwrap();
+    let (par, _) = lake
+        .search_parallel(Euclidean, &query, tau, t, SearchOptions::default(), 3)
+        .unwrap();
+    let (k_seq, _) = lake
+        .search_topk(Euclidean, &query, tau, 5, SearchOptions::default())
+        .unwrap();
+    let unified = lake.execute(&Query::threshold(tau, t), &query).unwrap();
+    let unified_k = lake.execute(&Query::topk(tau, 5), &query).unwrap();
+    assert_eq!(seq, unified.hits);
+    assert_eq!(par, unified.hits);
+    assert_eq!(k_seq, unified_k.hits);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `ServeClient::topk` is a deprecated alias of `search_topk`: same
+/// request bytes, same reply.
+#[test]
+fn client_topk_alias_matches_search_topk() {
+    use pexeso::serve::{query_payload, ServeClient, ServeConfig, Server};
+    let (columns, query) = instance(9, 8, 12, 6);
+    let dir = std::env::temp_dir().join(format!("pexeso_shim_serve_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    PartitionedLake::build(
+        &columns,
+        Euclidean,
+        &PartitionConfig {
+            k: 2,
+            ..Default::default()
+        },
+        &IndexOptions {
+            num_pivots: 3,
+            levels: Some(3),
+            ..Default::default()
+        },
+        &dir,
+    )
+    .unwrap();
+    LakeManifest::next_build(&dir, "test", 10)
+        .unwrap()
+        .write(&dir)
+        .unwrap();
+    let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
+    let payload = || query_payload("euclidean", Tau::Ratio(0.2), ExecPolicy::Sequential, &query);
+    let via_new = client.search_topk(payload(), 5).unwrap();
+    let via_alias = client.topk(payload(), 5).unwrap();
+    assert_eq!(via_new.hits, via_alias.hits);
+    assert_eq!(via_new.generation, via_alias.generation);
+    client.shutdown().unwrap();
+    drop(client);
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
