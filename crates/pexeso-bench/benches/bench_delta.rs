@@ -1,0 +1,198 @@
+//! Incremental-maintenance benchmarks: what does adding one table cost?
+//!
+//! The point of `pexeso-delta` is that ingesting a table is a checksummed
+//! log append (plus, on the query side, a small in-memory index over the
+//! delta), while the rebuild-only path re-partitions and re-indexes the
+//! whole lake. On a 5k×32-d deployment this measures:
+//!
+//! * `delta_ingest_one_table` — `ingest_columns` of one 100-vector table
+//!   into the delta log (the write path an operator pays per table);
+//! * `full_rebuild_for_one_table` — the old way: rebuild all partitions
+//!   over base+1 tables and rewrite the manifest (embedding excluded, so
+//!   this *understates* the rebuild cost the CLI actually pays);
+//! * `delta_open_replay` — `DeltaLake::open` with a one-table delta log:
+//!   replay + overlay index build, the price a cold query process pays;
+//! * `query_delta_overlay` vs `query_compacted` — the same threshold
+//!   query against the overlaid lake (base + 1 delta column + 1
+//!   tombstone) and against the compacted deployment, i.e. the steady-
+//!   state read overhead the overlay carries until the next compaction.
+//!
+//! Record a snapshot with:
+//! `BENCH_JSON=BENCH_delta.json cargo bench -p pexeso-bench --bench bench_delta`
+//! (the shim writes relative to the bench package; move the file to the
+//! repo root to update the committed snapshot).
+
+use std::path::{Path, PathBuf};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pexeso::prelude::*;
+use pexeso_core::config::PivotSelection;
+use pexeso_core::outofcore::LakeManifest;
+use pexeso_core::query::Queryable;
+use pexeso_delta::{drop_tables, ingest_columns, remove_log, DeltaLake, IngestColumn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 32;
+const N_COLS: usize = 50;
+const PER_COL: usize = 100; // 5k vectors
+const N_QUERY: usize = 32;
+const TAU: Tau = Tau::Ratio(0.06);
+const T: JoinThreshold = JoinThreshold::Ratio(0.5);
+
+fn unit(rng: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+fn partition_config() -> PartitionConfig {
+    PartitionConfig {
+        k: 4,
+        method: PartitionMethod::JsdKmeans,
+        ..Default::default()
+    }
+}
+
+fn index_options() -> IndexOptions {
+    IndexOptions {
+        num_pivots: 5,
+        levels: Some(4),
+        pivot_selection: PivotSelection::Pca,
+        seed: 42,
+        ..Default::default()
+    }
+}
+
+/// The base lake: a fifth of the columns contain the query (real verify
+/// work + non-empty replies), the rest are uniform noise.
+fn base_columns(query_vecs: &[Vec<f32>]) -> ColumnSet {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut columns = ColumnSet::new(DIM);
+    for c in 0..N_COLS {
+        let mut vecs: Vec<Vec<f32>> = (0..PER_COL).map(|_| unit(&mut rng)).collect();
+        if c % 5 == 0 {
+            for (slot, q) in vecs.iter_mut().zip(query_vecs) {
+                slot.clone_from(q);
+            }
+        }
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column(&format!("tab{c}"), "key", c as u64, refs)
+            .unwrap();
+    }
+    columns
+}
+
+fn deploy(dir: &Path, columns: &ColumnSet) {
+    std::fs::create_dir_all(dir).unwrap();
+    PartitionedLake::build(
+        columns,
+        Euclidean,
+        &partition_config(),
+        &index_options(),
+        dir,
+    )
+    .unwrap();
+    let mut manifest = LakeManifest::new("bench", DIM);
+    manifest.next_external_id = N_COLS as u64;
+    manifest.write(dir).unwrap();
+}
+
+fn new_table(seed: u64) -> IngestColumn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    IngestColumn {
+        table_name: format!("fresh{seed}"),
+        column_name: "key".into(),
+        vectors: (0..PER_COL).flat_map(|_| unit(&mut rng)).collect(),
+    }
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("pexeso_bench_delta_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut rng = StdRng::seed_from_u64(42);
+    let query_vecs: Vec<Vec<f32>> = (0..N_QUERY).map(|_| unit(&mut rng)).collect();
+    let columns = base_columns(&query_vecs);
+    deploy(&dir, &columns);
+    let mut query = VectorStore::new(DIM);
+    for q in &query_vecs {
+        query.push(q).unwrap();
+    }
+
+    // Ingest one table: log reset each iteration so every sample measures
+    // a single-table append against a log of bounded size.
+    c.bench_function("delta_ingest_one_table_5k_x32d", |b| {
+        b.iter(|| {
+            remove_log(&dir).unwrap();
+            black_box(ingest_columns(&dir, &[new_table(7)]).unwrap())
+        })
+    });
+    remove_log(&dir).unwrap();
+
+    // The rebuild-only alternative: re-partition and re-index the whole
+    // lake (base + the one new table) and rewrite the manifest. Built
+    // into a scratch directory so the benchmarked deployment stays valid.
+    let rebuild_dir = dir.join("rebuild_scratch");
+    let mut with_new = columns.clone();
+    let fresh = new_table(7);
+    with_new
+        .add_column(
+            &fresh.table_name,
+            &fresh.column_name,
+            N_COLS as u64,
+            fresh.vectors.chunks_exact(DIM),
+        )
+        .unwrap();
+    c.bench_function("full_rebuild_for_one_table_5k_x32d", |b| {
+        b.iter(|| {
+            std::fs::create_dir_all(&rebuild_dir).unwrap();
+            let lake = PartitionedLake::build(
+                &with_new,
+                Euclidean,
+                &partition_config(),
+                &index_options(),
+                &rebuild_dir,
+            )
+            .unwrap();
+            LakeManifest::new("bench", DIM).write(&rebuild_dir).unwrap();
+            black_box(lake.num_partitions())
+        })
+    });
+    std::fs::remove_dir_all(&rebuild_dir).ok();
+
+    // Steady-state overlay: one ingested table + one tombstone.
+    ingest_columns(&dir, &[new_table(7)]).unwrap();
+    drop_tables(&dir, &["tab1".into()]).unwrap();
+
+    c.bench_function("delta_open_replay_1table_5k_x32d", |b| {
+        b.iter(|| black_box(DeltaLake::open(&dir).unwrap().overlay().n_delta_columns()))
+    });
+
+    let q = Query::threshold(TAU, T);
+    let overlaid = DeltaLake::open(&dir).unwrap();
+    assert!(!overlaid.execute(&q, &query).unwrap().hits.is_empty());
+    c.bench_function("query_delta_overlay_5k_x32d", |b| {
+        b.iter(|| black_box(overlaid.execute(&q, &query).unwrap().hits.len()))
+    });
+
+    // Compact, then run the identical query against the folded base.
+    let report = pexeso_delta::compact_lake(&dir, None, ExecPolicy::Sequential).unwrap();
+    assert_eq!(report.records_folded, 2);
+    let compacted = DeltaLake::open(&dir).unwrap();
+    assert!(compacted.overlay().is_empty());
+    c.bench_function("query_compacted_5k_x32d", |b| {
+        b.iter(|| black_box(compacted.execute(&q, &query).unwrap().hits.len()))
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_delta
+}
+criterion_main!(benches);

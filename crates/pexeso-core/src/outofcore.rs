@@ -60,6 +60,13 @@ pub struct LakeManifest {
     pub metric: String,
     /// Build generation of this directory; starts at 1, +1 per re-index.
     pub index_version: u64,
+    /// The next free caller-stable external id: every column persisted in
+    /// this build (base partitions *and* any compacted-in deltas) has an
+    /// external id strictly below it. Incremental ingest assigns new ids
+    /// from here so delta columns can never collide with base columns.
+    /// Legacy manifests (written before incremental maintenance existed)
+    /// default to 0, which spells "unknown — scan the partitions".
+    pub next_external_id: u64,
 }
 
 impl LakeManifest {
@@ -77,6 +84,7 @@ impl LakeManifest {
             dim,
             metric: "euclidean".to_string(),
             index_version: 1,
+            next_external_id: 0,
         }
     }
 
@@ -89,6 +97,7 @@ impl LakeManifest {
         let mut dim = None;
         let mut metric = String::from("euclidean");
         let mut index_version = 1u64;
+        let mut next_external_id = 0u64;
         for line in text.lines() {
             let Some((key, value)) = line.split_once('=') else {
                 continue;
@@ -112,6 +121,11 @@ impl LakeManifest {
                         PexesoError::Corrupt(format!("bad manifest index_version '{value}'"))
                     })?
                 }
+                "next_external_id" => {
+                    next_external_id = value.trim().parse().map_err(|_| {
+                        PexesoError::Corrupt(format!("bad manifest next_external_id '{value}'"))
+                    })?
+                }
                 _ => {} // forward-compatible: ignore unknown keys
             }
         }
@@ -125,18 +139,31 @@ impl LakeManifest {
             dim,
             metric,
             index_version,
+            next_external_id,
         })
     }
 
-    /// Write the manifest into `dir`.
+    /// Write the manifest into `dir` crash-safely: the bytes go to a
+    /// temporary file first and are published with an atomic rename, so a
+    /// torn write (crash, full disk, SIGKILL mid-`write`) can never leave
+    /// a half-written manifest over a working deployment — readers see
+    /// either the old manifest or the new one, nothing in between.
     pub fn write(&self, dir: &Path) -> Result<()> {
+        let target = Self::path(dir);
+        let tmp = dir.join("manifest.txt.tmp");
         fs::write(
-            Self::path(dir),
+            &tmp,
             format!(
-                "version={}\nembedder={}\ndim={}\nmetric={}\nindex_version={}\n",
-                self.format_version, self.embedder, self.dim, self.metric, self.index_version
+                "version={}\nembedder={}\ndim={}\nmetric={}\nindex_version={}\nnext_external_id={}\n",
+                self.format_version,
+                self.embedder,
+                self.dim,
+                self.metric,
+                self.index_version,
+                self.next_external_id,
             ),
         )?;
+        fs::rename(&tmp, &target)?;
         Ok(())
     }
 
@@ -178,10 +205,11 @@ impl PartitionedLake {
         dir: &Path,
     ) -> Result<Self> {
         fs::create_dir_all(dir)?;
-        // Clear stale partition files so `open` never mixes deployments.
+        // Clear stale partition files so `open` never mixes deployments
+        // (including `.tmp` fragments a crashed atomic save left behind).
         for entry in fs::read_dir(dir)? {
             let path = entry?.path();
-            if path.extension().is_some_and(|e| e == "pex") {
+            if path.extension().is_some_and(|e| e == "pex" || e == "tmp") {
                 fs::remove_file(&path)?;
             }
         }
@@ -444,7 +472,11 @@ fn resolve_global_hits<M: Metric>(
 /// `guard` carries the query's budget across sub-executions (re-queries
 /// here, partitions in the callers); a tripped limit is returned so the
 /// caller can stop and flag the response.
-pub(crate) fn execute_on_index<M: Metric>(
+///
+/// Public as a backend building block: out-of-crate backends (the
+/// delta-overlay executor in `pexeso-delta`) run exactly this engine per
+/// unit so their answers stay byte-identical to the built-in backends.
+pub fn execute_on_index<M: Metric>(
     index: &PexesoIndex<M>,
     query: &Query,
     vectors: &VectorStore,
@@ -514,7 +546,13 @@ pub(crate) fn execute_on_index<M: Metric>(
 /// the loop stops at the first partition that trips a limit, so the
 /// distance-cap cutoff is deterministic. `Topk(0)` answers empty without
 /// touching any partition — the unified `k = 0` contract.
-fn execute_partitioned<F>(n_partitions: usize, query: &Query, run: F) -> Result<QueryResponse>
+///
+/// Public as a backend building block: a unit need not be a plain
+/// partition — the delta-overlay executor in `pexeso-delta` passes
+/// closures that filter tombstoned hits and fold an in-memory delta index
+/// in as one extra unit, inheriting the fan-out, budget, and ranking
+/// semantics unchanged.
+pub fn execute_partitioned<F>(n_partitions: usize, query: &Query, run: F) -> Result<QueryResponse>
 where
     F: Fn(
             usize,
@@ -610,6 +648,14 @@ impl<M: Metric> ResidentPartitions<M> {
 
     pub fn num_partitions(&self) -> usize {
         self.indexes.len()
+    }
+
+    /// Borrow one resident partition index — the handle an overlay
+    /// backend (e.g. `pexeso-delta`'s serve-side delta snapshot) feeds to
+    /// [`execute_on_index`] so delta queries reuse the already-loaded
+    /// base without copying it.
+    pub fn partition(&self, i: usize) -> &PexesoIndex<M> {
+        &self.indexes[i]
     }
 
     /// The typed engine behind the resident [`Queryable`] impl and the
@@ -838,6 +884,55 @@ mod tests {
         assert_eq!(second.index_version, 2);
         second.write(&dir).unwrap();
         assert_eq!(LakeManifest::read(&dir).unwrap().index_version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_writes_are_atomic_against_torn_writes() {
+        let dir = tempdir("manifest_atomic");
+        let mut good = LakeManifest::new("hash", 64);
+        good.index_version = 3;
+        good.next_external_id = 17;
+        good.write(&dir).unwrap();
+        // A torn write crashes after putting partial bytes in the temp
+        // file but before the rename. Simulate exactly that state: the
+        // deployed manifest must be untouched and still read back whole.
+        let tmp = dir.join("manifest.txt.tmp");
+        std::fs::write(&tmp, "version=1\nembedder=ha").unwrap();
+        assert_eq!(LakeManifest::read(&dir).unwrap(), good);
+        // The next successful write publishes over both the manifest and
+        // the stale temp fragment.
+        let mut next = good.clone();
+        next.index_version = 4;
+        next.write(&dir).unwrap();
+        assert_eq!(LakeManifest::read(&dir).unwrap(), next);
+        assert!(
+            !tmp.exists(),
+            "a successful write must consume the temp file"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrips_next_external_id() {
+        let dir = tempdir("manifest_next_id");
+        let mut m = LakeManifest::new("hash", 32);
+        m.next_external_id = 41;
+        m.write(&dir).unwrap();
+        assert_eq!(LakeManifest::read(&dir).unwrap().next_external_id, 41);
+        // Legacy manifests (no key) default to 0 = "unknown".
+        std::fs::write(LakeManifest::path(&dir), "version=1\ndim=32\n").unwrap();
+        assert_eq!(LakeManifest::read(&dir).unwrap().next_external_id, 0);
+        // A corrupt value is a typed error.
+        std::fs::write(
+            LakeManifest::path(&dir),
+            "version=1\ndim=32\nnext_external_id=banana\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            LakeManifest::read(&dir),
+            Err(PexesoError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

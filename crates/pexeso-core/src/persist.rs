@@ -181,8 +181,18 @@ fn selection_from_tag(t: u8) -> Result<PivotSelection> {
     }
 }
 
-/// Serialise an index to `path`.
+/// Serialise an index to `path` crash-safely: the bytes are written to a
+/// sibling `.tmp` file and published with an atomic rename, so a torn
+/// write can never replace a valid partition file with a half-written
+/// one — readers see the old index or the new one, never a fragment.
 pub fn save_index<M: Metric>(index: &PexesoIndex<M>, path: &Path) -> Result<()> {
+    let tmp = path.with_extension("pex.tmp");
+    save_index_to(index, &tmp)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn save_index_to<M: Metric>(index: &PexesoIndex<M>, path: &Path) -> Result<()> {
     let file = File::create(path)?;
     let mut sink = Sink::new(BufWriter::new(file));
     sink.put(MAGIC)?;

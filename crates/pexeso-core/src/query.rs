@@ -339,8 +339,11 @@ impl BudgetGuard {
 }
 
 /// Merge a sub-execution's exceeded flag into a query-level outcome: the
-/// first limit to trip wins and is sticky.
-pub(crate) fn fold_outcome(outcome: &mut QueryOutcome, exceeded: Option<Exceeded>) {
+/// first limit to trip wins and is sticky. Public (with the ranking
+/// helpers below) so out-of-crate backends — e.g. the delta-overlay
+/// executor in `pexeso-delta` — compose partition results under exactly
+/// the same contract as the built-in ones.
+pub fn fold_outcome(outcome: &mut QueryOutcome, exceeded: Option<Exceeded>) {
     if *outcome == QueryOutcome::Exact {
         if let Some(e) = exceeded {
             *outcome = QueryOutcome::Exceeded(e);
@@ -351,7 +354,7 @@ pub(crate) fn fold_outcome(outcome: &mut QueryOutcome, exceeded: Option<Exceeded
 /// Rank a tie-inclusive `(match_count, hit)` list under the unified
 /// contract — count descending, external id ascending — and truncate to
 /// `k`. Shared by every top-k backend.
-pub(crate) fn rank_topk_hits(mut hits: Vec<GlobalHit>, k: usize) -> Vec<GlobalHit> {
+pub fn rank_topk_hits(mut hits: Vec<GlobalHit>, k: usize) -> Vec<GlobalHit> {
     hits.sort_by(|a, b| {
         b.match_count
             .cmp(&a.match_count)
@@ -362,7 +365,7 @@ pub(crate) fn rank_topk_hits(mut hits: Vec<GlobalHit>, k: usize) -> Vec<GlobalHi
 }
 
 /// Sort threshold hits under the unified contract: external id ascending.
-pub(crate) fn sort_threshold_hits(hits: &mut [GlobalHit]) {
+pub fn sort_threshold_hits(hits: &mut [GlobalHit]) {
     hits.sort_by_key(|h| h.external_id);
 }
 

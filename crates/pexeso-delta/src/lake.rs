@@ -1,0 +1,620 @@
+//! [`DeltaLake`]: a deployed lake plus its delta log, queryable as one
+//! backend — and the lifecycle operations around it (ingest, drop,
+//! compact).
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use pexeso_core::column::ColumnSet;
+use pexeso_core::config::{ExecPolicy, IndexOptions};
+use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
+use pexeso_core::outofcore::{execute_on_index, LakeManifest, PartitionedLake};
+use pexeso_core::partition::{PartitionConfig, PartitionMethod};
+use pexeso_core::persist::load_index;
+use pexeso_core::query::{Query, QueryResponse, Queryable};
+use pexeso_core::vector::VectorStore;
+
+use crate::overlay::{AnyOverlay, DeltaOverlay};
+use crate::wal::{
+    append_records, check_header, read_log, remove_log, DeltaRecord, DeltaState, LogStatus,
+};
+
+/// A deployment directory overlaid with its delta log: the base
+/// [`PartitionedLake`] partitions stay untouched on disk while adds and
+/// drops live in the replayed in-memory overlay. Answers are
+/// byte-identical to a full rebuild over the final table set (same
+/// tie-break contract as the base backends; tombstones are filtered
+/// before the merge).
+#[derive(Debug)]
+pub struct DeltaLake {
+    base: PartitionedLake,
+    manifest: LakeManifest,
+    overlay: AnyOverlay,
+    dir: PathBuf,
+}
+
+impl DeltaLake {
+    /// Open `dir`: base partitions + manifest + replayed delta log. A log
+    /// left behind by a compaction that crashed between the manifest bump
+    /// and the log deletion (header names an older `index_version`) has
+    /// already been folded into the base — it is ignored, not replayed
+    /// (and not deleted either: opening is a read path and must work on
+    /// read-only mounts; the next *write* operation cleans the stale log
+    /// up). A damaged log is a typed error: serving a silently partial
+    /// delta would break the exactness contract.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let manifest = LakeManifest::read(dir)?;
+        let base = PartitionedLake::open(dir)?;
+        let state = match read_log(dir)? {
+            Some(contents) => match check_header(&contents.header, &manifest)? {
+                LogStatus::Current => DeltaState::replay(&contents.records),
+                LogStatus::Stale => DeltaState::default(),
+            },
+            None => DeltaState::default(),
+        };
+        let overlay = AnyOverlay::from_state(&state, &manifest.metric, manifest.dim)?;
+        Ok(Self {
+            base,
+            manifest,
+            overlay,
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn base(&self) -> &PartitionedLake {
+        &self.base
+    }
+
+    pub fn manifest(&self) -> &LakeManifest {
+        &self.manifest
+    }
+
+    pub fn overlay(&self) -> &AnyOverlay {
+        &self.overlay
+    }
+
+    /// Typed execution: base partitions loaded from disk per query (the
+    /// out-of-core contract) plus the in-memory delta unit.
+    fn execute_typed<M: Metric>(
+        &self,
+        metric: M,
+        overlay: &DeltaOverlay<M>,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> Result<QueryResponse> {
+        let files = self.base.partition_files();
+        overlay.execute_with_base(files.len(), query, vectors, |i, inner, guard| {
+            let index = load_index(&files[i], metric.clone())?;
+            execute_on_index(&index, inner, vectors, guard)
+        })
+    }
+}
+
+/// A [`DeltaLake`] answers the unified [`Query`] like every other
+/// backend; the metric is fixed by the manifest, and an explicit
+/// [`Query::metric`] expectation is verified against it.
+impl Queryable for DeltaLake {
+    fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
+        if let Some(expected) = query.metric.as_deref() {
+            if expected != self.manifest.metric {
+                return Err(PexesoError::InvalidParameter(format!(
+                    "deployment manifest names metric '{}'; query expects '{expected}'",
+                    self.manifest.metric
+                )));
+            }
+        }
+        match &self.overlay {
+            AnyOverlay::Euclidean(o) => self.execute_typed(Euclidean, o, query, vectors),
+            AnyOverlay::Manhattan(o) => self.execute_typed(Manhattan, o, query, vectors),
+            AnyOverlay::Chebyshev(o) => self.execute_typed(Chebyshev, o, query, vectors),
+            AnyOverlay::Angular(o) => self.execute_typed(Angular, o, query, vectors),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance lock
+// ---------------------------------------------------------------------------
+
+/// Serializes the deployment's *write* operations (ingest, drop,
+/// compact) across processes via an exclusively-created
+/// `maintenance.lock` file. Without it, a compact racing a concurrent
+/// ingest could fold a snapshot of the log, bump the manifest, and
+/// delete records appended (and acknowledged!) after its snapshot — and
+/// two concurrent ingests could allocate the same external ids. Read
+/// paths (`DeltaLake::open`, queries, serve `APPLY`) never take it.
+///
+/// The lock is advisory and crash-coarse: a process killed while holding
+/// it leaves the file behind, and the next writer fails with a typed
+/// error naming the file so an operator can remove it after confirming
+/// no maintenance is actually running. That honesty is deliberate —
+/// guessing at staleness (PID probing, TTLs) risks breaking a genuinely
+/// running compaction's invariants.
+struct MaintenanceLock {
+    path: PathBuf,
+}
+
+impl MaintenanceLock {
+    fn acquire(dir: &Path) -> Result<Self> {
+        use std::io::Write as _;
+        let path = dir.join("maintenance.lock");
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "pid={}", std::process::id());
+                Ok(Self { path })
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(PexesoError::InvalidParameter(format!(
+                    "another maintenance operation holds {}; if no ingest or \
+                     compact is running, remove the file and retry",
+                    path.display()
+                )))
+            }
+            Err(e) => Err(PexesoError::Io(e)),
+        }
+    }
+}
+
+impl Drop for MaintenanceLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ingest / drop
+// ---------------------------------------------------------------------------
+
+/// One embedded column handed to [`ingest_columns`]. Vectors are
+/// row-major `f32`s of the deployment's dimensionality, already
+/// normalized exactly like the offline build normalizes (the WAL stores
+/// them verbatim, so ingest ≡ rebuild bit-for-bit).
+#[derive(Debug, Clone)]
+pub struct IngestColumn {
+    pub table_name: String,
+    pub column_name: String,
+    pub vectors: Vec<f32>,
+}
+
+/// What an ingest did, for operator output and counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    pub columns_added: usize,
+    pub vectors_added: usize,
+    /// External ids assigned: `first_external_id..next_external_id`.
+    pub first_external_id: u64,
+    pub next_external_id: u64,
+    /// Total records now in the log (including this ingest).
+    pub log_records: usize,
+}
+
+/// The id-allocation high-water mark for the next ingest: the manifest's
+/// `next_external_id` advanced past every id the current log ever used.
+/// Legacy manifests (no recorded `next_external_id`) fall back to
+/// scanning the base partitions once — slow but safe, and compaction
+/// upgrades the manifest.
+fn allocation_floor(dir: &Path, manifest: &LakeManifest, records: &[DeltaRecord]) -> Result<u64> {
+    let base_next = if manifest.next_external_id > 0 {
+        manifest.next_external_id
+    } else {
+        let base = PartitionedLake::open(dir)?;
+        let mut max_id = None::<u64>;
+        for i in 0..base.num_partitions() {
+            // External ids are metric-independent; load under the
+            // manifest metric to satisfy the persisted metric check.
+            let metas = match manifest.metric.as_str() {
+                "euclidean" => base
+                    .load_partition(i, Euclidean)?
+                    .columns()
+                    .columns()
+                    .to_vec(),
+                "manhattan" => base
+                    .load_partition(i, Manhattan)?
+                    .columns()
+                    .columns()
+                    .to_vec(),
+                "chebyshev" => base
+                    .load_partition(i, Chebyshev)?
+                    .columns()
+                    .columns()
+                    .to_vec(),
+                "angular" => base
+                    .load_partition(i, Angular)?
+                    .columns()
+                    .columns()
+                    .to_vec(),
+                other => {
+                    return Err(PexesoError::Corrupt(format!(
+                        "manifest names unsupported metric '{other}'"
+                    )))
+                }
+            };
+            max_id = metas.iter().map(|m| m.external_id).chain(max_id).max();
+        }
+        max_id.map_or(0, |m| m + 1)
+    };
+    Ok(DeltaState::next_external_id_after(records, base_next))
+}
+
+/// Read the current (non-stale) log records of `dir`, cleaning up a
+/// stale one the same way [`DeltaLake::open`] does.
+fn current_records(dir: &Path, manifest: &LakeManifest) -> Result<Vec<DeltaRecord>> {
+    match read_log(dir)? {
+        Some(contents) => match check_header(&contents.header, manifest)? {
+            LogStatus::Current => Ok(contents.records),
+            LogStatus::Stale => {
+                remove_log(dir)?;
+                Ok(Vec::new())
+            }
+        },
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Append new columns to `dir`'s delta log, assigning fresh external ids
+/// above everything the deployment has ever used. This is the cheap half
+/// of incremental maintenance: no re-embed, no re-partition — one
+/// checksummed, fsynced append.
+pub fn ingest_columns(dir: &Path, columns: &[IngestColumn]) -> Result<IngestReport> {
+    if columns.is_empty() {
+        return Err(PexesoError::EmptyInput("no columns to ingest"));
+    }
+    let _lock = MaintenanceLock::acquire(dir)?;
+    let manifest = LakeManifest::read(dir)?;
+    for col in columns {
+        if col.vectors.is_empty() || col.vectors.len() % manifest.dim != 0 {
+            return Err(PexesoError::InvalidParameter(format!(
+                "column '{}.{}' holds {} floats, not a positive multiple of dim {}",
+                col.table_name,
+                col.column_name,
+                col.vectors.len(),
+                manifest.dim
+            )));
+        }
+    }
+    let existing = current_records(dir, &manifest)?;
+    let first = allocation_floor(dir, &manifest, &existing)?;
+    let mut next = first;
+    let records: Vec<DeltaRecord> = columns
+        .iter()
+        .map(|col| {
+            let rec = DeltaRecord::AddColumn {
+                table_name: col.table_name.clone(),
+                column_name: col.column_name.clone(),
+                external_id: next,
+                vectors: col.vectors.clone(),
+            };
+            next += 1;
+            rec
+        })
+        .collect();
+    append_records(dir, &manifest, &records)?;
+    Ok(IngestReport {
+        columns_added: columns.len(),
+        vectors_added: columns.iter().map(|c| c.vectors.len() / manifest.dim).sum(),
+        first_external_id: first,
+        next_external_id: next,
+        log_records: existing.len() + records.len(),
+    })
+}
+
+/// Tombstone tables by name: their columns (base and previously-ingested
+/// alike) disappear from every subsequent query. Space is reclaimed at
+/// the next compaction.
+pub fn drop_tables(dir: &Path, table_names: &[String]) -> Result<usize> {
+    if table_names.is_empty() {
+        return Err(PexesoError::EmptyInput("no tables to drop"));
+    }
+    let _lock = MaintenanceLock::acquire(dir)?;
+    let manifest = LakeManifest::read(dir)?;
+    current_records(dir, &manifest)?; // validates / cleans a stale log
+    let records: Vec<DeltaRecord> = table_names
+        .iter()
+        .map(|t| DeltaRecord::DropTable {
+            table_name: t.clone(),
+        })
+        .collect();
+    append_records(dir, &manifest, &records)?;
+    Ok(records.len())
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+/// What a compaction did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Live columns in the compacted base (base survivors + delta).
+    pub n_columns: usize,
+    pub n_vectors: usize,
+    pub n_partitions: usize,
+    /// Manifest version after the bump.
+    pub index_version: u64,
+    /// Records folded in from the delta log.
+    pub records_folded: usize,
+    /// Base columns dropped by tombstones.
+    pub columns_dropped: usize,
+}
+
+/// Fold `dir`'s delta log into fresh base partitions: gather every live
+/// column (base columns not tombstoned, plus the replayed delta), rebuild
+/// the partitioning, bump the manifest version atomically, and delete the
+/// log. External ids are preserved — queries answer identically before
+/// and after (`DeltaLake` overlay ≡ compacted base), only faster.
+///
+/// Crash safety: the manifest bump is an atomic rename and happens
+/// *before* the log deletion, so a crash in between leaves a log whose
+/// header names the old build — which every reader recognises as already
+/// folded and ignores. (A crash mid-partition-write has the same exposure
+/// as any re-index: rebuild the directory. Serving daemons are unaffected
+/// either way — they answer from resident memory.)
+pub fn compact_lake(
+    dir: &Path,
+    partitions: Option<usize>,
+    policy: ExecPolicy,
+) -> Result<CompactReport> {
+    let _lock = MaintenanceLock::acquire(dir)?;
+    let manifest = LakeManifest::read(dir)?;
+    let base = PartitionedLake::open(dir)?;
+    let records = current_records(dir, &manifest)?;
+    let state = DeltaState::replay(&records);
+    let next_external_id = allocation_floor(dir, &manifest, &records)?;
+
+    // Gather live columns: (external_id, table, column, vectors).
+    let mut live: Vec<(u64, String, String, Vec<f32>)> = Vec::new();
+    let mut columns_dropped = 0usize;
+    let dim = manifest.dim;
+    let mut collect = |cs: &ColumnSet, dropped: &HashSet<String>| {
+        for meta in cs.columns() {
+            if dropped.contains(&meta.table_name) {
+                columns_dropped += 1;
+                continue;
+            }
+            let mut vectors = Vec::with_capacity(meta.len as usize * dim);
+            for v in meta.vector_range() {
+                vectors.extend_from_slice(cs.store().get_raw(v as usize));
+            }
+            live.push((
+                meta.external_id,
+                meta.table_name.clone(),
+                meta.column_name.clone(),
+                vectors,
+            ));
+        }
+    };
+    for i in 0..base.num_partitions() {
+        match manifest.metric.as_str() {
+            "euclidean" => collect(
+                base.load_partition(i, Euclidean)?.columns(),
+                &state.dropped_tables,
+            ),
+            "manhattan" => collect(
+                base.load_partition(i, Manhattan)?.columns(),
+                &state.dropped_tables,
+            ),
+            "chebyshev" => collect(
+                base.load_partition(i, Chebyshev)?.columns(),
+                &state.dropped_tables,
+            ),
+            "angular" => collect(
+                base.load_partition(i, Angular)?.columns(),
+                &state.dropped_tables,
+            ),
+            other => {
+                return Err(PexesoError::Corrupt(format!(
+                    "manifest names unsupported metric '{other}'"
+                )))
+            }
+        }
+    }
+    #[allow(dropping_copy_types, clippy::drop_non_drop)]
+    drop(collect); // end the closure's mutable borrow of `live`
+    for col in &state.live {
+        live.push((
+            col.external_id,
+            col.table_name.clone(),
+            col.column_name.clone(),
+            col.vectors.clone(),
+        ));
+    }
+    if live.is_empty() {
+        return Err(PexesoError::EmptyInput(
+            "compaction would leave no live column",
+        ));
+    }
+    // Canonical order — ascending external id — matches what a
+    // from-scratch build over the same table set produces, keeping the
+    // (seeded, deterministic) partitioning and all downstream answers
+    // byte-identical to a full rebuild.
+    live.sort_by_key(|(id, ..)| *id);
+    let mut columns = ColumnSet::new(dim);
+    for (id, table, column, vectors) in &live {
+        columns.add_column(table, column, *id, vectors.chunks_exact(dim))?;
+    }
+    let n_columns = columns.n_columns();
+    let n_vectors = columns.n_vectors();
+
+    let partition_config = PartitionConfig {
+        k: partitions.unwrap_or_else(|| base.num_partitions()),
+        method: PartitionMethod::JsdKmeans,
+        ..Default::default()
+    };
+    let index_options = IndexOptions {
+        exec: policy,
+        ..Default::default()
+    };
+    let rebuilt = build_typed(
+        &manifest.metric,
+        &columns,
+        &partition_config,
+        &index_options,
+        dir,
+    )?;
+    let new_manifest = LakeManifest {
+        index_version: manifest.index_version + 1,
+        next_external_id,
+        ..manifest
+    };
+    new_manifest.write(dir)?; // atomic: the point of no return
+    remove_log(dir)?; // stale now even if this line never runs
+    Ok(CompactReport {
+        n_columns,
+        n_vectors,
+        n_partitions: rebuilt.num_partitions(),
+        index_version: new_manifest.index_version,
+        records_folded: records.len(),
+        columns_dropped,
+    })
+}
+
+fn build_typed(
+    metric_name: &str,
+    columns: &ColumnSet,
+    partition_config: &PartitionConfig,
+    index_options: &IndexOptions,
+    dir: &Path,
+) -> Result<PartitionedLake> {
+    match metric_name {
+        "euclidean" => {
+            PartitionedLake::build(columns, Euclidean, partition_config, index_options, dir)
+        }
+        "manhattan" => {
+            PartitionedLake::build(columns, Manhattan, partition_config, index_options, dir)
+        }
+        "chebyshev" => {
+            PartitionedLake::build(columns, Chebyshev, partition_config, index_options, dir)
+        }
+        "angular" => PartitionedLake::build(columns, Angular, partition_config, index_options, dir),
+        other => Err(PexesoError::Corrupt(format!(
+            "manifest names unsupported metric '{other}'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{delta_log_path, read_log};
+    use pexeso_core::config::PivotSelection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DIM: usize = 6;
+
+    fn unit(rng: &mut StdRng) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+        v
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pexeso_lake_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn deploy_small(dir: &Path) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut columns = ColumnSet::new(DIM);
+        for c in 0..3u64 {
+            let floats: Vec<f32> = (0..6).flat_map(|_| unit(&mut rng)).collect();
+            columns
+                .add_column(&format!("b{c}"), "key", c, floats.chunks_exact(DIM))
+                .unwrap();
+        }
+        PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &IndexOptions {
+                num_pivots: 3,
+                levels: Some(3),
+                pivot_selection: PivotSelection::Pca,
+                seed: 7,
+                ..Default::default()
+            },
+            dir,
+        )
+        .unwrap();
+        let mut manifest = LakeManifest::new("hash", DIM);
+        manifest.next_external_id = 3;
+        manifest.write(dir).unwrap();
+    }
+
+    fn one_column(seed: u64, table: &str) -> IngestColumn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        IngestColumn {
+            table_name: table.to_string(),
+            column_name: "key".into(),
+            vectors: (0..4).flat_map(|_| unit(&mut rng)).collect(),
+        }
+    }
+
+    #[test]
+    fn maintenance_lock_serializes_writers_and_releases() {
+        let dir = tempdir("lock");
+        deploy_small(&dir);
+        // A held lock makes every write operation fail typed...
+        let held = MaintenanceLock::acquire(&dir).unwrap();
+        for result in [
+            ingest_columns(&dir, &[one_column(1, "d0")]).map(|_| ()),
+            drop_tables(&dir, &["b0".into()]).map(|_| ()),
+            compact_lake(&dir, None, ExecPolicy::Sequential).map(|_| ()),
+        ] {
+            match result {
+                Err(PexesoError::InvalidParameter(msg)) => {
+                    assert!(msg.contains("maintenance"), "{msg}")
+                }
+                other => panic!("expected lock conflict, got {other:?}"),
+            }
+        }
+        // ...and none of them touched the log.
+        assert!(read_log(&dir).unwrap().is_none());
+        // Releasing (drop) unblocks the next writer; each operation
+        // releases its own lock on return, so a sequence just works.
+        drop(held);
+        ingest_columns(&dir, &[one_column(1, "d0")]).unwrap();
+        drop_tables(&dir, &["b0".into()]).unwrap();
+        compact_lake(&dir, None, ExecPolicy::Sequential).unwrap();
+        assert!(!dir.join("maintenance.lock").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_ignores_stale_log_without_deleting_it() {
+        let dir = tempdir("stale_ro");
+        deploy_small(&dir);
+        ingest_columns(&dir, &[one_column(2, "d0")]).unwrap();
+        // Simulate the compaction crash window: manifest bumped, log
+        // still on disk.
+        let mut manifest = LakeManifest::read(&dir).unwrap();
+        manifest.index_version += 1;
+        manifest.write(&dir).unwrap();
+        // Opening (a read path) serves the base only and leaves the
+        // stale log alone — it must work on read-only mounts.
+        let lake = DeltaLake::open(&dir).unwrap();
+        assert!(lake.overlay().is_empty());
+        assert!(delta_log_path(&dir).exists(), "open must not delete");
+        // The next write operation cleans it up and starts fresh.
+        ingest_columns(&dir, &[one_column(3, "d1")]).unwrap();
+        let log = read_log(&dir).unwrap().unwrap();
+        assert_eq!(log.header.base_index_version, manifest.index_version);
+        assert_eq!(log.records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

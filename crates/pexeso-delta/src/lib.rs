@@ -1,0 +1,41 @@
+//! # pexeso-delta — incremental maintenance for deployed lakes
+//!
+//! The offline pipeline builds an immutable deployment: partitioned
+//! PEXESO indexes plus a versioned manifest. Real lakes grow continuously,
+//! and re-embedding and re-partitioning everything to add one table is
+//! minutes of work for seconds of data. This crate adds the lifecycle
+//! layer that makes a deployment *maintainable online*:
+//!
+//! * [`wal`] — a persistent, per-record-checksummed write-ahead delta log
+//!   (`delta.log`) next to the partition files: add-column records carry
+//!   the embedded vectors, drop-table records are tombstones, and the
+//!   header binds the log to one base build so compaction can never
+//!   double-apply;
+//! * [`overlay`] — [`DeltaOverlay`]: the replayed log as an in-memory
+//!   PEXESO index over the live delta columns plus the tombstone set,
+//!   with an exact merged executor ([`DeltaOverlay::execute_with_base`])
+//!   that answers the unified `Query` byte-identically to a full rebuild
+//!   (tombstones filtered before the merge; tie-inclusive top-k preserved
+//!   by an adaptive over-ask);
+//! * [`lake`] — [`DeltaLake`] (disk-backed base + overlay, a `Queryable`
+//!   like every other backend), [`ingest_columns`] / [`drop_tables`]
+//!   (cheap checksummed appends), and [`compact_lake`] (fold the log into
+//!   fresh base partitions, bump the manifest atomically, delete the log).
+//!
+//! `pexeso-serve` builds its live-ingest path on the same pieces: the
+//! daemon replays the log over its already-resident base snapshot and
+//! publishes a new generation without reloading a single partition.
+
+pub mod lake;
+pub mod overlay;
+pub mod wal;
+
+pub use lake::{
+    compact_lake, drop_tables, ingest_columns, CompactReport, DeltaLake, IngestColumn, IngestReport,
+};
+pub use overlay::{AnyOverlay, DeltaOverlay};
+pub use wal::{
+    append_records, check_header, delta_log_path, read_log, read_log_header, read_log_prefix,
+    remove_log, DeltaColumn, DeltaRecord, DeltaState, LogContents, LogHeader, LogStatus,
+    MAX_RECORD_BYTES,
+};

@@ -1,0 +1,896 @@
+//! The write-ahead delta log of a deployed lake.
+//!
+//! A deployment directory built by `build_lake_index` is immutable between
+//! re-indexes: `part_*.pex` files plus a versioned `manifest.txt`. The
+//! delta log (`delta.log`) is the one append-only file that grows between
+//! builds. It records every change since the base build — new columns with
+//! their embedded vectors, and drop-table tombstones — so that
+//!
+//! * an ingest is one cheap append instead of a full re-embed/re-partition,
+//! * a [`crate::DeltaLake`] (or a serving daemon) can replay the log into
+//!   an in-memory overlay and answer queries exactly as a full rebuild
+//!   would, and
+//! * compaction can fold the log into fresh base partitions and discard it.
+//!
+//! ## Format
+//!
+//! Everything is little-endian. The file opens with a checksummed header
+//! binding the log to one specific base build:
+//!
+//! ```text
+//! magic "PXDELTA1" · u32 format version · str metric · u32 dim ·
+//! u64 base_index_version · u64 fnv64(header bytes)
+//! ```
+//!
+//! followed by zero or more length-prefixed, individually checksummed
+//! records:
+//!
+//! ```text
+//! u32 payload_len · payload · u64 fnv64(payload)
+//! ```
+//!
+//! Per-record checksums make the failure mode of a torn append precise: a
+//! truncated or bit-flipped tail fails with a typed
+//! [`PexesoError::Corrupt`] naming the record, never a panic, and every
+//! record before the damage is still recovered by [`read_log`]'s strict
+//! sibling [`read_log_prefix`].
+//!
+//! `base_index_version` is the crash-safety hinge of compaction: the
+//! manifest version bump and the log deletion cannot be atomic together,
+//! so compaction bumps the manifest *first*. A log whose header names an
+//! older `index_version` than the manifest has therefore already been
+//! folded into the base and is stale — readers ignore (and may delete)
+//! it instead of double-applying its records.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use pexeso_core::column::ColumnSet;
+use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::outofcore::LakeManifest;
+
+const MAGIC: &[u8; 8] = b"PXDELTA1";
+const FORMAT_VERSION: u32 = 1;
+
+const REC_ADD_COLUMN: u8 = 1;
+const REC_DROP_TABLE: u8 = 2;
+
+/// Incremental FNV-1a 64, the same checksum the index files use.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf29ce484222325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.0
+}
+
+/// Location of the delta log inside a deployment directory.
+pub fn delta_log_path(dir: &Path) -> PathBuf {
+    dir.join("delta.log")
+}
+
+/// One entry of the delta log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaRecord {
+    /// A new column (one table's key column in the standard pipeline),
+    /// already embedded: ingest pays the embedding once, every replayer
+    /// gets the exact same `f32` bits a full rebuild would have produced.
+    AddColumn {
+        table_name: String,
+        column_name: String,
+        /// Caller-stable global id; must not collide with any base or
+        /// previously-logged column (ingest allocates from the manifest's
+        /// `next_external_id` high-water mark).
+        external_id: u64,
+        /// Row-major embedded vectors, `len = n · dim` with the header's
+        /// dim.
+        vectors: Vec<f32>,
+    },
+    /// Tombstone: every column of this table — in the base build and in
+    /// any *earlier* log record — is dead. A later `AddColumn` for the
+    /// same table name starts a fresh life (the base stays tombstoned;
+    /// only the re-added delta column is live).
+    DropTable { table_name: String },
+}
+
+/// The header binding a log to one base build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHeader {
+    pub format_version: u32,
+    /// Metric name of the base build; delta vectors are only meaningful
+    /// under the same metric.
+    pub metric: String,
+    /// Embedding dimensionality of every `AddColumn` record.
+    pub dim: u32,
+    /// `index_version` of the manifest this log applies on top of.
+    pub base_index_version: u64,
+}
+
+/// A fully-read delta log: header plus records in append order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogContents {
+    pub header: LogHeader,
+    pub records: Vec<DeltaRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| PexesoError::Corrupt("truncated delta record payload".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self, limit: u32) -> Result<String> {
+        let len = self.u32()?;
+        if len > limit {
+            return Err(PexesoError::Corrupt(format!(
+                "delta log string of {len} bytes exceeds limit {limit}"
+            )));
+        }
+        let bytes = self.bytes(len as usize)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| PexesoError::Corrupt(format!("delta log invalid utf-8: {e}")))
+    }
+    fn finish(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(PexesoError::Corrupt(format!(
+                "{} trailing bytes in delta record",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn encode_header(h: &LogHeader) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, h.format_version);
+    put_str(&mut out, &h.metric);
+    put_u32(&mut out, h.dim);
+    put_u64(&mut out, h.base_index_version);
+    let checksum = fnv64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Exact payload size [`encode_record`] will produce — computed without
+/// materializing the frame, so the write-side cap check costs nothing.
+fn record_payload_len(rec: &DeltaRecord) -> usize {
+    match rec {
+        DeltaRecord::AddColumn {
+            table_name,
+            column_name,
+            vectors,
+            ..
+        } => 1 + (4 + table_name.len()) + (4 + column_name.len()) + 8 + 4 + vectors.len() * 4,
+        DeltaRecord::DropTable { table_name } => 1 + 4 + table_name.len(),
+    }
+}
+
+fn encode_record(rec: &DeltaRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match rec {
+        DeltaRecord::AddColumn {
+            table_name,
+            column_name,
+            external_id,
+            vectors,
+        } => {
+            payload.push(REC_ADD_COLUMN);
+            put_str(&mut payload, table_name);
+            put_str(&mut payload, column_name);
+            put_u64(&mut payload, *external_id);
+            put_u32(&mut payload, vectors.len() as u32);
+            payload.reserve(vectors.len() * 4);
+            for v in vectors {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        DeltaRecord::DropTable { table_name } => {
+            payload.push(REC_DROP_TABLE);
+            put_str(&mut payload, table_name);
+        }
+    }
+    debug_assert_eq!(payload.len(), record_payload_len(rec));
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    put_u32(&mut out, payload.len() as u32);
+    let checksum = fnv64(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn decode_record(payload: &[u8], dim: u32) -> Result<DeltaRecord> {
+    let mut r = Cursor::new(payload);
+    let rec = match r.u8()? {
+        REC_ADD_COLUMN => {
+            let table_name = r.str(1 << 16)?;
+            let column_name = r.str(1 << 16)?;
+            let external_id = r.u64()?;
+            let n_floats = r.u32()? as usize;
+            if dim == 0 || !n_floats.is_multiple_of(dim as usize) {
+                return Err(PexesoError::Corrupt(format!(
+                    "delta record vector length {n_floats} is not a multiple of dim {dim}"
+                )));
+            }
+            let raw = r.bytes(n_floats.checked_mul(4).ok_or_else(|| {
+                PexesoError::Corrupt(format!("delta record vector length {n_floats} overflows"))
+            })?)?;
+            let vectors = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            DeltaRecord::AddColumn {
+                table_name,
+                column_name,
+                external_id,
+                vectors,
+            }
+        }
+        REC_DROP_TABLE => DeltaRecord::DropTable {
+            table_name: r.str(1 << 16)?,
+        },
+        t => {
+            return Err(PexesoError::Corrupt(format!(
+                "unknown delta record tag {t}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok(rec)
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Hard cap on one record, enforced on **both** sides: readers treat a
+/// larger length prefix as garbage framing, and [`append_records`]
+/// refuses to write a record it knows every reader would reject — an
+/// oversized ingest must fail the one request, not permanently brick
+/// the log behind an acknowledged append.
+pub const MAX_RECORD_BYTES: u32 = 256 << 20;
+
+fn read_exact_or(src: &mut impl Read, buf: &mut [u8], what: &str) -> Result<()> {
+    src.read_exact(buf)
+        .map_err(|e| PexesoError::Corrupt(format!("truncated delta log ({what}): {e}")))
+}
+
+fn read_header(src: &mut impl Read) -> Result<LogHeader> {
+    let mut hashed = Vec::new();
+    let mut take = |src: &mut dyn Read, n: usize| -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; n];
+        src.read_exact(&mut buf)
+            .map_err(|e| PexesoError::Corrupt(format!("truncated delta log (header): {e}")))?;
+        hashed.extend_from_slice(&buf);
+        Ok(buf)
+    };
+    let magic = take(src, 8)?;
+    if magic != MAGIC {
+        return Err(PexesoError::Corrupt("bad delta log magic".into()));
+    }
+    let format_version = u32::from_le_bytes(take(src, 4)?.try_into().unwrap());
+    if format_version != FORMAT_VERSION {
+        return Err(PexesoError::Corrupt(format!(
+            "unsupported delta log format version {format_version}"
+        )));
+    }
+    let metric_len = u32::from_le_bytes(take(src, 4)?.try_into().unwrap());
+    if metric_len > 64 {
+        return Err(PexesoError::Corrupt(format!(
+            "delta log metric name of {metric_len} bytes"
+        )));
+    }
+    let metric = String::from_utf8(take(src, metric_len as usize)?)
+        .map_err(|e| PexesoError::Corrupt(format!("delta log metric not utf-8: {e}")))?;
+    let dim = u32::from_le_bytes(take(src, 4)?.try_into().unwrap());
+    let base_index_version = u64::from_le_bytes(take(src, 8)?.try_into().unwrap());
+    #[allow(dropping_copy_types, clippy::drop_non_drop)]
+    drop(take); // end the closure's mutable borrow of `hashed`
+    let mut csum = [0u8; 8];
+    read_exact_or(src, &mut csum, "header checksum")?;
+    if u64::from_le_bytes(csum) != fnv64(&hashed) {
+        return Err(PexesoError::Corrupt(
+            "delta log header checksum mismatch".into(),
+        ));
+    }
+    if dim == 0 {
+        return Err(PexesoError::Corrupt(
+            "delta log dim must be positive".into(),
+        ));
+    }
+    Ok(LogHeader {
+        format_version,
+        metric,
+        dim,
+        base_index_version,
+    })
+}
+
+fn read_records(src: &mut impl Read, dim: u32) -> Result<Vec<DeltaRecord>> {
+    let mut records = Vec::new();
+    loop {
+        let mut len_bytes = [0u8; 4];
+        let mut got = 0;
+        while got < 4 {
+            match src.read(&mut len_bytes[got..]) {
+                Ok(0) if got == 0 => return Ok(records), // clean end of log
+                Ok(0) => {
+                    return Err(PexesoError::Corrupt(format!(
+                        "truncated delta log: eof inside record {} length",
+                        records.len()
+                    )))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(PexesoError::Io(e)),
+            }
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_RECORD_BYTES {
+            return Err(PexesoError::Corrupt(format!(
+                "delta record of {len} bytes exceeds cap {MAX_RECORD_BYTES}"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        read_exact_or(src, &mut payload, &format!("record {} body", records.len()))?;
+        let mut csum = [0u8; 8];
+        read_exact_or(
+            src,
+            &mut csum,
+            &format!("record {} checksum", records.len()),
+        )?;
+        if u64::from_le_bytes(csum) != fnv64(&payload) {
+            return Err(PexesoError::Corrupt(format!(
+                "delta record {} checksum mismatch",
+                records.len()
+            )));
+        }
+        records.push(decode_record(&payload, dim)?);
+    }
+}
+
+/// Read only `dir`'s delta log header — cheap (a few dozen bytes) no
+/// matter how large the log has grown. `Ok(None)` when no log exists.
+/// This is the validation [`append_records`] runs, so repeated ingests
+/// stay O(records appended), not O(log size).
+pub fn read_log_header(dir: &Path) -> Result<Option<LogHeader>> {
+    let path = delta_log_path(dir);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PexesoError::Io(e)),
+    };
+    let mut src = BufReader::new(file);
+    Ok(Some(read_header(&mut src)?))
+}
+
+/// Read `dir`'s delta log in full. `Ok(None)` when no log exists; a log
+/// that exists but is damaged anywhere — header or any record — is a
+/// typed [`PexesoError::Corrupt`] (strict mode: replayers must not
+/// silently serve a partial view of an ingest they cannot prove complete).
+pub fn read_log(dir: &Path) -> Result<Option<LogContents>> {
+    let path = delta_log_path(dir);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PexesoError::Io(e)),
+    };
+    let mut src = BufReader::new(file);
+    let header = read_header(&mut src)?;
+    let records = read_records(&mut src, header.dim)?;
+    Ok(Some(LogContents { header, records }))
+}
+
+/// Like [`read_log`] but salvage what a torn tail left: every record up to
+/// the first damage, plus whether the tail was damaged. The header must
+/// still be intact — a log that cannot even prove which build it belongs
+/// to is unusable. Recovery tooling uses this; query paths use the strict
+/// [`read_log`].
+pub fn read_log_prefix(dir: &Path) -> Result<Option<(LogContents, bool)>> {
+    let path = delta_log_path(dir);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PexesoError::Io(e)),
+    };
+    let mut src = BufReader::new(file);
+    let header = read_header(&mut src)?;
+    let mut records = Vec::new();
+    let damaged = loop {
+        match read_one(&mut src, header.dim) {
+            Ok(Some(rec)) => records.push(rec),
+            Ok(None) => break false,
+            Err(_) => break true,
+        }
+    };
+    Ok(Some((LogContents { header, records }, damaged)))
+}
+
+fn read_one(src: &mut impl Read, dim: u32) -> Result<Option<DeltaRecord>> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match src.read(&mut len_bytes[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(PexesoError::Corrupt("eof inside record length".into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(PexesoError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_RECORD_BYTES {
+        return Err(PexesoError::Corrupt("record length over cap".into()));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(src, &mut payload, "record body")?;
+    let mut csum = [0u8; 8];
+    read_exact_or(src, &mut csum, "record checksum")?;
+    if u64::from_le_bytes(csum) != fnv64(&payload) {
+        return Err(PexesoError::Corrupt("record checksum mismatch".into()));
+    }
+    Ok(Some(decode_record(&payload, dim)?))
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Validate that an existing log belongs to `manifest`'s build. A log
+/// whose `base_index_version` is *older* than the manifest has been
+/// compacted into the base already (the crash window between the manifest
+/// bump and the log deletion): the caller should treat it as absent. A
+/// *newer* version — or a metric/dim mismatch — means directories were
+/// mixed up, which is corruption, not staleness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogStatus {
+    /// Header matches the manifest; records apply.
+    Current,
+    /// Log predates the manifest's build: already folded in, ignore it.
+    Stale,
+}
+
+pub fn check_header(header: &LogHeader, manifest: &LakeManifest) -> Result<LogStatus> {
+    if header.metric != manifest.metric {
+        return Err(PexesoError::Corrupt(format!(
+            "delta log metric '{}' does not match manifest metric '{}'",
+            header.metric, manifest.metric
+        )));
+    }
+    if header.dim as usize != manifest.dim {
+        return Err(PexesoError::Corrupt(format!(
+            "delta log dim {} does not match manifest dim {}",
+            header.dim, manifest.dim
+        )));
+    }
+    match header.base_index_version.cmp(&manifest.index_version) {
+        std::cmp::Ordering::Equal => Ok(LogStatus::Current),
+        std::cmp::Ordering::Less => Ok(LogStatus::Stale),
+        std::cmp::Ordering::Greater => Err(PexesoError::Corrupt(format!(
+            "delta log names base build {} but the manifest is at {} — \
+             the log belongs to a different deployment",
+            header.base_index_version, manifest.index_version
+        ))),
+    }
+}
+
+/// Append `records` to `dir`'s delta log, creating the log (with a header
+/// stamped from `manifest`) when none exists. An existing log's *header*
+/// is validated first (cheap — the body is the reader's job, and the
+/// ingest path strict-reads it under the same maintenance lock anyway):
+/// appending to a stale or foreign log is refused, and so is any record
+/// larger than [`MAX_RECORD_BYTES`] — acknowledging a record every
+/// reader would reject would brick the log. Appends are flushed and
+/// fsynced before returning — an acknowledged ingest survives a crash.
+pub fn append_records(dir: &Path, manifest: &LakeManifest, records: &[DeltaRecord]) -> Result<()> {
+    let path = delta_log_path(dir);
+    let existing = match read_log_header(dir)? {
+        Some(header) => match check_header(&header, manifest)? {
+            LogStatus::Current => true,
+            LogStatus::Stale => {
+                return Err(PexesoError::InvalidParameter(format!(
+                    "delta log is stale (base build {} vs manifest {}); \
+                     remove it or re-open the lake before ingesting",
+                    header.base_index_version, manifest.index_version
+                )))
+            }
+        },
+        None => false,
+    };
+    for (i, rec) in records.iter().enumerate() {
+        let payload_len = record_payload_len(rec);
+        if payload_len > MAX_RECORD_BYTES as usize {
+            return Err(PexesoError::InvalidParameter(format!(
+                "delta record {i} is {payload_len} bytes, over the \
+                 {MAX_RECORD_BYTES}-byte record cap; ingest smaller batches \
+                 (or rebuild the deployment for bulk loads)"
+            )));
+        }
+    }
+    let encoded: Vec<Vec<u8>> = records.iter().map(encode_record).collect();
+    let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+    if !existing {
+        // A fresh log: the file may still hold garbage from a failed
+        // previous creation (read_log_header above would have errored and
+        // we would not be here) — truncate defensively before the header.
+        file.set_len(0)?;
+        file.seek(SeekFrom::End(0))?;
+        file.write_all(&encode_header(&LogHeader {
+            format_version: FORMAT_VERSION,
+            metric: manifest.metric.clone(),
+            dim: manifest.dim as u32,
+            base_index_version: manifest.index_version,
+        }))?;
+    }
+    let mut w = BufWriter::new(&mut file);
+    for frame in &encoded {
+        w.write_all(frame)?;
+    }
+    w.flush()?;
+    drop(w);
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Delete `dir`'s delta log (the final step of compaction). Missing log
+/// is fine — deletion is idempotent.
+pub fn remove_log(dir: &Path) -> Result<()> {
+    match std::fs::remove_file(delta_log_path(dir)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(PexesoError::Io(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// One live delta column after replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaColumn {
+    pub table_name: String,
+    pub column_name: String,
+    pub external_id: u64,
+    pub vectors: Vec<f32>,
+}
+
+/// The net effect of a delta log: replaying the records in order is a
+/// pure function of the log, so replaying twice (or re-reading the file)
+/// always lands on the same state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaState {
+    /// Columns added and not subsequently dropped, in first-add order.
+    pub live: Vec<DeltaColumn>,
+    /// Every table name ever dropped. The base build's columns under
+    /// these names are dead; delta columns re-added *after* the drop are
+    /// live (they sit in `live`).
+    pub dropped_tables: HashSet<String>,
+    /// Records replayed (for operator counters).
+    pub n_records: usize,
+}
+
+impl DeltaState {
+    /// Replay records in order. A `DropTable` kills every earlier
+    /// `AddColumn` of that table and tombstones the base; a later re-add
+    /// of the same table name is live again.
+    pub fn replay(records: &[DeltaRecord]) -> Self {
+        let mut state = DeltaState {
+            n_records: records.len(),
+            ..Default::default()
+        };
+        for rec in records {
+            match rec {
+                DeltaRecord::AddColumn {
+                    table_name,
+                    column_name,
+                    external_id,
+                    vectors,
+                } => state.live.push(DeltaColumn {
+                    table_name: table_name.clone(),
+                    column_name: column_name.clone(),
+                    external_id: *external_id,
+                    vectors: vectors.clone(),
+                }),
+                DeltaRecord::DropTable { table_name } => {
+                    state.live.retain(|c| &c.table_name != table_name);
+                    state.dropped_tables.insert(table_name.clone());
+                }
+            }
+        }
+        state
+    }
+
+    /// Highest external id any record (live or since dropped) ever used,
+    /// plus one — combined with the manifest's `next_external_id` this is
+    /// the allocation high-water mark for the next ingest. Dropped
+    /// records still count: their ids must never be reused while the
+    /// tombstone lives in the log.
+    pub fn next_external_id_after(records: &[DeltaRecord], base_next: u64) -> u64 {
+        records
+            .iter()
+            .filter_map(|r| match r {
+                DeltaRecord::AddColumn { external_id, .. } => Some(external_id + 1),
+                DeltaRecord::DropTable { .. } => None,
+            })
+            .fold(base_next, u64::max)
+    }
+
+    /// The live delta columns as a [`ColumnSet`] ready for an in-memory
+    /// index build; `None` when no delta column is live.
+    pub fn to_column_set(&self, dim: usize) -> Result<Option<ColumnSet>> {
+        if self.live.is_empty() {
+            return Ok(None);
+        }
+        let mut columns = ColumnSet::new(dim);
+        for col in &self.live {
+            if dim == 0 || col.vectors.len() % dim != 0 {
+                return Err(PexesoError::Corrupt(format!(
+                    "delta column '{}' holds {} floats, not a multiple of dim {dim}",
+                    col.table_name,
+                    col.vectors.len()
+                )));
+            }
+            columns.add_column(
+                &col.table_name,
+                &col.column_name,
+                col.external_id,
+                col.vectors.chunks_exact(dim),
+            )?;
+        }
+        Ok(Some(columns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(version: u64) -> LakeManifest {
+        let mut m = LakeManifest::new("hash", 4);
+        m.index_version = version;
+        m.next_external_id = 10;
+        m
+    }
+
+    fn add(table: &str, id: u64) -> DeltaRecord {
+        DeltaRecord::AddColumn {
+            table_name: table.to_string(),
+            column_name: "key".to_string(),
+            external_id: id,
+            vectors: vec![0.5, 0.5, 0.5, 0.5, 0.1, 0.2, 0.3, 0.4],
+        }
+    }
+
+    fn drop_t(table: &str) -> DeltaRecord {
+        DeltaRecord::DropTable {
+            table_name: table.to_string(),
+        }
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pexeso_wal_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_append_accumulate() {
+        let dir = tempdir("roundtrip");
+        let m = manifest(1);
+        assert!(read_log(&dir).unwrap().is_none());
+        append_records(&dir, &m, &[add("t1", 10), add("t2", 11)]).unwrap();
+        append_records(&dir, &m, &[drop_t("t1")]).unwrap();
+        let log = read_log(&dir).unwrap().unwrap();
+        assert_eq!(log.header.base_index_version, 1);
+        assert_eq!(log.header.dim, 4);
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(log.records[2], drop_t("t1"));
+        // Replaying is a pure function: twice gives the same state.
+        let s1 = DeltaState::replay(&log.records);
+        let s2 = DeltaState::replay(&log.records);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.live.len(), 1);
+        assert_eq!(s1.live[0].table_name, "t2");
+        assert!(s1.dropped_tables.contains("t1"));
+        assert_eq!(DeltaState::next_external_id_after(&log.records, 10), 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_then_readd_revives_only_the_new_column() {
+        let recs = vec![add("t", 10), drop_t("t"), add("t", 11)];
+        let s = DeltaState::replay(&recs);
+        assert_eq!(s.live.len(), 1);
+        assert_eq!(s.live[0].external_id, 11);
+        assert!(s.dropped_tables.contains("t"));
+    }
+
+    #[test]
+    fn truncated_tail_fails_typed_and_prefix_recovers() {
+        let dir = tempdir("trunc");
+        let m = manifest(1);
+        append_records(&dir, &m, &[add("t1", 10), add("t2", 11)]).unwrap();
+        let clean = std::fs::read(delta_log_path(&dir)).unwrap();
+        for cut in [1usize, 8, 20, clean.len() - 1] {
+            std::fs::write(delta_log_path(&dir), &clean[..clean.len() - cut]).unwrap();
+            match read_log(&dir) {
+                Err(PexesoError::Corrupt(_)) => {}
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // A torn tail that only damages the last record still yields the
+        // first record through the salvage reader.
+        std::fs::write(delta_log_path(&dir), &clean[..clean.len() - 3]).unwrap();
+        let (salvaged, damaged) = read_log_prefix(&dir).unwrap().unwrap();
+        assert!(damaged);
+        assert_eq!(salvaged.records, vec![add("t1", 10)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_fail_typed_everywhere() {
+        let dir = tempdir("flip");
+        let m = manifest(1);
+        append_records(&dir, &m, &[add("t1", 10), drop_t("t1")]).unwrap();
+        let clean = std::fs::read(delta_log_path(&dir)).unwrap();
+        for pos in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x40;
+            std::fs::write(delta_log_path(&dir), &bytes).unwrap();
+            match read_log(&dir) {
+                Err(PexesoError::Corrupt(_)) => {}
+                Err(other) => panic!("byte {pos}: untyped error {other:?}"),
+                Ok(_) => panic!("byte {pos}: corrupted log read back cleanly"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_and_foreign_logs_detected() {
+        let dir = tempdir("stale");
+        append_records(&dir, &manifest(1), &[add("t1", 10)]).unwrap();
+        let log = read_log(&dir).unwrap().unwrap();
+        // Same build: current. Newer manifest: stale. Older manifest:
+        // corruption (a log from the future).
+        assert_eq!(
+            check_header(&log.header, &manifest(1)).unwrap(),
+            LogStatus::Current
+        );
+        assert_eq!(
+            check_header(&log.header, &manifest(2)).unwrap(),
+            LogStatus::Stale
+        );
+        assert!(check_header(&log.header, &{
+            let mut m = manifest(1);
+            m.index_version = 0;
+            m
+        })
+        .is_err());
+        // Metric / dim mismatches are corruption, not staleness.
+        let mut m = manifest(1);
+        m.metric = "manhattan".into();
+        assert!(check_header(&log.header, &m).is_err());
+        let mut m = manifest(1);
+        m.dim = 8;
+        assert!(check_header(&log.header, &m).is_err());
+        // Appending to a stale log is refused.
+        assert!(append_records(&dir, &manifest(2), &[add("t2", 11)]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_log_is_idempotent() {
+        let dir = tempdir("rm");
+        remove_log(&dir).unwrap();
+        append_records(&dir, &manifest(1), &[add("t", 10)]).unwrap();
+        remove_log(&dir).unwrap();
+        assert!(read_log(&dir).unwrap().is_none());
+        remove_log(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_only_read_matches_full_read() {
+        let dir = tempdir("hdr");
+        assert!(read_log_header(&dir).unwrap().is_none());
+        append_records(&dir, &manifest(3), &[add("t", 10)]).unwrap();
+        let header = read_log_header(&dir).unwrap().unwrap();
+        assert_eq!(header, read_log(&dir).unwrap().unwrap().header);
+        assert_eq!(header.base_index_version, 3);
+        // A damaged header fails typed from the cheap reader too.
+        let clean = std::fs::read(delta_log_path(&dir)).unwrap();
+        let mut bad = clean.clone();
+        bad[10] ^= 0x10;
+        std::fs::write(delta_log_path(&dir), &bad).unwrap();
+        assert!(matches!(
+            read_log_header(&dir),
+            Err(PexesoError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_records_are_refused_before_the_write() {
+        let dir = tempdir("cap");
+        let m = manifest(1);
+        append_records(&dir, &m, &[add("ok", 10)]).unwrap();
+        // One float over the cap: (cap payload − framing) / 4 floats,
+        // rounded up past the boundary, in multiples of dim.
+        let floats = (MAX_RECORD_BYTES as usize / 4 + 4) / 4 * 4;
+        let giant = DeltaRecord::AddColumn {
+            table_name: "giant".into(),
+            column_name: "key".into(),
+            external_id: 11,
+            vectors: vec![0.1f32; floats],
+        };
+        match append_records(&dir, &m, &[giant]) {
+            Err(PexesoError::InvalidParameter(msg)) => {
+                assert!(msg.contains("record cap"), "{msg}")
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+        // The refused append must not have touched the log: the earlier
+        // record still reads back cleanly.
+        let log = read_log(&dir).unwrap().unwrap();
+        assert_eq!(log.records, vec![add("ok", 10)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

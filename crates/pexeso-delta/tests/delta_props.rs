@@ -1,0 +1,261 @@
+//! Property tests for the delta log and the overlay's exactness.
+//!
+//! * Replaying the log is idempotent: reading and replaying twice gives
+//!   the same state, and two `DeltaLake` opens answer identically.
+//! * Arbitrary add/drop interleavings produce the same answers as a
+//!   fresh build over the final live table set (the rebuild oracle) —
+//!   threshold and top-k, both execution policies.
+//! * Truncated or bit-flipped log tails fail with a typed
+//!   [`PexesoError::Corrupt`], never a panic, and never read back
+//!   cleanly.
+
+use std::path::PathBuf;
+
+use pexeso_core::column::ColumnSet;
+use pexeso_core::config::{ExecPolicy, IndexOptions, JoinThreshold, PivotSelection, Tau};
+use pexeso_core::error::PexesoError;
+use pexeso_core::metric::Euclidean;
+use pexeso_core::outofcore::{LakeManifest, PartitionedLake};
+use pexeso_core::partition::PartitionConfig;
+use pexeso_core::query::{Query, Queryable};
+use pexeso_core::vector::VectorStore;
+use pexeso_delta::{
+    delta_log_path, drop_tables, ingest_columns, read_log, DeltaLake, DeltaState, IngestColumn,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 6;
+
+fn unit(rng: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+fn column_floats(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).flat_map(|_| unit(rng)).collect()
+}
+
+fn index_options() -> IndexOptions {
+    IndexOptions {
+        num_pivots: 3,
+        levels: Some(3),
+        pivot_selection: PivotSelection::Pca,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pexeso_delta_props_{tag}_{}_{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deploy a base lake of `n_base` one-column tables named `b<i>` with
+/// external ids `0..n_base`, writing the manifest the pipeline would.
+fn deploy_base(dir: &std::path::Path, n_base: usize, seed: u64) -> ColumnSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut columns = ColumnSet::new(DIM);
+    for c in 0..n_base {
+        let floats = column_floats(&mut rng, 8);
+        columns
+            .add_column(&format!("b{c}"), "key", c as u64, floats.chunks_exact(DIM))
+            .unwrap();
+    }
+    PartitionedLake::build(
+        &columns,
+        Euclidean,
+        &PartitionConfig {
+            k: 2,
+            ..Default::default()
+        },
+        &index_options(),
+        dir,
+    )
+    .unwrap();
+    let mut manifest = LakeManifest::new("hash", DIM);
+    manifest.next_external_id = n_base as u64;
+    manifest.write(dir).unwrap();
+    columns
+}
+
+fn query_store(seed: u64, n: usize) -> VectorStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut q = VectorStore::new(DIM);
+    for _ in 0..n {
+        q.push(&unit(&mut rng)).unwrap();
+    }
+    q
+}
+
+/// Compare two backends across threshold and top-k queries under both
+/// policies; hit lists must be byte-identical.
+fn assert_same_answers(a: &dyn Queryable, b: &dyn Queryable, q: &VectorStore, tag: &str) {
+    for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 3 }] {
+        for (tau, t) in [
+            (Tau::Ratio(0.15), JoinThreshold::Count(1)),
+            (Tau::Ratio(0.3), JoinThreshold::Ratio(0.3)),
+        ] {
+            let query = Query::threshold(tau, t).with_policy(policy);
+            let ra = a.execute(&query, q).unwrap();
+            let rb = b.execute(&query, q).unwrap();
+            assert_eq!(
+                ra.hits, rb.hits,
+                "{tag}: threshold {tau:?}/{t:?}/{policy:?}"
+            );
+        }
+        for k in [1usize, 2, 5, 100] {
+            let query = Query::topk(Tau::Ratio(0.3), k).with_policy(policy);
+            let ra = a.execute(&query, q).unwrap();
+            let rb = b.execute(&query, q).unwrap();
+            assert_eq!(ra.hits, rb.hits, "{tag}: topk k={k}/{policy:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The central exactness property: after an arbitrary interleaving of
+    /// ingests and drops, the `DeltaLake` answers exactly like a fresh
+    /// deployment built over the final live table set — and replaying the
+    /// log twice (two opens) is idempotent.
+    #[test]
+    fn interleavings_match_final_state_rebuild(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec((0u8..10, 0usize..8, 2usize..6), 1..10),
+    ) {
+        let dir = tempdir("mix");
+        let base_columns = deploy_base(&dir, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        // Names span base tables (b0..b3) and delta tables (d0..d3) so
+        // drops can hit the base, earlier ingests, or nothing at all.
+        let name = |i: usize| if i < 4 { format!("b{i}") } else { format!("d{}", i - 4) };
+        for (op, target, len) in ops {
+            if op < 6 {
+                // Ingest one column under the chosen table name (re-adds
+                // of dropped tables included).
+                let col = IngestColumn {
+                    table_name: name(target),
+                    column_name: "key".into(),
+                    vectors: column_floats(&mut rng, len),
+                };
+                ingest_columns(&dir, &[col]).unwrap();
+            } else {
+                drop_tables(&dir, &[name(target)]).unwrap();
+            }
+        }
+
+        // Rebuild oracle: the final live set, same external ids, fresh
+        // deployment in a second directory.
+        let log = read_log(&dir).unwrap().unwrap();
+        let state = DeltaState::replay(&log.records);
+        let mut live: Vec<(u64, String, String, Vec<f32>)> = Vec::new();
+        for meta in base_columns.columns() {
+            if state.dropped_tables.contains(&meta.table_name) {
+                continue;
+            }
+            let mut floats = Vec::new();
+            for v in meta.vector_range() {
+                floats.extend_from_slice(base_columns.store().get_raw(v as usize));
+            }
+            live.push((meta.external_id, meta.table_name.clone(), meta.column_name.clone(), floats));
+        }
+        for col in &state.live {
+            live.push((col.external_id, col.table_name.clone(), col.column_name.clone(), col.vectors.clone()));
+        }
+        live.sort_by_key(|(id, ..)| *id);
+        prop_assume!(!live.is_empty()); // everything dropped: nothing to compare
+
+        let rebuild_dir = tempdir("rebuild");
+        let mut columns = ColumnSet::new(DIM);
+        for (id, table, column, floats) in &live {
+            columns.add_column(table, column, *id, floats.chunks_exact(DIM)).unwrap();
+        }
+        let rebuilt = PartitionedLake::build(
+            &columns,
+            Euclidean,
+            &PartitionConfig { k: 2, ..Default::default() },
+            &index_options(),
+            &rebuild_dir,
+        ).unwrap();
+
+        let delta_lake = DeltaLake::open(&dir).unwrap();
+        let q = query_store(seed ^ 0xbeef, 5);
+        assert_same_answers(&delta_lake, &rebuilt, &q, "delta vs rebuild");
+
+        // Idempotent replay: a second open answers identically.
+        let again = DeltaLake::open(&dir).unwrap();
+        assert_same_answers(&delta_lake, &again, &q, "open twice");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&rebuild_dir).ok();
+    }
+
+    /// Damage anywhere in the log tail — truncation or a bit flip at a
+    /// random position — must surface as a typed `Corrupt` error from the
+    /// strict reader, never a panic and never a clean read.
+    #[test]
+    fn damaged_tails_fail_typed(
+        seed in 0u64..1_000_000,
+        n_records in 1usize..6,
+        cut in 1usize..200,
+        flip_pos in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        let dir = tempdir("damage");
+        deploy_base(&dir, 2, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n_records {
+            if i % 3 == 2 {
+                drop_tables(&dir, &[format!("b{}", i % 2)]).unwrap();
+            } else {
+                ingest_columns(&dir, &[IngestColumn {
+                    table_name: format!("d{i}"),
+                    column_name: "key".into(),
+                    vectors: column_floats(&mut rng, 3),
+                }]).unwrap();
+            }
+        }
+        let clean = std::fs::read(delta_log_path(&dir)).unwrap();
+        prop_assert!(read_log(&dir).unwrap().is_some());
+
+        // Truncation.
+        let keep = clean.len().saturating_sub(cut % clean.len()).max(1);
+        if keep < clean.len() {
+            std::fs::write(delta_log_path(&dir), &clean[..keep]).unwrap();
+            match read_log(&dir) {
+                Err(PexesoError::Corrupt(_)) => {}
+                other => panic!("truncated at {keep}/{}: {other:?}", clean.len()),
+            }
+            // The damaged log also refuses to open as a lake (typed).
+            match DeltaLake::open(&dir) {
+                Err(PexesoError::Corrupt(_)) => {}
+                other => panic!("DeltaLake::open on truncated log: {:?}", other.map(|_| ())),
+            }
+        }
+
+        // Bit flip.
+        let pos = flip_pos % clean.len();
+        let mut flipped = clean.clone();
+        flipped[pos] ^= 1 << flip_bit;
+        std::fs::write(delta_log_path(&dir), &flipped).unwrap();
+        match read_log(&dir) {
+            Err(PexesoError::Corrupt(_)) => {}
+            Err(other) => panic!("flip at {pos}: untyped error {other:?}"),
+            Ok(_) => panic!("flip at {pos}: corrupted log read back cleanly"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -274,6 +274,20 @@ impl ServeClient {
         }
     }
 
+    /// Publish a new generation from the served directory's delta log
+    /// without reloading the base snapshot (the V3 live-ingest verb).
+    /// Returns (new generation, live delta columns, tombstoned tables).
+    pub fn apply_delta(&self) -> ClientResult<(u64, u64, u64)> {
+        match self.roundtrip(&Request::ApplyDelta)? {
+            Reply::Applied {
+                generation,
+                delta_columns,
+                tombstones,
+            } => Ok((generation, delta_columns, tombstones)),
+            other => Err(unexpected("APPLY", &other)),
+        }
+    }
+
     /// Hot-swap the served snapshot; `dir = None` re-opens the current
     /// directory. Returns (new generation, partition count).
     pub fn reload(&self, dir: Option<&Path>) -> ClientResult<(u64, u32)> {

@@ -13,6 +13,10 @@
 //!   versioned-manifest reload path: `RELOAD` re-opens the deployment
 //!   directory and atomically publishes it under live traffic with zero
 //!   dropped queries (in-flight requests finish on the old snapshot);
+//!   snapshots also carry the deployment's replayed delta log
+//!   (`pexeso-delta`), and the V3 `APPLY` verb publishes a fresh overlay
+//!   over the *shared resident base* — live ingest without reloading a
+//!   single partition;
 //! * [`cache`] — a sharded LRU result cache keyed on (query fingerprint,
 //!   τ, T/k, metric, snapshot generation), invalidated wholesale on swap;
 //! * [`server`] — a fixed worker pool over a bounded connection queue,
@@ -38,7 +42,7 @@ pub mod snapshot;
 
 pub use cache::{CacheStats, LruCache, ShardedCache};
 pub use client::{query_payload, wire_request, ClientError, RemoteMeta, ServeClient};
-pub use metrics::{stat_value, ServerMetrics};
+pub use metrics::{stat_value, ServerMetrics, SnapshotFacts};
 pub use protocol::{
     HitsExt, HitsReply, InfoReply, QueryExt, QueryPayload, Reply, Request, WireHit,
 };

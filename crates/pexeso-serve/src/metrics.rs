@@ -94,10 +94,13 @@ pub struct ServerMetrics {
     pub info: EndpointMetrics,
     pub stats: EndpointMetrics,
     pub reload: EndpointMetrics,
+    pub apply: EndpointMetrics,
     /// Connections rejected with a BUSY reply (queue full).
     pub busy_rejections: AtomicU64,
     /// Completed hot swaps.
     pub swaps: AtomicU64,
+    /// Completed delta applies (live-ingest publishes).
+    pub applies: AtomicU64,
     /// Cumulative exact distance computations spent in the verify stage
     /// across all served (uncached) queries — flat between repeats of a
     /// cached query, which is how the tests prove a cache hit skipped the
@@ -114,31 +117,45 @@ impl Default for ServerMetrics {
             info: EndpointMetrics::default(),
             stats: EndpointMetrics::default(),
             reload: EndpointMetrics::default(),
+            apply: EndpointMetrics::default(),
             busy_rejections: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            applies: AtomicU64::new(0),
             distance_computations: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
 }
 
+/// The served-snapshot facts rendered into STATS alongside the counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotFacts {
+    pub generation: u64,
+    pub index_version: u64,
+    pub partitions: usize,
+    pub dim: usize,
+    /// Live columns ingested since the base build.
+    pub delta_columns: usize,
+    /// Tables tombstoned since the base build.
+    pub delta_tombstones: usize,
+    /// Records in the replayed delta log.
+    pub delta_records: usize,
+}
+
 impl ServerMetrics {
     /// Render every counter as `key=value` lines (the `STATS` reply body).
-    pub fn render(
-        &self,
-        cache: &CacheStats,
-        generation: u64,
-        index_version: u64,
-        partitions: usize,
-        dim: usize,
-    ) -> String {
+    pub fn render(&self, cache: &CacheStats, snap: &SnapshotFacts) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(1024);
         let _ = writeln!(out, "uptime_us={}", self.started.elapsed().as_micros());
-        let _ = writeln!(out, "snapshot.generation={generation}");
-        let _ = writeln!(out, "snapshot.index_version={index_version}");
-        let _ = writeln!(out, "snapshot.partitions={partitions}");
-        let _ = writeln!(out, "snapshot.dim={dim}");
+        let _ = writeln!(out, "snapshot.generation={}", snap.generation);
+        let _ = writeln!(out, "snapshot.index_version={}", snap.index_version);
+        let _ = writeln!(out, "snapshot.partitions={}", snap.partitions);
+        let _ = writeln!(out, "snapshot.dim={}", snap.dim);
+        let _ = writeln!(out, "delta.columns={}", snap.delta_columns);
+        let _ = writeln!(out, "delta.tombstones={}", snap.delta_tombstones);
+        let _ = writeln!(out, "delta.records={}", snap.delta_records);
+        let _ = writeln!(out, "applies={}", self.applies.load(Ordering::Relaxed));
         let _ = writeln!(out, "swaps={}", self.swaps.load(Ordering::Relaxed));
         let _ = writeln!(
             out,
@@ -163,6 +180,7 @@ impl ServerMetrics {
             ("info", &self.info),
             ("stats", &self.stats),
             ("reload", &self.reload),
+            ("apply", &self.apply),
         ] {
             let (p50, p99) = ep.latency_quantiles_us();
             let _ = writeln!(
@@ -240,9 +258,24 @@ mod tests {
             shards: 4,
             ..Default::default()
         };
-        let text = m.render(&cache, 2, 5, 3, 64);
+        let text = m.render(
+            &cache,
+            &SnapshotFacts {
+                generation: 2,
+                index_version: 5,
+                partitions: 3,
+                dim: 64,
+                delta_columns: 4,
+                delta_tombstones: 1,
+                delta_records: 6,
+            },
+        );
         assert_eq!(stat_value(&text, "snapshot.generation"), Some(2.0));
         assert_eq!(stat_value(&text, "snapshot.index_version"), Some(5.0));
+        assert_eq!(stat_value(&text, "delta.columns"), Some(4.0));
+        assert_eq!(stat_value(&text, "delta.tombstones"), Some(1.0));
+        assert_eq!(stat_value(&text, "delta.records"), Some(6.0));
+        assert_eq!(stat_value(&text, "applies"), Some(0.0));
         assert_eq!(stat_value(&text, "cache.hits"), Some(7.0));
         assert_eq!(stat_value(&text, "busy_rejections"), Some(3.0));
         assert_eq!(stat_value(&text, "search.requests"), Some(1.0));

@@ -23,9 +23,15 @@ use pexeso_core::query::{Exceeded, QueryOutcome};
 pub const MAGIC: &[u8; 4] = b"PXSV";
 /// Current protocol version. Version 2 adds the optional per-query
 /// options/budget extension to `SEARCH`/`TOPK` requests and the extended
-/// `HITS` reply; version-1 frames (no extension) are still accepted, so
-/// old clients keep working unchanged.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// `HITS` reply; version 3 adds the `APPLY` verb (publish a new serve
+/// generation from the deployment's delta log without reloading the base
+/// snapshot). Frames are stamped with the lowest version that can carry
+/// them — extension-less queries stay V1 and extended queries V2, so
+/// every pre-delta server and client keeps interoperating; only `APPLY`
+/// frames are V3.
+pub const PROTOCOL_VERSION: u8 = 3;
+/// Version that introduced the query options/budget extension.
+pub const QUERY_EXT_VERSION: u8 = 2;
 /// Oldest request version the server still parses.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
 /// Hard cap on a single frame; anything larger is treated as garbage
@@ -38,6 +44,7 @@ const VERB_TOPK: u8 = 2;
 const VERB_STATS: u8 = 3;
 const VERB_RELOAD: u8 = 4;
 const VERB_SHUTDOWN: u8 = 5;
+const VERB_APPLY: u8 = 6;
 
 const REPLY_INFO: u8 = 0;
 const REPLY_HITS: u8 = 1;
@@ -47,6 +54,9 @@ const REPLY_SHUTTING_DOWN: u8 = 4;
 /// V2 `HITS` reply carrying the outcome/stats extension. Only ever sent
 /// in answer to a V2 request, so V1 clients never see this kind byte.
 const REPLY_HITS_V2: u8 = 5;
+/// Reply to the V3 `APPLY` verb; never sent to older clients (they
+/// cannot encode the request).
+const REPLY_APPLIED: u8 = 6;
 const REPLY_BUSY: u8 = 250;
 const REPLY_ERR: u8 = 251;
 
@@ -150,6 +160,12 @@ pub enum Request {
     /// directory (`None` = the currently served one) and bump the
     /// generation. In-flight queries finish on the old snapshot.
     Reload { dir: Option<String> },
+    /// V3: replay the served directory's delta log over the *already
+    /// resident* base snapshot and publish the result as a new
+    /// generation — live ingest without reloading a single partition.
+    /// Falls back to a full reload only if the base build itself changed
+    /// underneath the daemon.
+    ApplyDelta,
     /// Stop accepting connections and exit once in-flight work drains.
     Shutdown,
 }
@@ -220,6 +236,13 @@ pub enum Reply {
     Reloaded {
         generation: u64,
         partitions: u32,
+    },
+    /// Reply to [`Request::ApplyDelta`]: the new generation plus the
+    /// overlay shape it serves.
+    Applied {
+        generation: u64,
+        delta_columns: u64,
+        tombstones: u64,
     },
     ShuttingDown,
     /// Explicit backpressure: worker pool and request queue are full.
@@ -550,17 +573,20 @@ fn take_outcome(r: &mut ByteReader) -> WireResult<QueryOutcome> {
 // Request / reply codecs
 // ---------------------------------------------------------------------------
 
-/// Encode a request into a frame payload. Query verbs carrying the V2
-/// extension are stamped version 2 (the V1 byte layout is a strict prefix
-/// of the V2 one); everything else — including extension-less query
-/// frames — stays version 1, so an un-upgraded server keeps answering.
+/// Encode a request into a frame payload. Every frame is stamped with
+/// the lowest protocol version able to carry it: query verbs with the
+/// options/budget extension are version 2 (the V1 byte layout is a
+/// strict prefix of the V2 one), `APPLY` is version 3, and everything
+/// else — including extension-less query frames — stays version 1, so an
+/// un-upgraded server keeps answering everything it can.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.0.extend_from_slice(MAGIC);
     let version = match req {
         Request::Search { query, .. } | Request::Topk { query, .. } if query.ext.is_some() => {
-            PROTOCOL_VERSION
+            QUERY_EXT_VERSION
         }
+        Request::ApplyDelta => PROTOCOL_VERSION,
         _ => MIN_PROTOCOL_VERSION,
     };
     w.u8(version);
@@ -587,6 +613,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u8(VERB_RELOAD);
             w.str(dir.as_deref().unwrap_or(""));
         }
+        Request::ApplyDelta => w.u8(VERB_APPLY),
         Request::Shutdown => w.u8(VERB_SHUTDOWN),
     }
     w.0
@@ -631,6 +658,16 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
             Request::Reload {
                 dir: if dir.is_empty() { None } else { Some(dir) },
             }
+        }
+        VERB_APPLY => {
+            // Version-gated: an APPLY can only arrive in a frame that
+            // promises V3 semantics; in an older frame the byte is junk.
+            if version < 3 {
+                return Err(WireError::Malformed(format!(
+                    "APPLY verb requires protocol version 3, frame is version {version}"
+                )));
+            }
+            Request::ApplyDelta
         }
         VERB_SHUTDOWN => Request::Shutdown,
         v => return Err(WireError::Malformed(format!("unknown verb {v}"))),
@@ -685,6 +722,16 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.u8(REPLY_RELOADED);
             w.u64(*generation);
             w.u32(*partitions);
+        }
+        Reply::Applied {
+            generation,
+            delta_columns,
+            tombstones,
+        } => {
+            w.u8(REPLY_APPLIED);
+            w.u64(*generation);
+            w.u64(*delta_columns);
+            w.u64(*tombstones);
         }
         Reply::ShuttingDown => w.u8(REPLY_SHUTTING_DOWN),
         Reply::Busy => w.u8(REPLY_BUSY),
@@ -741,6 +788,11 @@ pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
         REPLY_RELOADED => Reply::Reloaded {
             generation: r.u64()?,
             partitions: r.u32()?,
+        },
+        REPLY_APPLIED => Reply::Applied {
+            generation: r.u64()?,
+            delta_columns: r.u64()?,
+            tombstones: r.u64()?,
         },
         REPLY_SHUTTING_DOWN => Reply::ShuttingDown,
         REPLY_BUSY => Reply::Busy,
@@ -860,6 +912,7 @@ mod tests {
             Request::Reload {
                 dir: Some("/tmp/idx".into()),
             },
+            Request::ApplyDelta,
             Request::Shutdown,
         ];
         for req in &requests {
@@ -886,7 +939,7 @@ mod tests {
             },
             t: JoinThreshold::Count(3),
         });
-        assert_eq!(v2[4], PROTOCOL_VERSION);
+        assert_eq!(v2[4], QUERY_EXT_VERSION);
         assert_eq!(&v2[5..v1.len()], &v1[5..], "V1 layout must be a prefix");
         // Truncating the extension off a V2 frame is malformed (the
         // version byte promises it), while the V1 frame stands alone.
@@ -894,6 +947,20 @@ mod tests {
         truncated.truncate(v1.len());
         assert!(decode_request(&truncated).is_err());
         assert!(decode_request(&v1).is_ok());
+    }
+
+    #[test]
+    fn apply_verb_is_version_gated() {
+        let bytes = encode_request(&Request::ApplyDelta);
+        assert_eq!(bytes[4], PROTOCOL_VERSION, "APPLY frames are V3");
+        assert_eq!(decode_request(&bytes).unwrap(), Request::ApplyDelta);
+        // The same verb byte inside an older frame is junk, not a silent
+        // downgrade: a V2 peer never legitimately produced it.
+        for old in [1u8, 2] {
+            let mut downgraded = bytes.clone();
+            downgraded[4] = old;
+            assert!(decode_request(&downgraded).is_err(), "version {old}");
+        }
     }
 
     #[test]
@@ -932,6 +999,11 @@ mod tests {
             Reply::Reloaded {
                 generation: 2,
                 partitions: 3,
+            },
+            Reply::Applied {
+                generation: 5,
+                delta_columns: 7,
+                tombstones: 2,
             },
             Reply::ShuttingDown,
             Reply::Busy,

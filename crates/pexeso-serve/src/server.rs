@@ -28,7 +28,7 @@ use pexeso_core::query::{Query, QueryBudget, QueryMode, QueryOutcome, Queryable}
 use pexeso_core::vector::VectorStore;
 
 use crate::cache::ShardedCache;
-use crate::metrics::{EndpointMetrics, ServerMetrics};
+use crate::metrics::{EndpointMetrics, ServerMetrics, SnapshotFacts};
 use crate::protocol::{
     decode_request, encode_reply, query_fingerprint, read_frame, write_frame, HitsExt, HitsReply,
     InfoReply, Reply, Request, WireHit,
@@ -269,10 +269,15 @@ fn dispatch(shared: &Shared, req: Request) -> Reply {
             let snap = shared.snapshot.current();
             let text = shared.metrics.render(
                 &shared.cache.stats(),
-                snap.generation(),
-                snap.manifest().index_version,
-                snap.lake().num_partitions(),
-                snap.dim(),
+                &SnapshotFacts {
+                    generation: snap.generation(),
+                    index_version: snap.manifest().index_version,
+                    partitions: snap.lake().num_partitions(),
+                    dim: snap.dim(),
+                    delta_columns: snap.delta_columns(),
+                    delta_tombstones: snap.delta_tombstones(),
+                    delta_records: snap.overlay().n_records(),
+                },
             );
             shared.metrics.stats.record(started.elapsed());
             Reply::Stats { text }
@@ -294,6 +299,26 @@ fn dispatch(shared: &Shared, req: Request) -> Reply {
                 Err(e) => error_reply(&shared.metrics.reload, e.to_string()),
             };
             shared.metrics.reload.record(started.elapsed());
+            reply
+        }
+        Request::ApplyDelta => {
+            // Live ingest: republish from the delta log, sharing the
+            // resident base. Cached entries keyed the old generation;
+            // clear them so fresh queries see the new overlay.
+            let reply = match shared.snapshot.apply_delta() {
+                Ok(fresh) => {
+                    shared.cache.clear();
+                    shared.metrics.applies.fetch_add(1, Ordering::Relaxed);
+                    Reply::Applied {
+                        generation: fresh.generation(),
+                        delta_columns: fresh.delta_columns() as u64,
+                        tombstones: fresh.delta_tombstones() as u64,
+                    }
+                }
+                // A failed apply leaves the served snapshot untouched.
+                Err(e) => error_reply(&shared.metrics.apply, e.to_string()),
+            };
+            shared.metrics.apply.record(started.elapsed());
             reply
         }
         Request::Shutdown => Reply::ShuttingDown,

@@ -502,3 +502,90 @@ fn protocol_shutdown_drains_and_joins() {
     assert!(late.info().is_err(), "a shut-down server must not answer");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn live_ingest_applies_without_reloading_the_base() {
+    use pexeso_delta::{drop_tables, ingest_columns, DeltaLake, IngestColumn};
+
+    let dir = tempdir("ingest");
+    let (columns, query) = workload(77, 8, "a");
+    deploy(&dir, &columns);
+    let handle = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
+
+    let tau = Tau::Ratio(0.05);
+    let t = JoinThreshold::Ratio(0.9);
+    let q = Query::threshold(tau, t).with_policy(ExecPolicy::Sequential);
+    let (before, meta) = client.execute_detailed(&q, &query).unwrap();
+    assert_eq!(meta.generation, 1);
+    assert!(!before.hits.iter().any(|h| h.table_name == "fresh_tab"));
+    // Warm the cache so we can prove the apply invalidates it.
+    let (_, warm) = client.execute_detailed(&q, &query).unwrap();
+    assert!(warm.cached);
+
+    // Ingest a table that mirrors the query (matches at any τ), then ask
+    // the live daemon to publish it from the delta log.
+    let mirror: Vec<f32> = (0..query.len())
+        .flat_map(|i| query.get_raw(i).to_vec())
+        .collect();
+    ingest_columns(
+        &dir,
+        &[IngestColumn {
+            table_name: "fresh_tab".into(),
+            column_name: "key".into(),
+            vectors: mirror,
+        }],
+    )
+    .unwrap();
+    let (generation, delta_columns, tombstones) = client.apply_delta().unwrap();
+    assert_eq!(generation, 2);
+    assert_eq!((delta_columns, tombstones), (1, 0));
+
+    // The base build itself is untouched — only the serve generation
+    // moved. An uncached query under the new generation sees the table,
+    // byte-identical to opening the deployment (base + log) directly.
+    let info = client.info().unwrap();
+    assert_eq!(info.generation, 2);
+    assert_eq!(info.index_version, 1, "APPLY must not re-index the base");
+    let (after, meta) = client.execute_detailed(&q, &query).unwrap();
+    assert_eq!(meta.generation, 2);
+    assert!(!meta.cached, "the apply must invalidate the result cache");
+    assert!(after.hits.iter().any(|h| h.table_name == "fresh_tab"));
+    let direct = DeltaLake::open(&dir).unwrap();
+    let local = direct.execute(&q, &query).unwrap();
+    assert_eq!(wire(&local.hits), wire(&after.hits));
+
+    // Tombstone one of the planted base tables; the next apply hides it.
+    drop_tables(&dir, &["a_tab0".into()]).unwrap();
+    let (generation, delta_columns, tombstones) = client.apply_delta().unwrap();
+    assert_eq!(generation, 3);
+    assert_eq!((delta_columns, tombstones), (1, 1));
+    let (dropped, _) = client.execute_detailed(&q, &query).unwrap();
+    assert!(!dropped.hits.iter().any(|h| h.table_name == "a_tab0"));
+    assert!(dropped.hits.iter().any(|h| h.table_name == "fresh_tab"));
+
+    // STATS exposes the delta shape and the apply counter.
+    let stats = client.stats_text().unwrap();
+    assert_eq!(stat_value(&stats, "delta.columns"), Some(1.0));
+    assert_eq!(stat_value(&stats, "delta.tombstones"), Some(1.0));
+    assert_eq!(stat_value(&stats, "delta.records"), Some(2.0));
+    assert_eq!(stat_value(&stats, "applies"), Some(2.0));
+    assert_eq!(stat_value(&stats, "apply.requests"), Some(2.0));
+
+    // Compact the directory underneath the daemon, then APPLY again: the
+    // manifest version moved, so the apply falls back to a full load of
+    // the new base — and keeps answering the same thing.
+    let report = pexeso_delta::compact_lake(&dir, None, ExecPolicy::Sequential).unwrap();
+    assert_eq!(report.index_version, 2);
+    let (generation, delta_columns, tombstones) = client.apply_delta().unwrap();
+    assert_eq!(generation, 4);
+    assert_eq!((delta_columns, tombstones), (0, 0));
+    let info = client.info().unwrap();
+    assert_eq!(info.index_version, 2);
+    let (compacted, meta) = client.execute_detailed(&q, &query).unwrap();
+    assert_eq!(meta.generation, 4);
+    assert_eq!(wire(&compacted.hits), wire(&dropped.hits));
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

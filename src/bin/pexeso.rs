@@ -1,27 +1,35 @@
 //! `pexeso` — command-line joinable-table discovery over CSV data lakes.
 //!
 //! ```text
-//! pexeso index  --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4] [--policy seq|par|par:N]
-//! pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy ...]
-//! pexeso topk   --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...]
-//! pexeso serve  --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--cache 4096]
-//! pexeso query  --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...]
-//! pexeso query  --addr <host:port> --stats | --reload [--reload-dir <dir>] | --shutdown
+//! pexeso index   --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4] [--policy seq|par|par:N]
+//! pexeso ingest  --index <index-dir> --lake <dir-of-csvs> [--addr <host:port>]
+//! pexeso drop    --index <index-dir> --table <name> [--addr <host:port>]
+//! pexeso compact --index <index-dir> [--partitions N] [--policy seq|par|par:N]
+//! pexeso search  --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy ...]
+//! pexeso topk    --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...]
+//! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--cache 4096]
+//! pexeso query   --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...]
+//! pexeso query   --addr <host:port> --stats | --reload [--reload-dir <dir>] | --apply | --shutdown
 //! ```
 //!
 //! The offline step detects each table's key column, embeds it with the
 //! deterministic character-level embedder, JSD-partitions the columns, and
 //! persists one PEXESO index per partition plus a versioned manifest. The
 //! online steps embed the query column with the same embedder and either
-//! stream the partitions locally (`search`/`topk`) or talk to a resident
-//! `pexeso serve` daemon (`query`), which keeps the partitions hot, caches
-//! results, and supports zero-downtime re-index via `--reload`.
+//! stream the partitions locally (`search`/`topk`, delta log included) or
+//! talk to a resident `pexeso serve` daemon (`query`), which keeps the
+//! partitions hot, caches results, and supports zero-downtime re-index via
+//! `--reload`. Between full builds the lake stays maintainable online:
+//! `ingest` appends new tables to the deployment's write-ahead delta log
+//! in seconds (and, with `--addr`, tells a live daemon to publish them
+//! without reloading its base snapshot), `drop` tombstones tables, and
+//! `compact` folds the log into fresh base partitions.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pexeso::pipeline::{build_lake_index, embed_query, open_lake_index};
+use pexeso::pipeline::{build_lake_index, embed_query, open_delta_lake};
 use pexeso::prelude::*;
 use std::time::Duration;
 
@@ -56,6 +64,14 @@ const INDEX_FLAGS: &[FlagSpec] = &[
     val("lake"),
     val("out"),
     val("dim"),
+    val("partitions"),
+    val("policy"),
+    switch("help"),
+];
+const INGEST_FLAGS: &[FlagSpec] = &[val("index"), val("lake"), val("addr"), switch("help")];
+const DROP_FLAGS: &[FlagSpec] = &[val("index"), val("table"), val("addr"), switch("help")];
+const COMPACT_FLAGS: &[FlagSpec] = &[
+    val("index"),
     val("partitions"),
     val("policy"),
     switch("help"),
@@ -104,6 +120,7 @@ const QUERY_FLAGS: &[FlagSpec] = &[
     val("reload-dir"),
     switch("stats"),
     switch("reload"),
+    switch("apply"),
     switch("shutdown"),
     switch("help"),
 ];
@@ -112,6 +129,13 @@ fn usage_text(cmd: &str) -> &'static str {
     match cmd {
         "index" => {
             "pexeso index --lake <dir-of-csvs> --out <index-dir> [--dim 64] [--partitions 4] [--policy seq|par|par:N]"
+        }
+        "ingest" => {
+            "pexeso ingest --index <index-dir> --lake <dir-of-csvs> [--addr <host:port>]"
+        }
+        "drop" => "pexeso drop --index <index-dir> --table <name> [--addr <host:port>]",
+        "compact" => {
+            "pexeso compact --index <index-dir> [--partitions N] [--policy seq|par|par:N]"
         }
         "search" => {
             "pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]"
@@ -124,7 +148,7 @@ fn usage_text(cmd: &str) -> &'static str {
         }
         "query" => {
             "pexeso query --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]\n\
-             pexeso query --addr <host:port> --stats | --reload [--reload-dir <dir>] | --shutdown"
+             pexeso query --addr <host:port> --stats | --reload [--reload-dir <dir>] | --apply | --shutdown"
         }
         _ => "",
     }
@@ -132,8 +156,11 @@ fn usage_text(cmd: &str) -> &'static str {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  {}\n  {}\n  {}\n  {}\n  {}",
+        "usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}",
         usage_text("index"),
+        usage_text("ingest"),
+        usage_text("drop"),
+        usage_text("compact"),
         usage_text("search"),
         usage_text("topk"),
         usage_text("serve"),
@@ -231,13 +258,9 @@ fn outcome_suffix(resp: &QueryResponse) -> &'static str {
     }
 }
 
-fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
-    let lake_dir = flags.get("lake").ok_or("--lake is required")?;
-    let out_dir = PathBuf::from(flags.get("out").ok_or("--out is required")?);
-    let dim: usize = parse_or(flags, "dim", 64)?;
-    let partitions: usize = parse_or(flags, "partitions", 4)?;
-    let policy = parse_policy(flags)?;
-
+/// Read every CSV under `lake_dir` (sorted, unreadable files skipped with
+/// a warning) — shared by `index` and `ingest`.
+fn load_csv_tables(lake_dir: &str) -> CliResult<Vec<pexeso_lake::table::Table>> {
     let mut tables = Vec::new();
     let mut entries: Vec<PathBuf> = std::fs::read_dir(lake_dir)
         .map_err(|e| format!("cannot read {lake_dir}: {e}"))?
@@ -255,6 +278,17 @@ fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
     if tables.is_empty() {
         return Err(format!("no readable CSV tables under {lake_dir}"));
     }
+    Ok(tables)
+}
+
+fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
+    let lake_dir = flags.get("lake").ok_or("--lake is required")?;
+    let out_dir = PathBuf::from(flags.get("out").ok_or("--out is required")?);
+    let dim: usize = parse_or(flags, "dim", 64)?;
+    let partitions: usize = parse_or(flags, "partitions", 4)?;
+    let policy = parse_policy(flags)?;
+
+    let tables = load_csv_tables(lake_dir)?;
     println!("loaded {} tables from {lake_dir}", tables.len());
 
     let embedder = HashEmbedder::new(dim);
@@ -279,6 +313,86 @@ fn cmd_index(flags: &HashMap<String, String>) -> CliResult<()> {
         out_dir.display(),
         deployed.manifest.index_version,
     );
+    Ok(())
+}
+
+/// Notify a live daemon that the delta log changed: one APPLY round-trip.
+fn notify_daemon(addr: &str) -> CliResult<()> {
+    let client =
+        ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let (generation, delta_columns, tombstones) =
+        client.apply_delta().map_err(|e| e.to_string())?;
+    println!(
+        "daemon at {addr} published generation {generation} \
+         ({delta_columns} delta columns, {tombstones} tombstoned tables)"
+    );
+    Ok(())
+}
+
+fn cmd_ingest(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let lake_dir = flags.get("lake").ok_or("--lake is required")?;
+    let tables = load_csv_tables(lake_dir)?;
+    let manifest = pexeso_core::outofcore::LakeManifest::read(&index_dir)
+        .map_err(|e| format!("cannot read manifest in {}: {e}", index_dir.display()))?;
+    let embedder = HashEmbedder::new(manifest.dim);
+    let report = pexeso::pipeline::ingest_tables(
+        &index_dir,
+        &tables,
+        &embedder,
+        &KeyColumnConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "ingested {} columns / {} values into the delta log \
+         (external ids {}..{}, {} records total)",
+        report.columns_added,
+        report.vectors_added,
+        report.first_external_id,
+        report.next_external_id,
+        report.log_records,
+    );
+    if let Some(addr) = flags.get("addr") {
+        notify_daemon(addr)?;
+    }
+    Ok(())
+}
+
+fn cmd_drop(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let table = flags.get("table").ok_or("--table is required")?;
+    let n = pexeso::pipeline::drop_lake_tables(&index_dir, std::slice::from_ref(table))
+        .map_err(|e| e.to_string())?;
+    println!("tombstoned {n} table(s); space reclaimed at the next compact");
+    if let Some(addr) = flags.get("addr") {
+        notify_daemon(addr)?;
+    }
+    Ok(())
+}
+
+fn cmd_compact(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let partitions: Option<usize> = match flags.get("partitions") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| format!("bad --partitions '{v}': {e}"))?,
+        ),
+    };
+    let policy = parse_policy(flags)?;
+    let report = pexeso::pipeline::compact_lake(&index_dir, partitions, policy)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "compacted {} records into {} partitions: {} columns / {} vectors live \
+         ({} dropped), index_version={}",
+        report.records_folded,
+        report.n_partitions,
+        report.n_columns,
+        report.n_vectors,
+        report.columns_dropped,
+        report.index_version,
+    );
+    println!("serving daemons pick the new base up via --reload (or --apply)");
     Ok(())
 }
 
@@ -325,7 +439,10 @@ fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
     let tau: f32 = parse_or(flags, "tau", 0.06)?;
     let t: f64 = parse_or(flags, "t", 0.5)?;
     let policy = parse_policy(flags)?;
-    let (lake, manifest) = open_lake_index(&index_dir).map_err(|e| e.to_string())?;
+    // Delta-aware open: tables ingested since the last build are part of
+    // the answer, tombstoned ones are not.
+    let lake = open_delta_lake(&index_dir).map_err(|e| e.to_string())?;
+    let manifest = lake.manifest().clone();
     let (values, embedder) = load_query(flags, manifest.dim)?;
     let query = embed_query(&embedder, &values);
 
@@ -350,7 +467,8 @@ fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
     let tau: f32 = parse_or(flags, "tau", 0.06)?;
     let k: usize = parse_or(flags, "k", 10)?;
     let policy = parse_policy(flags)?;
-    let (lake, manifest) = open_lake_index(&index_dir).map_err(|e| e.to_string())?;
+    let lake = open_delta_lake(&index_dir).map_err(|e| e.to_string())?;
+    let manifest = lake.manifest().clone();
     let (values, embedder) = load_query(flags, manifest.dim)?;
     let query = embed_query(&embedder, &values);
 
@@ -401,7 +519,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
 fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     let addr = flags.get("addr").ok_or("--addr is required")?;
     // Exactly one mode: at most one admin verb, no silently-ignored flags.
-    let admin_verbs: Vec<&str> = ["stats", "shutdown", "reload", "reload-dir"]
+    let admin_verbs: Vec<&str> = ["stats", "shutdown", "reload", "reload-dir", "apply"]
         .into_iter()
         .filter(|v| flags.contains_key(*v))
         .collect();
@@ -449,6 +567,15 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
         let dir = flags.get("reload-dir").map(PathBuf::from);
         let (generation, partitions) = client.reload(dir.as_deref()).map_err(|e| e.to_string())?;
         println!("reloaded: generation {generation}, {partitions} partitions");
+        return Ok(());
+    }
+    if flags.contains_key("apply") {
+        let (generation, delta_columns, tombstones) =
+            client.apply_delta().map_err(|e| e.to_string())?;
+        println!(
+            "applied delta log: generation {generation}, \
+             {delta_columns} delta columns, {tombstones} tombstoned tables"
+        );
         return Ok(());
     }
 
@@ -500,6 +627,9 @@ fn main() -> ExitCode {
     };
     let specs = match cmd.as_str() {
         "index" => INDEX_FLAGS,
+        "ingest" => INGEST_FLAGS,
+        "drop" => DROP_FLAGS,
+        "compact" => COMPACT_FLAGS,
         "search" => SEARCH_FLAGS,
         "topk" => TOPK_FLAGS,
         "serve" => SERVE_FLAGS,
@@ -519,6 +649,9 @@ fn main() -> ExitCode {
     }
     let result = match cmd.as_str() {
         "index" => cmd_index(&flags),
+        "ingest" => cmd_ingest(&flags),
+        "drop" => cmd_drop(&flags),
+        "compact" => cmd_compact(&flags),
         "search" => cmd_search(&flags),
         "topk" => cmd_topk(&flags),
         "serve" => cmd_serve(&flags),

@@ -18,6 +18,7 @@ use pexeso_core::partition::{PartitionConfig, PartitionMethod};
 use pexeso_core::query::{Query, QueryResponse, Queryable};
 use pexeso_core::search::{PexesoIndex, SearchOptions};
 use pexeso_core::vector::VectorStore;
+use pexeso_delta::{ingest_columns, CompactReport, DeltaLake, IngestColumn, IngestReport};
 use pexeso_embed::Embedder;
 use pexeso_lake::generator::SyntheticLake;
 use pexeso_lake::keycol::{detect_key_column, KeyColumnConfig};
@@ -271,7 +272,12 @@ pub fn build_lake_index(
         },
         out_dir,
     )?;
-    let manifest = LakeManifest::next_build(out_dir, embedder_name, embedder.dim())?;
+    let mut manifest = LakeManifest::next_build(out_dir, embedder_name, embedder.dim())?;
+    // Record the id-allocation high-water mark so incremental ingest can
+    // assign fresh external ids without scanning the partitions. (The
+    // version bump also makes any delta log of the previous build stale:
+    // a full re-index subsumes it.)
+    manifest.next_external_id = n_columns as u64;
     manifest.write(out_dir)?;
     Ok(DeployedLake {
         lake,
@@ -288,6 +294,82 @@ pub fn open_lake_index(index_dir: &Path) -> Result<(PartitionedLake, LakeManifes
     let manifest = LakeManifest::read(index_dir)?;
     let lake = PartitionedLake::open(index_dir)?;
     Ok((lake, manifest))
+}
+
+/// Open a deployment *with* its delta log replayed: the backend the
+/// online CLI verbs use, so queries between an ingest and the next
+/// compaction see the ingested tables. Answers are byte-identical to a
+/// full rebuild over the final table set; with no delta log this is just
+/// the base lake plus an empty overlay.
+pub fn open_delta_lake(index_dir: &Path) -> Result<DeltaLake> {
+    DeltaLake::open(index_dir)
+}
+
+/// Incremental ingest: detect and embed each table's key column exactly
+/// like [`build_lake_index`] does (same embedder, same per-vector
+/// normalization — the WAL stores the same `f32` bits a rebuild would
+/// index), then append the columns to the deployment's delta log with
+/// fresh external ids. Seconds instead of the minutes a full re-embed +
+/// re-partition costs; queries pick the columns up through
+/// [`open_delta_lake`] or a serving daemon's delta-apply.
+pub fn ingest_tables(
+    index_dir: &Path,
+    tables: &[Table],
+    embedder: &dyn Embedder,
+    key_cfg: &KeyColumnConfig,
+) -> Result<IngestReport> {
+    let manifest = LakeManifest::read(index_dir)?;
+    if embedder.dim() != manifest.dim {
+        return Err(PexesoError::InvalidParameter(format!(
+            "embedder dimensionality {} does not match the deployment's {}",
+            embedder.dim(),
+            manifest.dim
+        )));
+    }
+    let mut columns = Vec::new();
+    for table in tables {
+        let Some(key_col) = detect_key_column(table, key_cfg) else {
+            continue;
+        };
+        let (vecs, _rows) = embed_values(embedder, table.column(key_col));
+        if vecs.is_empty() {
+            continue;
+        }
+        let mut store = VectorStore::new(embedder.dim());
+        for v in &vecs {
+            store.push(v)?;
+        }
+        store.normalize_all();
+        columns.push(IngestColumn {
+            table_name: table.name().to_string(),
+            column_name: table.headers()[key_col].clone(),
+            vectors: store.raw_data().to_vec(),
+        });
+    }
+    if columns.is_empty() {
+        return Err(PexesoError::EmptyInput(
+            "no table with a detectable key column",
+        ));
+    }
+    ingest_columns(index_dir, &columns)
+}
+
+/// Tombstone tables by name in the deployment's delta log; space is
+/// reclaimed at the next [`compact_lake`].
+pub fn drop_lake_tables(index_dir: &Path, table_names: &[String]) -> Result<usize> {
+    pexeso_delta::drop_tables(index_dir, table_names)
+}
+
+/// Fold the delta log into fresh base partitions, bump the manifest
+/// version atomically, and delete the log (see
+/// [`pexeso_delta::compact_lake`] for the crash-safety argument).
+/// `partitions = None` keeps the current partition count.
+pub fn compact_lake(
+    index_dir: &Path,
+    partitions: Option<usize>,
+    policy: ExecPolicy,
+) -> Result<CompactReport> {
+    pexeso_delta::compact_lake(index_dir, partitions, policy)
 }
 
 /// The batched multi-user entry point, written once against the unified

@@ -1,0 +1,389 @@
+//! Differential coverage for incremental maintenance: a deployment plus
+//! its delta log must answer **byte-identically** to a from-scratch
+//! rebuild over the final table set —
+//!
+//! * threshold and top-k, across τ / T / k,
+//! * all four metrics (Euclidean, Manhattan, Chebyshev, Angular),
+//! * both `ExecPolicy` variants,
+//! * through `&dyn Queryable` (the only surface callers use),
+//! * on both delta-capable backends: the disk-backed [`DeltaLake`] and
+//!   the resident serve [`Snapshot`] (base shared, overlay applied), and
+//! * after compaction, whose output must be byte-identical to the
+//!   rebuild *deployment* itself (same partitioning, same answers).
+//!
+//! Adversarial cases: boundary count-ties interacting with tombstones
+//! (the top-k over-ask must keep tie-inclusiveness), dropping the
+//! dominant column, re-adding a dropped table.
+
+use std::path::{Path, PathBuf};
+
+use pexeso::pipeline::compact_lake;
+use pexeso::prelude::*;
+use pexeso_core::column::ColumnSet;
+use pexeso_core::config::PivotSelection;
+use pexeso_core::metric::{Angular, Chebyshev, Manhattan, Metric};
+use pexeso_core::outofcore::LakeManifest;
+use pexeso_core::partition::PartitionConfig;
+use pexeso_delta::{drop_tables, ingest_columns, read_log, DeltaLake, DeltaState, IngestColumn};
+use pexeso_serve::Snapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 8;
+
+fn unit(rng: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+fn column_floats(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).flat_map(|_| unit(rng)).collect()
+}
+
+fn index_options() -> IndexOptions {
+    IndexOptions {
+        num_pivots: 3,
+        levels: Some(3),
+        pivot_selection: PivotSelection::Pca,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pexeso_delta_diff_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Build a deployment over `columns` under `metric_name` and write the
+/// manifest (the pipeline only deploys Euclidean; tests deploy all four).
+fn deploy<M: Metric>(
+    dir: &Path,
+    columns: &ColumnSet,
+    metric: M,
+    next_external_id: u64,
+) -> PartitionedLake {
+    let lake = PartitionedLake::build(
+        columns,
+        metric.clone(),
+        &PartitionConfig {
+            k: 2,
+            ..Default::default()
+        },
+        &index_options(),
+        dir,
+    )
+    .unwrap();
+    let manifest = LakeManifest {
+        metric: metric.name().to_string(),
+        next_external_id,
+        ..LakeManifest::new("hash", DIM)
+    };
+    manifest.write(dir).unwrap();
+    lake
+}
+
+fn base_columns(seed: u64, n_cols: usize, len: usize) -> ColumnSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut columns = ColumnSet::new(DIM);
+    for c in 0..n_cols {
+        let floats = column_floats(&mut rng, len);
+        columns
+            .add_column(&format!("b{c}"), "key", c as u64, floats.chunks_exact(DIM))
+            .unwrap();
+    }
+    columns
+}
+
+fn query_store(seed: u64, n: usize) -> VectorStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut q = VectorStore::new(DIM);
+    for _ in 0..n {
+        q.push(&unit(&mut rng)).unwrap();
+    }
+    q
+}
+
+/// The final live set of (base ∪ delta log) with original external ids,
+/// as one ColumnSet in canonical (ascending-id) order — what a rebuild
+/// over the final tables indexes.
+fn final_live_columns(dir: &Path, base: &ColumnSet) -> ColumnSet {
+    let state = match read_log(dir).unwrap() {
+        Some(log) => DeltaState::replay(&log.records),
+        None => DeltaState::default(),
+    };
+    let mut live: Vec<(u64, String, String, Vec<f32>)> = Vec::new();
+    for meta in base.columns() {
+        if state.dropped_tables.contains(&meta.table_name) {
+            continue;
+        }
+        let mut floats = Vec::new();
+        for v in meta.vector_range() {
+            floats.extend_from_slice(base.store().get_raw(v as usize));
+        }
+        live.push((
+            meta.external_id,
+            meta.table_name.clone(),
+            meta.column_name.clone(),
+            floats,
+        ));
+    }
+    for col in &state.live {
+        live.push((
+            col.external_id,
+            col.table_name.clone(),
+            col.column_name.clone(),
+            col.vectors.clone(),
+        ));
+    }
+    live.sort_by_key(|(id, ..)| *id);
+    let mut columns = ColumnSet::new(DIM);
+    for (id, table, column, floats) in &live {
+        columns
+            .add_column(table, column, *id, floats.chunks_exact(DIM))
+            .unwrap();
+    }
+    columns
+}
+
+/// Pin two backends byte-identical through `&dyn Queryable` across
+/// modes, τ / T / k, and both policies.
+fn assert_equivalent(a: &dyn Queryable, b: &dyn Queryable, q: &VectorStore, tag: &str) {
+    for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 3 }] {
+        for (tau, t) in [
+            (Tau::Ratio(0.1), JoinThreshold::Count(1)),
+            (Tau::Ratio(0.25), JoinThreshold::Ratio(0.3)),
+            (Tau::Ratio(0.4), JoinThreshold::Count(3)),
+        ] {
+            let query = Query::threshold(tau, t).with_policy(policy);
+            let ra = a.execute(&query, q).unwrap();
+            let rb = b.execute(&query, q).unwrap();
+            assert!(ra.exact() && rb.exact());
+            assert_eq!(
+                ra.hits, rb.hits,
+                "{tag}: threshold tau={tau:?} t={t:?} policy={policy:?}"
+            );
+        }
+        for (tau, k) in [
+            (Tau::Ratio(0.25), 1usize),
+            (Tau::Ratio(0.25), 3),
+            (Tau::Ratio(0.4), 5),
+            (Tau::Ratio(0.4), 100),
+        ] {
+            let query = Query::topk(tau, k).with_policy(policy);
+            let ra = a.execute(&query, q).unwrap();
+            let rb = b.execute(&query, q).unwrap();
+            assert_eq!(
+                ra.hits, rb.hits,
+                "{tag}: topk tau={tau:?} k={k} policy={policy:?}"
+            );
+        }
+    }
+}
+
+/// One full lifecycle under a given metric: deploy → ingest → drop →
+/// delta answers ≡ rebuild (DeltaLake *and* resident serve Snapshot) →
+/// compact → compacted deployment ≡ rebuild deployment byte-identically.
+fn lifecycle_under_metric<M: Metric>(metric: M, seed: u64) {
+    let name = metric.name();
+    let dir = tempdir(&format!("life_{name}"));
+    let base = base_columns(seed, 6, 10);
+    deploy(&dir, &base, metric.clone(), 6);
+
+    // Ingest three tables, drop one base table and one ingested table.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let cols: Vec<IngestColumn> = (0..3)
+        .map(|i| IngestColumn {
+            table_name: format!("d{i}"),
+            column_name: "key".into(),
+            vectors: column_floats(&mut rng, 6 + i),
+        })
+        .collect();
+    let report = ingest_columns(&dir, &cols).unwrap();
+    assert_eq!(report.first_external_id, 6);
+    assert_eq!(report.next_external_id, 9);
+    drop_tables(&dir, &["b1".into(), "d0".into()]).unwrap();
+    // Re-add the dropped base table: only the new column must be live.
+    ingest_columns(
+        &dir,
+        &[IngestColumn {
+            table_name: "b1".into(),
+            column_name: "key".into(),
+            vectors: column_floats(&mut rng, 7),
+        }],
+    )
+    .unwrap();
+
+    // Rebuild oracle over the final live set, same external ids.
+    let rebuild_dir = tempdir(&format!("life_{name}_rebuild"));
+    let live = final_live_columns(&dir, &base);
+    deploy(&rebuild_dir, &live, metric.clone(), 10);
+    let rebuilt = PartitionedLake::open(&rebuild_dir).unwrap();
+
+    let q = query_store(seed ^ 0x71, 6);
+    let delta_lake = DeltaLake::open(&dir).unwrap();
+    assert_eq!(delta_lake.overlay().n_delta_columns(), 3); // d1, d2, re-added b1
+    assert_eq!(delta_lake.overlay().n_tombstones(), 2);
+    assert_equivalent(
+        &delta_lake,
+        &rebuilt,
+        &q,
+        &format!("{name}: DeltaLake vs rebuild"),
+    );
+
+    // The resident serve snapshot overlays the same delta over a shared
+    // in-memory base: same answers again.
+    let snapshot = Snapshot::load(&dir, 1).unwrap();
+    assert_equivalent(
+        &snapshot,
+        &rebuilt,
+        &q,
+        &format!("{name}: Snapshot vs rebuild"),
+    );
+
+    // Compact: the folded deployment answers identically, the manifest
+    // version bumps, the log is gone — and because compaction presents
+    // the same canonical column order as the rebuild, the deployments
+    // answer byte-identically partition for partition.
+    let compact_report = compact_lake(&dir, None, ExecPolicy::Sequential).unwrap();
+    assert_eq!(compact_report.index_version, 2);
+    assert_eq!(compact_report.n_columns, live.n_columns());
+    // Only base columns count as dropped: d0 was added *and* dropped
+    // inside the log, so it never reaches compaction at all.
+    assert_eq!(compact_report.columns_dropped, 1); // the original b1
+    assert!(
+        read_log(&dir).unwrap().is_none(),
+        "compaction removes the log"
+    );
+    let compacted = DeltaLake::open(&dir).unwrap();
+    assert!(compacted.overlay().is_empty());
+    assert_equivalent(
+        &compacted,
+        &rebuilt,
+        &q,
+        &format!("{name}: compacted vs rebuild"),
+    );
+    assert_eq!(
+        LakeManifest::read(&dir).unwrap().next_external_id,
+        10,
+        "compaction records the id high-water mark"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&rebuild_dir).ok();
+}
+
+#[test]
+fn lifecycle_euclidean() {
+    lifecycle_under_metric(Euclidean, 11);
+}
+
+#[test]
+fn lifecycle_manhattan() {
+    lifecycle_under_metric(Manhattan, 12);
+}
+
+#[test]
+fn lifecycle_chebyshev() {
+    lifecycle_under_metric(Chebyshev, 13);
+}
+
+#[test]
+fn lifecycle_angular() {
+    lifecycle_under_metric(Angular, 14);
+}
+
+/// Adversarial top-k: columns exactly tied with the query compete at the
+/// boundary while tombstones knock out the strongest candidates — the
+/// over-ask must keep the surviving tie group intact so the merged
+/// ranking stays identical to the rebuild's.
+#[test]
+fn topk_boundary_ties_with_tombstones() {
+    let dir = tempdir("ties");
+    let q = query_store(99, 6);
+    // Ten base columns that are exact mirrors of the query (all tied at
+    // full count) plus three weaker columns.
+    let mut columns = ColumnSet::new(DIM);
+    let mirror: Vec<&[f32]> = (0..q.len()).map(|i| q.get_raw(i)).collect();
+    for c in 0..10u64 {
+        columns
+            .add_column(&format!("m{c}"), "key", c, mirror.clone())
+            .unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(1234);
+    for c in 10..13u64 {
+        let floats = column_floats(&mut rng, 8);
+        columns
+            .add_column(&format!("w{c}"), "key", c, floats.chunks_exact(DIM))
+            .unwrap();
+    }
+    deploy(&dir, &columns, Euclidean, 13);
+    // Drop seven of the ten mirrors: every local top-k list was full of
+    // tombstoned entries.
+    let dropped: Vec<String> = (0..7).map(|c| format!("m{c}")).collect();
+    drop_tables(&dir, &dropped).unwrap();
+
+    let rebuild_dir = tempdir("ties_rebuild");
+    let base_for_final = columns.clone();
+    let live = final_live_columns(&dir, &base_for_final);
+    assert_eq!(live.n_columns(), 6);
+    deploy(&rebuild_dir, &live, Euclidean, 13);
+    let rebuilt = PartitionedLake::open(&rebuild_dir).unwrap();
+    let delta_lake = DeltaLake::open(&dir).unwrap();
+    assert_equivalent(&delta_lake, &rebuilt, &q, "boundary ties");
+
+    // Spot-check: k=2 must surface surviving mirrors (full count), not
+    // lose them to the tombstoned ones that outranked them locally.
+    let resp = delta_lake
+        .execute(&Query::topk(Tau::Ratio(0.02), 2), &q)
+        .unwrap();
+    assert_eq!(resp.hits.len(), 2);
+    assert!(resp.hits.iter().all(|h| h.table_name.starts_with('m')));
+    assert_eq!(resp.hits[0].match_count as usize, q.len());
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&rebuild_dir).ok();
+}
+
+/// `k = 0`, invalid metric expectations, and dimension mismatches behave
+/// exactly like every other backend (the unified contract).
+#[test]
+fn delta_lake_obeys_the_unified_contract() {
+    let dir = tempdir("contract");
+    let base = base_columns(7, 4, 8);
+    deploy(&dir, &base, Euclidean, 4);
+    let mut rng = StdRng::seed_from_u64(8);
+    ingest_columns(
+        &dir,
+        &[IngestColumn {
+            table_name: "d0".into(),
+            column_name: "key".into(),
+            vectors: column_floats(&mut rng, 5),
+        }],
+    )
+    .unwrap();
+    let lake = DeltaLake::open(&dir).unwrap();
+    let q = query_store(9, 4);
+    // k = 0: empty and exact, no partition touched.
+    let resp = lake.execute(&Query::topk(Tau::Ratio(0.2), 0), &q).unwrap();
+    assert!(resp.hits.is_empty() && resp.exact());
+    assert_eq!(resp.stats.distance_computations, 0);
+    // Metric expectation mismatch is a typed error.
+    assert!(lake
+        .execute(
+            &Query::topk(Tau::Ratio(0.2), 3).expect_metric("manhattan"),
+            &q
+        )
+        .is_err());
+    // Matching expectation passes.
+    assert!(lake
+        .execute(
+            &Query::topk(Tau::Ratio(0.2), 3).expect_metric("euclidean"),
+            &q
+        )
+        .is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
