@@ -84,6 +84,7 @@ pub mod cost;
 pub mod daat;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod grid;
 pub mod histogram;
 pub mod invindex;

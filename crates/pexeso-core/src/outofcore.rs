@@ -151,18 +151,20 @@ impl LakeManifest {
     pub fn write(&self, dir: &Path) -> Result<()> {
         let target = Self::path(dir);
         let tmp = dir.join("manifest.txt.tmp");
-        fs::write(
-            &tmp,
-            format!(
-                "version={}\nembedder={}\ndim={}\nmetric={}\nindex_version={}\nnext_external_id={}\n",
-                self.format_version,
-                self.embedder,
-                self.dim,
-                self.metric,
-                self.index_version,
-                self.next_external_id,
-            ),
-        )?;
+        let body = format!(
+            "version={}\nembedder={}\ndim={}\nmetric={}\nindex_version={}\nnext_external_id={}\n",
+            self.format_version,
+            self.embedder,
+            self.dim,
+            self.metric,
+            self.index_version,
+            self.next_external_id,
+        );
+        {
+            let mut file = fs::File::create(&tmp)?;
+            crate::fault::write_all(&mut file, body.as_bytes(), "manifest.write.tmp")?;
+        }
+        crate::fault::check("manifest.rename")?;
         fs::rename(&tmp, &target)?;
         Ok(())
     }

@@ -8,6 +8,7 @@ use std::path::{Path, PathBuf};
 use pexeso_core::column::ColumnSet;
 use pexeso_core::config::{ExecPolicy, IndexOptions};
 use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::fault;
 use pexeso_core::metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
 use pexeso_core::outofcore::{execute_on_index, LakeManifest, PartitionedLake};
 use pexeso_core::partition::{PartitionConfig, PartitionMethod};
@@ -45,6 +46,7 @@ impl DeltaLake {
     /// delta would break the exactness contract.
     pub fn open(dir: &Path) -> Result<Self> {
         let manifest = LakeManifest::read(dir)?;
+        verify_no_crashed_compaction(dir, &manifest)?;
         let base = PartitionedLake::open(dir)?;
         let state = match read_log(dir)? {
             Some(contents) => match check_header(&contents.header, &manifest)? {
@@ -171,6 +173,94 @@ impl Drop for MaintenanceLock {
 }
 
 // ---------------------------------------------------------------------------
+// Compaction-in-progress marker
+// ---------------------------------------------------------------------------
+
+/// Name of the marker file that makes a mid-rebuild compaction crash
+/// detectable. Compaction rebuilds the base partitions *in place*:
+/// between the first rewritten partition byte and the manifest bump the
+/// directory transiently mixes folded partitions with the
+/// pre-compaction manifest and a still-current delta log. Opening that
+/// state naively would replay the log over a base that already contains
+/// it — double-applied records, silently wrong answers. The marker is
+/// created (and fsynced) before the rebuild starts, stamped with the
+/// manifest version being folded, and removed only after the manifest
+/// bump publishes the new build.
+pub const COMPACT_MARKER_FILE: &str = "compact.inprogress";
+
+fn compact_marker_path(dir: &Path) -> PathBuf {
+    dir.join(COMPACT_MARKER_FILE)
+}
+
+fn write_compact_marker(dir: &Path, folding_version: u64) -> Result<()> {
+    let path = compact_marker_path(dir);
+    let mut file = std::fs::File::create(&path).map_err(PexesoError::Io)?;
+    let body = format!("folding_version={folding_version}\n");
+    fault::write_all(&mut file, body.as_bytes(), "lake.compact.marker").map_err(PexesoError::Io)?;
+    file.sync_all().map_err(PexesoError::Io)?;
+    Ok(())
+}
+
+fn read_compact_marker(dir: &Path) -> Result<Option<u64>> {
+    let path = compact_marker_path(dir);
+    let body = match std::fs::read_to_string(&path) {
+        Ok(body) => body,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PexesoError::Io(e)),
+    };
+    body.lines()
+        .find_map(|line| line.strip_prefix("folding_version="))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Some)
+        .ok_or_else(|| {
+            PexesoError::Corrupt(format!(
+                "unreadable compaction marker {}: expected 'folding_version=<u64>'",
+                path.display()
+            ))
+        })
+}
+
+/// Fail typed if `dir` holds the debris of a compaction that crashed
+/// *mid-rebuild* — after the marker (and possibly some partition bytes)
+/// were written but before the manifest bump published the new build.
+/// In that state the partitions may mix the old and new builds under the
+/// old manifest, and the delta log still reads as current: replaying it
+/// would double-apply every record. There is no safe way to serve, so
+/// every open path (including `pexeso-serve`'s resident snapshots, which
+/// bypass [`DeltaLake::open`]) must call this before trusting the
+/// directory.
+///
+/// A marker stamped with a version *older* than the manifest is stale:
+/// the compaction reached its point of no return (the manifest bump) and
+/// crashed before cleanup, so the directory is the fully-published new
+/// build. Read paths ignore it (read-only mounts must keep working);
+/// write paths clean it up (`clear_stale_compact_marker`).
+pub fn verify_no_crashed_compaction(dir: &Path, manifest: &LakeManifest) -> Result<()> {
+    match read_compact_marker(dir)? {
+        None => Ok(()),
+        Some(v) if v < manifest.index_version => Ok(()), // stale: bump published
+        Some(v) => Err(PexesoError::Corrupt(format!(
+            "a compaction of build version {v} crashed mid-rebuild in {}: the \
+             partition files may mix the old and new builds; restore the \
+             deployment from its source or rebuild it, then remove {}",
+            dir.display(),
+            compact_marker_path(dir).display()
+        ))),
+    }
+}
+
+/// Remove a stale compaction marker (one whose recorded version the
+/// manifest has already moved past). Called by write operations after
+/// [`verify_no_crashed_compaction`] has vouched for the directory.
+fn clear_stale_compact_marker(dir: &Path) -> Result<()> {
+    match std::fs::remove_file(compact_marker_path(dir)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(PexesoError::Io(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ingest / drop
 // ---------------------------------------------------------------------------
 
@@ -270,6 +360,8 @@ pub fn ingest_columns(dir: &Path, columns: &[IngestColumn]) -> Result<IngestRepo
     }
     let _lock = MaintenanceLock::acquire(dir)?;
     let manifest = LakeManifest::read(dir)?;
+    verify_no_crashed_compaction(dir, &manifest)?;
+    clear_stale_compact_marker(dir)?;
     for col in columns {
         if col.vectors.is_empty() || col.vectors.len() % manifest.dim != 0 {
             return Err(PexesoError::InvalidParameter(format!(
@@ -316,6 +408,8 @@ pub fn drop_tables(dir: &Path, table_names: &[String]) -> Result<usize> {
     }
     let _lock = MaintenanceLock::acquire(dir)?;
     let manifest = LakeManifest::read(dir)?;
+    verify_no_crashed_compaction(dir, &manifest)?;
+    clear_stale_compact_marker(dir)?;
     current_records(dir, &manifest)?; // validates / cleans a stale log
     let records: Vec<DeltaRecord> = table_names
         .iter()
@@ -355,9 +449,13 @@ pub struct CompactReport {
 /// Crash safety: the manifest bump is an atomic rename and happens
 /// *before* the log deletion, so a crash in between leaves a log whose
 /// header names the old build — which every reader recognises as already
-/// folded and ignores. (A crash mid-partition-write has the same exposure
-/// as any re-index: rebuild the directory. Serving daemons are unaffected
-/// either way — they answer from resident memory.)
+/// folded and ignores. The rebuild itself happens *in place*, so a crash
+/// mid-rebuild leaves partitions that may mix the old and new builds
+/// under the old manifest; the [`COMPACT_MARKER_FILE`] written before
+/// the first partition byte makes that state a typed
+/// [`PexesoError::Corrupt`] on every open path instead of a silent
+/// double-apply of the delta log. (Serving daemons are unaffected either
+/// way — they answer from resident memory.)
 pub fn compact_lake(
     dir: &Path,
     partitions: Option<usize>,
@@ -365,6 +463,8 @@ pub fn compact_lake(
 ) -> Result<CompactReport> {
     let _lock = MaintenanceLock::acquire(dir)?;
     let manifest = LakeManifest::read(dir)?;
+    verify_no_crashed_compaction(dir, &manifest)?;
+    clear_stale_compact_marker(dir)?;
     let base = PartitionedLake::open(dir)?;
     let records = current_records(dir, &manifest)?;
     let state = DeltaState::replay(&records);
@@ -453,6 +553,11 @@ pub fn compact_lake(
         exec: policy,
         ..Default::default()
     };
+    // From here on the directory is transiently inconsistent (new
+    // partition bytes under the old manifest). The marker makes a crash
+    // in that window detectable instead of silently double-applying.
+    write_compact_marker(dir, manifest.index_version)?;
+    fault::check("lake.compact.build")?;
     let rebuilt = build_typed(
         &manifest.metric,
         &columns,
@@ -465,7 +570,11 @@ pub fn compact_lake(
         next_external_id,
         ..manifest
     };
+    fault::check("lake.compact.manifest")?;
     new_manifest.write(dir)?; // atomic: the point of no return
+    fault::check("lake.compact.clear_marker")?;
+    clear_stale_compact_marker(dir)?; // marker's version is behind the manifest now
+    fault::check("lake.compact.remove_log")?;
     remove_log(dir)?; // stale now even if this line never runs
     Ok(CompactReport {
         n_columns,
@@ -592,6 +701,45 @@ mod tests {
         drop_tables(&dir, &["b0".into()]).unwrap();
         compact_lake(&dir, None, ExecPolicy::Sequential).unwrap();
         assert!(!dir.join("maintenance.lock").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_compaction_marker_fails_typed_until_stale() {
+        let dir = tempdir("marker");
+        deploy_small(&dir);
+        ingest_columns(&dir, &[one_column(9, "d0")]).unwrap();
+        let manifest = LakeManifest::read(&dir).unwrap();
+        // A marker naming the *current* build version means a compaction
+        // crashed mid-rebuild: every path must fail typed, not replay.
+        write_compact_marker(&dir, manifest.index_version).unwrap();
+        for result in [
+            DeltaLake::open(&dir).map(|_| ()),
+            ingest_columns(&dir, &[one_column(10, "d1")]).map(|_| ()),
+            drop_tables(&dir, &["b0".into()]).map(|_| ()),
+            compact_lake(&dir, None, ExecPolicy::Sequential).map(|_| ()),
+        ] {
+            match result {
+                Err(PexesoError::Corrupt(msg)) => {
+                    assert!(msg.contains("compaction"), "{msg}")
+                }
+                other => panic!("expected crashed-compaction error, got {other:?}"),
+            }
+        }
+        // A marker *behind* the manifest is stale (crash after the bump):
+        // reads ignore it, the next write cleans it up.
+        write_compact_marker(&dir, manifest.index_version - 1).unwrap();
+        DeltaLake::open(&dir).unwrap();
+        assert!(
+            dir.join(COMPACT_MARKER_FILE).exists(),
+            "open must not delete"
+        );
+        ingest_columns(&dir, &[one_column(11, "d1")]).unwrap();
+        assert!(!dir.join(COMPACT_MARKER_FILE).exists());
+        // A successful compaction leaves no marker behind.
+        compact_lake(&dir, None, ExecPolicy::Sequential).unwrap();
+        assert!(!dir.join(COMPACT_MARKER_FILE).exists());
+        DeltaLake::open(&dir).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

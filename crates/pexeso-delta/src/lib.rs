@@ -31,7 +31,8 @@ pub mod overlay;
 pub mod wal;
 
 pub use lake::{
-    compact_lake, drop_tables, ingest_columns, CompactReport, DeltaLake, IngestColumn, IngestReport,
+    compact_lake, drop_tables, ingest_columns, verify_no_crashed_compaction, CompactReport,
+    DeltaLake, IngestColumn, IngestReport, COMPACT_MARKER_FILE,
 };
 pub use overlay::{AnyOverlay, DeltaOverlay};
 pub use wal::{

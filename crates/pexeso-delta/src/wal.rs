@@ -49,6 +49,7 @@ use std::path::{Path, PathBuf};
 
 use pexeso_core::column::ColumnSet;
 use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::fault;
 use pexeso_core::outofcore::LakeManifest;
 
 const MAGIC: &[u8; 8] = b"PXDELTA1";
@@ -425,6 +426,7 @@ pub fn read_log_header(dir: &Path) -> Result<Option<LogHeader>> {
 /// silently serve a partial view of an ingest they cannot prove complete).
 pub fn read_log(dir: &Path) -> Result<Option<LogContents>> {
     let path = delta_log_path(dir);
+    fault::check("wal.read.open")?;
     let file = match File::open(&path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -570,19 +572,24 @@ pub fn append_records(dir: &Path, manifest: &LakeManifest, records: &[DeltaRecor
         // we would not be here) — truncate defensively before the header.
         file.set_len(0)?;
         file.seek(SeekFrom::End(0))?;
-        file.write_all(&encode_header(&LogHeader {
-            format_version: FORMAT_VERSION,
-            metric: manifest.metric.clone(),
-            dim: manifest.dim as u32,
-            base_index_version: manifest.index_version,
-        }))?;
+        fault::write_all(
+            &mut file,
+            &encode_header(&LogHeader {
+                format_version: FORMAT_VERSION,
+                metric: manifest.metric.clone(),
+                dim: manifest.dim as u32,
+                base_index_version: manifest.index_version,
+            }),
+            "wal.append.header",
+        )?;
     }
     let mut w = BufWriter::new(&mut file);
     for frame in &encoded {
-        w.write_all(frame)?;
+        fault::write_all(&mut w, frame, "wal.append.record")?;
     }
     w.flush()?;
     drop(w);
+    fault::check("wal.append.fsync")?;
     file.sync_all()?;
     Ok(())
 }

@@ -11,7 +11,7 @@
 //! The stream is guarded by a mutex so the trait's `&self` surface stays
 //! sound; requests on one connection serialize.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -19,7 +19,7 @@ use std::time::Duration;
 use pexeso_core::config::{ExecPolicy, JoinThreshold, Tau};
 use pexeso_core::error::PexesoError;
 use pexeso_core::outofcore::GlobalHit;
-use pexeso_core::query::{Query, QueryMode, QueryOutcome, QueryResponse, Queryable};
+use pexeso_core::query::{Exceeded, Query, QueryMode, QueryOutcome, QueryResponse, Queryable};
 use pexeso_core::stats::SearchStats;
 use pexeso_core::vector::VectorStore;
 
@@ -35,10 +35,23 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The server rejected the connection under load; retry later.
     Busy,
+    /// The server shed the connection early (soft watermark); same
+    /// caller contract as [`ClientError::Busy`], reported separately so
+    /// degradation is visible before saturation.
+    Shed,
     /// The server processed the request and answered with an error.
     Server(String),
     /// The reply violated the protocol (or the connection died mid-frame).
     Protocol(String),
+    /// The server hung up cleanly before sending any reply byte (e.g. it
+    /// was killed, or is shutting down). Nothing is in flight; the next
+    /// call transparently reconnects. Retryable.
+    Disconnected,
+    /// A reply failed to arrive whole (e.g. a read timeout mid-frame):
+    /// the stream may still carry the rest of that reply, so it can
+    /// never be reused for another request. The connection has been
+    /// discarded; the next call transparently reconnects.
+    Desynced(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -46,8 +59,15 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Busy => write!(f, "server busy; retry later"),
+            ClientError::Shed => write!(f, "server shedding load; retry later"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Disconnected => {
+                write!(f, "server closed the connection before replying")
+            }
+            ClientError::Desynced(msg) => {
+                write!(f, "connection desynced and discarded: {msg}")
+            }
         }
     }
 }
@@ -144,47 +164,109 @@ pub struct RemoteMeta {
     pub cached: bool,
 }
 
-/// One connection to a `pexeso serve` daemon.
+/// One logical connection to a `pexeso serve` daemon.
+///
+/// The underlying TCP stream is replaced transparently when it can no
+/// longer be trusted: any failure to read a *whole* reply (timeout
+/// mid-frame, transport error, hang-up) discards the stream, because a
+/// late reply arriving on a reused stream would answer the wrong
+/// request. The failing call surfaces a typed error
+/// ([`ClientError::Desynced`] when bytes may still be in flight) and
+/// the next call reconnects to the remembered address.
 pub struct ServeClient {
-    stream: Mutex<TcpStream>,
+    addr: SocketAddr,
+    conn: Mutex<Option<TcpStream>>,
+    /// Remembered so reconnects inherit the caller's timeout.
+    timeout: Mutex<Option<Duration>>,
 }
 
 impl ServeClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Self {
-            stream: Mutex::new(stream),
+            addr,
+            conn: Mutex::new(Some(stream)),
+            timeout: Mutex::new(None),
         })
     }
 
-    /// Bound how long any single reply may take.
+    /// The daemon address this client (re)connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bound how long any single reply may take. Applies to the current
+    /// connection and every future reconnect.
     pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
-        let stream = self.stream.lock().expect("client stream poisoned");
+        *self.timeout.lock().expect("client timeout poisoned") = timeout;
+        if let Some(stream) = &*self.conn.lock().expect("client stream poisoned") {
+            stream.set_read_timeout(timeout)?;
+            stream.set_write_timeout(timeout)?;
+        }
+        Ok(())
+    }
+
+    fn reconnect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        let timeout = *self.timeout.lock().expect("client timeout poisoned");
         stream.set_read_timeout(timeout)?;
-        stream.set_write_timeout(timeout)
+        stream.set_write_timeout(timeout)?;
+        Ok(stream)
     }
 
     fn roundtrip(&self, req: &Request) -> ClientResult<Reply> {
-        let mut stream = self.stream.lock().expect("client stream poisoned");
-        // A rejected connection gets one BUSY frame and a hang-up *before*
-        // we ever write; the write then fails with a broken pipe while the
-        // BUSY frame sits in our receive buffer. On write failure, drain
-        // that pending reply instead of surfacing the pipe error.
-        let write_err = write_frame(&mut *stream, &encode_request(req)).err();
-        let payload = match read_frame(&mut *stream) {
+        let mut guard = self.conn.lock().expect("client stream poisoned");
+        if guard.is_none() {
+            *guard = Some(self.reconnect()?);
+        }
+        let stream = guard.as_mut().expect("connection just ensured");
+        // A rejected connection gets one BUSY/SHED frame and a hang-up
+        // *before* we ever write; the write then fails with a broken pipe
+        // while the rejection frame sits in our receive buffer. On write
+        // failure, drain that pending reply instead of surfacing the
+        // pipe error.
+        let write_err = write_frame(stream, &encode_request(req)).err();
+        let payload = match read_frame(stream) {
             Ok(Some(p)) => p,
             Ok(None) => {
-                return Err(write_err.map(ClientError::Io).unwrap_or_else(|| {
-                    ClientError::Protocol("connection closed before reply".into())
-                }))
+                // Clean hang-up before any reply byte: the stream is
+                // dead but carries nothing late; reconnect next call.
+                *guard = None;
+                return Err(write_err
+                    .map(ClientError::Io)
+                    .unwrap_or(ClientError::Disconnected));
             }
             Err(e) => {
-                return Err(write_err.map(ClientError::Io).unwrap_or_else(|| e.into()));
+                // The reply failed to arrive whole. Crucially this
+                // includes a read *timeout* mid-frame: the server may
+                // still deliver the rest later, so reusing this stream
+                // would desync every subsequent exchange. Discard it and
+                // name the state; the next call reconnects.
+                *guard = None;
+                return Err(write_err.map(ClientError::Io).unwrap_or_else(|| match e {
+                    WireError::Io(io) => ClientError::Desynced(io.to_string()),
+                    WireError::Malformed(msg) => ClientError::Desynced(msg),
+                }));
             }
         };
         match decode_reply(&payload)? {
-            Reply::Busy => Err(ClientError::Busy),
+            // A rejection is always followed by a server hang-up; drop
+            // the stream now so the next call reconnects instead of
+            // tripping over the closed socket first.
+            Reply::Busy => {
+                *guard = None;
+                Err(ClientError::Busy)
+            }
+            Reply::Shed => {
+                *guard = None;
+                Err(ClientError::Shed)
+            }
             Reply::Err { message } => Err(ClientError::Server(message)),
             reply => Ok(reply),
         }
@@ -232,6 +314,22 @@ impl ServeClient {
     ) -> ClientResult<(QueryResponse, RemoteMeta)> {
         let reply = match self.roundtrip(&wire_request(query, vectors))? {
             Reply::Hits(hits) => hits,
+            // The deadline elapsed in the server's queue: the same typed
+            // partial outcome a local backend reports when its deadline
+            // trips before any work — empty hits, `Exceeded(Deadline)`.
+            Reply::DeadlineExpired { .. } => {
+                return Ok((
+                    QueryResponse {
+                        hits: Vec::new(),
+                        stats: SearchStats::new(),
+                        outcome: QueryOutcome::Exceeded(Exceeded::Deadline),
+                    },
+                    RemoteMeta {
+                        generation: 0,
+                        cached: false,
+                    },
+                ))
+            }
             other => return Err(unexpected("SEARCH/TOPK", &other)),
         };
         let meta = RemoteMeta {

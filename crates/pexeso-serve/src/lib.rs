@@ -37,6 +37,7 @@ pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod resilient;
 pub mod server;
 pub mod snapshot;
 
@@ -46,5 +47,6 @@ pub use metrics::{stat_value, ServerMetrics, SnapshotFacts};
 pub use protocol::{
     HitsExt, HitsReply, InfoReply, QueryExt, QueryPayload, Reply, Request, WireHit,
 };
+pub use resilient::{BackoffPolicy, ResilientClient, ResilientConfig, RetryStats};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotCell};

@@ -97,6 +97,12 @@ pub struct ServerMetrics {
     pub apply: EndpointMetrics,
     /// Connections rejected with a BUSY reply (queue full).
     pub busy_rejections: AtomicU64,
+    /// Connections rejected with a SHED reply (soft watermark crossed
+    /// before the hard BUSY limit — degradation beginning).
+    pub shed: AtomicU64,
+    /// Requests answered `DeadlineExpired`: their deadline budget
+    /// elapsed in the queue before a worker ever popped them.
+    pub expired: AtomicU64,
     /// Completed hot swaps.
     pub swaps: AtomicU64,
     /// Completed delta applies (live-ingest publishes).
@@ -119,6 +125,8 @@ impl Default for ServerMetrics {
             reload: EndpointMetrics::default(),
             apply: EndpointMetrics::default(),
             busy_rejections: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             applies: AtomicU64::new(0),
             distance_computations: AtomicU64::new(0),
@@ -162,6 +170,8 @@ impl ServerMetrics {
             "busy_rejections={}",
             self.busy_rejections.load(Ordering::Relaxed)
         );
+        let _ = writeln!(out, "shed={}", self.shed.load(Ordering::Relaxed));
+        let _ = writeln!(out, "expired={}", self.expired.load(Ordering::Relaxed));
         let _ = writeln!(
             out,
             "distance_computations={}",
@@ -278,6 +288,8 @@ mod tests {
         assert_eq!(stat_value(&text, "applies"), Some(0.0));
         assert_eq!(stat_value(&text, "cache.hits"), Some(7.0));
         assert_eq!(stat_value(&text, "busy_rejections"), Some(3.0));
+        assert_eq!(stat_value(&text, "shed"), Some(0.0));
+        assert_eq!(stat_value(&text, "expired"), Some(0.0));
         assert_eq!(stat_value(&text, "search.requests"), Some(1.0));
         assert!(stat_value(&text, "search.p99_us").unwrap() > 0.0);
         assert_eq!(stat_value(&text, "no.such.key"), None);

@@ -57,6 +57,11 @@ const REPLY_HITS_V2: u8 = 5;
 /// Reply to the V3 `APPLY` verb; never sent to older clients (they
 /// cannot encode the request).
 const REPLY_APPLIED: u8 = 6;
+/// A request popped off the queue after its own deadline already
+/// elapsed: answered typed instead of computing a dead result.
+const REPLY_DEADLINE_EXPIRED: u8 = 248;
+/// Early load shedding: the queue crossed its soft watermark.
+const REPLY_SHED: u8 = 249;
 const REPLY_BUSY: u8 = 250;
 const REPLY_ERR: u8 = 251;
 
@@ -247,6 +252,18 @@ pub enum Reply {
     ShuttingDown,
     /// Explicit backpressure: worker pool and request queue are full.
     Busy,
+    /// Early load shedding: the connection queue crossed its *soft*
+    /// watermark, so the server rejected this connection before the hard
+    /// BUSY limit — semantically identical to `Busy` for the caller
+    /// (retry elsewhere / back off), but counted separately so operators
+    /// can see degradation begin before saturation.
+    Shed,
+    /// The request's deadline budget had already elapsed while it waited
+    /// in the queue; the server refused to compute a dead answer.
+    /// Carries how long the request waited before being popped.
+    DeadlineExpired {
+        waited_ms: u64,
+    },
     Err {
         message: String,
     },
@@ -735,6 +752,11 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
         }
         Reply::ShuttingDown => w.u8(REPLY_SHUTTING_DOWN),
         Reply::Busy => w.u8(REPLY_BUSY),
+        Reply::Shed => w.u8(REPLY_SHED),
+        Reply::DeadlineExpired { waited_ms } => {
+            w.u8(REPLY_DEADLINE_EXPIRED);
+            w.u64(*waited_ms);
+        }
         Reply::Err { message } => {
             w.u8(REPLY_ERR);
             w.str(message);
@@ -796,6 +818,10 @@ pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
         },
         REPLY_SHUTTING_DOWN => Reply::ShuttingDown,
         REPLY_BUSY => Reply::Busy,
+        REPLY_SHED => Reply::Shed,
+        REPLY_DEADLINE_EXPIRED => Reply::DeadlineExpired {
+            waited_ms: r.u64()?,
+        },
         REPLY_ERR => Reply::Err {
             message: r.str(1 << 16)?,
         },
@@ -1007,6 +1033,8 @@ mod tests {
             },
             Reply::ShuttingDown,
             Reply::Busy,
+            Reply::Shed,
+            Reply::DeadlineExpired { waited_ms: 1500 },
             Reply::Err {
                 message: "nope".into(),
             },

@@ -1,0 +1,474 @@
+//! [`ResilientClient`]: a replica-aware, retrying, failover-capable
+//! client over one or more `pexeso serve` daemons.
+//!
+//! [`crate::client::ServeClient`] is one logical connection: it reports
+//! BUSY, shed, and transport failures to the caller and stops. This
+//! module wraps a *set* of replica addresses into a single
+//! [`pexeso_core::query::Queryable`] backend that absorbs transient
+//! failure instead of surfacing it:
+//!
+//! * **Retries** on BUSY/shed/transport errors, with capped exponential
+//!   backoff and decorrelated jitter ([`BackoffPolicy`]); delays come
+//!   from a seeded RNG, so a test run's schedule is reproducible.
+//! * **Deadline discipline**: a query's [`pexeso_core::query::QueryBudget`]
+//!   deadline bounds the *whole* logical operation. Each attempt ships
+//!   only the remaining budget in its wire extension, and no retry is
+//!   ever issued once the deadline has elapsed — the schedule logic is
+//!   the pure function [`plan_retry`], property-tested in isolation.
+//! * **Failover**: attempts rotate across replicas, so a dead or
+//!   saturated node costs one failed attempt, not the query.
+//! * **Circuit breaking**: a replica failing [`ResilientConfig::failure_threshold`]
+//!   times in a row is *open* (skipped) for [`ResilientConfig::open_for`],
+//!   then half-open: one probe attempt decides whether it closes again.
+//!   When every replica is open the breaker degrades gracefully —
+//!   attempts proceed anyway (an open breaker must never turn "slow" into
+//!   "down" when there is nothing left to fail over to).
+//!
+//! Exactness is untouched: a retry either returns the byte-identical
+//! exact answer some replica computed, or a typed error/partial outcome
+//! — never a silently different result (pinned by the differential test
+//! in `tests/resilient.rs`).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+
+use pexeso_core::error::PexesoError;
+use pexeso_core::query::{Query, QueryResponse, Queryable};
+use pexeso_core::vector::VectorStore;
+
+use crate::client::{ClientError, ServeClient};
+
+/// Capped exponential backoff with decorrelated jitter (each delay is
+/// drawn uniformly from `[base, min(cap, prev · multiplier)]`, so
+/// retries from many clients spread out instead of thundering back in
+/// lockstep).
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// Lower bound of every delay (and the first draw's upper seed).
+    pub base: Duration,
+    /// Hard ceiling on any single delay.
+    pub cap: Duration,
+    /// Growth factor of the decorrelated-jitter envelope.
+    pub multiplier: u32,
+    /// Attempts after the first (i.e. retries) before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            multiplier: 3,
+            max_retries: 8,
+        }
+    }
+}
+
+/// One step of the retry schedule, as a pure function so the contract is
+/// property-testable without clocks or sockets.
+///
+/// Given the retry ordinal (1 = first retry), the previous delay, and
+/// the remaining deadline budget (`None` = unbounded), decide whether to
+/// retry and how long to sleep first. Guarantees, pinned by
+/// `tests/backoff_props.rs`:
+///
+/// * `None` once `retry > max_retries` — bounded attempts;
+/// * any returned delay is within `[base, cap]` (jitter never escapes
+///   the configured envelope, and never exceeds the cap);
+/// * with a remaining budget `r`, any returned delay is strictly less
+///   than `r`, and `None` is returned when `r ≤ base` — a retry is never
+///   issued past the deadline, and never issued when sleeping the
+///   minimum would already consume the whole budget.
+pub fn plan_retry<R: rand::RngCore>(
+    policy: &BackoffPolicy,
+    retry: u32,
+    prev_delay: Duration,
+    remaining: Option<Duration>,
+    rng: &mut R,
+) -> Option<Duration> {
+    if retry > policy.max_retries {
+        return None;
+    }
+    let base = policy.base.min(policy.cap);
+    let envelope = prev_delay
+        .max(base)
+        .saturating_mul(policy.multiplier.max(1))
+        .min(policy.cap);
+    let lo = base.as_nanos() as u64;
+    let hi = envelope.as_nanos() as u64;
+    let delay = Duration::from_nanos(if hi > lo { rng.gen_range(lo..=hi) } else { lo });
+    match remaining {
+        Some(r) if delay >= r => None,
+        _ => Some(delay),
+    }
+}
+
+/// Tuning for [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    pub backoff: BackoffPolicy,
+    /// Consecutive failures that open a replica's circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit is skipped before a half-open probe.
+    pub open_for: Duration,
+    /// Per-reply timeout applied to every replica connection (and
+    /// reconnect). `None` = wait forever (not recommended: a wedged
+    /// replica then wedges the attempt).
+    pub timeout: Option<Duration>,
+    /// Seed for the jitter RNG — fixed so failure tests replay the same
+    /// schedule.
+    pub seed: u64,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        Self {
+            backoff: BackoffPolicy::default(),
+            failure_threshold: 3,
+            open_for: Duration::from_secs(1),
+            timeout: Some(Duration::from_secs(10)),
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// A live snapshot of the client's failure-handling counters — what
+/// `pexeso query --stats` prints so operators see degradation without
+/// reading code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts beyond the first, across all operations.
+    pub retries: u64,
+    /// Attempts that moved to a different replica than the previous one.
+    pub failovers: u64,
+    /// BUSY rejections absorbed.
+    pub busy: u64,
+    /// Soft-watermark shed rejections absorbed.
+    pub shed: u64,
+    /// Connections discarded after a mid-frame failure (desync guard).
+    pub desyncs: u64,
+    /// Retry loops stopped by the query deadline (not by success).
+    pub deadline_stops: u64,
+    /// Circuit-breaker transitions to open.
+    pub circuit_opens: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    busy: AtomicU64,
+    shed: AtomicU64,
+    desyncs: AtomicU64,
+    deadline_stops: AtomicU64,
+    circuit_opens: AtomicU64,
+}
+
+/// Per-replica connection + circuit-breaker state.
+struct ReplicaState {
+    client: Option<ServeClient>,
+    consecutive_failures: u32,
+    /// `Some(t)`: circuit open until `t`; after `t` the next pick is a
+    /// half-open probe.
+    open_until: Option<Instant>,
+}
+
+struct Replica {
+    addr: String,
+    state: Mutex<ReplicaState>,
+}
+
+/// A retrying, failover-capable [`Queryable`] over replica `pexeso
+/// serve` daemons. Connections are created lazily (a replica that is
+/// down at construction time is simply unhealthy, not fatal) and
+/// re-created after any failure.
+pub struct ResilientClient {
+    replicas: Vec<Replica>,
+    config: ResilientConfig,
+    rng: Mutex<rand::rngs::StdRng>,
+    counters: Counters,
+    /// Rotates the starting replica so load spreads when healthy.
+    cursor: AtomicUsize,
+}
+
+impl ResilientClient {
+    /// Wrap `addrs` (at least one). No connection is attempted yet.
+    pub fn new(addrs: &[String], config: ResilientConfig) -> Result<Self, PexesoError> {
+        if addrs.is_empty() {
+            return Err(PexesoError::InvalidParameter(
+                "resilient client needs at least one replica address".into(),
+            ));
+        }
+        Ok(Self {
+            replicas: addrs
+                .iter()
+                .map(|a| Replica {
+                    addr: a.clone(),
+                    state: Mutex::new(ReplicaState {
+                        client: None,
+                        consecutive_failures: 0,
+                        open_until: None,
+                    }),
+                })
+                .collect(),
+            rng: Mutex::new(rand::rngs::StdRng::seed_from_u64(config.seed)),
+            counters: Counters::default(),
+            config,
+            cursor: AtomicUsize::new(0),
+        })
+    }
+
+    /// The replica addresses, in configuration order.
+    pub fn addrs(&self) -> Vec<&str> {
+        self.replicas.iter().map(|r| r.addr.as_str()).collect()
+    }
+
+    /// Snapshot the failure-handling counters.
+    pub fn stats(&self) -> RetryStats {
+        let c = &self.counters;
+        RetryStats {
+            retries: c.retries.load(Ordering::Relaxed),
+            failovers: c.failovers.load(Ordering::Relaxed),
+            busy: c.busy.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            desyncs: c.desyncs.load(Ordering::Relaxed),
+            deadline_stops: c.deadline_stops.load(Ordering::Relaxed),
+            circuit_opens: c.circuit_opens.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pick the next replica to try: rotate from `start`, skipping open
+    /// circuits (half-open ones — whose open window elapsed — are
+    /// eligible as probes). When every circuit is open, fall back to
+    /// plain rotation: with nowhere to fail over, probing a suspect
+    /// replica beats refusing to try at all.
+    fn pick(&self, start: usize, now: Instant) -> usize {
+        let n = self.replicas.len();
+        for off in 0..n {
+            let i = (start + off) % n;
+            let state = self.replicas[i].state.lock().expect("replica poisoned");
+            let open = state.open_until.is_some_and(|until| now < until);
+            if !open {
+                return i;
+            }
+        }
+        start % n
+    }
+
+    /// One attempt against one replica, updating its breaker state.
+    fn try_replica(
+        &self,
+        idx: usize,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> Result<QueryResponse, ClientError> {
+        let replica = &self.replicas[idx];
+        let mut state = replica.state.lock().expect("replica poisoned");
+        if state.client.is_none() {
+            let client = ServeClient::connect(replica.addr.as_str())?;
+            client.set_timeout(self.config.timeout)?;
+            state.client = Some(client);
+        }
+        let result = state
+            .client
+            .as_ref()
+            .expect("client just ensured")
+            .execute_detailed(query, vectors)
+            .map(|(resp, _meta)| resp);
+        match &result {
+            Ok(_) => {
+                state.consecutive_failures = 0;
+                state.open_until = None;
+            }
+            Err(e) => {
+                // Connection-level failures make the cached client
+                // suspect; drop it so the next attempt reconnects.
+                if matches!(
+                    e,
+                    ClientError::Io(_) | ClientError::Desynced(_) | ClientError::Disconnected
+                ) {
+                    state.client = None;
+                }
+                state.consecutive_failures += 1;
+                if state.consecutive_failures >= self.config.failure_threshold {
+                    // (Re-)open the circuit; a half-open probe that
+                    // fails lands here again and re-opens it.
+                    state.open_until = Some(Instant::now() + self.config.open_for);
+                    self.counters.circuit_opens.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        result
+    }
+
+    fn record_failure_kind(&self, e: &ClientError) {
+        let c = &self.counters;
+        match e {
+            ClientError::Busy => c.busy.fetch_add(1, Ordering::Relaxed),
+            ClientError::Shed => c.shed.fetch_add(1, Ordering::Relaxed),
+            ClientError::Desynced(_) => c.desyncs.fetch_add(1, Ordering::Relaxed),
+            _ => return,
+        };
+    }
+}
+
+/// Failures worth another attempt: backpressure, shed, transport, and
+/// torn-connection errors. A typed server error or protocol violation is
+/// not — the same request would fail the same way everywhere.
+fn retryable(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(_)
+            | ClientError::Busy
+            | ClientError::Shed
+            | ClientError::Disconnected
+            | ClientError::Desynced(_)
+    )
+}
+
+impl Queryable for ResilientClient {
+    /// Execute with retry/failover. The query's deadline bounds the whole
+    /// loop: each attempt carries only the remaining budget, and once it
+    /// is spent the last failure (or the server's typed partial outcome)
+    /// is what the caller gets — never a late retry.
+    fn execute(
+        &self,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> pexeso_core::error::Result<QueryResponse> {
+        let started = Instant::now();
+        let deadline = query.budget.deadline;
+        let mut attempt_query = query.clone();
+        let mut retry = 0u32;
+        let mut prev_delay = self.config.backoff.base;
+        let mut idx = self.pick(self.cursor.fetch_add(1, Ordering::Relaxed), Instant::now());
+        loop {
+            if let Some(d) = deadline {
+                // Ship only the unspent budget, so a replica that queues
+                // us still answers (or typed-expires) within the total.
+                attempt_query.budget.deadline = Some(d.saturating_sub(started.elapsed()));
+            }
+            let err = match self.try_replica(idx, &attempt_query, vectors) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            self.record_failure_kind(&err);
+            if !retryable(&err) {
+                return Err(err.into());
+            }
+            retry += 1;
+            let remaining = deadline.map(|d| d.saturating_sub(started.elapsed()));
+            let plan = {
+                let mut rng = self.rng.lock().expect("rng poisoned");
+                plan_retry(
+                    &self.config.backoff,
+                    retry,
+                    prev_delay,
+                    remaining,
+                    &mut *rng,
+                )
+            };
+            let Some(delay) = plan else {
+                // Within the retry allowance, `None` can only mean the
+                // deadline guard refused the sleep.
+                if retry <= self.config.backoff.max_retries {
+                    self.counters.deadline_stops.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(err.into());
+            };
+            self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(delay);
+            prev_delay = delay;
+            let next = self.pick(idx + 1, Instant::now());
+            if next != idx {
+                self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            idx = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn policy() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            multiplier: 3,
+            max_retries: 5,
+        }
+    }
+
+    #[test]
+    fn delays_stay_inside_the_envelope() {
+        let p = policy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut prev = p.base;
+        for retry in 1..=p.max_retries {
+            let d = plan_retry(&p, retry, prev, None, &mut rng).expect("unbounded retries allowed");
+            assert!(d >= p.base, "delay {d:?} under base");
+            assert!(d <= p.cap, "delay {d:?} over cap");
+            prev = d;
+        }
+        assert_eq!(
+            plan_retry(&p, p.max_retries + 1, prev, None, &mut rng),
+            None,
+            "retries must be bounded"
+        );
+    }
+
+    #[test]
+    fn never_retries_past_the_deadline() {
+        let p = policy();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Remaining budget at or under the minimum sleep: no retry.
+        assert_eq!(
+            plan_retry(&p, 1, p.base, Some(Duration::from_millis(5)), &mut rng),
+            None
+        );
+        assert_eq!(plan_retry(&p, 1, p.base, Some(p.base), &mut rng), None);
+        // With room, the delay fits strictly inside the remainder.
+        for _ in 0..200 {
+            let remaining = Duration::from_millis(40);
+            if let Some(d) = plan_retry(&p, 1, p.cap, Some(remaining), &mut rng) {
+                assert!(d < remaining);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let p = policy();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut prev = p.base;
+            let mut out = Vec::new();
+            for retry in 1..=p.max_retries {
+                let d = plan_retry(&p, retry, prev, None, &mut rng).unwrap();
+                out.push(d);
+                prev = d;
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn constructor_rejects_no_replicas() {
+        assert!(ResilientClient::new(&[], ResilientConfig::default()).is_err());
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let c = ResilientClient::new(&["127.0.0.1:1".into()], ResilientConfig::default()).unwrap();
+        assert_eq!(c.stats(), RetryStats::default());
+        assert_eq!(c.addrs(), vec!["127.0.0.1:1"]);
+    }
+}

@@ -18,12 +18,13 @@
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pexeso_core::config::ExecPolicy;
 use pexeso_core::error::Result;
+use pexeso_core::fault;
 use pexeso_core::query::{Query, QueryBudget, QueryMode, QueryOutcome, Queryable};
 use pexeso_core::vector::VectorStore;
 
@@ -51,6 +52,16 @@ pub struct ServeConfig {
     pub read_timeout: Option<Duration>,
     /// Ceiling on the per-request `ExecPolicy` thread count.
     pub max_request_threads: usize,
+    /// Soft queue watermark: when the connection queue reaches this
+    /// length, every other new connection is shed with a typed
+    /// [`Reply::Shed`] — degradation begins *before* the hard
+    /// `queue_capacity` limit turns everyone away with BUSY. `None`
+    /// disables early shedding (hard limit only).
+    pub queue_soft_watermark: Option<usize>,
+    /// Write timeout for the one-frame BUSY/SHED rejection on the
+    /// acceptor thread. A slow-reading (or malicious) rejected peer must
+    /// not stall all accepts behind its receive window.
+    pub reject_write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -62,8 +73,17 @@ impl Default for ServeConfig {
             cache_shards: 8,
             read_timeout: Some(Duration::from_secs(30)),
             max_request_threads: 16,
+            queue_soft_watermark: None,
+            reject_write_timeout: Duration::from_millis(100),
         }
     }
+}
+
+/// One accepted connection waiting for a worker, stamped with its accept
+/// time so queue wait can be charged against the request's deadline.
+struct QueuedConn {
+    stream: TcpStream,
+    accepted_at: Instant,
 }
 
 struct Shared {
@@ -71,10 +91,13 @@ struct Shared {
     cache: ShardedCache<Arc<Vec<WireHit>>>,
     metrics: ServerMetrics,
     config: ServeConfig,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<QueuedConn>>,
     queue_cv: Condvar,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    /// Accept-sequence counter inside the soft-watermark band, driving
+    /// the deterministic every-other shed.
+    shed_seq: AtomicU64,
 }
 
 /// The daemon entry point.
@@ -99,6 +122,7 @@ impl Server {
             queue_cv: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             addr: local_addr,
+            shed_seq: AtomicU64::new(0),
             snapshot,
             config,
         });
@@ -165,18 +189,40 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(mut stream) = conn else { continue };
+        let Ok(stream) = conn else { continue };
+        let accepted_at = Instant::now();
         let mut queue = shared.queue.lock().expect("connection queue poisoned");
-        if queue.len() >= shared.config.queue_capacity {
+        let len = queue.len();
+        if len >= shared.config.queue_capacity {
             drop(queue);
             // Explicit backpressure: one BUSY frame, then hang up.
             shared
                 .metrics
                 .busy_rejections
                 .fetch_add(1, Ordering::Relaxed);
-            let _ = write_frame(&mut stream, &encode_reply(&Reply::Busy));
+            reject(shared, stream, &Reply::Busy);
+        } else if shared
+            .config
+            .queue_soft_watermark
+            .is_some_and(|soft| len >= soft)
+            // Deterministic every-other shed inside the soft band: half
+            // the arrivals are turned away early (so retry-capable
+            // clients back off before saturation), the other half still
+            // queue — the queue can reach the hard limit under sustained
+            // load, keeping BUSY reachable and the shed rate bounded.
+            && shared
+                .shed_seq
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(2)
+        {
+            drop(queue);
+            shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            reject(shared, stream, &Reply::Shed);
         } else {
-            queue.push_back(stream);
+            queue.push_back(QueuedConn {
+                stream,
+                accepted_at,
+            });
             drop(queue);
             shared.queue_cv.notify_one();
         }
@@ -185,13 +231,24 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     shared.queue_cv.notify_all();
 }
 
+/// Answer a rejected connection with one frame, bounded by the rejection
+/// write timeout: this runs on the acceptor thread, and a peer that
+/// never drains its receive buffer must not stall every accept behind
+/// it. A timed-out (or otherwise failed) write just drops the
+/// connection — the peer sees a hang-up, which it must treat as
+/// retryable anyway.
+fn reject(shared: &Shared, mut stream: TcpStream, reply: &Reply) {
+    let _ = stream.set_write_timeout(Some(shared.config.reject_write_timeout));
+    let _ = write_frame(&mut stream, &encode_reply(reply));
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
+        let conn = {
             let mut queue = shared.queue.lock().expect("connection queue poisoned");
             loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
+                if let Some(c) = queue.pop_front() {
+                    break Some(c);
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     break None;
@@ -202,17 +259,30 @@ fn worker_loop(shared: &Shared) {
                     .expect("connection queue poisoned");
             }
         };
-        match stream {
-            Some(stream) => handle_connection(shared, stream),
+        match conn {
+            Some(conn) => handle_connection(shared, conn),
             None => break,
         }
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, conn: QueuedConn) {
+    let QueuedConn {
+        mut stream,
+        accepted_at,
+    } = conn;
     let _ = stream.set_read_timeout(shared.config.read_timeout);
     let _ = stream.set_nodelay(true);
+    // The first request on a connection waited in the accept queue; that
+    // wait is charged against its deadline. Later requests on the same
+    // (interactive) connection never queued.
+    let mut queue_wait = Some(accepted_at.elapsed());
     loop {
+        // Dev-only fault point: delay models a wedged server socket, an
+        // injected error a connection torn mid-stream.
+        if fault::check("serve.conn.read").is_err() {
+            return;
+        }
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
             // Clean close, read timeout, or garbage framing: hang up.
@@ -221,7 +291,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         match decode_request(&payload) {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                let reply = dispatch(shared, req);
+                let reply = dispatch(shared, req, queue_wait.take());
+                if fault::check("serve.conn.write").is_err() {
+                    return;
+                }
                 if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
                     return;
                 }
@@ -247,7 +320,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn dispatch(shared: &Shared, req: Request) -> Reply {
+fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Reply {
     let started = Instant::now();
     match req {
         Request::Info => {
@@ -304,8 +377,12 @@ fn dispatch(shared: &Shared, req: Request) -> Reply {
         Request::ApplyDelta => {
             // Live ingest: republish from the delta log, sharing the
             // resident base. Cached entries keyed the old generation;
-            // clear them so fresh queries see the new overlay.
-            let reply = match shared.snapshot.apply_delta() {
+            // clear them so fresh queries see the new overlay. The fault
+            // point arms a deterministic window for kill-mid-APPLY tests.
+            let reply = match fault::check("serve.apply")
+                .map_err(pexeso_core::error::PexesoError::Io)
+                .and_then(|()| shared.snapshot.apply_delta())
+            {
                 Ok(fresh) => {
                     shared.cache.clear();
                     shared.metrics.applies.fetch_add(1, Ordering::Relaxed);
@@ -322,7 +399,9 @@ fn dispatch(shared: &Shared, req: Request) -> Reply {
             reply
         }
         Request::Shutdown => Reply::ShuttingDown,
-        Request::Search { .. } | Request::Topk { .. } => handle_query(shared, req, started),
+        Request::Search { .. } | Request::Topk { .. } => {
+            handle_query(shared, req, started, queue_wait)
+        }
     }
 }
 
@@ -331,12 +410,30 @@ fn error_reply(endpoint: &EndpointMetrics, message: String) -> Reply {
     Reply::Err { message }
 }
 
-fn handle_query(shared: &Shared, req: Request, started: Instant) -> Reply {
+fn handle_query(
+    shared: &Shared,
+    req: Request,
+    started: Instant,
+    queue_wait: Option<Duration>,
+) -> Reply {
     let endpoint = match &req {
         Request::Search { .. } => &shared.metrics.search,
         _ => &shared.metrics.topk,
     };
-    let reply = match run_query(shared, &req) {
+    // Queue wait counts against the request's deadline budget. A request
+    // whose whole deadline elapsed before a worker popped it gets a
+    // typed refusal immediately — computing (or even cache-serving) a
+    // dead answer would hide the overload the deadline exists to expose.
+    if let (Some(wait), Some(deadline)) = (queue_wait, request_deadline(&req)) {
+        if wait >= deadline {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            endpoint.record(started.elapsed());
+            return Reply::DeadlineExpired {
+                waited_ms: wait.as_millis() as u64,
+            };
+        }
+    }
+    let reply = match run_query(shared, &req, queue_wait) {
         Ok(hits) => Reply::Hits(hits),
         Err(message) => error_reply(endpoint, message),
     };
@@ -344,7 +441,24 @@ fn handle_query(shared: &Shared, req: Request, started: Instant) -> Reply {
     reply
 }
 
-fn run_query(shared: &Shared, req: &Request) -> std::result::Result<HitsReply, String> {
+/// The deadline a query request carried on the wire, if any.
+fn request_deadline(req: &Request) -> Option<Duration> {
+    let payload = match req {
+        Request::Search { query, .. } | Request::Topk { query, .. } => query,
+        _ => return None,
+    };
+    payload
+        .ext
+        .as_ref()
+        .and_then(|ext| ext.deadline_ms)
+        .map(Duration::from_millis)
+}
+
+fn run_query(
+    shared: &Shared,
+    req: &Request,
+    queue_wait: Option<Duration>,
+) -> std::result::Result<HitsReply, String> {
     let (payload, mode) = match req {
         Request::Search { query, t } => (query, QueryMode::Threshold(*t)),
         Request::Topk { query, k } => (query, QueryMode::Topk(*k as usize)),
@@ -401,7 +515,12 @@ fn run_query(shared: &Shared, req: &Request) -> std::result::Result<HitsReply, S
         query.options.quick_browse = ext.quick_browse;
         query.budget = QueryBudget {
             max_distance_computations: ext.max_distance_computations,
-            deadline: ext.deadline_ms.map(Duration::from_millis),
+            // Queue wait already spent part of the deadline; execution
+            // gets only the remainder (the caller checked it is > 0).
+            deadline: ext.deadline_ms.map(|ms| {
+                let full = Duration::from_millis(ms);
+                queue_wait.map_or(full, |w| full.saturating_sub(w))
+            }),
         };
     }
     let resp = snap.execute(&query, &store).map_err(|e| e.to_string())?;

@@ -182,8 +182,11 @@ impl Snapshot {
 
 /// Read and replay `dir`'s delta log against `manifest`. Stale logs
 /// (compacted already) read as empty; the metric mismatch and damage
-/// cases are typed errors.
+/// cases are typed errors — as is the debris of a compaction that
+/// crashed mid-rebuild (partitions possibly mixing old and new builds):
+/// replaying a still-current log over them would double-apply records.
 fn load_overlay(dir: &Path, manifest: &LakeManifest) -> Result<AnyOverlay> {
+    pexeso_delta::verify_no_crashed_compaction(dir, manifest)?;
     let state = match read_log(dir)? {
         Some(contents) => match check_header(&contents.header, manifest)? {
             LogStatus::Current => DeltaState::replay(&contents.records),

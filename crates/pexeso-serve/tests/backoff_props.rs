@@ -1,0 +1,147 @@
+//! Property tests for the retry schedule ([`pexeso_serve::resilient::plan_retry`]):
+//! the pure function behind every [`pexeso_serve::ResilientClient`] retry
+//! decision. Pinned invariants:
+//!
+//! * retries are bounded: `None` once `retry > max_retries`;
+//! * every delay respects the jitter envelope: at least `base`, at most
+//!   `cap`, and at most `max(prev, base) · multiplier`;
+//! * the deadline is inviolable: any delay is strictly below the
+//!   remaining budget, and a whole simulated retry loop's sleep time
+//!   never exceeds the deadline;
+//! * the schedule is a pure function of (policy, inputs, seed): same
+//!   seed, same schedule.
+
+use std::time::Duration;
+
+use pexeso_serve::resilient::{plan_retry, BackoffPolicy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a policy from raw draws (cap ≥ base by construction).
+fn policy_from(base_ms: u64, extra_ms: u64, multiplier: u32, retries: u32) -> BackoffPolicy {
+    BackoffPolicy {
+        base: Duration::from_millis(base_ms),
+        cap: Duration::from_millis(base_ms + extra_ms),
+        multiplier,
+        max_retries: retries,
+    }
+}
+
+proptest! {
+    /// Delays always sit inside [base, min(cap, max(prev, base)·mult)],
+    /// and attempts stop exactly at max_retries.
+    #[test]
+    fn delays_respect_the_envelope_and_the_retry_bound(
+        params in (1u64..50, 1u64..500, 1u32..6, 0u32..12),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (base_ms, extra_ms, multiplier, retries) = params;
+        let policy = policy_from(base_ms, extra_ms, multiplier, retries);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prev = policy.base;
+        for retry in 1..=policy.max_retries {
+            let d = plan_retry(&policy, retry, prev, None, &mut rng)
+                .expect("no deadline: every in-bound retry is allowed");
+            prop_assert!(d >= policy.base, "delay {d:?} under base");
+            prop_assert!(d <= policy.cap, "delay {d:?} over cap");
+            let envelope = prev
+                .max(policy.base)
+                .saturating_mul(policy.multiplier.max(1))
+                .min(policy.cap);
+            prop_assert!(d <= envelope, "delay {d:?} escapes envelope {envelope:?}");
+            prev = d;
+        }
+        prop_assert_eq!(
+            plan_retry(&policy, policy.max_retries + 1, prev, None, &mut rng),
+            None
+        );
+    }
+
+    /// With a remaining budget, a granted delay is strictly below it; a
+    /// budget at or under base grants nothing.
+    #[test]
+    fn no_single_delay_reaches_the_remaining_budget(
+        params in (1u64..50, 1u64..500, 1u32..6, 1u32..12),
+        draws in (0u64..u64::MAX, 0u64..1_000, 0u64..1_000),
+    ) {
+        let (base_ms, extra_ms, multiplier, retries) = params;
+        let (seed, prev_ms, remaining_ms) = draws;
+        let policy = policy_from(base_ms, extra_ms, multiplier, retries);
+        prop_assume!(policy.max_retries >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let remaining = Duration::from_millis(remaining_ms);
+        match plan_retry(&policy, 1, Duration::from_millis(prev_ms), Some(remaining), &mut rng) {
+            Some(d) => prop_assert!(d < remaining, "delay {d:?} >= remaining {remaining:?}"),
+            None => prop_assert!(
+                remaining <= policy.cap,
+                "a refusal with {remaining:?} of room means every candidate \
+                 delay (≤ cap {:?}) was >= it — impossible",
+                policy.cap
+            ),
+        }
+        if remaining <= policy.base {
+            let refused = plan_retry(
+                &policy, 1, Duration::from_millis(prev_ms), Some(remaining), &mut rng,
+            );
+            prop_assert_eq!(refused, None, "budget ≤ base must never sleep");
+        }
+    }
+
+    /// A whole simulated retry loop: total time slept never exceeds the
+    /// deadline budget, however the failures fall.
+    #[test]
+    fn total_retry_sleep_never_exceeds_the_deadline(
+        params in (1u64..50, 1u64..500, 1u32..6, 0u32..12),
+        draws in (0u64..u64::MAX, 1u64..2_000),
+    ) {
+        let (base_ms, extra_ms, multiplier, retries) = params;
+        let (seed, deadline_ms) = draws;
+        let policy = policy_from(base_ms, extra_ms, multiplier, retries);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deadline = Duration::from_millis(deadline_ms);
+        let mut slept = Duration::ZERO;
+        let mut prev = policy.base;
+        let mut retry = 0u32;
+        loop {
+            retry += 1;
+            let remaining = deadline.saturating_sub(slept);
+            match plan_retry(&policy, retry, prev, Some(remaining), &mut rng) {
+                Some(d) => {
+                    slept += d;
+                    prev = d;
+                    prop_assert!(
+                        slept < deadline,
+                        "cumulative sleep {slept:?} crossed deadline {deadline:?}"
+                    );
+                }
+                None => break,
+            }
+            prop_assert!(retry <= policy.max_retries + 1, "loop must terminate");
+        }
+    }
+
+    /// Same seed and inputs → byte-identical schedule (what makes chaos
+    /// runs replayable).
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        params in (1u64..50, 1u64..500, 1u32..6, 0u32..12),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (base_ms, extra_ms, multiplier, retries) = params;
+        let policy = policy_from(base_ms, extra_ms, multiplier, retries);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prev = policy.base;
+            let mut out = Vec::new();
+            for retry in 1..=policy.max_retries {
+                match plan_retry(&policy, retry, prev, None, &mut rng) {
+                    Some(d) => { out.push(d); prev = d; }
+                    None => break,
+                }
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -7,8 +7,8 @@
 //! pexeso compact --index <index-dir> [--partitions N] [--policy seq|par|par:N]
 //! pexeso search  --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy ...]
 //! pexeso topk    --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...]
-//! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--cache 4096]
-//! pexeso query   --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...]
+//! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--fault-profile <spec>]
+//! pexeso query   --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...]
 //! pexeso query   --addr <host:port> --stats | --reload [--reload-dir <dir>] | --apply | --shutdown
 //! ```
 //!
@@ -24,6 +24,12 @@
 //! in seconds (and, with `--addr`, tells a live daemon to publish them
 //! without reloading its base snapshot), `drop` tombstones tables, and
 //! `compact` folds the log into fresh base partitions.
+//!
+//! `query` accepts a comma-separated replica list in `--addr`: queries
+//! then go through the retrying, failover-capable client, and the reply
+//! is byte-identical whichever replica answered. `serve --fault-profile`
+//! arms the deterministic fault-injection registry (dev/chaos-testing
+//! only — never in production).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -37,7 +43,9 @@ use std::time::Duration;
 type CliResult<T> = std::result::Result<T, String>;
 use pexeso_lake::csv::read_table_file;
 use pexeso_lake::keycol::KeyColumnConfig;
-use pexeso_serve::{ServeClient, ServeConfig, Server};
+use pexeso_serve::{
+    ResilientClient, ResilientConfig, RetryStats, ServeClient, ServeConfig, Server,
+};
 
 /// One legal flag of a subcommand.
 struct FlagSpec {
@@ -104,7 +112,9 @@ const SERVE_FLAGS: &[FlagSpec] = &[
     val("port"),
     val("workers"),
     val("queue"),
+    val("soft-queue"),
     val("cache"),
+    val("fault-profile"),
     switch("help"),
 ];
 const QUERY_FLAGS: &[FlagSpec] = &[
@@ -144,10 +154,10 @@ fn usage_text(cmd: &str) -> &'static str {
             "pexeso topk --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]"
         }
         "serve" => {
-            "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--cache 4096]"
+            "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--fault-profile <point:after:action[:param],...>]"
         }
         "query" => {
-            "pexeso query --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]\n\
+            "pexeso query --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]\n\
              pexeso query --addr <host:port> --stats | --reload [--reload-dir <dir>] | --apply | --shutdown"
         }
         _ => "",
@@ -496,13 +506,27 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
         (None, Some(port)) => format!("127.0.0.1:{port}"),
         (None, None) => "127.0.0.1:7878".to_string(),
     };
+    let soft_watermark: Option<usize> = match flags.get("soft-queue") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| format!("bad --soft-queue '{v}': {e}"))?,
+        ),
+    };
     let config = ServeConfig {
         workers: parse_or(flags, "workers", 4)?,
         queue_capacity: parse_or(flags, "queue", 64)?,
+        queue_soft_watermark: soft_watermark,
         cache_capacity: parse_or(flags, "cache", 4096)?,
         ..Default::default()
     };
     let workers = config.workers;
+    // Dev-only: arm deterministic faults in this process before the
+    // daemon starts, so chaos tests can crash it at a chosen point.
+    if let Some(profile) = flags.get("fault-profile") {
+        pexeso_core::fault::arm_profile(profile).map_err(|e| format!("--fault-profile: {e}"))?;
+        eprintln!("pexeso serve: FAULT INJECTION ARMED ({profile}) — dev/chaos use only");
+    }
     let handle = Server::start(&index_dir, addr.as_str(), config).map_err(|e| e.to_string())?;
     println!(
         "pexeso serve: listening on {} ({} workers, index {})",
@@ -516,8 +540,37 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Connect to the first reachable replica and fetch the lake facts the
+/// query embedding needs (the dimension). Replicas serve one deployment,
+/// so any of them is authoritative.
+fn probe_info(addrs: &[String]) -> CliResult<pexeso_serve::InfoReply> {
+    let mut last = String::from("no address given");
+    for addr in addrs {
+        match ServeClient::connect(addr.as_str())
+            .map_err(|e| e.to_string())
+            .and_then(|c| c.info().map_err(|e| e.to_string()))
+        {
+            Ok(info) => return Ok(info),
+            Err(e) => last = format!("{addr}: {e}"),
+        }
+    }
+    Err(format!("no replica reachable ({last})"))
+}
+
 fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
-    let addr = flags.get("addr").ok_or("--addr is required")?;
+    // `--addr` takes a comma-separated replica list; queries fail over
+    // between them, admin verbs address exactly one daemon.
+    let addrs: Vec<String> = flags
+        .get("addr")
+        .ok_or("--addr is required")?
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err("--addr needs at least one host:port".into());
+    }
+    let addr = &addrs[0];
     // Exactly one mode: at most one admin verb, no silently-ignored flags.
     let admin_verbs: Vec<&str> = ["stats", "shutdown", "reload", "reload-dir", "apply"]
         .into_iter()
@@ -551,9 +604,107 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     if flags.contains_key("t") && flags.contains_key("k") {
         return Err("--t (threshold search) and --k (top-k) are mutually exclusive".into());
     }
-    let client = ServeClient::connect(addr.as_str())
-        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if !admin_verbs.is_empty() && addrs.len() > 1 {
+        return Err(format!(
+            "--{} addresses one daemon; pass a single --addr",
+            admin_verbs[0]
+        ));
+    }
 
+    if !admin_verbs.is_empty() {
+        let client = ServeClient::connect(addr.as_str())
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        return run_admin_verb(flags, addr, &client);
+    }
+
+    let tau: f32 = parse_or(flags, "tau", 0.06)?;
+    let policy = parse_policy(flags)?;
+    let budget = parse_budget(flags)?;
+    let info = probe_info(&addrs)?;
+    let (values, embedder) = load_query(flags, info.dim as usize)?;
+    let query = embed_query(&embedder, &values);
+
+    let t: f64 = parse_or(flags, "t", 0.5)?;
+    let q = if let Some(k) = flags.get("k") {
+        let k: usize = k.parse().map_err(|e| format!("bad --k '{k}': {e}"))?;
+        Query::topk(Tau::Ratio(tau), k)
+    } else {
+        Query::threshold(Tau::Ratio(tau), JoinThreshold::Ratio(t))
+    }
+    .with_policy(policy)
+    .expect_metric("euclidean")
+    .with_budget(budget);
+
+    if addrs.len() == 1 {
+        // One daemon: the detailed client surfaces the serve-side
+        // generation and cache-hit flag alongside the unified reply.
+        let client = ServeClient::connect(addr.as_str())
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let (resp, meta) = client
+            .execute_detailed(&q, query.store())
+            .map_err(|e| e.to_string())?;
+        match q.mode {
+            QueryMode::Topk(k) => println!(
+                "\ntop-{k} joinable columns (tau={tau}, snapshot generation {}{}{}):",
+                meta.generation,
+                if meta.cached { ", cached" } else { "" },
+                outcome_suffix(&resp)
+            ),
+            QueryMode::Threshold(_) => println!(
+                "\n{} joinable columns (tau={tau}, T={t}, snapshot generation {}{}{}):",
+                resp.hits.len(),
+                meta.generation,
+                if meta.cached { ", cached" } else { "" },
+                outcome_suffix(&resp)
+            ),
+        }
+        print_hits(&resp.hits);
+        return Ok(());
+    }
+
+    // Replica set: the resilient client retries with jittered backoff,
+    // fails over between addresses, and never retries past the deadline.
+    // Exactness makes the failover invisible: every replica serves the
+    // same deployment, so the reply is byte-identical regardless of which
+    // one answered.
+    let resilient =
+        ResilientClient::new(&addrs, ResilientConfig::default()).map_err(|e| e.to_string())?;
+    let remote: &dyn Queryable = &resilient;
+    let resp = remote
+        .execute(&q, query.store())
+        .map_err(|e| e.to_string())?;
+    match q.mode {
+        QueryMode::Topk(k) => println!(
+            "\ntop-{k} joinable columns (tau={tau}, {} replicas{}):",
+            addrs.len(),
+            outcome_suffix(&resp)
+        ),
+        QueryMode::Threshold(_) => println!(
+            "\n{} joinable columns (tau={tau}, T={t}, {} replicas{}):",
+            resp.hits.len(),
+            addrs.len(),
+            outcome_suffix(&resp)
+        ),
+    }
+    print_hits(&resp.hits);
+    let s = resilient.stats();
+    if s != RetryStats::default() {
+        println!(
+            "client resilience: retries={} failovers={} busy={} shed={} \
+             desyncs={} deadline_stops={} circuit_opens={}",
+            s.retries, s.failovers, s.busy, s.shed, s.desyncs, s.deadline_stops, s.circuit_opens
+        );
+    }
+    Ok(())
+}
+
+/// Dispatch one admin verb (`--stats`, `--shutdown`, `--reload`,
+/// `--apply`) on a connected daemon.
+fn run_admin_verb(
+    flags: &HashMap<String, String>,
+    addr: &str,
+    client: &ServeClient,
+) -> CliResult<()> {
     if flags.contains_key("stats") {
         print!("{}", client.stats_text().map_err(|e| e.to_string())?);
         return Ok(());
@@ -578,46 +729,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
         );
         return Ok(());
     }
-
-    let tau: f32 = parse_or(flags, "tau", 0.06)?;
-    let policy = parse_policy(flags)?;
-    let budget = parse_budget(flags)?;
-    let info = client.info().map_err(|e| e.to_string())?;
-    let (values, embedder) = load_query(flags, info.dim as usize)?;
-    let query = embed_query(&embedder, &values);
-
-    let t: f64 = parse_or(flags, "t", 0.5)?;
-    let q = if let Some(k) = flags.get("k") {
-        let k: usize = k.parse().map_err(|e| format!("bad --k '{k}': {e}"))?;
-        Query::topk(Tau::Ratio(tau), k)
-    } else {
-        Query::threshold(Tau::Ratio(tau), JoinThreshold::Ratio(t))
-    }
-    .with_policy(policy)
-    .expect_metric("euclidean")
-    .with_budget(budget);
-    // The remote backend speaks the same unified query; the detailed form
-    // also surfaces the serve-side generation and cache-hit flag.
-    let (resp, meta) = client
-        .execute_detailed(&q, query.store())
-        .map_err(|e| e.to_string())?;
-    match q.mode {
-        QueryMode::Topk(k) => println!(
-            "\ntop-{k} joinable columns (tau={tau}, snapshot generation {}{}{}):",
-            meta.generation,
-            if meta.cached { ", cached" } else { "" },
-            outcome_suffix(&resp)
-        ),
-        QueryMode::Threshold(_) => println!(
-            "\n{} joinable columns (tau={tau}, T={t}, snapshot generation {}{}{}):",
-            resp.hits.len(),
-            meta.generation,
-            if meta.cached { ", cached" } else { "" },
-            outcome_suffix(&resp)
-        ),
-    }
-    print_hits(&resp.hits);
-    Ok(())
+    unreachable!("caller dispatches here only with an admin verb present")
 }
 
 fn main() -> ExitCode {
