@@ -516,17 +516,24 @@ mod tests {
                 };
                 let (seq, seq_cand, seq_match) = run(ExecPolicy::Sequential);
                 for threads in [2usize, 4, 16] {
-                    let (par, par_cand, par_match) = run(ExecPolicy::Parallel { threads });
-                    assert_eq!(
-                        seq.matching, par.matching,
-                        "m={m} tau={tau} threads={threads}"
-                    );
-                    assert_eq!(
-                        seq.candidates, par.candidates,
-                        "m={m} tau={tau} threads={threads}"
-                    );
-                    assert_eq!(seq_cand, par_cand);
-                    assert_eq!(seq_match, par_match);
+                    // `Fixed` bypasses the adaptive clamp: real fan-out
+                    // even on single-core hosts.
+                    for policy in [
+                        ExecPolicy::Parallel { threads },
+                        ExecPolicy::Fixed { threads },
+                    ] {
+                        let (par, par_cand, par_match) = run(policy);
+                        assert_eq!(
+                            seq.matching, par.matching,
+                            "m={m} tau={tau} threads={threads}"
+                        );
+                        assert_eq!(
+                            seq.candidates, par.candidates,
+                            "m={m} tau={tau} threads={threads}"
+                        );
+                        assert_eq!(seq_cand, par_cand);
+                        assert_eq!(seq_match, par_match);
+                    }
                 }
             }
         }
@@ -555,9 +562,14 @@ mod tests {
             )
         };
         let seq = run(ExecPolicy::Sequential);
-        let par = run(ExecPolicy::Parallel { threads: 5 });
-        assert_eq!(seq.matching, par.matching);
-        assert_eq!(seq.candidates, par.candidates);
+        for policy in [
+            ExecPolicy::Parallel { threads: 5 },
+            ExecPolicy::Fixed { threads: 5 },
+        ] {
+            let par = run(policy);
+            assert_eq!(seq.matching, par.matching, "{policy:?}");
+            assert_eq!(seq.candidates, par.candidates, "{policy:?}");
+        }
     }
 
     #[test]

@@ -135,18 +135,33 @@ impl LemmaFlags {
 ///
 /// Every parallel code path in this crate is *deterministic*: work is
 /// sharded so each unit's result is independent of the number of threads,
-/// and shards are merged in a fixed order. Consequently
-/// [`ExecPolicy::Sequential`] and [`ExecPolicy::Parallel`] produce
-/// byte-identical outputs (enforced by the differential tests in
+/// and shards are merged in a fixed order. Consequently every policy
+/// produces byte-identical outputs (enforced by the differential tests in
 /// `tests/exactness.rs`), and the policy is purely a throughput knob.
+///
+/// [`ExecPolicy::Parallel`] is *adaptive*: the execution layer
+/// ([`crate::exec`]) treats the thread count as a ceiling and falls back
+/// to fewer threads — or a plain sequential run — whenever the machine has
+/// fewer cores or the per-shard work would sit below the thread-spawn
+/// break-even, so asking for more threads can never make a query slower.
+/// [`ExecPolicy::Fixed`] bypasses that clamp and shards exactly as asked;
+/// it exists so differential tests and calibration runs can force the
+/// sharded code paths to execute even on machines where the adaptive
+/// policy would (correctly) stay sequential.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecPolicy {
     /// Single-threaded; the default, and what the paper's experiments time.
     #[default]
     Sequential,
-    /// Shard work across `threads` OS threads (`std::thread::scope`).
-    /// `threads == 0` resolves to the machine's available parallelism.
+    /// Shard work across *up to* `threads` OS threads
+    /// (`std::thread::scope`), adaptively clamped to the machine's cores
+    /// and the per-shard spawn break-even. `threads == 0` resolves to the
+    /// machine's available parallelism.
     Parallel { threads: usize },
+    /// Shard work across *exactly* `threads` OS threads, bypassing the
+    /// adaptive clamp. For differential tests and calibration; prefer
+    /// [`ExecPolicy::Parallel`] in production.
+    Fixed { threads: usize },
 }
 
 impl ExecPolicy {
@@ -156,7 +171,8 @@ impl ExecPolicy {
     }
 
     /// Parse the CLI/protocol spelling of a policy: `seq`, `par`
-    /// (machine-sized), or `par:N` for an explicit thread count.
+    /// (machine-sized), `par:N` for an explicit adaptive ceiling, or
+    /// `fixed:N` for an exact unclamped thread count.
     pub fn parse(s: &str) -> Result<Self> {
         match s {
             "seq" | "sequential" => Ok(ExecPolicy::Sequential),
@@ -172,16 +188,27 @@ impl ExecPolicy {
                         ));
                     }
                     Ok(ExecPolicy::Parallel { threads })
+                } else if let Some(n) = s.strip_prefix("fixed:") {
+                    let threads: usize = n.parse().map_err(|_| {
+                        PexesoError::InvalidParameter(format!("bad thread count in policy '{s}'"))
+                    })?;
+                    if threads == 0 {
+                        return Err(PexesoError::InvalidParameter(
+                            "fixed:0 makes no sense; use 'seq' for single-threaded".into(),
+                        ));
+                    }
+                    Ok(ExecPolicy::Fixed { threads })
                 } else {
                     Err(PexesoError::InvalidParameter(format!(
-                        "unknown policy '{s}' (expected seq, par, or par:N)"
+                        "unknown policy '{s}' (expected seq, par, par:N, or fixed:N)"
                     )))
                 }
             }
         }
     }
 
-    /// The number of worker threads this policy resolves to (≥ 1).
+    /// The number of worker threads this policy *requests* (≥ 1), before
+    /// the adaptive clamp in [`crate::exec`] is applied.
     pub fn effective_threads(self) -> usize {
         match self {
             ExecPolicy::Sequential => 1,
@@ -189,6 +216,7 @@ impl ExecPolicy {
                 .map(|n| n.get())
                 .unwrap_or(1),
             ExecPolicy::Parallel { threads } => threads,
+            ExecPolicy::Fixed { threads } => threads.max(1),
         }
     }
 }
@@ -302,6 +330,8 @@ mod tests {
     fn exec_policy_resolves_threads() {
         assert_eq!(ExecPolicy::Sequential.effective_threads(), 1);
         assert_eq!(ExecPolicy::Parallel { threads: 3 }.effective_threads(), 3);
+        assert_eq!(ExecPolicy::Fixed { threads: 5 }.effective_threads(), 5);
+        assert_eq!(ExecPolicy::Fixed { threads: 0 }.effective_threads(), 1);
         assert!(ExecPolicy::auto().effective_threads() >= 1);
         assert_eq!(ExecPolicy::default(), ExecPolicy::Sequential);
     }
@@ -318,8 +348,14 @@ mod tests {
             ExecPolicy::parse("par:8").unwrap(),
             ExecPolicy::Parallel { threads: 8 }
         );
+        assert_eq!(
+            ExecPolicy::parse("fixed:4").unwrap(),
+            ExecPolicy::Fixed { threads: 4 }
+        );
         assert!(ExecPolicy::parse("par:0").is_err());
         assert!(ExecPolicy::parse("par:x").is_err());
+        assert!(ExecPolicy::parse("fixed:0").is_err());
+        assert!(ExecPolicy::parse("fixed:x").is_err());
         assert!(ExecPolicy::parse("turbo").is_err());
     }
 

@@ -121,7 +121,13 @@ pub fn verify_daat<M: Metric>(
                     'cells: for cur in &group {
                         let cell = cells[cur.cell_idx as usize];
                         let postings = ctx.inv.postings(cell).expect("cursor from postings");
-                        for &vid in postings.vectors_of(cur.entry as usize) {
+                        let vids = postings.vectors_of(cur.entry as usize);
+                        for (vi, &vid) in vids.iter().enumerate() {
+                            // Hide the gather latency of the next candidate
+                            // row behind this one's distance test.
+                            if let Some(&next) = vids.get(vi + 1) {
+                                crate::kernel::prefetch(ctx.columns.store().get_raw(next as usize));
+                            }
                             let xm = ctx.rv_mapped.get(vid as usize);
                             if ctx.flags.lemma1_vector_filter
                                 && lemmas::lemma1_filter(qm, xm, ctx.tau)
@@ -137,7 +143,7 @@ pub fn verify_daat<M: Metric>(
                             } else {
                                 stats.distance_computations += 1;
                                 let xv = ctx.columns.store().get_raw(vid as usize);
-                                ctx.metric.dist(qv, xv) <= ctx.tau
+                                ctx.metric.dist_le(qv, xv, ctx.tau)
                             };
                             if is_match {
                                 found = true;

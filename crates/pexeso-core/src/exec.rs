@@ -14,8 +14,22 @@
 //! No external runtime (rayon et al.) is used: the registry-less build
 //! environment bakes in only the standard library, and scoped threads are
 //! all these fork-join shapes need.
+//!
+//! ## Adaptive parallelism
+//!
+//! [`ExecPolicy::Parallel`]'s thread count is a *ceiling*, not a command:
+//! every helper clamps it to the machine's available cores and to a
+//! per-shard work break-even before spawning anything, so a parallel
+//! policy degenerates to the sequential path whenever threads cannot pay
+//! for themselves (an 8-thread request on a 1-core box, or a shard that
+//! would carry less work than one spawn+join costs). The break-even floor
+//! is calibrated once per process against the actual measured spawn cost.
+//! [`ExecPolicy::Fixed`] bypasses the clamp and shards exactly as asked —
+//! it keeps the sharded merge code exercised by differential tests on
+//! machines where the adaptive policy would (correctly) never shard.
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
 use crate::config::ExecPolicy;
 
@@ -25,6 +39,76 @@ use crate::config::ExecPolicy;
 /// shard needs roughly a millisecond of work to pay for itself; stages
 /// with very cheap per-item cost pass a larger `min_items` of their own.
 pub const MIN_PARALLEL_ITEMS: usize = 2048;
+
+/// Spawn+join cost (ns) the `min_items` floors are written against. The
+/// calibration below scales the floors up when the machine is slower.
+const BASELINE_SPAWN_NS: u64 = 25_000;
+
+/// The machine's available parallelism, resolved once.
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// One-time spawn-cost calibration: how many times more expensive a
+/// scoped spawn+join is on this machine than the [`BASELINE_SPAWN_NS`]
+/// the `min_items` floors assume. The minimum of a few trials filters
+/// scheduler noise; capped at 8× so one pathological measurement cannot
+/// effectively disable parallelism.
+fn spawn_cost_factor() -> usize {
+    static FACTOR: OnceLock<usize> = OnceLock::new();
+    *FACTOR.get_or_init(|| {
+        let mut best = u64::MAX;
+        for _ in 0..4 {
+            let start = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {});
+            });
+            best = best.min(start.elapsed().as_nanos() as u64);
+        }
+        (best / BASELINE_SPAWN_NS).clamp(1, 8) as usize
+    })
+}
+
+/// Resolve how many shards a compute-bound stage may use for `n` items:
+/// the policy's requested ceiling, clamped to the machine's cores and to
+/// the number of shards that each still carry at least `min_items` items
+/// (scaled by the calibrated spawn cost). [`ExecPolicy::Fixed`] is exempt
+/// from the clamp. The result is a thread *count* only — sharding stays
+/// deterministic, so the clamp can never change results.
+fn plan_threads(policy: ExecPolicy, n: usize, min_items: usize) -> usize {
+    match policy {
+        ExecPolicy::Sequential => 1,
+        ExecPolicy::Fixed { threads } => threads.max(1),
+        ExecPolicy::Parallel { .. } => {
+            let requested = policy.effective_threads();
+            if requested <= 1 {
+                return 1;
+            }
+            let floor = min_items.max(1).saturating_mul(spawn_cost_factor());
+            requested.min(hardware_threads()).min((n / floor).max(1))
+        }
+    }
+}
+
+/// Thread count for *coarse, I/O-overlapping* units (one disk partition
+/// per unit): clamped to twice the core count rather than the compute
+/// break-even, because a waiting thread costs nothing while another
+/// unit's disk read is in flight — overlap pays even on a single core.
+fn plan_unit_threads(policy: ExecPolicy, n: usize) -> usize {
+    match policy {
+        ExecPolicy::Sequential => 1,
+        ExecPolicy::Fixed { threads } => threads.max(1).min(n.max(1)),
+        ExecPolicy::Parallel { .. } => policy
+            .effective_threads()
+            .min(hardware_threads() * 2)
+            .min(n.max(1)),
+    }
+}
 
 /// Split `0..n` into at most `threads` contiguous, non-empty ranges.
 fn shards(n: usize, threads: usize) -> Vec<Range<usize>> {
@@ -54,8 +138,8 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let threads = policy.effective_threads();
-    if threads <= 1 || n < min_items.max(2) {
+    let threads = plan_threads(policy, n, min_items);
+    if threads <= 1 || n < 2 {
         return vec![f(0..n)];
     }
     let ranges = shards(n, threads);
@@ -97,8 +181,8 @@ where
     assert!(width > 0, "slot width must be positive");
     debug_assert_eq!(out.len() % width, 0);
     let n = out.len() / width;
-    let threads = policy.effective_threads();
-    if threads <= 1 || n < min_items.max(2) {
+    let threads = plan_threads(policy, n, min_items);
+    if threads <= 1 || n < 2 {
         f(0..n, out);
         return;
     }
@@ -124,7 +208,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = policy.effective_threads().min(n.max(1));
+    let threads = plan_unit_threads(policy, n);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
@@ -165,7 +249,7 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
-    let threads = policy.effective_threads().min(n.max(1));
+    let threads = plan_unit_threads(policy, n);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
@@ -240,10 +324,16 @@ mod tests {
         let seq: u64 = map_ranges(ExecPolicy::Sequential, n, work)
             .into_iter()
             .sum();
-        let par: u64 = map_ranges(ExecPolicy::Parallel { threads: 7 }, n, work)
-            .into_iter()
-            .sum();
-        assert_eq!(seq, par);
+        // Fixed bypasses the adaptive clamp, so the sharded merge genuinely
+        // runs even on a single-core machine; Parallel may legitimately
+        // degrade to one shard there but must still agree.
+        for policy in [
+            ExecPolicy::Fixed { threads: 7 },
+            ExecPolicy::Parallel { threads: 7 },
+        ] {
+            let par: u64 = map_ranges(policy, n, work).into_iter().sum();
+            assert_eq!(seq, par, "{policy:?}");
+        }
     }
 
     #[test]
@@ -259,18 +349,58 @@ mod tests {
         };
         let mut seq = vec![0u32; n * width];
         fill_slots(ExecPolicy::Sequential, &mut seq, width, f);
-        let mut par = vec![0u32; n * width];
-        fill_slots(ExecPolicy::Parallel { threads: 5 }, &mut par, width, f);
-        assert_eq!(seq, par);
+        for policy in [
+            ExecPolicy::Fixed { threads: 5 },
+            ExecPolicy::Parallel { threads: 5 },
+        ] {
+            let mut par = vec![0u32; n * width];
+            fill_slots(policy, &mut par, width, f);
+            assert_eq!(seq, par, "{policy:?}");
+        }
         assert_eq!(seq[7], 7);
     }
 
     #[test]
     fn map_units_preserves_order() {
         let seq = map_units(ExecPolicy::Sequential, 20, |i| i * i);
-        let par = map_units(ExecPolicy::Parallel { threads: 4 }, 20, |i| i * i);
-        assert_eq!(seq, par);
+        for policy in [
+            ExecPolicy::Fixed { threads: 4 },
+            ExecPolicy::Parallel { threads: 4 },
+        ] {
+            let par = map_units(policy, 20, |i| i * i);
+            assert_eq!(seq, par, "{policy:?}");
+        }
         assert_eq!(seq[3], 9);
+    }
+
+    #[test]
+    fn adaptive_clamp_bounds_parallel_but_not_fixed() {
+        let hw = hardware_threads();
+        assert!(hw >= 1);
+        // Parallel: never above the core count, never sharding work below
+        // the spawn break-even, and never zero.
+        for (n, min_items) in [(0usize, 2048usize), (100, 2048), (1 << 20, 2048), (12, 2)] {
+            let t = plan_threads(ExecPolicy::Parallel { threads: 64 }, n, min_items);
+            assert!(t >= 1 && t <= hw, "n={n} -> {t}");
+            if t > 1 {
+                assert!(n / t >= min_items, "shard below break-even: n={n} t={t}");
+            }
+        }
+        // Too little total work is always one shard, whatever the ceiling.
+        assert_eq!(
+            plan_threads(ExecPolicy::Parallel { threads: 64 }, 100, 2048),
+            1
+        );
+        // Fixed is exempt from every clamp.
+        assert_eq!(
+            plan_threads(ExecPolicy::Fixed { threads: 64 }, 100, 2048),
+            64
+        );
+        assert_eq!(plan_threads(ExecPolicy::Sequential, 1 << 20, 1), 1);
+        // Unit planning stays within 2× cores for Parallel, exact for Fixed.
+        assert!(plan_unit_threads(ExecPolicy::Parallel { threads: 64 }, 64) <= hw * 2);
+        assert_eq!(plan_unit_threads(ExecPolicy::Fixed { threads: 6 }, 64), 6);
+        assert_eq!(plan_unit_threads(ExecPolicy::Fixed { threads: 6 }, 3), 3);
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub mod fault;
 pub mod grid;
 pub mod histogram;
 pub mod invindex;
+pub mod kernel;
 pub mod lemmas;
 pub mod mapping;
 pub mod metric;

@@ -216,15 +216,15 @@ mod tests {
         let pivots: Vec<Vec<f32>> = (0..8).map(|i| s.get_raw(i * 11).to_vec()).collect();
         let seq = MappedVectors::build_with(&s, &pivots, &Euclidean, None, ExecPolicy::Sequential)
             .unwrap();
-        let par = MappedVectors::build_with(
-            &s,
-            &pivots,
-            &Euclidean,
-            None,
+        // `Fixed` forces real fan-out even where the adaptive planner
+        // would clamp `Parallel` to the inline path (single-core hosts).
+        for policy in [
             ExecPolicy::Parallel { threads: 8 },
-        )
-        .unwrap();
-        assert_eq!(seq.raw_data(), par.raw_data());
+            ExecPolicy::Fixed { threads: 8 },
+        ] {
+            let par = MappedVectors::build_with(&s, &pivots, &Euclidean, None, policy).unwrap();
+            assert_eq!(seq.raw_data(), par.raw_data(), "{policy:?}");
+        }
     }
 
     #[test]

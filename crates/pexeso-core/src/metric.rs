@@ -13,12 +13,11 @@
 //! the plain [`Metric::dist`]:
 //!
 //! * [`Metric::dist_le`] answers `d(a, b) ≤ τ` **without** committing to the
-//!   full distance: the Euclidean kernel accumulates the *squared* distance
-//!   in four independent lanes (which the compiler auto-vectorises), checks
-//!   a conservative squared bound every block, and bails out early once the
-//!   partial sum alone proves `d > τ` — no `sqrt` and often only a prefix
-//!   of the dimensions touched. When no early exit fires it falls through
-//!   to exactly the same accumulation as `dist`, so the answer is
+//!   full distance: the Euclidean kernel accumulates the *squared* distance,
+//!   checks a conservative squared bound every block, and bails out early
+//!   once the partial sum alone proves `d > τ` — no `sqrt` and often only a
+//!   prefix of the dimensions touched. When no early exit fires it falls
+//!   through to exactly the same accumulation as `dist`, so the answer is
 //!   bit-identical to `dist(a, b) <= tau` (the verification loop depends on
 //!   this for exactness).
 //! * [`Metric::dist_batch`] computes one query against a contiguous arena
@@ -28,6 +27,14 @@
 //!
 //! Both have default implementations in terms of `dist`, so custom metrics
 //! stay one-method simple; the built-in metrics override them.
+//!
+//! The arithmetic itself lives in [`crate::kernel`]: explicit SIMD inner
+//! loops (AVX2 on x86-64, NEON on aarch64, runtime-detected) over an
+//! always-compiled eight-lane scalar ground truth, every tier
+//! bit-identical for finite inputs. See the kernel module docs for the
+//! exact-agreement contract and the `PEXESO_FORCE_SCALAR` escape hatch.
+
+use crate::kernel;
 
 /// A metric space over `&[f32]` vectors.
 ///
@@ -59,6 +66,38 @@ pub trait Metric: Send + Sync + Clone + 'static {
         }
     }
 
+    /// Gather form of [`Metric::dist_le`] for the verification inner loop:
+    /// test the rows named by `vids` (each a row index into the contiguous
+    /// `arena`, `dim` floats per row) against `q` in order, stopping at the
+    /// first row within `tau`. Returns `(rows_tested, first_match)`, where
+    /// `first_match` indexes into `vids`.
+    ///
+    /// Must agree exactly with looping `dist_le` over the rows and breaking
+    /// at the first `true` — same outcome and the same number of rows
+    /// tested, so callers can keep distance-computation counters identical
+    /// across implementations. Overrides may only hoist per-call overhead
+    /// and prefetch ahead, never change which rows are tested.
+    fn dist_le_first(
+        &self,
+        q: &[f32],
+        arena: &[f32],
+        dim: usize,
+        vids: &[u32],
+        tau: f32,
+    ) -> (usize, Option<usize>) {
+        debug_assert_eq!(q.len(), dim);
+        for (i, &vid) in vids.iter().enumerate() {
+            if let Some(&next) = vids.get(i + 1) {
+                kernel::prefetch(&arena[next as usize * dim..]);
+            }
+            let start = vid as usize * dim;
+            if self.dist_le(q, &arena[start..start + dim], tau) {
+                return (i + 1, Some(i));
+            }
+        }
+        (vids.len(), None)
+    }
+
     /// Upper bound on the distance between two L2-unit vectors of the given
     /// dimensionality. Used to resolve ratio-form thresholds (Section V of
     /// the paper) and to bound pivot-space coordinates.
@@ -68,39 +107,6 @@ pub trait Metric: Send + Sync + Clone + 'static {
     fn name(&self) -> &'static str;
 }
 
-/// Dimensions per early-exit block: enough work between threshold checks
-/// to amortise the branch, small enough to exit within a few cache lines.
-const EXIT_BLOCK: usize = 16;
-
-/// Squared Euclidean distance with four independent accumulator lanes.
-/// This exact accumulation order is shared by `dist`, `dist_le` and
-/// `dist_batch` so all three agree bit-for-bit.
-#[inline]
-fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f32; 4];
-    let quads = a.len() / 4;
-    for i in 0..quads {
-        let o = i * 4;
-        for l in 0..4 {
-            let d = a[o + l] - b[o + l];
-            lanes[l] += d * d;
-        }
-    }
-    let mut tail = 0.0f32;
-    for i in quads * 4..a.len() {
-        let d = a[i] - b[i];
-        tail += d * d;
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
-}
-
-/// Combine the lanes the same way `l2_sq`'s epilogue does (no tail yet).
-#[inline]
-fn lane_sum(lanes: [f32; 4]) -> f32 {
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
-}
-
 /// Euclidean (L2) distance. `max_dist_unit` = 2 for unit vectors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Euclidean;
@@ -108,48 +114,31 @@ pub struct Euclidean;
 impl Metric for Euclidean {
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
-        l2_sq(a, b).sqrt()
+        kernel::l2_sq(a, b).sqrt()
     }
 
+    #[inline]
     fn dist_le(&self, a: &[f32], b: &[f32], tau: f32) -> bool {
-        debug_assert_eq!(a.len(), b.len());
-        // Conservative squared bound, evaluated in f64 so its own rounding
-        // can never mask a borderline match: partial sums of squares are
-        // monotone non-decreasing, so once a partial exceeds the inflated
-        // bound the true distance is strictly beyond tau. Anything less
-        // clear-cut falls through to the exact comparison below.
-        let bound = (tau as f64) * (tau as f64) * 1.000_001 + f64::MIN_POSITIVE;
-        let mut lanes = [0.0f32; 4];
-        let quads = a.len() / 4;
-        let mut q = 0;
-        while q < quads {
-            let block_end = (q + EXIT_BLOCK / 4).min(quads);
-            while q < block_end {
-                let o = q * 4;
-                for l in 0..4 {
-                    let d = a[o + l] - b[o + l];
-                    lanes[l] += d * d;
-                }
-                q += 1;
-            }
-            if q < quads && (lane_sum(lanes) as f64) > bound {
-                return false;
-            }
-        }
-        let mut tail = 0.0f32;
-        for i in quads * 4..a.len() {
-            let d = a[i] - b[i];
-            tail += d * d;
-        }
-        // Identical accumulation to `dist` from here on: exact agreement.
-        (lane_sum(lanes) + tail).sqrt() <= tau
+        kernel::l2_le(a, b, tau)
     }
 
     fn dist_batch(&self, q: &[f32], flat: &[f32], out: &mut [f32]) {
         debug_assert_eq!(flat.len(), q.len() * out.len());
         for (row, o) in flat.chunks_exact(q.len()).zip(out.iter_mut()) {
-            *o = l2_sq(q, row).sqrt();
+            *o = kernel::l2_sq(q, row).sqrt();
         }
+    }
+
+    #[inline]
+    fn dist_le_first(
+        &self,
+        q: &[f32],
+        arena: &[f32],
+        dim: usize,
+        vids: &[u32],
+        tau: f32,
+    ) -> (usize, Option<usize>) {
+        kernel::l2_le_first(q, arena, dim, vids, tau)
     }
 
     fn max_dist_unit(&self, _dim: usize) -> f32 {
@@ -165,61 +154,21 @@ impl Metric for Euclidean {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Manhattan;
 
-/// L1 with the same lane structure as [`l2_sq`].
-#[inline]
-fn l1(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f32; 4];
-    let quads = a.len() / 4;
-    for i in 0..quads {
-        let o = i * 4;
-        for l in 0..4 {
-            lanes[l] += (a[o + l] - b[o + l]).abs();
-        }
-    }
-    let mut tail = 0.0f32;
-    for i in quads * 4..a.len() {
-        tail += (a[i] - b[i]).abs();
-    }
-    lane_sum(lanes) + tail
-}
-
 impl Metric for Manhattan {
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
-        l1(a, b)
+        kernel::l1(a, b)
     }
 
+    #[inline]
     fn dist_le(&self, a: &[f32], b: &[f32], tau: f32) -> bool {
-        debug_assert_eq!(a.len(), b.len());
-        let bound = (tau as f64) * 1.000_001 + f64::MIN_POSITIVE;
-        let mut lanes = [0.0f32; 4];
-        let quads = a.len() / 4;
-        let mut q = 0;
-        while q < quads {
-            let block_end = (q + EXIT_BLOCK / 4).min(quads);
-            while q < block_end {
-                let o = q * 4;
-                for l in 0..4 {
-                    lanes[l] += (a[o + l] - b[o + l]).abs();
-                }
-                q += 1;
-            }
-            if q < quads && (lane_sum(lanes) as f64) > bound {
-                return false;
-            }
-        }
-        let mut tail = 0.0f32;
-        for i in quads * 4..a.len() {
-            tail += (a[i] - b[i]).abs();
-        }
-        lane_sum(lanes) + tail <= tau
+        kernel::l1_le(a, b, tau)
     }
 
     fn dist_batch(&self, q: &[f32], flat: &[f32], out: &mut [f32]) {
         debug_assert_eq!(flat.len(), q.len() * out.len());
         for (row, o) in flat.chunks_exact(q.len()).zip(out.iter_mut()) {
-            *o = l1(q, row);
+            *o = kernel::l1(q, row);
         }
     }
 
@@ -243,15 +192,7 @@ pub struct Angular;
 impl Metric for Angular {
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let mut dot = 0.0f32;
-        let mut na = 0.0f32;
-        let mut nb = 0.0f32;
-        for (x, y) in a.iter().zip(b.iter()) {
-            dot += x * y;
-            na += x * x;
-            nb += y * y;
-        }
+        let (dot, na, nb) = kernel::angular_parts(a, b);
         if na == 0.0 || nb == 0.0 {
             return std::f32::consts::FRAC_PI_2;
         }
@@ -275,18 +216,22 @@ pub struct Chebyshev;
 impl Metric for Chebyshev {
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f32::max)
+        kernel::linf(a, b)
     }
 
     /// `max` is exact under any evaluation order, so the early exit (bail
-    /// at the first coordinate beyond τ) is trivially equivalent.
+    /// at the first block with a coordinate beyond τ) is trivially
+    /// equivalent.
+    #[inline]
     fn dist_le(&self, a: &[f32], b: &[f32], tau: f32) -> bool {
-        debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= tau)
+        kernel::linf_le(a, b, tau)
+    }
+
+    fn dist_batch(&self, q: &[f32], flat: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(flat.len(), q.len() * out.len());
+        for (row, o) in flat.chunks_exact(q.len()).zip(out.iter_mut()) {
+            *o = kernel::linf(q, row);
+        }
     }
 
     fn max_dist_unit(&self, _dim: usize) -> f32 {

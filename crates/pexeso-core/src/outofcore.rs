@@ -295,6 +295,20 @@ impl PartitionedLake {
         })
     }
 
+    /// Typed batch execution: the engine behind
+    /// [`Queryable::execute_many`], sweeping partition-major so every
+    /// partition file is loaded once for the whole batch.
+    pub(crate) fn execute_many_typed<M: Metric>(
+        &self,
+        metric: M,
+        query: &Query,
+        columns: &[&VectorStore],
+    ) -> Result<Vec<QueryResponse>> {
+        execute_partitioned_many(self.partition_files.len(), query, columns, |i| {
+            load_index(&self.partition_files[i], metric.clone())
+        })
+    }
+
     /// The metric this deployment must be queried with: an explicit
     /// [`Query::metric`] expectation, cross-checked against the directory
     /// manifest when one exists (a mismatch is a typed error — the
@@ -438,6 +452,23 @@ impl Queryable for PartitionedLake {
             ))),
         }
     }
+
+    /// Batch execution sweeps the lake partition-major, loading each
+    /// partition file once for all columns instead of once per column —
+    /// `partitions` disk loads instead of `columns × partitions`. Hits,
+    /// outcomes, and stats counters per column are identical to solo
+    /// [`Queryable::execute`] calls (see `execute_partitioned_many`).
+    fn execute_many(&self, query: &Query, columns: &[&VectorStore]) -> Result<Vec<QueryResponse>> {
+        match self.resolve_metric_name(query)?.as_str() {
+            "euclidean" => self.execute_many_typed(Euclidean, query, columns),
+            "manhattan" => self.execute_many_typed(Manhattan, query, columns),
+            "chebyshev" => self.execute_many_typed(Chebyshev, query, columns),
+            "angular" => self.execute_many_typed(Angular, query, columns),
+            other => Err(PexesoError::InvalidParameter(format!(
+                "unsupported metric '{other}'"
+            ))),
+        }
+    }
 }
 
 /// Resolve a partition-local result into caller-stable global hits.
@@ -484,10 +515,31 @@ pub fn execute_on_index<M: Metric>(
     vectors: &VectorStore,
     guard: &mut Option<BudgetGuard>,
 ) -> Result<(Vec<GlobalHit>, SearchStats, Option<Exceeded>)> {
+    execute_on_index_premapped(index, query, vectors, guard, None)
+}
+
+/// [`execute_on_index`] with an optional pre-computed pivot mapping of the
+/// query column — the seam `PexesoIndex::execute_many` uses to share one
+/// batched mapping pass across many query columns. The mapping arena is
+/// policy-invariant, so passing `Some` is byte-identical to mapping inside
+/// (stats counters included); `None` is exactly [`execute_on_index`].
+pub fn execute_on_index_premapped<M: Metric>(
+    index: &PexesoIndex<M>,
+    query: &Query,
+    vectors: &VectorStore,
+    guard: &mut Option<BudgetGuard>,
+    premapped: Option<&crate::mapping::MappedVectors>,
+) -> Result<(Vec<GlobalHit>, SearchStats, Option<Exceeded>)> {
     match query.mode {
         QueryMode::Threshold(t) => {
-            let (hits, stats, exceeded) =
-                index.threshold_inner(vectors, query.tau, t, query.options, guard.as_ref())?;
+            let (hits, stats, exceeded) = index.threshold_inner(
+                vectors,
+                query.tau,
+                t,
+                query.options,
+                guard.as_ref(),
+                premapped,
+            )?;
             if let Some(g) = guard.as_mut() {
                 g.advance(stats.distance_computations);
             }
@@ -506,8 +558,14 @@ pub fn execute_on_index<M: Metric>(
             // of a doubling re-query.
             let mut kk = k.saturating_add(1);
             loop {
-                let (ranked, stats, exceeded) =
-                    index.topk_inner(vectors, query.tau, kk, query.options, guard.as_ref())?;
+                let (ranked, stats, exceeded) = index.topk_inner(
+                    vectors,
+                    query.tau,
+                    kk,
+                    query.options,
+                    guard.as_ref(),
+                    premapped,
+                )?;
                 total.merge(&stats);
                 if let Some(g) = guard.as_mut() {
                     g.advance(stats.distance_computations);
@@ -625,6 +683,132 @@ where
     })
 }
 
+/// The batched counterpart of [`execute_partitioned`]: answer many query
+/// columns in one partition-major sweep, materialising each partition
+/// **once** for all columns instead of once per column — for the
+/// disk-backed lake this turns `columns × partitions` index loads into
+/// `partitions` loads. `get_index(i)` materialises partition `i` (a disk
+/// load for the lake, a borrow for the resident form).
+///
+/// Per-column semantics mirror the solo loop exactly: `Topk(0)` answers
+/// empty without touching a partition, inner searches are demoted under
+/// the outer policy, per-partition results merge in partition order with
+/// the unified final ranking, and a budgeted query carries each column's
+/// guard across partitions in order, stopping that column at the first
+/// tripped limit. `responses[c]` therefore carries the same hits, outcome,
+/// and stats counters as `execute(query, columns[c])`; only wall-clock
+/// timings differ (they reflect the shared sweep).
+/// One column's answer from one partition: global hits, that partition's
+/// stats, and any budget limit the partition sweep tripped for it.
+type PartitionAnswer = (Vec<GlobalHit>, SearchStats, Option<Exceeded>);
+
+fn execute_partitioned_many<M, I, G>(
+    n_partitions: usize,
+    query: &Query,
+    columns: &[&VectorStore],
+    get_index: G,
+) -> Result<Vec<QueryResponse>>
+where
+    M: Metric,
+    I: std::borrow::Borrow<PexesoIndex<M>>,
+    G: Fn(usize) -> Result<I> + Sync,
+{
+    let started = Instant::now();
+    if columns.is_empty() {
+        return Ok(Vec::new());
+    }
+    if let QueryMode::Topk(0) = query.mode {
+        return Ok(columns
+            .iter()
+            .map(|_| QueryResponse {
+                hits: Vec::new(),
+                stats: SearchStats::new(),
+                outcome: QueryOutcome::Exact,
+            })
+            .collect());
+    }
+    let inner = Query {
+        options: query.options.demoted_under(query.policy),
+        ..query.clone()
+    };
+    // per_column[c] accumulates column c's results in partition order.
+    let mut per_column: Vec<Vec<PartitionAnswer>> = columns.iter().map(|_| Vec::new()).collect();
+    let mut guards: Vec<Option<BudgetGuard>> = columns
+        .iter()
+        .map(|_| BudgetGuard::start(&query.budget))
+        .collect();
+    if guards[0].is_some() {
+        // Budgeted: a deterministic sequential sweep, each column's guard
+        // carried across partitions exactly as the solo loop carries it.
+        let mut stopped = vec![false; columns.len()];
+        for i in 0..n_partitions {
+            if stopped.iter().all(|&s| s) {
+                break;
+            }
+            let index = get_index(i)?;
+            let index = index.borrow();
+            for (c, col) in columns.iter().enumerate() {
+                if stopped[c] {
+                    continue;
+                }
+                let part = execute_on_index(index, &inner, col, &mut guards[c])?;
+                if part.2.is_some() {
+                    stopped[c] = true;
+                }
+                per_column[c].push(part);
+            }
+        }
+    } else {
+        let parts = exec::try_map_units(
+            query.policy,
+            n_partitions,
+            || PexesoError::InvalidParameter("partition query worker panicked".into()),
+            |i| {
+                let index = get_index(i)?;
+                let index = index.borrow();
+                columns
+                    .iter()
+                    .map(|col| {
+                        let mut unbudgeted = None;
+                        execute_on_index(index, &inner, col, &mut unbudgeted)
+                    })
+                    .collect::<Result<Vec<_>>>()
+            },
+        )?;
+        for part in parts {
+            for (c, r) in part.into_iter().enumerate() {
+                per_column[c].push(r);
+            }
+        }
+    }
+    Ok(per_column
+        .into_iter()
+        .map(|parts| {
+            let mut stats = SearchStats::new();
+            let mut hits = Vec::new();
+            let mut outcome = QueryOutcome::Exact;
+            for (h, s, e) in parts {
+                stats.merge(&s);
+                hits.extend(h);
+                fold_outcome(&mut outcome, e);
+            }
+            let hits = match query.mode {
+                QueryMode::Threshold(_) => {
+                    sort_threshold_hits(&mut hits);
+                    hits
+                }
+                QueryMode::Topk(k) => rank_topk_hits(hits, k),
+            };
+            stats.total_time = started.elapsed();
+            QueryResponse {
+                hits,
+                stats,
+                outcome,
+            }
+        })
+        .collect())
+}
+
 /// A partitioned deployment loaded fully into memory — the form a
 /// resident server keeps hot. Search semantics (per-partition algorithms,
 /// tie-inclusive top-k, merge order, [`ExecPolicy`] determinism) are
@@ -726,6 +910,26 @@ impl<M: Metric> Queryable for ResidentPartitions<M> {
             }
         }
         self.execute_resident(query, vectors)
+    }
+
+    /// Batch execution shares one partition-major sweep across all
+    /// columns (partitions are already resident, so the win here is cache
+    /// locality and one policy fan-out instead of one per column). Hits,
+    /// outcomes, and stats counters per column are identical to solo
+    /// [`Queryable::execute`] calls.
+    fn execute_many(&self, query: &Query, columns: &[&VectorStore]) -> Result<Vec<QueryResponse>> {
+        if let (Some(expected), Some(index)) = (query.metric.as_deref(), self.indexes.first()) {
+            let actual = index.metric().name();
+            if expected != actual {
+                return Err(PexesoError::InvalidParameter(format!(
+                    "resident partitions were built with metric '{actual}'; \
+                     query expects '{expected}'"
+                )));
+            }
+        }
+        execute_partitioned_many(self.indexes.len(), query, columns, |i| {
+            Ok::<_, PexesoError>(&self.indexes[i])
+        })
     }
 }
 

@@ -123,7 +123,7 @@ impl SearchOptions {
     /// (multi-query and out-of-core) must use this one rule.
     pub(crate) fn demoted_under(self, policy: ExecPolicy) -> Self {
         match policy {
-            ExecPolicy::Parallel { .. } => SearchOptions {
+            ExecPolicy::Parallel { .. } | ExecPolicy::Fixed { .. } => SearchOptions {
                 exec: ExecPolicy::Sequential,
                 ..self
             },
@@ -216,13 +216,15 @@ impl<M: Metric> PexesoIndex<M> {
         t: JoinThreshold,
         opts: SearchOptions,
         budget: Option<&BudgetGuard>,
+        premapped: Option<&MappedVectors>,
     ) -> Result<(Vec<SearchHit>, SearchStats, Option<Exceeded>)> {
         self.validate_query(query)?;
         let tau = tau.resolve(&self.metric, self.columns.dim())?;
         let t_abs = t.resolve(query.len())?;
         let mut stats = SearchStats::new();
         let total_start = Instant::now();
-        let (query_mapped, blocked) = self.map_and_block(query, tau, opts, &mut stats)?;
+        let (query_mapped, blocked) =
+            self.map_and_block(query, tau, opts, &mut stats, premapped)?;
 
         // Verification.
         let verify_start = Instant::now();
@@ -266,7 +268,7 @@ impl<M: Metric> PexesoIndex<M> {
     #[deprecated(note = "use `Queryable::execute` with `Query::threshold(tau, t)`")]
     pub fn search(&self, query: &VectorStore, tau: Tau, t: JoinThreshold) -> Result<SearchResult> {
         let (hits, stats, _) =
-            self.threshold_inner(query, tau, t, SearchOptions::default(), None)?;
+            self.threshold_inner(query, tau, t, SearchOptions::default(), None, None)?;
         Ok(SearchResult { hits, stats })
     }
 
@@ -281,7 +283,7 @@ impl<M: Metric> PexesoIndex<M> {
         t: JoinThreshold,
         opts: SearchOptions,
     ) -> Result<SearchResult> {
-        let (hits, stats, _) = self.threshold_inner(query, tau, t, opts, None)?;
+        let (hits, stats, _) = self.threshold_inner(query, tau, t, opts, None, None)?;
         Ok(SearchResult { hits, stats })
     }
 
@@ -311,7 +313,7 @@ impl<M: Metric> PexesoIndex<M> {
             range
                 .map(|i| {
                     let (hits, stats, _) =
-                        self.threshold_inner(queries[i].as_ref(), tau, t, inner_opts, None)?;
+                        self.threshold_inner(queries[i].as_ref(), tau, t, inner_opts, None, None)?;
                     Ok(SearchResult { hits, stats })
                 })
                 .collect::<Vec<Result<SearchResult>>>()
@@ -344,14 +346,25 @@ impl<M: Metric> PexesoIndex<M> {
         tau_abs: f32,
         opts: SearchOptions,
         stats: &mut SearchStats,
+        premapped: Option<&MappedVectors>,
     ) -> Result<(MappedVectors, BlockOutput)> {
-        let query_mapped = MappedVectors::build_with(
-            query,
-            &self.pivots,
-            &self.metric,
-            Some(&mut stats.mapping_distances),
-            opts.exec,
-        )?;
+        let query_mapped = match premapped {
+            // A shared batched pass (`execute_many`) already mapped this
+            // column; the arena is policy-invariant, so reusing it is
+            // byte-identical to mapping here. Count the rows as if they
+            // were mapped now so batched and solo stats agree.
+            Some(m) => {
+                stats.mapping_distances += (self.pivots.len() * query.len()) as u64;
+                m.clone()
+            }
+            None => MappedVectors::build_with(
+                query,
+                &self.pivots,
+                &self.metric,
+                Some(&mut stats.mapping_distances),
+                opts.exec,
+            )?,
+        };
         if query_mapped.max_coord() > self.grid_params.span {
             return Err(PexesoError::InvalidParameter(format!(
                 "query vector maps outside the pivot space (coordinate {} > span {}); \
@@ -397,6 +410,7 @@ impl<M: Metric> PexesoIndex<M> {
         k: usize,
         opts: SearchOptions,
         budget: Option<&BudgetGuard>,
+        premapped: Option<&MappedVectors>,
     ) -> Result<RankedTopk> {
         self.validate_query(query)?;
         let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
@@ -405,7 +419,8 @@ impl<M: Metric> PexesoIndex<M> {
             return Ok((Vec::new(), stats, None));
         }
         let total_start = Instant::now();
-        let (query_mapped, blocked) = self.map_and_block(query, tau_abs, opts, &mut stats)?;
+        let (query_mapped, blocked) =
+            self.map_and_block(query, tau_abs, opts, &mut stats, premapped)?;
 
         let verify_start = Instant::now();
         let ctx = VerifyContext {
@@ -461,7 +476,8 @@ impl<M: Metric> PexesoIndex<M> {
     /// records. See [`PexesoIndex::search_topk_with`].
     #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k)`")]
     pub fn search_topk(&self, query: &VectorStore, tau: Tau, k: usize) -> Result<SearchResult> {
-        let (ranked, stats, _) = self.topk_inner(query, tau, k, SearchOptions::default(), None)?;
+        let (ranked, stats, _) =
+            self.topk_inner(query, tau, k, SearchOptions::default(), None, None)?;
         Ok(SearchResult {
             hits: ranked_to_hits(ranked),
             stats,
@@ -504,7 +520,7 @@ impl<M: Metric> PexesoIndex<M> {
             topk_strategy: TopkStrategy::BestFirst,
             ..opts
         };
-        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None)?;
+        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None, None)?;
         Ok(SearchResult {
             hits: ranked_to_hits(ranked),
             stats,
@@ -528,7 +544,7 @@ impl<M: Metric> PexesoIndex<M> {
             topk_strategy: TopkStrategy::Exhaustive,
             ..Default::default()
         };
-        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None)?;
+        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None, None)?;
         Ok(SearchResult {
             hits: ranked_to_hits(ranked),
             stats,
@@ -556,7 +572,7 @@ impl<M: Metric> PexesoIndex<M> {
             range
                 .map(|i| {
                     let (ranked, stats, _) =
-                        self.topk_inner(queries[i].as_ref(), tau, k, inner_opts, None)?;
+                        self.topk_inner(queries[i].as_ref(), tau, k, inner_opts, None, None)?;
                     Ok(SearchResult {
                         hits: ranked_to_hits(ranked),
                         stats,
@@ -803,24 +819,21 @@ impl<M: Metric> PexesoIndex<M> {
             _ => Ok(()),
         }
     }
-}
 
-impl<M: Metric> Queryable for PexesoIndex<M> {
-    /// Execute one unified [`Query`] against the in-memory index.
-    ///
-    /// Hits follow the unified contract: threshold hits ascend by
-    /// `external_id`; top-k ranks by count descending with ties broken by
-    /// ascending `external_id`. The internal top-k tie-break runs on
-    /// insertion-order column ids, which need not agree with the
-    /// caller-chosen external ids, so boundary ties are resolved
-    /// tie-inclusively (the index is re-queried with a doubled `k` until
-    /// every column tied with the boundary count is present) before the
-    /// global re-rank — the same discipline the partitioned backends use.
-    fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
+    /// [`Queryable::execute`] with an optional pre-computed pivot mapping
+    /// of the query column (see [`Self::premap_columns`]); `None` is
+    /// exactly `execute`.
+    fn execute_premapped(
+        &self,
+        query: &Query,
+        vectors: &VectorStore,
+        premapped: Option<&MappedVectors>,
+    ) -> Result<QueryResponse> {
         self.check_metric_expectation(query)?;
         let mut guard = BudgetGuard::start(&query.budget);
-        let (mut hits, stats, exceeded) =
-            crate::outofcore::execute_on_index(self, query, vectors, &mut guard)?;
+        let (mut hits, stats, exceeded) = crate::outofcore::execute_on_index_premapped(
+            self, query, vectors, &mut guard, premapped,
+        )?;
         let mut outcome = QueryOutcome::Exact;
         fold_outcome(&mut outcome, exceeded);
         let hits = match query.mode {
@@ -837,18 +850,82 @@ impl<M: Metric> Queryable for PexesoIndex<M> {
         })
     }
 
-    /// Batched execution: `query.policy` fans whole query columns across
-    /// threads; each query itself is demoted to sequential under a
-    /// parallel outer policy (the crate-wide no-nested-fan-out rule), so
-    /// `responses[i]` is byte-identical to `execute(query, columns[i])`.
+    /// The shared mapping pass behind [`Queryable::execute_many`]: map
+    /// every query vector of every column in **one** batched kernel walk
+    /// (one pivot-arena flatten, one shardable fill) and slice the arena
+    /// back into per-column mappings. Rows are mapped independently, so
+    /// each slice is byte-identical to mapping that column alone.
+    ///
+    /// Returns `None` when the columns cannot share a pass (mixed or
+    /// mismatched dimensions, an empty column, no columns) — callers fall
+    /// back to per-column mapping, which also surfaces the per-column
+    /// validation errors in the contract order.
+    fn premap_columns(
+        &self,
+        policy: ExecPolicy,
+        columns: &[&VectorStore],
+    ) -> Option<Vec<MappedVectors>> {
+        if columns.is_empty()
+            || columns
+                .iter()
+                .any(|c| c.dim() != self.columns.dim() || c.is_empty())
+        {
+            return None;
+        }
+        let mut all = VectorStore::new(self.columns.dim());
+        for col in columns {
+            for v in 0..col.len() {
+                all.push(col.get_raw(v)).ok()?;
+            }
+        }
+        let mapped =
+            MappedVectors::build_with(&all, &self.pivots, &self.metric, None, policy).ok()?;
+        let k = self.pivots.len();
+        let mut out = Vec::with_capacity(columns.len());
+        let mut offset = 0usize;
+        for col in columns {
+            let rows = &mapped.raw_data()[offset * k..(offset + col.len()) * k];
+            out.push(MappedVectors::from_raw(k, rows.to_vec()).ok()?);
+            offset += col.len();
+        }
+        Some(out)
+    }
+}
+
+impl<M: Metric> Queryable for PexesoIndex<M> {
+    /// Execute one unified [`Query`] against the in-memory index.
+    ///
+    /// Hits follow the unified contract: threshold hits ascend by
+    /// `external_id`; top-k ranks by count descending with ties broken by
+    /// ascending `external_id`. The internal top-k tie-break runs on
+    /// insertion-order column ids, which need not agree with the
+    /// caller-chosen external ids, so boundary ties are resolved
+    /// tie-inclusively (the index is re-queried with a doubled `k` until
+    /// every column tied with the boundary count is present) before the
+    /// global re-rank — the same discipline the partitioned backends use.
+    fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
+        self.execute_premapped(query, vectors, None)
+    }
+
+    /// Batched execution: one shared pivot-mapping pass maps every query
+    /// vector of every column in a single batched kernel walk (see
+    /// `Self::premap_columns`), then `query.policy` fans whole query
+    /// columns across threads; each query itself is demoted to sequential
+    /// under a parallel outer policy (the crate-wide no-nested-fan-out
+    /// rule). The mapping arena is policy-invariant and rows are mapped
+    /// independently, so `responses[i]` is byte-identical to
+    /// `execute(query, columns[i])` — stats counters included.
     fn execute_many(&self, query: &Query, columns: &[&VectorStore]) -> Result<Vec<QueryResponse>> {
         let inner = Query {
             options: query.options.demoted_under(query.policy),
             ..query.clone()
         };
+        let premapped = self.premap_columns(query.policy, columns);
         let shards = exec::map_ranges_min(query.policy, columns.len(), 2, |range| {
             range
-                .map(|i| self.execute(&inner, columns[i]))
+                .map(|i| {
+                    self.execute_premapped(&inner, columns[i], premapped.as_ref().map(|p| &p[i]))
+                })
                 .collect::<Vec<Result<QueryResponse>>>()
         });
         shards.into_iter().flatten().collect()

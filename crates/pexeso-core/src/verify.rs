@@ -191,6 +191,12 @@ fn verify_range<M: Metric>(
     let mut ci = 0usize;
     let mut exceeded = None;
 
+    // With both vector-level lemmas off the candidate inner loop is a pure
+    // distance gather, eligible for `Metric::dist_le_first`.
+    let gather = !ctx.flags.lemma1_vector_filter && !ctx.flags.lemma2_vector_match;
+    let arena = ctx.columns.store().raw_data();
+    let dim = ctx.columns.store().dim();
+
     for q in 0..n_q as u32 {
         if let Some(guard) = budget {
             if let Some(e) = guard.check(stats.distance_computations) {
@@ -243,31 +249,56 @@ fn verify_range<M: Metric>(
                         seen_stamp[c] = gen;
                         seen_list.push(col);
                     }
-                    for &vid in postings.vectors_of(i) {
-                        let xm = ctx.rv_mapped.get(vid as usize);
-                        if ctx.flags.lemma1_vector_filter && lemmas::lemma1_filter(qm, xm, ctx.tau)
-                        {
-                            stats.lemma1_filtered += 1;
-                            continue;
-                        }
-                        let is_match = if ctx.flags.lemma2_vector_match
-                            && lemmas::lemma2_match(qm, xm, ctx.tau)
-                        {
-                            stats.lemma2_matched += 1;
-                            true
-                        } else {
-                            stats.distance_computations += 1;
-                            let xv = ctx.columns.store().get_raw(vid as usize);
-                            ctx.metric.dist_le(qv, xv, ctx.tau)
-                        };
-                        if is_match {
-                            matched_stamp[c] = gen;
-                            match_counts[c] += 1;
-                            if terminable && match_counts[c] as usize >= ctx.t_abs {
-                                joinable[c] = true;
-                                stats.early_joinable += 1;
+                    let vids = postings.vectors_of(i);
+                    // With both vector-level lemmas off, the per-row test is
+                    // a plain early-exit distance check, so the whole
+                    // postings group can go through the metric's gather
+                    // kernel — one dispatch and one bound for the group,
+                    // rows prefetched ahead. `rows_tested` keeps the counter
+                    // identical to the per-row loop it replaces.
+                    let matched = if gather {
+                        let (tested, first) =
+                            ctx.metric.dist_le_first(qv, arena, dim, vids, ctx.tau);
+                        stats.distance_computations += tested as u64;
+                        first.is_some()
+                    } else {
+                        let mut found = false;
+                        for (vi, &vid) in vids.iter().enumerate() {
+                            // Hide the gather latency of the next candidate
+                            // row behind this one's test (semantics-free).
+                            if let Some(&next) = vids.get(vi + 1) {
+                                crate::kernel::prefetch(ctx.columns.store().get_raw(next as usize));
                             }
-                            break;
+                            let xm = ctx.rv_mapped.get(vid as usize);
+                            if ctx.flags.lemma1_vector_filter
+                                && lemmas::lemma1_filter(qm, xm, ctx.tau)
+                            {
+                                stats.lemma1_filtered += 1;
+                                continue;
+                            }
+                            let is_match = if ctx.flags.lemma2_vector_match
+                                && lemmas::lemma2_match(qm, xm, ctx.tau)
+                            {
+                                stats.lemma2_matched += 1;
+                                true
+                            } else {
+                                stats.distance_computations += 1;
+                                let xv = ctx.columns.store().get_raw(vid as usize);
+                                ctx.metric.dist_le(qv, xv, ctx.tau)
+                            };
+                            if is_match {
+                                found = true;
+                                break;
+                            }
+                        }
+                        found
+                    };
+                    if matched {
+                        matched_stamp[c] = gen;
+                        match_counts[c] += 1;
+                        if terminable && match_counts[c] as usize >= ctx.t_abs {
+                            joinable[c] = true;
+                            stats.early_joinable += 1;
                         }
                     }
                 }
@@ -987,26 +1018,29 @@ mod tests {
                     };
                     let mut seq_stats = SearchStats::new();
                     let seq = verify(&ctx, &blocked, &mut seq_stats);
+                    // `Fixed` bypasses the adaptive clamp, so real thread
+                    // fan-out is exercised even on single-core hosts where
+                    // `Parallel` plans down to the inline path.
                     for threads in [2usize, 3, 8, 64] {
-                        let mut par_stats = SearchStats::new();
-                        let par = verify_with(
-                            &ctx,
-                            &blocked,
-                            &mut par_stats,
+                        for policy in [
                             crate::config::ExecPolicy::Parallel { threads },
-                        );
-                        assert_eq!(
-                            seq, par,
-                            "seed={seed} tau={tau} T={t_abs} threads={threads}"
-                        );
-                        assert_eq!(
-                            seq_stats.distance_computations, par_stats.distance_computations,
-                            "distance counter diverged (threads={threads})"
-                        );
-                        assert_eq!(seq_stats.early_joinable, par_stats.early_joinable);
-                        assert_eq!(seq_stats.lemma7_pruned, par_stats.lemma7_pruned);
-                        assert_eq!(seq_stats.lemma1_filtered, par_stats.lemma1_filtered);
-                        assert_eq!(seq_stats.lemma2_matched, par_stats.lemma2_matched);
+                            crate::config::ExecPolicy::Fixed { threads },
+                        ] {
+                            let mut par_stats = SearchStats::new();
+                            let par = verify_with(&ctx, &blocked, &mut par_stats, policy);
+                            assert_eq!(
+                                seq, par,
+                                "seed={seed} tau={tau} T={t_abs} threads={threads}"
+                            );
+                            assert_eq!(
+                                seq_stats.distance_computations, par_stats.distance_computations,
+                                "distance counter diverged (threads={threads})"
+                            );
+                            assert_eq!(seq_stats.early_joinable, par_stats.early_joinable);
+                            assert_eq!(seq_stats.lemma7_pruned, par_stats.lemma7_pruned);
+                            assert_eq!(seq_stats.lemma1_filtered, par_stats.lemma1_filtered);
+                            assert_eq!(seq_stats.lemma2_matched, par_stats.lemma2_matched);
+                        }
                     }
                 }
             }
@@ -1164,15 +1198,20 @@ mod tests {
                     );
                 }
                 for threads in [2usize, 5, 32] {
-                    let par = crate::cost::column_match_bounds(
-                        &s.blocked,
-                        &s.inv,
-                        s.columns.n_columns(),
-                        s.query.len(),
-                        None,
+                    for policy in [
                         crate::config::ExecPolicy::Parallel { threads },
-                    );
-                    assert_eq!(bounds, par, "seed={seed} tau={tau} threads={threads}");
+                        crate::config::ExecPolicy::Fixed { threads },
+                    ] {
+                        let par = crate::cost::column_match_bounds(
+                            &s.blocked,
+                            &s.inv,
+                            s.columns.n_columns(),
+                            s.query.len(),
+                            None,
+                            policy,
+                        );
+                        assert_eq!(bounds, par, "seed={seed} tau={tau} threads={threads}");
+                    }
                 }
             }
         }
@@ -1231,23 +1270,28 @@ mod tests {
                     );
                     assert_eq!(seq, expected, "seed={seed} tau={tau} k={k}");
                     for threads in [2usize, 4, 16] {
-                        let mut par_stats = SearchStats::new();
-                        let par = verify_topk(
-                            &ctx,
-                            &s.blocked,
-                            &bounds,
-                            seed_bar,
-                            k,
-                            &mut par_stats,
+                        for policy in [
                             crate::config::ExecPolicy::Parallel { threads },
-                        );
-                        assert_eq!(seq, par, "threads={threads} seed={seed} tau={tau} k={k}");
-                        assert_eq!(
-                            seq_stats.distance_computations, par_stats.distance_computations,
-                            "topk distance counter diverged (threads={threads})"
-                        );
-                        assert_eq!(seq_stats.topk_pruned, par_stats.topk_pruned);
-                        assert_eq!(seq_stats.topk_aborted, par_stats.topk_aborted);
+                            crate::config::ExecPolicy::Fixed { threads },
+                        ] {
+                            let mut par_stats = SearchStats::new();
+                            let par = verify_topk(
+                                &ctx,
+                                &s.blocked,
+                                &bounds,
+                                seed_bar,
+                                k,
+                                &mut par_stats,
+                                policy,
+                            );
+                            assert_eq!(seq, par, "threads={threads} seed={seed} tau={tau} k={k}");
+                            assert_eq!(
+                                seq_stats.distance_computations, par_stats.distance_computations,
+                                "topk distance counter diverged (threads={threads})"
+                            );
+                            assert_eq!(seq_stats.topk_pruned, par_stats.topk_pruned);
+                            assert_eq!(seq_stats.topk_aborted, par_stats.topk_aborted);
+                        }
                     }
                 }
             }

@@ -24,8 +24,8 @@ use pexeso_core::stats::SearchStats;
 use pexeso_core::vector::VectorStore;
 
 use crate::protocol::{
-    decode_reply, encode_request, read_frame, write_frame, HitsReply, InfoReply, QueryExt,
-    QueryPayload, Reply, Request, WireError,
+    decode_reply, encode_request, read_frame, write_frame, BatchMode, HitsReply, InfoReply,
+    QueryBatch, QueryExt, QueryPayload, Reply, Request, WireError,
 };
 
 /// Client-side failure modes.
@@ -135,17 +135,7 @@ pub fn wire_request(query: &Query, vectors: &VectorStore) -> Request {
         policy: query.policy,
         dim: vectors.dim() as u32,
         vectors: vectors.raw_data().to_vec(),
-        ext: Some(QueryExt {
-            flags: query.options.flags,
-            quick_browse: query.options.quick_browse,
-            max_distance_computations: query.budget.max_distance_computations,
-            // Ceil to whole milliseconds: a sub-millisecond (but nonzero)
-            // deadline must not truncate to an instant trip server-side.
-            deadline_ms: query
-                .budget
-                .deadline
-                .map(|d| d.as_nanos().div_ceil(1_000_000) as u64),
-        }),
+        ext: Some(wire_ext(query)),
     };
     match query.mode {
         QueryMode::Threshold(t) => Request::Search { query: payload, t },
@@ -154,6 +144,43 @@ pub fn wire_request(query: &Query, vectors: &VectorStore) -> Request {
             k: k as u64,
         },
     }
+}
+
+/// The V2 extension a unified [`Query`] travels with (shared by solo and
+/// batch frames).
+fn wire_ext(query: &Query) -> QueryExt {
+    QueryExt {
+        flags: query.options.flags,
+        quick_browse: query.options.quick_browse,
+        max_distance_computations: query.budget.max_distance_computations,
+        // Ceil to whole milliseconds: a sub-millisecond (but nonzero)
+        // deadline must not truncate to an instant trip server-side.
+        deadline_ms: query
+            .budget
+            .deadline
+            .map(|d| d.as_nanos().div_ceil(1_000_000) as u64),
+    }
+}
+
+/// The V4 batch frame a unified [`Query`] over many columns translates
+/// to: the criteria once, every column's vectors in one payload. All
+/// columns must share one dimension (the caller checks). Public so the
+/// round-trip can be property-tested against the frame codec.
+pub fn wire_batch_request(query: &Query, columns: &[&VectorStore]) -> Request {
+    let dim = columns.first().map_or(0, |c| c.dim()) as u32;
+    let mode = match query.mode {
+        QueryMode::Threshold(t) => BatchMode::Search(t),
+        QueryMode::Topk(k) => BatchMode::Topk(k as u64),
+    };
+    Request::Batch(QueryBatch {
+        metric: query.metric.clone().unwrap_or_default(),
+        tau: query.tau,
+        policy: query.policy,
+        mode,
+        dim,
+        columns: columns.iter().map(|c| c.raw_data().to_vec()).collect(),
+        ext: Some(wire_ext(query)),
+    })
 }
 
 /// Serve-side facts accompanying a remote [`QueryResponse`]: which
@@ -332,35 +359,53 @@ impl ServeClient {
             }
             other => return Err(unexpected("SEARCH/TOPK", &other)),
         };
-        let meta = RemoteMeta {
-            generation: reply.generation,
-            cached: reply.cached,
+        unwrap_hits_reply(reply)
+    }
+
+    /// Execute one unified [`Query`] over many columns in a single
+    /// request frame (the V4 batch verb) and return each column's
+    /// response plus its serve-side metadata.
+    /// [`Queryable::execute_many`] is this minus the metadata.
+    pub fn execute_many_detailed(
+        &self,
+        query: &Query,
+        columns: &[&VectorStore],
+    ) -> ClientResult<Vec<(QueryResponse, RemoteMeta)>> {
+        if columns.is_empty() {
+            return Ok(Vec::new());
+        }
+        let replies = match self.roundtrip(&wire_batch_request(query, columns))? {
+            Reply::HitsBatch(replies) => replies,
+            // The whole frame expired in the server's queue; every column
+            // gets the typed partial outcome a solo frame would.
+            Reply::DeadlineExpired { .. } => {
+                return Ok(columns
+                    .iter()
+                    .map(|_| {
+                        (
+                            QueryResponse {
+                                hits: Vec::new(),
+                                stats: SearchStats::new(),
+                                outcome: QueryOutcome::Exceeded(Exceeded::Deadline),
+                            },
+                            RemoteMeta {
+                                generation: 0,
+                                cached: false,
+                            },
+                        )
+                    })
+                    .collect())
+            }
+            other => return Err(unexpected("BATCH", &other)),
         };
-        let ext = reply.ext.ok_or_else(|| {
-            ClientError::Protocol("server answered a V2 request without the reply extension".into())
-        })?;
-        let hits = reply
-            .hits
-            .into_iter()
-            .map(|h| GlobalHit {
-                external_id: h.external_id,
-                table_name: h.table_name,
-                column_name: h.column_name,
-                match_count: h.match_count,
-            })
-            .collect();
-        let stats = SearchStats {
-            distance_computations: ext.distance_computations,
-            ..SearchStats::new()
-        };
-        Ok((
-            QueryResponse {
-                hits,
-                stats,
-                outcome: ext.outcome,
-            },
-            meta,
-        ))
+        if replies.len() != columns.len() {
+            return Err(ClientError::Protocol(format!(
+                "batch reply carries {} entries for {} columns",
+                replies.len(),
+                columns.len()
+            )));
+        }
+        replies.into_iter().map(unwrap_hits_reply).collect()
     }
 
     /// The raw `key=value` stats body (see
@@ -422,6 +467,62 @@ impl Queryable for ServeClient {
         debug_assert!(query.budget.is_limited() || resp.outcome == QueryOutcome::Exact);
         Ok(resp)
     }
+
+    /// One request frame for the whole batch instead of N round-trips.
+    /// Results are byte-identical to per-column [`Queryable::execute`]
+    /// (the server answers each column independently over one pinned
+    /// snapshot).
+    fn execute_many(
+        &self,
+        query: &Query,
+        columns: &[&VectorStore],
+    ) -> pexeso_core::error::Result<Vec<QueryResponse>> {
+        // Mixed-dimension batches cannot share one frame; fall back to
+        // the solo path so each column still gets its own typed error or
+        // answer, exactly as the default impl would produce.
+        let dim = columns.first().map(|c| c.dim());
+        if columns.iter().any(|c| Some(c.dim()) != dim) {
+            return columns.iter().map(|c| self.execute(query, c)).collect();
+        }
+        Ok(self
+            .execute_many_detailed(query, columns)?
+            .into_iter()
+            .map(|(resp, _meta)| resp)
+            .collect())
+    }
+}
+
+/// Convert one wire `HITS` entry into the unified response + metadata.
+fn unwrap_hits_reply(reply: HitsReply) -> ClientResult<(QueryResponse, RemoteMeta)> {
+    let meta = RemoteMeta {
+        generation: reply.generation,
+        cached: reply.cached,
+    };
+    let ext = reply.ext.ok_or_else(|| {
+        ClientError::Protocol("server answered a V2 request without the reply extension".into())
+    })?;
+    let hits = reply
+        .hits
+        .into_iter()
+        .map(|h| GlobalHit {
+            external_id: h.external_id,
+            table_name: h.table_name,
+            column_name: h.column_name,
+            match_count: h.match_count,
+        })
+        .collect();
+    let stats = SearchStats {
+        distance_computations: ext.distance_computations,
+        ..SearchStats::new()
+    };
+    Ok((
+        QueryResponse {
+            hits,
+            stats,
+            outcome: ext.outcome,
+        },
+        meta,
+    ))
 }
 
 fn unexpected(verb: &str, reply: &Reply) -> ClientError {

@@ -25,13 +25,17 @@ pub const MAGIC: &[u8; 4] = b"PXSV";
 /// options/budget extension to `SEARCH`/`TOPK` requests and the extended
 /// `HITS` reply; version 3 adds the `APPLY` verb (publish a new serve
 /// generation from the deployment's delta log without reloading the base
-/// snapshot). Frames are stamped with the lowest version that can carry
+/// snapshot); version 4 adds the `BATCH` verb (many query columns in one
+/// frame, answered by one `HITS_BATCH` reply) and the `fixed` execution
+/// policy tag. Frames are stamped with the lowest version that can carry
 /// them — extension-less queries stay V1 and extended queries V2, so
 /// every pre-delta server and client keeps interoperating; only `APPLY`
-/// frames are V3.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// frames are V3 and only batch/`fixed`-policy frames are V4.
+pub const PROTOCOL_VERSION: u8 = 4;
 /// Version that introduced the query options/budget extension.
 pub const QUERY_EXT_VERSION: u8 = 2;
+/// Version that introduced the batch verb and the `fixed` policy tag.
+pub const BATCH_VERSION: u8 = 4;
 /// Oldest request version the server still parses.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
 /// Hard cap on a single frame; anything larger is treated as garbage
@@ -45,6 +49,7 @@ const VERB_STATS: u8 = 3;
 const VERB_RELOAD: u8 = 4;
 const VERB_SHUTDOWN: u8 = 5;
 const VERB_APPLY: u8 = 6;
+const VERB_BATCH: u8 = 7;
 
 const REPLY_INFO: u8 = 0;
 const REPLY_HITS: u8 = 1;
@@ -57,6 +62,9 @@ const REPLY_HITS_V2: u8 = 5;
 /// Reply to the V3 `APPLY` verb; never sent to older clients (they
 /// cannot encode the request).
 const REPLY_APPLIED: u8 = 6;
+/// Reply to the V4 `BATCH` verb: one `HITS`-shaped entry per query
+/// column, in request order. Never sent to older clients.
+const REPLY_HITS_BATCH: u8 = 7;
 /// A request popped off the queue after its own deadline already
 /// elapsed: answered typed instead of computing a dead result.
 const REPLY_DEADLINE_EXPIRED: u8 = 248;
@@ -146,6 +154,34 @@ impl QueryPayload {
     }
 }
 
+/// The ranking half of a V4 batch frame: one threshold or one k shared
+/// by every column in the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchMode {
+    Search(JoinThreshold),
+    Topk(u64),
+}
+
+/// A V4 batch request: the query criteria once, then many query columns.
+/// The server answers with one [`Reply::HitsBatch`] whose `i`-th entry is
+/// exactly what a solo `SEARCH`/`TOPK` over `columns[i]` would return —
+/// batching changes one round-trip and one snapshot pin, never results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBatch {
+    /// Distance metric name; must match the index's metric.
+    pub metric: String,
+    pub tau: Tau,
+    /// Requested execution policy; the server clamps the thread count.
+    pub policy: ExecPolicy,
+    pub mode: BatchMode,
+    pub dim: u32,
+    /// Row-major vectors per query column; `columns[i].len()` is a
+    /// multiple of `dim`.
+    pub columns: Vec<Vec<f32>>,
+    /// Options/budget extension shared by every column in the batch.
+    pub ext: Option<QueryExt>,
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -171,6 +207,9 @@ pub enum Request {
     /// Falls back to a full reload only if the base build itself changed
     /// underneath the daemon.
     ApplyDelta,
+    /// V4: many query columns under one set of criteria, answered in one
+    /// reply frame — `Queryable::execute_many` on the wire.
+    Batch(QueryBatch),
     /// Stop accepting connections and exit once in-flight work drains.
     Shutdown,
 }
@@ -235,6 +274,9 @@ pub struct HitsReply {
 pub enum Reply {
     Info(InfoReply),
     Hits(HitsReply),
+    /// Reply to [`Request::Batch`]: one [`HitsReply`] per query column,
+    /// in request order.
+    HitsBatch(Vec<HitsReply>),
     Stats {
         text: String,
     },
@@ -366,6 +408,13 @@ impl<'a> ByteReader<'a> {
     fn u8(&mut self) -> WireResult<u8> {
         Ok(self.bytes(1)?[0])
     }
+    /// Whether any payload bytes remain unread. The options/budget
+    /// extension sits at the tail of SEARCH/TOPK frames, so its presence
+    /// is "bytes remain" — the same prefix-layout rule that lets a V2
+    /// decoder accept a V1 frame.
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
+    }
     fn u32(&mut self) -> WireResult<u32> {
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
@@ -463,6 +512,13 @@ fn put_policy(w: &mut ByteWriter, p: ExecPolicy) {
             w.u8(1);
             w.u32(threads as u32);
         }
+        // V4 tag: pre-V4 decoders reject it as an unknown tag, and the
+        // encoder stamps any frame carrying it with BATCH_VERSION so
+        // old servers refuse cleanly at the version check instead.
+        ExecPolicy::Fixed { threads } => {
+            w.u8(2);
+            w.u32(threads as u32);
+        }
     }
 }
 
@@ -472,6 +528,9 @@ fn take_policy(r: &mut ByteReader) -> WireResult<ExecPolicy> {
     match tag {
         0 => Ok(ExecPolicy::Sequential),
         1 => Ok(ExecPolicy::Parallel { threads }),
+        2 => Ok(ExecPolicy::Fixed {
+            threads: threads.max(1),
+        }),
         t => Err(WireError::Malformed(format!("unknown policy tag {t}"))),
     }
 }
@@ -586,6 +645,65 @@ fn take_outcome(r: &mut ByteReader) -> WireResult<QueryOutcome> {
     }
 }
 
+/// The shared body of a `HITS`-shaped reply. Solo replies signal the
+/// extension through the kind byte (`HITS` vs `HITS_V2`), so
+/// `explicit_ext` is false; batch entries have no per-entry kind byte and
+/// carry an explicit presence byte instead.
+fn put_hits_body(w: &mut ByteWriter, h: &HitsReply, explicit_ext: bool) {
+    w.u64(h.generation);
+    w.u8(h.cached as u8);
+    if explicit_ext {
+        w.u8(h.ext.is_some() as u8);
+    }
+    if let Some(ext) = &h.ext {
+        put_outcome(w, ext.outcome);
+        w.u64(ext.distance_computations);
+    }
+    w.u32(h.hits.len() as u32);
+    for hit in &h.hits {
+        w.u64(hit.external_id);
+        w.str(&hit.table_name);
+        w.str(&hit.column_name);
+        w.u32(hit.match_count);
+    }
+}
+
+/// Decode the body written by [`put_hits_body`]. `known_ext` is
+/// `Some(has_ext)` when the kind byte already decided it (solo replies)
+/// and `None` when an explicit presence byte follows (batch entries).
+fn take_hits_body(r: &mut ByteReader, known_ext: Option<bool>) -> WireResult<HitsReply> {
+    let generation = r.u64()?;
+    let cached = r.u8()? != 0;
+    let has_ext = match known_ext {
+        Some(b) => b,
+        None => r.u8()? != 0,
+    };
+    let ext = if has_ext {
+        Some(HitsExt {
+            outcome: take_outcome(r)?,
+            distance_computations: r.u64()?,
+        })
+    } else {
+        None
+    };
+    let n = r.u32()? as usize;
+    let mut hits = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        hits.push(WireHit {
+            external_id: r.u64()?,
+            table_name: r.str(1 << 16)?,
+            column_name: r.str(1 << 16)?,
+            match_count: r.u32()?,
+        });
+    }
+    Ok(HitsReply {
+        generation,
+        cached,
+        hits,
+        ext,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Request / reply codecs
 // ---------------------------------------------------------------------------
@@ -593,17 +711,25 @@ fn take_outcome(r: &mut ByteReader) -> WireResult<QueryOutcome> {
 /// Encode a request into a frame payload. Every frame is stamped with
 /// the lowest protocol version able to carry it: query verbs with the
 /// options/budget extension are version 2 (the V1 byte layout is a
-/// strict prefix of the V2 one), `APPLY` is version 3, and everything
-/// else — including extension-less query frames — stays version 1, so an
-/// un-upgraded server keeps answering everything it can.
+/// strict prefix of the V2 one), `APPLY` is version 3, `BATCH` and any
+/// frame carrying a `fixed` execution policy is version 4, and
+/// everything else — including extension-less query frames — stays
+/// version 1, so an un-upgraded server keeps answering everything it
+/// can.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.0.extend_from_slice(MAGIC);
     let version = match req {
+        Request::Search { query, .. } | Request::Topk { query, .. }
+            if matches!(query.policy, ExecPolicy::Fixed { .. }) =>
+        {
+            BATCH_VERSION
+        }
         Request::Search { query, .. } | Request::Topk { query, .. } if query.ext.is_some() => {
             QUERY_EXT_VERSION
         }
-        Request::ApplyDelta => PROTOCOL_VERSION,
+        Request::ApplyDelta => 3,
+        Request::Batch(_) => BATCH_VERSION,
         _ => MIN_PROTOCOL_VERSION,
     };
     w.u8(version);
@@ -631,6 +757,37 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.str(dir.as_deref().unwrap_or(""));
         }
         Request::ApplyDelta => w.u8(VERB_APPLY),
+        Request::Batch(batch) => {
+            w.u8(VERB_BATCH);
+            w.str(&batch.metric);
+            put_tau(&mut w, batch.tau);
+            put_policy(&mut w, batch.policy);
+            match batch.mode {
+                BatchMode::Search(t) => {
+                    w.u8(0);
+                    put_threshold(&mut w, t);
+                }
+                BatchMode::Topk(k) => {
+                    w.u8(1);
+                    w.u64(k);
+                }
+            }
+            w.u32(batch.dim);
+            w.u32(batch.columns.len() as u32);
+            for col in &batch.columns {
+                w.u32((col.len() / batch.dim.max(1) as usize) as u32);
+                w.f32_slice(col);
+            }
+            // Batch frames are always V4, so ext presence is an explicit
+            // byte rather than version-implied as in SEARCH/TOPK.
+            match &batch.ext {
+                None => w.u8(0),
+                Some(ext) => {
+                    w.u8(1);
+                    put_query_ext(&mut w, ext);
+                }
+            }
+        }
         Request::Shutdown => w.u8(VERB_SHUTDOWN),
     }
     w.0
@@ -656,7 +813,9 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
         VERB_SEARCH => {
             let mut query = take_query(&mut r)?;
             let t = take_threshold(&mut r)?;
-            if version >= 2 {
+            // Tail-presence, not version-implied: a V4 stamp can come from
+            // the `Fixed` policy tag alone, with no extension encoded.
+            if version >= 2 && r.has_remaining() {
                 query.ext = Some(take_query_ext(&mut r)?);
             }
             Request::Search { query, t }
@@ -664,7 +823,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
         VERB_TOPK => {
             let mut query = take_query(&mut r)?;
             let k = r.u64()?;
-            if version >= 2 {
+            if version >= 2 && r.has_remaining() {
                 query.ext = Some(take_query_ext(&mut r)?);
             }
             Request::Topk { query, k }
@@ -685,6 +844,46 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
                 )));
             }
             Request::ApplyDelta
+        }
+        VERB_BATCH => {
+            if version < BATCH_VERSION {
+                return Err(WireError::Malformed(format!(
+                    "BATCH verb requires protocol version {BATCH_VERSION}, \
+                     frame is version {version}"
+                )));
+            }
+            let metric = r.str(64)?;
+            let tau = take_tau(&mut r)?;
+            let policy = take_policy(&mut r)?;
+            let mode = match r.u8()? {
+                0 => BatchMode::Search(take_threshold(&mut r)?),
+                1 => BatchMode::Topk(r.u64()?),
+                t => return Err(WireError::Malformed(format!("unknown batch mode tag {t}"))),
+            };
+            let dim = r.u32()?;
+            if dim == 0 {
+                return Err(WireError::Malformed("query dimension is zero".into()));
+            }
+            let n_columns = r.u32()? as usize;
+            let mut columns = Vec::with_capacity(n_columns.min(1 << 16));
+            for _ in 0..n_columns {
+                let n = r.u32()? as usize;
+                columns.push(r.f32_vec(n * dim as usize)?);
+            }
+            let ext = match r.u8()? {
+                0 => None,
+                1 => Some(take_query_ext(&mut r)?),
+                t => return Err(WireError::Malformed(format!("unknown ext tag {t}"))),
+            };
+            Request::Batch(QueryBatch {
+                metric,
+                tau,
+                policy,
+                mode,
+                dim,
+                columns,
+                ext,
+            })
         }
         VERB_SHUTDOWN => Request::Shutdown,
         v => return Err(WireError::Malformed(format!("unknown verb {v}"))),
@@ -714,18 +913,13 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             } else {
                 REPLY_HITS
             });
-            w.u64(h.generation);
-            w.u8(h.cached as u8);
-            if let Some(ext) = &h.ext {
-                put_outcome(&mut w, ext.outcome);
-                w.u64(ext.distance_computations);
-            }
-            w.u32(h.hits.len() as u32);
-            for hit in &h.hits {
-                w.u64(hit.external_id);
-                w.str(&hit.table_name);
-                w.str(&hit.column_name);
-                w.u32(hit.match_count);
+            put_hits_body(&mut w, h, false);
+        }
+        Reply::HitsBatch(items) => {
+            w.u8(REPLY_HITS_BATCH);
+            w.u32(items.len() as u32);
+            for h in items {
+                put_hits_body(&mut w, h, true);
             }
         }
         Reply::Stats { text } => {
@@ -777,32 +971,15 @@ pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
             disk_bytes: r.u64()?,
         }),
         kind @ (REPLY_HITS | REPLY_HITS_V2) => {
-            let generation = r.u64()?;
-            let cached = r.u8()? != 0;
-            let ext = if kind == REPLY_HITS_V2 {
-                Some(HitsExt {
-                    outcome: take_outcome(&mut r)?,
-                    distance_computations: r.u64()?,
-                })
-            } else {
-                None
-            };
+            Reply::Hits(take_hits_body(&mut r, Some(kind == REPLY_HITS_V2))?)
+        }
+        REPLY_HITS_BATCH => {
             let n = r.u32()? as usize;
-            let mut hits = Vec::with_capacity(n.min(1 << 16));
+            let mut items = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
-                hits.push(WireHit {
-                    external_id: r.u64()?,
-                    table_name: r.str(1 << 16)?,
-                    column_name: r.str(1 << 16)?,
-                    match_count: r.u32()?,
-                });
+                items.push(take_hits_body(&mut r, None)?);
             }
-            Reply::Hits(HitsReply {
-                generation,
-                cached,
-                hits,
-                ext,
-            })
+            Reply::HitsBatch(items)
         }
         REPLY_STATS => Reply::Stats {
             text: r.str(1 << 20)?,
@@ -967,18 +1144,30 @@ mod tests {
         });
         assert_eq!(v2[4], QUERY_EXT_VERSION);
         assert_eq!(&v2[5..v1.len()], &v1[5..], "V1 layout must be a prefix");
-        // Truncating the extension off a V2 frame is malformed (the
-        // version byte promises it), while the V1 frame stands alone.
+        // The extension sits at the frame tail and its presence is "bytes
+        // remain" — a V4 stamp can come from the `Fixed` policy tag alone,
+        // so the version byte does not promise an extension. Truncating
+        // the whole extension off therefore yields the extension-less
+        // request; cutting it mid-field is still malformed.
         let mut truncated = v2.clone();
         truncated.truncate(v1.len());
-        assert!(decode_request(&truncated).is_err());
+        assert_eq!(
+            decode_request(&truncated).unwrap(),
+            Request::Search {
+                query: sample_query(),
+                t: JoinThreshold::Count(3),
+            }
+        );
+        let mut partial = v2.clone();
+        partial.truncate(v1.len() + 1);
+        assert!(decode_request(&partial).is_err());
         assert!(decode_request(&v1).is_ok());
     }
 
     #[test]
     fn apply_verb_is_version_gated() {
         let bytes = encode_request(&Request::ApplyDelta);
-        assert_eq!(bytes[4], PROTOCOL_VERSION, "APPLY frames are V3");
+        assert_eq!(bytes[4], 3, "APPLY frames are V3");
         assert_eq!(decode_request(&bytes).unwrap(), Request::ApplyDelta);
         // The same verb byte inside an older frame is junk, not a silent
         // downgrade: a V2 peer never legitimately produced it.
@@ -987,6 +1176,64 @@ mod tests {
             downgraded[4] = old;
             assert!(decode_request(&downgraded).is_err(), "version {old}");
         }
+    }
+
+    fn sample_batch(ext: Option<QueryExt>) -> QueryBatch {
+        QueryBatch {
+            metric: "euclidean".into(),
+            tau: Tau::Ratio(0.06),
+            policy: ExecPolicy::Parallel { threads: 4 },
+            mode: BatchMode::Search(JoinThreshold::Count(3)),
+            dim: 3,
+            columns: vec![vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], vec![0.7, 0.8, 0.9]],
+            ext,
+        }
+    }
+
+    #[test]
+    fn batch_verb_roundtrips_and_is_version_gated() {
+        for batch in [
+            sample_batch(None),
+            sample_batch(Some(sample_ext())),
+            QueryBatch {
+                mode: BatchMode::Topk(5),
+                columns: Vec::new(),
+                ..sample_batch(None)
+            },
+        ] {
+            let req = Request::Batch(batch);
+            let bytes = encode_request(&req);
+            assert_eq!(bytes[4], BATCH_VERSION, "BATCH frames are V4");
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+            // The verb byte inside an older frame is junk, not a silent
+            // downgrade.
+            for old in [1u8, 2, 3] {
+                let mut downgraded = bytes.clone();
+                downgraded[4] = old;
+                assert!(decode_request(&downgraded).is_err(), "version {old}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_policy_roundtrips_as_v4() {
+        let query = QueryPayload {
+            policy: ExecPolicy::Fixed { threads: 6 },
+            ..sample_query()
+        };
+        let req = Request::Search {
+            query,
+            t: JoinThreshold::Count(3),
+        };
+        let bytes = encode_request(&req);
+        assert_eq!(bytes[4], BATCH_VERSION, "fixed-policy frames are V4");
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+        let batch = Request::Batch(QueryBatch {
+            policy: ExecPolicy::Fixed { threads: 2 },
+            ..sample_batch(None)
+        });
+        let bytes = encode_request(&batch);
+        assert_eq!(decode_request(&bytes).unwrap(), batch);
     }
 
     #[test]
@@ -1019,6 +1266,28 @@ mod tests {
                     distance_computations: 777,
                 }),
             }),
+            Reply::HitsBatch(vec![
+                HitsReply {
+                    generation: 2,
+                    cached: false,
+                    hits: vec![WireHit {
+                        external_id: 7,
+                        table_name: "t".into(),
+                        column_name: "c".into(),
+                        match_count: 3,
+                    }],
+                    ext: None,
+                },
+                HitsReply {
+                    generation: 2,
+                    cached: true,
+                    hits: Vec::new(),
+                    ext: Some(HitsExt {
+                        outcome: QueryOutcome::Exact,
+                        distance_computations: 12,
+                    }),
+                },
+            ]),
             Reply::Stats {
                 text: "a=1\nb=2\n".into(),
             },

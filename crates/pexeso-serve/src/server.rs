@@ -31,10 +31,10 @@ use pexeso_core::vector::VectorStore;
 use crate::cache::ShardedCache;
 use crate::metrics::{EndpointMetrics, ServerMetrics, SnapshotFacts};
 use crate::protocol::{
-    decode_request, encode_reply, query_fingerprint, read_frame, write_frame, HitsExt, HitsReply,
-    InfoReply, Reply, Request, WireHit,
+    decode_request, encode_reply, query_fingerprint, read_frame, write_frame, BatchMode, HitsExt,
+    HitsReply, InfoReply, QueryBatch, QueryPayload, Reply, Request, WireHit,
 };
-use crate::snapshot::SnapshotCell;
+use crate::snapshot::{Snapshot, SnapshotCell};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -402,6 +402,7 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
         Request::Search { .. } | Request::Topk { .. } => {
             handle_query(shared, req, started, queue_wait)
         }
+        Request::Batch(batch) => handle_batch(shared, batch, started, queue_wait),
     }
 }
 
@@ -459,6 +460,20 @@ fn run_query(
     req: &Request,
     queue_wait: Option<Duration>,
 ) -> std::result::Result<HitsReply, String> {
+    // Pin the snapshot for the whole request: a concurrent hot swap must
+    // never split one query across two index states.
+    let snap = shared.snapshot.current();
+    run_query_on(shared, &snap, req, queue_wait)
+}
+
+/// Answer one query verb against an already-pinned snapshot. Solo frames
+/// pin per request; batch frames pin once and answer every column here.
+fn run_query_on(
+    shared: &Shared,
+    snap: &Arc<Snapshot>,
+    req: &Request,
+    queue_wait: Option<Duration>,
+) -> std::result::Result<HitsReply, String> {
     let (payload, mode) = match req {
         Request::Search { query, t } => (query, QueryMode::Threshold(*t)),
         Request::Topk { query, k } => (query, QueryMode::Topk(*k as usize)),
@@ -466,9 +481,6 @@ fn run_query(
     };
     // Requests carrying the V2 extension get the extended reply.
     let v2 = payload.ext.is_some();
-    // Pin the snapshot for the whole request: a concurrent hot swap must
-    // never split one query across two index states.
-    let snap = shared.snapshot.current();
     if payload.dim as usize != snap.dim() {
         return Err(format!(
             "query dimension {} does not match index dimension {}",
@@ -549,6 +561,72 @@ fn run_query(
     })
 }
 
+/// Answer a V4 batch frame: one pinned snapshot, one reply frame, and
+/// per-column answers that are byte-identical to what the equivalent solo
+/// frames would return (including result-cache interplay — a batch column
+/// hits and fills the same cache lines as a solo query).
+fn handle_batch(
+    shared: &Shared,
+    batch: QueryBatch,
+    started: Instant,
+    queue_wait: Option<Duration>,
+) -> Reply {
+    let endpoint = match batch.mode {
+        BatchMode::Search(_) => &shared.metrics.search,
+        BatchMode::Topk(_) => &shared.metrics.topk,
+    };
+    // Queue wait counts against the batch's deadline, exactly as for a
+    // solo query frame.
+    let deadline = batch
+        .ext
+        .as_ref()
+        .and_then(|ext| ext.deadline_ms)
+        .map(Duration::from_millis);
+    if let (Some(wait), Some(deadline)) = (queue_wait, deadline) {
+        if wait >= deadline {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            endpoint.record(started.elapsed());
+            return Reply::DeadlineExpired {
+                waited_ms: wait.as_millis() as u64,
+            };
+        }
+    }
+    // Pin the snapshot once: every column answers against the same
+    // generation even if a hot swap lands mid-batch.
+    let snap = shared.snapshot.current();
+    let mut replies = Vec::with_capacity(batch.columns.len());
+    for vectors in &batch.columns {
+        let solo = solo_request(&batch, vectors.clone());
+        match run_query_on(shared, &snap, &solo, queue_wait) {
+            Ok(hits) => replies.push(hits),
+            Err(message) => {
+                endpoint.record(started.elapsed());
+                return error_reply(endpoint, message);
+            }
+        }
+    }
+    endpoint.record(started.elapsed());
+    Reply::HitsBatch(replies)
+}
+
+/// The solo request a batch column is equivalent to — used both for
+/// execution and for result-cache fingerprinting, so batch and solo
+/// traffic share cache lines.
+fn solo_request(batch: &QueryBatch, vectors: Vec<f32>) -> Request {
+    let query = QueryPayload {
+        metric: batch.metric.clone(),
+        tau: batch.tau,
+        policy: batch.policy,
+        dim: batch.dim,
+        vectors,
+        ext: batch.ext,
+    };
+    match batch.mode {
+        BatchMode::Search(t) => Request::Search { query, t },
+        BatchMode::Topk(k) => Request::Topk { query, k },
+    }
+}
+
 /// Resolve `Parallel {{ threads: 0 }}` to the machine size and clamp to the
 /// server's per-request ceiling.
 fn clamp_policy(policy: ExecPolicy, max_threads: usize) -> ExecPolicy {
@@ -556,6 +634,11 @@ fn clamp_policy(policy: ExecPolicy, max_threads: usize) -> ExecPolicy {
         ExecPolicy::Sequential => ExecPolicy::Sequential,
         ExecPolicy::Parallel { .. } => ExecPolicy::Parallel {
             threads: policy.effective_threads().clamp(1, max_threads.max(1)),
+        },
+        // Fixed bypasses the adaptive break-even clamp in the core but
+        // still honours the server's resource ceiling.
+        ExecPolicy::Fixed { threads } => ExecPolicy::Fixed {
+            threads: threads.clamp(1, max_threads.max(1)),
         },
     }
 }
@@ -579,5 +662,13 @@ mod tests {
             ExecPolicy::Parallel { threads } => assert!((1..=8).contains(&threads)),
             _ => panic!("auto must stay parallel"),
         }
+        assert_eq!(
+            clamp_policy(ExecPolicy::Fixed { threads: 99 }, 4),
+            ExecPolicy::Fixed { threads: 4 }
+        );
+        assert_eq!(
+            clamp_policy(ExecPolicy::Fixed { threads: 2 }, 4),
+            ExecPolicy::Fixed { threads: 2 }
+        );
     }
 }

@@ -11,7 +11,9 @@
 //! mean, median and min per-iteration wall time. When the `BENCH_JSON`
 //! environment variable names a file, one JSON line per benchmark
 //! (`{"name", "mean_ns", "median_ns", "min_ns", "samples"}`) is appended
-//! to it so snapshots can be recorded.
+//! to it so snapshots can be recorded. `BENCH_FILTER` restricts a run to
+//! benchmarks whose name contains the given substring — handy for
+//! re-recording a single noisy row without re-running the whole suite.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -161,6 +163,11 @@ impl Criterion {
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Ok(filter) = std::env::var("BENCH_FILTER") {
+            if !filter.is_empty() && !name.contains(&filter) {
+                return self;
+            }
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             warm_up_time: self.warm_up_time,

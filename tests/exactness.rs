@@ -300,19 +300,28 @@ proptest! {
         prop_assert_eq!(seq_index.rv_mapped().raw_data(), par_index.rv_mapped().raw_data());
 
         let seq = seq_index.execute(&Query::threshold(tau, t), &query).unwrap();
-        let par = par_index.execute(
-            &Query::threshold(tau, t).with_exec(ExecPolicy::Parallel { threads }),
-            &query,
-        ).unwrap();
-        prop_assert_eq!(&seq.hits, &par.hits);
-        // Counter-level equality pins the shard merge, not just the answer.
-        prop_assert_eq!(seq.stats.distance_computations, par.stats.distance_computations);
-        prop_assert_eq!(seq.stats.lemma1_filtered, par.stats.lemma1_filtered);
-        prop_assert_eq!(seq.stats.lemma2_matched, par.stats.lemma2_matched);
-        prop_assert_eq!(seq.stats.candidate_pairs, par.stats.candidate_pairs);
-        prop_assert_eq!(seq.stats.matching_pairs, par.stats.matching_pairs);
-        prop_assert_eq!(seq.stats.early_joinable, par.stats.early_joinable);
-        prop_assert_eq!(seq.stats.lemma7_pruned, par.stats.lemma7_pruned);
+        // The adaptive planner may clamp `Parallel` to the inline path
+        // (small inputs, few cores); `Fixed` bypasses the clamp and forces
+        // real fan-out. Both must be byte-identical to sequential — the
+        // planner's choice can never change an answer or a counter.
+        for policy in [
+            ExecPolicy::Parallel { threads },
+            ExecPolicy::Fixed { threads },
+        ] {
+            let par = par_index.execute(
+                &Query::threshold(tau, t).with_exec(policy),
+                &query,
+            ).unwrap();
+            prop_assert_eq!(&seq.hits, &par.hits, "policy={:?}", policy);
+            // Counter-level equality pins the shard merge, not just the answer.
+            prop_assert_eq!(seq.stats.distance_computations, par.stats.distance_computations);
+            prop_assert_eq!(seq.stats.lemma1_filtered, par.stats.lemma1_filtered);
+            prop_assert_eq!(seq.stats.lemma2_matched, par.stats.lemma2_matched);
+            prop_assert_eq!(seq.stats.candidate_pairs, par.stats.candidate_pairs);
+            prop_assert_eq!(seq.stats.matching_pairs, par.stats.matching_pairs);
+            prop_assert_eq!(seq.stats.early_joinable, par.stats.early_joinable);
+            prop_assert_eq!(seq.stats.lemma7_pruned, par.stats.lemma7_pruned);
+        }
     }
 
     /// `dist_le` and `dist_batch` agree exactly with scalar `dist` for all
@@ -366,7 +375,11 @@ proptest! {
             .map(|q| index.execute(&base, q).unwrap().hits)
             .collect();
         let stores: Vec<&VectorStore> = queries.iter().collect();
-        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }] {
+        for policy in [
+            ExecPolicy::Sequential,
+            ExecPolicy::Parallel { threads: 4 },
+            ExecPolicy::Fixed { threads: 4 },
+        ] {
             let got: Vec<Vec<GlobalHit>> = index
                 .execute_many(&base.clone().with_policy(policy), &stores)
                 .unwrap()

@@ -351,19 +351,49 @@ fn execute_many_matches_execute_through_dyn() {
         q3.push(&unit(&mut rng)).unwrap();
     }
     let columns: Vec<&VectorStore> = vec![&query_vecs, &q2, &q3];
-    for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }] {
-        let q = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.4))
-            .with_policy(policy)
-            .expect_metric("euclidean");
-        for (name, backend) in backends.as_dyn() {
-            let batched = backend.execute_many(&q, &columns).unwrap();
-            assert_eq!(batched.len(), 3);
-            for (i, resp) in batched.iter().enumerate() {
-                let solo = backend.execute(&q, columns[i]).unwrap();
-                assert_eq!(
-                    resp.hits, solo.hits,
-                    "{name} column {i} diverged under {policy:?}"
-                );
+    // `Fixed` bypasses the adaptive clamp, so the fan-out paths run even
+    // on single-core hosts where `Parallel` plans down to inline.
+    for policy in [
+        ExecPolicy::Sequential,
+        ExecPolicy::Parallel { threads: 4 },
+        ExecPolicy::Fixed { threads: 3 },
+    ] {
+        let base = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.4));
+        for q in [base, Query::topk(Tau::Ratio(0.2), 3)] {
+            let q = q.with_policy(policy).expect_metric("euclidean");
+            for (name, backend) in backends.as_dyn() {
+                let batched = backend.execute_many(&q, &columns).unwrap();
+                assert_eq!(batched.len(), 3);
+                for (i, resp) in batched.iter().enumerate() {
+                    let solo = backend.execute(&q, columns[i]).unwrap();
+                    assert_eq!(
+                        resp.hits, solo.hits,
+                        "{name} column {i} diverged under {policy:?}"
+                    );
+                    assert_eq!(
+                        resp.outcome, solo.outcome,
+                        "{name} column {i} outcome diverged under {policy:?}"
+                    );
+                    // Counter-level equality: batching may only
+                    // restructure the sweep, never change the work each
+                    // column observes (wall-clock timings are exempt).
+                    // The serve backend is excluded: its result cache
+                    // legitimately answers repeats with zero distance
+                    // computations, so counters are not reproducible
+                    // across successive identical requests.
+                    if name == "serve" {
+                        continue;
+                    }
+                    assert_eq!(
+                        resp.stats.distance_computations, solo.stats.distance_computations,
+                        "{name} column {i} distance counter diverged under {policy:?}"
+                    );
+                    assert_eq!(resp.stats.mapping_distances, solo.stats.mapping_distances);
+                    assert_eq!(resp.stats.candidate_pairs, solo.stats.candidate_pairs);
+                    assert_eq!(resp.stats.matching_pairs, solo.stats.matching_pairs);
+                    assert_eq!(resp.stats.early_joinable, solo.stats.early_joinable);
+                    assert_eq!(resp.stats.lemma7_pruned, solo.stats.lemma7_pruned);
+                }
             }
         }
     }
