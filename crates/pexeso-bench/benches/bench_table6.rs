@@ -44,6 +44,23 @@ fn bench_table6(c: &mut Criterion) {
                     })
                 },
             );
+            // Table VI's phase split (blocking vs verification), taken
+            // from the per-query stats a traced run carries; the trace
+            // spans are the same numbers (pinned by core tests), so this
+            // prints the paper's breakdown per (|P|, m) cell.
+            let resp = index
+                .execute(
+                    &Query::threshold(tau, t).with_trace(TraceLevel::Phases),
+                    query.store(),
+                )
+                .unwrap();
+            println!(
+                "table6 phases P{pivots}_m{m}: map={:?} block={:?} verify={:?} (dc={})",
+                resp.stats.mapping_time,
+                resp.stats.block_time,
+                resp.stats.verify_time,
+                resp.stats.distance_computations,
+            );
         }
     }
     group.finish();

@@ -1,0 +1,145 @@
+//! Observability-cost benchmarks: what a query pays for the trace knob.
+//!
+//! Two pins, recorded into `BENCH_obs.json`:
+//!
+//! * `verify_kernel_seq_10k_x64d` — the exact verification benchmark from
+//!   `bench_kernels`, re-run with the tracing module compiled into the
+//!   crate. Comparing this row against `BENCH_kernels.json` shows the
+//!   trace plumbing adds nothing to the hot path (traces are built
+//!   post-hoc from stats; the disabled path is a single branch per
+//!   execution).
+//! * `query_trace_{off,phases,detail}` — one end-to-end `execute` on the
+//!   same workload at each [`TraceLevel`], so the *enabled* cost (a few
+//!   span allocations at the end of the request) is pinned too.
+//!
+//! Record a snapshot with:
+//! `BENCH_JSON=BENCH_obs.json cargo bench -p pexeso-bench --bench bench_trace`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pexeso::prelude::*;
+use pexeso_core::block::{block, quick_browse};
+use pexeso_core::grid::{GridParams, HierarchicalGrid};
+use pexeso_core::invindex::InvertedIndex;
+use pexeso_core::mapping::MappedVectors;
+use pexeso_core::pivot::select_pivots;
+use pexeso_core::util::FastMap;
+use pexeso_core::verify::{verify_with, VerifyContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 64;
+const N_VECTORS: usize = 10_000;
+const N_COLS: usize = 100;
+const N_QUERY: usize = 64;
+
+fn unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+/// The same 10k×64-d unit-vector repository `bench_kernels` uses (seed 42,
+/// 100 columns, 64-vector query) so the rows are directly comparable.
+fn kernel_workload() -> (ColumnSet, VectorStore) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut columns = ColumnSet::new(DIM);
+    let per_col = N_VECTORS / N_COLS;
+    for c in 0..N_COLS {
+        let vecs: Vec<Vec<f32>> = (0..per_col).map(|_| unit(&mut rng, DIM)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column("t", &format!("c{c}"), c as u64, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(DIM);
+    for _ in 0..N_QUERY {
+        query.push(&unit(&mut rng, DIM)).unwrap();
+    }
+    (columns, query)
+}
+
+/// `verify_kernel_seq_10k_x64d` from `bench_kernels`, byte-for-byte the
+/// same configuration (Lemma 1/2 off, exact counts), re-pinned with the
+/// trace module linked in.
+fn bench_verify_with_tracing_compiled_in(c: &mut Criterion) {
+    let (columns, query) = kernel_workload();
+    let tau = 0.12f32;
+    let t_abs = query.len() + 1;
+    let flags = LemmaFlags {
+        lemma1_vector_filter: false,
+        lemma2_vector_match: false,
+        lemma34_cell_filter: true,
+        lemma56_cell_match: true,
+    };
+    let metric = Euclidean;
+    let pivots = select_pivots(columns.store(), &metric, 3, PivotSelection::Pca, 42).unwrap();
+    let rv_mapped = MappedVectors::build(columns.store(), &pivots, &metric, None).unwrap();
+    let q_mapped = MappedVectors::build(&query, &pivots, &metric, None).unwrap();
+    let params = GridParams::new(3, 4, 2.0 + 1e-4).unwrap();
+    let hgrv = HierarchicalGrid::build_keys_only(params.clone(), &rv_mapped).unwrap();
+    let hgq = HierarchicalGrid::build(params.clone(), &q_mapped).unwrap();
+    let vec_col = columns.vector_to_column();
+    let inv = InvertedIndex::build(&params, &rv_mapped, &vec_col).unwrap();
+    let mut stats = SearchStats::new();
+    let mut seeded = FastMap::default();
+    let handled = quick_browse(&hgq, &inv, &mut seeded, &mut stats);
+    let blocked = block(
+        &hgq,
+        &hgrv,
+        &q_mapped,
+        tau,
+        flags,
+        Some(&handled),
+        seeded,
+        &mut stats,
+    );
+    let ctx = VerifyContext {
+        columns: &columns,
+        vec_col: &vec_col,
+        rv_mapped: &rv_mapped,
+        inv: &inv,
+        metric: &metric,
+        query: &query,
+        query_mapped: &q_mapped,
+        tau,
+        t_abs,
+        flags,
+        deleted: None,
+    };
+    c.bench_function("verify_kernel_seq_10k_x64d", |b| {
+        b.iter(|| {
+            let mut s = SearchStats::new();
+            verify_with(&ctx, &blocked, &mut s, ExecPolicy::Sequential)
+        })
+    });
+}
+
+/// End-to-end `execute` at each trace level: `off` is the default (the
+/// single-branch disabled path), `phases`/`detail` pay only the post-hoc
+/// span construction.
+fn bench_trace_levels(c: &mut Criterion) {
+    let (columns, query) = kernel_workload();
+    let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+    let base = Query::threshold(Tau::Ratio(0.12), JoinThreshold::Ratio(0.5));
+    for (name, level) in [
+        ("query_trace_off", TraceLevel::Off),
+        ("query_trace_phases", TraceLevel::Phases),
+        ("query_trace_detail", TraceLevel::Detail),
+    ] {
+        let q = base.clone().with_trace(level);
+        c.bench_function(name, |b| b.iter(|| index.execute(&q, &query).unwrap()));
+    }
+}
+
+fn bench_trace(c: &mut Criterion) {
+    bench_verify_with_tracing_compiled_in(c);
+    bench_trace_levels(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_trace
+}
+criterion_main!(benches);

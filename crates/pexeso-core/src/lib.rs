@@ -86,6 +86,7 @@ pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod grid;
+pub mod hist;
 pub mod histogram;
 pub mod invindex;
 pub mod kernel;
@@ -100,6 +101,7 @@ pub mod pivot;
 pub mod query;
 pub mod search;
 pub mod stats;
+pub mod trace;
 pub mod util;
 pub mod vector;
 pub mod verify;
@@ -122,6 +124,7 @@ pub mod prelude {
         VerifyStrategy,
     };
     pub use crate::stats::SearchStats;
+    pub use crate::trace::{QueryTrace, TraceLevel, TraceSpan};
     pub use crate::vector::{VectorId, VectorStore};
 }
 

@@ -627,6 +627,7 @@ where
             hits: Vec::new(),
             stats: SearchStats::new(),
             outcome: QueryOutcome::Exact,
+            trace: None,
         });
     }
     let inner = Query {
@@ -660,10 +661,17 @@ where
             },
         )?
     };
+    // The one branch the untraced path pays; everything trace-related
+    // below is behind it.
+    let merge_start = query.trace.enabled().then(Instant::now);
+    let mut unit_spans = Vec::new();
     let mut stats = SearchStats::new();
     let mut hits = Vec::new();
     let mut outcome = QueryOutcome::Exact;
-    for (h, s, e) in per_partition {
+    for (i, (h, s, e)) in per_partition.into_iter().enumerate() {
+        if query.trace == crate::trace::TraceLevel::Detail {
+            unit_spans.push(crate::trace::unit_span(format!("partition/{i}"), &s));
+        }
         stats.merge(&s);
         hits.extend(h);
         fold_outcome(&mut outcome, e);
@@ -676,10 +684,24 @@ where
         QueryMode::Topk(k) => rank_topk_hits(hits, k),
     };
     stats.total_time = started.elapsed();
+    let trace = merge_start.map(|m| {
+        let mut root = crate::trace::phase_tree(&stats, stats.total_time, m.elapsed());
+        // Lay the per-partition spans back-to-back like the phases; under
+        // a parallel policy they overlap in wall-clock, so the offsets
+        // are a reading order, not a schedule.
+        let mut off = 0;
+        for mut s in unit_spans {
+            s.start_us = off;
+            off += s.duration_us;
+            root.children.push(s);
+        }
+        crate::trace::QueryTrace::new(root)
+    });
     Ok(QueryResponse {
         hits,
         stats,
         outcome,
+        trace,
     })
 }
 
@@ -724,6 +746,7 @@ where
                 hits: Vec::new(),
                 stats: SearchStats::new(),
                 outcome: QueryOutcome::Exact,
+                trace: None,
             })
             .collect());
     }
@@ -784,10 +807,15 @@ where
     Ok(per_column
         .into_iter()
         .map(|parts| {
+            let merge_start = query.trace.enabled().then(Instant::now);
+            let mut unit_spans = Vec::new();
             let mut stats = SearchStats::new();
             let mut hits = Vec::new();
             let mut outcome = QueryOutcome::Exact;
-            for (h, s, e) in parts {
+            for (i, (h, s, e)) in parts.into_iter().enumerate() {
+                if query.trace == crate::trace::TraceLevel::Detail {
+                    unit_spans.push(crate::trace::unit_span(format!("partition/{i}"), &s));
+                }
                 stats.merge(&s);
                 hits.extend(h);
                 fold_outcome(&mut outcome, e);
@@ -800,10 +828,21 @@ where
                 QueryMode::Topk(k) => rank_topk_hits(hits, k),
             };
             stats.total_time = started.elapsed();
+            let trace = merge_start.map(|m| {
+                let mut root = crate::trace::phase_tree(&stats, stats.total_time, m.elapsed());
+                let mut off = 0;
+                for mut s in unit_spans {
+                    s.start_us = off;
+                    off += s.duration_us;
+                    root.children.push(s);
+                }
+                crate::trace::QueryTrace::new(root)
+            });
             QueryResponse {
                 hits,
                 stats,
                 outcome,
+                trace,
             }
         })
         .collect())

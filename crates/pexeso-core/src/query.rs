@@ -79,6 +79,7 @@ use crate::error::Result;
 use crate::outofcore::GlobalHit;
 use crate::search::SearchOptions;
 use crate::stats::SearchStats;
+use crate::trace::{QueryTrace, TraceLevel};
 use crate::vector::VectorStore;
 
 /// The ranking mode of a [`Query`].
@@ -172,6 +173,10 @@ pub struct Query {
     pub metric: Option<String>,
     /// Per-query verification budget.
     pub budget: QueryBudget,
+    /// Phase-tracing level. [`TraceLevel::Off`] (the default) adds no
+    /// work beyond one branch per execution; any other level attaches a
+    /// [`QueryTrace`] to the response. Tracing never changes results.
+    pub trace: TraceLevel,
 }
 
 impl Query {
@@ -183,6 +188,7 @@ impl Query {
             policy: ExecPolicy::Sequential,
             metric: None,
             budget: QueryBudget::default(),
+            trace: TraceLevel::Off,
         }
     }
 
@@ -249,6 +255,13 @@ impl Query {
         self.budget.deadline = Some(deadline);
         self
     }
+
+    /// Request a phase trace at the given level. Results are unchanged;
+    /// the response additionally carries a [`QueryTrace`].
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
 }
 
 /// The unified answer to a [`Query`]: globally-identified hits, the usual
@@ -260,6 +273,10 @@ pub struct QueryResponse {
     pub hits: Vec<GlobalHit>,
     pub stats: SearchStats,
     pub outcome: QueryOutcome,
+    /// Phase trace, present iff the query asked for one
+    /// ([`Query::with_trace`] with a level other than
+    /// [`TraceLevel::Off`]).
+    pub trace: Option<QueryTrace>,
 }
 
 impl QueryResponse {
@@ -382,8 +399,11 @@ mod tests {
             .with_policy(ExecPolicy::Parallel { threads: 3 })
             .expect_metric("manhattan")
             .with_max_distance_computations(1000)
-            .with_deadline(Duration::from_millis(50));
+            .with_deadline(Duration::from_millis(50))
+            .with_trace(TraceLevel::Phases);
         assert_eq!(q.mode, QueryMode::Topk(7));
+        assert_eq!(q.trace, TraceLevel::Phases);
+        assert_eq!(Query::topk(Tau::Ratio(0.06), 7).trace, TraceLevel::Off);
         assert!(!q.options.flags.lemma1_vector_filter);
         assert!(!q.options.quick_browse);
         assert_eq!(q.options.exec, ExecPolicy::Parallel { threads: 2 });

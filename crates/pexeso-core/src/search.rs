@@ -348,6 +348,7 @@ impl<M: Metric> PexesoIndex<M> {
         stats: &mut SearchStats,
         premapped: Option<&MappedVectors>,
     ) -> Result<(MappedVectors, BlockOutput)> {
+        let map_start = Instant::now();
         let query_mapped = match premapped {
             // A shared batched pass (`execute_many`) already mapped this
             // column; the arena is policy-invariant, so reusing it is
@@ -374,6 +375,11 @@ impl<M: Metric> PexesoIndex<M> {
             )));
         }
         let hgq = HierarchicalGrid::build_with(self.grid_params.clone(), &query_mapped, opts.exec)?;
+        // Mapping phase = pivot mapping + span check + HG_Q build: all the
+        // per-query work before the dual-grid traversal starts. A batched
+        // (premapped) query reports only the time actually spent here, so
+        // the crate-wide "only wall-clock timings differ" contract holds.
+        stats.mapping_time = map_start.elapsed();
         let block_start = Instant::now();
         let (handled, seeded) = if opts.quick_browse {
             let mut seeded = FastMap::default();
@@ -836,6 +842,9 @@ impl<M: Metric> PexesoIndex<M> {
         )?;
         let mut outcome = QueryOutcome::Exact;
         fold_outcome(&mut outcome, exceeded);
+        // The one branch the untraced path pays: no timer, no allocation
+        // unless the query asked for a trace.
+        let merge_start = query.trace.enabled().then(Instant::now);
         let hits = match query.mode {
             QueryMode::Threshold(_) => {
                 sort_threshold_hits(&mut hits);
@@ -843,10 +852,19 @@ impl<M: Metric> PexesoIndex<M> {
             }
             QueryMode::Topk(k) => rank_topk_hits(hits, k),
         };
+        let trace = merge_start.map(|m| {
+            let merge = m.elapsed();
+            crate::trace::QueryTrace::new(crate::trace::phase_tree(
+                &stats,
+                stats.total_time + merge,
+                merge,
+            ))
+        });
         Ok(QueryResponse {
             hits,
             stats,
             outcome,
+            trace,
         })
     }
 

@@ -39,7 +39,16 @@ pub struct SearchStats {
     /// Top-k search: exact per-column scans aborted early because the
     /// column could no longer beat the adaptive k-th-best threshold.
     pub topk_aborted: u64,
-    /// Wall-clock time spent blocking (includes quick browsing).
+    /// Top-k search: best-first verification rounds executed. Batch
+    /// membership is policy-independent, so this counter is too;
+    /// threshold searches verify in one pass and leave it at zero.
+    pub verify_batches: u64,
+    /// Wall-clock time spent pivot-mapping the query column (plus the
+    /// span check and the query-grid build that immediately follow it) —
+    /// the "mapping" row of the paper's Table VI breakdown.
+    pub mapping_time: Duration,
+    /// Wall-clock time spent blocking (includes quick browsing) — the
+    /// Table VI "blocking" phase.
     pub block_time: Duration,
     /// Wall-clock time spent verifying.
     pub verify_time: Duration,
@@ -67,6 +76,8 @@ impl SearchStats {
         self.lemma7_pruned += other.lemma7_pruned;
         self.topk_pruned += other.topk_pruned;
         self.topk_aborted += other.topk_aborted;
+        self.verify_batches += other.verify_batches;
+        self.mapping_time += other.mapping_time;
         self.block_time += other.block_time;
         self.verify_time += other.verify_time;
         self.total_time += other.total_time;

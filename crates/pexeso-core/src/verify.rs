@@ -568,6 +568,7 @@ pub fn verify_topk_budgeted<M: Metric>(
         if batch.is_empty() {
             continue;
         }
+        stats.verify_batches += 1;
         let shard_results = exec::map_ranges_min(policy, batch.len(), 2, |r| {
             let mut out = Vec::with_capacity(r.len());
             for j in r {

@@ -1,9 +1,13 @@
 //! Property tests for the core structures: lemma soundness, grid
-//! containment, divergence properties, persistence round-trips.
+//! containment, divergence properties, persistence round-trips,
+//! log-bucketed histogram guarantees.
 
 use proptest::prelude::*;
 
 use pexeso_core::grid::{CellKey, GridParams};
+use pexeso_core::hist::{
+    bucket_index, bucket_upper_bound, bucket_width, AtomicHistogram, NUM_BUCKETS,
+};
 use pexeso_core::histogram::{jensen_shannon, jsd_paper, Histogram};
 use pexeso_core::lemmas;
 use pexeso_core::mapping::MappedVectors;
@@ -256,5 +260,90 @@ proptest! {
         let pivots: Vec<Vec<f32>> = (0..4).map(|i| unit_vec(dim, seed * 57 + i)).collect();
         let mapped = MappedVectors::build(&store, &pivots, &Euclidean, None).unwrap();
         prop_assert!(mapped.max_coord() <= Euclidean.max_dist_unit(dim) + 1e-4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// A log-bucketed quantile estimate is conservative (at or above the
+    /// exact order statistic) and never off by more than the width of the
+    /// bucket the exact value lands in.
+    #[test]
+    fn hist_quantile_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..5_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = AtomicHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let est = snap.quantile(q);
+        prop_assert!(est >= exact, "estimate {est} below exact {exact}");
+        let i = bucket_index(exact);
+        prop_assert!(
+            est - exact <= bucket_width(i),
+            "estimate {est} more than one bucket ({}) above exact {exact}",
+            bucket_width(i)
+        );
+    }
+
+    /// Merging snapshots is associative and order-independent: however
+    /// three shards fold, every bucket, the count, and the sum agree.
+    #[test]
+    fn hist_merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+        c in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = AtomicHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right = sb.clone();
+        right.merge(&sc);
+        let mut outer = sa.clone();
+        outer.merge(&right);
+        prop_assert_eq!(&left, &outer);
+        // c ⊕ b ⊕ a — commutes too.
+        let mut rev = sc;
+        rev.merge(&sb);
+        rev.merge(&sa);
+        prop_assert_eq!(&left, &rev);
+        prop_assert_eq!(left.count, (a.len() + b.len() + c.len()) as u64);
+    }
+
+    /// Values beyond the top bucket's range saturate into it instead of
+    /// panicking or wrapping, and the quantile then reports the top
+    /// bucket's bound.
+    #[test]
+    fn hist_saturates_at_top_bucket(v in 0u64..=u64::MAX) {
+        let top = bucket_upper_bound(NUM_BUCKETS - 1);
+        let h = AtomicHistogram::new();
+        h.record(v);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, 1);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), 1);
+        prop_assert!(bucket_index(v) < NUM_BUCKETS);
+        if v >= top {
+            prop_assert_eq!(bucket_index(v), NUM_BUCKETS - 1, "must clamp to the last bucket");
+            prop_assert_eq!(snap.quantile(1.0), top);
+        } else {
+            prop_assert!(snap.quantile(1.0) >= v);
+        }
     }
 }

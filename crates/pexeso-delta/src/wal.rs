@@ -46,10 +46,12 @@ use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use pexeso_core::column::ColumnSet;
 use pexeso_core::error::{PexesoError, Result};
 use pexeso_core::fault;
+use pexeso_core::hist;
 use pexeso_core::outofcore::LakeManifest;
 
 const MAGIC: &[u8; 8] = b"PXDELTA1";
@@ -583,14 +585,18 @@ pub fn append_records(dir: &Path, manifest: &LakeManifest, records: &[DeltaRecor
             "wal.append.header",
         )?;
     }
+    let append_start = Instant::now();
     let mut w = BufWriter::new(&mut file);
     for frame in &encoded {
         fault::write_all(&mut w, frame, "wal.append.record")?;
     }
     w.flush()?;
     drop(w);
+    hist::global::WAL_APPEND.record_duration(append_start.elapsed());
     fault::check("wal.append.fsync")?;
+    let fsync_start = Instant::now();
     file.sync_all()?;
+    hist::global::WAL_FSYNC.record_duration(fsync_start.elapsed());
     Ok(())
 }
 

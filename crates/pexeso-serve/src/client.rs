@@ -21,6 +21,7 @@ use pexeso_core::error::PexesoError;
 use pexeso_core::outofcore::GlobalHit;
 use pexeso_core::query::{Exceeded, Query, QueryMode, QueryOutcome, QueryResponse, Queryable};
 use pexeso_core::stats::SearchStats;
+use pexeso_core::trace::TraceLevel;
 use pexeso_core::vector::VectorStore;
 
 use crate::protocol::{
@@ -116,6 +117,7 @@ pub fn query_payload(
         dim: store.dim() as u32,
         vectors: store.raw_data().to_vec(),
         ext: None,
+        trace: TraceLevel::Off,
     }
 }
 
@@ -136,6 +138,7 @@ pub fn wire_request(query: &Query, vectors: &VectorStore) -> Request {
         dim: vectors.dim() as u32,
         vectors: vectors.raw_data().to_vec(),
         ext: Some(wire_ext(query)),
+        trace: query.trace,
     };
     match query.mode {
         QueryMode::Threshold(t) => Request::Search { query: payload, t },
@@ -180,6 +183,7 @@ pub fn wire_batch_request(query: &Query, columns: &[&VectorStore]) -> Request {
         dim,
         columns: columns.iter().map(|c| c.raw_data().to_vec()).collect(),
         ext: Some(wire_ext(query)),
+        trace: query.trace,
     })
 }
 
@@ -350,6 +354,7 @@ impl ServeClient {
                         hits: Vec::new(),
                         stats: SearchStats::new(),
                         outcome: QueryOutcome::Exceeded(Exceeded::Deadline),
+                        trace: None,
                     },
                     RemoteMeta {
                         generation: 0,
@@ -387,6 +392,7 @@ impl ServeClient {
                                 hits: Vec::new(),
                                 stats: SearchStats::new(),
                                 outcome: QueryOutcome::Exceeded(Exceeded::Deadline),
+                                trace: None,
                             },
                             RemoteMeta {
                                 generation: 0,
@@ -414,6 +420,25 @@ impl ServeClient {
         match self.roundtrip(&Request::Stats)? {
             Reply::Stats { text } => Ok(text),
             other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// The Prometheus text-format exposition (the V5 `METRICS` verb).
+    /// Validates with [`crate::metrics::validate_prometheus`].
+    pub fn metrics_text(&self) -> ClientResult<String> {
+        match self.roundtrip(&Request::Metrics)? {
+            Reply::Stats { text } => Ok(text),
+            other => Err(unexpected("METRICS", &other)),
+        }
+    }
+
+    /// The slow-query log: the slowest traced requests the daemon has
+    /// seen, slowest first, each with its rendered phase tree (the V5
+    /// `SLOW` verb). Empty until a traced or sampled query lands.
+    pub fn slow_log_text(&self) -> ClientResult<String> {
+        match self.roundtrip(&Request::SlowLog)? {
+            Reply::Stats { text } => Ok(text),
+            other => Err(unexpected("SLOW", &other)),
         }
     }
 
@@ -511,15 +536,27 @@ fn unwrap_hits_reply(reply: HitsReply) -> ClientResult<(QueryResponse, RemoteMet
             match_count: h.match_count,
         })
         .collect();
-    let stats = SearchStats {
+    let mut stats = SearchStats {
         distance_computations: ext.distance_computations,
         ..SearchStats::new()
     };
+    // A requested trace doubles as the wire carrier for the per-phase
+    // timings: rehydrate the `SearchStats` phase durations from the
+    // server's span tree so client-side consumers (Table VI tooling)
+    // see the same breakdown a local backend reports.
+    if let Some(trace) = &reply.trace {
+        let phase = |name: &str| trace.find(name).map(|s| s.duration()).unwrap_or_default();
+        stats.mapping_time = phase("map");
+        stats.block_time = phase("block");
+        stats.verify_time = phase("verify");
+        stats.total_time = trace.root.duration();
+    }
     Ok((
         QueryResponse {
             hits,
             stats,
             outcome: ext.outcome,
+            trace: reply.trace,
         },
         meta,
     ))

@@ -22,11 +22,16 @@
 //! * [`server`] — a fixed worker pool over a bounded connection queue,
 //!   per-request [`pexeso_core::config::ExecPolicy`] selection (clamped by
 //!   the server), and a clean shutdown path;
-//! * [`metrics`] — per-endpoint request/error counters and p50/p99
-//!   latency (binned through [`pexeso_core::histogram::Histogram`]),
-//!   rendered as `key=value` text on the `STATS` verb;
+//! * [`metrics`] — lock-free per-endpoint counters and log-bucketed
+//!   latency histograms ([`pexeso_core::hist::AtomicHistogram`]),
+//!   rendered as `key=value` text on the `STATS` verb and as Prometheus
+//!   text format on the V5 `METRICS` verb (validated in-repo by
+//!   [`metrics::validate_prometheus`]), plus a slowest-N traced query
+//!   log behind the `SLOW` verb;
 //! * [`client`] — a synchronous client used by `pexeso query` and the
-//!   integration tests.
+//!   integration tests; queries can request a server-side phase trace
+//!   ([`pexeso_core::trace`]) that [`ResilientClient`] merges with its
+//!   own attempt/backoff spans into one correlated timeline.
 //!
 //! Served results are exact: a reply is byte-identical to what a direct
 //! [`pexeso_core::outofcore::PartitionedLake::search`] call returns, for
@@ -43,7 +48,7 @@ pub mod snapshot;
 
 pub use cache::{CacheStats, LruCache, ShardedCache};
 pub use client::{query_payload, wire_request, ClientError, RemoteMeta, ServeClient};
-pub use metrics::{stat_value, ServerMetrics, SnapshotFacts};
+pub use metrics::{stat_value, validate_prometheus, ServerMetrics, SlowQueryLog, SnapshotFacts};
 pub use protocol::{
     HitsExt, HitsReply, InfoReply, QueryExt, QueryPayload, Reply, Request, WireHit,
 };

@@ -1,100 +1,89 @@
-//! Server instrumentation: per-endpoint counters and latency quantiles.
+//! Server instrumentation: lock-free counters, latency histograms, and
+//! the two exposition formats.
 //!
-//! Counters are lock-free atomics; latencies go into a small fixed-size
-//! ring of recent samples per endpoint and are summarised into p50/p99 on
-//! demand by binning them through [`pexeso_core::histogram::Histogram`] —
-//! the same histogram the cost model and JSD partitioner use, reused here
-//! as a quantile sketch. Everything is rendered as `key=value` lines for
-//! the `STATS` protocol verb, so operators (and the CI smoke job) can
-//! scrape it with nothing fancier than `grep`.
+//! Every hot-path record is a handful of relaxed atomic adds into a
+//! [`pexeso_core::hist::AtomicHistogram`] — no mutex, no sampling ring,
+//! no lost samples under contention (pinned by the hammer test below).
+//! Two renderings exist:
+//!
+//! * [`ServerMetrics::render`] — the historical `key=value` lines behind
+//!   the `STATS` verb, grep-friendly and stable;
+//! * [`ServerMetrics::render_prometheus`] — Prometheus text exposition
+//!   (`# TYPE`/`# HELP`, `_bucket`/`_sum`/`_count` series) behind the
+//!   `METRICS` verb, scrapeable by a stock Prometheus. The in-repo
+//!   [`validate_prometheus`] checker keeps the format honest without a
+//!   new dependency.
+//!
+//! The daemon also keeps a [`SlowQueryLog`]: a small slowest-N ring of
+//! traced requests (fed by the `--metrics-sample-rate` sampler) dumped by
+//! the `SLOW` verb, so a p99 spike comes with the phase tree that caused
+//! it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use pexeso_core::histogram::Histogram;
+use pexeso_core::hist::{self, bucket_upper_bound, AtomicHistogram, HistSnapshot, NUM_BUCKETS};
 
 use crate::cache::CacheStats;
 
-/// Recent-latency ring; 4096 samples ≈ the last few seconds under load,
-/// which is what p50/p99 should describe on a live server.
-const LATENCY_RING: usize = 4096;
-/// Histogram resolution for the quantile sketch.
-const LATENCY_BINS: usize = 256;
-
-#[derive(Default)]
-struct Ring {
-    samples: Vec<f32>, // microseconds
-    next: usize,
-}
-
-/// One endpoint's counters + latency ring.
+/// One endpoint's counters + latency histogram. Recording is atomics-only
+/// — safe to call from every worker without serialising them.
 #[derive(Default)]
 pub struct EndpointMetrics {
     pub requests: AtomicU64,
     pub errors: AtomicU64,
-    ring: Mutex<Ring>,
+    latency: AtomicHistogram,
 }
 
 impl EndpointMetrics {
     /// Count one served request and record its handling latency.
+    /// Wait-free: four relaxed atomic adds, no lock anywhere.
     pub fn record(&self, latency: Duration) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let us = latency.as_secs_f64() * 1e6;
-        let mut ring = self.ring.lock().expect("latency ring poisoned");
-        let next = ring.next;
-        if ring.samples.len() < LATENCY_RING {
-            ring.samples.push(us as f32);
-        } else {
-            ring.samples[next] = us as f32;
-        }
-        ring.next = (next + 1) % LATENCY_RING;
+        self.latency.record_duration(latency);
     }
 
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// (p50, p99) of the recent-latency ring, in microseconds. Zero when
-    /// no request has been served yet.
+    /// (p50, p99) of the latency histogram, in microseconds. Zero when no
+    /// request has been served yet. Estimates are conservative: the upper
+    /// bound of the bucket holding the rank, at most one bucket width
+    /// (~12.5%) above the true quantile.
     pub fn latency_quantiles_us(&self) -> (f64, f64) {
-        let samples = {
-            let ring = self.ring.lock().expect("latency ring poisoned");
-            ring.samples.clone()
-        };
-        (quantile_us(&samples, 0.50), quantile_us(&samples, 0.99))
+        let s = self.latency.snapshot();
+        (s.quantile(0.50) as f64, s.quantile(0.99) as f64)
+    }
+
+    /// Snapshot of the latency histogram (for exposition / merging).
+    pub fn latency_snapshot(&self) -> HistSnapshot {
+        self.latency.snapshot()
     }
 }
 
-/// Quantile from a latency sample set via a fixed-range histogram: bin the
-/// samples over `[0, max]`, walk the cumulative mass to the target
-/// quantile, and report the bin's upper edge (a conservative estimate —
-/// never below the true quantile by more than one bin width).
-fn quantile_us(samples: &[f32], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let hi = samples.iter().copied().fold(0.0f32, f32::max).max(1e-3);
-    let h = Histogram::from_values(samples.iter().copied(), 0.0, hi, LATENCY_BINS);
-    let width = hi as f64 / LATENCY_BINS as f64;
-    let mut cumulative = 0.0;
-    for (i, mass) in h.masses().iter().enumerate() {
-        cumulative += mass;
-        if cumulative >= q - 1e-12 {
-            return (i + 1) as f64 * width;
-        }
-    }
-    hi as f64
-}
-
-/// All server metrics, grouped per endpoint plus daemon-wide counters.
+/// All server metrics, grouped per endpoint plus daemon-wide counters
+/// and histograms.
 pub struct ServerMetrics {
     pub search: EndpointMetrics,
     pub topk: EndpointMetrics,
     pub info: EndpointMetrics,
     pub stats: EndpointMetrics,
     pub reload: EndpointMetrics,
+    /// Delta APPLY latency (ingest → published snapshot) rides on this
+    /// endpoint's histogram.
     pub apply: EndpointMetrics,
+    /// Time a request sat in the accept queue before a worker popped it.
+    pub queue_wait: AtomicHistogram,
+    /// Result-cache lookup time, split by outcome — a hit that costs as
+    /// much as a miss is a sharding problem.
+    pub cache_hit_lookup: AtomicHistogram,
+    pub cache_miss_lookup: AtomicHistogram,
+    /// Per-phase search timings (Table VI's breakdown, as served).
+    pub phase_map: AtomicHistogram,
+    pub phase_block: AtomicHistogram,
+    pub phase_verify: AtomicHistogram,
     /// Connections rejected with a BUSY reply (queue full).
     pub busy_rejections: AtomicU64,
     /// Connections rejected with a SHED reply (soft watermark crossed
@@ -124,6 +113,12 @@ impl Default for ServerMetrics {
             stats: EndpointMetrics::default(),
             reload: EndpointMetrics::default(),
             apply: EndpointMetrics::default(),
+            queue_wait: AtomicHistogram::new(),
+            cache_hit_lookup: AtomicHistogram::new(),
+            cache_miss_lookup: AtomicHistogram::new(),
+            phase_map: AtomicHistogram::new(),
+            phase_block: AtomicHistogram::new(),
+            phase_verify: AtomicHistogram::new(),
             busy_rejections: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
@@ -151,6 +146,24 @@ pub struct SnapshotFacts {
 }
 
 impl ServerMetrics {
+    fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 6] {
+        [
+            ("search", &self.search),
+            ("topk", &self.topk),
+            ("info", &self.info),
+            ("stats", &self.stats),
+            ("reload", &self.reload),
+            ("apply", &self.apply),
+        ]
+    }
+
+    /// Record the per-phase timings of one executed (uncached) search.
+    pub fn record_phases(&self, stats: &pexeso_core::stats::SearchStats) {
+        self.phase_map.record_duration(stats.mapping_time);
+        self.phase_block.record_duration(stats.block_time);
+        self.phase_verify.record_duration(stats.verify_time);
+    }
+
     /// Render every counter as `key=value` lines (the `STATS` reply body).
     pub fn render(&self, cache: &CacheStats, snap: &SnapshotFacts) -> String {
         use std::fmt::Write as _;
@@ -184,14 +197,10 @@ impl ServerMetrics {
         let _ = writeln!(out, "cache.misses={}", cache.misses);
         let _ = writeln!(out, "cache.insertions={}", cache.insertions);
         let _ = writeln!(out, "cache.evictions={}", cache.evictions);
-        for (name, ep) in [
-            ("search", &self.search),
-            ("topk", &self.topk),
-            ("info", &self.info),
-            ("stats", &self.stats),
-            ("reload", &self.reload),
-            ("apply", &self.apply),
-        ] {
+        let qw = self.queue_wait.snapshot();
+        let _ = writeln!(out, "queue_wait.p50_us={}", qw.quantile(0.50));
+        let _ = writeln!(out, "queue_wait.p99_us={}", qw.quantile(0.99));
+        for (name, ep) in self.endpoints() {
             let (p50, p99) = ep.latency_quantiles_us();
             let _ = writeln!(
                 out,
@@ -204,6 +213,367 @@ impl ServerMetrics {
         }
         out
     }
+
+    /// Render the Prometheus text exposition (the `METRICS` reply body).
+    ///
+    /// Histogram families render cumulative `_bucket{le=…}` series at
+    /// every octave boundary of the log-bucketed layout (24 bounds +
+    /// `+Inf`) — full resolution stays queryable via `STATS` quantiles,
+    /// the scrape stays small. Output passes [`validate_prometheus`],
+    /// which the CI smoke job asserts against a live daemon.
+    pub fn render_prometheus(&self, cache: &CacheStats, snap: &SnapshotFacts) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(8192);
+
+        let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        gauge(
+            &mut out,
+            "pexeso_uptime_seconds",
+            "Seconds since the daemon started.",
+            self.started.elapsed().as_secs_f64(),
+        );
+        gauge(
+            &mut out,
+            "pexeso_snapshot_generation",
+            "Generation of the served snapshot.",
+            snap.generation as f64,
+        );
+        gauge(
+            &mut out,
+            "pexeso_snapshot_partitions",
+            "Partitions in the served snapshot.",
+            snap.partitions as f64,
+        );
+        gauge(
+            &mut out,
+            "pexeso_delta_columns",
+            "Live delta columns ingested since the base build.",
+            snap.delta_columns as f64,
+        );
+        gauge(
+            &mut out,
+            "pexeso_cache_len",
+            "Entries in the result cache.",
+            cache.len as f64,
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP pexeso_requests_total Requests served, per endpoint."
+        );
+        let _ = writeln!(out, "# TYPE pexeso_requests_total counter");
+        for (name, ep) in self.endpoints() {
+            let _ = writeln!(
+                out,
+                "pexeso_requests_total{{endpoint=\"{name}\"}} {}",
+                ep.requests.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pexeso_errors_total Request errors, per endpoint."
+        );
+        let _ = writeln!(out, "# TYPE pexeso_errors_total counter");
+        for (name, ep) in self.endpoints() {
+            let _ = writeln!(
+                out,
+                "pexeso_errors_total{{endpoint=\"{name}\"}} {}",
+                ep.errors.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pexeso_rejected_total Requests rejected before execution, by reason."
+        );
+        let _ = writeln!(out, "# TYPE pexeso_rejected_total counter");
+        for (reason, v) in [
+            ("busy", &self.busy_rejections),
+            ("shed", &self.shed),
+            ("expired", &self.expired),
+        ] {
+            let _ = writeln!(
+                out,
+                "pexeso_rejected_total{{reason=\"{reason}\"}} {}",
+                v.load(Ordering::Relaxed)
+            );
+        }
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "pexeso_swaps_total",
+            "Completed hot snapshot swaps.",
+            self.swaps.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "pexeso_applies_total",
+            "Completed delta applies.",
+            self.applies.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "pexeso_distance_computations_total",
+            "Exact distance computations across all served searches.",
+            self.distance_computations.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP pexeso_cache_ops_total Result-cache operations, by kind."
+        );
+        let _ = writeln!(out, "# TYPE pexeso_cache_ops_total counter");
+        for (op, v) in [
+            ("hit", cache.hits),
+            ("miss", cache.misses),
+            ("insert", cache.insertions),
+            ("evict", cache.evictions),
+        ] {
+            let _ = writeln!(out, "pexeso_cache_ops_total{{op=\"{op}\"}} {v}");
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP pexeso_request_latency_microseconds Request handling latency, per endpoint."
+        );
+        let _ = writeln!(out, "# TYPE pexeso_request_latency_microseconds histogram");
+        for (name, ep) in self.endpoints() {
+            write_histogram_series(
+                &mut out,
+                "pexeso_request_latency_microseconds",
+                &format!("endpoint=\"{name}\""),
+                &ep.latency_snapshot(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pexeso_phase_microseconds Per-phase search time (Table VI breakdown)."
+        );
+        let _ = writeln!(out, "# TYPE pexeso_phase_microseconds histogram");
+        for (phase, h) in [
+            ("map", &self.phase_map),
+            ("block", &self.phase_block),
+            ("verify", &self.phase_verify),
+        ] {
+            write_histogram_series(
+                &mut out,
+                "pexeso_phase_microseconds",
+                &format!("phase=\"{phase}\""),
+                &h.snapshot(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pexeso_cache_lookup_microseconds Result-cache lookup time, by outcome."
+        );
+        let _ = writeln!(out, "# TYPE pexeso_cache_lookup_microseconds histogram");
+        for (result, h) in [
+            ("hit", &self.cache_hit_lookup),
+            ("miss", &self.cache_miss_lookup),
+        ] {
+            write_histogram_series(
+                &mut out,
+                "pexeso_cache_lookup_microseconds",
+                &format!("result=\"{result}\""),
+                &h.snapshot(),
+            );
+        }
+        let plain_hist = |out: &mut String, name: &str, help: &str, s: &HistSnapshot| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            write_histogram_series(out, name, "", s);
+        };
+        plain_hist(
+            &mut out,
+            "pexeso_queue_wait_microseconds",
+            "Time requests waited in the accept queue.",
+            &self.queue_wait.snapshot(),
+        );
+        plain_hist(
+            &mut out,
+            "pexeso_wal_append_microseconds",
+            "Delta WAL record append latency (write + flush).",
+            &hist::global::WAL_APPEND.snapshot(),
+        );
+        plain_hist(
+            &mut out,
+            "pexeso_wal_fsync_microseconds",
+            "Delta WAL fsync latency.",
+            &hist::global::WAL_FSYNC.snapshot(),
+        );
+        out
+    }
+}
+
+/// Append one labelled histogram series (`_bucket`s, `_sum`, `_count`) in
+/// Prometheus text format. `labels` is the inner label list without
+/// braces (may be empty); `le` is appended to it.
+fn write_histogram_series(out: &mut String, name: &str, labels: &str, s: &HistSnapshot) {
+    use std::fmt::Write as _;
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    let mut next_bound = 0usize;
+    for (i, &c) in s.buckets.iter().enumerate() {
+        cumulative += c;
+        // Emit at every octave boundary (every 8th bucket ends an octave).
+        if i == next_bound {
+            let le = bucket_upper_bound(i);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+            );
+            next_bound += 8;
+        }
+    }
+    debug_assert_eq!(next_bound, NUM_BUCKETS);
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", s.count);
+    // Omit the braces entirely on label-free series — `name{}` is not
+    // universally accepted by Prometheus text parsers.
+    let wrapped = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_sum{wrapped} {}", s.sum);
+    let _ = writeln!(out, "{name}_count{wrapped} {}", s.count);
+}
+
+/// Minimal Prometheus text-format checker — enough for the tests and the
+/// CI smoke job to assert a scrape is well-formed without pulling a
+/// parser dependency. Checks:
+///
+/// * every sample line parses as `name[{labels}] value` with a legal
+///   metric name and a float value;
+/// * every sample belongs to a family declared by a preceding `# TYPE`
+///   (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes);
+/// * within each histogram series (same labels modulo `le`), bucket
+///   counts are cumulative-monotone, `le` bounds increase, and the
+///   series ends with `le="+Inf"` matching its `_count`.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    // (family, labels-without-le) -> (last le, last cumulative, inf seen, count sample)
+    #[derive(Default)]
+    struct Series {
+        last_le: Option<f64>,
+        last_cumulative: Option<u64>,
+        inf: Option<u64>,
+        count: Option<u64>,
+    }
+    let mut series: HashMap<(String, String), Series> = HashMap::new();
+
+    fn split_sample(line: &str) -> Option<(String, String, f64)> {
+        let (name_labels, value) = line.rsplit_once(' ')?;
+        let value: f64 = value.parse().ok()?;
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, rest)) => (n, rest.strip_suffix('}')?),
+            None => (name_labels, ""),
+        };
+        let legal = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit());
+        if !legal {
+            return None;
+        }
+        Some((name.to_string(), labels.to_string(), value))
+    }
+
+    for (n, line) in text.lines().enumerate() {
+        let lineno = n + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(ty)) = (it.next(), it.next()) else {
+                return Err(format!("line {lineno}: malformed TYPE line"));
+            };
+            types.insert(name.to_string(), ty.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name, labels, value)) = split_sample(line) else {
+            return Err(format!("line {lineno}: unparseable sample: {line}"));
+        };
+        // Resolve the family: exact name, or histogram suffix.
+        let family = if types.contains_key(&name) {
+            name.clone()
+        } else {
+            let stripped = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .map(str::to_string);
+            match stripped {
+                Some(f) if types.get(&f).map(String::as_str) == Some("histogram") => f,
+                _ => return Err(format!("line {lineno}: sample {name} has no # TYPE")),
+            }
+        };
+        if types.get(&family).map(String::as_str) != Some("histogram") {
+            continue;
+        }
+        // Histogram bookkeeping.
+        let base_labels: String = labels
+            .split(',')
+            .filter(|l| !l.is_empty() && !l.starts_with("le="))
+            .collect::<Vec<_>>()
+            .join(",");
+        let entry = series.entry((family.clone(), base_labels)).or_default();
+        if name.ends_with("_bucket") {
+            let le = labels
+                .split(',')
+                .find_map(|l| l.strip_prefix("le=\"")?.strip_suffix('"'))
+                .ok_or_else(|| format!("line {lineno}: bucket without le label"))?;
+            let cumulative = value as u64;
+            if let Some(prev) = entry.last_cumulative {
+                if cumulative < prev {
+                    return Err(format!(
+                        "line {lineno}: non-monotone histogram bucket ({cumulative} < {prev})"
+                    ));
+                }
+            }
+            entry.last_cumulative = Some(cumulative);
+            if le == "+Inf" {
+                entry.inf = Some(cumulative);
+            } else {
+                let le: f64 = le
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: unparseable le bound {le}"))?;
+                if let Some(prev) = entry.last_le {
+                    if le <= prev {
+                        return Err(format!("line {lineno}: le bounds not increasing"));
+                    }
+                }
+                entry.last_le = Some(le);
+            }
+        } else if name.ends_with("_count") {
+            entry.count = Some(value as u64);
+        }
+    }
+    for ((family, labels), s) in &series {
+        let Some(inf) = s.inf else {
+            return Err(format!(
+                "histogram {family}{{{labels}}} missing le=\"+Inf\""
+            ));
+        };
+        if let Some(count) = s.count {
+            if inf != count {
+                return Err(format!(
+                    "histogram {family}{{{labels}}}: +Inf bucket {inf} != _count {count}"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Parse one counter back out of a rendered STATS body (client-side
@@ -214,9 +584,96 @@ pub fn stat_value(text: &str, key: &str) -> Option<f64> {
         .and_then(|v| v.trim().parse().ok())
 }
 
+/// One entry of the slow-query log: the request's latency and its
+/// rendered phase tree.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    pub verb: &'static str,
+    pub latency_us: u64,
+    /// The rendered [`pexeso_core::trace::QueryTrace`] of the request.
+    pub trace: String,
+}
+
+/// A slowest-N ring of traced requests. Insertion takes a mutex, but only
+/// sampled requests (see `--metrics-sample-rate`) ever reach it — the
+/// unsampled hot path never touches this structure.
+pub struct SlowQueryLog {
+    capacity: usize,
+    entries: Mutex<Vec<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offer a traced request. Kept if the log has room or the request is
+    /// slower than the current fastest entry (which it evicts).
+    pub fn offer(&self, verb: &'static str, latency: Duration, trace: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let latency_us = latency.as_micros() as u64;
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() < self.capacity {
+            entries.push(SlowQuery {
+                verb,
+                latency_us,
+                trace,
+            });
+            return;
+        }
+        let (idx, fastest) = entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.latency_us)
+            .map(|(i, e)| (i, e.latency_us))
+            .expect("capacity > 0");
+        if latency_us > fastest {
+            entries[idx] = SlowQuery {
+                verb,
+                latency_us,
+                trace,
+            };
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slow log poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The log as text, slowest first: a `slow_query verb=… latency_us=…`
+    /// header line per entry followed by its indented phase tree.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut entries = self.entries.lock().expect("slow log poisoned").clone();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
+        let mut out = String::new();
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "slow_query verb={} latency_us={}",
+                e.verb, e.latency_us
+            );
+            for line in e.trace.lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pexeso_core::hist::{bucket_index, bucket_width};
 
     #[test]
     fn quantiles_bracket_the_distribution() {
@@ -230,30 +687,49 @@ mod tests {
             ep.record(Duration::from_micros(10_000));
         }
         let (p50, p99) = ep.latency_quantiles_us();
-        assert!((100.0..500.0).contains(&p50), "p50={p50}");
-        assert!(p99 > 5_000.0 && p99 <= 10_100.0, "p99={p99}");
+        assert!(
+            p50 >= 100.0 && p50 <= (100 + bucket_width(bucket_index(100))) as f64,
+            "p50={p50}"
+        );
+        assert!(
+            p99 >= 10_000.0 && p99 <= (10_000 + bucket_width(bucket_index(10_000))) as f64,
+            "p99={p99}"
+        );
         assert_eq!(ep.requests.load(Ordering::Relaxed), 1000);
     }
 
     #[test]
-    fn empty_ring_reports_zero() {
+    fn empty_endpoint_reports_zero() {
         let ep = EndpointMetrics::default();
         assert_eq!(ep.latency_quantiles_us(), (0.0, 0.0));
     }
 
     #[test]
-    fn ring_overwrites_oldest_beyond_capacity() {
-        let ep = EndpointMetrics::default();
-        // Fill far past the ring: only recent (fast) samples remain.
-        for _ in 0..LATENCY_RING {
-            ep.record(Duration::from_millis(50));
+    fn concurrent_recording_loses_no_samples() {
+        // The regression the old mutex ring could not make: N threads
+        // hammering one endpoint must account for every sample exactly —
+        // the only imprecision allowed is bucket granularity, never loss.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 20_000;
+        let ep = std::sync::Arc::new(EndpointMetrics::default());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ep = ep.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        ep.record(Duration::from_micros(t * 100 + i % 1009));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
         }
-        for _ in 0..LATENCY_RING {
-            ep.record(Duration::from_micros(10));
-        }
-        let (p50, p99) = ep.latency_quantiles_us();
-        assert!(p99 < 1_000.0, "old slow samples must age out, p99={p99}");
-        assert!(p50 <= p99);
+        let total = THREADS * PER_THREAD;
+        assert_eq!(ep.requests.load(Ordering::Relaxed), total);
+        let s = ep.latency_snapshot();
+        assert_eq!(s.count, total, "histogram lost samples");
+        assert_eq!(s.buckets.iter().sum::<u64>(), total, "bucket mass lost");
     }
 
     #[test]
@@ -293,5 +769,71 @@ mod tests {
         assert_eq!(stat_value(&text, "search.requests"), Some(1.0));
         assert!(stat_value(&text, "search.p99_us").unwrap() > 0.0);
         assert_eq!(stat_value(&text, "no.such.key"), None);
+    }
+
+    #[test]
+    fn prometheus_output_is_valid() {
+        let m = ServerMetrics::default();
+        m.search.record(Duration::from_micros(250));
+        m.topk.record(Duration::from_micros(42));
+        m.queue_wait.record(17);
+        m.cache_hit_lookup.record(3);
+        m.record_phases(&pexeso_core::stats::SearchStats {
+            mapping_time: Duration::from_micros(10),
+            block_time: Duration::from_micros(20),
+            verify_time: Duration::from_micros(30),
+            ..Default::default()
+        });
+        let text = m.render_prometheus(&CacheStats::default(), &SnapshotFacts::default());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE pexeso_request_latency_microseconds histogram"));
+        assert!(text.contains("pexeso_requests_total{endpoint=\"search\"} 1"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn validator_rejects_broken_expositions() {
+        // Sample without a TYPE declaration.
+        assert!(validate_prometheus("nope_total 3\n").is_err());
+        // Non-monotone buckets.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\n\
+                   h_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Missing +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(bad).is_err());
+        // +Inf disagreeing with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(bad).is_err());
+        // A good one passes.
+        let good = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\nh_count 5\n";
+        validate_prometheus(good).unwrap();
+    }
+
+    #[test]
+    fn slow_log_keeps_the_slowest() {
+        let log = SlowQueryLog::new(2);
+        log.offer("search", Duration::from_micros(100), "t100".into());
+        log.offer("search", Duration::from_micros(300), "t300".into());
+        // Faster than everything kept: dropped.
+        log.offer("search", Duration::from_micros(50), "t50".into());
+        // Slower than the fastest kept: evicts it.
+        log.offer("topk", Duration::from_micros(200), "t200".into());
+        assert_eq!(log.len(), 2);
+        let text = log.render();
+        assert!(text.contains("latency_us=300"));
+        assert!(text.contains("latency_us=200"));
+        assert!(!text.contains("latency_us=100"));
+        assert!(!text.contains("latency_us=50"));
+        // Slowest first, trace lines indented under their header.
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("latency_us=300"), "{first}");
+        assert!(text.contains("  t300"));
     }
 }

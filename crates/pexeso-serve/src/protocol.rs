@@ -18,6 +18,7 @@ use std::io::{Read, Write};
 use pexeso_core::config::{ExecPolicy, JoinThreshold, LemmaFlags, Tau};
 use pexeso_core::outofcore::GlobalHit;
 use pexeso_core::query::{Exceeded, QueryOutcome};
+use pexeso_core::trace::{QueryTrace, TraceLevel, TraceSpan};
 
 /// First bytes of every request payload.
 pub const MAGIC: &[u8; 4] = b"PXSV";
@@ -27,15 +28,28 @@ pub const MAGIC: &[u8; 4] = b"PXSV";
 /// generation from the deployment's delta log without reloading the base
 /// snapshot); version 4 adds the `BATCH` verb (many query columns in one
 /// frame, answered by one `HITS_BATCH` reply) and the `fixed` execution
-/// policy tag. Frames are stamped with the lowest version that can carry
-/// them — extension-less queries stay V1 and extended queries V2, so
-/// every pre-delta server and client keeps interoperating; only `APPLY`
-/// frames are V3 and only batch/`fixed`-policy frames are V4.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// policy tag; version 5 adds the observability plane — the per-query
+/// trace request (a trace-level tail on `SEARCH`/`TOPK`/`BATCH` frames,
+/// answered with a span tree in the `HITS_V3`/`HITS_BATCH_V2` reply
+/// kinds) and the `METRICS` (Prometheus text exposition) and `SLOW`
+/// (slow-query log dump) verbs. Frames are stamped with the lowest
+/// version that can carry them — extension-less queries stay V1 and
+/// extended queries V2, so every pre-delta server and client keeps
+/// interoperating; only `APPLY` frames are V3, only batch/`fixed`-policy
+/// frames are V4, and only traced queries and the new verbs are V5.
+pub const PROTOCOL_VERSION: u8 = 5;
 /// Version that introduced the query options/budget extension.
 pub const QUERY_EXT_VERSION: u8 = 2;
 /// Version that introduced the batch verb and the `fixed` policy tag.
 pub const BATCH_VERSION: u8 = 4;
+/// Version that introduced query tracing and the METRICS/SLOW verbs.
+///
+/// A V5 query frame swaps the tail-presence rule for an explicit layout:
+/// after the threshold/k field come an ext-presence byte, the extension
+/// if present, and a trace-level byte. Encoders only stamp V5 when the
+/// trace level is not `Off`, so untraced requests keep their old (V1–V4)
+/// shapes bit-for-bit and old servers keep answering them.
+pub const TRACE_VERSION: u8 = 5;
 /// Oldest request version the server still parses.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
 /// Hard cap on a single frame; anything larger is treated as garbage
@@ -50,6 +64,10 @@ const VERB_RELOAD: u8 = 4;
 const VERB_SHUTDOWN: u8 = 5;
 const VERB_APPLY: u8 = 6;
 const VERB_BATCH: u8 = 7;
+/// V5: Prometheus text exposition of the server metrics.
+const VERB_METRICS: u8 = 8;
+/// V5: dump the slow-query log (slowest traced requests + phase trees).
+const VERB_SLOW: u8 = 9;
 
 const REPLY_INFO: u8 = 0;
 const REPLY_HITS: u8 = 1;
@@ -65,6 +83,12 @@ const REPLY_APPLIED: u8 = 6;
 /// Reply to the V4 `BATCH` verb: one `HITS`-shaped entry per query
 /// column, in request order. Never sent to older clients.
 const REPLY_HITS_BATCH: u8 = 7;
+/// V5 `HITS` reply carrying a query trace (explicit-ext body + span
+/// tree). Only ever sent in answer to a traced (V5) request.
+const REPLY_HITS_V3: u8 = 8;
+/// V5 `HITS_BATCH` reply whose entries carry per-entry trace trees. Only
+/// ever sent in answer to a traced (V5) batch request.
+const REPLY_HITS_BATCH_V2: u8 = 9;
 /// A request popped off the queue after its own deadline already
 /// elapsed: answered typed instead of computing a dead result.
 const REPLY_DEADLINE_EXPIRED: u8 = 248;
@@ -141,6 +165,9 @@ pub struct QueryPayload {
     /// V2 options/budget extension; `None` encodes a V1 frame so old
     /// servers and clients interoperate.
     pub ext: Option<QueryExt>,
+    /// V5 trace request. Anything but `Off` makes the frame V5 and asks
+    /// the server to return its phase tree in the reply.
+    pub trace: TraceLevel,
 }
 
 impl QueryPayload {
@@ -180,6 +207,8 @@ pub struct QueryBatch {
     pub columns: Vec<Vec<f32>>,
     /// Options/budget extension shared by every column in the batch.
     pub ext: Option<QueryExt>,
+    /// V5 trace request, applied to every column in the batch.
+    pub trace: TraceLevel,
 }
 
 /// A client request.
@@ -197,6 +226,11 @@ pub enum Request {
     Topk { query: QueryPayload, k: u64 },
     /// Per-endpoint counters and latency quantiles as `key=value` text.
     Stats,
+    /// V5: the server metrics in Prometheus text exposition format.
+    Metrics,
+    /// V5: the slow-query log — the slowest sampled/traced requests with
+    /// their phase trees, slowest first.
+    SlowLog,
     /// Atomically hot-swap the served snapshot: re-open the given
     /// directory (`None` = the currently served one) and bump the
     /// generation. In-flight queries finish on the old snapshot.
@@ -267,6 +301,10 @@ pub struct HitsReply {
     pub hits: Vec<WireHit>,
     /// Outcome/stats extension, present iff the request was a V2 frame.
     pub ext: Option<HitsExt>,
+    /// Server-side phase tree, present iff the request asked for a trace
+    /// (V5). Cached replies carry no trace — traced requests bypass the
+    /// result cache so the tree always describes *this* execution.
+    pub trace: Option<QueryTrace>,
 }
 
 /// A server reply.
@@ -561,6 +599,7 @@ fn take_query(r: &mut ByteReader) -> WireResult<QueryPayload> {
         dim,
         vectors,
         ext: None,
+        trace: TraceLevel::Off,
     })
 }
 
@@ -625,6 +664,113 @@ fn take_query_ext(r: &mut ByteReader) -> WireResult<QueryExt> {
         quick_browse,
         max_distance_computations,
         deadline_ms,
+    })
+}
+
+/// The tail of a `SEARCH`/`TOPK` frame after the threshold/k field.
+/// Untraced frames keep the historical tail-presence layout (the
+/// extension simply is or isn't there, and its presence makes the frame
+/// V2+); traced frames are V5 and use the explicit layout: an
+/// ext-presence byte, the extension if present, then the trace level.
+/// Decode the tail written by [`put_query_tail`]. V5 frames carry the
+/// explicit ext-presence + trace-level layout; older frames keep the
+/// tail-presence rule (not version-implied: a V4 stamp can come from the
+/// `Fixed` policy tag alone, with no extension encoded).
+fn take_query_tail(r: &mut ByteReader, version: u8, query: &mut QueryPayload) -> WireResult<()> {
+    if version >= TRACE_VERSION {
+        match r.u8()? {
+            0 => {}
+            1 => query.ext = Some(take_query_ext(r)?),
+            t => return Err(WireError::Malformed(format!("unknown ext tag {t}"))),
+        }
+        query.trace = TraceLevel::from_u8(r.u8()?);
+    } else if version >= QUERY_EXT_VERSION && r.has_remaining() {
+        query.ext = Some(take_query_ext(r)?);
+    }
+    Ok(())
+}
+
+fn put_query_tail(w: &mut ByteWriter, q: &QueryPayload) {
+    if q.trace.enabled() {
+        match &q.ext {
+            None => w.u8(0),
+            Some(ext) => {
+                w.u8(1);
+                put_query_ext(w, ext);
+            }
+        }
+        w.u8(q.trace.as_u8());
+    } else if let Some(ext) = &q.ext {
+        put_query_ext(w, ext);
+    }
+}
+
+/// Recursion/size limits for decoding a span tree from the wire: deeper
+/// or wider trees are treated as garbage, not a reason to recurse to a
+/// stack overflow.
+const MAX_TRACE_DEPTH: usize = 16;
+const MAX_TRACE_SPANS: u32 = 4096;
+
+fn put_span(w: &mut ByteWriter, s: &TraceSpan) {
+    w.str(&s.name);
+    w.u64(s.start_us);
+    w.u64(s.duration_us);
+    w.u32(s.counters.len() as u32);
+    for (k, v) in &s.counters {
+        w.str(k);
+        w.u64(*v);
+    }
+    w.u32(s.children.len() as u32);
+    for c in &s.children {
+        put_span(w, c);
+    }
+}
+
+fn take_span(r: &mut ByteReader, depth: usize, budget: &mut u32) -> WireResult<TraceSpan> {
+    if depth > MAX_TRACE_DEPTH {
+        return Err(WireError::Malformed("trace tree too deep".into()));
+    }
+    *budget = budget
+        .checked_sub(1)
+        .ok_or_else(|| WireError::Malformed("trace tree too large".into()))?;
+    let name = r.str(256)?;
+    let start_us = r.u64()?;
+    let duration_us = r.u64()?;
+    let n_counters = r.u32()?;
+    if n_counters > 256 {
+        return Err(WireError::Malformed("too many span counters".into()));
+    }
+    let mut counters = Vec::with_capacity(n_counters as usize);
+    for _ in 0..n_counters {
+        let k = r.str(256)?;
+        let v = r.u64()?;
+        counters.push((k, v));
+    }
+    let n_children = r.u32()?;
+    if n_children > MAX_TRACE_SPANS {
+        return Err(WireError::Malformed("too many child spans".into()));
+    }
+    let mut children = Vec::with_capacity(n_children.min(256) as usize);
+    for _ in 0..n_children {
+        children.push(take_span(r, depth + 1, budget)?);
+    }
+    Ok(TraceSpan {
+        name,
+        start_us,
+        duration_us,
+        counters,
+        children,
+    })
+}
+
+fn put_trace(w: &mut ByteWriter, t: &QueryTrace) {
+    put_span(w, &t.root);
+}
+
+fn take_trace(r: &mut ByteReader) -> WireResult<QueryTrace> {
+    let mut budget = MAX_TRACE_SPANS;
+    Ok(QueryTrace {
+        root: take_span(r, 0, &mut budget)?,
     })
 }
 
@@ -701,6 +847,7 @@ fn take_hits_body(r: &mut ByteReader, known_ext: Option<bool>) -> WireResult<Hit
         cached,
         hits,
         ext,
+        trace: None,
     })
 }
 
@@ -720,6 +867,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.0.extend_from_slice(MAGIC);
     let version = match req {
+        Request::Search { query, .. } | Request::Topk { query, .. } if query.trace.enabled() => {
+            TRACE_VERSION
+        }
         Request::Search { query, .. } | Request::Topk { query, .. }
             if matches!(query.policy, ExecPolicy::Fixed { .. }) =>
         {
@@ -729,7 +879,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             QUERY_EXT_VERSION
         }
         Request::ApplyDelta => 3,
+        Request::Batch(b) if b.trace.enabled() => TRACE_VERSION,
         Request::Batch(_) => BATCH_VERSION,
+        Request::Metrics | Request::SlowLog => TRACE_VERSION,
         _ => MIN_PROTOCOL_VERSION,
     };
     w.u8(version);
@@ -739,19 +891,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u8(VERB_SEARCH);
             put_query(&mut w, query);
             put_threshold(&mut w, *t);
-            if let Some(ext) = &query.ext {
-                put_query_ext(&mut w, ext);
-            }
+            put_query_tail(&mut w, query);
         }
         Request::Topk { query, k } => {
             w.u8(VERB_TOPK);
             put_query(&mut w, query);
             w.u64(*k);
-            if let Some(ext) = &query.ext {
-                put_query_ext(&mut w, ext);
-            }
+            put_query_tail(&mut w, query);
         }
         Request::Stats => w.u8(VERB_STATS),
+        Request::Metrics => w.u8(VERB_METRICS),
+        Request::SlowLog => w.u8(VERB_SLOW),
         Request::Reload { dir } => {
             w.u8(VERB_RELOAD);
             w.str(dir.as_deref().unwrap_or(""));
@@ -778,7 +928,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 w.u32((col.len() / batch.dim.max(1) as usize) as u32);
                 w.f32_slice(col);
             }
-            // Batch frames are always V4, so ext presence is an explicit
+            // Batch frames are always V4+, so ext presence is an explicit
             // byte rather than version-implied as in SEARCH/TOPK.
             match &batch.ext {
                 None => w.u8(0),
@@ -786,6 +936,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                     w.u8(1);
                     put_query_ext(&mut w, ext);
                 }
+            }
+            // The V5 trace level rides at the tail; its presence is what
+            // made the frame V5 in the first place.
+            if batch.trace.enabled() {
+                w.u8(batch.trace.as_u8());
             }
         }
         Request::Shutdown => w.u8(VERB_SHUTDOWN),
@@ -813,22 +968,34 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
         VERB_SEARCH => {
             let mut query = take_query(&mut r)?;
             let t = take_threshold(&mut r)?;
-            // Tail-presence, not version-implied: a V4 stamp can come from
-            // the `Fixed` policy tag alone, with no extension encoded.
-            if version >= 2 && r.has_remaining() {
-                query.ext = Some(take_query_ext(&mut r)?);
-            }
+            take_query_tail(&mut r, version, &mut query)?;
             Request::Search { query, t }
         }
         VERB_TOPK => {
             let mut query = take_query(&mut r)?;
             let k = r.u64()?;
-            if version >= 2 && r.has_remaining() {
-                query.ext = Some(take_query_ext(&mut r)?);
-            }
+            take_query_tail(&mut r, version, &mut query)?;
             Request::Topk { query, k }
         }
         VERB_STATS => Request::Stats,
+        VERB_METRICS => {
+            if version < TRACE_VERSION {
+                return Err(WireError::Malformed(format!(
+                    "METRICS verb requires protocol version {TRACE_VERSION}, \
+                     frame is version {version}"
+                )));
+            }
+            Request::Metrics
+        }
+        VERB_SLOW => {
+            if version < TRACE_VERSION {
+                return Err(WireError::Malformed(format!(
+                    "SLOW verb requires protocol version {TRACE_VERSION}, \
+                     frame is version {version}"
+                )));
+            }
+            Request::SlowLog
+        }
         VERB_RELOAD => {
             let dir = r.str(4096)?;
             Request::Reload {
@@ -875,6 +1042,11 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
                 1 => Some(take_query_ext(&mut r)?),
                 t => return Err(WireError::Malformed(format!("unknown ext tag {t}"))),
             };
+            let trace = if version >= TRACE_VERSION && r.has_remaining() {
+                TraceLevel::from_u8(r.u8()?)
+            } else {
+                TraceLevel::Off
+            };
             Request::Batch(QueryBatch {
                 metric,
                 tau,
@@ -883,6 +1055,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
                 dim,
                 columns,
                 ext,
+                trace,
             })
         }
         VERB_SHUTDOWN => Request::Shutdown,
@@ -905,21 +1078,45 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.u64(info.disk_bytes);
         }
         Reply::Hits(h) => {
-            // The V2 kind byte is only used when the extension is present,
-            // i.e. only in answer to a V2 request — old clients never
+            // Kind bytes escalate with content: V3 only when a trace is
+            // present (answering a V5 request), V2 only when the
+            // extension is (answering a V2+ request) — old clients never
             // receive a kind they cannot parse.
-            w.u8(if h.ext.is_some() {
-                REPLY_HITS_V2
+            if let Some(trace) = &h.trace {
+                w.u8(REPLY_HITS_V3);
+                put_hits_body(&mut w, h, true);
+                put_trace(&mut w, trace);
             } else {
-                REPLY_HITS
-            });
-            put_hits_body(&mut w, h, false);
+                w.u8(if h.ext.is_some() {
+                    REPLY_HITS_V2
+                } else {
+                    REPLY_HITS
+                });
+                put_hits_body(&mut w, h, false);
+            }
         }
         Reply::HitsBatch(items) => {
-            w.u8(REPLY_HITS_BATCH);
-            w.u32(items.len() as u32);
-            for h in items {
-                put_hits_body(&mut w, h, true);
+            // The V2 batch kind is only used when some entry carries a
+            // trace — again, never sent to a client that didn't ask.
+            if items.iter().any(|h| h.trace.is_some()) {
+                w.u8(REPLY_HITS_BATCH_V2);
+                w.u32(items.len() as u32);
+                for h in items {
+                    put_hits_body(&mut w, h, true);
+                    match &h.trace {
+                        None => w.u8(0),
+                        Some(t) => {
+                            w.u8(1);
+                            put_trace(&mut w, t);
+                        }
+                    }
+                }
+            } else {
+                w.u8(REPLY_HITS_BATCH);
+                w.u32(items.len() as u32);
+                for h in items {
+                    put_hits_body(&mut w, h, true);
+                }
             }
         }
         Reply::Stats { text } => {
@@ -973,11 +1170,28 @@ pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
         kind @ (REPLY_HITS | REPLY_HITS_V2) => {
             Reply::Hits(take_hits_body(&mut r, Some(kind == REPLY_HITS_V2))?)
         }
+        REPLY_HITS_V3 => {
+            let mut h = take_hits_body(&mut r, None)?;
+            h.trace = Some(take_trace(&mut r)?);
+            Reply::Hits(h)
+        }
         REPLY_HITS_BATCH => {
             let n = r.u32()? as usize;
             let mut items = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
                 items.push(take_hits_body(&mut r, None)?);
+            }
+            Reply::HitsBatch(items)
+        }
+        REPLY_HITS_BATCH_V2 => {
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let mut h = take_hits_body(&mut r, None)?;
+                if r.u8()? != 0 {
+                    h.trace = Some(take_trace(&mut r)?);
+                }
+                items.push(h);
             }
             Reply::HitsBatch(items)
         }
@@ -1068,6 +1282,7 @@ mod tests {
             dim: 3,
             vectors: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
             ext: None,
+            trace: TraceLevel::Off,
         }
     }
 
@@ -1187,6 +1402,7 @@ mod tests {
             dim: 3,
             columns: vec![vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], vec![0.7, 0.8, 0.9]],
             ext,
+            trace: TraceLevel::Off,
         }
     }
 
@@ -1237,6 +1453,162 @@ mod tests {
     }
 
     #[test]
+    fn traced_requests_roundtrip_as_v5() {
+        for trace in [TraceLevel::Phases, TraceLevel::Detail] {
+            for ext in [None, Some(sample_ext())] {
+                let req = Request::Search {
+                    query: QueryPayload {
+                        ext,
+                        trace,
+                        ..sample_query()
+                    },
+                    t: JoinThreshold::Count(3),
+                };
+                let bytes = encode_request(&req);
+                assert_eq!(bytes[4], TRACE_VERSION, "traced frames are V5");
+                assert_eq!(decode_request(&bytes).unwrap(), req);
+                let req = Request::Topk {
+                    query: QueryPayload {
+                        ext,
+                        trace,
+                        ..sample_query()
+                    },
+                    k: 9,
+                };
+                let bytes = encode_request(&req);
+                assert_eq!(bytes[4], TRACE_VERSION);
+                assert_eq!(decode_request(&bytes).unwrap(), req);
+            }
+        }
+        // An untraced request never pays the V5 stamp: the frame stays
+        // bit-identical to what a pre-trace client emits.
+        let off = encode_request(&Request::Search {
+            query: sample_query(),
+            t: JoinThreshold::Count(3),
+        });
+        assert_eq!(off[4], MIN_PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn traced_batch_roundtrips_as_v5() {
+        let batch = QueryBatch {
+            trace: TraceLevel::Detail,
+            ..sample_batch(Some(sample_ext()))
+        };
+        let req = Request::Batch(batch);
+        let bytes = encode_request(&req);
+        assert_eq!(bytes[4], TRACE_VERSION, "traced BATCH frames are V5");
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+        // Untraced batches keep the V4 stamp (checked in the V4 test);
+        // a V5 batch with no trailing trace byte decodes as Off.
+        let untraced = Request::Batch(sample_batch(None));
+        let mut bytes = encode_request(&untraced);
+        bytes[4] = TRACE_VERSION;
+        assert_eq!(decode_request(&bytes).unwrap(), untraced);
+    }
+
+    #[test]
+    fn metrics_and_slow_verbs_are_version_gated() {
+        for req in [Request::Metrics, Request::SlowLog] {
+            let bytes = encode_request(&req);
+            assert_eq!(bytes[4], TRACE_VERSION, "METRICS/SLOW frames are V5");
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+            // The same verb byte inside an older frame is junk, not a
+            // silent downgrade.
+            for old in [1u8, 2, 3, 4] {
+                let mut downgraded = bytes.clone();
+                downgraded[4] = old;
+                assert!(decode_request(&downgraded).is_err(), "version {old}");
+            }
+        }
+    }
+
+    fn sample_trace() -> QueryTrace {
+        QueryTrace::new(
+            TraceSpan::new("query", 0, 120)
+                .counter("distance_computations", 41)
+                .child(TraceSpan::new("map", 0, 30))
+                .child(TraceSpan::new("verify", 30, 80).counter("verify_batches", 2)),
+        )
+    }
+
+    #[test]
+    fn traced_replies_roundtrip() {
+        let solo = Reply::Hits(HitsReply {
+            generation: 3,
+            cached: false,
+            hits: Vec::new(),
+            ext: Some(HitsExt {
+                outcome: QueryOutcome::Exact,
+                distance_computations: 41,
+            }),
+            trace: Some(sample_trace()),
+        });
+        let bytes = encode_reply(&solo);
+        assert_eq!(decode_reply(&bytes).unwrap(), solo);
+        // A batch where only some entries carry a trace still roundtrips
+        // exactly (the V2 batch kind flags presence per entry).
+        let batch = Reply::HitsBatch(vec![
+            HitsReply {
+                generation: 3,
+                cached: false,
+                hits: Vec::new(),
+                ext: None,
+                trace: Some(sample_trace()),
+            },
+            HitsReply {
+                generation: 3,
+                cached: true,
+                hits: Vec::new(),
+                ext: None,
+                trace: None,
+            },
+        ]);
+        let bytes = encode_reply(&batch);
+        assert_eq!(decode_reply(&bytes).unwrap(), batch);
+    }
+
+    #[test]
+    fn trace_codec_rejects_absurd_depth() {
+        // A span tree nested past MAX_TRACE_DEPTH encodes (the writer is
+        // trusting) but must be rejected on decode — depth is attacker
+        // controlled.
+        let mut span = TraceSpan::new("leaf", 0, 1);
+        for i in 0..=MAX_TRACE_DEPTH {
+            span = TraceSpan::new(format!("level/{i}"), 0, 1).child(span);
+        }
+        let reply = Reply::Hits(HitsReply {
+            generation: 1,
+            cached: false,
+            hits: Vec::new(),
+            ext: None,
+            trace: Some(QueryTrace::new(span)),
+        });
+        let bytes = encode_reply(&reply);
+        assert!(matches!(decode_reply(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn fingerprint_ignores_trace_level() {
+        // A traced query must share its cache line with the untraced
+        // twin: tracing never changes the answer, only the envelope.
+        let fp = |trace| {
+            query_fingerprint(
+                &Request::Topk {
+                    query: QueryPayload {
+                        trace,
+                        ..sample_query()
+                    },
+                    k: 10,
+                },
+                1,
+            )
+            .unwrap()
+        };
+        assert_eq!(fp(TraceLevel::Off), fp(TraceLevel::Detail));
+    }
+
+    #[test]
     fn reply_roundtrip_all_kinds() {
         let replies = [
             Reply::Info(InfoReply {
@@ -1256,6 +1628,7 @@ mod tests {
                     match_count: 9,
                 }],
                 ext: None,
+                trace: None,
             }),
             Reply::Hits(HitsReply {
                 generation: 4,
@@ -1265,6 +1638,7 @@ mod tests {
                     outcome: QueryOutcome::Exceeded(Exceeded::DistanceComputations),
                     distance_computations: 777,
                 }),
+                trace: None,
             }),
             Reply::HitsBatch(vec![
                 HitsReply {
@@ -1277,6 +1651,7 @@ mod tests {
                         match_count: 3,
                     }],
                     ext: None,
+                    trace: None,
                 },
                 HitsReply {
                     generation: 2,
@@ -1286,6 +1661,7 @@ mod tests {
                         outcome: QueryOutcome::Exact,
                         distance_computations: 12,
                     }),
+                    trace: None,
                 },
             ]),
             Reply::Stats {

@@ -36,7 +36,9 @@ use std::time::{Duration, Instant};
 use rand::{Rng, SeedableRng};
 
 use pexeso_core::error::PexesoError;
+use pexeso_core::hist::{AtomicHistogram, HistSnapshot};
 use pexeso_core::query::{Query, QueryResponse, Queryable};
+use pexeso_core::trace::{QueryTrace, TraceSpan};
 use pexeso_core::vector::VectorStore;
 
 use crate::client::{ClientError, ServeClient};
@@ -193,6 +195,10 @@ pub struct ResilientClient {
     counters: Counters,
     /// Rotates the starting replica so load spreads when healthy.
     cursor: AtomicUsize,
+    /// Per-attempt wall-clock latency (every attempt, failed or not) —
+    /// the client-side complement of the server's request histogram, so
+    /// retries and backoff show up as a fatter tail here than there.
+    attempt_latency: AtomicHistogram,
 }
 
 impl ResilientClient {
@@ -219,12 +225,19 @@ impl ResilientClient {
             counters: Counters::default(),
             config,
             cursor: AtomicUsize::new(0),
+            attempt_latency: AtomicHistogram::new(),
         })
     }
 
     /// The replica addresses, in configuration order.
     pub fn addrs(&self) -> Vec<&str> {
         self.replicas.iter().map(|r| r.addr.as_str()).collect()
+    }
+
+    /// Snapshot the per-attempt latency histogram (microsecond buckets;
+    /// every attempt counts, including failed ones).
+    pub fn attempt_latency(&self) -> HistSnapshot {
+        self.attempt_latency.snapshot()
     }
 
     /// Snapshot the failure-handling counters.
@@ -342,6 +355,11 @@ impl Queryable for ResilientClient {
     ) -> pexeso_core::error::Result<QueryResponse> {
         let started = Instant::now();
         let deadline = query.budget.deadline;
+        let tracing = query.trace.enabled();
+        // Client-side attempt/backoff spans, accumulated only when the
+        // query asked for a trace; merged with the winning attempt's
+        // server-side trace into one correlated timeline.
+        let mut client_spans: Vec<TraceSpan> = Vec::new();
         let mut attempt_query = query.clone();
         let mut retry = 0u32;
         let mut prev_delay = self.config.backoff.base;
@@ -352,10 +370,47 @@ impl Queryable for ResilientClient {
                 // us still answers (or typed-expires) within the total.
                 attempt_query.budget.deadline = Some(d.saturating_sub(started.elapsed()));
             }
-            let err = match self.try_replica(idx, &attempt_query, vectors) {
-                Ok(resp) => return Ok(resp),
+            let attempt_start = started.elapsed();
+            let result = self.try_replica(idx, &attempt_query, vectors);
+            let attempt_dur = started.elapsed() - attempt_start;
+            self.attempt_latency.record_duration(attempt_dur);
+            let err = match result {
+                Ok(mut resp) => {
+                    if tracing {
+                        let start_us = attempt_start.as_micros() as u64;
+                        let mut span = TraceSpan::new(
+                            format!("attempt/{retry}"),
+                            start_us,
+                            attempt_dur.as_micros() as u64,
+                        )
+                        .counter("replica", idx as u64);
+                        // Nest the server's phase tree inside the attempt
+                        // that produced it, shifted onto the client clock.
+                        if let Some(server) = resp.trace.take() {
+                            span.children.push(server.nested_under(start_us));
+                        }
+                        client_spans.push(span);
+                        let mut root =
+                            TraceSpan::new("client", 0, started.elapsed().as_micros() as u64)
+                                .counter("retries", retry as u64);
+                        root.children = client_spans;
+                        resp.trace = Some(QueryTrace::new(root));
+                    }
+                    return Ok(resp);
+                }
                 Err(e) => e,
             };
+            if tracing {
+                client_spans.push(
+                    TraceSpan::new(
+                        format!("attempt/{retry}"),
+                        attempt_start.as_micros() as u64,
+                        attempt_dur.as_micros() as u64,
+                    )
+                    .counter("replica", idx as u64)
+                    .counter("failed", 1),
+                );
+            }
             self.record_failure_kind(&err);
             if !retryable(&err) {
                 return Err(err.into());
@@ -381,6 +436,13 @@ impl Queryable for ResilientClient {
                 return Err(err.into());
             };
             self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            if tracing {
+                client_spans.push(TraceSpan::new(
+                    format!("backoff/{retry}"),
+                    started.elapsed().as_micros() as u64,
+                    delay.as_micros() as u64,
+                ));
+            }
             std::thread::sleep(delay);
             prev_delay = delay;
             let next = self.pick(idx + 1, Instant::now());

@@ -28,8 +28,10 @@ use pexeso_core::fault;
 use pexeso_core::query::{Query, QueryBudget, QueryMode, QueryOutcome, Queryable};
 use pexeso_core::vector::VectorStore;
 
+use pexeso_core::trace::TraceLevel;
+
 use crate::cache::ShardedCache;
-use crate::metrics::{EndpointMetrics, ServerMetrics, SnapshotFacts};
+use crate::metrics::{EndpointMetrics, ServerMetrics, SlowQueryLog, SnapshotFacts};
 use crate::protocol::{
     decode_request, encode_reply, query_fingerprint, read_frame, write_frame, BatchMode, HitsExt,
     HitsReply, InfoReply, QueryBatch, QueryPayload, Reply, Request, WireHit,
@@ -62,6 +64,17 @@ pub struct ServeConfig {
     /// acceptor thread. A slow-reading (or malicious) rejected peer must
     /// not stall all accepts behind its receive window.
     pub reject_write_timeout: Duration,
+    /// Fraction of *untraced* search/topk requests the server traces on
+    /// its own initiative to feed the slow-query log (`0.0` = never,
+    /// `1.0` = every one). Sampling is a deterministic 1-in-N counter,
+    /// not a coin flip, so a test at rate 1.0 sees every request and a
+    /// production daemon at 0.01 pays the trace cost on exactly one
+    /// request in a hundred. Client-requested traces are always honoured
+    /// regardless of this rate.
+    pub metrics_sample_rate: f64,
+    /// Slowest-N capacity of the slow-query log dumped by the `SLOW`
+    /// verb (0 disables the log).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,7 +88,21 @@ impl Default for ServeConfig {
             max_request_threads: 16,
             queue_soft_watermark: None,
             reject_write_timeout: Duration::from_millis(100),
+            metrics_sample_rate: 0.0,
+            slow_log_capacity: 8,
         }
+    }
+}
+
+/// The 1-in-N sampling stride a rate maps to: `0` = never, else trace
+/// every `N`-th untraced request.
+fn sample_stride(rate: f64) -> u64 {
+    if rate.is_nan() || rate <= 0.0 {
+        0
+    } else if rate >= 1.0 {
+        1
+    } else {
+        (1.0 / rate).round() as u64
     }
 }
 
@@ -98,6 +125,12 @@ struct Shared {
     /// Accept-sequence counter inside the soft-watermark band, driving
     /// the deterministic every-other shed.
     shed_seq: AtomicU64,
+    /// Slowest sampled/traced requests with their phase trees.
+    slow_log: SlowQueryLog,
+    /// Untraced-request counter driving the deterministic 1-in-N trace
+    /// sampler (`sample_stride` of the configured rate; 0 = off).
+    sample_seq: AtomicU64,
+    sample_every: u64,
 }
 
 /// The daemon entry point.
@@ -123,6 +156,9 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             addr: local_addr,
             shed_seq: AtomicU64::new(0),
+            slow_log: SlowQueryLog::new(config.slow_log_capacity),
+            sample_seq: AtomicU64::new(0),
+            sample_every: sample_stride(config.metrics_sample_rate),
             snapshot,
             config,
         });
@@ -355,6 +391,28 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
             shared.metrics.stats.record(started.elapsed());
             Reply::Stats { text }
         }
+        Request::Metrics => {
+            let snap = shared.snapshot.current();
+            let text = shared.metrics.render_prometheus(
+                &shared.cache.stats(),
+                &SnapshotFacts {
+                    generation: snap.generation(),
+                    index_version: snap.manifest().index_version,
+                    partitions: snap.lake().num_partitions(),
+                    dim: snap.dim(),
+                    delta_columns: snap.delta_columns(),
+                    delta_tombstones: snap.delta_tombstones(),
+                    delta_records: snap.overlay().n_records(),
+                },
+            );
+            shared.metrics.stats.record(started.elapsed());
+            Reply::Stats { text }
+        }
+        Request::SlowLog => {
+            let text = shared.slow_log.render();
+            shared.metrics.stats.record(started.elapsed());
+            Reply::Stats { text }
+        }
         Request::Reload { dir } => {
             let target: Option<PathBuf> = dir.map(PathBuf::from);
             let reply = match shared.snapshot.swap(target.as_deref()) {
@@ -421,6 +479,9 @@ fn handle_query(
         Request::Search { .. } => &shared.metrics.search,
         _ => &shared.metrics.topk,
     };
+    if let Some(wait) = queue_wait {
+        shared.metrics.queue_wait.record_duration(wait);
+    }
     // Queue wait counts against the request's deadline budget. A request
     // whose whole deadline elapsed before a worker popped it gets a
     // typed refusal immediately — computing (or even cache-serving) a
@@ -488,21 +549,51 @@ fn run_query_on(
             snap.dim()
         ));
     }
+    // A client-requested trace must describe *this* execution, so it
+    // bypasses the result-cache read (untraced traffic is untouched, and
+    // the executed result still populates the cache below). Server-
+    // initiated sampling only traces requests that would execute anyway —
+    // a sampled cache hit stays a cache hit.
+    let requested = payload.trace;
     let fingerprint =
         query_fingerprint(req, snap.generation()).expect("query verbs always fingerprint");
-    if let Some(hits) = shared.cache.get(fingerprint) {
-        return Ok(HitsReply {
-            generation: snap.generation(),
-            cached: true,
-            hits: (*hits).clone(),
-            // Only exact results are cached, and the cache charges the
-            // requester no verification work.
-            ext: v2.then_some(HitsExt {
-                outcome: QueryOutcome::Exact,
-                distance_computations: 0,
-            }),
-        });
+    if !requested.enabled() {
+        let lookup_start = Instant::now();
+        let cached = shared.cache.get(fingerprint);
+        let hist = if cached.is_some() {
+            &shared.metrics.cache_hit_lookup
+        } else {
+            &shared.metrics.cache_miss_lookup
+        };
+        hist.record_duration(lookup_start.elapsed());
+        if let Some(hits) = cached {
+            return Ok(HitsReply {
+                generation: snap.generation(),
+                cached: true,
+                hits: (*hits).clone(),
+                // Only exact results are cached, and the cache charges the
+                // requester no verification work.
+                ext: v2.then_some(HitsExt {
+                    outcome: QueryOutcome::Exact,
+                    distance_computations: 0,
+                }),
+                trace: None,
+            });
+        }
     }
+    let sampled = !requested.enabled()
+        && shared.sample_every > 0
+        && shared
+            .sample_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(shared.sample_every);
+    let effective = if requested.enabled() {
+        requested
+    } else if sampled {
+        TraceLevel::Phases
+    } else {
+        TraceLevel::Off
+    };
     let store = VectorStore::from_raw(payload.dim as usize, payload.vectors.clone())
         .map_err(|e| e.to_string())?;
     // Reassemble the unified query the wire frame describes and hand it
@@ -522,6 +613,7 @@ fn run_query_on(
     if !payload.metric.is_empty() {
         query = query.expect_metric(&payload.metric);
     }
+    query = query.with_trace(effective);
     if let Some(ext) = &payload.ext {
         query.options.flags = ext.flags;
         query.options.quick_browse = ext.quick_browse;
@@ -540,6 +632,17 @@ fn run_query_on(
         .metrics
         .distance_computations
         .fetch_add(resp.stats.distance_computations, Ordering::Relaxed);
+    // Phase histograms cover every executed search — the breakdown does
+    // not depend on the request asking for a trace.
+    shared.metrics.record_phases(&resp.stats);
+    if effective.enabled() {
+        let verb = match mode {
+            QueryMode::Threshold(_) => "search",
+            QueryMode::Topk(_) => "topk",
+        };
+        let rendered = resp.trace.as_ref().map(|t| t.render()).unwrap_or_default();
+        shared.slow_log.offer(verb, resp.stats.total_time, rendered);
+    }
     let wire: Vec<WireHit> = resp.hits.iter().map(WireHit::from).collect();
     // A budget-limited partial answer must never masquerade as the exact
     // one for a later (possibly unbudgeted) identical request: cache
@@ -558,6 +661,13 @@ fn run_query_on(
             outcome: resp.outcome,
             distance_computations: resp.stats.distance_computations,
         }),
+        // Only a *requested* trace travels back; sampled traces exist for
+        // the slow-query log and never change the reply shape.
+        trace: if requested.enabled() {
+            resp.trace
+        } else {
+            None
+        },
     })
 }
 
@@ -575,6 +685,9 @@ fn handle_batch(
         BatchMode::Search(_) => &shared.metrics.search,
         BatchMode::Topk(_) => &shared.metrics.topk,
     };
+    if let Some(wait) = queue_wait {
+        shared.metrics.queue_wait.record_duration(wait);
+    }
     // Queue wait counts against the batch's deadline, exactly as for a
     // solo query frame.
     let deadline = batch
@@ -620,6 +733,7 @@ fn solo_request(batch: &QueryBatch, vectors: Vec<f32>) -> Request {
         dim: batch.dim,
         vectors,
         ext: batch.ext,
+        trace: batch.trace,
     };
     match batch.mode {
         BatchMode::Search(t) => Request::Search { query, t },
@@ -670,5 +784,17 @@ mod tests {
             clamp_policy(ExecPolicy::Fixed { threads: 2 }, 4),
             ExecPolicy::Fixed { threads: 2 }
         );
+    }
+
+    #[test]
+    fn sample_stride_maps_rates_to_strides() {
+        assert_eq!(sample_stride(0.0), 0, "0 disables sampling");
+        assert_eq!(sample_stride(-1.0), 0, "negative rates disable");
+        assert_eq!(sample_stride(f64::NAN), 0, "NaN disables");
+        assert_eq!(sample_stride(1.0), 1, "1.0 samples everything");
+        assert_eq!(sample_stride(2.5), 1, ">1 clamps to everything");
+        assert_eq!(sample_stride(0.5), 2);
+        assert_eq!(sample_stride(0.01), 100);
+        assert_eq!(sample_stride(0.001), 1000);
     }
 }

@@ -130,6 +130,7 @@ fn served_replies_byte_identical_to_direct_calls() {
                     cached: served.cached,
                     hits: wire(&direct),
                     ext: None,
+                    trace: None,
                 });
                 assert_eq!(
                     encode_reply(&Reply::Hits(served.clone())),
@@ -153,6 +154,7 @@ fn served_replies_byte_identical_to_direct_calls() {
                     cached: served.cached,
                     hits: wire(&direct),
                     ext: None,
+                    trace: None,
                 })),
                 "tau={tau:?} k={k}"
             );
@@ -586,6 +588,125 @@ fn live_ingest_applies_without_reloading_the_base() {
     assert_eq!(meta.generation, 4);
     assert_eq!(wire(&compacted.hits), wire(&dropped.hits));
 
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The observability plane over loopback: a client-requested trace comes
+/// back as a merged timeline whose phase spans are consistent with the
+/// stats and bounded by the measured request latency; `METRICS` renders
+/// valid Prometheus text; traced queries feed the slow-query log; and
+/// requesting a trace never changes the answer.
+#[test]
+fn trace_metrics_and_slow_log_over_loopback() {
+    use pexeso_core::trace::TraceLevel;
+    use pexeso_serve::{validate_prometheus, ResilientClient, ResilientConfig};
+
+    let dir = tempdir("observability");
+    let (columns, query) = workload(29, 8, "obs");
+    deploy(&dir, &columns);
+    let config = ServeConfig {
+        metrics_sample_rate: 1.0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(&dir, "127.0.0.1:0", config).unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
+
+    // Sequential policy so phase durations sum ≤ wall-clock: under a
+    // parallel policy per-partition work overlaps and the back-to-back
+    // span layout is reading order, not a schedule.
+    let q = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.5))
+        .with_policy(ExecPolicy::Sequential);
+    let (untraced, _) = client.execute_detailed(&q, &query).unwrap();
+    assert!(!untraced.hits.is_empty(), "workload must produce hits");
+    assert!(untraced.trace.is_none(), "no trace unless requested");
+
+    let traced_q = q.clone().with_trace(TraceLevel::Detail);
+    let started = std::time::Instant::now();
+    let (traced, meta) = client.execute_detailed(&traced_q, &query).unwrap();
+    let wall = started.elapsed();
+    // Tracing never changes the answer (and bypasses the cache so the
+    // trace reflects a real execution).
+    assert_eq!(wire(&traced.hits), wire(&untraced.hits));
+    assert!(!meta.cached, "traced queries bypass the cache read");
+    let trace = traced.trace.as_ref().expect("requested trace must arrive");
+    for phase in ["map", "block", "verify", "merge"] {
+        assert!(trace.find(phase).is_some(), "missing {phase} span");
+    }
+    assert!(trace.span_count() >= 5, "root + four phases at minimum");
+    // The server-side phase sum is bounded by the client's measured
+    // round-trip (which additionally includes the network and queue).
+    assert!(
+        trace.phase_sum() <= wall,
+        "phase sum {:?} exceeds wall {:?}",
+        trace.phase_sum(),
+        wall
+    );
+    // The stats phase durations are the very numbers the spans carry.
+    assert_eq!(
+        traced.stats.mapping_time,
+        trace.find("map").unwrap().duration()
+    );
+    assert_eq!(
+        traced.stats.block_time,
+        trace.find("block").unwrap().duration()
+    );
+    assert_eq!(
+        traced.stats.verify_time,
+        trace.find("verify").unwrap().duration()
+    );
+
+    // The resilient client nests the same server trace under its own
+    // attempt timeline: one correlated client→attempt→query tree.
+    let resilient =
+        ResilientClient::new(&[handle.addr().to_string()], ResilientConfig::default()).unwrap();
+    let merged = resilient.execute(&traced_q, &query).unwrap();
+    assert_eq!(wire(&merged.hits), wire(&untraced.hits));
+    let mtrace = merged.trace.as_ref().expect("merged trace must arrive");
+    assert_eq!(mtrace.root.name, "client");
+    let attempt = mtrace.find("attempt/0").expect("attempt span");
+    let server_root = attempt.children.first().expect("nested server trace");
+    assert_eq!(server_root.name, "query");
+    assert!(
+        server_root.start_us >= attempt.start_us,
+        "nesting must shift the server trace onto the client clock"
+    );
+    assert!(mtrace.find("verify").is_some());
+    assert!(resilient.attempt_latency().count >= 1);
+
+    // METRICS: valid Prometheus exposition carrying the request and
+    // phase histogram families (the validator checks bucket monotonicity
+    // and the +Inf == _count invariant for every series).
+    let metrics = client.metrics_text().unwrap();
+    validate_prometheus(&metrics).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{metrics}"));
+    for family in [
+        "pexeso_requests_total",
+        "pexeso_request_latency_microseconds_bucket",
+        "pexeso_phase_microseconds_sum",
+        "pexeso_queue_wait_microseconds_count",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+
+    // The traced queries (and, at sample rate 1.0, every uncached one)
+    // landed in the slow-query log with their rendered span trees.
+    let slow = client.slow_log_text().unwrap();
+    assert!(!slow.is_empty(), "slow log must have entries");
+    assert!(
+        slow.contains("verify"),
+        "entries carry the span tree:\n{slow}"
+    );
+
+    // STATS still answers alongside METRICS, and the queue-wait
+    // histogram has observations.
+    let stats = client.stats_text().unwrap();
+    assert!(stat_value(&stats, "queue_wait.p99_us").is_some());
+
+    // Close both client connections before joining: a worker parked in
+    // a read on a live keep-alive stream only notices shutdown at the
+    // read timeout.
+    drop(resilient);
+    drop(client);
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

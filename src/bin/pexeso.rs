@@ -5,11 +5,11 @@
 //! pexeso ingest  --index <index-dir> --lake <dir-of-csvs> [--addr <host:port>]
 //! pexeso drop    --index <index-dir> --table <name> [--addr <host:port>]
 //! pexeso compact --index <index-dir> [--partitions N] [--policy seq|par|par:N]
-//! pexeso search  --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy ...]
-//! pexeso topk    --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...]
-//! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--fault-profile <spec>]
-//! pexeso query   --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...]
-//! pexeso query   --addr <host:port> --stats | --reload [--reload-dir <dir>] | --apply | --shutdown
+//! pexeso search  --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy ...] [--trace]
+//! pexeso topk    --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...] [--trace]
+//! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--metrics-sample-rate 0.01] [--slow-log 8] [--fault-profile <spec>]
+//! pexeso query   --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...] [--trace]
+//! pexeso query   --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply | --shutdown
 //! ```
 //!
 //! The offline step detects each table's key column, embeds it with the
@@ -30,6 +30,13 @@
 //! is byte-identical whichever replica answered. `serve --fault-profile`
 //! arms the deterministic fault-injection registry (dev/chaos-testing
 //! only — never in production).
+//!
+//! Observability: `--trace` on any online verb prints the per-phase span
+//! tree (`map → block → verify → merge`, plus per-partition children);
+//! against a daemon the server-side trace is requested over the wire and
+//! merged with the client's attempt timeline. `query --metrics` scrapes
+//! the Prometheus exposition, `query --slow` dumps the slow-query log,
+//! and `serve --metrics-sample-rate` self-samples traces into that log.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -93,6 +100,7 @@ const SEARCH_FLAGS: &[FlagSpec] = &[
     val("policy"),
     val("budget"),
     val("deadline-ms"),
+    switch("trace"),
     switch("help"),
 ];
 const TOPK_FLAGS: &[FlagSpec] = &[
@@ -104,6 +112,7 @@ const TOPK_FLAGS: &[FlagSpec] = &[
     val("policy"),
     val("budget"),
     val("deadline-ms"),
+    switch("trace"),
     switch("help"),
 ];
 const SERVE_FLAGS: &[FlagSpec] = &[
@@ -114,6 +123,8 @@ const SERVE_FLAGS: &[FlagSpec] = &[
     val("queue"),
     val("soft-queue"),
     val("cache"),
+    val("metrics-sample-rate"),
+    val("slow-log"),
     val("fault-profile"),
     switch("help"),
 ];
@@ -128,7 +139,10 @@ const QUERY_FLAGS: &[FlagSpec] = &[
     val("budget"),
     val("deadline-ms"),
     val("reload-dir"),
+    switch("trace"),
     switch("stats"),
+    switch("metrics"),
+    switch("slow"),
     switch("reload"),
     switch("apply"),
     switch("shutdown"),
@@ -148,17 +162,17 @@ fn usage_text(cmd: &str) -> &'static str {
             "pexeso compact --index <index-dir> [--partitions N] [--policy seq|par|par:N]"
         }
         "search" => {
-            "pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]"
+            "pexeso search --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>] [--trace]"
         }
         "topk" => {
-            "pexeso topk --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]"
+            "pexeso topk --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>] [--trace]"
         }
         "serve" => {
-            "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--fault-profile <point:after:action[:param],...>]"
+            "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--metrics-sample-rate <0..=1>] [--slow-log <n>] [--fault-profile <point:after:action[:param],...>]"
         }
         "query" => {
-            "pexeso query --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>]\n\
-             pexeso query --addr <host:port> --stats | --reload [--reload-dir <dir>] | --apply | --shutdown"
+            "pexeso query --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>] [--trace]\n\
+             pexeso query --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply | --shutdown"
         }
         _ => "",
     }
@@ -254,6 +268,25 @@ fn parse_budget(flags: &HashMap<String, String>) -> CliResult<QueryBudget> {
         max_distance_computations: max,
         deadline: deadline.map(Duration::from_millis),
     })
+}
+
+/// The `--trace` switch: per-partition detail locally, because it is
+/// free to render; the same level remotely so server and local traces
+/// line up.
+fn parse_trace(flags: &HashMap<String, String>) -> TraceLevel {
+    if flags.contains_key("trace") {
+        TraceLevel::Detail
+    } else {
+        TraceLevel::Off
+    }
+}
+
+/// Print a response's span tree, if one was requested and attached.
+fn print_trace(resp: &QueryResponse) {
+    if let Some(trace) = &resp.trace {
+        println!("\ntrace (offsets/durations in us):");
+        print!("{}", trace.render());
+    }
 }
 
 /// Flag a budget-limited partial answer so it is never mistaken for the
@@ -460,7 +493,8 @@ fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
         .with_exec(policy)
         .with_policy(policy)
         .expect_metric(&manifest.metric)
-        .with_budget(parse_budget(flags)?);
+        .with_budget(parse_budget(flags)?)
+        .with_trace(parse_trace(flags));
     let resp = lake.execute(&q, query.store()).map_err(|e| e.to_string())?;
     println!(
         "\n{} joinable columns (tau={tau}, T={t}) in {:?}{}:",
@@ -469,6 +503,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> CliResult<()> {
         outcome_suffix(&resp)
     );
     print_hits(&resp.hits);
+    print_trace(&resp);
     Ok(())
 }
 
@@ -488,13 +523,15 @@ fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
         .with_exec(policy)
         .with_policy(policy)
         .expect_metric(&manifest.metric)
-        .with_budget(parse_budget(flags)?);
+        .with_budget(parse_budget(flags)?)
+        .with_trace(parse_trace(flags));
     let resp = lake.execute(&q, query.store()).map_err(|e| e.to_string())?;
     println!(
         "\ntop-{k} joinable columns (tau={tau}){}:",
         outcome_suffix(&resp)
     );
     print_hits(&resp.hits);
+    print_trace(&resp);
     Ok(())
 }
 
@@ -513,12 +550,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
                 .map_err(|e| format!("bad --soft-queue '{v}': {e}"))?,
         ),
     };
+    let default = ServeConfig::default();
     let config = ServeConfig {
         workers: parse_or(flags, "workers", 4)?,
         queue_capacity: parse_or(flags, "queue", 64)?,
         queue_soft_watermark: soft_watermark,
         cache_capacity: parse_or(flags, "cache", 4096)?,
-        ..Default::default()
+        metrics_sample_rate: parse_or(flags, "metrics-sample-rate", default.metrics_sample_rate)?,
+        slow_log_capacity: parse_or(flags, "slow-log", default.slow_log_capacity)?,
+        ..default
     };
     let workers = config.workers;
     // Dev-only: arm deterministic faults in this process before the
@@ -572,10 +612,18 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     }
     let addr = &addrs[0];
     // Exactly one mode: at most one admin verb, no silently-ignored flags.
-    let admin_verbs: Vec<&str> = ["stats", "shutdown", "reload", "reload-dir", "apply"]
-        .into_iter()
-        .filter(|v| flags.contains_key(*v))
-        .collect();
+    let admin_verbs: Vec<&str> = [
+        "stats",
+        "metrics",
+        "slow",
+        "shutdown",
+        "reload",
+        "reload-dir",
+        "apply",
+    ]
+    .into_iter()
+    .filter(|v| flags.contains_key(*v))
+    .collect();
     if admin_verbs.len() > 1 && admin_verbs != ["reload", "reload-dir"] {
         return Err(format!(
             "--{} and --{} are mutually exclusive",
@@ -592,6 +640,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
             "policy",
             "budget",
             "deadline-ms",
+            "trace",
         ] {
             if flags.contains_key(q) {
                 return Err(format!(
@@ -633,7 +682,8 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     }
     .with_policy(policy)
     .expect_metric("euclidean")
-    .with_budget(budget);
+    .with_budget(budget)
+    .with_trace(parse_trace(flags));
 
     if addrs.len() == 1 {
         // One daemon: the detailed client surfaces the serve-side
@@ -659,6 +709,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
             ),
         }
         print_hits(&resp.hits);
+        print_trace(&resp);
         return Ok(());
     }
 
@@ -687,6 +738,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
         ),
     }
     print_hits(&resp.hits);
+    print_trace(&resp);
     let s = resilient.stats();
     if s != RetryStats::default() {
         println!(
@@ -707,6 +759,22 @@ fn run_admin_verb(
 ) -> CliResult<()> {
     if flags.contains_key("stats") {
         print!("{}", client.stats_text().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if flags.contains_key("metrics") {
+        print!("{}", client.metrics_text().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if flags.contains_key("slow") {
+        let text = client.slow_log_text().map_err(|e| e.to_string())?;
+        if text.is_empty() {
+            println!(
+                "slow-query log is empty (traced or sampled queries feed it; \
+                 see serve --metrics-sample-rate)"
+            );
+        } else {
+            print!("{text}");
+        }
         return Ok(());
     }
     if flags.contains_key("shutdown") {

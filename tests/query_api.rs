@@ -206,6 +206,43 @@ fn one_query_four_backends_byte_identical() {
     backends.finish();
 }
 
+/// Requesting a trace never changes the answer: on every backend, a
+/// traced query returns hits byte-identical to the untraced run, a
+/// trace arrives exactly when one was asked for, and the canonical
+/// phase spans are present (including over the wire).
+#[test]
+fn tracing_never_changes_results_across_backends() {
+    let (backends, query_vecs) = Backends::build(47, "trace");
+    let queries = [
+        Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.5)),
+        Query::topk(Tau::Ratio(0.2), 5),
+    ];
+    for q in &queries {
+        let untraced = run(&backends.index, q, &query_vecs);
+        assert!(untraced.trace.is_none(), "no trace unless requested");
+        for (name, backend) in backends.as_dyn() {
+            let plain = run(backend, q, &query_vecs);
+            assert!(plain.trace.is_none(), "{name} traced an untraced query");
+            for level in [TraceLevel::Phases, TraceLevel::Detail] {
+                let traced = run(backend, &q.clone().with_trace(level), &query_vecs);
+                assert_eq!(
+                    traced.hits, untraced.hits,
+                    "{name} answer changed under {level:?} tracing for {q:?}"
+                );
+                let trace = traced
+                    .trace
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{name} dropped the requested {level:?} trace"));
+                for phase in ["map", "block", "verify", "merge"] {
+                    assert!(trace.find(phase).is_some(), "{name} missing {phase} span");
+                }
+                assert!(trace.phase_sum() <= trace.root.duration() + Duration::from_millis(1));
+            }
+        }
+    }
+    backends.finish();
+}
+
 /// Top-k boundary ties resolve by external id on every backend, even
 /// where external ids run opposite to insertion order.
 #[test]
