@@ -1,0 +1,223 @@
+//! Routed vs. single-node serving latency over loopback TCP.
+//!
+//! A 10k×64-d lake (100 columns × 100 vectors) is cut into 1 / 2 / 4
+//! shard deployments, each served by its own daemon, and queried through
+//! the scatter-gather `Router` — against a single-daemon baseline over
+//! the un-split lake. The 1-shard routed row isolates the router's own
+//! overhead (range filter + merge + one client hop); the 2- and 4-shard
+//! rows show how scatter-gather amortizes verification across daemons
+//! (on a multi-core host the shard searches run in genuinely parallel
+//! processes; on a starved host they serialize and the router's fan-out
+//! costs more than it saves — both are truthful numbers).
+//!
+//! Besides the criterion wall-time rows, the recorded snapshot carries
+//! `router_hist` rows with p50/p99 taken from the router's **own**
+//! latency histogram (`Router::query_latency`) — the same numbers its
+//! METRICS plane exports, so the committed snapshot is cross-checkable
+//! against a live scrape.
+//!
+//! Record a snapshot with:
+//! `BENCH_JSON=/abs/path/BENCH_router.json cargo bench -p pexeso-bench --bench bench_router`
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pexeso::prelude::*;
+use pexeso_core::config::PivotSelection;
+use pexeso_core::outofcore::LakeManifest;
+use pexeso_core::query::{Query, Queryable};
+use pexeso_router::{shard_dir_name, split_lake, Router, RouterConfig, ShardMap, ShardSpec};
+use pexeso_serve::{ServeClient, ServeConfig, Server, ServerHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 64;
+const N_COLS: usize = 100;
+const PER_COL: usize = 100; // 10k vectors
+const N_QUERY: usize = 32;
+const TAU: Tau = Tau::Ratio(0.06);
+const K: usize = 8;
+
+fn unit(rng: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+/// A fifth of the columns contain the query vectors (real verify work +
+/// non-empty replies), the rest are uniform noise.
+fn deploy(dir: &Path) -> VectorStore {
+    let mut rng = StdRng::seed_from_u64(42);
+    let query_vecs: Vec<Vec<f32>> = (0..N_QUERY).map(|_| unit(&mut rng)).collect();
+    let mut columns = ColumnSet::new(DIM);
+    for c in 0..N_COLS {
+        let mut vecs: Vec<Vec<f32>> = (0..PER_COL).map(|_| unit(&mut rng)).collect();
+        if c % 5 == 0 {
+            for (slot, q) in vecs.iter_mut().zip(&query_vecs) {
+                slot.clone_from(q);
+            }
+        }
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column("t", &format!("c{c}"), c as u64, refs)
+            .unwrap();
+    }
+    std::fs::create_dir_all(dir).unwrap();
+    PartitionedLake::build(
+        &columns,
+        Euclidean,
+        &PartitionConfig {
+            k: 4,
+            method: PartitionMethod::JsdKmeans,
+            ..Default::default()
+        },
+        &IndexOptions {
+            num_pivots: 5,
+            levels: Some(4),
+            pivot_selection: PivotSelection::Pca,
+            seed: 42,
+            ..Default::default()
+        },
+        dir,
+    )
+    .unwrap();
+    LakeManifest::new("bench", DIM).write(dir).unwrap();
+
+    let mut query = VectorStore::new(DIM);
+    for q in &query_vecs {
+        query.push(q).unwrap();
+    }
+    query
+}
+
+/// Split `src` into `shards` deployments under `out`, start one daemon
+/// per shard, and wire a `Router` over the live addresses.
+fn start_cluster(src: &Path, shards: usize, out: &Path) -> (Vec<ServerHandle>, Router) {
+    let map = split_lake(src, shards, out).unwrap();
+    let mut daemons = Vec::new();
+    let mut specs = Vec::new();
+    for (i, spec) in map.shards().iter().enumerate() {
+        let handle = Server::start(
+            &out.join(shard_dir_name(i)),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                cache_capacity: 0, // cold path: measure real search work
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        specs.push(ShardSpec {
+            lo: spec.lo,
+            hi: spec.hi,
+            replicas: vec![handle.addr().to_string()],
+        });
+        daemons.push(handle);
+    }
+    let router = Router::new(ShardMap::new(specs).unwrap(), RouterConfig::default()).unwrap();
+    (daemons, router)
+}
+
+fn routed_request(router: &Router, q: &Query, query: &VectorStore) -> usize {
+    router.execute(q, query).unwrap().hits.len()
+}
+
+/// Append the router's own histogram quantiles to the `BENCH_JSON`
+/// snapshot (same file the criterion shim appends to), so the committed
+/// numbers are cross-checkable against a live METRICS scrape.
+fn record_router_hist(label: &str, router: &Router) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let h = router.query_latency();
+    let line = format!(
+        "{{\"name\":\"{label}\",\"source\":\"router_histogram\",\"p50_us\":{:.1},\"p99_us\":{:.1},\"count\":{}}}",
+        h.quantile(0.50),
+        h.quantile(0.99),
+        h.count
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn bench_router(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("pexeso_bench_router_{}", std::process::id()));
+    let src = base.join("src");
+    let query = deploy(&src);
+    let q_topk = Query::topk(TAU, K);
+    let q_threshold = Query::threshold(TAU, JoinThreshold::Ratio(0.5));
+
+    // Baseline: one daemon over the un-split lake, one client connection.
+    let direct = Server::start(
+        &src,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let client = ServeClient::connect(direct.addr()).unwrap();
+    let baseline = client.execute_detailed(&q_topk, &query).unwrap().0;
+    assert!(!baseline.hits.is_empty(), "workload must hit");
+    c.bench_function("direct_daemon_topk8_10k_x64d", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .execute_detailed(&q_topk, &query)
+                    .unwrap()
+                    .0
+                    .hits
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("direct_daemon_threshold_10k_x64d", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .execute_detailed(&q_threshold, &query)
+                    .unwrap()
+                    .0
+                    .hits
+                    .len(),
+            )
+        })
+    });
+
+    for shards in [1usize, 2, 4] {
+        let out: PathBuf = base.join(format!("cluster{shards}"));
+        let (daemons, router) = start_cluster(&src, shards, &out);
+        let routed = router.execute(&q_topk, &query).unwrap();
+        assert_eq!(
+            routed.hits, baseline.hits,
+            "routed must stay byte-identical to single-node"
+        );
+        c.bench_function(&format!("routed_topk8_{shards}shards_10k_x64d"), |b| {
+            b.iter(|| black_box(routed_request(&router, &q_topk, &query)))
+        });
+        c.bench_function(&format!("routed_threshold_{shards}shards_10k_x64d"), |b| {
+            b.iter(|| black_box(routed_request(&router, &q_threshold, &query)))
+        });
+        record_router_hist(&format!("router_hist_{shards}shards_10k_x64d"), &router);
+        drop(router);
+        for d in daemons {
+            d.shutdown();
+        }
+    }
+
+    client.shutdown().unwrap();
+    direct.join();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

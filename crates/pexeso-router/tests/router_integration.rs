@@ -1,0 +1,633 @@
+//! The distributed-serving differential suite: a router over shard
+//! daemons must answer **byte-identically** to a single-node
+//! `PartitionedLake` over the un-split source — hits and outcome — for
+//! every metric, both query modes, shard counts 1–4, and adversarial
+//! cross-shard tie layouts; replica failure mid-suite must change no
+//! answer bytes.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use pexeso_core::column::ColumnSet;
+use pexeso_core::config::{IndexOptions, JoinThreshold, PivotSelection, Tau};
+use pexeso_core::error::PexesoError;
+use pexeso_core::metric::{Angular, Chebyshev, Euclidean, Manhattan};
+use pexeso_core::outofcore::{GlobalHit, LakeManifest, PartitionedLake};
+use pexeso_core::partition::{PartitionConfig, PartitionMethod};
+use pexeso_core::query::{Query, QueryOutcome, Queryable};
+use pexeso_core::trace::TraceLevel;
+use pexeso_core::vector::VectorStore;
+use pexeso_delta::{ingest_columns, IngestColumn};
+use pexeso_router::daemon::{RouterServeConfig, RouterServer};
+use pexeso_router::router::{Router, RouterConfig};
+use pexeso_router::shardmap::{ShardMap, ShardSpec};
+use pexeso_router::split::{plan_shards, shard_dir_name, split_lake, SHARD_MAP_FILE};
+use pexeso_serve::protocol::WireHit;
+use pexeso_serve::resilient::BackoffPolicy;
+use pexeso_serve::{
+    stat_value, validate_prometheus, ResilientConfig, ServeClient, ServeConfig, Server,
+    ServerHandle,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 12;
+
+fn unit(rng: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter_mut().for_each(|x| *x /= n.max(1e-9));
+    v
+}
+
+/// A lake where the first columns contain exact copies of the query
+/// vectors (guaranteed matches at any τ) and the rest are random.
+fn workload(seed: u64, n_cols: usize, tag: &str) -> (ColumnSet, VectorStore) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query_vecs: Vec<Vec<f32>> = (0..6).map(|_| unit(&mut rng)).collect();
+    let mut columns = ColumnSet::new(DIM);
+    for c in 0..n_cols {
+        let mut vecs: Vec<Vec<f32>> = (0..15).map(|_| unit(&mut rng)).collect();
+        if c < 3 {
+            for (slot, q) in vecs.iter_mut().zip(&query_vecs) {
+                slot.clone_from(q);
+            }
+        }
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column(&format!("{tag}_tab{c}"), "key", c as u64, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(DIM);
+    for q in &query_vecs {
+        query.push(q).unwrap();
+    }
+    (columns, query)
+}
+
+/// An adversarial tie workload: every column holds an exact-copy count
+/// from `counts`, so at a tight τ the match counts are known and heavily
+/// tied — the top-k boundary lands inside a tie class whose members are
+/// deliberately spread across the whole external-id range (and thus
+/// across every shard of any contiguous cut).
+fn tie_workload(seed: u64, counts: &[u32], tag: &str) -> (ColumnSet, VectorStore) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query_vecs: Vec<Vec<f32>> = (0..6).map(|_| unit(&mut rng)).collect();
+    let mut columns = ColumnSet::new(DIM);
+    for (c, &count) in counts.iter().enumerate() {
+        let mut vecs: Vec<Vec<f32>> = (0..15).map(|_| unit(&mut rng)).collect();
+        for (slot, q) in vecs.iter_mut().zip(query_vecs.iter().take(count as usize)) {
+            slot.clone_from(q);
+        }
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        columns
+            .add_column(&format!("{tag}_tab{c}"), "key", c as u64, refs)
+            .unwrap();
+    }
+    let mut query = VectorStore::new(DIM);
+    for q in &query_vecs {
+        query.push(q).unwrap();
+    }
+    (columns, query)
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pexeso_router_{name}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Build + persist a deployment under `metric`, manifest included.
+fn deploy(dir: &Path, columns: &ColumnSet, metric: &str) -> PartitionedLake {
+    let config = PartitionConfig {
+        k: 3,
+        method: PartitionMethod::JsdKmeans,
+        ..Default::default()
+    };
+    let options = IndexOptions {
+        num_pivots: 3,
+        levels: Some(3),
+        pivot_selection: PivotSelection::Pca,
+        seed: 7,
+        ..Default::default()
+    };
+    let lake = match metric {
+        "euclidean" => PartitionedLake::build(columns, Euclidean, &config, &options, dir),
+        "manhattan" => PartitionedLake::build(columns, Manhattan, &config, &options, dir),
+        "chebyshev" => PartitionedLake::build(columns, Chebyshev, &config, &options, dir),
+        "angular" => PartitionedLake::build(columns, Angular, &config, &options, dir),
+        other => panic!("unknown metric {other}"),
+    }
+    .unwrap();
+    let mut manifest = LakeManifest::next_build(dir, "test", DIM).unwrap();
+    manifest.metric = metric.to_string();
+    manifest.write(dir).unwrap();
+    lake
+}
+
+/// Failover tuning fast enough for tests: milliseconds, not seconds.
+fn fast_client() -> ResilientConfig {
+    ResilientConfig {
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            multiplier: 3,
+            max_retries: 3,
+        },
+        failure_threshold: 2,
+        open_for: Duration::from_millis(200),
+        timeout: Some(Duration::from_secs(5)),
+        ..ResilientConfig::default()
+    }
+}
+
+/// Split `src` into `shards` deployments, start one daemon per shard,
+/// and build the router over the live addresses.
+fn start_cluster(src: &Path, shards: usize, name: &str) -> (Vec<ServerHandle>, Router) {
+    let out = tempdir(&format!("{name}_shards"));
+    let map = split_lake(src, shards, &out).unwrap();
+    let mut daemons = Vec::new();
+    let mut specs = Vec::new();
+    for (i, spec) in map.shards().iter().enumerate() {
+        let handle = Server::start(
+            &out.join(shard_dir_name(i)),
+            "127.0.0.1:0",
+            ServeConfig::default(),
+        )
+        .unwrap();
+        specs.push(ShardSpec {
+            lo: spec.lo,
+            hi: spec.hi,
+            replicas: vec![handle.addr().to_string()],
+        });
+        daemons.push(handle);
+    }
+    let router = Router::new(
+        ShardMap::new(specs).unwrap(),
+        RouterConfig {
+            client: fast_client(),
+        },
+    )
+    .unwrap();
+    (daemons, router)
+}
+
+fn wire(hits: &[GlobalHit]) -> Vec<WireHit> {
+    hits.iter().map(WireHit::from).collect()
+}
+
+/// Assert routed ≡ direct for a grid of taus, thresholds, and ks —
+/// byte-identical hits (via the wire encoding) and identical outcome.
+fn assert_differential(direct: &dyn Queryable, routed: &dyn Queryable, query: &VectorStore) {
+    for tau in [Tau::Ratio(0.05), Tau::Ratio(0.2)] {
+        for t in [JoinThreshold::Ratio(0.5), JoinThreshold::Count(2)] {
+            let q = Query::threshold(tau, t);
+            let d = direct.execute(&q, query).unwrap();
+            let r = routed.execute(&q, query).unwrap();
+            assert_eq!(wire(&d.hits), wire(&r.hits), "threshold {tau:?} {t:?}");
+            assert_eq!(d.outcome, r.outcome, "threshold outcome {tau:?} {t:?}");
+        }
+        for k in [1usize, 3, 7, 100] {
+            let q = Query::topk(tau, k);
+            let d = direct.execute(&q, query).unwrap();
+            let r = routed.execute(&q, query).unwrap();
+            assert_eq!(wire(&d.hits), wire(&r.hits), "topk {tau:?} k={k}");
+            assert_eq!(d.outcome, r.outcome, "topk outcome {tau:?} k={k}");
+        }
+    }
+}
+
+#[test]
+fn routed_matches_single_node_across_shard_counts() {
+    let dir = tempdir("counts_src");
+    let (columns, query) = workload(11, 10, "a");
+    let lake = deploy(&dir, &columns, "euclidean");
+    for shards in 1..=4usize {
+        let (daemons, router) = start_cluster(&dir, shards, &format!("counts{shards}"));
+        assert_differential(&lake, &router, &query);
+        for d in daemons {
+            d.shutdown();
+        }
+    }
+}
+
+#[test]
+fn routed_matches_single_node_across_metrics() {
+    for (i, metric) in ["euclidean", "manhattan", "chebyshev", "angular"]
+        .iter()
+        .enumerate()
+    {
+        let dir = tempdir(&format!("metric_{metric}_src"));
+        let (columns, query) = workload(23 + i as u64, 9, metric);
+        let lake = deploy(&dir, &columns, metric);
+        let (daemons, router) = start_cluster(&dir, 3, &format!("metric_{metric}"));
+        assert_differential(&lake, &router, &query);
+        for d in daemons {
+            d.shutdown();
+        }
+    }
+}
+
+#[test]
+fn adversarial_cross_shard_ties_rank_identically() {
+    // Tie classes spread across the id range: counts 2 and 3 recur on
+    // ids that land on *different* shards of any contiguous cut, so the
+    // k-th slot regularly falls inside a tie whose correct members (by
+    // external-id ascending) interleave across shards.
+    let counts = [2u32, 3, 2, 1, 3, 2, 0, 2, 3, 2, 1, 2, 3, 2, 0, 2];
+    let dir = tempdir("ties_src");
+    let (columns, query) = tie_workload(37, &counts, "tie");
+    let lake = deploy(&dir, &columns, "euclidean");
+    for shards in [2usize, 3, 4] {
+        let (daemons, router) = start_cluster(&dir, shards, &format!("ties{shards}"));
+        // Tight τ: planted copies match, random vectors don't — the
+        // ranking is fully determined by the tie structure above.
+        for k in 1..=counts.len() + 2 {
+            let q = Query::topk(Tau::Ratio(0.01), k);
+            let d = lake.execute(&q, &query).unwrap();
+            let r = router.execute(&q, &query).unwrap();
+            assert_eq!(wire(&d.hits), wire(&r.hits), "shards={shards} k={k}");
+            assert_eq!(d.outcome, r.outcome);
+        }
+        for t in [JoinThreshold::Count(2), JoinThreshold::Count(3)] {
+            let q = Query::threshold(Tau::Ratio(0.01), t);
+            let d = lake.execute(&q, &query).unwrap();
+            let r = router.execute(&q, &query).unwrap();
+            assert_eq!(wire(&d.hits), wire(&r.hits), "shards={shards} {t:?}");
+        }
+        for d in daemons {
+            d.shutdown();
+        }
+    }
+}
+
+#[test]
+fn range_filter_and_reask_handle_superset_daemons() {
+    // One daemon serves the FULL lake, but the map assigns it two
+    // sub-ranges: every reply contains out-of-range columns the router
+    // must filter, and a truncated top-k reply must trigger the over-ask
+    // loop to recover crowded-out in-range columns.
+    let dir = tempdir("superset_src");
+    let (columns, query) = workload(51, 12, "s");
+    let lake = deploy(&dir, &columns, "euclidean");
+    let daemon = Server::start(&dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = daemon.addr().to_string();
+    let map = ShardMap::new(vec![
+        ShardSpec {
+            lo: 0,
+            hi: 6,
+            replicas: vec![addr.clone()],
+        },
+        ShardSpec {
+            lo: 6,
+            hi: u64::MAX,
+            replicas: vec![addr],
+        },
+    ])
+    .unwrap();
+    let router = Router::new(
+        map,
+        RouterConfig {
+            client: fast_client(),
+        },
+    )
+    .unwrap();
+    assert_differential(&lake, &router, &query);
+    daemon.shutdown();
+}
+
+#[test]
+fn replica_kill_and_drain_change_no_answer_bytes() {
+    let dir = tempdir("failover_src");
+    let (columns, query) = workload(67, 10, "f");
+    let lake = deploy(&dir, &columns, "euclidean");
+    let out = tempdir("failover_shards");
+    let map = split_lake(&dir, 2, &out).unwrap();
+    // Shard 0 runs two replicas over the same shard deployment.
+    let r0a = Server::start(
+        &out.join(shard_dir_name(0)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let r0b = Server::start(
+        &out.join(shard_dir_name(0)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let r1 = Server::start(
+        &out.join(shard_dir_name(1)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let survivor = r0b.addr().to_string();
+    let specs = vec![
+        ShardSpec {
+            lo: map.shards()[0].lo,
+            hi: map.shards()[0].hi,
+            replicas: vec![r0a.addr().to_string(), survivor.clone()],
+        },
+        ShardSpec {
+            lo: map.shards()[1].lo,
+            hi: map.shards()[1].hi,
+            replicas: vec![r1.addr().to_string()],
+        },
+    ];
+    let router = Router::new(
+        ShardMap::new(specs).unwrap(),
+        RouterConfig {
+            client: fast_client(),
+        },
+    )
+    .unwrap();
+    let q = Query::topk(Tau::Ratio(0.1), 5);
+    let before = router.execute(&q, &query).unwrap();
+    assert_eq!(
+        wire(&before.hits),
+        wire(&lake.execute(&q, &query).unwrap().hits)
+    );
+
+    // Administrative drain steers traffic off a replica without error.
+    assert_eq!(router.set_drained(&survivor, true), 1);
+    assert!(router.shard_statuses()[0]
+        .replicas
+        .iter()
+        .any(|r| r.addr == survivor && r.drained));
+    let drained = router.execute(&q, &query).unwrap();
+    assert_eq!(wire(&before.hits), wire(&drained.hits));
+    assert_eq!(router.set_drained(&survivor, false), 1);
+
+    // Kill replica A outright: failover to B, answers byte-identical.
+    r0a.shutdown();
+    let after = router.execute(&q, &query).unwrap();
+    assert_eq!(wire(&before.hits), wire(&after.hits));
+    assert_eq!(before.outcome, after.outcome);
+    assert_differential(&lake, &router, &query);
+
+    r0b.shutdown();
+    r1.shutdown();
+}
+
+#[test]
+fn unreachable_shard_is_a_typed_refusal_never_partial() {
+    // Bind-then-drop guarantees a dead port.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let router = Router::new(
+        ShardMap::new(vec![ShardSpec {
+            lo: 0,
+            hi: u64::MAX,
+            replicas: vec![dead],
+        }])
+        .unwrap(),
+        RouterConfig {
+            client: fast_client(),
+        },
+    )
+    .unwrap();
+    let (_, query) = workload(5, 4, "u");
+    let err = router
+        .execute(&Query::topk(Tau::Ratio(0.1), 3), &query)
+        .unwrap_err();
+    match err {
+        PexesoError::Remote(msg) => assert!(msg.contains("shard 0"), "names the shard: {msg}"),
+        other => panic!("expected typed Remote refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_trips_stay_typed_through_the_router() {
+    let dir = tempdir("budget_src");
+    let (columns, query) = workload(83, 10, "b");
+    deploy(&dir, &columns, "euclidean");
+    let (daemons, router) = start_cluster(&dir, 2, "budget");
+    let q = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.5)).with_budget(
+        pexeso_core::query::QueryBudget {
+            max_distance_computations: Some(1),
+            deadline: None,
+        },
+    );
+    let resp = router.execute(&q, &query).unwrap();
+    assert_ne!(
+        resp.outcome,
+        QueryOutcome::Exact,
+        "a spent distance budget must surface as a typed partial outcome"
+    );
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+#[test]
+fn routed_apply_bumps_only_the_owning_shard() {
+    let dir = tempdir("apply_src");
+    let (columns, query) = workload(91, 8, "g");
+    deploy(&dir, &columns, "euclidean");
+    let out = tempdir("apply_shards");
+    split_lake(&dir, 2, &out).unwrap();
+    let shard1_dir = out.join(shard_dir_name(1));
+    // Ingest a guaranteed-match column into the LAST shard's delta log:
+    // fresh external ids allocate above the watermark, which the last
+    // shard's unbounded range owns.
+    let planted: Vec<f32> = (0..query.len())
+        .flat_map(|i| query.get(pexeso_core::vector::VectorId(i as u32)).to_vec())
+        .collect();
+    ingest_columns(
+        &shard1_dir,
+        &[IngestColumn {
+            table_name: "ingested".into(),
+            column_name: "key".into(),
+            vectors: planted,
+        }],
+    )
+    .unwrap();
+    let d0 = Server::start(
+        &out.join(shard_dir_name(0)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let d1 = Server::start(&shard1_dir, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let map = split_lake(&dir, 2, &tempdir("apply_ranges")).unwrap();
+    let specs = vec![
+        ShardSpec {
+            lo: map.shards()[0].lo,
+            hi: map.shards()[0].hi,
+            replicas: vec![d0.addr().to_string()],
+        },
+        ShardSpec {
+            lo: map.shards()[1].lo,
+            hi: map.shards()[1].hi,
+            replicas: vec![d1.addr().to_string()],
+        },
+    ];
+    let router = Router::new(
+        ShardMap::new(specs).unwrap(),
+        RouterConfig {
+            client: fast_client(),
+        },
+    )
+    .unwrap();
+    let q = Query::threshold(Tau::Ratio(0.05), JoinThreshold::Ratio(0.9));
+    router.execute(&q, &query).unwrap();
+    assert_eq!(router.generations(), vec![1, 1], "both shards at gen 1");
+
+    let (total, delta_columns, _) = router.apply_delta(1).unwrap();
+    assert_eq!(delta_columns, 1);
+    assert_eq!(total, 3, "router generation is the per-shard sum");
+    assert_eq!(
+        router.generations(),
+        vec![1, 2],
+        "APPLY bumps only the owning shard"
+    );
+    // The published overlay column is now part of routed answers.
+    let resp = router.execute(&q, &query).unwrap();
+    assert!(
+        resp.hits.iter().any(|h| h.table_name == "ingested"),
+        "routed answers include the applied delta column: {:?}",
+        resp.hits
+    );
+    // Out-of-range APPLY targets are refused, not guessed.
+    assert!(router.apply_delta(7).is_err());
+
+    d0.shutdown();
+    d1.shutdown();
+}
+
+#[test]
+fn router_daemon_speaks_the_serve_protocol() {
+    let dir = tempdir("daemon_src");
+    let (columns, query) = workload(103, 10, "d");
+    let lake = deploy(&dir, &columns, "euclidean");
+    let out = tempdir("daemon_shards");
+    let map = split_lake(&dir, 2, &out).unwrap();
+    let mut daemons = Vec::new();
+    let mut specs = Vec::new();
+    for (i, spec) in map.shards().iter().enumerate() {
+        let h = Server::start(
+            &out.join(shard_dir_name(i)),
+            "127.0.0.1:0",
+            ServeConfig::default(),
+        )
+        .unwrap();
+        specs.push(ShardSpec {
+            lo: spec.lo,
+            hi: spec.hi,
+            replicas: vec![h.addr().to_string()],
+        });
+        daemons.push(h);
+    }
+    let map_path = out.join(SHARD_MAP_FILE);
+    ShardMap::new(specs).unwrap().write(&map_path).unwrap();
+    let handle = RouterServer::start(
+        &map_path,
+        "127.0.0.1:0",
+        RouterServeConfig {
+            client: fast_client(),
+            ..RouterServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
+
+    // INFO aggregates the shard deployments.
+    let info = client.info().unwrap();
+    assert_eq!(info.dim as usize, DIM);
+    assert_eq!(info.generation, 2, "sum of two gen-1 shards");
+
+    // Routed queries through the ordinary client are byte-identical to
+    // the single-node lake, traced queries carry shard spans.
+    for k in [1usize, 4, 20] {
+        let q = Query::topk(Tau::Ratio(0.1), k);
+        let (resp, meta) = client.execute_detailed(&q, &query).unwrap();
+        let direct = lake.execute(&q, &query).unwrap();
+        assert_eq!(wire(&direct.hits), wire(&resp.hits), "k={k}");
+        assert_eq!(direct.outcome, resp.outcome);
+        assert_eq!(meta.generation, 2);
+    }
+    let traced = client
+        .execute_detailed(
+            &Query::topk(Tau::Ratio(0.1), 3).with_trace(TraceLevel::Phases),
+            &query,
+        )
+        .unwrap()
+        .0;
+    let rendered = traced.trace.expect("requested trace travels back").render();
+    assert!(rendered.contains("router"), "root span: {rendered}");
+    assert!(rendered.contains("shard/0"), "per-shard spans: {rendered}");
+    assert!(rendered.contains("shard/1"), "per-shard spans: {rendered}");
+
+    // STATS plane: router-level and per-shard gauges.
+    let stats = client.stats_text().unwrap();
+    assert_eq!(stat_value(&stats, "shards"), Some(2.0));
+    assert!(stats.contains("shard0.range="), "per-shard gauges: {stats}");
+
+    // METRICS plane: well-formed Prometheus exposition.
+    let metrics = client.metrics_text().unwrap();
+    validate_prometheus(&metrics).expect("router metrics must be valid Prometheus text");
+    assert!(metrics.contains("pexeso_router_shards 2"));
+    assert!(metrics.contains("pexeso_router_query_latency_microseconds_bucket"));
+
+    // SLOW plane: the traced query above fed the log.
+    assert!(client.slow_log_text().unwrap().contains("topk"));
+
+    // RELOAD re-reads the shard map.
+    let (_, partitions) = client.reload(None).unwrap();
+    assert_eq!(partitions, 2, "router reload reports shard count");
+
+    // Bare APPLY (no shard tail) is refused at the router.
+    assert!(client.apply_delta().is_err());
+
+    client.shutdown().unwrap();
+    handle.join();
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+#[test]
+fn shard_plan_is_deterministic_and_matches_split() {
+    let dir = tempdir("plan_src");
+    let (columns, _) = workload(7, 12, "p");
+    deploy(&dir, &columns, "euclidean");
+    let plan = plan_shards(&dir, 3).unwrap();
+    assert_eq!(plan, plan_shards(&dir, 3).unwrap(), "planning is pure");
+    let out = tempdir("plan_out");
+    let split = split_lake(&dir, 3, &out).unwrap();
+    for (p, s) in plan.shards().iter().zip(split.shards()) {
+        assert_eq!((p.lo, p.hi), (s.lo, s.hi), "split executes the plan");
+    }
+    assert_eq!(
+        ShardMap::read(&out.join(SHARD_MAP_FILE)).unwrap(),
+        split,
+        "written map round-trips"
+    );
+    // Union exactness: every source column appears in exactly one shard.
+    let mut seen = Vec::new();
+    for i in 0..3 {
+        let shard = PartitionedLake::open(&out.join(shard_dir_name(i))).unwrap();
+        for p in 0..shard.num_partitions() {
+            let idx = shard.load_partition(p, Euclidean).unwrap();
+            for meta in idx.columns().columns() {
+                assert!(
+                    split.shards()[i].owns(meta.external_id),
+                    "shard {i} holds foreign id {}",
+                    meta.external_id
+                );
+                seen.push(meta.external_id);
+            }
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..12).collect::<Vec<u64>>(), "exact in union");
+}

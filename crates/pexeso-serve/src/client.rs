@@ -195,24 +195,52 @@ pub struct RemoteMeta {
     pub cached: bool,
 }
 
-/// One logical connection to a `pexeso serve` daemon.
+/// Idle connections kept per daemon address when the caller doesn't ask
+/// for a different bound — enough for a router's per-shard fan-out to
+/// reuse warm streams across a query burst without hoarding sockets.
+pub const DEFAULT_POOL_CAPACITY: usize = 4;
+
+/// One logical client for a `pexeso serve` daemon, backed by a small
+/// pool of TCP connections.
 ///
-/// The underlying TCP stream is replaced transparently when it can no
-/// longer be trusted: any failure to read a *whole* reply (timeout
-/// mid-frame, transport error, hang-up) discards the stream, because a
-/// late reply arriving on a reused stream would answer the wrong
-/// request. The failing call surfaces a typed error
-/// ([`ClientError::Desynced`] when bytes may still be in flight) and
-/// the next call reconnects to the remembered address.
+/// Concurrent `&self` calls each check a stream out of the idle pool
+/// (connecting a fresh one when it is empty), so a scatter-gather caller
+/// issuing N requests at once pays N× TCP setup only on the *first*
+/// burst; afterwards the streams are reused. The pool keeps at most
+/// [`DEFAULT_POOL_CAPACITY`] idle streams (see
+/// [`ServeClient::connect_with_capacity`]) — extras are closed on
+/// check-in.
+///
+/// A stream is discarded instead of returned whenever it can no longer
+/// be trusted: any failure to read a *whole* reply (timeout mid-frame,
+/// transport error, hang-up) poisons it, because a late reply arriving
+/// on a reused stream would answer the wrong request. The failing call
+/// surfaces a typed error ([`ClientError::Desynced`] when bytes may
+/// still be in flight) and the next call transparently reconnects to
+/// the remembered address.
 pub struct ServeClient {
     addr: SocketAddr,
-    conn: Mutex<Option<TcpStream>>,
+    /// Idle, trusted streams; a roundtrip pops one (or connects) and
+    /// pushes it back only after reading a whole reply on it.
+    pool: Mutex<Vec<TcpStream>>,
+    pool_capacity: usize,
     /// Remembered so reconnects inherit the caller's timeout.
     timeout: Mutex<Option<Duration>>,
 }
 
 impl ServeClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with_capacity(addr, DEFAULT_POOL_CAPACITY)
+    }
+
+    /// Connect with an explicit idle-pool bound (`0` keeps no idle
+    /// streams: every request opens and closes its own connection). One
+    /// stream is established eagerly so an unreachable daemon fails
+    /// here, not on the first query.
+    pub fn connect_with_capacity(
+        addr: impl ToSocketAddrs,
+        pool_capacity: usize,
+    ) -> std::io::Result<Self> {
         let addr = addr
             .to_socket_addrs()?
             .next()
@@ -221,7 +249,12 @@ impl ServeClient {
         stream.set_nodelay(true)?;
         Ok(Self {
             addr,
-            conn: Mutex::new(Some(stream)),
+            pool: Mutex::new(if pool_capacity > 0 {
+                vec![stream]
+            } else {
+                Vec::new()
+            }),
+            pool_capacity,
             timeout: Mutex::new(None),
         })
     }
@@ -231,11 +264,16 @@ impl ServeClient {
         self.addr
     }
 
-    /// Bound how long any single reply may take. Applies to the current
+    /// Idle streams currently pooled (diagnostics; races with use).
+    pub fn idle_connections(&self) -> usize {
+        self.pool.lock().expect("client pool poisoned").len()
+    }
+
+    /// Bound how long any single reply may take. Applies to every pooled
     /// connection and every future reconnect.
     pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         *self.timeout.lock().expect("client timeout poisoned") = timeout;
-        if let Some(stream) = &*self.conn.lock().expect("client stream poisoned") {
+        for stream in self.pool.lock().expect("client pool poisoned").iter() {
             stream.set_read_timeout(timeout)?;
             stream.set_write_timeout(timeout)?;
         }
@@ -251,24 +289,39 @@ impl ServeClient {
         Ok(stream)
     }
 
-    fn roundtrip(&self, req: &Request) -> ClientResult<Reply> {
-        let mut guard = self.conn.lock().expect("client stream poisoned");
-        if guard.is_none() {
-            *guard = Some(self.reconnect()?);
+    /// Pop an idle stream or dial a fresh one.
+    fn checkout(&self) -> std::io::Result<TcpStream> {
+        if let Some(stream) = self.pool.lock().expect("client pool poisoned").pop() {
+            return Ok(stream);
         }
-        let stream = guard.as_mut().expect("connection just ensured");
+        self.reconnect()
+    }
+
+    /// Return a still-trusted stream to the idle pool; beyond the bound
+    /// it is simply closed.
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().expect("client pool poisoned");
+        if pool.len() < self.pool_capacity {
+            pool.push(stream);
+        }
+    }
+
+    fn roundtrip(&self, req: &Request) -> ClientResult<Reply> {
+        let mut stream = self.checkout()?;
         // A rejected connection gets one BUSY/SHED frame and a hang-up
         // *before* we ever write; the write then fails with a broken pipe
         // while the rejection frame sits in our receive buffer. On write
         // failure, drain that pending reply instead of surfacing the
-        // pipe error.
-        let write_err = write_frame(stream, &encode_request(req)).err();
-        let payload = match read_frame(stream) {
+        // pipe error. (A pooled stream the server closed while idle fails
+        // the same way and surfaces `Disconnected`, which retry-capable
+        // callers treat as transient.)
+        let write_err = write_frame(&mut stream, &encode_request(req)).err();
+        let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => {
                 // Clean hang-up before any reply byte: the stream is
-                // dead but carries nothing late; reconnect next call.
-                *guard = None;
+                // dead but carries nothing late; drop it, the next call
+                // checks out another.
                 return Err(write_err
                     .map(ClientError::Io)
                     .unwrap_or(ClientError::Disconnected));
@@ -277,9 +330,8 @@ impl ServeClient {
                 // The reply failed to arrive whole. Crucially this
                 // includes a read *timeout* mid-frame: the server may
                 // still deliver the rest later, so reusing this stream
-                // would desync every subsequent exchange. Discard it and
-                // name the state; the next call reconnects.
-                *guard = None;
+                // would desync every subsequent exchange. Poison it
+                // (drop, never check in) and name the state.
                 return Err(write_err.map(ClientError::Io).unwrap_or_else(|| match e {
                     WireError::Io(io) => ClientError::Desynced(io.to_string()),
                     WireError::Malformed(msg) => ClientError::Desynced(msg),
@@ -288,18 +340,20 @@ impl ServeClient {
         };
         match decode_reply(&payload)? {
             // A rejection is always followed by a server hang-up; drop
-            // the stream now so the next call reconnects instead of
+            // the stream now so the next call dials fresh instead of
             // tripping over the closed socket first.
-            Reply::Busy => {
-                *guard = None;
-                Err(ClientError::Busy)
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Shed => Err(ClientError::Shed),
+            // A typed server error still leaves the stream synchronized
+            // (one request, one whole reply): reuse it.
+            Reply::Err { message } => {
+                self.checkin(stream);
+                Err(ClientError::Server(message))
             }
-            Reply::Shed => {
-                *guard = None;
-                Err(ClientError::Shed)
+            reply => {
+                self.checkin(stream);
+                Ok(reply)
             }
-            Reply::Err { message } => Err(ClientError::Server(message)),
-            reply => Ok(reply),
         }
     }
 
@@ -446,7 +500,15 @@ impl ServeClient {
     /// without reloading the base snapshot (the V3 live-ingest verb).
     /// Returns (new generation, live delta columns, tombstoned tables).
     pub fn apply_delta(&self) -> ClientResult<(u64, u64, u64)> {
-        match self.roundtrip(&Request::ApplyDelta)? {
+        self.apply_delta_shard(None)
+    }
+
+    /// Routed live ingest: the V5 form of APPLY that names the shard
+    /// whose replicas should apply their delta log. Meaningful when the
+    /// peer is a router (a shard daemon ignores the tail); `None` sends
+    /// the historical bare V3 frame.
+    pub fn apply_delta_shard(&self, shard: Option<u32>) -> ClientResult<(u64, u64, u64)> {
+        match self.roundtrip(&Request::ApplyDelta { shard })? {
             Reply::Applied {
                 generation,
                 delta_columns,

@@ -52,6 +52,6 @@ pub use metrics::{stat_value, validate_prometheus, ServerMetrics, SlowQueryLog, 
 pub use protocol::{
     HitsExt, HitsReply, InfoReply, QueryExt, QueryPayload, Reply, Request, WireHit,
 };
-pub use resilient::{BackoffPolicy, ResilientClient, ResilientConfig, RetryStats};
+pub use resilient::{BackoffPolicy, ReplicaStatus, ResilientClient, ResilientConfig, RetryStats};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotCell};

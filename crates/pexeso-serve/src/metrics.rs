@@ -414,7 +414,12 @@ impl ServerMetrics {
 /// Append one labelled histogram series (`_bucket`s, `_sum`, `_count`) in
 /// Prometheus text format. `labels` is the inner label list without
 /// braces (may be empty); `le` is appended to it.
-fn write_histogram_series(out: &mut String, name: &str, labels: &str, s: &HistSnapshot) {
+/// Append one Prometheus histogram series (`_bucket`/`_sum`/`_count`) for
+/// a [`HistSnapshot`], sampled at octave boundaries. The caller owns the
+/// family's `# HELP`/`# TYPE` header; this is shared by the server's
+/// `METRICS` verb and the router tier's metrics plane so both render the
+/// same bucket layout.
+pub fn write_histogram_series(out: &mut String, name: &str, labels: &str, s: &HistSnapshot) {
     use std::fmt::Write as _;
     let sep = if labels.is_empty() { "" } else { "," };
     let mut cumulative = 0u64;

@@ -240,7 +240,14 @@ pub enum Request {
     /// generation — live ingest without reloading a single partition.
     /// Falls back to a full reload only if the base build itself changed
     /// underneath the daemon.
-    ApplyDelta,
+    ///
+    /// `shard` is the V5 routed-ingest tail: a router receiving
+    /// `Some(i)` forwards the APPLY to every replica of shard `i` only
+    /// (the owning shard), leaving every other shard's generation
+    /// untouched. A shard daemon ignores the field (it owns exactly one
+    /// deployment); `None` encodes byte-identically to the historical
+    /// bare V3 frame, so un-upgraded peers interoperate unchanged.
+    ApplyDelta { shard: Option<u32> },
     /// V4: many query columns under one set of criteria, answered in one
     /// reply frame — `Queryable::execute_many` on the wire.
     Batch(QueryBatch),
@@ -878,7 +885,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Search { query, .. } | Request::Topk { query, .. } if query.ext.is_some() => {
             QUERY_EXT_VERSION
         }
-        Request::ApplyDelta => 3,
+        // A routed APPLY names its target shard in a V5 tail; the bare
+        // form stays the historical V3 frame, byte for byte.
+        Request::ApplyDelta { shard: Some(_) } => TRACE_VERSION,
+        Request::ApplyDelta { shard: None } => 3,
         Request::Batch(b) if b.trace.enabled() => TRACE_VERSION,
         Request::Batch(_) => BATCH_VERSION,
         Request::Metrics | Request::SlowLog => TRACE_VERSION,
@@ -906,7 +916,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u8(VERB_RELOAD);
             w.str(dir.as_deref().unwrap_or(""));
         }
-        Request::ApplyDelta => w.u8(VERB_APPLY),
+        Request::ApplyDelta { shard } => {
+            w.u8(VERB_APPLY);
+            if let Some(shard) = shard {
+                w.u32(*shard);
+            }
+        }
         Request::Batch(batch) => {
             w.u8(VERB_BATCH);
             w.str(&batch.metric);
@@ -1010,7 +1025,14 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
                     "APPLY verb requires protocol version 3, frame is version {version}"
                 )));
             }
-            Request::ApplyDelta
+            // Tail presence spells the routed form (V5 stamps it, but
+            // presence is what matters — mirroring the pre-V5 ext rule).
+            let shard = if r.has_remaining() {
+                Some(r.u32()?)
+            } else {
+                None
+            };
+            Request::ApplyDelta { shard }
         }
         VERB_BATCH => {
             if version < BATCH_VERSION {
@@ -1330,7 +1352,8 @@ mod tests {
             Request::Reload {
                 dir: Some("/tmp/idx".into()),
             },
-            Request::ApplyDelta,
+            Request::ApplyDelta { shard: None },
+            Request::ApplyDelta { shard: Some(2) },
             Request::Shutdown,
         ];
         for req in &requests {
@@ -1381,9 +1404,12 @@ mod tests {
 
     #[test]
     fn apply_verb_is_version_gated() {
-        let bytes = encode_request(&Request::ApplyDelta);
+        let bytes = encode_request(&Request::ApplyDelta { shard: None });
         assert_eq!(bytes[4], 3, "APPLY frames are V3");
-        assert_eq!(decode_request(&bytes).unwrap(), Request::ApplyDelta);
+        assert_eq!(
+            decode_request(&bytes).unwrap(),
+            Request::ApplyDelta { shard: None }
+        );
         // The same verb byte inside an older frame is junk, not a silent
         // downgrade: a V2 peer never legitimately produced it.
         for old in [1u8, 2] {
@@ -1391,6 +1417,34 @@ mod tests {
             downgraded[4] = old;
             assert!(decode_request(&downgraded).is_err(), "version {old}");
         }
+    }
+
+    #[test]
+    fn routed_apply_rides_a_version_tail() {
+        // The bare form stays the historical frame: magic + version 3 +
+        // verb, nothing else — un-upgraded daemons keep decoding it.
+        let bare = encode_request(&Request::ApplyDelta { shard: None });
+        assert_eq!(bare.len(), 6, "bare APPLY must stay the 6-byte frame");
+        // The routed form stamps V5 and appends the shard index; it
+        // round-trips, and truncating the tail off yields the bare form
+        // (tail presence is the discriminator, as with the V2 ext).
+        let routed = encode_request(&Request::ApplyDelta { shard: Some(7) });
+        assert_eq!(routed[4], TRACE_VERSION, "routed APPLY frames are V5");
+        assert_eq!(&routed[5..6], &bare[5..6], "same verb byte");
+        assert_eq!(
+            decode_request(&routed).unwrap(),
+            Request::ApplyDelta { shard: Some(7) }
+        );
+        let mut truncated = routed.clone();
+        truncated.truncate(6);
+        assert!(matches!(
+            decode_request(&truncated).unwrap(),
+            Request::ApplyDelta { shard: None }
+        ));
+        // A tail cut mid-field is malformed, not silently bare.
+        let mut partial = routed.clone();
+        partial.truncate(8);
+        assert!(decode_request(&partial).is_err());
     }
 
     fn sample_batch(ext: Option<QueryExt>) -> QueryBatch {

@@ -29,7 +29,7 @@
 //! — never a silently different result (pinned by the differential test
 //! in `tests/resilient.rs`).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -182,6 +182,25 @@ struct ReplicaState {
 struct Replica {
     addr: String,
     state: Mutex<ReplicaState>,
+    /// Administratively drained: skipped by `pick` (unless nothing else
+    /// is left) without touching breaker state, so a rolling restart can
+    /// steer traffic away *before* the node goes down and hand it back
+    /// afterwards — no rebuilt client, no failure-counted churn.
+    drained: AtomicBool,
+}
+
+/// One replica's health as seen by this client — the per-shard gauge a
+/// router's STATS plane reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    pub addr: String,
+    /// Administratively drained via [`ResilientClient::set_drained`].
+    pub drained: bool,
+    /// Circuit currently open (skipped until the half-open probe).
+    pub circuit_open: bool,
+    pub consecutive_failures: u32,
+    /// A connection is currently established (healthy at last use).
+    pub connected: bool,
 }
 
 /// A retrying, failover-capable [`Queryable`] over replica `pexeso
@@ -199,6 +218,10 @@ pub struct ResilientClient {
     /// the client-side complement of the server's request histogram, so
     /// retries and backoff show up as a fatter tail here than there.
     attempt_latency: AtomicHistogram,
+    /// Highest snapshot generation any replica has reported — the
+    /// freshness gauge a router exposes per shard (0 until the first
+    /// successful query).
+    last_generation: AtomicU64,
 }
 
 impl ResilientClient {
@@ -219,6 +242,7 @@ impl ResilientClient {
                         consecutive_failures: 0,
                         open_until: None,
                     }),
+                    drained: AtomicBool::new(false),
                 })
                 .collect(),
             rng: Mutex::new(rand::rngs::StdRng::seed_from_u64(config.seed)),
@@ -226,6 +250,7 @@ impl ResilientClient {
             config,
             cursor: AtomicUsize::new(0),
             attempt_latency: AtomicHistogram::new(),
+            last_generation: AtomicU64::new(0),
         })
     }
 
@@ -238,6 +263,46 @@ impl ResilientClient {
     /// every attempt counts, including failed ones).
     pub fn attempt_latency(&self) -> HistSnapshot {
         self.attempt_latency.snapshot()
+    }
+
+    /// The highest snapshot generation any replica has reported on a
+    /// successful query (0 until one lands) — how a router tracks shard
+    /// freshness without a dedicated probe.
+    pub fn last_generation(&self) -> u64 {
+        self.last_generation.load(Ordering::Relaxed)
+    }
+
+    /// Administratively drain (or undrain) the replica at `addr`:
+    /// `pick` steers new attempts away from a drained replica without
+    /// rebuilding the client or touching its breaker state, so a rolling
+    /// restart is: drain → restart → undrain. Returns `false` when no
+    /// replica has that address. When *every* eligible replica is
+    /// drained the drain degrades gracefully, exactly like an all-open
+    /// breaker: attempts proceed anyway rather than refusing outright.
+    pub fn set_drained(&self, addr: &str, drained: bool) -> bool {
+        let Some(replica) = self.replicas.iter().find(|r| r.addr == addr) else {
+            return false;
+        };
+        replica.drained.store(drained, Ordering::Relaxed);
+        true
+    }
+
+    /// Per-replica health gauges, in configuration order.
+    pub fn replica_status(&self) -> Vec<ReplicaStatus> {
+        let now = Instant::now();
+        self.replicas
+            .iter()
+            .map(|r| {
+                let state = r.state.lock().expect("replica poisoned");
+                ReplicaStatus {
+                    addr: r.addr.clone(),
+                    drained: r.drained.load(Ordering::Relaxed),
+                    circuit_open: state.open_until.is_some_and(|until| now < until),
+                    consecutive_failures: state.consecutive_failures,
+                    connected: state.client.is_some(),
+                }
+            })
+            .collect()
     }
 
     /// Snapshot the failure-handling counters.
@@ -254,22 +319,31 @@ impl ResilientClient {
         }
     }
 
-    /// Pick the next replica to try: rotate from `start`, skipping open
-    /// circuits (half-open ones — whose open window elapsed — are
-    /// eligible as probes). When every circuit is open, fall back to
-    /// plain rotation: with nowhere to fail over, probing a suspect
-    /// replica beats refusing to try at all.
+    /// Pick the next replica to try: rotate from `start`, skipping
+    /// drained replicas and open circuits (half-open ones — whose open
+    /// window elapsed — are eligible as probes). Degradation order when
+    /// nothing is eligible: first fall back to undrained replicas even
+    /// with open circuits (with nowhere to fail over, probing a suspect
+    /// replica beats refusing to try at all), and only when *everything*
+    /// is drained ignore the drain too — an administrative flag must
+    /// never turn "all drained" into "down".
     fn pick(&self, start: usize, now: Instant) -> usize {
         let n = self.replicas.len();
+        let mut fallback = None;
         for off in 0..n {
             let i = (start + off) % n;
-            let state = self.replicas[i].state.lock().expect("replica poisoned");
+            let replica = &self.replicas[i];
+            if replica.drained.load(Ordering::Relaxed) {
+                continue;
+            }
+            fallback.get_or_insert(i);
+            let state = replica.state.lock().expect("replica poisoned");
             let open = state.open_until.is_some_and(|until| now < until);
             if !open {
                 return i;
             }
         }
-        start % n
+        fallback.unwrap_or(start % n)
     }
 
     /// One attempt against one replica, updating its breaker state.
@@ -291,7 +365,14 @@ impl ResilientClient {
             .as_ref()
             .expect("client just ensured")
             .execute_detailed(query, vectors)
-            .map(|(resp, _meta)| resp);
+            .map(|(resp, meta)| {
+                // Track the freshest generation seen across replicas
+                // (max, not last: a lagging replica must not roll the
+                // gauge backwards).
+                self.last_generation
+                    .fetch_max(meta.generation, Ordering::Relaxed);
+                resp
+            });
         match &result {
             Ok(_) => {
                 state.consecutive_failures = 0;
@@ -532,5 +613,66 @@ mod tests {
         let c = ResilientClient::new(&["127.0.0.1:1".into()], ResilientConfig::default()).unwrap();
         assert_eq!(c.stats(), RetryStats::default());
         assert_eq!(c.addrs(), vec!["127.0.0.1:1"]);
+        assert_eq!(c.last_generation(), 0);
+    }
+
+    fn three_replicas() -> ResilientClient {
+        ResilientClient::new(
+            &[
+                "127.0.0.1:1".into(),
+                "127.0.0.1:2".into(),
+                "127.0.0.1:3".into(),
+            ],
+            ResilientConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn drained_replicas_are_skipped_without_rebuilding() {
+        let c = three_replicas();
+        let now = Instant::now();
+        assert_eq!(c.pick(0, now), 0);
+        assert!(c.set_drained("127.0.0.1:1", true));
+        assert_eq!(c.pick(0, now), 1, "rotation skips the drained replica");
+        assert_eq!(c.pick(1, now), 1);
+        // Undrain hands traffic back; the replica set never changed.
+        assert!(c.set_drained("127.0.0.1:1", false));
+        assert_eq!(c.pick(0, now), 0);
+        assert!(!c.set_drained("10.0.0.9:1", true), "unknown address");
+    }
+
+    #[test]
+    fn all_drained_degrades_to_plain_rotation() {
+        let c = three_replicas();
+        for addr in ["127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"] {
+            assert!(c.set_drained(addr, true));
+        }
+        // Draining everything must not turn the client into a refusal
+        // machine: picks proceed as if nothing were drained.
+        let now = Instant::now();
+        assert_eq!(c.pick(1, now), 1);
+        let status = c.replica_status();
+        assert_eq!(status.len(), 3);
+        assert!(status.iter().all(|s| s.drained && !s.circuit_open));
+    }
+
+    #[test]
+    fn drain_beats_open_circuit_in_fallback_order() {
+        let c = three_replicas();
+        // Open replica 1's circuit and drain replica 0: the pick must
+        // land on 2 (healthy), then — with 2 drained too — fall back to
+        // the *undrained* open replica 1, not the drained 0.
+        c.replicas[1]
+            .state
+            .lock()
+            .unwrap()
+            .open_until
+            .replace(Instant::now() + Duration::from_secs(60));
+        assert!(c.set_drained("127.0.0.1:1", true));
+        let now = Instant::now();
+        assert_eq!(c.pick(0, now), 2);
+        assert!(c.set_drained("127.0.0.1:3", true));
+        assert_eq!(c.pick(0, now), 1);
     }
 }

@@ -15,7 +15,7 @@
 //! sharded result cache, keyed on the query fingerprint + snapshot
 //! generation and cleared wholesale on swap.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -131,6 +131,12 @@ struct Shared {
     /// sampler (`sample_stride` of the configured rate; 0 = off).
     sample_seq: AtomicU64,
     sample_every: u64,
+    /// Every connection currently owned by a worker, keyed by an
+    /// arbitrary id. Shutdown closes these sockets directly so an idle
+    /// keep-alive peer (e.g. a router's pooled connection) cannot hold
+    /// a worker hostage for a full `read_timeout`.
+    live_conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
 }
 
 /// The daemon entry point.
@@ -159,6 +165,8 @@ impl Server {
             slow_log: SlowQueryLog::new(config.slow_log_capacity),
             sample_seq: AtomicU64::new(0),
             sample_every: sample_stride(config.metrics_sample_rate),
+            live_conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
             snapshot,
             config,
         });
@@ -218,6 +226,43 @@ fn initiate_shutdown(shared: &Shared) {
     // The acceptor is parked in `accept`; poke it with a throwaway
     // connection so it observes the flag.
     let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+    // Workers parked in `read_frame` on idle keep-alive connections
+    // would otherwise only notice the flag after `read_timeout`; close
+    // the sockets out from under them so they return immediately.
+    for conn in shared
+        .live_conns
+        .lock()
+        .expect("conn registry poisoned")
+        .values()
+    {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// RAII registration of a worker-owned connection in the shutdown
+/// registry; deregisters on every exit path out of `handle_connection`.
+struct ConnRegistration<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for ConnRegistration<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut conns) = self.shared.live_conns.lock() {
+            conns.remove(&self.id);
+        }
+    }
+}
+
+fn register_conn<'a>(shared: &'a Shared, stream: &TcpStream) -> Option<ConnRegistration<'a>> {
+    let clone = stream.try_clone().ok()?;
+    let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    shared
+        .live_conns
+        .lock()
+        .expect("conn registry poisoned")
+        .insert(id, clone);
+    Some(ConnRegistration { shared, id })
 }
 
 fn accept_loop(listener: TcpListener, shared: &Shared) {
@@ -309,6 +354,7 @@ fn handle_connection(shared: &Shared, conn: QueuedConn) {
     } = conn;
     let _ = stream.set_read_timeout(shared.config.read_timeout);
     let _ = stream.set_nodelay(true);
+    let _registration = register_conn(shared, &stream);
     // The first request on a connection waited in the accept queue; that
     // wait is charged against its deadline. Later requests on the same
     // (interactive) connection never queued.
@@ -432,7 +478,9 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
             shared.metrics.reload.record(started.elapsed());
             reply
         }
-        Request::ApplyDelta => {
+        // The routed-ingest shard tail is addressing for the router tier;
+        // a shard daemon owns exactly one deployment and applies it.
+        Request::ApplyDelta { shard: _ } => {
             // Live ingest: republish from the delta log, sharing the
             // resident base. Cached entries keyed the old generation;
             // clear them so fresh queries see the new overlay. The fault
@@ -742,8 +790,9 @@ fn solo_request(batch: &QueryBatch, vectors: Vec<f32>) -> Request {
 }
 
 /// Resolve `Parallel {{ threads: 0 }}` to the machine size and clamp to the
-/// server's per-request ceiling.
-fn clamp_policy(policy: ExecPolicy, max_threads: usize) -> ExecPolicy {
+/// server's per-request ceiling. Shared with the router tier so routed
+/// and direct requests resolve a wire policy identically.
+pub fn clamp_policy(policy: ExecPolicy, max_threads: usize) -> ExecPolicy {
     match policy {
         ExecPolicy::Sequential => ExecPolicy::Sequential,
         ExecPolicy::Parallel { .. } => ExecPolicy::Parallel {

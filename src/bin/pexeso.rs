@@ -9,7 +9,10 @@
 //! pexeso topk    --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...] [--trace]
 //! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--metrics-sample-rate 0.01] [--slow-log 8] [--fault-profile <spec>]
 //! pexeso query   --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...] [--trace]
-//! pexeso query   --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply | --shutdown
+//! pexeso query   --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply [--shard N] | --shutdown
+//! pexeso shard-plan  --index <index-dir> --shards <n>
+//! pexeso shard-split --index <index-dir> --shards <n> --out <dir>
+//! pexeso router  --map <shardmap.txt> [--addr 127.0.0.1:7900 | --port <p>] [--workers 4] [--queue 64]
 //! ```
 //!
 //! The offline step detects each table's key column, embeds it with the
@@ -30,6 +33,14 @@
 //! is byte-identical whichever replica answered. `serve --fault-profile`
 //! arms the deterministic fault-injection registry (dev/chaos-testing
 //! only — never in production).
+//!
+//! Beyond one machine, `shard-split` cuts a built deployment into N
+//! shard deployments by external-id range (`shard-plan` previews the
+//! cut), each served by ordinary `pexeso serve` daemons, and `router`
+//! runs the scatter-gather tier over the resulting shard map. The router
+//! speaks the same protocol, so `pexeso query` works against it
+//! unchanged — including `--apply --shard N` for routed live ingest
+//! addressed at one shard's replicas.
 //!
 //! Observability: `--trace` on any online verb prints the per-phase span
 //! tree (`map → block → verify → merge`, plus per-partition children);
@@ -139,6 +150,7 @@ const QUERY_FLAGS: &[FlagSpec] = &[
     val("budget"),
     val("deadline-ms"),
     val("reload-dir"),
+    val("shard"),
     switch("trace"),
     switch("stats"),
     switch("metrics"),
@@ -146,6 +158,17 @@ const QUERY_FLAGS: &[FlagSpec] = &[
     switch("reload"),
     switch("apply"),
     switch("shutdown"),
+    switch("help"),
+];
+const SHARD_PLAN_FLAGS: &[FlagSpec] = &[val("index"), val("shards"), switch("help")];
+const SHARD_SPLIT_FLAGS: &[FlagSpec] = &[val("index"), val("shards"), val("out"), switch("help")];
+const ROUTER_FLAGS: &[FlagSpec] = &[
+    val("map"),
+    val("addr"),
+    val("port"),
+    val("workers"),
+    val("queue"),
+    val("slow-log"),
     switch("help"),
 ];
 
@@ -172,7 +195,12 @@ fn usage_text(cmd: &str) -> &'static str {
         }
         "query" => {
             "pexeso query --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>] [--trace]\n\
-             pexeso query --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply | --shutdown"
+             pexeso query --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply [--shard N] | --shutdown"
+        }
+        "shard-plan" => "pexeso shard-plan --index <index-dir> --shards <n>",
+        "shard-split" => "pexeso shard-split --index <index-dir> --shards <n> --out <dir>",
+        "router" => {
+            "pexeso router --map <shardmap.txt> [--addr 127.0.0.1:7900 | --port <p>] [--workers 4] [--queue 64] [--slow-log 8]"
         }
         _ => "",
     }
@@ -180,7 +208,7 @@ fn usage_text(cmd: &str) -> &'static str {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}",
+        "usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}",
         usage_text("index"),
         usage_text("ingest"),
         usage_text("drop"),
@@ -189,6 +217,9 @@ fn usage() -> ExitCode {
         usage_text("topk"),
         usage_text("serve"),
         usage_text("query"),
+        usage_text("shard-plan"),
+        usage_text("shard-split"),
+        usage_text("router"),
     );
     ExitCode::from(2)
 }
@@ -580,6 +611,71 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Preview how `shard-split` would cut the deployment: print the shard
+/// map (with `-` replica placeholders) without writing anything.
+fn cmd_shard_plan(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let shards: usize = parse_or(flags, "shards", 2)?;
+    let map = pexeso_router::plan_shards(&index_dir, shards).map_err(|e| e.to_string())?;
+    print!("{}", map.render());
+    Ok(())
+}
+
+/// Cut a built deployment into per-shard deployment directories plus a
+/// `shardmap.txt` the operator fills replica addresses into.
+fn cmd_shard_split(flags: &HashMap<String, String>) -> CliResult<()> {
+    let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
+    let out_dir = PathBuf::from(flags.get("out").ok_or("--out is required")?);
+    let shards: usize = parse_or(flags, "shards", 2)?;
+    let map = pexeso_router::split_lake(&index_dir, shards, &out_dir).map_err(|e| e.to_string())?;
+    println!(
+        "split {} into {} shard deployments under {}:",
+        index_dir.display(),
+        map.len(),
+        out_dir.display()
+    );
+    print!("{}", map.render());
+    println!(
+        "fill in replica addresses in {} and start `pexeso serve` per shard directory, \
+         then `pexeso router --map {}`",
+        out_dir.join(pexeso_router::SHARD_MAP_FILE).display(),
+        out_dir.join(pexeso_router::SHARD_MAP_FILE).display()
+    );
+    Ok(())
+}
+
+/// Run the scatter-gather router daemon over a shard map.
+fn cmd_router(flags: &HashMap<String, String>) -> CliResult<()> {
+    let map_path = PathBuf::from(flags.get("map").ok_or("--map is required")?);
+    let addr = match (flags.get("addr"), flags.get("port")) {
+        (Some(_), Some(_)) => return Err("--addr and --port are mutually exclusive".into()),
+        (Some(addr), None) => addr.clone(),
+        (None, Some(port)) => format!("127.0.0.1:{port}"),
+        (None, None) => "127.0.0.1:7900".to_string(),
+    };
+    let default = pexeso_router::RouterServeConfig::default();
+    let config = pexeso_router::RouterServeConfig {
+        workers: parse_or(flags, "workers", default.workers)?,
+        queue_capacity: parse_or(flags, "queue", default.queue_capacity)?,
+        slow_log_capacity: parse_or(flags, "slow-log", default.slow_log_capacity)?,
+        ..default
+    };
+    let workers = config.workers;
+    let handle = pexeso_router::RouterServer::start(&map_path, addr.as_str(), config)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "pexeso router: listening on {} ({} workers, {} shards, map {})",
+        handle.addr(),
+        workers,
+        handle.router().shard_count(),
+        map_path.display()
+    );
+    // Runs until a client sends SHUTDOWN (`pexeso query --addr ... --shutdown`).
+    handle.join();
+    println!("pexeso router: shut down");
+    Ok(())
+}
+
 /// Connect to the first reachable replica and fetch the lake facts the
 /// query embedding needs (the dimension). Replicas serve one deployment,
 /// so any of them is authoritative.
@@ -652,6 +748,9 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     }
     if flags.contains_key("t") && flags.contains_key("k") {
         return Err("--t (threshold search) and --k (top-k) are mutually exclusive".into());
+    }
+    if flags.contains_key("shard") && !flags.contains_key("apply") {
+        return Err("--shard only addresses routed ingest; combine it with --apply".into());
     }
     if !admin_verbs.is_empty() && addrs.len() > 1 {
         return Err(format!(
@@ -789,8 +888,15 @@ fn run_admin_verb(
         return Ok(());
     }
     if flags.contains_key("apply") {
+        // `--shard N` rides the V5 APPLY tail: against a router it names
+        // the shard whose replicas should apply their delta log; a plain
+        // `--apply` stays the historical bare V3 frame.
+        let shard: Option<u32> = match flags.get("shard") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|e| format!("bad --shard '{v}': {e}"))?),
+        };
         let (generation, delta_columns, tombstones) =
-            client.apply_delta().map_err(|e| e.to_string())?;
+            client.apply_delta_shard(shard).map_err(|e| e.to_string())?;
         println!(
             "applied delta log: generation {generation}, \
              {delta_columns} delta columns, {tombstones} tombstoned tables"
@@ -814,6 +920,9 @@ fn main() -> ExitCode {
         "topk" => TOPK_FLAGS,
         "serve" => SERVE_FLAGS,
         "query" => QUERY_FLAGS,
+        "shard-plan" => SHARD_PLAN_FLAGS,
+        "shard-split" => SHARD_SPLIT_FLAGS,
+        "router" => ROUTER_FLAGS,
         _ => return usage(),
     };
     let flags = match parse_flags(cmd, specs, &args[1..]) {
@@ -836,6 +945,9 @@ fn main() -> ExitCode {
         "topk" => cmd_topk(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "shard-plan" => cmd_shard_plan(&flags),
+        "shard-split" => cmd_shard_split(&flags),
+        "router" => cmd_router(&flags),
         _ => unreachable!("subcommand validated above"),
     };
     match result {
