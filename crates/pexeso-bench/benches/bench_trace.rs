@@ -11,6 +11,10 @@
 //! * `query_trace_{off,phases,detail}` — one end-to-end `execute` on the
 //!   same workload at each [`TraceLevel`], so the *enabled* cost (a few
 //!   span allocations at the end of the request) is pinned too.
+//! * `query_explain_{off,on}` — the same query with and without an
+//!   EXPLAIN report. The report is a pure function of the final stats,
+//!   so `off` must sit within noise of `query_trace_off` and `on` pays
+//!   only the end-of-request report construction.
 //!
 //! Record a snapshot with:
 //! `BENCH_JSON=BENCH_obs.json cargo bench -p pexeso-bench --bench bench_trace`
@@ -132,9 +136,23 @@ fn bench_trace_levels(c: &mut Criterion) {
     }
 }
 
+/// End-to-end `execute` with and without an EXPLAIN report: the
+/// disabled path is one boolean branch after the search finishes, the
+/// enabled path additionally derives the funnel from the final stats.
+fn bench_explain(c: &mut Criterion) {
+    let (columns, query) = kernel_workload();
+    let index = PexesoIndex::build(columns, Euclidean, IndexOptions::default()).unwrap();
+    let base = Query::threshold(Tau::Ratio(0.12), JoinThreshold::Ratio(0.5));
+    for (name, explain) in [("query_explain_off", false), ("query_explain_on", true)] {
+        let q = base.clone().with_explain(explain);
+        c.bench_function(name, |b| b.iter(|| index.execute(&q, &query).unwrap()));
+    }
+}
+
 fn bench_trace(c: &mut Criterion) {
     bench_verify_with_tracing_compiled_in(c);
     bench_trace_levels(c);
+    bench_explain(c);
 }
 
 criterion_group! {

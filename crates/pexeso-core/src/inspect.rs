@@ -1,0 +1,273 @@
+//! Index introspection: the structural statistics behind the `INSPECT`
+//! verb and the `pexeso inspect` CLI.
+//!
+//! Where [`crate::stats::SearchStats`] describes one *query*, an
+//! [`IndexInspection`] describes the *index itself*: how many columns and
+//! vectors each partition holds, how the grid's non-empty leaf cells are
+//! populated (postings-length and occupancy histograms — the shape that
+//! decides how well the blocking phase prunes), how spread out the pivot
+//! coordinates are, and how deep the live delta overlay has grown since
+//! the base build. All of it is derived by one read-only walk over the
+//! resident structures; nothing here is sampled or approximate.
+//!
+//! The histograms reuse the log-bucketed [`crate::hist`] layout so the
+//! serve tier can expose them through the same Prometheus rendering as
+//! its latency histograms.
+
+use crate::hist::{AtomicHistogram, HistSnapshot};
+
+/// The spread of one pivot's mapped coordinate over the repository:
+/// a pivot whose coordinates bunch together discriminates poorly (every
+/// vector lands in the same grid slice along that axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotSpread {
+    pub min: f32,
+    pub max: f32,
+    pub mean: f32,
+}
+
+/// Structural statistics of one partition's PEXESO index.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionInspection {
+    /// Columns in the partition, live tombstoned ones included.
+    pub columns: u64,
+    /// Columns lazily deleted (tombstoned) but not yet compacted away.
+    pub deleted_columns: u64,
+    /// Repository vectors indexed.
+    pub vectors: u64,
+    /// Non-empty leaf cells of `HG_RV`.
+    pub cells: u64,
+    /// Total postings entries (Σ per-cell distinct columns).
+    pub postings: u64,
+    /// Histogram of per-cell postings length (distinct columns per
+    /// non-empty leaf cell).
+    pub postings_len: HistSnapshot,
+    /// Histogram of per-cell occupancy (vectors per non-empty leaf
+    /// cell).
+    pub cell_occupancy: HistSnapshot,
+    /// Per-pivot coordinate spread, pivot order.
+    pub pivot_spread: Vec<PivotSpread>,
+}
+
+/// A whole deployment's introspection: every partition plus the delta
+/// overlay depth. The delta fields are filled by the owner of the
+/// overlay (the serve tier); a bare in-memory index reports zeros.
+#[derive(Debug, Clone, Default)]
+pub struct IndexInspection {
+    pub partitions: Vec<PartitionInspection>,
+    /// Live columns ingested into the delta overlay since the base build.
+    pub delta_columns: u64,
+    /// Vectors those delta columns hold.
+    pub delta_vectors: u64,
+    /// Tables tombstoned in the delta log.
+    pub delta_tombstones: u64,
+    /// Raw delta-log records replayed (appends + tombstones).
+    pub delta_records: u64,
+}
+
+impl PartitionInspection {
+    /// Derive the statistics of one partition by walking its inverted
+    /// index and mapped coordinates. `deleted` marks tombstoned columns;
+    /// `mapped_iter` yields each vector's pivot-space coordinates.
+    pub fn derive<'a>(
+        inv: &crate::invindex::InvertedIndex,
+        deleted: &[bool],
+        num_vectors: u64,
+        mapped_iter: impl Iterator<Item = &'a [f32]>,
+        num_pivots: usize,
+    ) -> Self {
+        let postings_len = AtomicHistogram::new();
+        let cell_occupancy = AtomicHistogram::new();
+        let mut postings = 0u64;
+        for (_key, cell) in inv.iter_cells() {
+            postings_len.record(cell.cols.len() as u64);
+            cell_occupancy.record(cell.vecs.len() as u64);
+            postings += cell.cols.len() as u64;
+        }
+        let mut mins = vec![f32::INFINITY; num_pivots];
+        let mut maxs = vec![f32::NEG_INFINITY; num_pivots];
+        let mut sums = vec![0f64; num_pivots];
+        let mut n = 0u64;
+        for coords in mapped_iter {
+            n += 1;
+            for (p, &c) in coords.iter().enumerate() {
+                mins[p] = mins[p].min(c);
+                maxs[p] = maxs[p].max(c);
+                sums[p] += c as f64;
+            }
+        }
+        let pivot_spread = (0..num_pivots)
+            .map(|p| PivotSpread {
+                min: if n == 0 { 0.0 } else { mins[p] },
+                max: if n == 0 { 0.0 } else { maxs[p] },
+                mean: if n == 0 {
+                    0.0
+                } else {
+                    (sums[p] / n as f64) as f32
+                },
+            })
+            .collect();
+        Self {
+            columns: deleted.len() as u64,
+            deleted_columns: deleted.iter().filter(|&&d| d).count() as u64,
+            vectors: num_vectors,
+            cells: inv.num_cells() as u64,
+            postings,
+            postings_len: postings_len.snapshot(),
+            cell_occupancy: cell_occupancy.snapshot(),
+            pivot_spread,
+        }
+    }
+}
+
+impl IndexInspection {
+    /// Merge the per-partition statistics into whole-deployment totals:
+    /// (columns, deleted, vectors, cells, postings).
+    pub fn totals(&self) -> (u64, u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0, 0);
+        for p in &self.partitions {
+            t.0 += p.columns;
+            t.1 += p.deleted_columns;
+            t.2 += p.vectors;
+            t.3 += p.cells;
+            t.4 += p.postings;
+        }
+        t
+    }
+
+    /// Postings-length histogram summed over every partition.
+    pub fn postings_len(&self) -> HistSnapshot {
+        self.merged(|p| &p.postings_len)
+    }
+
+    /// Cell-occupancy histogram summed over every partition.
+    pub fn cell_occupancy(&self) -> HistSnapshot {
+        self.merged(|p| &p.cell_occupancy)
+    }
+
+    fn merged(&self, pick: impl Fn(&PartitionInspection) -> &HistSnapshot) -> HistSnapshot {
+        let mut out = AtomicHistogram::new().snapshot();
+        for p in &self.partitions {
+            out.merge(pick(p));
+        }
+        out
+    }
+
+    /// The `key=value` text body the `INSPECT` verb answers with: totals,
+    /// overlay depth, histogram quantiles, and per-partition lines.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let (columns, deleted, vectors, cells, postings) = self.totals();
+        let _ = writeln!(out, "partitions={}", self.partitions.len());
+        let _ = writeln!(out, "columns={columns}");
+        let _ = writeln!(out, "deleted_columns={deleted}");
+        let _ = writeln!(out, "vectors={vectors}");
+        let _ = writeln!(out, "cells={cells}");
+        let _ = writeln!(out, "postings={postings}");
+        let _ = writeln!(out, "delta_columns={}", self.delta_columns);
+        let _ = writeln!(out, "delta_vectors={}", self.delta_vectors);
+        let _ = writeln!(out, "delta_tombstones={}", self.delta_tombstones);
+        let _ = writeln!(out, "delta_records={}", self.delta_records);
+        let mut hist_lines = |name: &str, h: &HistSnapshot| {
+            let _ = writeln!(out, "{name}.p50={}", h.quantile(0.5));
+            let _ = writeln!(out, "{name}.p99={}", h.quantile(0.99));
+            let _ = writeln!(out, "{name}.mean={:.2}", h.mean());
+        };
+        hist_lines("postings_len", &self.postings_len());
+        hist_lines("cell_occupancy", &self.cell_occupancy());
+        for (i, p) in self.partitions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "partition{i}.columns={} partition{i}.deleted={} partition{i}.vectors={} \
+                 partition{i}.cells={} partition{i}.postings={}",
+                p.columns, p.deleted_columns, p.vectors, p.cells, p.postings
+            );
+            if !p.pivot_spread.is_empty() {
+                let widths: Vec<f32> = p.pivot_spread.iter().map(|s| s.max - s.min).collect();
+                let min_w = widths.iter().copied().fold(f32::INFINITY, f32::min);
+                let max_w = widths.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mean_w = widths.iter().sum::<f32>() / widths.len() as f32;
+                let _ = writeln!(
+                    out,
+                    "partition{i}.pivot_spread.min={min_w:.4} \
+                     partition{i}.pivot_spread.max={max_w:.4} \
+                     partition{i}.pivot_spread.mean={mean_w:.4}"
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridParams;
+    use crate::invindex::InvertedIndex;
+    use crate::mapping::MappedVectors;
+
+    fn tiny_index() -> (InvertedIndex, MappedVectors) {
+        // Two pivots, one-level grid over span 4: cell width 4/2 = 2.
+        let params = GridParams::new(2, 1, 4.0).unwrap();
+        let mapped = MappedVectors::from_raw(
+            2,
+            vec![
+                0.5, 0.5, // cell (0,0) — col 0
+                0.6, 0.4, // cell (0,0) — col 0 again
+                3.0, 0.5, // cell (1,0) — col 1
+            ],
+        )
+        .unwrap();
+        let inv = InvertedIndex::build(&params, &mapped, &[0, 0, 1]).unwrap();
+        (inv, mapped)
+    }
+
+    #[test]
+    fn partition_inspection_counts_cells_and_postings() {
+        let (inv, mapped) = tiny_index();
+        let p = PartitionInspection::derive(&inv, &[false, true], 3, mapped.iter(), 2);
+        assert_eq!(p.columns, 2);
+        assert_eq!(p.deleted_columns, 1);
+        assert_eq!(p.vectors, 3);
+        assert_eq!(p.cells, 2);
+        // Cell (0,0) holds one column, cell (1,0) one column.
+        assert_eq!(p.postings, 2);
+        assert_eq!(p.postings_len.count, 2);
+        assert_eq!(p.cell_occupancy.count, 2);
+        // Occupancies are 2 and 1 vectors.
+        assert_eq!(p.cell_occupancy.sum, 3);
+        assert_eq!(p.pivot_spread.len(), 2);
+        let s0 = &p.pivot_spread[0];
+        assert!((s0.min - 0.5).abs() < 1e-6 && (s0.max - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inspection_totals_and_render() {
+        let (inv, mapped) = tiny_index();
+        let p = PartitionInspection::derive(&inv, &[false, false], 3, mapped.iter(), 2);
+        let insp = IndexInspection {
+            partitions: vec![p.clone(), p],
+            delta_columns: 4,
+            delta_vectors: 9,
+            delta_tombstones: 1,
+            delta_records: 5,
+        };
+        assert_eq!(insp.totals(), (4, 0, 6, 4, 4));
+        assert_eq!(insp.postings_len().count, 4);
+        let text = insp.render_text();
+        assert!(text.contains("partitions=2"), "{text}");
+        assert!(text.contains("vectors=6"), "{text}");
+        assert!(text.contains("delta_columns=4"), "{text}");
+        assert!(text.contains("partition1.cells=2"), "{text}");
+        assert!(text.contains("postings_len.p50="), "{text}");
+    }
+
+    #[test]
+    fn empty_inspection_renders_zeros() {
+        let insp = IndexInspection::default();
+        let text = insp.render_text();
+        assert!(text.contains("partitions=0"), "{text}");
+        assert!(text.contains("columns=0"), "{text}");
+    }
+}

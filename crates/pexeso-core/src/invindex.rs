@@ -144,6 +144,13 @@ impl InvertedIndex {
         self.cells.len()
     }
 
+    /// Every non-empty leaf cell with its postings, arbitrary order —
+    /// introspection walks this to histogram postings lengths and cell
+    /// occupancy without exposing the map itself.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (&CellKey, &CellPostings)> {
+        self.cells.iter()
+    }
+
     /// Total postings entries (Σ per-cell distinct columns) — the paper's
     /// `D` in the construction complexity.
     pub fn total_postings(&self) -> usize {

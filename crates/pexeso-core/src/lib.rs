@@ -84,13 +84,16 @@ pub mod cost;
 pub mod daat;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod fault;
 pub mod grid;
 pub mod hist;
 pub mod histogram;
+pub mod inspect;
 pub mod invindex;
 pub mod kernel;
 pub mod lemmas;
+pub mod log;
 pub mod mapping;
 pub mod metric;
 pub mod oracle;
@@ -113,6 +116,7 @@ pub mod prelude {
         ExecPolicy, IndexOptions, JoinThreshold, LemmaFlags, PivotSelection, Tau,
     };
     pub use crate::error::{PexesoError, Result};
+    pub use crate::explain::{ExplainReport, FunnelStage, TopkExplain};
     pub use crate::metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
     pub use crate::outofcore::{GlobalHit, LakeManifest, PartitionedLake, ResidentPartitions};
     pub use crate::partition::{PartitionConfig, PartitionMethod};

@@ -530,6 +530,35 @@ pub fn execute_on_index_premapped<M: Metric>(
     guard: &mut Option<BudgetGuard>,
     premapped: Option<&crate::mapping::MappedVectors>,
 ) -> Result<(Vec<GlobalHit>, SearchStats, Option<Exceeded>)> {
+    let (hits, stats, exceeded, _) =
+        execute_on_index_explained(index, query, vectors, guard, premapped)?;
+    Ok((hits, stats, exceeded))
+}
+
+/// What one explained single-index execution yields: hits, stats, the
+/// tripped budget (if any), and the best-first top-k trajectory when
+/// the query asked for an explain report.
+pub type ExplainedExecution = (
+    Vec<GlobalHit>,
+    SearchStats,
+    Option<Exceeded>,
+    Option<crate::explain::TopkExplain>,
+);
+
+/// [`execute_on_index_premapped`], additionally returning the best-first
+/// top-k trajectory ([`crate::explain::TopkExplain`]) when the query
+/// asked for an explain report and ran the best-first engine. Recording
+/// is read-only over values the loop already computes, so hits, stats,
+/// and outcome are byte-identical whether or not `query.explain` is set
+/// (`tests/explain.rs` pins this). For a tie-driven re-query the
+/// trajectory reflects the final (answering) pass.
+pub fn execute_on_index_explained<M: Metric>(
+    index: &PexesoIndex<M>,
+    query: &Query,
+    vectors: &VectorStore,
+    guard: &mut Option<BudgetGuard>,
+    premapped: Option<&crate::mapping::MappedVectors>,
+) -> Result<ExplainedExecution> {
     match query.mode {
         QueryMode::Threshold(t) => {
             let (hits, stats, exceeded) = index.threshold_inner(
@@ -543,13 +572,17 @@ pub fn execute_on_index_premapped<M: Metric>(
             if let Some(g) = guard.as_mut() {
                 g.advance(stats.distance_computations);
             }
-            Ok((resolve_global_hits(index, hits), stats, exceeded))
+            Ok((resolve_global_hits(index, hits), stats, exceeded, None))
         }
         QueryMode::Topk(k) => {
             if k == 0 {
-                return Ok((Vec::new(), SearchStats::new(), None));
+                return Ok((Vec::new(), SearchStats::new(), None, None));
             }
             let mut total = SearchStats::new();
+            let mut trajectory = query
+                .explain
+                .then(crate::explain::TopkExplain::default)
+                .filter(|_| query.options.topk_strategy == crate::search::TopkStrategy::BestFirst);
             // Ask for one extra slot up front: when the (k+1)-th entry's
             // count falls strictly below the k-th's, every column tied
             // with the boundary is provably already in the list (any
@@ -558,6 +591,11 @@ pub fn execute_on_index_premapped<M: Metric>(
             // of a doubling re-query.
             let mut kk = k.saturating_add(1);
             loop {
+                // A re-query's trajectory replaces the previous pass's:
+                // the report describes the pass that produced the answer.
+                if let Some(t) = trajectory.as_mut() {
+                    *t = crate::explain::TopkExplain::default();
+                }
                 let (ranked, stats, exceeded) = index.topk_inner(
                     vectors,
                     query.tau,
@@ -565,6 +603,7 @@ pub fn execute_on_index_premapped<M: Metric>(
                     query.options,
                     guard.as_ref(),
                     premapped,
+                    trajectory.as_mut(),
                 )?;
                 total.merge(&stats);
                 if let Some(g) = guard.as_mut() {
@@ -587,7 +626,7 @@ pub fn execute_on_index_premapped<M: Metric>(
                             }
                         })
                         .collect();
-                    return Ok((hits, total, exceeded));
+                    return Ok((hits, total, exceeded, trajectory));
                 }
                 kk = kk.saturating_mul(2);
             }
@@ -623,12 +662,7 @@ where
 {
     let started = Instant::now();
     if let QueryMode::Topk(0) = query.mode {
-        return Ok(QueryResponse {
-            hits: Vec::new(),
-            stats: SearchStats::new(),
-            outcome: QueryOutcome::Exact,
-            trace: None,
-        });
+        return Ok(empty_topk_response(query));
     }
     let inner = Query {
         options: query.options.demoted_under(query.policy),
@@ -697,12 +731,32 @@ where
         }
         crate::trace::QueryTrace::new(root)
     });
+    let explain = query.explain.then(|| {
+        crate::explain::ExplainReport::from_stats(query, &stats, hits.len() as u64, outcome, None)
+    });
     Ok(QueryResponse {
         hits,
         stats,
         outcome,
         trace,
+        explain,
     })
+}
+
+/// A [`QueryResponse`] for the `Topk(0)` fast path: no hits, zeroed
+/// stats, and (when asked) an all-zero explain funnel.
+fn empty_topk_response(query: &Query) -> QueryResponse {
+    let stats = SearchStats::new();
+    let explain = query.explain.then(|| {
+        crate::explain::ExplainReport::from_stats(query, &stats, 0, QueryOutcome::Exact, None)
+    });
+    QueryResponse {
+        hits: Vec::new(),
+        stats,
+        outcome: QueryOutcome::Exact,
+        trace: None,
+        explain,
+    }
 }
 
 /// The batched counterpart of [`execute_partitioned`]: answer many query
@@ -740,15 +794,7 @@ where
         return Ok(Vec::new());
     }
     if let QueryMode::Topk(0) = query.mode {
-        return Ok(columns
-            .iter()
-            .map(|_| QueryResponse {
-                hits: Vec::new(),
-                stats: SearchStats::new(),
-                outcome: QueryOutcome::Exact,
-                trace: None,
-            })
-            .collect());
+        return Ok(columns.iter().map(|_| empty_topk_response(query)).collect());
     }
     let inner = Query {
         options: query.options.demoted_under(query.policy),
@@ -838,11 +884,21 @@ where
                 }
                 crate::trace::QueryTrace::new(root)
             });
+            let explain = query.explain.then(|| {
+                crate::explain::ExplainReport::from_stats(
+                    query,
+                    &stats,
+                    hits.len() as u64,
+                    outcome,
+                    None,
+                )
+            });
             QueryResponse {
                 hits,
                 stats,
                 outcome,
                 trace,
+                explain,
             }
         })
         .collect())

@@ -76,6 +76,7 @@ use std::time::{Duration, Instant};
 
 use crate::config::{ExecPolicy, JoinThreshold, LemmaFlags, Tau};
 use crate::error::Result;
+use crate::explain::ExplainReport;
 use crate::outofcore::GlobalHit;
 use crate::search::SearchOptions;
 use crate::stats::SearchStats;
@@ -177,6 +178,18 @@ pub struct Query {
     /// work beyond one branch per execution; any other level attaches a
     /// [`QueryTrace`] to the response. Tracing never changes results.
     pub trace: TraceLevel,
+    /// Correlation id minted at the outermost hop
+    /// ([`crate::log::mint_request_id`]) and propagated unchanged to
+    /// every backend/shard, so one id links structured-log lines, SLOW
+    /// entries, and merged trace spans across the fleet. `None` (the
+    /// default) means the request is uncorrelated; results never depend
+    /// on it.
+    pub request_id: Option<u64>,
+    /// Whether to attach an [`ExplainReport`] (the candidate funnel and
+    /// pruning decisions) to the response. Off by default; the report
+    /// is a pure function of the final stats, so enabling it never
+    /// changes hits or stats (`tests/explain.rs` pins this).
+    pub explain: bool,
 }
 
 impl Query {
@@ -189,6 +202,8 @@ impl Query {
             metric: None,
             budget: QueryBudget::default(),
             trace: TraceLevel::Off,
+            request_id: None,
+            explain: false,
         }
     }
 
@@ -262,6 +277,20 @@ impl Query {
         self.trace = level;
         self
     }
+
+    /// Tag the query with a fleet-wide correlation id (see
+    /// [`Query::request_id`]).
+    pub fn with_request_id(mut self, rid: u64) -> Self {
+        self.request_id = Some(rid);
+        self
+    }
+
+    /// Request an [`ExplainReport`] alongside the hits. Results are
+    /// unchanged; the response additionally carries the funnel.
+    pub fn with_explain(mut self, on: bool) -> Self {
+        self.explain = on;
+        self
+    }
 }
 
 /// The unified answer to a [`Query`]: globally-identified hits, the usual
@@ -277,6 +306,9 @@ pub struct QueryResponse {
     /// ([`Query::with_trace`] with a level other than
     /// [`TraceLevel::Off`]).
     pub trace: Option<QueryTrace>,
+    /// Candidate-funnel report, present iff the query asked for one
+    /// ([`Query::with_explain`]).
+    pub explain: Option<ExplainReport>,
 }
 
 impl QueryResponse {
@@ -400,10 +432,17 @@ mod tests {
             .expect_metric("manhattan")
             .with_max_distance_computations(1000)
             .with_deadline(Duration::from_millis(50))
-            .with_trace(TraceLevel::Phases);
+            .with_trace(TraceLevel::Phases)
+            .with_request_id(0xabcd)
+            .with_explain(true);
         assert_eq!(q.mode, QueryMode::Topk(7));
         assert_eq!(q.trace, TraceLevel::Phases);
-        assert_eq!(Query::topk(Tau::Ratio(0.06), 7).trace, TraceLevel::Off);
+        assert_eq!(q.request_id, Some(0xabcd));
+        assert!(q.explain);
+        let default = Query::topk(Tau::Ratio(0.06), 7);
+        assert_eq!(default.trace, TraceLevel::Off);
+        assert_eq!(default.request_id, None);
+        assert!(!default.explain);
         assert!(!q.options.flags.lemma1_vector_filter);
         assert!(!q.options.quick_browse);
         assert_eq!(q.options.exec, ExecPolicy::Parallel { threads: 2 });

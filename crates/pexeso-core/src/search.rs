@@ -409,6 +409,7 @@ impl<M: Metric> PexesoIndex<M> {
     /// [`SearchOptions::topk_strategy`]; both strategies honour the
     /// optional budget (best-first checks per batch round, exhaustive per
     /// query vector of its full scan).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn topk_inner(
         &self,
         query: &VectorStore,
@@ -417,6 +418,7 @@ impl<M: Metric> PexesoIndex<M> {
         opts: SearchOptions,
         budget: Option<&BudgetGuard>,
         premapped: Option<&MappedVectors>,
+        explain: Option<&mut crate::explain::TopkExplain>,
     ) -> Result<RankedTopk> {
         self.validate_query(query)?;
         let tau_abs = tau.resolve(&self.metric, self.columns.dim())?;
@@ -454,7 +456,7 @@ impl<M: Metric> PexesoIndex<M> {
                 );
                 let seed = crate::cost::topk_seed(&bounds, k);
                 verify_topk_budgeted(
-                    &ctx, &blocked, &bounds, seed, k, &mut stats, opts.exec, budget,
+                    &ctx, &blocked, &bounds, seed, k, &mut stats, opts.exec, budget, explain,
                 )
             }
             TopkStrategy::Exhaustive => {
@@ -483,7 +485,7 @@ impl<M: Metric> PexesoIndex<M> {
     #[deprecated(note = "use `Queryable::execute` with `Query::topk(tau, k)`")]
     pub fn search_topk(&self, query: &VectorStore, tau: Tau, k: usize) -> Result<SearchResult> {
         let (ranked, stats, _) =
-            self.topk_inner(query, tau, k, SearchOptions::default(), None, None)?;
+            self.topk_inner(query, tau, k, SearchOptions::default(), None, None, None)?;
         Ok(SearchResult {
             hits: ranked_to_hits(ranked),
             stats,
@@ -526,7 +528,7 @@ impl<M: Metric> PexesoIndex<M> {
             topk_strategy: TopkStrategy::BestFirst,
             ..opts
         };
-        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None, None)?;
+        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None, None, None)?;
         Ok(SearchResult {
             hits: ranked_to_hits(ranked),
             stats,
@@ -550,7 +552,7 @@ impl<M: Metric> PexesoIndex<M> {
             topk_strategy: TopkStrategy::Exhaustive,
             ..Default::default()
         };
-        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None, None)?;
+        let (ranked, stats, _) = self.topk_inner(query, tau, k, opts, None, None, None)?;
         Ok(SearchResult {
             hits: ranked_to_hits(ranked),
             stats,
@@ -578,7 +580,7 @@ impl<M: Metric> PexesoIndex<M> {
             range
                 .map(|i| {
                     let (ranked, stats, _) =
-                        self.topk_inner(queries[i].as_ref(), tau, k, inner_opts, None, None)?;
+                        self.topk_inner(queries[i].as_ref(), tau, k, inner_opts, None, None, None)?;
                     Ok(SearchResult {
                         hits: ranked_to_hits(ranked),
                         stats,
@@ -646,6 +648,20 @@ impl<M: Metric> PexesoIndex<M> {
     /// Number of live (non-deleted) columns.
     pub fn live_columns(&self) -> usize {
         self.deleted.iter().filter(|&&d| !d).count()
+    }
+
+    /// Structural statistics of this index — column/vector counts, cell
+    /// histograms, pivot spread — for the introspection plane (see
+    /// [`crate::inspect`]). One read-only walk over the inverted index
+    /// and mapped coordinates.
+    pub fn inspect(&self) -> crate::inspect::PartitionInspection {
+        crate::inspect::PartitionInspection::derive(
+            &self.inv,
+            &self.deleted,
+            self.rv_mapped.len() as u64,
+            self.rv_mapped.iter(),
+            self.pivots.len(),
+        )
     }
 
     /// Rebuild without tombstoned columns, reclaiming their space.
@@ -837,7 +853,7 @@ impl<M: Metric> PexesoIndex<M> {
     ) -> Result<QueryResponse> {
         self.check_metric_expectation(query)?;
         let mut guard = BudgetGuard::start(&query.budget);
-        let (mut hits, stats, exceeded) = crate::outofcore::execute_on_index_premapped(
+        let (mut hits, stats, exceeded, trajectory) = crate::outofcore::execute_on_index_explained(
             self, query, vectors, &mut guard, premapped,
         )?;
         let mut outcome = QueryOutcome::Exact;
@@ -860,11 +876,21 @@ impl<M: Metric> PexesoIndex<M> {
                 merge,
             ))
         });
+        let explain = query.explain.then(|| {
+            crate::explain::ExplainReport::from_stats(
+                query,
+                &stats,
+                hits.len() as u64,
+                outcome,
+                trajectory,
+            )
+        });
         Ok(QueryResponse {
             hits,
             stats,
             outcome,
             trace,
+            explain,
         })
     }
 

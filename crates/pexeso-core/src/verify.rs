@@ -46,6 +46,7 @@ use crate::column::{ColumnId, ColumnSet};
 use crate::config::{ExecPolicy, LemmaFlags};
 use crate::cost::ColumnMatchBounds;
 use crate::exec;
+use crate::explain::TopkExplain;
 use crate::invindex::{CellPostings, InvertedIndex};
 use crate::lemmas;
 use crate::mapping::MappedVectors;
@@ -440,7 +441,7 @@ pub fn verify_topk<M: Metric>(
     stats: &mut SearchStats,
     policy: ExecPolicy,
 ) -> Vec<(u32, ColumnId)> {
-    verify_topk_budgeted(ctx, blocked, bounds, seed, k, stats, policy, None).0
+    verify_topk_budgeted(ctx, blocked, bounds, seed, k, stats, policy, None, None).0
 }
 
 /// [`verify_topk`] under an optional per-query budget. The limits are
@@ -450,6 +451,12 @@ pub fn verify_topk<M: Metric>(
 /// cutoff lands at the same round for every [`ExecPolicy`]. On a trip the
 /// ranking over the columns verified so far is returned together with the
 /// tripped limit.
+///
+/// `explain`, when present, records the loop's story — seeded threshold,
+/// survivors, per-round bound trajectory, (a capped sample of) the
+/// bound-pruned columns — into a [`TopkExplain`]. Recording reads values
+/// the loop already computes, so it can never change the ranking or any
+/// [`SearchStats`] counter; `None` costs one branch per round.
 #[allow(clippy::too_many_arguments)]
 pub fn verify_topk_budgeted<M: Metric>(
     ctx: &VerifyContext<'_, M>,
@@ -460,6 +467,7 @@ pub fn verify_topk_budgeted<M: Metric>(
     stats: &mut SearchStats,
     policy: ExecPolicy,
     budget: Option<&BudgetGuard>,
+    mut explain: Option<&mut TopkExplain>,
 ) -> (Vec<(u32, ColumnId)>, Option<Exceeded>) {
     let n_cols = ctx.columns.n_columns();
     if k == 0 {
@@ -478,11 +486,18 @@ pub fn verify_topk_budgeted<M: Metric>(
         if let Some(bar) = seed {
             if beats(bar, (ub, c as u32)) {
                 stats.topk_pruned += 1;
+                if let Some(ex) = explain.as_deref_mut() {
+                    ex.record_pruned_column(c as u32, ub);
+                }
                 continue;
             }
         }
         *alive = true;
         order.push(c as u32);
+    }
+    if let Some(ex) = explain.as_deref_mut() {
+        ex.seed = seed.map(|(count, _)| count);
+        ex.survivors = order.len() as u64;
     }
     let plans = build_plans(ctx.inv, blocked, &survivor, ctx.query.len(), policy);
 
@@ -551,6 +566,9 @@ pub fn verify_topk_budgeted<M: Metric>(
         if let Some((bc, _)) = bar {
             if suffix_max_ub[i] < bc {
                 stats.topk_pruned += (order.len() - i) as u64;
+                if let Some(ex) = explain.as_deref_mut() {
+                    ex.suffix_stop = true;
+                }
                 break;
             }
         }
@@ -558,13 +576,27 @@ pub fn verify_topk_budgeted<M: Metric>(
         // Keep only batch members whose own best case can still rank at
         // or above the bar; the rest are pruned individually.
         let mut batch: Vec<u32> = Vec::with_capacity(end - i);
+        let mut round_pruned = 0u32;
         for &c in &order[i..end] {
             match bar {
-                Some(b) if beats(b, (bounds.upper[c as usize], c)) => stats.topk_pruned += 1,
+                Some(b) if beats(b, (bounds.upper[c as usize], c)) => {
+                    stats.topk_pruned += 1;
+                    round_pruned += 1;
+                    if let Some(ex) = explain.as_deref_mut() {
+                        ex.record_pruned_column(c, bounds.upper[c as usize]);
+                    }
+                }
                 _ => batch.push(c),
             }
         }
         i = end;
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.rounds.push(crate::explain::TopkRound {
+                bar: bar.map(|(count, _)| count),
+                batch: batch.len() as u32,
+                pruned: round_pruned,
+            });
+        }
         if batch.is_empty() {
             continue;
         }

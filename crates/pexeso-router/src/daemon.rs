@@ -34,7 +34,8 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use pexeso_core::error::Result;
-use pexeso_core::query::{Query, QueryBudget, QueryMode, Queryable};
+use pexeso_core::log::{self as plog, LogLevel, Value};
+use pexeso_core::query::{Query, QueryBudget, QueryMode};
 use pexeso_core::vector::VectorStore;
 use pexeso_serve::metrics::{write_histogram_series, EndpointMetrics, SlowQueryLog};
 use pexeso_serve::protocol::{
@@ -278,6 +279,15 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                 .metrics
                 .busy_rejections
                 .fetch_add(1, Ordering::Relaxed);
+            plog::log(
+                LogLevel::Warn,
+                "router",
+                "busy_rejected",
+                &[(
+                    "queue_capacity",
+                    Value::U64(shared.config.queue_capacity as u64),
+                )],
+            );
             let _ = stream.set_write_timeout(Some(shared.config.reject_write_timeout));
             let _ = write_frame(&mut stream, &encode_reply(&Reply::Busy));
         } else {
@@ -412,6 +422,15 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
                     let shards = fresh.shard_count() as u32;
                     let generation = fresh.generation();
                     *shared.router.write().expect("router lock poisoned") = Arc::new(fresh);
+                    plog::log(
+                        LogLevel::Info,
+                        "router",
+                        "map_reloaded",
+                        &[
+                            ("generation", Value::U64(generation)),
+                            ("shards", Value::U64(shards as u64)),
+                        ],
+                    );
                     // `partitions` reports shard count at this tier: the
                     // router's units of spread are shards, not partition
                     // files it cannot see.
@@ -421,7 +440,16 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
                     }
                 }
                 // A failed reload keeps routing on the old table.
-                Err(e) => error_reply(&shared.metrics.admin, e.to_string()),
+                Err(e) => {
+                    let message = e.to_string();
+                    plog::log(
+                        LogLevel::Error,
+                        "router",
+                        "map_reload_failed",
+                        &[("error", Value::Str(&message))],
+                    );
+                    error_reply(&shared.metrics.admin, message)
+                }
             };
             shared.metrics.admin.record(started.elapsed());
             reply
@@ -446,7 +474,49 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
             shared.metrics.apply.record(started.elapsed());
             reply
         }
-        Request::Shutdown => Reply::ShuttingDown,
+        Request::Inspect => {
+            let text = current_router(shared).inspect_text();
+            shared.metrics.admin.record(started.elapsed());
+            Reply::Stats { text }
+        }
+        Request::Health => {
+            let draining = shared.shutting_down.load(Ordering::SeqCst);
+            let text = current_router(shared).health_text(draining);
+            shared.metrics.admin.record(started.elapsed());
+            Reply::Stats { text }
+        }
+        Request::Drain { addr, drained } => {
+            let matched = current_router(shared).set_drained(&addr, drained);
+            let reply = if matched == 0 {
+                error_reply(
+                    &shared.metrics.admin,
+                    format!("no replica with address {addr} in the shard map"),
+                )
+            } else {
+                plog::log(
+                    LogLevel::Info,
+                    "router",
+                    "replica_drained",
+                    &[
+                        ("addr", Value::Str(&addr)),
+                        ("drained", Value::Bool(drained)),
+                        ("replicas", Value::U64(matched as u64)),
+                    ],
+                );
+                Reply::Stats {
+                    text: format!(
+                        "drained={} addr={addr} replicas={matched}\n",
+                        if drained { 1 } else { 0 }
+                    ),
+                }
+            };
+            shared.metrics.admin.record(started.elapsed());
+            reply
+        }
+        Request::Shutdown => {
+            plog::log(LogLevel::Info, "router", "shutdown_requested", &[]);
+            Reply::ShuttingDown
+        }
         Request::Search { .. } | Request::Topk { .. } => {
             handle_query(shared, req, started, queue_wait)
         }
@@ -488,6 +558,7 @@ fn handle_query(
     // not a result.
     if let (Some(wait), Some(deadline)) = (queue_wait, payload_deadline(payload)) {
         if wait >= deadline {
+            log_deadline_expired(payload.request_id, wait);
             endpoint.record(started.elapsed());
             return Reply::DeadlineExpired {
                 waited_ms: wait.as_millis() as u64,
@@ -525,7 +596,12 @@ fn run_query(
     if !payload.metric.is_empty() {
         query = query.expect_metric(&payload.metric);
     }
-    query = query.with_trace(payload.trace);
+    query = query
+        .with_trace(payload.trace)
+        .with_explain(payload.explain);
+    if let Some(rid) = payload.request_id {
+        query = query.with_request_id(rid);
+    }
     if let Some(ext) = &payload.ext {
         query.options.flags = ext.flags;
         query.options.quick_browse = ext.quick_browse;
@@ -537,14 +613,22 @@ fn run_query(
             }),
         };
     }
-    let resp = router.execute(&query, &store).map_err(|e| e.to_string())?;
+    let (resp, meta) = router
+        .execute_routed(&query, &store)
+        .map_err(|e| e.to_string())?;
     if payload.trace.enabled() {
         let verb = match mode {
             QueryMode::Threshold(_) => "search",
             QueryMode::Topk(_) => "topk",
         };
         let rendered = resp.trace.as_ref().map(|t| t.render()).unwrap_or_default();
-        shared.slow_log.offer(verb, resp.stats.total_time, rendered);
+        shared.slow_log.offer_correlated(
+            verb,
+            resp.stats.total_time,
+            rendered,
+            meta.request_id,
+            meta.slowest_shard,
+        );
     }
     let v2 = payload.ext.is_some();
     Ok(HitsReply {
@@ -556,7 +640,27 @@ fn run_query(
             distance_computations: resp.stats.distance_computations,
         }),
         trace: payload.trace.enabled().then_some(resp.trace).flatten(),
+        explain: resp.explain.map(Box::new),
     })
+}
+
+/// Warn (with the correlation id, when the frame carried one) that a
+/// request's deadline expired while it sat in the accept queue.
+fn log_deadline_expired(request_id: Option<u64>, wait: Duration) {
+    if !plog::enabled(LogLevel::Warn) {
+        return;
+    }
+    let mut fields: Vec<(&str, Value)> = Vec::with_capacity(2);
+    if let Some(rid) = request_id {
+        fields.push(("rid", Value::Rid(rid)));
+    }
+    fields.push(("waited_ms", Value::U64(wait.as_millis() as u64)));
+    plog::log(
+        LogLevel::Warn,
+        "router",
+        "deadline_expired_in_queue",
+        &fields,
+    );
 }
 
 /// Answer a V4 batch frame: one pinned routing table, per-column answers
@@ -578,6 +682,7 @@ fn handle_batch(
         .map(Duration::from_millis);
     if let (Some(wait), Some(deadline)) = (queue_wait, deadline) {
         if wait >= deadline {
+            log_deadline_expired(batch.request_id, wait);
             endpoint.record(started.elapsed());
             return Reply::DeadlineExpired {
                 waited_ms: wait.as_millis() as u64,
@@ -594,6 +699,8 @@ fn handle_batch(
             vectors: vectors.clone(),
             ext: batch.ext,
             trace: batch.trace,
+            request_id: batch.request_id,
+            explain: false,
         };
         match run_query(shared, &solo, mode, queue_wait) {
             Ok(hits) => replies.push(hits),

@@ -43,7 +43,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pexeso_core::error::{PexesoError, Result};
+use pexeso_core::explain::ExplainReport;
 use pexeso_core::hist::{AtomicHistogram, HistSnapshot};
+use pexeso_core::log::{self as plog, LogLevel, Value};
 use pexeso_core::outofcore::GlobalHit;
 use pexeso_core::query::{
     fold_outcome, rank_topk_hits, sort_threshold_hits, Query, QueryMode, QueryOutcome,
@@ -79,6 +81,7 @@ struct ShardAnswer {
     stats: SearchStats,
     outcome: QueryOutcome,
     trace: Option<QueryTrace>,
+    explain: Option<ExplainReport>,
     /// Offset of this shard's first attempt on the router clock (µs).
     start_us: u64,
     duration_us: u64,
@@ -299,7 +302,7 @@ impl Router {
             QueryMode::Threshold(_) => 0,
         };
         let mut ask = k;
-        let (hits, trace) = loop {
+        let (hits, trace, explain) = loop {
             let mut attempt = query.clone();
             if let QueryMode::Topk(_) = query.mode {
                 attempt.mode = QueryMode::Topk(ask);
@@ -336,7 +339,7 @@ impl Router {
                 || removed <= ask - k
                 || outcome != QueryOutcome::Exact;
             if done {
-                break (hits, resp.trace.take());
+                break (hits, resp.trace.take(), resp.explain.take());
             }
             ask = k + removed;
             reasks += 1;
@@ -349,6 +352,7 @@ impl Router {
             stats,
             outcome,
             trace,
+            explain,
             start_us,
             duration_us: started.elapsed().as_micros() as u64 - start_us,
             reasks,
@@ -412,14 +416,32 @@ impl Router {
 
     /// Merge per-shard answers exactly like `execute_partitioned` merges
     /// partitions: stats fold in shard order, outcomes fold typed, and
-    /// the final ranking is the unified one.
-    fn merge(&self, query: &Query, answers: Vec<ShardAnswer>, started: Instant) -> QueryResponse {
+    /// the final ranking is the unified one. Returns the merged response
+    /// plus the index of the slowest scatter leg, so the daemon's SLOW
+    /// log can name the shard that set the latency floor.
+    fn merge(
+        &self,
+        query: &Query,
+        answers: Vec<ShardAnswer>,
+        started: Instant,
+    ) -> (QueryResponse, Option<u32>) {
         let merge_start = query.trace.enabled().then(Instant::now);
         let mut stats = SearchStats::new();
         let mut hits = Vec::new();
         let mut outcome = QueryOutcome::Exact;
         let mut shard_spans = Vec::new();
-        for (i, answer) in answers.into_iter().enumerate() {
+        let mut explain: Option<ExplainReport> = None;
+        let mut slowest: Option<(u32, u64)> = None;
+        for (i, mut answer) in answers.into_iter().enumerate() {
+            if slowest.is_none_or(|(_, d)| answer.duration_us > d) {
+                slowest = Some((i as u32, answer.duration_us));
+            }
+            if let Some(shard_explain) = answer.explain.take() {
+                match &mut explain {
+                    Some(acc) => acc.merge(&shard_explain),
+                    None => explain = Some(shard_explain),
+                }
+            }
             if query.trace.enabled() {
                 let mut span =
                     TraceSpan::new(format!("shard/{i}"), answer.start_us, answer.duration_us)
@@ -459,13 +481,165 @@ impl Router {
             root.children = shard_spans;
             QueryTrace::new(root)
         });
-        QueryResponse {
+        let resp = QueryResponse {
             hits,
             stats,
             outcome,
             trace,
-        }
+            explain,
+        };
+        (resp, slowest.map(|(i, _)| i))
     }
+
+    /// Execute a query and also return its routing metadata — the
+    /// request id the query actually ran under and the slowest scatter
+    /// leg. The router daemon uses this for SLOW-log shard attribution
+    /// and request-correlated structured logs; library callers that only
+    /// want the answer use [`Queryable::execute`].
+    pub fn execute_routed(
+        &self,
+        query: &Query,
+        vectors: &VectorStore,
+    ) -> Result<(QueryResponse, RoutedMeta)> {
+        let started = Instant::now();
+        // Topk(0) answers empty without touching a shard, exactly like
+        // every local backend (including the zero-funnel explain).
+        if let QueryMode::Topk(0) = query.mode {
+            let stats = SearchStats::new();
+            let explain = query
+                .explain
+                .then(|| ExplainReport::from_stats(query, &stats, 0, QueryOutcome::Exact, None));
+            let resp = QueryResponse {
+                hits: Vec::new(),
+                stats,
+                outcome: QueryOutcome::Exact,
+                trace: None,
+                explain,
+            };
+            let meta = RoutedMeta {
+                request_id: query.request_id,
+                slowest_shard: None,
+            };
+            return Ok((resp, meta));
+        }
+        // The router is the outermost hop: when observability is on
+        // (trace, explain, or info-level logging) and the caller didn't
+        // supply a correlation id, mint one here so the router log, every
+        // shard log, and the SLOW entry all share the same handle.
+        let minted;
+        let query = if query.request_id.is_none()
+            && (query.trace.enabled() || query.explain || plog::enabled(LogLevel::Info))
+        {
+            minted = query.clone().with_request_id(plog::mint_request_id());
+            &minted
+        } else {
+            query
+        };
+        let answers = match query.budget.max_distance_computations {
+            Some(cap) => self.execute_budgeted(query, vectors, cap, started)?,
+            None => self.execute_scatter(query, vectors, started)?,
+        };
+        let (resp, slowest_shard) = self.merge(query, answers, started);
+        self.query_latency.record_duration(started.elapsed());
+        if plog::enabled(LogLevel::Info) {
+            let mut fields: Vec<(&str, Value)> = Vec::with_capacity(5);
+            if let Some(rid) = query.request_id {
+                fields.push(("rid", Value::Rid(rid)));
+            }
+            fields.push(("shards", Value::U64(self.shards.len() as u64)));
+            fields.push(("hits", Value::U64(resp.hits.len() as u64)));
+            fields.push((
+                "latency_us",
+                Value::U64(resp.stats.total_time.as_micros() as u64),
+            ));
+            fields.push(("exact", Value::Bool(resp.exact())));
+            plog::log(LogLevel::Info, "router", "query_routed", &fields);
+        }
+        let meta = RoutedMeta {
+            request_id: query.request_id,
+            slowest_shard,
+        };
+        Ok((resp, meta))
+    }
+
+    /// Scatter INSPECT across the shards (first reachable replica of
+    /// each) and gather the answers with every line prefixed
+    /// `shard<N>.`. A shard that cannot answer contributes a
+    /// `shard<N>.error=` line instead of failing the whole verb —
+    /// inspection is diagnostics, and a partial picture beats none.
+    pub fn inspect_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            match shard_inspect(&shard.spec) {
+                Ok(text) => {
+                    for line in text.lines() {
+                        let _ = writeln!(out, "shard{i}.{line}");
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "shard{i}.error={e}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Roll per-shard replica state into one fleet health answer. A
+    /// shard with every replica available (neither drained nor
+    /// circuit-open) is `ready`; with some but not all available it is
+    /// `degraded`; with none it is `down`. The fleet reports the worst
+    /// shard's state, and `draining` overrides everything when the
+    /// daemon is shutting down.
+    pub fn health_text(&self, draining: bool) -> String {
+        use std::fmt::Write as _;
+        fn rank(status: &str) -> u8 {
+            match status {
+                "ready" => 0,
+                "degraded" => 1,
+                _ => 2,
+            }
+        }
+        let statuses = self.shard_statuses();
+        let mut fleet = "ready";
+        let mut body = String::new();
+        for (i, s) in statuses.iter().enumerate() {
+            let total = s.replicas.len();
+            let available = s
+                .replicas
+                .iter()
+                .filter(|r| !r.drained && !r.circuit_open)
+                .count();
+            let status = if available == 0 {
+                "down"
+            } else if available < total {
+                "degraded"
+            } else {
+                "ready"
+            };
+            if rank(status) > rank(fleet) {
+                fleet = status;
+            }
+            let _ = writeln!(body, "shard{i}.status={status}");
+            let _ = writeln!(body, "shard{i}.replicas={total}");
+            let _ = writeln!(body, "shard{i}.available={available}");
+        }
+        if draining {
+            fleet = "draining";
+        }
+        format!("status={fleet}\nshards={}\n{body}", statuses.len())
+    }
+}
+
+/// Metadata about one routed execution, surfaced alongside the response
+/// by [`Router::execute_routed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedMeta {
+    /// The correlation id the query actually ran under: the caller's, or
+    /// one minted by the router when observability wanted a handle.
+    pub request_id: Option<u64>,
+    /// Index of the scatter leg that took longest, when any leg ran.
+    pub slowest_shard: Option<u32>,
 }
 
 /// INFO from the first reachable replica of a shard.
@@ -488,6 +662,26 @@ fn shard_info(spec: &ShardSpec) -> Result<InfoReply> {
     )))
 }
 
+/// INSPECT from the first reachable replica of a shard.
+fn shard_inspect(spec: &ShardSpec) -> Result<String> {
+    let mut last_err = None;
+    for addr in &spec.replicas {
+        match ServeClient::connect(addr.as_str()).map_err(|e| e.to_string()) {
+            Ok(client) => match client.inspect_text() {
+                Ok(text) => return Ok(text),
+                Err(e) => last_err = Some(format!("{addr}: {e}")),
+            },
+            Err(e) => last_err = Some(format!("{addr}: {e}")),
+        }
+    }
+    Err(PexesoError::Remote(format!(
+        "no replica of shard [{}, {}) answered INSPECT: {}",
+        spec.lo,
+        spec.hi,
+        last_err.unwrap_or_else(|| "no replicas".into())
+    )))
+}
+
 /// A shard that could not answer is a typed refusal naming the shard —
 /// never a silent partial result.
 fn shard_error(idx: usize, spec: &ShardSpec, e: &PexesoError) -> PexesoError {
@@ -499,23 +693,6 @@ fn shard_error(idx: usize, spec: &ShardSpec, e: &PexesoError) -> PexesoError {
 
 impl Queryable for Router {
     fn execute(&self, query: &Query, vectors: &VectorStore) -> Result<QueryResponse> {
-        let started = Instant::now();
-        // Topk(0) answers empty without touching a shard, exactly like
-        // every local backend.
-        if let QueryMode::Topk(0) = query.mode {
-            return Ok(QueryResponse {
-                hits: Vec::new(),
-                stats: SearchStats::new(),
-                outcome: QueryOutcome::Exact,
-                trace: None,
-            });
-        }
-        let answers = match query.budget.max_distance_computations {
-            Some(cap) => self.execute_budgeted(query, vectors, cap, started)?,
-            None => self.execute_scatter(query, vectors, started)?,
-        };
-        let resp = self.merge(query, answers, started);
-        self.query_latency.record_duration(started.elapsed());
-        Ok(resp)
+        self.execute_routed(query, vectors).map(|(resp, _)| resp)
     }
 }

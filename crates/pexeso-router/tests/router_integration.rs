@@ -596,6 +596,223 @@ fn router_daemon_speaks_the_serve_protocol() {
 }
 
 #[test]
+fn explain_through_the_router_changes_nothing_and_merges() {
+    let dir = tempdir("explain_src");
+    let (columns, query) = workload(113, 10, "e");
+    let lake = deploy(&dir, &columns, "euclidean");
+    let (daemons, router) = start_cluster(&dir, 3, "explain");
+    for q in [
+        Query::threshold(Tau::Ratio(0.2), JoinThreshold::Count(2)),
+        Query::topk(Tau::Ratio(0.2), 5),
+    ] {
+        let direct = lake.execute(&q, &query).unwrap();
+        let off = router.execute(&q, &query).unwrap();
+        assert!(off.explain.is_none(), "no report unless asked");
+        let on = router
+            .execute(&q.clone().with_explain(true), &query)
+            .unwrap();
+        assert_eq!(
+            wire(&off.hits),
+            wire(&on.hits),
+            "explain changed the answer"
+        );
+        assert_eq!(wire(&direct.hits), wire(&on.hits), "routed ≠ single-node");
+        assert_eq!(off.outcome, on.outcome);
+        let report = on.explain.expect("requested report travels back merged");
+        assert!(report.consistent(), "merged funnel must balance");
+        assert!(
+            report.topk.is_none(),
+            "per-shard top-k trajectories must not compose"
+        );
+        // The merged funnel keeps the canonical stage order.
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["block", "verify", "columns"]);
+    }
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+#[test]
+fn routed_meta_carries_request_id_and_slowest_shard() {
+    let dir = tempdir("meta_src");
+    let (columns, query) = workload(127, 8, "m");
+    deploy(&dir, &columns, "euclidean");
+    let (daemons, router) = start_cluster(&dir, 2, "meta");
+    // A plain query with logging disabled mints nothing: correlation is
+    // strictly opt-in, so untraced traffic pays no id bookkeeping.
+    let plain = Query::topk(Tau::Ratio(0.1), 3);
+    let (_, meta) = router.execute_routed(&plain, &query).unwrap();
+    assert_eq!(meta.request_id, None);
+    // An explained query makes the router the outermost hop: it mints an
+    // id and reports which shard dominated the latency.
+    let (_, meta) = router
+        .execute_routed(&plain.clone().with_explain(true), &query)
+        .unwrap();
+    assert!(
+        meta.request_id.is_some(),
+        "router must mint a correlation id"
+    );
+    assert!(meta.slowest_shard.is_some_and(|s| s < 2));
+    // A caller-supplied id is used verbatim, never re-minted.
+    let (_, meta) = router
+        .execute_routed(
+            &plain.clone().with_explain(true).with_request_id(0xBEEF),
+            &query,
+        )
+        .unwrap();
+    assert_eq!(meta.request_id, Some(0xBEEF));
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+#[test]
+fn health_rollup_tracks_drain_state() {
+    let dir = tempdir("health_src");
+    let (columns, _) = workload(131, 8, "h");
+    deploy(&dir, &columns, "euclidean");
+    let out = tempdir("health_shards");
+    let map = split_lake(&dir, 2, &out).unwrap();
+    // Shard 0 gets two replicas so a drain degrades instead of downing.
+    let r0a = Server::start(
+        &out.join(shard_dir_name(0)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let r0b = Server::start(
+        &out.join(shard_dir_name(0)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let r1 = Server::start(
+        &out.join(shard_dir_name(1)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let drained_addr = r0a.addr().to_string();
+    let specs = vec![
+        ShardSpec {
+            lo: map.shards()[0].lo,
+            hi: map.shards()[0].hi,
+            replicas: vec![drained_addr.clone(), r0b.addr().to_string()],
+        },
+        ShardSpec {
+            lo: map.shards()[1].lo,
+            hi: map.shards()[1].hi,
+            replicas: vec![r1.addr().to_string()],
+        },
+    ];
+    let router = Router::new(
+        ShardMap::new(specs).unwrap(),
+        RouterConfig {
+            client: fast_client(),
+        },
+    )
+    .unwrap();
+    let healthy = router.health_text(false);
+    assert!(healthy.starts_with("status=ready\nshards=2\n"), "{healthy}");
+    assert!(healthy.contains("shard0.replicas=2"), "{healthy}");
+    assert!(healthy.contains("shard0.available=2"), "{healthy}");
+
+    assert_eq!(router.set_drained(&drained_addr, true), 1);
+    let degraded = router.health_text(false);
+    assert!(degraded.starts_with("status=degraded"), "{degraded}");
+    assert!(degraded.contains("shard0.status=degraded"), "{degraded}");
+    assert!(degraded.contains("shard0.available=1"), "{degraded}");
+    assert!(degraded.contains("shard1.status=ready"), "{degraded}");
+
+    // Draining the fleet overrides everything; undraining the replica
+    // restores ready.
+    assert!(router.health_text(true).starts_with("status=draining"));
+    assert_eq!(router.set_drained(&drained_addr, false), 1);
+    assert!(router.health_text(false).starts_with("status=ready"));
+
+    r0a.shutdown();
+    r0b.shutdown();
+    r1.shutdown();
+}
+
+#[test]
+fn router_daemon_observability_verbs_end_to_end() {
+    let dir = tempdir("obsd_src");
+    let (columns, query) = workload(139, 10, "o");
+    deploy(&dir, &columns, "euclidean");
+    let out = tempdir("obsd_shards");
+    let map = split_lake(&dir, 2, &out).unwrap();
+    let mut daemons = Vec::new();
+    let mut specs = Vec::new();
+    for (i, spec) in map.shards().iter().enumerate() {
+        let h = Server::start(
+            &out.join(shard_dir_name(i)),
+            "127.0.0.1:0",
+            ServeConfig::default(),
+        )
+        .unwrap();
+        specs.push(ShardSpec {
+            lo: spec.lo,
+            hi: spec.hi,
+            replicas: vec![h.addr().to_string()],
+        });
+        daemons.push(h);
+    }
+    let shard0_addr = specs[0].replicas[0].clone();
+    let map_path = out.join(SHARD_MAP_FILE);
+    ShardMap::new(specs).unwrap().write(&map_path).unwrap();
+    let handle = RouterServer::start(
+        &map_path,
+        "127.0.0.1:0",
+        RouterServeConfig {
+            client: fast_client(),
+            ..RouterServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
+
+    // HEALTH: a fully-replicated fleet is ready; draining one replica of
+    // a single-replica shard downs that shard and degrades nothing else.
+    let health = client.health_text().unwrap();
+    assert!(health.starts_with("status=ready\nshards=2\n"), "{health}");
+    let ack = client.drain(&shard0_addr, true).unwrap();
+    assert!(ack.contains("drained=1"), "{ack}");
+    let health = client.health_text().unwrap();
+    assert!(health.contains("shard0.status=down"), "{health}");
+    assert!(health.contains("shard1.status=ready"), "{health}");
+    let ack = client.drain(&shard0_addr, false).unwrap();
+    assert!(ack.contains("drained=0"), "{ack}");
+    assert!(client.health_text().unwrap().starts_with("status=ready"));
+    // Draining an unknown address is a typed refusal.
+    assert!(client.drain("10.255.0.1:9", true).is_err());
+
+    // INSPECT: shard-prefixed structural statistics from every shard.
+    let inspect = client.inspect_text().unwrap();
+    assert!(inspect.contains("shard0.partitions="), "{inspect}");
+    assert!(inspect.contains("shard1.vectors="), "{inspect}");
+    assert!(!inspect.contains(".error="), "healthy fleet: {inspect}");
+
+    // SLOW: a traced + correlated query lands with its id and the
+    // owning-shard attribution.
+    let q = Query::topk(Tau::Ratio(0.1), 4)
+        .with_trace(TraceLevel::Phases)
+        .with_request_id(0xC0FFEE);
+    let (resp, _) = client.execute_detailed(&q, &query).unwrap();
+    assert!(resp.trace.is_some());
+    let slow = client.slow_log_text().unwrap();
+    assert!(slow.contains("rid=0000000000c0ffee"), "{slow}");
+    assert!(slow.contains("shard="), "{slow}");
+
+    client.shutdown().unwrap();
+    handle.join();
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+#[test]
 fn shard_plan_is_deterministic_and_matches_split() {
     let dir = tempdir("plan_src");
     let (columns, _) = workload(7, 12, "p");

@@ -118,6 +118,8 @@ pub fn query_payload(
         vectors: store.raw_data().to_vec(),
         ext: None,
         trace: TraceLevel::Off,
+        request_id: None,
+        explain: false,
     }
 }
 
@@ -139,6 +141,8 @@ pub fn wire_request(query: &Query, vectors: &VectorStore) -> Request {
         vectors: vectors.raw_data().to_vec(),
         ext: Some(wire_ext(query)),
         trace: query.trace,
+        request_id: query.request_id,
+        explain: query.explain,
     };
     match query.mode {
         QueryMode::Threshold(t) => Request::Search { query: payload, t },
@@ -184,6 +188,7 @@ pub fn wire_batch_request(query: &Query, columns: &[&VectorStore]) -> Request {
         columns: columns.iter().map(|c| c.raw_data().to_vec()).collect(),
         ext: Some(wire_ext(query)),
         trace: query.trace,
+        request_id: query.request_id,
     })
 }
 
@@ -409,6 +414,7 @@ impl ServeClient {
                         stats: SearchStats::new(),
                         outcome: QueryOutcome::Exceeded(Exceeded::Deadline),
                         trace: None,
+                        explain: None,
                     },
                     RemoteMeta {
                         generation: 0,
@@ -447,6 +453,7 @@ impl ServeClient {
                                 stats: SearchStats::new(),
                                 outcome: QueryOutcome::Exceeded(Exceeded::Deadline),
                                 trace: None,
+                                explain: None,
                             },
                             RemoteMeta {
                                 generation: 0,
@@ -493,6 +500,40 @@ impl ServeClient {
         match self.roundtrip(&Request::SlowLog)? {
             Reply::Stats { text } => Ok(text),
             other => Err(unexpected("SLOW", &other)),
+        }
+    }
+
+    /// Index introspection: per-partition column/vector counts, postings
+    /// and cell-occupancy histograms, pivot spread, and delta-overlay
+    /// depth as `key=value` text (the V6 `INSPECT` verb). A router
+    /// answers with every shard's report, keys prefixed `shardN.`.
+    pub fn inspect_text(&self) -> ClientResult<String> {
+        match self.roundtrip(&Request::Inspect)? {
+            Reply::Stats { text } => Ok(text),
+            other => Err(unexpected("INSPECT", &other)),
+        }
+    }
+
+    /// Liveness/readiness summary as `key=value` text (the V6 `HEALTH`
+    /// verb): `status=ready|degraded|draining` plus supporting detail. A
+    /// router rolls every shard's replica set into one fleet answer.
+    pub fn health_text(&self) -> ClientResult<String> {
+        match self.roundtrip(&Request::Health)? {
+            Reply::Stats { text } => Ok(text),
+            other => Err(unexpected("HEALTH", &other)),
+        }
+    }
+
+    /// Mark a replica drained (`true`) or back in rotation (`false`) on a
+    /// router (the V6 `DRAIN` verb). Returns the router's confirmation
+    /// text; shard daemons reject the verb.
+    pub fn drain(&self, addr: &str, drained: bool) -> ClientResult<String> {
+        match self.roundtrip(&Request::Drain {
+            addr: addr.to_string(),
+            drained,
+        })? {
+            Reply::Stats { text } => Ok(text),
+            other => Err(unexpected("DRAIN", &other)),
         }
     }
 
@@ -619,6 +660,7 @@ fn unwrap_hits_reply(reply: HitsReply) -> ClientResult<(QueryResponse, RemoteMet
             stats,
             outcome: ext.outcome,
             trace: reply.trace,
+            explain: reply.explain.map(|report| *report),
         },
         meta,
     ))

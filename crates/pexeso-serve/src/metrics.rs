@@ -449,20 +449,157 @@ pub fn write_histogram_series(out: &mut String, name: &str, labels: &str, s: &Hi
     let _ = writeln!(out, "{name}_count{wrapped} {}", s.count);
 }
 
+/// The introspection plane's Prometheus families: structural index
+/// gauges plus the two cell-shape histograms, appended to the `METRICS`
+/// scrape by the daemon (per generation — the underlying walk is
+/// memoised snapshot-side). Passes [`validate_prometheus`].
+pub fn render_inspection_prometheus(insp: &pexeso_core::inspect::IndexInspection) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(2048);
+    let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    let (columns, deleted, vectors, cells, postings) = insp.totals();
+    gauge(
+        &mut out,
+        "pexeso_index_columns",
+        "Columns indexed across every partition (tombstoned included).",
+        columns as f64,
+    );
+    gauge(
+        &mut out,
+        "pexeso_index_deleted_columns",
+        "Tombstoned columns awaiting compaction.",
+        deleted as f64,
+    );
+    gauge(
+        &mut out,
+        "pexeso_index_vectors",
+        "Repository vectors indexed across every partition.",
+        vectors as f64,
+    );
+    gauge(
+        &mut out,
+        "pexeso_index_cells",
+        "Non-empty leaf cells of the repository grid.",
+        cells as f64,
+    );
+    gauge(
+        &mut out,
+        "pexeso_index_postings",
+        "Total inverted-index postings entries.",
+        postings as f64,
+    );
+    gauge(
+        &mut out,
+        "pexeso_index_delta_vectors",
+        "Vectors living in the delta overlay (unindexed by the base).",
+        insp.delta_vectors as f64,
+    );
+    gauge(
+        &mut out,
+        "pexeso_index_delta_records",
+        "Delta-log records replayed into the overlay.",
+        insp.delta_records as f64,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP pexeso_index_postings_length Distinct columns per non-empty leaf cell."
+    );
+    let _ = writeln!(out, "# TYPE pexeso_index_postings_length histogram");
+    write_histogram_series(
+        &mut out,
+        "pexeso_index_postings_length",
+        "",
+        &insp.postings_len(),
+    );
+    let _ = writeln!(
+        out,
+        "# HELP pexeso_index_cell_occupancy Vectors per non-empty leaf cell."
+    );
+    let _ = writeln!(out, "# TYPE pexeso_index_cell_occupancy histogram");
+    write_histogram_series(
+        &mut out,
+        "pexeso_index_cell_occupancy",
+        "",
+        &insp.cell_occupancy(),
+    );
+    out
+}
+
+/// Split a `name="value",…` label body into pairs, validating Prometheus
+/// label syntax: names match `[a-zA-Z_][a-zA-Z0-9_]*`, values are
+/// double-quoted with only `\\`, `\"`, and `\n` escapes.
+fn parse_labels(labels: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {labels:?}"))?;
+        let name = &rest[..eq];
+        let legal_name = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !legal_name {
+            return Err(format!("illegal label name {name:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label {name} value not quoted"))?;
+        // Scan the quoted value, honouring escapes.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(format!("label {name} value missing closing quote"));
+            };
+            match c {
+                '"' => break i,
+                '\\' => match chars.next() {
+                    Some((_, e @ ('\\' | '"'))) => value.push(e),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "label {name} value has illegal escape \\{:?}",
+                            other.map(|(_, c)| c)
+                        ))
+                    }
+                },
+                c => value.push(c),
+            }
+        };
+        pairs.push((name.to_string(), value));
+        rest = &rest[close + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("labels not comma-separated in {labels:?}"));
+        }
+    }
+    Ok(pairs)
+}
+
 /// Minimal Prometheus text-format checker — enough for the tests and the
 /// CI smoke job to assert a scrape is well-formed without pulling a
 /// parser dependency. Checks:
 ///
 /// * every sample line parses as `name[{labels}] value` with a legal
 ///   metric name and a float value;
+/// * label names and values use legal Prometheus syntax;
+/// * `# HELP`/`# TYPE` lines are well-formed, each family is declared
+///   exactly once with a known type, and `HELP` precedes `TYPE`;
 /// * every sample belongs to a family declared by a preceding `# TYPE`
 ///   (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes);
 /// * within each histogram series (same labels modulo `le`), bucket
 ///   counts are cumulative-monotone, `le` bounds increase, and the
 ///   series ends with `le="+Inf"` matching its `_count`.
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
     let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashSet<String> = HashSet::new();
     // (family, labels-without-le) -> (last le, last cumulative, inf seen, count sample)
     #[derive(Default)]
     struct Series {
@@ -496,12 +633,35 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
         if line.is_empty() {
             continue;
         }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, doc)) = rest.split_once(' ') else {
+                return Err(format!("line {lineno}: malformed HELP line"));
+            };
+            if doc.trim().is_empty() {
+                return Err(format!("line {lineno}: HELP {name} has no text"));
+            }
+            if !helps.insert(name.to_string()) {
+                return Err(format!("line {lineno}: duplicate HELP for {name}"));
+            }
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut it = rest.split_whitespace();
             let (Some(name), Some(ty)) = (it.next(), it.next()) else {
                 return Err(format!("line {lineno}: malformed TYPE line"));
             };
-            types.insert(name.to_string(), ty.to_string());
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown metric type {ty}"));
+            }
+            if !helps.contains(name) {
+                return Err(format!("line {lineno}: TYPE {name} without preceding HELP"));
+            }
+            if types.insert(name.to_string(), ty.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
             continue;
         }
         if line.starts_with('#') {
@@ -510,6 +670,7 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
         let Some((name, labels, value)) = split_sample(line) else {
             return Err(format!("line {lineno}: unparseable sample: {line}"));
         };
+        parse_labels(&labels).map_err(|e| format!("line {lineno}: {e}"))?;
         // Resolve the family: exact name, or histogram suffix.
         let family = if types.contains_key(&name) {
             name.clone()
@@ -597,6 +758,12 @@ pub struct SlowQuery {
     pub latency_us: u64,
     /// The rendered [`pexeso_core::trace::QueryTrace`] of the request.
     pub trace: String,
+    /// The request id the frame carried, if any — lets one grep connect
+    /// a SLOW entry to the structured log lines for the same request.
+    pub request_id: Option<u64>,
+    /// The shard that dominated the latency (router tier only): the
+    /// scatter leg the merged trace charges the most wall time to.
+    pub shard: Option<u32>,
 }
 
 /// A slowest-N ring of traced requests. Insertion takes a mutex, but only
@@ -618,17 +785,34 @@ impl SlowQueryLog {
     /// Offer a traced request. Kept if the log has room or the request is
     /// slower than the current fastest entry (which it evicts).
     pub fn offer(&self, verb: &'static str, latency: Duration, trace: String) {
+        self.offer_correlated(verb, latency, trace, None, None);
+    }
+
+    /// [`SlowQueryLog::offer`] with correlation detail: the wire request
+    /// id (if the frame carried one) and, on the router tier, the shard
+    /// the latency is attributed to.
+    pub fn offer_correlated(
+        &self,
+        verb: &'static str,
+        latency: Duration,
+        trace: String,
+        request_id: Option<u64>,
+        shard: Option<u32>,
+    ) {
         if self.capacity == 0 {
             return;
         }
         let latency_us = latency.as_micros() as u64;
+        let entry = SlowQuery {
+            verb,
+            latency_us,
+            trace,
+            request_id,
+            shard,
+        };
         let mut entries = self.entries.lock().expect("slow log poisoned");
         if entries.len() < self.capacity {
-            entries.push(SlowQuery {
-                verb,
-                latency_us,
-                trace,
-            });
+            entries.push(entry);
             return;
         }
         let (idx, fastest) = entries
@@ -638,11 +822,7 @@ impl SlowQueryLog {
             .map(|(i, e)| (i, e.latency_us))
             .expect("capacity > 0");
         if latency_us > fastest {
-            entries[idx] = SlowQuery {
-                verb,
-                latency_us,
-                trace,
-            };
+            entries[idx] = entry;
         }
     }
 
@@ -662,11 +842,18 @@ impl SlowQueryLog {
         entries.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
         let mut out = String::new();
         for e in &entries {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "slow_query verb={} latency_us={}",
                 e.verb, e.latency_us
             );
+            if let Some(rid) = e.request_id {
+                let _ = write!(out, " rid={}", pexeso_core::log::fmt_request_id(rid));
+            }
+            if let Some(shard) = e.shard {
+                let _ = write!(out, " shard={shard}");
+            }
+            let _ = writeln!(out);
             for line in e.trace.lines() {
                 let _ = writeln!(out, "  {line}");
             }
@@ -814,11 +1001,86 @@ mod tests {
         let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
         assert!(validate_prometheus(bad).is_err());
         // A good one passes.
-        let good = "# TYPE h histogram\n\
+        let good = "# HELP h a histogram\n\
+                    # TYPE h histogram\n\
                     h_bucket{le=\"1\"} 3\n\
                     h_bucket{le=\"+Inf\"} 5\n\
                     h_sum 9\nh_count 5\n";
         validate_prometheus(good).unwrap();
+    }
+
+    #[test]
+    fn validator_enforces_help_type_and_label_syntax() {
+        // TYPE without a preceding HELP.
+        assert!(validate_prometheus("# TYPE h gauge\nh 1\n").is_err());
+        // Unknown TYPE.
+        let bad = "# HELP h doc\n# TYPE h speedometer\nh 1\n";
+        assert!(validate_prometheus(bad).is_err());
+        // HELP with no documentation text.
+        assert!(validate_prometheus("# HELP h\n").is_err());
+        // Duplicate HELP / duplicate TYPE for one family.
+        let bad = "# HELP h doc\n# HELP h doc again\n# TYPE h gauge\nh 1\n";
+        assert!(validate_prometheus(bad).is_err());
+        let bad = "# HELP h doc\n# TYPE h gauge\n# TYPE h gauge\nh 1\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Label names must be [a-zA-Z_][a-zA-Z0-9_]*.
+        let bad = "# HELP h doc\n# TYPE h gauge\nh{0bad=\"x\"} 1\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Label values must be quoted...
+        let bad = "# HELP h doc\n# TYPE h gauge\nh{a=x} 1\n";
+        assert!(validate_prometheus(bad).is_err());
+        // ...and closed.
+        let bad = "# HELP h doc\n# TYPE h gauge\nh{a=\"x} 1\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Escapes inside label values are fine, including an escaped
+        // quote and a literal comma.
+        let good = "# HELP h doc\n# TYPE h gauge\n\
+                    h{a=\"x\\\"y\",b=\"u,v\"} 1\n";
+        validate_prometheus(good).unwrap();
+    }
+
+    #[test]
+    fn inspection_prometheus_renders_valid() {
+        use pexeso_core::inspect::{IndexInspection, PartitionInspection};
+        let mut insp = IndexInspection::default();
+        insp.partitions.push(PartitionInspection {
+            columns: 10,
+            vectors: 100,
+            cells: 7,
+            postings: 12,
+            ..Default::default()
+        });
+        insp.delta_columns = 2;
+        insp.delta_vectors = 20;
+        let text = render_inspection_prometheus(&insp);
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE pexeso_index_columns gauge"));
+        assert!(text.contains("pexeso_index_columns 10"));
+        assert!(text.contains("pexeso_index_delta_vectors 20"));
+        assert!(text.contains("# TYPE pexeso_index_postings_length histogram"));
+    }
+
+    #[test]
+    fn slow_log_renders_request_id_and_shard() {
+        let log = SlowQueryLog::new(4);
+        log.offer_correlated(
+            "topk",
+            Duration::from_micros(500),
+            "trace".into(),
+            Some(0xABCD),
+            Some(3),
+        );
+        log.offer("search", Duration::from_micros(100), "t".into());
+        let text = log.render();
+        assert!(text.contains("rid=000000000000abcd"), "{text}");
+        assert!(text.contains("shard=3"), "{text}");
+        // Uncorrelated entries stay exactly as before: no rid, no shard.
+        let plain = text
+            .lines()
+            .find(|l| l.contains("verb=search"))
+            .expect("search entry present");
+        assert!(!plain.contains("rid="), "{plain}");
+        assert!(!plain.contains("shard="), "{plain}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use std::io::{Read, Write};
 
 use pexeso_core::config::{ExecPolicy, JoinThreshold, LemmaFlags, Tau};
+use pexeso_core::explain::{ExplainReport, FunnelStage, TopkExplain, TopkRound};
 use pexeso_core::outofcore::GlobalHit;
 use pexeso_core::query::{Exceeded, QueryOutcome};
 use pexeso_core::trace::{QueryTrace, TraceLevel, TraceSpan};
@@ -32,12 +33,17 @@ pub const MAGIC: &[u8; 4] = b"PXSV";
 /// trace request (a trace-level tail on `SEARCH`/`TOPK`/`BATCH` frames,
 /// answered with a span tree in the `HITS_V3`/`HITS_BATCH_V2` reply
 /// kinds) and the `METRICS` (Prometheus text exposition) and `SLOW`
-/// (slow-query log dump) verbs. Frames are stamped with the lowest
-/// version that can carry them — extension-less queries stay V1 and
-/// extended queries V2, so every pre-delta server and client keeps
+/// (slow-query log dump) verbs; version 6 adds the introspection plane —
+/// a request-id/explain tail on query frames (fleet-wide correlation ids
+/// and the EXPLAIN funnel in the `HITS_V4` reply kind) and the `INSPECT`
+/// (index statistics), `HEALTH` (readiness/drain state), and `DRAIN`
+/// (router replica drain toggle) verbs. Frames are stamped with the
+/// lowest version that can carry them — extension-less queries stay V1
+/// and extended queries V2, so every pre-delta server and client keeps
 /// interoperating; only `APPLY` frames are V3, only batch/`fixed`-policy
-/// frames are V4, and only traced queries and the new verbs are V5.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// frames are V4, only traced queries and the V5 verbs are V5, and only
+/// correlated/explained queries and the new verbs are V6.
+pub const PROTOCOL_VERSION: u8 = 6;
 /// Version that introduced the query options/budget extension.
 pub const QUERY_EXT_VERSION: u8 = 2;
 /// Version that introduced the batch verb and the `fixed` policy tag.
@@ -50,6 +56,15 @@ pub const BATCH_VERSION: u8 = 4;
 /// trace level is not `Off`, so untraced requests keep their old (V1–V4)
 /// shapes bit-for-bit and old servers keep answering them.
 pub const TRACE_VERSION: u8 = 5;
+/// Version that introduced the request-id/explain query tail and the
+/// INSPECT/HEALTH/DRAIN verbs.
+///
+/// A V6 query frame extends the V5 explicit tail with a request-id
+/// presence byte (plus the id), then an explain byte. Encoders only
+/// stamp V6 when a request id or the explain flag is actually carried,
+/// so uncorrelated requests keep their old (V1–V5) shapes bit-for-bit
+/// and old servers keep answering them.
+pub const REQUEST_ID_VERSION: u8 = 6;
 /// Oldest request version the server still parses.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
 /// Hard cap on a single frame; anything larger is treated as garbage
@@ -68,6 +83,16 @@ const VERB_BATCH: u8 = 7;
 const VERB_METRICS: u8 = 8;
 /// V5: dump the slow-query log (slowest traced requests + phase trees).
 const VERB_SLOW: u8 = 9;
+/// V6: index-statistics inspection (per-partition shape, postings and
+/// cell-occupancy histograms, delta overlay depth) as text.
+const VERB_INSPECT: u8 = 10;
+/// V6: readiness/health probe (ready/degraded/draining, generation,
+/// queue facts; the router rolls shard replica health into one answer).
+const VERB_HEALTH: u8 = 11;
+/// V6: toggle the drain flag of one replica address (router only; a
+/// shard daemon answers `ERR` — drain a shard by draining its address
+/// on the router).
+const VERB_DRAIN: u8 = 12;
 
 const REPLY_INFO: u8 = 0;
 const REPLY_HITS: u8 = 1;
@@ -89,6 +114,10 @@ const REPLY_HITS_V3: u8 = 8;
 /// V5 `HITS_BATCH` reply whose entries carry per-entry trace trees. Only
 /// ever sent in answer to a traced (V5) batch request.
 const REPLY_HITS_BATCH_V2: u8 = 9;
+/// V6 `HITS` reply carrying an EXPLAIN funnel (explicit-ext body, a
+/// trace-presence byte + tree, then the report). Only ever sent in
+/// answer to an explain-requesting (V6) request.
+const REPLY_HITS_V4: u8 = 10;
 /// A request popped off the queue after its own deadline already
 /// elapsed: answered typed instead of computing a dead result.
 const REPLY_DEADLINE_EXPIRED: u8 = 248;
@@ -168,6 +197,13 @@ pub struct QueryPayload {
     /// V5 trace request. Anything but `Off` makes the frame V5 and asks
     /// the server to return its phase tree in the reply.
     pub trace: TraceLevel,
+    /// V6 fleet-wide correlation id, minted at the outermost hop and
+    /// propagated unchanged; `Some` makes the frame V6. Never part of
+    /// the cache fingerprint — correlation must not split cache lines.
+    pub request_id: Option<u64>,
+    /// V6 explain request: `true` makes the frame V6 and asks the
+    /// server to return the candidate funnel in a `HITS_V4` reply.
+    pub explain: bool,
 }
 
 impl QueryPayload {
@@ -209,6 +245,9 @@ pub struct QueryBatch {
     pub ext: Option<QueryExt>,
     /// V5 trace request, applied to every column in the batch.
     pub trace: TraceLevel,
+    /// V6 correlation id for the whole batch (per-entry explain is not
+    /// carried — explain solo queries instead).
+    pub request_id: Option<u64>,
 }
 
 /// A client request.
@@ -251,6 +290,17 @@ pub enum Request {
     /// V4: many query columns under one set of criteria, answered in one
     /// reply frame — `Queryable::execute_many` on the wire.
     Batch(QueryBatch),
+    /// V6: index-statistics inspection as `key=value` text (per-partition
+    /// shape, postings/cell-occupancy histograms, delta overlay depth).
+    Inspect,
+    /// V6: readiness probe — `status=ready|degraded|draining` plus
+    /// generation and queue facts; the router answers with the fleet
+    /// roll-up.
+    Health,
+    /// V6, router only: set/clear the drain flag of the replica at
+    /// `addr` across every shard that has it. A drained replica stops
+    /// receiving routed queries but stays connected for un-drain.
+    Drain { addr: String, drained: bool },
     /// Stop accepting connections and exit once in-flight work drains.
     Shutdown,
 }
@@ -312,6 +362,11 @@ pub struct HitsReply {
     /// (V5). Cached replies carry no trace — traced requests bypass the
     /// result cache so the tree always describes *this* execution.
     pub trace: Option<QueryTrace>,
+    /// Server-side EXPLAIN funnel, present iff the request asked for one
+    /// (V6). Like traces, explain-requesting queries bypass the result
+    /// cache so the funnel always describes *this* execution. Boxed so
+    /// the common explain-free reply doesn't pay the report's footprint.
+    pub explain: Option<Box<ExplainReport>>,
 }
 
 /// A server reply.
@@ -607,6 +662,8 @@ fn take_query(r: &mut ByteReader) -> WireResult<QueryPayload> {
         vectors,
         ext: None,
         trace: TraceLevel::Off,
+        request_id: None,
+        explain: false,
     })
 }
 
@@ -691,6 +748,13 @@ fn take_query_tail(r: &mut ByteReader, version: u8, query: &mut QueryPayload) ->
             t => return Err(WireError::Malformed(format!("unknown ext tag {t}"))),
         }
         query.trace = TraceLevel::from_u8(r.u8()?);
+        // The V6 request-id/explain tail. Presence-tolerant (mirroring
+        // the APPLY shard tail): a V6 stamp without the tail decodes as
+        // an uncorrelated, unexplained query.
+        if version >= REQUEST_ID_VERSION && r.has_remaining() {
+            query.request_id = take_opt_u64(r)?;
+            query.explain = r.u8()? != 0;
+        }
     } else if version >= QUERY_EXT_VERSION && r.has_remaining() {
         query.ext = Some(take_query_ext(r)?);
     }
@@ -698,7 +762,8 @@ fn take_query_tail(r: &mut ByteReader, version: u8, query: &mut QueryPayload) ->
 }
 
 fn put_query_tail(w: &mut ByteWriter, q: &QueryPayload) {
-    if q.trace.enabled() {
+    let v6 = q.request_id.is_some() || q.explain;
+    if q.trace.enabled() || v6 {
         match &q.ext {
             None => w.u8(0),
             Some(ext) => {
@@ -707,6 +772,10 @@ fn put_query_tail(w: &mut ByteWriter, q: &QueryPayload) {
             }
         }
         w.u8(q.trace.as_u8());
+        if v6 {
+            put_opt_u64(w, q.request_id);
+            w.u8(q.explain as u8);
+        }
     } else if let Some(ext) = &q.ext {
         put_query_ext(w, ext);
     }
@@ -778,6 +847,158 @@ fn take_trace(r: &mut ByteReader) -> WireResult<QueryTrace> {
     let mut budget = MAX_TRACE_SPANS;
     Ok(QueryTrace {
         root: take_span(r, 0, &mut budget)?,
+    })
+}
+
+/// Size limits for decoding an EXPLAIN report: anything larger is
+/// treated as garbage, like an oversized trace tree.
+const MAX_EXPLAIN_STAGES: u32 = 64;
+const MAX_EXPLAIN_REASONS: u32 = 64;
+const MAX_EXPLAIN_DECISIONS: u32 = 256;
+const MAX_EXPLAIN_ROUNDS: u32 = 1 << 16;
+const MAX_EXPLAIN_COLUMNS: u32 = 4096;
+
+fn put_opt_u32(w: &mut ByteWriter, v: Option<u32>) {
+    match v {
+        None => w.u8(0),
+        Some(x) => {
+            w.u8(1);
+            w.u32(x);
+        }
+    }
+}
+
+fn take_opt_u32(r: &mut ByteReader) -> WireResult<Option<u32>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u32()?)),
+        t => Err(WireError::Malformed(format!("unknown option tag {t}"))),
+    }
+}
+
+fn put_explain(w: &mut ByteWriter, e: &ExplainReport) {
+    w.str(&e.mode);
+    w.u32(e.stages.len() as u32);
+    for s in &e.stages {
+        w.str(&s.name);
+        w.str(&s.unit);
+        w.u64(s.input);
+        w.u32(s.pruned.len() as u32);
+        for (reason, n) in &s.pruned {
+            w.str(reason);
+            w.u64(*n);
+        }
+        w.u64(s.output);
+    }
+    w.u32(e.decisions.len() as u32);
+    for d in &e.decisions {
+        w.str(d);
+    }
+    match &e.topk {
+        None => w.u8(0),
+        Some(t) => {
+            w.u8(1);
+            put_opt_u32(w, t.seed);
+            w.u64(t.survivors);
+            w.u32(t.rounds.len() as u32);
+            for round in &t.rounds {
+                put_opt_u32(w, round.bar);
+                w.u32(round.batch);
+                w.u32(round.pruned);
+            }
+            w.u32(t.pruned_columns.len() as u32);
+            for (c, ub) in &t.pruned_columns {
+                w.u32(*c);
+                w.u32(*ub);
+            }
+            w.u8(t.suffix_stop as u8);
+        }
+    }
+}
+
+fn take_explain(r: &mut ByteReader) -> WireResult<ExplainReport> {
+    let mode = r.str(64)?;
+    let n_stages = r.u32()?;
+    if n_stages > MAX_EXPLAIN_STAGES {
+        return Err(WireError::Malformed("too many explain stages".into()));
+    }
+    let mut stages = Vec::with_capacity(n_stages as usize);
+    for _ in 0..n_stages {
+        let name = r.str(256)?;
+        let unit = r.str(256)?;
+        let input = r.u64()?;
+        let n_pruned = r.u32()?;
+        if n_pruned > MAX_EXPLAIN_REASONS {
+            return Err(WireError::Malformed(
+                "too many explain prune reasons".into(),
+            ));
+        }
+        let mut pruned = Vec::with_capacity(n_pruned as usize);
+        for _ in 0..n_pruned {
+            let reason = r.str(256)?;
+            let n = r.u64()?;
+            pruned.push((reason, n));
+        }
+        let output = r.u64()?;
+        stages.push(FunnelStage {
+            name,
+            unit,
+            input,
+            pruned,
+            output,
+        });
+    }
+    let n_decisions = r.u32()?;
+    if n_decisions > MAX_EXPLAIN_DECISIONS {
+        return Err(WireError::Malformed("too many explain decisions".into()));
+    }
+    let mut decisions = Vec::with_capacity(n_decisions as usize);
+    for _ in 0..n_decisions {
+        decisions.push(r.str(4096)?);
+    }
+    let topk = match r.u8()? {
+        0 => None,
+        1 => {
+            let seed = take_opt_u32(r)?;
+            let survivors = r.u64()?;
+            let n_rounds = r.u32()?;
+            if n_rounds > MAX_EXPLAIN_ROUNDS {
+                return Err(WireError::Malformed("too many explain rounds".into()));
+            }
+            let mut rounds = Vec::with_capacity(n_rounds.min(1 << 10) as usize);
+            for _ in 0..n_rounds {
+                rounds.push(TopkRound {
+                    bar: take_opt_u32(r)?,
+                    batch: r.u32()?,
+                    pruned: r.u32()?,
+                });
+            }
+            let n_cols = r.u32()?;
+            if n_cols > MAX_EXPLAIN_COLUMNS {
+                return Err(WireError::Malformed("too many explain columns".into()));
+            }
+            let mut pruned_columns = Vec::with_capacity(n_cols as usize);
+            for _ in 0..n_cols {
+                let c = r.u32()?;
+                let ub = r.u32()?;
+                pruned_columns.push((c, ub));
+            }
+            let suffix_stop = r.u8()? != 0;
+            Some(TopkExplain {
+                seed,
+                survivors,
+                rounds,
+                pruned_columns,
+                suffix_stop,
+            })
+        }
+        t => return Err(WireError::Malformed(format!("unknown explain tag {t}"))),
+    };
+    Ok(ExplainReport {
+        mode,
+        stages,
+        decisions,
+        topk,
     })
 }
 
@@ -855,6 +1076,7 @@ fn take_hits_body(r: &mut ByteReader, known_ext: Option<bool>) -> WireResult<Hit
         hits,
         ext,
         trace: None,
+        explain: None,
     })
 }
 
@@ -874,6 +1096,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.0.extend_from_slice(MAGIC);
     let version = match req {
+        Request::Search { query, .. } | Request::Topk { query, .. }
+            if query.request_id.is_some() || query.explain =>
+        {
+            REQUEST_ID_VERSION
+        }
         Request::Search { query, .. } | Request::Topk { query, .. } if query.trace.enabled() => {
             TRACE_VERSION
         }
@@ -889,9 +1116,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         // form stays the historical V3 frame, byte for byte.
         Request::ApplyDelta { shard: Some(_) } => TRACE_VERSION,
         Request::ApplyDelta { shard: None } => 3,
+        Request::Batch(b) if b.request_id.is_some() => REQUEST_ID_VERSION,
         Request::Batch(b) if b.trace.enabled() => TRACE_VERSION,
         Request::Batch(_) => BATCH_VERSION,
         Request::Metrics | Request::SlowLog => TRACE_VERSION,
+        Request::Inspect | Request::Health | Request::Drain { .. } => REQUEST_ID_VERSION,
         _ => MIN_PROTOCOL_VERSION,
     };
     w.u8(version);
@@ -912,6 +1141,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => w.u8(VERB_STATS),
         Request::Metrics => w.u8(VERB_METRICS),
         Request::SlowLog => w.u8(VERB_SLOW),
+        Request::Inspect => w.u8(VERB_INSPECT),
+        Request::Health => w.u8(VERB_HEALTH),
+        Request::Drain { addr, drained } => {
+            w.u8(VERB_DRAIN);
+            w.str(addr);
+            w.u8(*drained as u8);
+        }
         Request::Reload { dir } => {
             w.u8(VERB_RELOAD);
             w.str(dir.as_deref().unwrap_or(""));
@@ -953,9 +1189,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 }
             }
             // The V5 trace level rides at the tail; its presence is what
-            // made the frame V5 in the first place.
-            if batch.trace.enabled() {
+            // made the frame V5 in the first place. A V6 (correlated)
+            // batch always writes the trace byte — even `Off` — so the
+            // request-id tail that follows is unambiguous.
+            if batch.trace.enabled() || batch.request_id.is_some() {
                 w.u8(batch.trace.as_u8());
+            }
+            if batch.request_id.is_some() {
+                put_opt_u64(&mut w, batch.request_id);
             }
         }
         Request::Shutdown => w.u8(VERB_SHUTDOWN),
@@ -1010,6 +1251,35 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
                 )));
             }
             Request::SlowLog
+        }
+        VERB_INSPECT => {
+            if version < REQUEST_ID_VERSION {
+                return Err(WireError::Malformed(format!(
+                    "INSPECT verb requires protocol version {REQUEST_ID_VERSION}, \
+                     frame is version {version}"
+                )));
+            }
+            Request::Inspect
+        }
+        VERB_HEALTH => {
+            if version < REQUEST_ID_VERSION {
+                return Err(WireError::Malformed(format!(
+                    "HEALTH verb requires protocol version {REQUEST_ID_VERSION}, \
+                     frame is version {version}"
+                )));
+            }
+            Request::Health
+        }
+        VERB_DRAIN => {
+            if version < REQUEST_ID_VERSION {
+                return Err(WireError::Malformed(format!(
+                    "DRAIN verb requires protocol version {REQUEST_ID_VERSION}, \
+                     frame is version {version}"
+                )));
+            }
+            let addr = r.str(4096)?;
+            let drained = r.u8()? != 0;
+            Request::Drain { addr, drained }
         }
         VERB_RELOAD => {
             let dir = r.str(4096)?;
@@ -1069,6 +1339,11 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
             } else {
                 TraceLevel::Off
             };
+            let request_id = if version >= REQUEST_ID_VERSION && r.has_remaining() {
+                take_opt_u64(&mut r)?
+            } else {
+                None
+            };
             Request::Batch(QueryBatch {
                 metric,
                 tau,
@@ -1078,6 +1353,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
                 columns,
                 ext,
                 trace,
+                request_id,
             })
         }
         VERB_SHUTDOWN => Request::Shutdown,
@@ -1100,11 +1376,23 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.u64(info.disk_bytes);
         }
         Reply::Hits(h) => {
-            // Kind bytes escalate with content: V3 only when a trace is
-            // present (answering a V5 request), V2 only when the
+            // Kind bytes escalate with content: V4 only when an EXPLAIN
+            // report is present (answering a V6 request), V3 only when a
+            // trace is (answering a V5 request), V2 only when the
             // extension is (answering a V2+ request) — old clients never
             // receive a kind they cannot parse.
-            if let Some(trace) = &h.trace {
+            if let Some(explain) = &h.explain {
+                w.u8(REPLY_HITS_V4);
+                put_hits_body(&mut w, h, true);
+                match &h.trace {
+                    None => w.u8(0),
+                    Some(t) => {
+                        w.u8(1);
+                        put_trace(&mut w, t);
+                    }
+                }
+                put_explain(&mut w, explain);
+            } else if let Some(trace) = &h.trace {
                 w.u8(REPLY_HITS_V3);
                 put_hits_body(&mut w, h, true);
                 put_trace(&mut w, trace);
@@ -1195,6 +1483,14 @@ pub fn decode_reply(payload: &[u8]) -> WireResult<Reply> {
         REPLY_HITS_V3 => {
             let mut h = take_hits_body(&mut r, None)?;
             h.trace = Some(take_trace(&mut r)?);
+            Reply::Hits(h)
+        }
+        REPLY_HITS_V4 => {
+            let mut h = take_hits_body(&mut r, None)?;
+            if r.u8()? != 0 {
+                h.trace = Some(take_trace(&mut r)?);
+            }
+            h.explain = Some(Box::new(take_explain(&mut r)?));
             Reply::Hits(h)
         }
         REPLY_HITS_BATCH => {
@@ -1305,6 +1601,8 @@ mod tests {
             vectors: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
             ext: None,
             trace: TraceLevel::Off,
+            request_id: None,
+            explain: false,
         }
     }
 
@@ -1457,6 +1755,7 @@ mod tests {
             columns: vec![vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], vec![0.7, 0.8, 0.9]],
             ext,
             trace: TraceLevel::Off,
+            request_id: None,
         }
     }
 
@@ -1597,6 +1896,7 @@ mod tests {
                 distance_computations: 41,
             }),
             trace: Some(sample_trace()),
+            explain: None,
         });
         let bytes = encode_reply(&solo);
         assert_eq!(decode_reply(&bytes).unwrap(), solo);
@@ -1609,6 +1909,7 @@ mod tests {
                 hits: Vec::new(),
                 ext: None,
                 trace: Some(sample_trace()),
+                explain: None,
             },
             HitsReply {
                 generation: 3,
@@ -1616,6 +1917,7 @@ mod tests {
                 hits: Vec::new(),
                 ext: None,
                 trace: None,
+                explain: None,
             },
         ]);
         let bytes = encode_reply(&batch);
@@ -1637,6 +1939,7 @@ mod tests {
             hits: Vec::new(),
             ext: None,
             trace: Some(QueryTrace::new(span)),
+            explain: None,
         });
         let bytes = encode_reply(&reply);
         assert!(matches!(decode_reply(&bytes), Err(WireError::Malformed(_))));
@@ -1683,6 +1986,7 @@ mod tests {
                 }],
                 ext: None,
                 trace: None,
+                explain: None,
             }),
             Reply::Hits(HitsReply {
                 generation: 4,
@@ -1693,6 +1997,7 @@ mod tests {
                     distance_computations: 777,
                 }),
                 trace: None,
+                explain: None,
             }),
             Reply::HitsBatch(vec![
                 HitsReply {
@@ -1706,6 +2011,7 @@ mod tests {
                     }],
                     ext: None,
                     trace: None,
+                    explain: None,
                 },
                 HitsReply {
                     generation: 2,
@@ -1716,6 +2022,7 @@ mod tests {
                         distance_computations: 12,
                     }),
                     trace: None,
+                    explain: None,
                 },
             ]),
             Reply::Stats {
@@ -1823,5 +2130,196 @@ mod tests {
         assert_eq!(base, seq);
         // Non-query verbs have no fingerprint.
         assert!(query_fingerprint(&Request::Stats, 1).is_none());
+    }
+
+    #[test]
+    fn correlated_requests_roundtrip_as_v6() {
+        // Any combination of request id and explain rides the V6 tail,
+        // with or without the V2 ext and V5 trace sitting before it.
+        for (request_id, explain) in [(Some(0xDEAD_BEEF), false), (None, true), (Some(7), true)] {
+            for ext in [None, Some(sample_ext())] {
+                for trace in [TraceLevel::Off, TraceLevel::Detail] {
+                    let query = QueryPayload {
+                        ext,
+                        trace,
+                        request_id,
+                        explain,
+                        ..sample_query()
+                    };
+                    let req = Request::Search {
+                        query: query.clone(),
+                        t: JoinThreshold::Count(3),
+                    };
+                    let bytes = encode_request(&req);
+                    assert_eq!(bytes[4], REQUEST_ID_VERSION, "correlated frames are V6");
+                    assert_eq!(decode_request(&bytes).unwrap(), req);
+                    let req = Request::Topk { query, k: 4 };
+                    let bytes = encode_request(&req);
+                    assert_eq!(bytes[4], REQUEST_ID_VERSION);
+                    assert_eq!(decode_request(&bytes).unwrap(), req);
+                }
+            }
+        }
+        // An uncorrelated, unexplained query never pays the V6 stamp —
+        // the frame stays bit-identical to what an older client emits.
+        let plain = encode_request(&Request::Search {
+            query: sample_query(),
+            t: JoinThreshold::Count(3),
+        });
+        assert_eq!(plain[4], MIN_PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn correlated_batch_roundtrips_as_v6() {
+        let batch = QueryBatch {
+            request_id: Some(0xABCD),
+            ..sample_batch(Some(sample_ext()))
+        };
+        let req = Request::Batch(batch);
+        let bytes = encode_request(&req);
+        assert_eq!(
+            bytes[4], REQUEST_ID_VERSION,
+            "correlated BATCH frames are V6"
+        );
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+        // Uncorrelated batches keep their old stamp; a V6 batch with no
+        // trailing id decodes as None.
+        let plain = Request::Batch(sample_batch(None));
+        let mut bytes = encode_request(&plain);
+        assert_eq!(bytes[4], BATCH_VERSION);
+        bytes[4] = REQUEST_ID_VERSION;
+        assert_eq!(decode_request(&bytes).unwrap(), plain);
+    }
+
+    #[test]
+    fn inspect_health_drain_verbs_are_version_gated() {
+        let requests = [
+            Request::Inspect,
+            Request::Health,
+            Request::Drain {
+                addr: "127.0.0.1:7878".into(),
+                drained: true,
+            },
+            Request::Drain {
+                addr: "127.0.0.1:7878".into(),
+                drained: false,
+            },
+        ];
+        for req in &requests {
+            let bytes = encode_request(req);
+            assert_eq!(
+                bytes[4], REQUEST_ID_VERSION,
+                "INSPECT/HEALTH/DRAIN frames are V6"
+            );
+            assert_eq!(&decode_request(&bytes).unwrap(), req);
+            // The same verb byte inside an older frame is junk, not a
+            // silent downgrade.
+            for old in [1u8, 2, 3, 4, 5] {
+                let mut downgraded = bytes.clone();
+                downgraded[4] = old;
+                assert!(decode_request(&downgraded).is_err(), "version {old}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_request_id_and_explain() {
+        // A correlated or explained query must share its cache line with
+        // the plain twin: the id and the report never change the answer.
+        let fp = |request_id, explain| {
+            query_fingerprint(
+                &Request::Topk {
+                    query: QueryPayload {
+                        request_id,
+                        explain,
+                        ..sample_query()
+                    },
+                    k: 10,
+                },
+                1,
+            )
+            .unwrap()
+        };
+        assert_eq!(fp(None, false), fp(Some(42), false));
+        assert_eq!(fp(None, false), fp(None, true));
+        assert_eq!(fp(None, false), fp(Some(42), true));
+    }
+
+    fn sample_explain() -> ExplainReport {
+        ExplainReport {
+            mode: "topk".into(),
+            stages: vec![FunnelStage {
+                name: "block".into(),
+                unit: "pairs".into(),
+                input: 100,
+                output: 60,
+                pruned: vec![("lemma3/4".into(), 40)],
+            }],
+            decisions: vec!["quick_browse=off seeded_pairs=0".into()],
+            topk: Some(TopkExplain {
+                seed: Some(5),
+                survivors: 12,
+                rounds: vec![TopkRound {
+                    bar: Some(5),
+                    batch: 4,
+                    pruned: 2,
+                }],
+                pruned_columns: vec![(3, 4)],
+                suffix_stop: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn explained_replies_roundtrip() {
+        // Explain alone, and explain + trace (the V4 reply kind carries
+        // both behind a presence byte).
+        for trace in [None, Some(sample_trace())] {
+            let reply = Reply::Hits(HitsReply {
+                generation: 9,
+                cached: false,
+                hits: vec![WireHit {
+                    external_id: 1,
+                    table_name: "t".into(),
+                    column_name: "c".into(),
+                    match_count: 2,
+                }],
+                ext: Some(HitsExt {
+                    outcome: QueryOutcome::Exact,
+                    distance_computations: 10,
+                }),
+                trace,
+                explain: Some(Box::new(sample_explain())),
+            });
+            let bytes = encode_reply(&reply);
+            assert_eq!(decode_reply(&bytes).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn explain_codec_rejects_absurd_cardinality() {
+        // The writer is trusting, the reader is not: a report with more
+        // stages than MAX_EXPLAIN_STAGES encodes but must not decode.
+        let mut report = sample_explain();
+        report.topk = None;
+        report.stages = (0..=MAX_EXPLAIN_STAGES)
+            .map(|i| FunnelStage {
+                name: format!("stage/{i}"),
+                unit: "rows".into(),
+                input: 1,
+                output: 1,
+                pruned: Vec::new(),
+            })
+            .collect();
+        let reply = Reply::Hits(HitsReply {
+            generation: 1,
+            cached: false,
+            hits: Vec::new(),
+            ext: None,
+            trace: None,
+            explain: Some(Box::new(report)),
+        });
+        let bytes = encode_reply(&reply);
+        assert!(matches!(decode_reply(&bytes), Err(WireError::Malformed(_))));
     }
 }

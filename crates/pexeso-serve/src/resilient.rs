@@ -37,6 +37,7 @@ use rand::{Rng, SeedableRng};
 
 use pexeso_core::error::PexesoError;
 use pexeso_core::hist::{AtomicHistogram, HistSnapshot};
+use pexeso_core::log::{self as plog, LogLevel, Value};
 use pexeso_core::query::{Query, QueryResponse, Queryable};
 use pexeso_core::trace::{QueryTrace, TraceSpan};
 use pexeso_core::vector::VectorStore;
@@ -393,6 +394,18 @@ impl ResilientClient {
                     // fails lands here again and re-opens it.
                     state.open_until = Some(Instant::now() + self.config.open_for);
                     self.counters.circuit_opens.fetch_add(1, Ordering::Relaxed);
+                    plog::log(
+                        LogLevel::Warn,
+                        "client",
+                        "circuit_opened",
+                        &[
+                            ("addr", Value::Str(&replica.addr)),
+                            (
+                                "consecutive_failures",
+                                Value::U64(state.consecutive_failures as u64),
+                            ),
+                        ],
+                    );
                 }
             }
         }
@@ -517,6 +530,17 @@ impl Queryable for ResilientClient {
                 return Err(err.into());
             };
             self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            if plog::enabled(LogLevel::Warn) {
+                let error = err.to_string();
+                let mut fields: Vec<(&str, Value)> = Vec::with_capacity(4);
+                if let Some(rid) = query.request_id {
+                    fields.push(("rid", Value::Rid(rid)));
+                }
+                fields.push(("addr", Value::Str(&self.replicas[idx].addr)));
+                fields.push(("retry", Value::U64(retry as u64)));
+                fields.push(("error", Value::Str(&error)));
+                plog::log(LogLevel::Warn, "client", "query_retry", &fields);
+            }
             if tracing {
                 client_spans.push(TraceSpan::new(
                     format!("backoff/{retry}"),

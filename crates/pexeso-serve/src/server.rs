@@ -25,6 +25,8 @@ use std::time::{Duration, Instant};
 use pexeso_core::config::ExecPolicy;
 use pexeso_core::error::Result;
 use pexeso_core::fault;
+use pexeso_core::inspect::IndexInspection;
+use pexeso_core::log::{self as plog, LogLevel, Value};
 use pexeso_core::query::{Query, QueryBudget, QueryMode, QueryOutcome, Queryable};
 use pexeso_core::vector::VectorStore;
 
@@ -137,6 +139,24 @@ struct Shared {
     /// a worker hostage for a full `read_timeout`.
     live_conns: Mutex<HashMap<u64, TcpStream>>,
     conn_seq: AtomicU64,
+    /// The `INSPECT` walk is a full pass over every resident partition;
+    /// memoise it per generation so repeated scrapes (text verb and the
+    /// Prometheus gauges) pay it once per publish.
+    inspection: Mutex<Option<(u64, Arc<IndexInspection>)>>,
+}
+
+/// The memoised structural statistics of the snapshot's generation,
+/// computing (and caching) them on first use after a publish.
+fn inspection_of(shared: &Shared, snap: &Arc<Snapshot>) -> Arc<IndexInspection> {
+    let mut slot = shared.inspection.lock().expect("inspection cache poisoned");
+    if let Some((generation, insp)) = slot.as_ref() {
+        if *generation == snap.generation() {
+            return insp.clone();
+        }
+    }
+    let insp = Arc::new(snap.inspect());
+    *slot = Some((snap.generation(), insp.clone()));
+    insp
 }
 
 /// The daemon entry point.
@@ -167,6 +187,7 @@ impl Server {
             sample_every: sample_stride(config.metrics_sample_rate),
             live_conns: Mutex::new(HashMap::new()),
             conn_seq: AtomicU64::new(0),
+            inspection: Mutex::new(None),
             snapshot,
             config,
         });
@@ -281,6 +302,12 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                 .metrics
                 .busy_rejections
                 .fetch_add(1, Ordering::Relaxed);
+            plog::log(
+                LogLevel::Warn,
+                "serve",
+                "busy_rejected",
+                &[("queue_depth", (len as u64).into())],
+            );
             reject(shared, stream, &Reply::Busy);
         } else if shared
             .config
@@ -298,6 +325,12 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         {
             drop(queue);
             shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            plog::log(
+                LogLevel::Warn,
+                "serve",
+                "load_shed",
+                &[("queue_depth", (len as u64).into())],
+            );
             reject(shared, stream, &Reply::Shed);
         } else {
             queue.push_back(QueuedConn {
@@ -439,7 +472,7 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
         }
         Request::Metrics => {
             let snap = shared.snapshot.current();
-            let text = shared.metrics.render_prometheus(
+            let mut text = shared.metrics.render_prometheus(
                 &shared.cache.stats(),
                 &SnapshotFacts {
                     generation: snap.generation(),
@@ -451,9 +484,33 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
                     delta_records: snap.overlay().n_records(),
                 },
             );
+            // The introspection plane rides the same scrape: structural
+            // index gauges + cell-shape histograms per generation.
+            text.push_str(&crate::metrics::render_inspection_prometheus(
+                &inspection_of(shared, &snap),
+            ));
             shared.metrics.stats.record(started.elapsed());
             Reply::Stats { text }
         }
+        Request::Inspect => {
+            let snap = shared.snapshot.current();
+            let mut text = format!("generation={}\n", snap.generation());
+            text.push_str(&inspection_of(shared, &snap).render_text());
+            shared.metrics.stats.record(started.elapsed());
+            Reply::Stats { text }
+        }
+        Request::Health => {
+            let snap = shared.snapshot.current();
+            let text = render_health(shared, &snap);
+            shared.metrics.stats.record(started.elapsed());
+            Reply::Stats { text }
+        }
+        // A shard daemon owns no replica set; draining happens at the
+        // router tier (which rewrites its routing table) or by simply
+        // shutting the daemon down.
+        Request::Drain { .. } => Reply::Err {
+            message: "DRAIN is a router verb; a shard daemon has no replica set".into(),
+        },
         Request::SlowLog => {
             let text = shared.slow_log.render();
             shared.metrics.stats.record(started.elapsed());
@@ -467,13 +524,31 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
                     // the memory in one sweep.
                     shared.cache.clear();
                     shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+                    plog::log(
+                        LogLevel::Info,
+                        "serve",
+                        "reloaded",
+                        &[
+                            ("generation", fresh.generation().into()),
+                            ("partitions", (fresh.lake().num_partitions() as u64).into()),
+                        ],
+                    );
                     Reply::Reloaded {
                         generation: fresh.generation(),
                         partitions: fresh.lake().num_partitions() as u32,
                     }
                 }
                 // A failed load leaves the served snapshot untouched.
-                Err(e) => error_reply(&shared.metrics.reload, e.to_string()),
+                Err(e) => {
+                    let message = e.to_string();
+                    plog::log(
+                        LogLevel::Error,
+                        "serve",
+                        "reload_failed",
+                        &[("error", Value::Str(&message))],
+                    );
+                    error_reply(&shared.metrics.reload, message)
+                }
             };
             shared.metrics.reload.record(started.elapsed());
             reply
@@ -492,6 +567,16 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
                 Ok(fresh) => {
                     shared.cache.clear();
                     shared.metrics.applies.fetch_add(1, Ordering::Relaxed);
+                    plog::log(
+                        LogLevel::Info,
+                        "serve",
+                        "delta_applied",
+                        &[
+                            ("generation", fresh.generation().into()),
+                            ("delta_columns", (fresh.delta_columns() as u64).into()),
+                            ("tombstones", (fresh.delta_tombstones() as u64).into()),
+                        ],
+                    );
                     Reply::Applied {
                         generation: fresh.generation(),
                         delta_columns: fresh.delta_columns() as u64,
@@ -499,12 +584,24 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
                     }
                 }
                 // A failed apply leaves the served snapshot untouched.
-                Err(e) => error_reply(&shared.metrics.apply, e.to_string()),
+                Err(e) => {
+                    let message = e.to_string();
+                    plog::log(
+                        LogLevel::Error,
+                        "serve",
+                        "apply_failed",
+                        &[("error", Value::Str(&message))],
+                    );
+                    error_reply(&shared.metrics.apply, message)
+                }
             };
             shared.metrics.apply.record(started.elapsed());
             reply
         }
-        Request::Shutdown => Reply::ShuttingDown,
+        Request::Shutdown => {
+            plog::log(LogLevel::Info, "serve", "shutdown_requested", &[]);
+            Reply::ShuttingDown
+        }
         Request::Search { .. } | Request::Topk { .. } => {
             handle_query(shared, req, started, queue_wait)
         }
@@ -515,6 +612,38 @@ fn dispatch(shared: &Shared, req: Request, queue_wait: Option<Duration>) -> Repl
 fn error_reply(endpoint: &EndpointMetrics, message: String) -> Reply {
     endpoint.record_error();
     Reply::Err { message }
+}
+
+/// The `HEALTH` verb body: one `status=` line an orchestrator can gate
+/// on, plus the facts behind the verdict. `draining` while a shutdown is
+/// in flight, `degraded` when the accept queue has crossed the soft
+/// shed watermark (new arrivals are already being turned away), `ready`
+/// otherwise.
+fn render_health(shared: &Shared, snap: &Arc<Snapshot>) -> String {
+    let queue_depth = shared
+        .queue
+        .lock()
+        .expect("connection queue poisoned")
+        .len();
+    let status = if shared.shutting_down.load(Ordering::SeqCst) {
+        "draining"
+    } else if shared
+        .config
+        .queue_soft_watermark
+        .is_some_and(|soft| queue_depth >= soft)
+    {
+        "degraded"
+    } else {
+        "ready"
+    };
+    format!(
+        "status={status}\ngeneration={}\npartitions={}\nqueue_depth={queue_depth}\n\
+         queue_capacity={}\nworkers={}\n",
+        snap.generation(),
+        snap.lake().num_partitions(),
+        shared.config.queue_capacity,
+        shared.config.workers.max(1),
+    )
 }
 
 fn handle_query(
@@ -538,6 +667,21 @@ fn handle_query(
         if wait >= deadline {
             shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
             endpoint.record(started.elapsed());
+            let rid = match &req {
+                Request::Search { query, .. } | Request::Topk { query, .. } => query.request_id,
+                _ => None,
+            };
+            let mut fields: Vec<(&str, Value)> =
+                vec![("waited_ms", (wait.as_millis() as u64).into())];
+            if let Some(rid) = rid {
+                fields.push(("rid", Value::Rid(rid)));
+            }
+            plog::log(
+                LogLevel::Warn,
+                "serve",
+                "deadline_expired_in_queue",
+                &fields,
+            );
             return Reply::DeadlineExpired {
                 waited_ms: wait.as_millis() as u64,
             };
@@ -599,13 +743,14 @@ fn run_query_on(
     }
     // A client-requested trace must describe *this* execution, so it
     // bypasses the result-cache read (untraced traffic is untouched, and
-    // the executed result still populates the cache below). Server-
-    // initiated sampling only traces requests that would execute anyway —
-    // a sampled cache hit stays a cache hit.
+    // the executed result still populates the cache below); an EXPLAIN
+    // request likewise — its funnel must describe a real execution, not
+    // a memoised answer. Server-initiated sampling only traces requests
+    // that would execute anyway — a sampled cache hit stays a cache hit.
     let requested = payload.trace;
     let fingerprint =
         query_fingerprint(req, snap.generation()).expect("query verbs always fingerprint");
-    if !requested.enabled() {
+    if !requested.enabled() && !payload.explain {
         let lookup_start = Instant::now();
         let cached = shared.cache.get(fingerprint);
         let hist = if cached.is_some() {
@@ -615,6 +760,7 @@ fn run_query_on(
         };
         hist.record_duration(lookup_start.elapsed());
         if let Some(hits) = cached {
+            log_query_done(payload, mode, true, hits.len(), snap.generation(), 0);
             return Ok(HitsReply {
                 generation: snap.generation(),
                 cached: true,
@@ -626,6 +772,7 @@ fn run_query_on(
                     distance_computations: 0,
                 }),
                 trace: None,
+                explain: None,
             });
         }
     }
@@ -661,7 +808,10 @@ fn run_query_on(
     if !payload.metric.is_empty() {
         query = query.expect_metric(&payload.metric);
     }
-    query = query.with_trace(effective);
+    query = query.with_trace(effective).with_explain(payload.explain);
+    if let Some(rid) = payload.request_id {
+        query = query.with_request_id(rid);
+    }
     if let Some(ext) = &payload.ext {
         query.options.flags = ext.flags;
         query.options.quick_browse = ext.quick_browse;
@@ -689,8 +839,22 @@ fn run_query_on(
             QueryMode::Topk(_) => "topk",
         };
         let rendered = resp.trace.as_ref().map(|t| t.render()).unwrap_or_default();
-        shared.slow_log.offer(verb, resp.stats.total_time, rendered);
+        shared.slow_log.offer_correlated(
+            verb,
+            resp.stats.total_time,
+            rendered,
+            payload.request_id,
+            None,
+        );
     }
+    log_query_done(
+        payload,
+        mode,
+        false,
+        resp.hits.len(),
+        snap.generation(),
+        resp.stats.total_time.as_micros() as u64,
+    );
     let wire: Vec<WireHit> = resp.hits.iter().map(WireHit::from).collect();
     // A budget-limited partial answer must never masquerade as the exact
     // one for a later (possibly unbudgeted) identical request: cache
@@ -716,7 +880,39 @@ fn run_query_on(
         } else {
             None
         },
+        explain: resp.explain.map(Box::new),
     })
+}
+
+/// One structured `query_done` line per answered query request, carrying
+/// the request id (when the frame had one) so the shard's log joins the
+/// router's on a single grep. Free when logging is off: the only cost is
+/// the `enabled` atomic load.
+fn log_query_done(
+    payload: &QueryPayload,
+    mode: QueryMode,
+    cached: bool,
+    hits: usize,
+    generation: u64,
+    latency_us: u64,
+) {
+    if !plog::enabled(LogLevel::Info) {
+        return;
+    }
+    let verb = match mode {
+        QueryMode::Threshold(_) => "search",
+        QueryMode::Topk(_) => "topk",
+    };
+    let mut fields: Vec<(&str, Value)> = Vec::with_capacity(6);
+    if let Some(rid) = payload.request_id {
+        fields.push(("rid", Value::Rid(rid)));
+    }
+    fields.push(("verb", Value::Str(verb)));
+    fields.push(("cached", cached.into()));
+    fields.push(("hits", (hits as u64).into()));
+    fields.push(("generation", generation.into()));
+    fields.push(("latency_us", latency_us.into()));
+    plog::log(LogLevel::Info, "serve", "query_done", &fields);
 }
 
 /// Answer a V4 batch frame: one pinned snapshot, one reply frame, and
@@ -782,6 +978,8 @@ fn solo_request(batch: &QueryBatch, vectors: Vec<f32>) -> Request {
         vectors,
         ext: batch.ext,
         trace: batch.trace,
+        request_id: batch.request_id,
+        explain: false,
     };
     match batch.mode {
         BatchMode::Search(t) => Request::Search { query, t },

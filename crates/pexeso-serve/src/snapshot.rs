@@ -150,6 +150,32 @@ impl Snapshot {
         self.overlay.n_tombstones()
     }
 
+    /// Structural statistics of the whole served deployment — every
+    /// resident partition walked read-only, plus the delta overlay's
+    /// depth — for the `INSPECT` verb (see [`pexeso_core::inspect`]).
+    pub fn inspect(&self) -> pexeso_core::inspect::IndexInspection {
+        fn partitions<M: Metric>(
+            r: &ResidentPartitions<M>,
+        ) -> Vec<pexeso_core::inspect::PartitionInspection> {
+            (0..r.num_partitions())
+                .map(|i| r.partition(i).inspect())
+                .collect()
+        }
+        let parts = match &*self.resident {
+            ResidentLake::Euclidean(r) => partitions(r),
+            ResidentLake::Manhattan(r) => partitions(r),
+            ResidentLake::Chebyshev(r) => partitions(r),
+            ResidentLake::Angular(r) => partitions(r),
+        };
+        pexeso_core::inspect::IndexInspection {
+            partitions: parts,
+            delta_columns: self.overlay.n_delta_columns() as u64,
+            delta_vectors: self.overlay.n_delta_vectors() as u64,
+            delta_tombstones: self.overlay.n_tombstones() as u64,
+            delta_records: self.overlay.n_records() as u64,
+        }
+    }
+
     /// Reject a query whose metric does not match the one the indexes
     /// were built with — the pivot mappings would be invalid and results
     /// silently wrong, violating the exactness contract.

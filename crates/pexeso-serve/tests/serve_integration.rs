@@ -131,6 +131,7 @@ fn served_replies_byte_identical_to_direct_calls() {
                     hits: wire(&direct),
                     ext: None,
                     trace: None,
+                    explain: None,
                 });
                 assert_eq!(
                     encode_reply(&Reply::Hits(served.clone())),
@@ -155,6 +156,7 @@ fn served_replies_byte_identical_to_direct_calls() {
                     hits: wire(&direct),
                     ext: None,
                     trace: None,
+                    explain: None,
                 })),
                 "tau={tau:?} k={k}"
             );
@@ -706,6 +708,83 @@ fn trace_metrics_and_slow_log_over_loopback() {
     // a read on a live keep-alive stream only notices shutdown at the
     // read timeout.
     drop(resilient);
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_health_and_correlated_slow_log_over_loopback() {
+    use pexeso_core::trace::TraceLevel;
+    use pexeso_serve::validate_prometheus;
+
+    let dir = tempdir("introspect");
+    let (columns, query) = workload(53, 8, "ins");
+    deploy(&dir, &columns);
+    let config = ServeConfig {
+        metrics_sample_rate: 1.0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(&dir, "127.0.0.1:0", config).unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
+
+    // INSPECT: the structural statistics of the live snapshot, stamped
+    // with the generation that produced them.
+    let inspect = client.inspect_text().unwrap();
+    assert!(inspect.starts_with("generation=1\n"), "{inspect}");
+    for key in [
+        "partitions=",
+        "columns=8",
+        "vectors=",
+        "cells=",
+        "postings_len.p50=",
+        "partition0.pivot_spread.mean=",
+        "delta_columns=0",
+    ] {
+        assert!(inspect.contains(key), "missing {key} in:\n{inspect}");
+    }
+
+    // The same numbers ride the METRICS exposition as gauges and
+    // histograms, and the whole exposition stays schema-valid.
+    let metrics = client.metrics_text().unwrap();
+    validate_prometheus(&metrics).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{metrics}"));
+    for family in [
+        "pexeso_index_columns 8",
+        "pexeso_index_vectors",
+        "# TYPE pexeso_index_postings_length histogram",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+
+    // HEALTH: an idle daemon is ready; DRAIN is refused (router verb).
+    let health = client.health_text().unwrap();
+    assert!(health.starts_with("status=ready\n"), "{health}");
+    assert!(health.contains("generation=1"), "{health}");
+    assert!(health.contains("queue_depth=0"), "{health}");
+    assert!(client.drain("127.0.0.1:1", true).is_err());
+
+    // A traced query carrying a caller-minted request id lands in the
+    // slow log under that id (a shard daemon adds no shard attribution).
+    let q = Query::threshold(Tau::Ratio(0.2), JoinThreshold::Ratio(0.5))
+        .with_trace(TraceLevel::Phases)
+        .with_request_id(0xFACE);
+    let (resp, meta) = client.execute_detailed(&q, &query).unwrap();
+    assert!(!meta.cached && resp.trace.is_some());
+    let slow = client.slow_log_text().unwrap();
+    assert!(slow.contains("rid=000000000000face"), "{slow}");
+    assert!(!slow.contains("shard="), "{slow}");
+
+    // An EXPLAIN report comes back over the wire and balances.
+    let (resp, _) = client
+        .execute_detailed(
+            &q.clone().with_trace(TraceLevel::Off).with_explain(true),
+            &query,
+        )
+        .unwrap();
+    let report = resp.explain.expect("requested report travels back");
+    assert!(report.consistent());
+    assert_eq!(report.mode, "threshold");
+
     drop(client);
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();

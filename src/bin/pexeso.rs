@@ -7,12 +7,14 @@
 //! pexeso compact --index <index-dir> [--partitions N] [--policy seq|par|par:N]
 //! pexeso search  --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5] [--policy ...] [--trace]
 //! pexeso topk    --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy ...] [--trace]
-//! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--metrics-sample-rate 0.01] [--slow-log 8] [--fault-profile <spec>]
+//! pexeso serve   --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--metrics-sample-rate 0.01] [--slow-log 8] [--log <level>] [--fault-profile <spec>]
 //! pexeso query   --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...] [--trace]
-//! pexeso query   --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply [--shard N] | --shutdown
+//! pexeso query   --addr <host:port> --stats | --metrics | --slow | --health | --drain <replica> | --undrain <replica> | --reload [--reload-dir <dir>] | --apply [--shard N] | --shutdown
+//! pexeso explain --index <index-dir> | --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy ...] [--trace]
+//! pexeso inspect --addr <host:port>
 //! pexeso shard-plan  --index <index-dir> --shards <n>
 //! pexeso shard-split --index <index-dir> --shards <n> --out <dir>
-//! pexeso router  --map <shardmap.txt> [--addr 127.0.0.1:7900 | --port <p>] [--workers 4] [--queue 64]
+//! pexeso router  --map <shardmap.txt> [--addr 127.0.0.1:7900 | --port <p>] [--workers 4] [--queue 64] [--log <level>]
 //! ```
 //!
 //! The offline step detects each table's key column, embeds it with the
@@ -48,6 +50,13 @@
 //! merged with the client's attempt timeline. `query --metrics` scrapes
 //! the Prometheus exposition, `query --slow` dumps the slow-query log,
 //! and `serve --metrics-sample-rate` self-samples traces into that log.
+//! `explain` runs one query with the plan plane on and prints the
+//! candidate funnel; `inspect` dumps index statistics; `query --health`
+//! reports readiness (a router rolls its shards into one fleet answer,
+//! steerable with `--drain`/`--undrain`). `serve --log`/`router --log`
+//! turn on JSON-lines structured logging on stderr; traced and explained
+//! remote queries print the minted request id that correlates the client
+//! with every log line the request produced on the way down.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -136,6 +145,7 @@ const SERVE_FLAGS: &[FlagSpec] = &[
     val("cache"),
     val("metrics-sample-rate"),
     val("slow-log"),
+    val("log"),
     val("fault-profile"),
     switch("help"),
 ];
@@ -151,15 +161,33 @@ const QUERY_FLAGS: &[FlagSpec] = &[
     val("deadline-ms"),
     val("reload-dir"),
     val("shard"),
+    val("drain"),
+    val("undrain"),
     switch("trace"),
     switch("stats"),
     switch("metrics"),
     switch("slow"),
+    switch("health"),
     switch("reload"),
     switch("apply"),
     switch("shutdown"),
     switch("help"),
 ];
+const EXPLAIN_FLAGS: &[FlagSpec] = &[
+    val("index"),
+    val("addr"),
+    val("query"),
+    val("column"),
+    val("tau"),
+    val("t"),
+    val("k"),
+    val("policy"),
+    val("budget"),
+    val("deadline-ms"),
+    switch("trace"),
+    switch("help"),
+];
+const INSPECT_FLAGS: &[FlagSpec] = &[val("addr"), switch("help")];
 const SHARD_PLAN_FLAGS: &[FlagSpec] = &[val("index"), val("shards"), switch("help")];
 const SHARD_SPLIT_FLAGS: &[FlagSpec] = &[val("index"), val("shards"), val("out"), switch("help")];
 const ROUTER_FLAGS: &[FlagSpec] = &[
@@ -169,6 +197,7 @@ const ROUTER_FLAGS: &[FlagSpec] = &[
     val("workers"),
     val("queue"),
     val("slow-log"),
+    val("log"),
     switch("help"),
 ];
 
@@ -191,16 +220,20 @@ fn usage_text(cmd: &str) -> &'static str {
             "pexeso topk --index <index-dir> --query <csv> [--column <name>] [--tau 0.06] [--k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>] [--trace]"
         }
         "serve" => {
-            "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--metrics-sample-rate <0..=1>] [--slow-log <n>] [--fault-profile <point:after:action[:param],...>]"
+            "pexeso serve --index <index-dir> [--addr 127.0.0.1:7878 | --port <p>] [--workers 4] [--queue 64] [--soft-queue <n>] [--cache 4096] [--metrics-sample-rate <0..=1>] [--slow-log <n>] [--log error|warn|info|debug] [--fault-profile <point:after:action[:param],...>]"
         }
         "query" => {
             "pexeso query --addr <host:port>[,<host:port>...] --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>] [--trace]\n\
-             pexeso query --addr <host:port> --stats | --metrics | --slow | --reload [--reload-dir <dir>] | --apply [--shard N] | --shutdown"
+             pexeso query --addr <host:port> --stats | --metrics | --slow | --health | --drain <replica> | --undrain <replica> | --reload [--reload-dir <dir>] | --apply [--shard N] | --shutdown"
         }
+        "explain" => {
+            "pexeso explain --index <index-dir> | --addr <host:port> --query <csv> [--column <name>] [--tau 0.06] [--t 0.5 | --k 10] [--policy seq|par|par:N] [--budget <max-distances>] [--deadline-ms <ms>] [--trace]"
+        }
+        "inspect" => "pexeso inspect --addr <host:port>",
         "shard-plan" => "pexeso shard-plan --index <index-dir> --shards <n>",
         "shard-split" => "pexeso shard-split --index <index-dir> --shards <n> --out <dir>",
         "router" => {
-            "pexeso router --map <shardmap.txt> [--addr 127.0.0.1:7900 | --port <p>] [--workers 4] [--queue 64] [--slow-log 8]"
+            "pexeso router --map <shardmap.txt> [--addr 127.0.0.1:7900 | --port <p>] [--workers 4] [--queue 64] [--slow-log 8] [--log error|warn|info|debug]"
         }
         _ => "",
     }
@@ -208,7 +241,7 @@ fn usage_text(cmd: &str) -> &'static str {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}",
+        "usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}",
         usage_text("index"),
         usage_text("ingest"),
         usage_text("drop"),
@@ -217,6 +250,8 @@ fn usage() -> ExitCode {
         usage_text("topk"),
         usage_text("serve"),
         usage_text("query"),
+        usage_text("explain"),
+        usage_text("inspect"),
         usage_text("shard-plan"),
         usage_text("shard-split"),
         usage_text("router"),
@@ -566,6 +601,22 @@ fn cmd_topk(flags: &HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Arm the process-wide structured logger from a `--log <level>` flag
+/// (no flag and `--log off` leave it disabled: one relaxed load per
+/// would-be call site).
+fn init_logging(flags: &HashMap<String, String>) -> CliResult<()> {
+    if let Some(spec) = flags.get("log") {
+        match pexeso_core::log::LogLevel::parse(spec) {
+            Some(Some(level)) => {
+                pexeso_core::log::init_stderr(level);
+            }
+            Some(None) => {}
+            None => return Err(format!("bad --log '{spec}' (error|warn|info|debug|off)")),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
     let index_dir = PathBuf::from(flags.get("index").ok_or("--index is required")?);
     let addr = match (flags.get("addr"), flags.get("port")) {
@@ -598,6 +649,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
         pexeso_core::fault::arm_profile(profile).map_err(|e| format!("--fault-profile: {e}"))?;
         eprintln!("pexeso serve: FAULT INJECTION ARMED ({profile}) — dev/chaos use only");
     }
+    init_logging(flags)?;
     let handle = Server::start(&index_dir, addr.as_str(), config).map_err(|e| e.to_string())?;
     println!(
         "pexeso serve: listening on {} ({} workers, index {})",
@@ -607,6 +659,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult<()> {
     );
     // Runs until a client sends SHUTDOWN (`pexeso query --addr ... --shutdown`).
     handle.join();
+    pexeso_core::log::flush();
     println!("pexeso serve: shut down");
     Ok(())
 }
@@ -661,6 +714,7 @@ fn cmd_router(flags: &HashMap<String, String>) -> CliResult<()> {
         ..default
     };
     let workers = config.workers;
+    init_logging(flags)?;
     let handle = pexeso_router::RouterServer::start(&map_path, addr.as_str(), config)
         .map_err(|e| e.to_string())?;
     println!(
@@ -672,6 +726,7 @@ fn cmd_router(flags: &HashMap<String, String>) -> CliResult<()> {
     );
     // Runs until a client sends SHUTDOWN (`pexeso query --addr ... --shutdown`).
     handle.join();
+    pexeso_core::log::flush();
     println!("pexeso router: shut down");
     Ok(())
 }
@@ -712,6 +767,9 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
         "stats",
         "metrics",
         "slow",
+        "health",
+        "drain",
+        "undrain",
         "shutdown",
         "reload",
         "reload-dir",
@@ -783,6 +841,16 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     .expect_metric("euclidean")
     .with_budget(budget)
     .with_trace(parse_trace(flags));
+    // A traced query is someone debugging: mint the correlation id at the
+    // outermost hop and print it, so the operator can grep the same rid
+    // out of the router log, every shard log, and the SLOW entry.
+    let q = if q.trace.enabled() {
+        let rid = pexeso_core::log::mint_request_id();
+        println!("request id: {}", pexeso_core::log::fmt_request_id(rid));
+        q.with_request_id(rid)
+    } else {
+        q
+    };
 
     if addrs.len() == 1 {
         // One daemon: the detailed client surfaces the serve-side
@@ -849,6 +917,95 @@ fn cmd_query(flags: &HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Run one query with the explain plane on and print the candidate
+/// funnel alongside the hits. Local (`--index`) runs explain the
+/// delta-aware lake; remote (`--addr`) ones carry the report back over
+/// the wire from the daemon or router that executed — a router's report
+/// is the stage-wise fold of every shard's funnel.
+fn cmd_explain(flags: &HashMap<String, String>) -> CliResult<()> {
+    match (flags.get("index"), flags.get("addr")) {
+        (Some(_), Some(_)) => return Err("--index and --addr are mutually exclusive".into()),
+        (None, None) => {
+            return Err("pass --index <dir> (local) or --addr <host:port> (daemon/router)".into())
+        }
+        _ => {}
+    }
+    if flags.contains_key("t") && flags.contains_key("k") {
+        return Err("--t (threshold search) and --k (top-k) are mutually exclusive".into());
+    }
+    let tau: f32 = parse_or(flags, "tau", 0.06)?;
+    let t: f64 = parse_or(flags, "t", 0.5)?;
+    let policy = parse_policy(flags)?;
+    let build_query = |metric: &str| -> CliResult<Query> {
+        let q = if let Some(k) = flags.get("k") {
+            let k: usize = k.parse().map_err(|e| format!("bad --k '{k}': {e}"))?;
+            Query::topk(Tau::Ratio(tau), k)
+        } else {
+            Query::threshold(Tau::Ratio(tau), JoinThreshold::Ratio(t))
+        }
+        .with_policy(policy)
+        .expect_metric(metric)
+        .with_budget(parse_budget(flags)?)
+        .with_trace(parse_trace(flags))
+        .with_explain(true);
+        Ok(q)
+    };
+
+    let resp = if let Some(index) = flags.get("index") {
+        let lake = open_delta_lake(Path::new(index)).map_err(|e| e.to_string())?;
+        let manifest = lake.manifest().clone();
+        let (values, embedder) = load_query(flags, manifest.dim)?;
+        let query = embed_query(&embedder, &values);
+        let q = build_query(&manifest.metric)?.with_exec(policy);
+        lake.execute(&q, query.store()).map_err(|e| e.to_string())?
+    } else {
+        let addr = flags.get("addr").expect("checked above").clone();
+        let info = probe_info(std::slice::from_ref(&addr))?;
+        let (values, embedder) = load_query(flags, info.dim as usize)?;
+        let query = embed_query(&embedder, &values);
+        // Explained queries always get a correlation id: the funnel on
+        // this side, the log lines on the server side, one handle.
+        let rid = pexeso_core::log::mint_request_id();
+        println!("request id: {}", pexeso_core::log::fmt_request_id(rid));
+        let q = build_query("euclidean")?.with_request_id(rid);
+        let client = ServeClient::connect(addr.as_str())
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let (resp, _meta) = client
+            .execute_detailed(&q, query.store())
+            .map_err(|e| e.to_string())?;
+        resp
+    };
+
+    println!(
+        "\n{} joinable columns (tau={tau}){}:",
+        resp.hits.len(),
+        outcome_suffix(&resp)
+    );
+    print_hits(&resp.hits);
+    match &resp.explain {
+        Some(report) => {
+            println!("\nquery plan:");
+            print!("{}", report.render());
+        }
+        // The daemon answered a pre-explain frame (old server) — say so
+        // rather than printing an empty plan.
+        None => println!("\n(server returned no explain report; is it running an older build?)"),
+    }
+    print_trace(&resp);
+    Ok(())
+}
+
+/// Dump index statistics (`INSPECT`) from a daemon or router: partition
+/// occupancy histograms, pivot spread, delta-overlay depth — the same
+/// numbers METRICS exposes as `pexeso_index_*` gauges, as text.
+fn cmd_inspect(flags: &HashMap<String, String>) -> CliResult<()> {
+    let addr = flags.get("addr").ok_or("--addr is required")?;
+    let client = ServeClient::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    print!("{}", client.inspect_text().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
 /// Dispatch one admin verb (`--stats`, `--shutdown`, `--reload`,
 /// `--apply`) on a connected daemon.
 fn run_admin_verb(
@@ -874,6 +1031,24 @@ fn run_admin_verb(
         } else {
             print!("{text}");
         }
+        return Ok(());
+    }
+    if flags.contains_key("health") {
+        print!("{}", client.health_text().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if let Some(replica) = flags.get("drain") {
+        print!(
+            "{}",
+            client.drain(replica, true).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if let Some(replica) = flags.get("undrain") {
+        print!(
+            "{}",
+            client.drain(replica, false).map_err(|e| e.to_string())?
+        );
         return Ok(());
     }
     if flags.contains_key("shutdown") {
@@ -920,6 +1095,8 @@ fn main() -> ExitCode {
         "topk" => TOPK_FLAGS,
         "serve" => SERVE_FLAGS,
         "query" => QUERY_FLAGS,
+        "explain" => EXPLAIN_FLAGS,
+        "inspect" => INSPECT_FLAGS,
         "shard-plan" => SHARD_PLAN_FLAGS,
         "shard-split" => SHARD_SPLIT_FLAGS,
         "router" => ROUTER_FLAGS,
@@ -945,6 +1122,8 @@ fn main() -> ExitCode {
         "topk" => cmd_topk(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "explain" => cmd_explain(&flags),
+        "inspect" => cmd_inspect(&flags),
         "shard-plan" => cmd_shard_plan(&flags),
         "shard-split" => cmd_shard_split(&flags),
         "router" => cmd_router(&flags),
